@@ -1,0 +1,23 @@
+//! E5's kernel as a host-side cost: simulating one discovery query
+//! (event processing, not simulated latency) under both modes.
+
+use consumer_grid_bench::e05_discovery_scalability::run_once;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2p::DiscoveryMode;
+
+fn bench_discovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("discovery_query_sim");
+    g.sample_size(20);
+    for &n in &[100usize, 400] {
+        g.bench_with_input(BenchmarkId::new("flooding", n), &n, |b, &n| {
+            b.iter(|| run_once(n, DiscoveryMode::Flooding, 10, 1))
+        });
+        g.bench_with_input(BenchmarkId::new("rendezvous", n), &n, |b, &n| {
+            b.iter(|| run_once(n, DiscoveryMode::Rendezvous, 10, 1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_discovery);
+criterion_main!(benches);

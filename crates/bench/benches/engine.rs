@@ -1,0 +1,78 @@
+//! Engine overhead: the Figure 1 network through both executors.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use toolbox::standard_registry;
+use triana_core::unit::Params;
+use triana_core::{run_graph, EngineConfig, TaskGraph, UnitRegistry};
+
+fn figure1() -> (TaskGraph, UnitRegistry) {
+    let reg = standard_registry();
+    let mut g = TaskGraph::new("Figure1");
+    let wave = g
+        .add_task(
+            &reg,
+            "Wave",
+            "wave",
+            Params::from([("samples".to_string(), "1024".to_string())]),
+        )
+        .unwrap();
+    let noise = g
+        .add_task(&reg, "GaussianNoise", "noise", Params::new())
+        .unwrap();
+    let ps = g
+        .add_task(&reg, "PowerSpectrum", "pspec", Params::new())
+        .unwrap();
+    let acc = g.add_task(&reg, "AccumStat", "accum", Params::new()).unwrap();
+    let gr = g.add_task(&reg, "Grapher", "grapher", Params::new()).unwrap();
+    g.connect(wave, 0, noise, 0).unwrap();
+    g.connect(noise, 0, ps, 0).unwrap();
+    g.connect(ps, 0, acc, 0).unwrap();
+    g.connect(acc, 0, gr, 0).unwrap();
+    (g, reg)
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let (g, reg) = figure1();
+    let mut grp = c.benchmark_group("engine_figure1_20iters");
+    grp.sample_size(20);
+    grp.bench_function("sequential", |b| {
+        b.iter(|| {
+            run_graph(
+                &g,
+                &reg,
+                &EngineConfig {
+                    iterations: 20,
+                    threaded: false,
+                },
+            )
+            .unwrap()
+        })
+    });
+    grp.bench_function("threaded", |b| {
+        b.iter(|| {
+            run_graph(
+                &g,
+                &reg,
+                &EngineConfig {
+                    iterations: 20,
+                    threaded: true,
+                },
+            )
+            .unwrap()
+        })
+    });
+    grp.finish();
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let (g, reg) = figure1();
+    c.bench_function("validate_and_typecheck", |b| {
+        b.iter(|| {
+            g.validate().unwrap();
+            g.typecheck(&reg).unwrap();
+        })
+    });
+}
+
+criterion_group!(benches, bench_engine, bench_validation);
+criterion_main!(benches);

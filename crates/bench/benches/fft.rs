@@ -1,0 +1,46 @@
+//! FFT kernels: the numerical substrate of Figure 2 and Case 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netsim::Pcg32;
+use toolbox::fft::{correlate, fft, power_spectrum};
+
+fn noise(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Pcg32::new(seed, 0);
+    (0..n).map(|_| rng.normal()).collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for &n in &[1_024usize, 4_096, 16_384] {
+        let re = noise(n, 1);
+        let im = vec![0.0; n];
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("pow2", n), &n, |b, _| {
+            b.iter(|| fft(&re, &im))
+        });
+    }
+    // Non-power-of-two (Bluestein path).
+    for &n in &[1_000usize, 12_000] {
+        let re = noise(n, 2);
+        let im = vec![0.0; n];
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("bluestein", n), &n, |b, _| {
+            b.iter(|| fft(&re, &im))
+        });
+    }
+    g.finish();
+}
+
+fn bench_spectrum_and_correlate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spectrum");
+    let n = 8_192;
+    let sig = noise(n, 3);
+    let tpl = noise(n, 4);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("power_spectrum_8192", |b| b.iter(|| power_spectrum(&sig)));
+    g.bench_function("correlate_8192", |b| b.iter(|| correlate(&tpl, &sig)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_spectrum_and_correlate);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Case 2 kernel: matched-filter search over a template bank (E4's real
+//! compute path; the paper runs 5 000–10 000 templates per 900 s chunk).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netsim::Pcg32;
+use toolbox::inspiral::{inject_chirp, search, TemplateBank};
+
+fn bench_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matched_filter");
+    g.sample_size(10);
+    let rate = 256.0;
+    let chunk_len = 16_384;
+    for &n_templates in &[4usize, 16, 64] {
+        let bank = TemplateBank::generate(n_templates, 1.0, 4.0, 16.0, rate);
+        let mut rng = Pcg32::new(9, 0);
+        let chunk = inject_chirp(chunk_len, &bank.templates[n_templates / 2], 12.0, 3_000, &mut rng);
+        g.throughput(Throughput::Elements((n_templates * chunk_len) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("templates", n_templates),
+            &n_templates,
+            |b, _| b.iter(|| search(&chunk, &bank)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_template_generation(c: &mut Criterion) {
+    c.bench_function("template_bank_64", |b| {
+        b.iter(|| TemplateBank::generate(64, 1.0, 4.0, 16.0, 256.0))
+    });
+}
+
+criterion_group!(benches, bench_search, bench_template_generation);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Case 1 kernel: SPH column-density rendering (E3's per-frame work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use toolbox::galaxy::{render_column_density, synthesize_snapshots, View};
+
+fn bench_render(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sph_render");
+    g.sample_size(20);
+    for &(particles, pixels) in &[(1_000usize, 64u32), (5_000, 128), (20_000, 256)] {
+        let snap = synthesize_snapshots(1, particles / 2, 42).pop().unwrap();
+        let view = View {
+            pixels,
+            ..View::default()
+        };
+        g.throughput(Throughput::Elements(snap.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("render", format!("{particles}p_{pixels}px")),
+            &snap,
+            |b, s| b.iter(|| render_column_density(s, &view)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_snapshot_generation(c: &mut Criterion) {
+    c.bench_function("synthesize_16_frames_2000p", |b| {
+        b.iter(|| synthesize_snapshots(16, 1_000, 7))
+    });
+}
+
+criterion_group!(benches, bench_render, bench_snapshot_generation);
+criterion_main!(benches);

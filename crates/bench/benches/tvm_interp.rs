@@ -1,0 +1,62 @@
+//! Ablation: interpreted TVM units vs native Rust (DESIGN.md decision 1 —
+//! code-as-data costs an interpretation factor; this measures it).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tvm::asm::assemble;
+use tvm::{execute, Module, SandboxPolicy};
+
+const DOUBLER: &str = r#"
+.module Doubler 1 1 1
+.func main 2
+    inlen 0
+    store 0
+    push 0
+    store 1
+loop:
+    load 1
+    load 0
+    lt
+    jz end
+    load 1
+    inget 0
+    push 2.0
+    mul
+    outpush 0
+    load 1
+    push 1
+    add
+    store 1
+    jmp loop
+end:
+    halt
+"#;
+
+fn bench_interp_vs_native(c: &mut Criterion) {
+    let module = assemble(DOUBLER).unwrap();
+    let policy = SandboxPolicy::standard();
+    let input: Vec<f64> = (0..10_000).map(|i| i as f64 * 0.5).collect();
+    let mut g = c.benchmark_group("tvm_vs_native_double_10k");
+    g.throughput(Throughput::Elements(input.len() as u64));
+    g.bench_function("tvm_interpreted", |b| {
+        b.iter(|| execute(&module, &[&input], &policy).unwrap())
+    });
+    g.bench_function("native_rust", |b| {
+        b.iter(|| input.iter().map(|x| x * 2.0).collect::<Vec<f64>>())
+    });
+    g.finish();
+}
+
+fn bench_module_lifecycle(c: &mut Criterion) {
+    let module = assemble(DOUBLER).unwrap();
+    let blob = module.to_blob();
+    let mut g = c.benchmark_group("module_lifecycle");
+    g.bench_function("assemble", |b| b.iter(|| assemble(DOUBLER).unwrap()));
+    g.bench_function("blob_roundtrip", |b| {
+        b.iter(|| Module::from_blob(&blob).unwrap())
+    });
+    g.bench_function("verify", |b| b.iter(|| tvm::verify::verify(&module).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_interp_vs_native, bench_module_lifecycle);
+criterion_main!(benches);

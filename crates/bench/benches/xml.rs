@@ -1,0 +1,47 @@
+//! Task-graph XML serialization (E2's "limited overhead" claim: the graph
+//! must be cheap to produce, parse, and ship).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use taskgraph_xml::{from_xml, to_xml};
+use triana_core::unit::Params;
+use triana_core::{DistributionPolicy, TaskGraph};
+
+fn workflow(n: usize) -> TaskGraph {
+    let mut g = TaskGraph::new(&format!("fan{n}"));
+    let src = g.add_task_raw("Wave", "source", Params::new(), 0, 1).unwrap();
+    let mut members = Vec::new();
+    for i in 0..n {
+        let t = g
+            .add_task_raw(
+                "Kernel",
+                &format!("worker{i}"),
+                Params::from([("gain".to_string(), "1.5".to_string())]),
+                1,
+                1,
+            )
+            .unwrap();
+        g.connect(src, 0, t, 0).unwrap();
+        members.push(t);
+    }
+    g.add_group("farm", members, DistributionPolicy::Parallel)
+        .unwrap();
+    g
+}
+
+fn bench_xml(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("taskgraph_xml");
+    for &n in &[8usize, 64, 512] {
+        let g = workflow(n);
+        let xml = to_xml(&g);
+        grp.bench_with_input(BenchmarkId::new("serialize", n), &g, |b, g| {
+            b.iter(|| to_xml(g))
+        });
+        grp.bench_with_input(BenchmarkId::new("parse", n), &xml, |b, xml| {
+            b.iter(|| from_xml(xml).unwrap())
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, bench_xml);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! `repro` — regenerate every figure/claim reproduction from DESIGN.md.
+//!
+//! Usage:
+//! ```text
+//! repro            # run everything
+//! repro e1 e5      # run selected experiments
+//! repro --list     # list experiment ids
+//! ```
+
+use consumer_grid_bench as bench;
+
+const IDS: [(&str, &str); 12] = [
+    ("e1", "Figure 2: SNR vs AccumStat iterations"),
+    ("e2", "Task-graph XML transmission overhead"),
+    ("e3", "Case 1: galaxy frame-rendering speedup"),
+    ("e4", "Case 2: inspiral real-time PC requirement"),
+    ("e5", "Discovery scalability: flooding vs rendezvous"),
+    ("e6", "Distribution policies: parallel vs peer-to-peer"),
+    ("e7", "SETI-scale volunteer aggregate"),
+    ("e8", "On-demand code download & caching"),
+    ("e9", "Globus vs Triana enrolment cost"),
+    ("e10", "Checkpointing/migration ablation"),
+    ("e11", "Case 3: service discovery & bind"),
+    ("e12", "Redundant execution vs cheating volunteers"),
+];
+
+fn run(id: &str) -> Option<String> {
+    let report = match id {
+        "e1" => bench::e01_figure2_snr::report(),
+        "e2" => bench::e02_taskgraph_overhead::report(),
+        "e3" => bench::e03_galaxy_speedup::report(),
+        "e4" => bench::e04_inspiral_realtime::report(),
+        "e5" => bench::e05_discovery_scalability::report(),
+        "e6" => bench::e06_policy_comparison::report(),
+        "e7" => bench::e07_seti_aggregate::report(),
+        "e8" => bench::e08_code_on_demand::report(),
+        "e9" => bench::e09_admin_cost::report(),
+        "e10" => bench::e10_checkpointing::report(),
+        "e11" => bench::e11_service_pipeline::report(),
+        "e12" => bench::e12_redundancy::report(),
+        _ => return None,
+    };
+    Some(report)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list" || a == "-l") {
+        for (id, desc) in IDS {
+            println!("{id:>4}  {desc}");
+        }
+        return;
+    }
+    let selected: Vec<&str> = if args.is_empty() {
+        IDS.iter().map(|(id, _)| *id).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let mut failed = false;
+    for id in selected {
+        match run(&id.to_lowercase()) {
+            Some(report) => {
+                println!("{report}");
+                println!("{}", "=".repeat(72));
+            }
+            None => {
+                eprintln!("unknown experiment `{id}` (try --list)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}

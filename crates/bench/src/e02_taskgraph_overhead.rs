@@ -1,0 +1,141 @@
+//! E2 — §3.3: "Transmitting the connectivity graph to nodes has a limited
+//! overhead – as the graph itself is a text file that does not consume many
+//! resources."
+//!
+//! Reproduction: serialize task graphs of growing width to the XML dialect
+//! and compare their size against (a) the module blobs the same workflow
+//! would ship and (b) one Case 2 data chunk. The shape to match: graph text
+//! is orders of magnitude smaller than code and data, and grows only
+//! linearly in task count.
+
+use crate::table;
+use taskgraph_xml::to_xml;
+use triana_core::unit::Params;
+use triana_core::{DistributionPolicy, TaskGraph};
+use tvm::asm::assemble;
+
+/// One measured point.
+#[derive(Clone, Debug)]
+pub struct OverheadPoint {
+    pub tasks: usize,
+    pub xml_bytes: usize,
+    pub module_bytes: usize,
+    pub chunk_bytes: u64,
+}
+
+/// A representative user module blob (~a small DSP kernel).
+fn typical_module_bytes() -> usize {
+    let mut src = String::from(".module UserKernel 1 1 1\n.func main 4\n");
+    for _ in 0..120 {
+        src.push_str(" push 1.5\n mul\n push 0.25\n add\n pop\n");
+    }
+    src.push_str(" halt\n");
+    assemble(&src).expect("valid kernel").to_blob().len()
+}
+
+/// Build a fan-out workflow with `n` worker tasks grouped for distribution.
+fn workflow(n: usize) -> TaskGraph {
+    let mut g = TaskGraph::new(&format!("fan{n}"));
+    let src = g
+        .add_task_raw("Wave", "source", Params::new(), 0, 1)
+        .expect("build");
+    let mut members = Vec::new();
+    for i in 0..n {
+        let t = g
+            .add_task_raw(
+                "UserKernel",
+                &format!("worker{i}"),
+                Params::from([("gain".to_string(), "1.5".to_string())]),
+                1,
+                1,
+            )
+            .expect("build");
+        g.connect(src, 0, t, 0).expect("wire");
+        members.push(t);
+    }
+    g.add_group("farm", members, DistributionPolicy::Parallel)
+        .expect("group");
+    g
+}
+
+pub fn series(sizes: &[usize]) -> Vec<OverheadPoint> {
+    let module = typical_module_bytes();
+    sizes
+        .iter()
+        .map(|&tasks| {
+            let xml = to_xml(&workflow(tasks));
+            OverheadPoint {
+                tasks,
+                xml_bytes: xml.len(),
+                module_bytes: module * tasks,
+                chunk_bytes: toolbox::inspiral::cost::CHUNK_BYTES,
+            }
+        })
+        .collect()
+}
+
+pub fn report() -> String {
+    let pts = series(&[2, 4, 8, 16, 32, 64]);
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.tasks.to_string(),
+                p.xml_bytes.to_string(),
+                p.module_bytes.to_string(),
+                p.chunk_bytes.to_string(),
+                table::f(p.xml_bytes as f64 / (p.module_bytes + p.chunk_bytes as usize) as f64 * 100.0, 3),
+            ]
+        })
+        .collect();
+    format!(
+        "E2  Task-graph transmission overhead (paper: \"limited overhead\")\n\n{}",
+        table::render(
+            &["tasks", "xml B", "modules B", "chunk B", "xml %"],
+            &rows
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskgraph_xml::from_xml;
+
+    #[test]
+    fn xml_is_a_tiny_fraction_of_shipped_bytes() {
+        for p in series(&[4, 16, 64]) {
+            let frac = p.xml_bytes as f64 / (p.module_bytes as f64 + p.chunk_bytes as f64);
+            assert!(
+                frac < 0.01,
+                "{} tasks: xml {}B is {:.3}% of payload",
+                p.tasks,
+                p.xml_bytes,
+                frac * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn xml_grows_linearly_not_worse() {
+        let pts = series(&[8, 16, 32]);
+        let per_task_small = pts[0].xml_bytes as f64 / 8.0;
+        let per_task_large = pts[2].xml_bytes as f64 / 32.0;
+        assert!(
+            per_task_large < per_task_small * 1.5,
+            "per-task XML cost should be ~constant: {per_task_small} vs {per_task_large}"
+        );
+    }
+
+    #[test]
+    fn serialized_workflows_round_trip() {
+        let g = workflow(8);
+        let back = from_xml(&to_xml(&g)).expect("round trip");
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn report_renders() {
+        assert!(report().contains("xml %"));
+    }
+}

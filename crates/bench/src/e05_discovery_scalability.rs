@@ -1,0 +1,194 @@
+//! E5 — §3.7 / ref \[7\]: discovery scalability, flooding vs rendezvous.
+//!
+//! Paper: "A number of P2P application utilise a 'flooding' mechanism to
+//! forward messages to maximise reachability. This severely restricts the
+//! scalability of such approaches … Currently, we utilise the discovery
+//! processes within JXTA … relying on Triana peers to be discovered based
+//! on very simple attributes".
+//!
+//! Reproduction: identical random overlays of growing size; 5% of peers
+//! offer the sought service; one capability query from a random peer under
+//! (a) TTL-limited flooding and (b) rendezvous super-peers (√n of them).
+//! Shape to match: flooding's per-query message count grows ~linearly with
+//! network size (every peer is visited), rendezvous stays near-constant
+//! per query; both find providers.
+
+use crate::table;
+use netsim::{HostSpec, Pcg32, SimTime};
+use p2p::advert::{AdvertBody, PeerAdvert};
+use p2p::{Advertisement, DiscoveryMode, P2p, PeerId, QueryKind};
+use netsim::{Network, Sim};
+use p2p::P2pEvent;
+
+/// One measured point.
+#[derive(Clone, Copy, Debug)]
+pub struct DiscoveryPoint {
+    pub peers: usize,
+    pub mode: DiscoveryMode,
+    pub messages: u64,
+    pub peers_visited: u64,
+    pub providers_found: usize,
+    pub providers_total: usize,
+    pub first_hit_ms: f64,
+}
+
+/// Run one discovery experiment on a fresh world.
+pub fn run_once(n: usize, mode: DiscoveryMode, ttl: u8, seed: u64) -> DiscoveryPoint {
+    let mut sim: Sim<P2pEvent> = Sim::new(seed);
+    let mut net = Network::new();
+    let mut p2p = P2p::new(mode);
+    let mut rng = Pcg32::new(seed, 5);
+    for _ in 0..n {
+        let spec = HostSpec::sample_consumer(&mut rng);
+        let h = net.add_host(spec);
+        p2p.add_peer(h);
+    }
+    p2p.wire_random(4, &mut rng);
+    if mode == DiscoveryMode::Rendezvous {
+        let count = (n as f64).sqrt().ceil() as usize;
+        p2p.assign_rendezvous(count.max(1), &mut rng);
+    }
+    // 5% of peers (at least one) offer the service.
+    let providers_total = (n / 20).max(1);
+    let expires = SimTime::from_secs(24 * 3600);
+    let mut provider_ids: Vec<u32> = (0..n as u32).collect();
+    rng.shuffle(&mut provider_ids);
+    for &pid in provider_ids.iter().take(providers_total) {
+        let peer = PeerId(pid);
+        let spec = net.spec(p2p.host_of(peer)).clone();
+        let ad = Advertisement {
+            body: AdvertBody::Peer(PeerAdvert {
+                peer,
+                cpu_ghz: spec.cpu_ghz,
+                free_ram_mib: spec.ram_mib,
+                services: vec!["triana".into()],
+            }),
+            expires,
+        };
+        p2p.publish(&mut sim, &mut net, peer, ad);
+    }
+    // Drain publish traffic before measuring the query.
+    while let Some(ev) = sim.step() {
+        p2p.handle(&mut sim, &mut net, ev);
+    }
+    net.reset_stats();
+    let origin = PeerId(provider_ids[providers_total % n]); // non-provider-ish random origin
+    let q = p2p.query(
+        &mut sim,
+        &mut net,
+        origin,
+        QueryKind::ByService("triana".into()),
+        ttl,
+    );
+    while let Some(ev) = sim.step() {
+        p2p.handle(&mut sim, &mut net, ev);
+    }
+    let status = &p2p.queries[&q];
+    DiscoveryPoint {
+        peers: n,
+        mode,
+        messages: status.messages,
+        peers_visited: status.peers_visited,
+        providers_found: status.providers().len(),
+        providers_total,
+        first_hit_ms: status
+            .first_hit_latency()
+            .map_or(f64::NAN, |d| d.as_secs_f64() * 1e3),
+    }
+}
+
+/// Both modes across network sizes.
+pub fn series(sizes: &[usize], ttl: u8) -> Vec<DiscoveryPoint> {
+    let mut out = Vec::new();
+    for &n in sizes {
+        for mode in [DiscoveryMode::Flooding, DiscoveryMode::Rendezvous] {
+            out.push(run_once(n, mode, ttl, 60 + n as u64));
+        }
+    }
+    out
+}
+
+pub fn report() -> String {
+    let pts = series(&[50, 100, 200, 400, 800], 10);
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.peers.to_string(),
+                format!("{:?}", p.mode),
+                p.messages.to_string(),
+                p.peers_visited.to_string(),
+                format!("{}/{}", p.providers_found, p.providers_total),
+                table::f(p.first_hit_ms, 1),
+            ]
+        })
+        .collect();
+    format!(
+        "E5  Discovery scalability: flooding vs rendezvous (ttl=10, degree 4, 5% providers)\n\n{}",
+        table::render(
+            &["peers", "mode", "msgs/query", "visited", "found", "1st hit ms"],
+            &rows
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flooding_messages_grow_linearly_with_network() {
+        let small = run_once(100, DiscoveryMode::Flooding, 12, 1);
+        let large = run_once(400, DiscoveryMode::Flooding, 12, 2);
+        assert!(
+            large.messages as f64 > small.messages as f64 * 2.5,
+            "flooding should scale with n: {} -> {}",
+            small.messages,
+            large.messages
+        );
+        // Flooding visits essentially everyone (the "maximise reachability"
+        // behaviour).
+        assert!(large.peers_visited as f64 > 0.95 * 400.0);
+    }
+
+    #[test]
+    fn rendezvous_messages_grow_much_slower() {
+        let small = run_once(100, DiscoveryMode::Rendezvous, 12, 3);
+        let large = run_once(400, DiscoveryMode::Rendezvous, 12, 4);
+        // Rendezvous grows ~sqrt(n) (the super-peer tier), not ~n.
+        assert!(
+            (large.messages as f64) < (small.messages as f64) * 3.0,
+            "{} -> {}",
+            small.messages,
+            large.messages
+        );
+        let flood = run_once(400, DiscoveryMode::Flooding, 12, 4);
+        assert!(
+            flood.messages > large.messages * 5,
+            "flooding {} vs rendezvous {}",
+            flood.messages,
+            large.messages
+        );
+    }
+
+    #[test]
+    fn both_modes_find_providers() {
+        for mode in [DiscoveryMode::Flooding, DiscoveryMode::Rendezvous] {
+            let p = run_once(200, mode, 12, 9);
+            assert!(
+                p.providers_found >= p.providers_total / 2,
+                "{mode:?}: found {}/{}",
+                p.providers_found,
+                p.providers_total
+            );
+        }
+    }
+
+    #[test]
+    fn low_ttl_truncates_flooding_reach() {
+        let deep = run_once(400, DiscoveryMode::Flooding, 12, 11);
+        let shallow = run_once(400, DiscoveryMode::Flooding, 2, 11);
+        assert!(shallow.peers_visited < deep.peers_visited / 2);
+        assert!(shallow.messages < deep.messages);
+    }
+}

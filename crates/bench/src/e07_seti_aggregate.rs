@@ -1,0 +1,98 @@
+//! E7 — §3.7: the volunteer-computing aggregate the paper motivates with.
+//!
+//! Paper: "SETI@home … With 3154517 users taking part there has been a
+//! total CPU time of 668852.233 years (as of 19th July 2001) and this
+//! figure is growing on a daily basis." (The abstract quotes 650 000+
+//! CPU-years.)
+//!
+//! Reproduction: the enrolment model of `resources::enroll` — consumer host
+//! mix × screensaver-idle availability — swept over population sizes.
+//! Shape to match: CPU-years scale linearly with users; at SETI's
+//! population and ~2.2 years of operation the model lands in the right
+//! order of magnitude (hundreds of thousands of CPU-years).
+
+use crate::table;
+use netsim::avail::AvailabilityModel;
+use resources::enroll::{AggregateCpu, Population};
+
+/// SETI's published data point.
+pub const SETI_USERS: u64 = 3_154_517;
+pub const SETI_CPU_YEARS: f64 = 668_852.233;
+/// SETI@home launched May 1999; the quote is from July 2001.
+pub const SETI_WALL_YEARS: f64 = 2.2;
+
+#[derive(Clone, Copy, Debug)]
+pub struct AggregatePoint {
+    pub users: u64,
+    pub agg: AggregateCpu,
+}
+
+pub fn series(user_counts: &[u64], wall_years: f64) -> Vec<AggregatePoint> {
+    user_counts
+        .iter()
+        .map(|&users| AggregatePoint {
+            users,
+            agg: Population::new(users, AvailabilityModel::typical_volunteer())
+                .aggregate(wall_years, 400, 0xE7),
+        })
+        .collect()
+}
+
+pub fn report() -> String {
+    let pts = series(&[10_000, 100_000, 1_000_000, SETI_USERS], SETI_WALL_YEARS);
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.users.to_string(),
+                table::f(p.agg.cpu_years, 0),
+                table::f(p.agg.reference_pc_years, 0),
+                table::f(p.agg.mean_uptime * 100.0, 1),
+            ]
+        })
+        .collect();
+    format!(
+        "E7  Volunteer aggregate over {SETI_WALL_YEARS} wall-years \
+         (paper/SETI: {SETI_USERS} users -> {SETI_CPU_YEARS:.0} CPU-years)\n\n{}",
+        table::render(
+            &["users", "cpu-years", "2GHz-PC-years", "uptime %"],
+            &rows
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seti_point_is_right_order_of_magnitude() {
+        let p = &series(&[SETI_USERS], SETI_WALL_YEARS)[0];
+        let ratio = p.agg.cpu_years / SETI_CPU_YEARS;
+        assert!(
+            (0.3..10.0).contains(&ratio),
+            "model gives {} CPU-years vs SETI's {}",
+            p.agg.cpu_years,
+            SETI_CPU_YEARS
+        );
+    }
+
+    #[test]
+    fn scaling_is_linear_in_users() {
+        let pts = series(&[100_000, 200_000, 400_000], 1.0);
+        let r1 = pts[1].agg.cpu_years / pts[0].agg.cpu_years;
+        let r2 = pts[2].agg.cpu_years / pts[1].agg.cpu_years;
+        assert!((r1 - 2.0).abs() < 1e-9, "{r1}");
+        assert!((r2 - 2.0).abs() < 1e-9, "{r2}");
+    }
+
+    #[test]
+    fn uptime_is_the_screensaver_fraction() {
+        let p = &series(&[1_000], 1.0)[0];
+        assert!(
+            (0.2..0.55).contains(&p.agg.mean_uptime),
+            "overnight-donation uptime should be ~1/3, got {}",
+            p.agg.mean_uptime
+        );
+    }
+}

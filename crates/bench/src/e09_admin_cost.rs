@@ -1,0 +1,106 @@
+//! E9 — §2: the Globus administration argument, quantified.
+//!
+//! Paper: "Administrators with resources that they are willing to make
+//! available have to create accounts explicitly for Globus users. If
+//! thousands of users wanted access to a resource it would be a daunting
+//! task indeed for any administrator." versus Triana: "It installs easily
+//! with a 'point-and-click' method to instantiate a service daemon. Triana
+//! does not rely on Certification Agencies."
+//!
+//! Reproduction: the `resources::admin` cost models swept over user
+//! counts. Shape to match: Globus admin effort grows linearly and
+//! time-to-first-job for late applicants grows into weeks; Triana is
+//! constant minutes regardless of scale, with zero admin effort.
+
+use crate::table;
+use netsim::LinkClass;
+use resources::admin::{GlobusAdminModel, TrianaInstallModel};
+
+#[derive(Clone, Copy, Debug)]
+pub struct AdminPoint {
+    pub users: u64,
+    pub globus_admin_hours: f64,
+    /// Time until the last applicant can run a job (days).
+    pub globus_last_user_days: f64,
+    pub triana_admin_hours: f64,
+    /// Triana time-to-first-job on a DSL line (minutes); user-count
+    /// independent.
+    pub triana_minutes: f64,
+}
+
+pub fn series(user_counts: &[u64]) -> Vec<AdminPoint> {
+    let globus = GlobusAdminModel::default_2003();
+    let triana = TrianaInstallModel::default_2003();
+    let dsl = LinkClass::Dsl.spec();
+    user_counts
+        .iter()
+        .map(|&users| AdminPoint {
+            users,
+            globus_admin_hours: globus.total_admin_time(users).as_secs_f64() / 3600.0,
+            globus_last_user_days: globus.time_to_first_job(users).as_secs_f64() / 86_400.0,
+            triana_admin_hours: triana.total_admin_time(users).as_secs_f64() / 3600.0,
+            triana_minutes: triana.time_to_first_job(&dsl).as_secs_f64() / 60.0,
+        })
+        .collect()
+}
+
+pub fn report() -> String {
+    let pts = series(&[10, 100, 1_000, 10_000, 100_000]);
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.users.to_string(),
+                table::f(p.globus_admin_hours, 1),
+                table::f(p.globus_last_user_days, 1),
+                table::f(p.triana_admin_hours, 1),
+                table::f(p.triana_minutes, 1),
+            ]
+        })
+        .collect();
+    format!(
+        "E9  Enrolment cost: Globus accounts vs Triana point-and-click\n\n{}",
+        table::render(
+            &[
+                "users",
+                "globus admin h",
+                "globus last-user d",
+                "triana admin h",
+                "triana min"
+            ],
+            &rows
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn globus_effort_linear_triana_zero() {
+        let pts = series(&[100, 1_000]);
+        assert!((pts[1].globus_admin_hours / pts[0].globus_admin_hours - 10.0).abs() < 1e-9);
+        assert_eq!(pts[0].triana_admin_hours, 0.0);
+        assert_eq!(pts[1].triana_admin_hours, 0.0);
+    }
+
+    #[test]
+    fn thousands_of_users_is_daunting() {
+        // 10 000 users: months of queueing for the last applicant.
+        let p = &series(&[10_000])[0];
+        assert!(
+            p.globus_last_user_days > 60.0,
+            "last user waits {} days",
+            p.globus_last_user_days
+        );
+        assert!(p.globus_admin_hours > 2_000.0);
+    }
+
+    #[test]
+    fn triana_is_minutes_at_any_scale() {
+        let pts = series(&[10, 100_000]);
+        assert!(pts[0].triana_minutes < 10.0);
+        assert_eq!(pts[0].triana_minutes, pts[1].triana_minutes);
+    }
+}

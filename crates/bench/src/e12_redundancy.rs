@@ -1,0 +1,213 @@
+//! E12 — §3.7's trust problem, met with redundant execution.
+//!
+//! Paper: volunteers "would not have direct control of what application
+//! actually utilises their resource … This is a difficult problem to
+//! overcome". The mirror-image problem — volunteers returning wrong
+//! results — is what SETI@home answered with redundancy. This ablation
+//! sweeps the replication factor against a population containing cheating
+//! volunteers and measures (a) how many wrong results are *accepted*,
+//! (b) how many cheats are *caught*, and (c) the CPU overhead paid.
+//!
+//! Shape to match (standard volunteer-computing result): with no
+//! redundancy every cheat is silently accepted; with 2 replicas cheats are
+//! detected but unresolved; with 3+, wrong results are outvoted at ~r×
+//! compute cost, and the cheaters' reputation collapses.
+
+use crate::table;
+use netsim::avail::AvailabilityTrace;
+use netsim::{HostSpec, SimTime};
+use p2p::DiscoveryMode;
+use triana_core::grid::farm::{run_farm, FarmConfig, FarmScheduler, JobSpec};
+use triana_core::grid::redundancy::{Behaviour, RedundancyConfig, Verdict, VotingFarm};
+use triana_core::grid::{GridWorld, WorkerId, WorkerSetup};
+
+/// Outcome of one redundancy configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RedundancyPoint {
+    pub replicas: usize,
+    pub quorum: usize,
+    pub units: usize,
+    /// Accepted units whose winning digest was wrong (undetected cheats).
+    pub wrong_accepted: usize,
+    /// Units with no quorum.
+    pub unresolved: usize,
+    /// Dissenting (caught) replica executions.
+    pub cheats_caught: usize,
+    /// Total replica executions / logical units (the CPU overhead factor).
+    pub overhead: f64,
+    /// Mean reputation score of the cheating workers afterwards.
+    pub cheater_score: f64,
+}
+
+/// Run `units` logical units over `honest + cheaters` workers, where each
+/// cheater returns a wrong result with probability `cheat_prob`.
+pub fn run_config(
+    replicas: usize,
+    quorum: usize,
+    units: usize,
+    honest: usize,
+    cheaters: usize,
+    cheat_prob: f64,
+    seed: u64,
+) -> RedundancyPoint {
+    let mut behaviours = vec![Behaviour::Cheater { cheat_prob }; cheaters];
+    behaviours.extend(std::iter::repeat_n(Behaviour::Honest, honest));
+    let mut world = GridWorld::new(seed, DiscoveryMode::Flooding);
+    let (ctrl, _) = world.add_peer(HostSpec::lan_workstation());
+    let mut farm = FarmScheduler::new(&world, ctrl, FarmConfig::default());
+    let horizon = SimTime::from_secs(10_000_000);
+    for _ in 0..behaviours.len() {
+        let spec = HostSpec::lan_workstation();
+        let (peer, _) = world.add_peer(spec.clone());
+        farm.add_worker(
+            &mut world,
+            WorkerSetup {
+                peer,
+                spec,
+                trace: AvailabilityTrace::always(horizon),
+                cache_bytes: 1 << 20,
+            },
+        );
+    }
+    let mut voting = VotingFarm::new(
+        RedundancyConfig { replicas, quorum },
+        behaviours.clone(),
+        seed,
+    );
+    for _ in 0..units {
+        voting.submit_unit(
+            &mut farm,
+            &mut world.sim,
+            &mut world.net,
+            JobSpec {
+                work_gigacycles: 10.0,
+                input_bytes: 10_000,
+                output_bytes: 1_000,
+                module: None,
+            },
+        );
+    }
+    run_farm(&mut world, &mut farm);
+    let (verdicts, reps) = voting.tally(&farm);
+    // Wrong-accept accounting: with quorum 1 (no redundancy), a cheater's
+    // wrong digest is accepted whenever it executed the unit. In general a
+    // wrong result is accepted when the winning digest differs from the
+    // truth — detectable here because honest workers all return the truth,
+    // so a unit is wrongly accepted iff every counted replica came from
+    // cheaters that cheated. We recover it from the verdicts: an accepted
+    // unit with *no* dissenters where all replicas ran on cheaters that
+    // cheat with probability 1 is wrong. For fractional cheat rates we
+    // detect it exactly by re-deriving the winning digest.
+    let mut wrong_accepted = 0;
+    let mut unresolved = 0;
+    let mut cheats_caught = 0;
+    for (i, v) in verdicts.iter().enumerate() {
+        match v {
+            Verdict::Accepted { dissenters } => {
+                cheats_caught += dissenters.len();
+                if voting.accepted_digest_is_wrong(&farm, i) {
+                    wrong_accepted += 1;
+                }
+            }
+            Verdict::Unresolved => unresolved += 1,
+            Verdict::Incomplete => {}
+        }
+    }
+    let cheater_ids: Vec<WorkerId> = (0..cheaters as u32).map(WorkerId).collect();
+    let observed: Vec<f64> = cheater_ids
+        .iter()
+        .filter_map(|w| reps.get(w))
+        .map(|r| r.score())
+        .collect();
+    let cheater_score = if observed.is_empty() {
+        1.0
+    } else {
+        observed.iter().sum::<f64>() / observed.len() as f64
+    };
+    RedundancyPoint {
+        replicas,
+        quorum,
+        units,
+        wrong_accepted,
+        unresolved,
+        cheats_caught,
+        overhead: replicas as f64,
+        cheater_score,
+    }
+}
+
+pub fn report() -> String {
+    let configs = [(1usize, 1usize), (2, 2), (3, 2), (5, 3)];
+    let rows: Vec<Vec<String>> = configs
+        .iter()
+        .map(|&(r, q)| {
+            let p = run_config(r, q, 40, 8, 2, 0.5, 0xE12);
+            vec![
+                format!("{r}/{q}"),
+                p.units.to_string(),
+                p.wrong_accepted.to_string(),
+                p.unresolved.to_string(),
+                p.cheats_caught.to_string(),
+                table::f(p.overhead, 1),
+                table::f(p.cheater_score, 2),
+            ]
+        })
+        .collect();
+    format!(
+        "E12 Redundant execution vs cheating volunteers\n\
+         (40 units, 8 honest + 2 cheaters at 50% cheat rate)\n\n{}",
+        table::render(
+            &[
+                "repl/quorum",
+                "units",
+                "wrong ok'd",
+                "unresolved",
+                "caught",
+                "overhead x",
+                "cheater rep"
+            ],
+            &rows
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_redundancy_accepts_wrong_results() {
+        let p = run_config(1, 1, 40, 8, 2, 1.0, 3);
+        assert!(
+            p.wrong_accepted > 0,
+            "always-cheaters with no replication must slip through: {p:?}"
+        );
+        assert_eq!(p.cheats_caught, 0, "nothing to compare against");
+    }
+
+    #[test]
+    fn triple_redundancy_outvotes_cheaters() {
+        let p = run_config(3, 2, 40, 8, 2, 1.0, 5);
+        assert_eq!(p.wrong_accepted, 0, "{p:?}");
+        assert!(p.cheats_caught > 0, "{p:?}");
+        assert!(p.cheater_score < 0.5, "{p:?}");
+    }
+
+    #[test]
+    fn overhead_is_the_replication_factor() {
+        for (r, q) in [(1, 1), (3, 2), (5, 3)] {
+            let p = run_config(r, q, 10, 6, 0, 0.0, 7);
+            assert_eq!(p.overhead, r as f64);
+            assert_eq!(p.wrong_accepted, 0);
+            assert_eq!(p.cheats_caught, 0);
+        }
+    }
+
+    #[test]
+    fn pair_replication_detects_but_cannot_decide() {
+        // 2 replicas, quorum 2: a disagreement leaves no majority.
+        let p = run_config(2, 2, 40, 6, 3, 1.0, 9);
+        assert!(p.unresolved > 0, "{p:?}");
+        assert_eq!(p.wrong_accepted, 0, "{p:?}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Checkpointing and migration support (§3.6.2: "a check-pointing mechanism
+//! may also be employed to migrate computation if necessary").
+//!
+//! A running job periodically persists a checkpoint of its progress. When
+//! its worker churns away, the job migrates to another worker and resumes
+//! from the last checkpoint instead of from scratch — the difference
+//! measured by experiment E10.
+
+use netsim::Duration;
+
+/// When and how big checkpoints are.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CheckpointPolicy {
+    /// Wall interval between checkpoints of a running job.
+    pub interval: Duration,
+    /// Size of a checkpoint image on the wire (transferred on migration).
+    pub image_bytes: u64,
+}
+
+impl CheckpointPolicy {
+    pub fn every(interval: Duration, image_bytes: u64) -> Self {
+        CheckpointPolicy {
+            interval,
+            image_bytes,
+        }
+    }
+}
+
+/// Progress snapshot of one job.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Checkpoint {
+    /// Completed fraction of the job's work, in [0, 1].
+    pub fraction: f64,
+}
+
+impl Checkpoint {
+    /// The checkpointed fraction after `ran_for` out of `total` execution
+    /// time under `policy` — progress rounds *down* to the last completed
+    /// checkpoint boundary. Without a policy the fraction is always 0
+    /// (restart from scratch).
+    pub fn after(
+        policy: Option<&CheckpointPolicy>,
+        ran_for: Duration,
+        total: Duration,
+    ) -> Checkpoint {
+        let Some(policy) = policy else {
+            return Checkpoint { fraction: 0.0 };
+        };
+        if total.is_zero() || policy.interval.is_zero() {
+            return Checkpoint { fraction: 0.0 };
+        }
+        let completed_intervals = ran_for.as_micros() / policy.interval.as_micros();
+        let saved = policy.interval.as_micros() * completed_intervals;
+        let fraction = (saved as f64 / total.as_micros() as f64).min(1.0);
+        Checkpoint { fraction }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_policy_means_restart_from_zero() {
+        let cp = Checkpoint::after(None, Duration::from_secs(100), Duration::from_secs(200));
+        assert_eq!(cp.fraction, 0.0);
+    }
+
+    #[test]
+    fn progress_rounds_down_to_checkpoint_boundary() {
+        let p = CheckpointPolicy::every(Duration::from_secs(60), 1_000);
+        // Ran 150 s of a 600 s job: last checkpoint at 120 s -> 20%.
+        let cp = Checkpoint::after(Some(&p), Duration::from_secs(150), Duration::from_secs(600));
+        assert!((cp.fraction - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_capped_at_one() {
+        let p = CheckpointPolicy::every(Duration::from_secs(10), 0);
+        let cp = Checkpoint::after(Some(&p), Duration::from_secs(999), Duration::from_secs(100));
+        assert_eq!(cp.fraction, 1.0);
+    }
+
+    #[test]
+    fn sub_interval_progress_saves_nothing() {
+        let p = CheckpointPolicy::every(Duration::from_secs(60), 0);
+        let cp = Checkpoint::after(Some(&p), Duration::from_secs(59), Duration::from_secs(600));
+        assert_eq!(cp.fraction, 0.0);
+    }
+
+    #[test]
+    fn zero_total_or_interval_is_safe() {
+        let p = CheckpointPolicy::every(Duration::ZERO, 0);
+        let cp = Checkpoint::after(Some(&p), Duration::from_secs(10), Duration::from_secs(100));
+        assert_eq!(cp.fraction, 0.0);
+        let p2 = CheckpointPolicy::every(Duration::from_secs(1), 0);
+        let cp2 = Checkpoint::after(Some(&p2), Duration::from_secs(10), Duration::ZERO);
+        assert_eq!(cp2.fraction, 0.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! The Triana data model: typed tokens flowing along cables.
+//!
+//! §3.1: Triana "provides a set of built-in data types that can be used to
+//! connect different Peer services – and undertake type checking on their
+//! connectivity". The variants below cover the paper's domains: signal
+//! analysis (Figure 1/2), galaxy particle snapshots (Case 1), gravitational
+//! wave chunks (Case 2), and tabular database records (Case 3).
+
+use std::fmt;
+
+/// A 3-D particle snapshot (Case 1: "binary data files that represent a
+/// series of particles in three dimensions, along with their associated
+/// properties as a snap shot in time").
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParticleSet {
+    /// Snapshot time in simulation units.
+    pub time: f64,
+    /// Positions, xyz per particle.
+    pub pos: Vec<[f64; 3]>,
+    /// Particle masses.
+    pub mass: Vec<f64>,
+    /// SPH smoothing lengths.
+    pub smoothing: Vec<f64>,
+}
+
+impl ParticleSet {
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// Internal consistency: all per-particle arrays the same length.
+    pub fn is_consistent(&self) -> bool {
+        self.mass.len() == self.pos.len() && self.smoothing.len() == self.pos.len()
+    }
+}
+
+/// A rectangular numeric table with named columns (Case 3).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl Table {
+    pub fn new(columns: Vec<String>) -> Self {
+        Table {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// All rows have the declared width.
+    pub fn is_rectangular(&self) -> bool {
+        self.rows.iter().all(|r| r.len() == self.columns.len())
+    }
+}
+
+/// A data token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrianaData {
+    /// A single number (parameters, statistics, control values).
+    Scalar(f64),
+    /// Free text (status, queries).
+    Text(String),
+    /// A uniformly sampled time series.
+    SampleSet { rate_hz: f64, samples: Vec<f64> },
+    /// A one-sided power spectrum with bin width `df_hz`.
+    Spectrum { df_hz: f64, power: Vec<f64> },
+    /// A complex spectrum (interleaved-free: parallel re/im arrays).
+    ComplexSpectrum {
+        df_hz: f64,
+        re: Vec<f64>,
+        im: Vec<f64>,
+    },
+    /// A rendered 2-D image (row-major intensity).
+    ImageFrame {
+        width: u32,
+        height: u32,
+        pixels: Vec<f64>,
+    },
+    /// A particle snapshot.
+    Particles(ParticleSet),
+    /// A numeric table.
+    Table(Table),
+    /// Raw bytes (module blobs, opaque payloads).
+    Bytes(Vec<u8>),
+}
+
+/// The type tag of a token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Scalar,
+    Text,
+    SampleSet,
+    Spectrum,
+    ComplexSpectrum,
+    ImageFrame,
+    Particles,
+    Table,
+    Bytes,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Scalar => "Scalar",
+            DataType::Text => "Text",
+            DataType::SampleSet => "SampleSet",
+            DataType::Spectrum => "Spectrum",
+            DataType::ComplexSpectrum => "ComplexSpectrum",
+            DataType::ImageFrame => "ImageFrame",
+            DataType::Particles => "Particles",
+            DataType::Table => "Table",
+            DataType::Bytes => "Bytes",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What a unit input port accepts.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TypeSpec {
+    Exact(DataType),
+    OneOf(Vec<DataType>),
+    Any,
+}
+
+impl TypeSpec {
+    pub fn accepts(&self, t: DataType) -> bool {
+        match self {
+            TypeSpec::Exact(e) => *e == t,
+            TypeSpec::OneOf(ts) => ts.contains(&t),
+            TypeSpec::Any => true,
+        }
+    }
+}
+
+impl fmt::Display for TypeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeSpec::Exact(t) => write!(f, "{t}"),
+            TypeSpec::OneOf(ts) => {
+                let names: Vec<String> = ts.iter().map(|t| t.to_string()).collect();
+                write!(f, "{}", names.join("|"))
+            }
+            TypeSpec::Any => write!(f, "Any"),
+        }
+    }
+}
+
+impl TrianaData {
+    pub fn dtype(&self) -> DataType {
+        match self {
+            TrianaData::Scalar(_) => DataType::Scalar,
+            TrianaData::Text(_) => DataType::Text,
+            TrianaData::SampleSet { .. } => DataType::SampleSet,
+            TrianaData::Spectrum { .. } => DataType::Spectrum,
+            TrianaData::ComplexSpectrum { .. } => DataType::ComplexSpectrum,
+            TrianaData::ImageFrame { .. } => DataType::ImageFrame,
+            TrianaData::Particles(_) => DataType::Particles,
+            TrianaData::Table(_) => DataType::Table,
+            TrianaData::Bytes(_) => DataType::Bytes,
+        }
+    }
+
+    /// Approximate serialized size, used by the network model when a token
+    /// crosses peers. Matches the paper's Case 2 arithmetic: samples are
+    /// 4-byte values ("stored in 4 bytes").
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            TrianaData::Scalar(_) => 16,
+            TrianaData::Text(s) => 16 + s.len() as u64,
+            TrianaData::SampleSet { samples, .. } => 24 + 4 * samples.len() as u64,
+            TrianaData::Spectrum { power, .. } => 24 + 4 * power.len() as u64,
+            TrianaData::ComplexSpectrum { re, im, .. } => {
+                24 + 4 * (re.len() + im.len()) as u64
+            }
+            TrianaData::ImageFrame { pixels, .. } => 24 + 4 * pixels.len() as u64,
+            // pos(3) + mass + smoothing = 5 floats of 4 bytes per particle
+            TrianaData::Particles(p) => 32 + 20 * p.len() as u64,
+            TrianaData::Table(t) => {
+                let header: u64 = t.columns.iter().map(|c| c.len() as u64 + 4).sum();
+                16 + header + (t.n_rows() * t.n_cols()) as u64 * 8
+            }
+            TrianaData::Bytes(b) => 16 + b.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_tags_match_variants() {
+        assert_eq!(TrianaData::Scalar(1.0).dtype(), DataType::Scalar);
+        assert_eq!(
+            TrianaData::SampleSet {
+                rate_hz: 1.0,
+                samples: vec![]
+            }
+            .dtype(),
+            DataType::SampleSet
+        );
+        assert_eq!(TrianaData::Bytes(vec![]).dtype(), DataType::Bytes);
+    }
+
+    #[test]
+    fn typespec_acceptance() {
+        assert!(TypeSpec::Any.accepts(DataType::Table));
+        assert!(TypeSpec::Exact(DataType::Scalar).accepts(DataType::Scalar));
+        assert!(!TypeSpec::Exact(DataType::Scalar).accepts(DataType::Text));
+        let union = TypeSpec::OneOf(vec![DataType::SampleSet, DataType::Spectrum]);
+        assert!(union.accepts(DataType::Spectrum));
+        assert!(!union.accepts(DataType::Bytes));
+    }
+
+    #[test]
+    fn case2_chunk_wire_size_matches_paper() {
+        // "2,000 samples per second … chunks of 15 minutes … results in a
+        // 7.2MB of data (4 x 900 x 2000)".
+        let chunk = TrianaData::SampleSet {
+            rate_hz: 2_000.0,
+            samples: vec![0.0; 900 * 2_000],
+        };
+        let sz = chunk.wire_size();
+        assert!((sz as i64 - 7_200_000).unsigned_abs() < 100, "{sz}");
+    }
+
+    #[test]
+    fn particle_set_consistency() {
+        let ok = ParticleSet {
+            time: 0.0,
+            pos: vec![[0.0; 3]; 3],
+            mass: vec![1.0; 3],
+            smoothing: vec![0.1; 3],
+        };
+        assert!(ok.is_consistent());
+        assert_eq!(ok.len(), 3);
+        let bad = ParticleSet {
+            mass: vec![1.0; 2],
+            ..ok.clone()
+        };
+        assert!(!bad.is_consistent());
+    }
+
+    #[test]
+    fn table_shape_checks() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.rows.push(vec![1.0, 2.0]);
+        assert!(t.is_rectangular());
+        assert_eq!(t.column_index("b"), Some(1));
+        assert_eq!(t.column_index("z"), None);
+        t.rows.push(vec![3.0]);
+        assert!(!t.is_rectangular());
+    }
+
+    #[test]
+    fn wire_sizes_scale_with_payload() {
+        let small = TrianaData::ImageFrame {
+            width: 2,
+            height: 2,
+            pixels: vec![0.0; 4],
+        };
+        let big = TrianaData::ImageFrame {
+            width: 100,
+            height: 100,
+            pixels: vec![0.0; 10_000],
+        };
+        assert!(big.wire_size() > small.wire_size() * 100);
+    }
+}

@@ -1,0 +1,490 @@
+//! The local execution engine ("the Triana engine", §3.1).
+//!
+//! Runs a validated task graph on the local host, either single-threaded
+//! (deterministic reference semantics) or with one thread per task connected
+//! by channels — real pipeline/task parallelism on the host, the same
+//! dataflow the Consumer Grid distributes across peers. Both modes produce
+//! identical results for the same graph and iteration count: units fire
+//! once per iteration, consuming one token per input port and producing one
+//! token per output port.
+
+use crate::data::TrianaData;
+use crate::graph::{GraphError, TaskGraph, TaskId};
+use crate::unit::{Unit, UnitError, UnitRegistry};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Engine failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    Graph(GraphError),
+    Unit { task: TaskId, error: UnitError },
+    /// A worker thread disappeared without reporting (channel torn down).
+    Internal(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Graph(e) => write!(f, "graph error: {e}"),
+            EngineError::Unit { task, error } => write!(f, "{task:?}: {error}"),
+            EngineError::Internal(m) => write!(f, "engine internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<GraphError> for EngineError {
+    fn from(e: GraphError) -> Self {
+        EngineError::Graph(e)
+    }
+}
+
+/// Execution configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// How many times source units fire (Figure 2 uses 20 iterations).
+    pub iterations: usize,
+    /// Thread-per-task pipeline parallelism vs. sequential reference mode.
+    pub threaded: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            iterations: 1,
+            threaded: true,
+        }
+    }
+}
+
+/// Tokens collected at every unconnected output port, in firing order.
+#[derive(Debug, Default)]
+pub struct RunResult {
+    pub outputs: BTreeMap<(TaskId, usize), Vec<TrianaData>>,
+}
+
+impl RunResult {
+    /// All tokens from the single unconnected port of the named task.
+    pub fn of(&self, graph: &TaskGraph, task_name: &str) -> &[TrianaData] {
+        graph
+            .task_by_name(task_name)
+            .and_then(|t| {
+                self.outputs
+                    .iter()
+                    .find(|((tid, _), _)| *tid == t.id)
+                    .map(|(_, v)| v.as_slice())
+            })
+            .unwrap_or(&[])
+    }
+
+    /// The last token produced at the given collection point.
+    pub fn last_of(&self, graph: &TaskGraph, task_name: &str) -> Option<&TrianaData> {
+        self.of(graph, task_name).last()
+    }
+}
+
+/// Validate, type-check, instantiate, and run a graph.
+pub fn run_graph(
+    graph: &TaskGraph,
+    registry: &UnitRegistry,
+    config: &EngineConfig,
+) -> Result<RunResult, EngineError> {
+    graph.validate()?;
+    graph.typecheck(registry)?;
+    let mut units: Vec<Box<dyn Unit>> = Vec::with_capacity(graph.tasks.len());
+    for t in &graph.tasks {
+        units.push(
+            registry
+                .create(&t.unit_type, &t.params)
+                .map_err(|error| EngineError::Unit {
+                    task: t.id,
+                    error,
+                })?,
+        );
+    }
+    if config.threaded {
+        run_threaded(graph, units, config.iterations)
+    } else {
+        run_sequential(graph, units, config.iterations)
+    }
+}
+
+fn run_sequential(
+    graph: &TaskGraph,
+    mut units: Vec<Box<dyn Unit>>,
+    iterations: usize,
+) -> Result<RunResult, EngineError> {
+    let order = graph.topo_order()?;
+    let mut result = RunResult::default();
+    let collect_ports = graph.unconnected_outputs();
+    // One FIFO per cable.
+    let mut queues: BTreeMap<(TaskId, usize, TaskId, usize), Vec<TrianaData>> = BTreeMap::new();
+    for _ in 0..iterations {
+        for &tid in &order {
+            let task = graph.task(tid)?;
+            let mut inputs = Vec::with_capacity(task.n_in);
+            for c in graph.in_cables(tid) {
+                let q = queues
+                    .get_mut(&(c.from.0, c.from.1, c.to.0, c.to.1))
+                    .ok_or_else(|| EngineError::Internal("missing queue".into()))?;
+                inputs.push(q.remove(0));
+            }
+            let outputs = units[tid.0 as usize]
+                .process(inputs)
+                .map_err(|error| EngineError::Unit { task: tid, error })?;
+            if outputs.len() != task.n_out {
+                return Err(EngineError::Unit {
+                    task: tid,
+                    error: UnitError::ArityMismatch {
+                        expected: task.n_out,
+                        got: outputs.len(),
+                    },
+                });
+            }
+            for (port, token) in outputs.into_iter().enumerate() {
+                let consumers: Vec<_> = graph
+                    .out_cables(tid)
+                    .into_iter()
+                    .filter(|c| c.from.1 == port)
+                    .collect();
+                if consumers.is_empty() {
+                    result.outputs.entry((tid, port)).or_default().push(token);
+                } else {
+                    for c in consumers {
+                        queues
+                            .entry((c.from.0, c.from.1, c.to.0, c.to.1))
+                            .or_default()
+                            .push(token.clone());
+                    }
+                }
+            }
+        }
+    }
+    for (t, p) in collect_ports {
+        result.outputs.entry((t, p)).or_default();
+    }
+    Ok(result)
+}
+
+fn run_threaded(
+    graph: &TaskGraph,
+    units: Vec<Box<dyn Unit>>,
+    iterations: usize,
+) -> Result<RunResult, EngineError> {
+    // Channel per cable; collector channel per unconnected output port.
+    let mut senders: BTreeMap<TaskId, Vec<(usize, Sender<TrianaData>)>> = BTreeMap::new();
+    let mut receivers: BTreeMap<TaskId, Vec<(usize, Receiver<TrianaData>)>> = BTreeMap::new();
+    for c in &graph.cables {
+        let (tx, rx) = unbounded();
+        senders.entry(c.from.0).or_default().push((c.from.1, tx));
+        receivers.entry(c.to.0).or_default().push((c.to.1, rx));
+    }
+    let mut collectors: Vec<((TaskId, usize), Receiver<TrianaData>)> = Vec::new();
+    for (t, p) in graph.unconnected_outputs() {
+        let (tx, rx) = unbounded();
+        senders.entry(t).or_default().push((p, tx));
+        collectors.push(((t, p), rx));
+    }
+    let (err_tx, err_rx) = unbounded::<EngineError>();
+
+    let mut result = RunResult::default();
+    std::thread::scope(|scope| {
+        for (tid, mut unit) in graph.tasks.iter().map(|t| t.id).zip(units) {
+            let task = graph.task(tid).expect("validated");
+            let n_out = task.n_out;
+            let mut my_rx = receivers.remove(&tid).unwrap_or_default();
+            my_rx.sort_by_key(|(p, _)| *p);
+            let my_tx = senders.remove(&tid).unwrap_or_default();
+            let err_tx = err_tx.clone();
+            scope.spawn(move || {
+                for _iter in 0..iterations {
+                    let mut inputs = Vec::with_capacity(my_rx.len());
+                    for (_, rx) in &my_rx {
+                        match rx.recv() {
+                            Ok(tok) => inputs.push(tok),
+                            // Upstream stopped early (error path): stop too.
+                            Err(_) => return,
+                        }
+                    }
+                    let outputs = match unit.process(inputs) {
+                        Ok(o) => o,
+                        Err(error) => {
+                            let _ = err_tx.send(EngineError::Unit { task: tid, error });
+                            return;
+                        }
+                    };
+                    if outputs.len() != n_out {
+                        let _ = err_tx.send(EngineError::Unit {
+                            task: tid,
+                            error: UnitError::ArityMismatch {
+                                expected: n_out,
+                                got: outputs.len(),
+                            },
+                        });
+                        return;
+                    }
+                    for (port, token) in outputs.into_iter().enumerate() {
+                        for (p, tx) in &my_tx {
+                            if *p == port {
+                                // A closed downstream means an error was
+                                // reported there; just stop quietly.
+                                if tx.send(token.clone()).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        drop(err_tx);
+        // Drain collectors on this thread while workers run.
+        for ((t, p), rx) in collectors {
+            let bucket = result.outputs.entry((t, p)).or_default();
+            while let Ok(tok) = rx.recv() {
+                bucket.push(tok);
+            }
+        }
+    });
+    if let Ok(e) = err_rx.try_recv() {
+        return Err(e);
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit::test_units::test_registry;
+    use crate::unit::Params;
+
+    fn diamond() -> (TaskGraph, UnitRegistry) {
+        let reg = test_registry();
+        let mut g = TaskGraph::new("diamond");
+        let c = g.add_task(&reg, "Counter", "c", Params::new()).unwrap();
+        let s1 = g
+            .add_task(
+                &reg,
+                "Scale",
+                "s1",
+                Params::from([("k".to_string(), "2".to_string())]),
+            )
+            .unwrap();
+        let s2 = g
+            .add_task(
+                &reg,
+                "Scale",
+                "s2",
+                Params::from([("k".to_string(), "10".to_string())]),
+            )
+            .unwrap();
+        let add = g.add_task(&reg, "Add", "add", Params::new()).unwrap();
+        g.connect(c, 0, s1, 0).unwrap();
+        g.connect(c, 0, s2, 0).unwrap();
+        g.connect(s1, 0, add, 0).unwrap();
+        g.connect(s2, 0, add, 1).unwrap();
+        (g, reg)
+    }
+
+    fn scalars(tokens: &[TrianaData]) -> Vec<f64> {
+        tokens
+            .iter()
+            .map(|t| match t {
+                TrianaData::Scalar(x) => *x,
+                other => panic!("expected scalar, got {other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sequential_diamond_twelve_x() {
+        let (g, reg) = diamond();
+        let r = run_graph(
+            &g,
+            &reg,
+            &EngineConfig {
+                iterations: 5,
+                threaded: false,
+            },
+        )
+        .unwrap();
+        // add = 2*i + 10*i = 12*i
+        assert_eq!(scalars(r.of(&g, "add")), vec![0.0, 12.0, 24.0, 36.0, 48.0]);
+    }
+
+    #[test]
+    fn threaded_matches_sequential() {
+        let (g, reg) = diamond();
+        let seq = run_graph(
+            &g,
+            &reg,
+            &EngineConfig {
+                iterations: 20,
+                threaded: false,
+            },
+        )
+        .unwrap();
+        let par = run_graph(
+            &g,
+            &reg,
+            &EngineConfig {
+                iterations: 20,
+                threaded: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(seq.outputs, par.outputs);
+    }
+
+    #[test]
+    fn fanout_clones_tokens() {
+        let reg = test_registry();
+        let mut g = TaskGraph::new("fan");
+        let c = g.add_task(&reg, "Counter", "c", Params::new()).unwrap();
+        let a = g
+            .add_task(
+                &reg,
+                "Scale",
+                "a",
+                Params::from([("k".to_string(), "1".to_string())]),
+            )
+            .unwrap();
+        let b = g
+            .add_task(
+                &reg,
+                "Scale",
+                "b",
+                Params::from([("k".to_string(), "-1".to_string())]),
+            )
+            .unwrap();
+        g.connect(c, 0, a, 0).unwrap();
+        g.connect(c, 0, b, 0).unwrap();
+        let r = run_graph(
+            &g,
+            &reg,
+            &EngineConfig {
+                iterations: 3,
+                threaded: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(scalars(r.of(&g, "a")), vec![0.0, 1.0, 2.0]);
+        assert_eq!(scalars(r.of(&g, "b")), vec![0.0, -1.0, -2.0]);
+    }
+
+    #[test]
+    fn unit_error_surfaces_with_task_id() {
+        let reg = test_registry();
+        let mut g = TaskGraph::new("err");
+        // Add expects two scalars; wire only... actually wire both from one
+        // counter but register a failing unit instead.
+        let mut reg2 = reg.clone();
+        reg2.register("Fail", |_p| {
+            struct F;
+            impl Unit for F {
+                fn type_name(&self) -> &str {
+                    "Fail"
+                }
+                fn input_types(&self) -> Vec<crate::data::TypeSpec> {
+                    vec![crate::data::TypeSpec::Any]
+                }
+                fn output_types(&self) -> Vec<crate::data::DataType> {
+                    vec![crate::data::DataType::Scalar]
+                }
+                fn process(
+                    &mut self,
+                    _i: Vec<TrianaData>,
+                ) -> Result<Vec<TrianaData>, UnitError> {
+                    Err(UnitError::Runtime("boom".into()))
+                }
+            }
+            Ok(Box::new(F))
+        });
+        let c = g.add_task(&reg2, "Counter", "c", Params::new()).unwrap();
+        let f = g.add_task(&reg2, "Fail", "f", Params::new()).unwrap();
+        g.connect(c, 0, f, 0).unwrap();
+        for threaded in [false, true] {
+            let e = run_graph(
+                &g,
+                &reg2,
+                &EngineConfig {
+                    iterations: 2,
+                    threaded,
+                },
+            )
+            .unwrap_err();
+            match e {
+                EngineError::Unit { task, error } => {
+                    assert_eq!(task, f);
+                    assert_eq!(error, UnitError::Runtime("boom".into()));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_graph_rejected_before_running() {
+        let reg = test_registry();
+        let mut g = TaskGraph::new("bad");
+        g.add_task(&reg, "Scale", "s", Params::new()).unwrap();
+        assert!(matches!(
+            run_graph(&g, &reg, &EngineConfig::default()),
+            Err(EngineError::Graph(GraphError::InputUnconnected { .. }))
+        ));
+    }
+
+    #[test]
+    fn zero_iterations_runs_nothing() {
+        let (g, reg) = diamond();
+        let r = run_graph(
+            &g,
+            &reg,
+            &EngineConfig {
+                iterations: 0,
+                threaded: true,
+            },
+        )
+        .unwrap();
+        assert!(r.of(&g, "add").is_empty());
+    }
+
+    #[test]
+    fn stateful_units_carry_state_across_iterations() {
+        // Counter's value increments per iteration — verified above; also
+        // confirm sequential mode resets nothing between iterations.
+        let reg = test_registry();
+        let mut g = TaskGraph::new("count");
+        g.add_task(&reg, "Counter", "c", Params::new()).unwrap();
+        let r = run_graph(
+            &g,
+            &reg,
+            &EngineConfig {
+                iterations: 4,
+                threaded: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(scalars(r.of(&g, "c")), vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn result_lookup_helpers() {
+        let (g, reg) = diamond();
+        let r = run_graph(
+            &g,
+            &reg,
+            &EngineConfig {
+                iterations: 2,
+                threaded: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(r.last_of(&g, "add"), Some(&TrianaData::Scalar(12.0)));
+        assert!(r.of(&g, "missing").is_empty());
+        assert_eq!(r.last_of(&g, "missing"), None);
+    }
+}

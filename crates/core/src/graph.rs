@@ -1,0 +1,605 @@
+//! Task graphs: tasks, cables, and group units with distribution policies.
+//!
+//! §3.3: "Group units are aggregate tools which can contain many
+//! interconnected units … Tools have to be grouped in order to be
+//! distributed … Each group has a distribution policy which is, in fact,
+//! implemented as a Triana unit." Two policies exist in the paper and here:
+//! `Parallel` ("a farming out mechanism and generally involves no
+//! communication between hosts") and `PeerToPeer` ("distributing the group
+//! vertically i.e. each unit in the group is distributed onto a separate
+//! resource and data is passed between them").
+
+use crate::unit::{Params, UnitError, UnitRegistry};
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+/// Index of a task within its graph.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u32);
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Index of a group within its graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GroupId(pub u32);
+
+/// One unit instantiation in the graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Task {
+    pub id: TaskId,
+    /// Unique instance name (used for pipe naming, §3.4).
+    pub name: String,
+    /// Toolbox type name.
+    pub unit_type: String,
+    pub params: Params,
+    pub n_in: usize,
+    pub n_out: usize,
+}
+
+/// A dataflow connection between an output port and an input port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cable {
+    pub from: (TaskId, usize),
+    pub to: (TaskId, usize),
+}
+
+/// How a group is distributed over the Consumer Grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DistributionPolicy {
+    /// Farm whole-group clones across peers; scatter tokens, gather in order.
+    Parallel,
+    /// Place each member unit on its own peer; tokens stream through.
+    PeerToPeer,
+}
+
+/// An aggregate of member tasks with a distribution policy (the control
+/// unit of §3.3 is the policy value).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Group {
+    pub id: GroupId,
+    pub name: String,
+    pub members: Vec<TaskId>,
+    pub policy: DistributionPolicy,
+}
+
+/// Graph construction / validation failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphError {
+    DuplicateTaskName(String),
+    UnknownTask(TaskId),
+    PortOutOfRange {
+        task: TaskId,
+        port: usize,
+        is_input: bool,
+    },
+    InputAlreadyDriven { task: TaskId, port: usize },
+    InputUnconnected { task: TaskId, port: usize },
+    Cycle,
+    GroupMemberMissing { group: String, task: TaskId },
+    OverlappingGroups { task: TaskId },
+    EmptyGroup(String),
+    Unit(UnitError),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use GraphError::*;
+        match self {
+            DuplicateTaskName(n) => write!(f, "duplicate task name `{n}`"),
+            UnknownTask(t) => write!(f, "unknown task {t:?}"),
+            PortOutOfRange {
+                task,
+                port,
+                is_input,
+            } => write!(
+                f,
+                "{} port {port} out of range on {task:?}",
+                if *is_input { "input" } else { "output" }
+            ),
+            InputAlreadyDriven { task, port } => {
+                write!(f, "input {port} of {task:?} already has a driver")
+            }
+            InputUnconnected { task, port } => {
+                write!(f, "input {port} of {task:?} is unconnected")
+            }
+            Cycle => write!(f, "task graph contains a cycle"),
+            GroupMemberMissing { group, task } => {
+                write!(f, "group `{group}` references missing {task:?}")
+            }
+            OverlappingGroups { task } => write!(f, "{task:?} belongs to two groups"),
+            EmptyGroup(n) => write!(f, "group `{n}` has no members"),
+            Unit(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<UnitError> for GraphError {
+    fn from(e: UnitError) -> Self {
+        GraphError::Unit(e)
+    }
+}
+
+/// A complete Triana workflow description (the XML task graph of
+/// Code Segment 1, in memory).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TaskGraph {
+    pub name: String,
+    pub tasks: Vec<Task>,
+    pub cables: Vec<Cable>,
+    pub groups: Vec<Group>,
+}
+
+impl TaskGraph {
+    pub fn new(name: &str) -> Self {
+        TaskGraph {
+            name: name.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Add a task whose arity is taken from the registry signature.
+    pub fn add_task(
+        &mut self,
+        registry: &UnitRegistry,
+        unit_type: &str,
+        name: &str,
+        params: Params,
+    ) -> Result<TaskId, GraphError> {
+        let (ins, outs) = registry.signature(unit_type, &params)?;
+        self.add_task_raw(unit_type, name, params, ins.len(), outs.len())
+    }
+
+    /// Add a task with explicit arity (used by the XML loader, which may
+    /// not have the toolbox at hand).
+    pub fn add_task_raw(
+        &mut self,
+        unit_type: &str,
+        name: &str,
+        params: Params,
+        n_in: usize,
+        n_out: usize,
+    ) -> Result<TaskId, GraphError> {
+        if self.tasks.iter().any(|t| t.name == name) {
+            return Err(GraphError::DuplicateTaskName(name.to_string()));
+        }
+        let id = TaskId(self.tasks.len() as u32);
+        self.tasks.push(Task {
+            id,
+            name: name.to_string(),
+            unit_type: unit_type.to_string(),
+            params,
+            n_in,
+            n_out,
+        });
+        Ok(id)
+    }
+
+    pub fn task(&self, id: TaskId) -> Result<&Task, GraphError> {
+        self.tasks
+            .get(id.0 as usize)
+            .ok_or(GraphError::UnknownTask(id))
+    }
+
+    pub fn task_by_name(&self, name: &str) -> Option<&Task> {
+        self.tasks.iter().find(|t| t.name == name)
+    }
+
+    /// Connect an output port to an input port (one driver per input).
+    pub fn connect(
+        &mut self,
+        from: TaskId,
+        from_port: usize,
+        to: TaskId,
+        to_port: usize,
+    ) -> Result<(), GraphError> {
+        let ft = self.task(from)?;
+        if from_port >= ft.n_out {
+            return Err(GraphError::PortOutOfRange {
+                task: from,
+                port: from_port,
+                is_input: false,
+            });
+        }
+        let tt = self.task(to)?;
+        if to_port >= tt.n_in {
+            return Err(GraphError::PortOutOfRange {
+                task: to,
+                port: to_port,
+                is_input: true,
+            });
+        }
+        if self.cables.iter().any(|c| c.to == (to, to_port)) {
+            return Err(GraphError::InputAlreadyDriven {
+                task: to,
+                port: to_port,
+            });
+        }
+        self.cables.push(Cable {
+            from: (from, from_port),
+            to: (to, to_port),
+        });
+        Ok(())
+    }
+
+    /// Declare a group over member tasks.
+    pub fn add_group(
+        &mut self,
+        name: &str,
+        members: Vec<TaskId>,
+        policy: DistributionPolicy,
+    ) -> Result<GroupId, GraphError> {
+        if members.is_empty() {
+            return Err(GraphError::EmptyGroup(name.to_string()));
+        }
+        for &m in &members {
+            self.task(m).map_err(|_| GraphError::GroupMemberMissing {
+                group: name.to_string(),
+                task: m,
+            })?;
+            if self.groups.iter().any(|g| g.members.contains(&m)) {
+                return Err(GraphError::OverlappingGroups { task: m });
+            }
+        }
+        let id = GroupId(self.groups.len() as u32);
+        self.groups.push(Group {
+            id,
+            name: name.to_string(),
+            members,
+            policy,
+        });
+        Ok(id)
+    }
+
+    pub fn group(&self, id: GroupId) -> Option<&Group> {
+        self.groups.get(id.0 as usize)
+    }
+
+    /// Cables feeding `task`'s inputs, ordered by input port.
+    pub fn in_cables(&self, task: TaskId) -> Vec<Cable> {
+        let mut cs: Vec<Cable> = self
+            .cables
+            .iter()
+            .copied()
+            .filter(|c| c.to.0 == task)
+            .collect();
+        cs.sort_by_key(|c| c.to.1);
+        cs
+    }
+
+    /// Cables leaving `task`'s outputs.
+    pub fn out_cables(&self, task: TaskId) -> Vec<Cable> {
+        self.cables
+            .iter()
+            .copied()
+            .filter(|c| c.from.0 == task)
+            .collect()
+    }
+
+    /// Output ports with no cable attached — where run results are
+    /// collected (the Grapher role when no explicit sink exists).
+    pub fn unconnected_outputs(&self) -> Vec<(TaskId, usize)> {
+        let mut out = Vec::new();
+        for t in &self.tasks {
+            for p in 0..t.n_out {
+                if !self.cables.iter().any(|c| c.from == (t.id, p)) {
+                    out.push((t.id, p));
+                }
+            }
+        }
+        out
+    }
+
+    /// Structural validation: every input driven exactly once, all ports in
+    /// range (guaranteed by `connect`), acyclicity.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        for t in &self.tasks {
+            for p in 0..t.n_in {
+                let drivers = self.cables.iter().filter(|c| c.to == (t.id, p)).count();
+                match drivers {
+                    0 => {
+                        return Err(GraphError::InputUnconnected {
+                            task: t.id,
+                            port: p,
+                        })
+                    }
+                    1 => {}
+                    _ => {
+                        return Err(GraphError::InputAlreadyDriven {
+                            task: t.id,
+                            port: p,
+                        })
+                    }
+                }
+            }
+        }
+        self.topo_order().map(|_| ())
+    }
+
+    /// Kahn topological order (deterministic: lowest task id first).
+    pub fn topo_order(&self) -> Result<Vec<TaskId>, GraphError> {
+        let n = self.tasks.len();
+        let mut indeg = vec![0usize; n];
+        for c in &self.cables {
+            indeg[c.to.0 .0 as usize] += 1;
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(&i) = ready.iter().min() {
+            ready.retain(|&x| x != i);
+            order.push(TaskId(i as u32));
+            for c in &self.cables {
+                if c.from.0 .0 as usize == i {
+                    let j = c.to.0 .0 as usize;
+                    indeg[j] -= 1;
+                    if indeg[j] == 0 {
+                        ready.push(j);
+                    }
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err(GraphError::Cycle)
+        }
+    }
+
+    /// Type-check every cable against the registry signatures (§3.1 type
+    /// checking on connectivity).
+    pub fn typecheck(&self, registry: &UnitRegistry) -> Result<(), GraphError> {
+        let mut sigs = BTreeMap::new();
+        for t in &self.tasks {
+            let sig = registry.signature(&t.unit_type, &t.params)?;
+            sigs.insert(t.id, sig);
+        }
+        for c in &self.cables {
+            let out_ty = sigs[&c.from.0].1[c.from.1];
+            let in_spec = &sigs[&c.to.0].0[c.to.1];
+            if !in_spec.accepts(out_ty) {
+                return Err(GraphError::Unit(UnitError::TypeMismatch {
+                    port: c.to.1,
+                    expected: in_spec.to_string(),
+                    got: out_ty,
+                }));
+            }
+        }
+        Ok(())
+    }
+
+    /// The cables crossing into and out of a group: `(incoming, outgoing)`.
+    /// Incoming cables end on a member but start outside; outgoing start on
+    /// a member and end outside. Their order defines the group's external
+    /// port numbering (Code Segment 1's `node0` mapping).
+    pub fn group_boundary(&self, gid: GroupId) -> (Vec<Cable>, Vec<Cable>) {
+        let members: HashSet<TaskId> = match self.group(gid) {
+            Some(g) => g.members.iter().copied().collect(),
+            None => return (Vec::new(), Vec::new()),
+        };
+        let incoming = self
+            .cables
+            .iter()
+            .copied()
+            .filter(|c| members.contains(&c.to.0) && !members.contains(&c.from.0))
+            .collect();
+        let outgoing = self
+            .cables
+            .iter()
+            .copied()
+            .filter(|c| members.contains(&c.from.0) && !members.contains(&c.to.0))
+            .collect();
+        (incoming, outgoing)
+    }
+
+    /// Cables strictly inside a group.
+    pub fn group_internal_cables(&self, gid: GroupId) -> Vec<Cable> {
+        let members: HashSet<TaskId> = match self.group(gid) {
+            Some(g) => g.members.iter().copied().collect(),
+            None => return Vec::new(),
+        };
+        self.cables
+            .iter()
+            .copied()
+            .filter(|c| members.contains(&c.from.0) && members.contains(&c.to.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit::test_units::test_registry;
+
+    /// Counter -> Scale -> (unconnected): the simplest pipeline.
+    fn chain() -> (TaskGraph, TaskId, TaskId) {
+        let reg = test_registry();
+        let mut g = TaskGraph::new("chain");
+        let c = g.add_task(&reg, "Counter", "c", Params::new()).unwrap();
+        let s = g.add_task(&reg, "Scale", "s", Params::new()).unwrap();
+        g.connect(c, 0, s, 0).unwrap();
+        (g, c, s)
+    }
+
+    #[test]
+    fn build_validate_typecheck() {
+        let (g, _, s) = chain();
+        g.validate().unwrap();
+        g.typecheck(&test_registry()).unwrap();
+        assert_eq!(g.unconnected_outputs(), vec![(s, 0)]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let reg = test_registry();
+        let mut g = TaskGraph::new("x");
+        g.add_task(&reg, "Counter", "a", Params::new()).unwrap();
+        assert!(matches!(
+            g.add_task(&reg, "Counter", "a", Params::new()),
+            Err(GraphError::DuplicateTaskName(_))
+        ));
+    }
+
+    #[test]
+    fn port_range_checked_on_connect() {
+        let (mut g, c, s) = chain();
+        assert!(matches!(
+            g.connect(c, 1, s, 0),
+            Err(GraphError::PortOutOfRange {
+                is_input: false,
+                ..
+            })
+        ));
+        assert!(matches!(
+            g.connect(c, 0, s, 5),
+            Err(GraphError::PortOutOfRange { is_input: true, .. })
+        ));
+    }
+
+    #[test]
+    fn single_driver_per_input() {
+        let reg = test_registry();
+        let mut g = TaskGraph::new("x");
+        let c1 = g.add_task(&reg, "Counter", "c1", Params::new()).unwrap();
+        let c2 = g.add_task(&reg, "Counter", "c2", Params::new()).unwrap();
+        let s = g.add_task(&reg, "Scale", "s", Params::new()).unwrap();
+        g.connect(c1, 0, s, 0).unwrap();
+        assert!(matches!(
+            g.connect(c2, 0, s, 0),
+            Err(GraphError::InputAlreadyDriven { .. })
+        ));
+    }
+
+    #[test]
+    fn unconnected_input_fails_validation() {
+        let reg = test_registry();
+        let mut g = TaskGraph::new("x");
+        g.add_task(&reg, "Scale", "s", Params::new()).unwrap();
+        assert!(matches!(
+            g.validate(),
+            Err(GraphError::InputUnconnected { .. })
+        ));
+    }
+
+    #[test]
+    fn cycles_detected() {
+        let reg = test_registry();
+        let mut g = TaskGraph::new("cyc");
+        let a = g.add_task(&reg, "Scale", "a", Params::new()).unwrap();
+        let b = g.add_task(&reg, "Scale", "b", Params::new()).unwrap();
+        g.connect(a, 0, b, 0).unwrap();
+        g.connect(b, 0, a, 0).unwrap();
+        assert_eq!(g.validate(), Err(GraphError::Cycle));
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let reg = test_registry();
+        let mut g = TaskGraph::new("diamond");
+        let c = g.add_task(&reg, "Counter", "c", Params::new()).unwrap();
+        let s1 = g.add_task(&reg, "Scale", "s1", Params::new()).unwrap();
+        let s2 = g.add_task(&reg, "Scale", "s2", Params::new()).unwrap();
+        let add = g.add_task(&reg, "Add", "add", Params::new()).unwrap();
+        g.connect(c, 0, s1, 0).unwrap();
+        g.connect(c, 0, s2, 0).unwrap();
+        g.connect(s1, 0, add, 0).unwrap();
+        g.connect(s2, 0, add, 1).unwrap();
+        let order = g.topo_order().unwrap();
+        let pos = |t: TaskId| order.iter().position(|&x| x == t).unwrap();
+        assert!(pos(c) < pos(s1));
+        assert!(pos(c) < pos(s2));
+        assert!(pos(s1) < pos(add));
+        assert!(pos(s2) < pos(add));
+    }
+
+    #[test]
+    fn typecheck_catches_mismatch() {
+        let reg = test_registry();
+        let mut g = TaskGraph::new("bad");
+        // Manually create a task claiming wrong arity/types: Text into Scale.
+        let t = g
+            .add_task_raw("TextSource", "txt", Params::new(), 0, 1)
+            .unwrap();
+        let s = g.add_task(&reg, "Scale", "s", Params::new()).unwrap();
+        g.connect(t, 0, s, 0).unwrap();
+        // Register a TextSource producing Text.
+        let mut reg2 = test_registry();
+        reg2.register("TextSource", |_p| {
+            use crate::data::{DataType, TrianaData, TypeSpec};
+            struct T;
+            impl crate::unit::Unit for T {
+                fn type_name(&self) -> &str {
+                    "TextSource"
+                }
+                fn input_types(&self) -> Vec<TypeSpec> {
+                    vec![]
+                }
+                fn output_types(&self) -> Vec<DataType> {
+                    vec![DataType::Text]
+                }
+                fn process(
+                    &mut self,
+                    _i: Vec<TrianaData>,
+                ) -> Result<Vec<TrianaData>, crate::unit::UnitError> {
+                    Ok(vec![TrianaData::Text("hi".into())])
+                }
+            }
+            Ok(Box::new(T))
+        });
+        assert!(matches!(
+            g.typecheck(&reg2),
+            Err(GraphError::Unit(UnitError::TypeMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn groups_disjoint_and_nonempty() {
+        let (mut g, c, s) = chain();
+        g.add_group("g1", vec![s], DistributionPolicy::Parallel)
+            .unwrap();
+        assert!(matches!(
+            g.add_group("g2", vec![s], DistributionPolicy::Parallel),
+            Err(GraphError::OverlappingGroups { .. })
+        ));
+        assert!(matches!(
+            g.add_group("g3", vec![], DistributionPolicy::Parallel),
+            Err(GraphError::EmptyGroup(_))
+        ));
+        assert!(matches!(
+            g.add_group("g4", vec![TaskId(99)], DistributionPolicy::Parallel),
+            Err(GraphError::GroupMemberMissing { .. })
+        ));
+        let _ = c;
+    }
+
+    #[test]
+    fn group_boundary_identifies_external_cables() {
+        // Wave -> [Gaussian -> FFT] -> Grapher shape, as in Code Segment 1.
+        let reg = test_registry();
+        let mut g = TaskGraph::new("cs1");
+        let w = g.add_task(&reg, "Counter", "wave", Params::new()).unwrap();
+        let ga = g.add_task(&reg, "Scale", "gauss", Params::new()).unwrap();
+        let ff = g.add_task(&reg, "Scale", "fft", Params::new()).unwrap();
+        let gr = g.add_task(&reg, "Scale", "graph", Params::new()).unwrap();
+        g.connect(w, 0, ga, 0).unwrap();
+        g.connect(ga, 0, ff, 0).unwrap();
+        g.connect(ff, 0, gr, 0).unwrap();
+        let gid = g
+            .add_group("GroupTask", vec![ga, ff], DistributionPolicy::Parallel)
+            .unwrap();
+        let (inc, out) = g.group_boundary(gid);
+        assert_eq!(inc, vec![Cable { from: (w, 0), to: (ga, 0) }]);
+        assert_eq!(out, vec![Cable { from: (ff, 0), to: (gr, 0) }]);
+        assert_eq!(
+            g.group_internal_cables(gid),
+            vec![Cable {
+                from: (ga, 0),
+                to: (ff, 0)
+            }]
+        );
+    }
+}

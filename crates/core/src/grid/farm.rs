@@ -1,0 +1,992 @@
+//! The `parallel` distribution policy: farm jobs out to volunteer peers.
+//!
+//! Implements the paper's Case 1/Case 2 execution model: a Triana
+//! Controller holds a queue of independent jobs (animation frames, GW data
+//! chunks); each job is shipped to an idle volunteer peer — module blob
+//! first if the peer doesn't host the code yet (§3.3 on-demand download),
+//! then input data — computed there, and the results returned. Volunteers
+//! churn (connection lost, user intervenes, §3.6.2); interrupted jobs are
+//! migrated and resume from their last checkpoint if a
+//! [`CheckpointPolicy`] is configured.
+
+use std::collections::VecDeque;
+
+use netsim::avail::AvailabilityTrace;
+use netsim::{Duration, HostId, HostSpec, Network, Sim, SimTime};
+use p2p::PeerId;
+
+use resources::account::{BillingLedger, UsageRecord, VirtualAccount};
+
+use crate::checkpoint::{Checkpoint, CheckpointPolicy};
+use crate::grid::{GridEvent, GridWorld, JobId, WorkerId, WorkerSetup};
+use crate::modules::{ModuleCache, ModuleKey, ModuleLibrary};
+
+/// One distributable unit of work.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Compute cost on the reference scale (gigacycles).
+    pub work_gigacycles: f64,
+    /// Input payload shipped controller → worker.
+    pub input_bytes: u64,
+    /// Result payload shipped worker → controller.
+    pub output_bytes: u64,
+    /// Code module required on the worker (fetched on demand).
+    pub module: Option<ModuleKey>,
+}
+
+/// Scheduler configuration.
+#[derive(Clone, Debug, Default)]
+pub struct FarmConfig {
+    /// Checkpoint/migration policy; `None` restarts interrupted jobs.
+    pub checkpoint: Option<CheckpointPolicy>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum JobState {
+    Pending,
+    FetchingModule,
+    SendingInput,
+    Running,
+    Returning,
+    Done,
+}
+
+struct Job {
+    spec: JobSpec,
+    created: SimTime,
+    completed: Option<SimTime>,
+    /// Worker that produced the accepted result.
+    completed_by: Option<WorkerId>,
+    /// Jobs this one must not share a worker with (replica voting,
+    /// SETI-style: redundant copies on distinct volunteers).
+    conflicts: Vec<JobId>,
+    state: JobState,
+    /// Fraction of the work already checkpointed.
+    fraction: f64,
+    /// (worker, worker-epoch) currently responsible, if any.
+    assigned: Option<(WorkerId, u64)>,
+    attempts: u32,
+    /// Compute time lost to interruptions (beyond the checkpointed part).
+    wasted: Duration,
+}
+
+struct RunningJob {
+    job: JobId,
+    started: SimTime,
+    exec: Duration,
+}
+
+struct Worker {
+    peer: PeerId,
+    host: HostId,
+    spec: HostSpec,
+    up: bool,
+    /// Bumped on every availability transition; stale in-flight events
+    /// carry an older epoch and are ignored.
+    epoch: u64,
+    /// Concurrent job slots (1 = a plain PC; >1 models a cluster or SMP
+    /// node behind a local resource manager, §3.1).
+    capacity: u32,
+    /// Jobs currently assigned (any in-flight state), bounded by capacity.
+    active: u32,
+    /// Jobs currently computing on this worker.
+    running: Vec<RunningJob>,
+    cache: ModuleCache,
+    jobs_completed: u64,
+    /// Usage metered against the controller's virtual account (§2:
+    /// "billing information for resources used").
+    ledger: BillingLedger,
+}
+
+/// Aggregate outcome of a farm run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FarmStats {
+    pub jobs_done: u64,
+    pub jobs_total: u64,
+    /// Last completion instant.
+    pub makespan: SimTime,
+    /// Sum of per-job (completed - created).
+    pub total_latency: Duration,
+    /// Max per-job latency (the "lag" of Case 2).
+    pub max_latency: Duration,
+    /// Compute time lost to churn.
+    pub wasted: Duration,
+    /// Total (re)assignments.
+    pub attempts: u64,
+}
+
+/// The Triana Controller's farm scheduler.
+pub struct FarmScheduler {
+    controller: PeerId,
+    controller_host: HostId,
+    cfg: FarmConfig,
+    workers: Vec<Worker>,
+    jobs: Vec<Job>,
+    pending: VecDeque<JobId>,
+    /// Module blobs owned by the controller ("the client … pipes modules,
+    /// programs and data to the other required Triana service daemons").
+    pub library: ModuleLibrary,
+    /// Job spec used for streaming chunk arrivals (Case 2).
+    pub chunk_spec: Option<JobSpec>,
+    /// The submitting user's virtual account, billed on every worker.
+    pub account: VirtualAccount,
+}
+
+impl FarmScheduler {
+    pub fn new(world: &GridWorld, controller: PeerId, cfg: FarmConfig) -> Self {
+        FarmScheduler {
+            controller,
+            controller_host: world.p2p.host_of(controller),
+            cfg,
+            workers: Vec::new(),
+            jobs: Vec::new(),
+            pending: VecDeque::new(),
+            library: ModuleLibrary::new(),
+            chunk_spec: None,
+            account: VirtualAccount("controller".to_string()),
+        }
+    }
+
+    /// Enrol a single-slot worker (an ordinary volunteer PC).
+    pub fn add_worker(&mut self, world: &mut GridWorld, setup: WorkerSetup) -> WorkerId {
+        self.add_worker_with_capacity(world, setup, 1)
+    }
+
+    /// Enrol a worker with `capacity` concurrent job slots — the gateway
+    /// case of §3.1: a Triana peer fronting "parallel machines or
+    /// workstations clusters" through its local resource manager.
+    pub fn add_worker_with_capacity(
+        &mut self,
+        world: &mut GridWorld,
+        setup: WorkerSetup,
+        capacity: u32,
+    ) -> WorkerId {
+        assert!(capacity >= 1);
+        let id = WorkerId(self.workers.len() as u32);
+        let host = world.p2p.host_of(setup.peer);
+        let up = setup.trace.is_up(SimTime::ZERO);
+        world.net.set_online(host, up);
+        schedule_transitions(&mut world.sim, id, &setup.trace);
+        self.workers.push(Worker {
+            peer: setup.peer,
+            host,
+            spec: setup.spec,
+            up,
+            epoch: 0,
+            capacity,
+            active: 0,
+            running: Vec::new(),
+            cache: ModuleCache::new(setup.cache_bytes),
+            jobs_completed: 0,
+            ledger: BillingLedger::new(),
+        });
+        id
+    }
+
+    /// Queue a job and try to place it.
+    pub fn submit(&mut self, sim: &mut Sim<GridEvent>, net: &mut Network, spec: JobSpec) -> JobId {
+        self.submit_with_conflicts(sim, net, spec, Vec::new())
+    }
+
+    /// Queue a job that must never run on a worker hosting (or having
+    /// completed) any of the `conflicts` jobs — the placement constraint
+    /// behind redundant result verification.
+    pub fn submit_with_conflicts(
+        &mut self,
+        sim: &mut Sim<GridEvent>,
+        net: &mut Network,
+        spec: JobSpec,
+        conflicts: Vec<JobId>,
+    ) -> JobId {
+        let id = JobId(self.jobs.len() as u64);
+        self.jobs.push(Job {
+            spec,
+            created: sim.now(),
+            completed: None,
+            completed_by: None,
+            conflicts,
+            state: JobState::Pending,
+            fraction: 0.0,
+            assigned: None,
+            attempts: 0,
+            wasted: Duration::ZERO,
+        });
+        self.pending.push_back(id);
+        self.dispatch(sim, net);
+        id
+    }
+
+    /// May `job` run on `wid` given its conflict set?
+    fn eligible(&self, job_id: JobId, wid: WorkerId) -> bool {
+        self.jobs[job_id.0 as usize].conflicts.iter().all(|&cj| {
+            let c = &self.jobs[cj.0 as usize];
+            c.completed_by != Some(wid) && !matches!(c.assigned, Some((w, _)) if w == wid)
+        })
+    }
+
+    /// Schedule `count` streaming chunk arrivals spaced `interval` apart
+    /// (Case 2: a 900 s data chunk arrives every 900 s). Requires
+    /// `chunk_spec` to be set before the first arrival fires.
+    pub fn schedule_chunks(&mut self, sim: &mut Sim<GridEvent>, interval: Duration, count: u64) {
+        for seq in 0..count {
+            sim.schedule(interval * (seq + 1), GridEvent::ChunkArrives { seq });
+        }
+    }
+
+    fn dispatch(&mut self, sim: &mut Sim<GridEvent>, net: &mut Network) {
+        loop {
+            // FIFO over pending jobs, skipping jobs whose conflict set
+            // rules out every idle worker; fastest eligible idle worker
+            // first (the controller knows advertised CPU capability, §3.7).
+            let mut pick: Option<(usize, WorkerId)> = None;
+            'jobs: for (qi, &job_id) in self.pending.iter().enumerate() {
+                let mut candidate: Option<WorkerId> = None;
+                for (i, w) in self.workers.iter().enumerate() {
+                    let wid = WorkerId(i as u32);
+                    if w.up && w.active < w.capacity && self.eligible(job_id, wid) {
+                        let better = match candidate {
+                            None => true,
+                            Some(c) => {
+                                w.spec.cpu_ghz > self.workers[c.0 as usize].spec.cpu_ghz
+                            }
+                        };
+                        if better {
+                            candidate = Some(wid);
+                        }
+                    }
+                }
+                if let Some(wid) = candidate {
+                    pick = Some((qi, wid));
+                    break 'jobs;
+                }
+            }
+            let Some((qi, wid)) = pick else {
+                return;
+            };
+            let job_id = self.pending.remove(qi).expect("index from scan");
+            self.assign(sim, net, job_id, wid);
+        }
+    }
+
+    fn assign(
+        &mut self,
+        sim: &mut Sim<GridEvent>,
+        net: &mut Network,
+        job_id: JobId,
+        wid: WorkerId,
+    ) {
+        let epoch = self.workers[wid.0 as usize].epoch;
+        self.workers[wid.0 as usize].active += 1;
+        let module_key = self.jobs[job_id.0 as usize].spec.module.clone();
+        // `get` (not `contains`) so cache hit/miss statistics are metered.
+        let needs_module = match &module_key {
+            Some(key) => self.workers[wid.0 as usize].cache.get(key).is_none(),
+            None => false,
+        };
+        let job = &mut self.jobs[job_id.0 as usize];
+        job.assigned = Some((wid, epoch));
+        job.attempts += 1;
+        if needs_module {
+            let key = module_key.expect("checked above");
+            let bytes = self
+                .library
+                .fetch(&key)
+                .map(|b| b.len() as u64)
+                .unwrap_or(0);
+            self.jobs[job_id.0 as usize].state = JobState::FetchingModule;
+            let dst = self.workers[wid.0 as usize].host;
+            match net.transfer(sim.now(), self.controller_host, dst, bytes) {
+                Ok(delay) => sim.schedule(
+                    delay,
+                    GridEvent::ModuleArrived {
+                        job: job_id,
+                        worker: wid,
+                        key,
+                        epoch,
+                    },
+                ),
+                Err(_) => self.requeue(job_id, wid),
+            }
+        } else {
+            self.send_input(sim, net, job_id, wid, epoch);
+        }
+    }
+
+    fn send_input(
+        &mut self,
+        sim: &mut Sim<GridEvent>,
+        net: &mut Network,
+        job_id: JobId,
+        wid: WorkerId,
+        epoch: u64,
+    ) {
+        let job = &mut self.jobs[job_id.0 as usize];
+        job.state = JobState::SendingInput;
+        // A resumed job also ships its checkpoint image.
+        let mut bytes = job.spec.input_bytes;
+        if job.fraction > 0.0 {
+            if let Some(cp) = &self.cfg.checkpoint {
+                bytes += cp.image_bytes;
+            }
+        }
+        let dst = self.workers[wid.0 as usize].host;
+        match net.transfer(sim.now(), self.controller_host, dst, bytes) {
+            Ok(delay) => sim.schedule(
+                delay,
+                GridEvent::InputArrived {
+                    job: job_id,
+                    worker: wid,
+                    epoch,
+                },
+            ),
+            Err(_) => self.requeue(job_id, wid),
+        }
+    }
+
+    /// Is this in-flight event still the job's live assignment?
+    fn live(&self, job_id: JobId, wid: WorkerId, epoch: u64, state: JobState) -> bool {
+        let job = &self.jobs[job_id.0 as usize];
+        job.assigned == Some((wid, epoch))
+            && job.state == state
+            && self.workers[wid.0 as usize].up
+            && self.workers[wid.0 as usize].epoch == epoch
+    }
+
+    /// Unassign a job and put it back in the queue; frees the worker slot.
+    fn requeue(&mut self, job_id: JobId, wid: WorkerId) {
+        let job = &mut self.jobs[job_id.0 as usize];
+        job.state = JobState::Pending;
+        job.assigned = None;
+        self.pending.push_back(job_id);
+        let w = &mut self.workers[wid.0 as usize];
+        w.active = w.active.saturating_sub(1);
+        w.running.retain(|r| r.job != job_id);
+    }
+
+    /// Main event handler. `GridEvent::P2p` must be routed to the overlay
+    /// by the caller; everything else belongs here.
+    pub fn handle(&mut self, sim: &mut Sim<GridEvent>, net: &mut Network, ev: GridEvent) {
+        match ev {
+            GridEvent::WorkerUp(wid) => {
+                let w = &mut self.workers[wid.0 as usize];
+                w.up = true;
+                w.epoch += 1;
+                w.active = 0;
+                w.running.clear();
+                net.set_online(w.host, true);
+                self.dispatch(sim, net);
+            }
+            GridEvent::WorkerDown(wid) => {
+                self.worker_down(sim.now(), net, wid);
+                self.dispatch(sim, net);
+            }
+            GridEvent::ModuleArrived {
+                job,
+                worker,
+                key,
+                epoch,
+            } => {
+                if !self.live(job, worker, epoch, JobState::FetchingModule) {
+                    return;
+                }
+                if let Some(blob) = self.library.fetch(&key) {
+                    self.workers[worker.0 as usize]
+                        .cache
+                        .insert(key, blob.clone());
+                }
+                self.send_input(sim, net, job, worker, epoch);
+            }
+            GridEvent::InputArrived { job, worker, epoch } => {
+                if !self.live(job, worker, epoch, JobState::SendingInput) {
+                    return;
+                }
+                let j = &mut self.jobs[job.0 as usize];
+                j.state = JobState::Running;
+                let remaining = j.spec.work_gigacycles * (1.0 - j.fraction);
+                let w = &mut self.workers[worker.0 as usize];
+                let exec = w.spec.exec_time(remaining);
+                w.running.push(RunningJob {
+                    job,
+                    started: sim.now(),
+                    exec,
+                });
+                sim.schedule(exec, GridEvent::ComputeDone { job, worker, epoch });
+            }
+            GridEvent::ComputeDone { job, worker, epoch } => {
+                if !self.live(job, worker, epoch, JobState::Running) {
+                    return;
+                }
+                let j = &mut self.jobs[job.0 as usize];
+                j.state = JobState::Returning;
+                j.fraction = 1.0;
+                j.completed_by = Some(worker);
+                let out_bytes = j.spec.output_bytes;
+                let in_bytes = j.spec.input_bytes;
+                let w = &mut self.workers[worker.0 as usize];
+                let cpu = w
+                    .running
+                    .iter()
+                    .find(|r| r.job == job)
+                    .map(|r| r.exec)
+                    .unwrap_or(Duration::ZERO);
+                w.ledger.charge(
+                    &self.account,
+                    UsageRecord {
+                        at: sim.now(),
+                        cpu,
+                        bytes_in: in_bytes,
+                        bytes_out: out_bytes,
+                        instructions: 0,
+                    },
+                );
+                w.running.retain(|r| r.job != job);
+                w.active = w.active.saturating_sub(1);
+                w.jobs_completed += 1;
+                let src = w.host;
+                match net.transfer(sim.now(), src, self.controller_host, out_bytes) {
+                    Ok(delay) => sim.schedule(delay, GridEvent::OutputArrived { job }),
+                    // Controller is always on; a failure means the worker
+                    // vanished in this very instant — treat as interrupt.
+                    Err(_) => self.requeue(job, worker),
+                }
+                self.dispatch(sim, net);
+            }
+            GridEvent::OutputArrived { job } => {
+                let j = &mut self.jobs[job.0 as usize];
+                if j.state == JobState::Returning {
+                    j.state = JobState::Done;
+                    j.completed = Some(sim.now());
+                    j.assigned = None;
+                }
+            }
+            GridEvent::ChunkArrives { .. } => {
+                if let Some(spec) = self.chunk_spec.clone() {
+                    self.submit(sim, net, spec);
+                }
+            }
+            GridEvent::P2p(_)
+            | GridEvent::StageComputeDone { .. }
+            | GridEvent::EmitToken { .. } => {
+                // Not ours.
+            }
+        }
+    }
+
+    fn worker_down(&mut self, now: SimTime, net: &mut Network, wid: WorkerId) {
+        let w = &mut self.workers[wid.0 as usize];
+        w.up = false;
+        w.epoch += 1;
+        net.set_online(w.host, false);
+        let interrupted = std::mem::take(&mut w.running);
+        w.active = 0;
+        // Any job still assigned to this worker in any transit state is
+        // migrated immediately (the controller notices the peer vanish).
+        let assigned_jobs: Vec<JobId> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| matches!(j.assigned, Some((w2, _)) if w2 == wid))
+            .filter(|(_, j)| j.state != JobState::Done && j.state != JobState::Returning)
+            .map(|(i, _)| JobId(i as u64))
+            .collect();
+        for job_id in assigned_jobs {
+            if let Some(run) = interrupted.iter().find(|r| r.job == job_id) {
+                let ran_for = now.since(run.started);
+                let cp = Checkpoint::after(self.cfg.checkpoint.as_ref(), ran_for, run.exec);
+                let j = &mut self.jobs[job_id.0 as usize];
+                // cp.fraction is of the *remaining* work this attempt ran.
+                let saved = (1.0 - j.fraction) * cp.fraction;
+                let saved_time = Duration::from_secs_f64(run.exec.as_secs_f64() * cp.fraction);
+                j.wasted += ran_for.saturating_sub(saved_time);
+                j.fraction += saved;
+            }
+            let j = &mut self.jobs[job_id.0 as usize];
+            j.state = JobState::Pending;
+            j.assigned = None;
+            self.pending.push_back(job_id);
+        }
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> FarmStats {
+        let mut s = FarmStats {
+            jobs_total: self.jobs.len() as u64,
+            ..FarmStats::default()
+        };
+        for j in &self.jobs {
+            s.attempts += j.attempts as u64;
+            s.wasted += j.wasted;
+            if let Some(done) = j.completed {
+                s.jobs_done += 1;
+                s.makespan = s.makespan.max(done);
+                let lat = done.since(j.created);
+                s.total_latency += lat;
+                s.max_latency = s.max_latency.max(lat);
+            }
+        }
+        s
+    }
+
+    pub fn all_done(&self) -> bool {
+        self.jobs.iter().all(|j| j.state == JobState::Done)
+    }
+
+    pub fn job_latency(&self, job: JobId) -> Option<Duration> {
+        let j = &self.jobs[job.0 as usize];
+        j.completed.map(|c| c.since(j.created))
+    }
+
+    /// The worker whose execution produced the job's returned result.
+    pub fn job_completed_by(&self, job: JobId) -> Option<WorkerId> {
+        self.jobs[job.0 as usize].completed_by
+    }
+
+    pub fn worker_cache_stats(&self, wid: WorkerId) -> crate::modules::CacheStats {
+        self.workers[wid.0 as usize].cache.stats()
+    }
+
+    pub fn worker_jobs_completed(&self, wid: WorkerId) -> u64 {
+        self.workers[wid.0 as usize].jobs_completed
+    }
+
+    /// The billing ledger a volunteer keeps for work done here.
+    pub fn worker_ledger(&self, wid: WorkerId) -> &BillingLedger {
+        &self.workers[wid.0 as usize].ledger
+    }
+
+    /// Total CPU donated by all workers to this controller's account.
+    pub fn total_billed_cpu(&self) -> Duration {
+        self.workers
+            .iter()
+            .fold(Duration::ZERO, |acc, w| acc + w.ledger.total_cpu())
+    }
+
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Overlay identity of a worker.
+    pub fn worker_peer(&self, wid: WorkerId) -> PeerId {
+        self.workers[wid.0 as usize].peer
+    }
+
+    pub fn controller(&self) -> PeerId {
+        self.controller
+    }
+}
+
+fn schedule_transitions(sim: &mut Sim<GridEvent>, wid: WorkerId, trace: &AvailabilityTrace) {
+    for &(start, end) in trace.intervals() {
+        if start > SimTime::ZERO {
+            sim.schedule_at(start, GridEvent::WorkerUp(wid));
+        }
+        if end < trace.horizon() {
+            sim.schedule_at(end, GridEvent::WorkerDown(wid));
+        }
+    }
+}
+
+/// Drive the world until all events drain (or the sim horizon), routing
+/// overlay events to the overlay and everything else to the farm.
+pub fn run_farm(world: &mut GridWorld, farm: &mut FarmScheduler) {
+    while let Some(ev) = world.sim.step() {
+        match ev {
+            GridEvent::P2p(pe) => {
+                world.p2p.handle(&mut world.sim, &mut world.net, pe);
+            }
+            other => farm.handle(&mut world.sim, &mut world.net, other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Pcg32;
+    use p2p::DiscoveryMode;
+
+    fn lan_pc() -> HostSpec {
+        HostSpec::lan_workstation()
+    }
+
+    fn world_with_workers(
+        n: usize,
+        cfg: FarmConfig,
+        trace_of: impl Fn(usize, SimTime, &mut Pcg32) -> AvailabilityTrace,
+        horizon: SimTime,
+    ) -> (GridWorld, FarmScheduler) {
+        let mut world = GridWorld::new(11, DiscoveryMode::Flooding);
+        let (ctrl, _) = world.add_peer(lan_pc());
+        let mut farm = FarmScheduler::new(&world, ctrl, cfg);
+        let mut rng = Pcg32::new(99, 0);
+        for i in 0..n {
+            let (peer, _) = world.add_peer(lan_pc());
+            let trace = trace_of(i, horizon, &mut rng);
+            farm.add_worker(
+                &mut world,
+                WorkerSetup {
+                    peer,
+                    spec: lan_pc(),
+                    trace,
+                    cache_bytes: 1 << 20,
+                },
+            );
+        }
+        (world, farm)
+    }
+
+    fn job(work: f64) -> JobSpec {
+        JobSpec {
+            work_gigacycles: work,
+            input_bytes: 10_000,
+            output_bytes: 1_000,
+            module: None,
+        }
+    }
+
+    #[test]
+    fn single_job_completes_with_transfer_and_compute_time() {
+        let horizon = SimTime::from_secs(10_000);
+        let (mut world, mut farm) =
+            world_with_workers(1, FarmConfig::default(), |_, h, _| AvailabilityTrace::always(h), horizon);
+        let id = farm.submit(&mut world.sim, &mut world.net, job(20.0)); // 10 s at 2 GHz
+        run_farm(&mut world, &mut farm);
+        assert!(farm.all_done());
+        let lat = farm.job_latency(id).unwrap();
+        // 10 s compute + LAN transfers (~ms): latency in (10.0, 10.5).
+        assert!(
+            (10.0..10.5).contains(&lat.as_secs_f64()),
+            "latency {lat}"
+        );
+        assert_eq!(farm.stats().attempts, 1);
+    }
+
+    #[test]
+    fn jobs_spread_across_workers_for_speedup() {
+        let horizon = SimTime::from_secs(100_000);
+        let run_with = |k: usize| {
+            let (mut world, mut farm) = world_with_workers(
+                k,
+                FarmConfig::default(),
+                |_, h, _| AvailabilityTrace::always(h),
+                horizon,
+            );
+            for _ in 0..8 {
+                farm.submit(&mut world.sim, &mut world.net, job(200.0)); // 100 s each
+            }
+            run_farm(&mut world, &mut farm);
+            assert!(farm.all_done());
+            farm.stats().makespan.as_secs_f64()
+        };
+        let t1 = run_with(1);
+        let t4 = run_with(4);
+        let speedup = t1 / t4;
+        assert!(speedup > 3.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn module_fetched_once_then_cached() {
+        let horizon = SimTime::from_secs(100_000);
+        let (mut world, mut farm) = world_with_workers(
+            1,
+            FarmConfig::default(),
+            |_, h, _| AvailabilityTrace::always(h),
+            horizon,
+        );
+        let key = ModuleKey::new("Render", 1);
+        let blob = tvm::asm::assemble(".module Render 1 0 0\n.func main 0\n halt\n")
+            .unwrap()
+            .to_blob();
+        farm.library.publish(key.clone(), blob);
+        for _ in 0..3 {
+            farm.submit(
+                &mut world.sim,
+                &mut world.net,
+                JobSpec {
+                    module: Some(key.clone()),
+                    ..job(2.0)
+                },
+            );
+        }
+        run_farm(&mut world, &mut farm);
+        assert!(farm.all_done());
+        let cs = farm.worker_cache_stats(WorkerId(0));
+        // One download despite three jobs.
+        assert!(cs.bytes_fetched > 0);
+        assert_eq!(cs.evictions, 0);
+        assert_eq!(farm.worker_jobs_completed(WorkerId(0)), 3);
+    }
+
+    #[test]
+    fn churn_migrates_job_and_counts_waste() {
+        let horizon = SimTime::from_secs(100_000);
+        // Worker 0: up only for the first 50 s. Worker 1: always up but
+        // slower to be picked (same speed, picked second).
+        let (mut world, mut farm) = world_with_workers(
+            2,
+            FarmConfig::default(),
+            |i, h, _| {
+                if i == 0 {
+                    AvailabilityTrace::from_intervals(vec![(SimTime::ZERO, SimTime::from_secs(50))], h)
+                } else {
+                    AvailabilityTrace::always(h)
+                }
+            },
+            horizon,
+        );
+        // One long job (100 s): lands on worker 0 or 1; submit two so both
+        // workers get one, and worker 0's is interrupted at t=50.
+        let a = farm.submit(&mut world.sim, &mut world.net, job(200.0));
+        let b = farm.submit(&mut world.sim, &mut world.net, job(200.0));
+        run_farm(&mut world, &mut farm);
+        assert!(farm.all_done());
+        let s = farm.stats();
+        assert_eq!(s.jobs_done, 2);
+        assert!(s.attempts >= 3, "one migration expected, attempts={}", s.attempts);
+        // Without checkpointing, ~50 s of work wasted.
+        assert!(
+            (45.0..55.0).contains(&s.wasted.as_secs_f64()),
+            "wasted {}",
+            s.wasted
+        );
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn checkpointing_reduces_waste_and_completion_time() {
+        let horizon = SimTime::from_secs(100_000);
+        let run_with = |cp: Option<CheckpointPolicy>| {
+            let (mut world, mut farm) = world_with_workers(
+                2,
+                FarmConfig { checkpoint: cp },
+                |i, h, _| {
+                    if i == 0 {
+                        // Up 0-100 s, then gone: a 200 s job cannot finish here.
+                        AvailabilityTrace::from_intervals(
+                            vec![(SimTime::ZERO, SimTime::from_secs(100))],
+                            h,
+                        )
+                    } else {
+                        AvailabilityTrace::always(h)
+                    }
+                },
+                horizon,
+            );
+            farm.submit(&mut world.sim, &mut world.net, job(400.0)); // 200 s
+            farm.submit(&mut world.sim, &mut world.net, job(400.0));
+            run_farm(&mut world, &mut farm);
+            assert!(farm.all_done());
+            farm.stats()
+        };
+        let without = run_with(None);
+        let with = run_with(Some(CheckpointPolicy::every(
+            Duration::from_secs(10),
+            5_000,
+        )));
+        assert!(with.wasted < without.wasted);
+        assert!(with.makespan <= without.makespan);
+        // With 10 s checkpoints, waste is bounded by ~one interval.
+        assert!(with.wasted.as_secs_f64() <= 11.0, "wasted {}", with.wasted);
+    }
+
+    #[test]
+    fn streaming_chunks_keep_up_with_enough_workers() {
+        let horizon = SimTime::from_secs(100_000);
+        let (mut world, mut farm) = world_with_workers(
+            4,
+            FarmConfig::default(),
+            |_, h, _| AvailabilityTrace::always(h),
+            horizon,
+        );
+        // Chunks arrive every 100 s; each takes 300 s of compute: needs
+        // 3 workers to keep up, we have 4.
+        farm.chunk_spec = Some(job(600.0));
+        farm.schedule_chunks(&mut world.sim, Duration::from_secs(100), 10);
+        run_farm(&mut world, &mut farm);
+        assert!(farm.all_done());
+        let s = farm.stats();
+        assert_eq!(s.jobs_done, 10);
+        // Bounded lag: max latency close to a single chunk's service time.
+        assert!(
+            s.max_latency.as_secs_f64() < 400.0,
+            "max latency {}",
+            s.max_latency
+        );
+    }
+
+    #[test]
+    fn streaming_chunks_fall_behind_with_too_few_workers() {
+        let horizon = SimTime::from_secs(1_000_000);
+        let (mut world, mut farm) = world_with_workers(
+            1,
+            FarmConfig::default(),
+            |_, h, _| AvailabilityTrace::always(h),
+            horizon,
+        );
+        farm.chunk_spec = Some(job(600.0)); // 300 s per chunk, arriving each 100 s
+        farm.schedule_chunks(&mut world.sim, Duration::from_secs(100), 10);
+        run_farm(&mut world, &mut farm);
+        let s = farm.stats();
+        assert_eq!(s.jobs_done, 10);
+        // Lag grows ~200 s per chunk: the last chunk waits ~2000 s.
+        assert!(
+            s.max_latency.as_secs_f64() > 1_500.0,
+            "max latency {}",
+            s.max_latency
+        );
+    }
+
+    #[test]
+    fn faster_workers_preferred() {
+        let mut world = GridWorld::new(13, DiscoveryMode::Flooding);
+        let (ctrl, _) = world.add_peer(lan_pc());
+        let mut farm = FarmScheduler::new(&world, ctrl, FarmConfig::default());
+        let horizon = SimTime::from_secs(10_000);
+        let add = |ghz: f64, farm: &mut FarmScheduler, world: &mut GridWorld| {
+            let mut spec = lan_pc();
+            spec.cpu_ghz = ghz;
+            let (peer, _) = world.add_peer(spec.clone());
+            farm.add_worker(
+                world,
+                WorkerSetup {
+                    peer,
+                    spec,
+                    trace: AvailabilityTrace::always(horizon),
+                    cache_bytes: 1 << 20,
+                },
+            )
+        };
+        let slow = add(1.0, &mut farm, &mut world);
+        let fast = add(3.0, &mut farm, &mut world);
+        farm.submit(&mut world.sim, &mut world.net, job(30.0));
+        run_farm(&mut world, &mut farm);
+        assert_eq!(farm.worker_jobs_completed(fast), 1);
+        assert_eq!(farm.worker_jobs_completed(slow), 0);
+    }
+
+    #[test]
+    fn cluster_gateway_worker_runs_jobs_concurrently() {
+        // One 4-slot gateway (a cluster behind a local RM) vs one plain PC:
+        // 4 independent jobs finish ~4x sooner on the gateway.
+        let horizon = SimTime::from_secs(100_000);
+        let run = |capacity: u32| {
+            let mut world = GridWorld::new(71, DiscoveryMode::Flooding);
+            let (ctrl, _) = world.add_peer(lan_pc());
+            let mut farm = FarmScheduler::new(&world, ctrl, FarmConfig::default());
+            let (peer, _) = world.add_peer(lan_pc());
+            farm.add_worker_with_capacity(
+                &mut world,
+                WorkerSetup {
+                    peer,
+                    spec: lan_pc(),
+                    trace: AvailabilityTrace::always(horizon),
+                    cache_bytes: 1 << 20,
+                },
+                capacity,
+            );
+            for _ in 0..4 {
+                farm.submit(&mut world.sim, &mut world.net, job(200.0)); // 100 s
+            }
+            run_farm(&mut world, &mut farm);
+            assert!(farm.all_done());
+            farm.stats().makespan.as_secs_f64()
+        };
+        let single = run(1);
+        let cluster = run(4);
+        assert!(
+            cluster < single / 3.0,
+            "cluster {cluster}s vs single {single}s"
+        );
+    }
+
+    #[test]
+    fn cluster_gateway_interruption_migrates_all_slots() {
+        // A 3-slot gateway dies mid-run: every in-flight job migrates to
+        // the backup worker and completes.
+        let horizon = SimTime::from_secs(100_000);
+        let mut world = GridWorld::new(73, DiscoveryMode::Flooding);
+        let (ctrl, _) = world.add_peer(lan_pc());
+        let mut farm = FarmScheduler::new(&world, ctrl, FarmConfig::default());
+        let (gw, _) = world.add_peer(lan_pc());
+        farm.add_worker_with_capacity(
+            &mut world,
+            WorkerSetup {
+                peer: gw,
+                spec: lan_pc(),
+                trace: AvailabilityTrace::from_intervals(
+                    vec![(SimTime::ZERO, SimTime::from_secs(50))],
+                    horizon,
+                ),
+                cache_bytes: 1 << 20,
+            },
+            3,
+        );
+        let (backup, _) = world.add_peer(lan_pc());
+        farm.add_worker(
+            &mut world,
+            WorkerSetup {
+                peer: backup,
+                spec: lan_pc(),
+                trace: AvailabilityTrace::always(horizon),
+                cache_bytes: 1 << 20,
+            },
+        );
+        for _ in 0..3 {
+            farm.submit(&mut world.sim, &mut world.net, job(400.0)); // 200 s each
+        }
+        run_farm(&mut world, &mut farm);
+        assert!(farm.all_done());
+        let s = farm.stats();
+        assert!(s.attempts >= 6, "3 interrupts expected: {s:?}");
+        assert!(s.wasted.as_secs_f64() > 100.0, "{s:?}");
+    }
+
+    #[test]
+    fn billing_meters_exact_compute_time() {
+        let horizon = SimTime::from_secs(10_000);
+        let (mut world, mut farm) = world_with_workers(
+            2,
+            FarmConfig::default(),
+            |_, h, _| AvailabilityTrace::always(h),
+            horizon,
+        );
+        // 4 jobs x 20 Gc at 2 GHz = 10 s each: 40 s of CPU total.
+        for _ in 0..4 {
+            farm.submit(&mut world.sim, &mut world.net, job(20.0));
+        }
+        run_farm(&mut world, &mut farm);
+        assert!(farm.all_done());
+        let billed = farm.total_billed_cpu();
+        assert!(
+            (billed.as_secs_f64() - 40.0).abs() < 1e-6,
+            "billed {billed}"
+        );
+        // Per-worker ledgers carry the controller's account.
+        let account = farm.account.clone();
+        let w0 = farm.worker_ledger(WorkerId(0)).totals(&account);
+        let w1 = farm.worker_ledger(WorkerId(1)).totals(&account);
+        assert_eq!(w0.jobs + w1.jobs, 4);
+        assert_eq!(w0.bytes_in + w1.bytes_in, 4 * 10_000);
+    }
+
+    #[test]
+    fn job_submitted_while_all_workers_down_waits_for_uptime() {
+        let horizon = SimTime::from_secs(10_000);
+        let (mut world, mut farm) = world_with_workers(
+            1,
+            FarmConfig::default(),
+            |_, h, _| {
+                AvailabilityTrace::from_intervals(
+                    vec![(SimTime::from_secs(100), SimTime::from_secs(9_000))],
+                    h,
+                )
+            },
+            horizon,
+        );
+        let id = farm.submit(&mut world.sim, &mut world.net, job(2.0));
+        run_farm(&mut world, &mut farm);
+        assert!(farm.all_done());
+        let lat = farm.job_latency(id).unwrap();
+        assert!(lat.as_secs_f64() >= 100.0, "waited for worker: {lat}");
+    }
+}

@@ -1,0 +1,367 @@
+//! Redundant execution and result voting — the verification layer for the
+//! paper's open security problem.
+//!
+//! §3.7: "although a user may agree to contribute their resources … they
+//! would not have direct control of what application actually utilises
+//! their resource … it is possible for a user to disguise the computational
+//! tasks they distribute to peers". The converse threat — volunteers
+//! returning *wrong results* — is the one SETI@home met with redundancy:
+//! run every work unit on several independent peers and accept the
+//! majority. This module implements that layer over the farm:
+//!
+//! * each logical work unit becomes `replicas` farm jobs,
+//! * replica results are compared (as result digests), a quorum accepts,
+//! * minority workers lose **reputation**; consistently wrong peers can be
+//!   excluded by policy.
+
+use std::collections::HashMap;
+
+use netsim::{Network, Pcg32, Sim};
+
+use crate::grid::farm::{FarmScheduler, JobSpec};
+use crate::grid::{GridEvent, JobId, WorkerId};
+
+/// How a simulated volunteer behaves.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Behaviour {
+    /// Always returns the correct result.
+    Honest,
+    /// Returns a wrong result with the given probability per replica.
+    Cheater { cheat_prob: f64 },
+}
+
+/// Redundancy parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RedundancyConfig {
+    /// Replicas per logical unit (distinct workers produce each).
+    pub replicas: usize,
+    /// Matching digests required to accept a result.
+    pub quorum: usize,
+}
+
+impl RedundancyConfig {
+    /// SETI-style triple redundancy with majority quorum.
+    pub fn triple() -> Self {
+        RedundancyConfig {
+            replicas: 3,
+            quorum: 2,
+        }
+    }
+}
+
+/// Outcome of voting on one logical unit.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Verdict {
+    /// A digest reached quorum; the listed workers disagreed with it.
+    Accepted { dissenters: Vec<WorkerId> },
+    /// No digest reached quorum.
+    Unresolved,
+    /// Not all replicas completed.
+    Incomplete,
+}
+
+/// Running trust score for one worker.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Reputation {
+    /// Replicas where the worker agreed with the accepted result.
+    pub agreed: u64,
+    /// Replicas where it dissented from the accepted result.
+    pub dissented: u64,
+}
+
+impl Reputation {
+    /// Fraction of votes on the winning side (1.0 when unobserved).
+    pub fn score(&self) -> f64 {
+        let total = self.agreed + self.dissented;
+        if total == 0 {
+            1.0
+        } else {
+            self.agreed as f64 / total as f64
+        }
+    }
+}
+
+/// One logical unit's replica bookkeeping.
+#[derive(Clone, Debug)]
+pub struct LogicalUnit {
+    pub jobs: Vec<JobId>,
+    /// True-result digest for this unit.
+    digest: u64,
+}
+
+/// The redundancy layer over a [`FarmScheduler`].
+pub struct VotingFarm {
+    pub config: RedundancyConfig,
+    pub units: Vec<LogicalUnit>,
+    behaviours: Vec<Behaviour>,
+    rng: Pcg32,
+}
+
+impl VotingFarm {
+    /// `behaviours[i]` describes farm worker `i`.
+    pub fn new(config: RedundancyConfig, behaviours: Vec<Behaviour>, seed: u64) -> Self {
+        assert!(config.quorum >= 1 && config.quorum <= config.replicas);
+        VotingFarm {
+            config,
+            units: Vec::new(),
+            behaviours,
+            rng: Pcg32::new(seed, 0xF00D),
+        }
+    }
+
+    /// Submit one logical unit as `replicas` farm jobs.
+    pub fn submit_unit(
+        &mut self,
+        farm: &mut FarmScheduler,
+        sim: &mut Sim<GridEvent>,
+        net: &mut Network,
+        spec: JobSpec,
+    ) -> usize {
+        let digest = self.rng.next_u64() | 1; // nonzero true digest
+        let mut jobs: Vec<JobId> = Vec::with_capacity(self.config.replicas);
+        for _ in 0..self.config.replicas {
+            // Replicas of a unit must land on distinct workers, or a single
+            // bad volunteer could form its own quorum.
+            let id = farm.submit_with_conflicts(sim, net, spec.clone(), jobs.clone());
+            jobs.push(id);
+        }
+        self.units.push(LogicalUnit { jobs, digest });
+        self.units.len() - 1
+    }
+
+    /// Digest a worker's replica result given its behaviour (deterministic
+    /// per (unit, worker) pair).
+    fn replica_digest(&self, unit: usize, worker: WorkerId) -> u64 {
+        let truth = self.units[unit].digest;
+        match self.behaviours.get(worker.0 as usize) {
+            Some(Behaviour::Cheater { cheat_prob }) => {
+                // Deterministic per-(unit, worker) coin.
+                let mut coin = Pcg32::new(
+                    truth ^ ((worker.0 as u64) << 32) ^ unit as u64,
+                    0xBAD,
+                );
+                if coin.uniform() < *cheat_prob {
+                    // A wrong-but-consistent digest per worker (colluding
+                    // cheaters are out of scope, as for SETI).
+                    truth.wrapping_mul(0x9E3779B97F4A7C15) ^ worker.0 as u64
+                } else {
+                    truth
+                }
+            }
+            _ => truth,
+        }
+    }
+
+    /// Vote on one unit after the farm has run.
+    pub fn verdict(&self, farm: &FarmScheduler, unit: usize) -> Verdict {
+        let u = &self.units[unit];
+        let mut votes: Vec<(WorkerId, u64)> = Vec::with_capacity(u.jobs.len());
+        for &job in &u.jobs {
+            match farm.job_completed_by(job) {
+                Some(w) => votes.push((w, self.replica_digest(unit, w))),
+                None => return Verdict::Incomplete,
+            }
+        }
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for &(_, d) in &votes {
+            *counts.entry(d).or_insert(0) += 1;
+        }
+        let (best_digest, best_count) = counts
+            .iter()
+            .max_by_key(|(_, &c)| c)
+            .map(|(&d, &c)| (d, c))
+            .expect("at least one vote");
+        if best_count >= self.config.quorum {
+            let dissenters = votes
+                .iter()
+                .filter(|&&(_, d)| d != best_digest)
+                .map(|&(w, _)| w)
+                .collect();
+            Verdict::Accepted { dissenters }
+        } else {
+            Verdict::Unresolved
+        }
+    }
+
+    /// Experiment oracle: did the digest that won the vote differ from
+    /// the unit's true digest? (Only the simulation knows the truth;
+    /// production voting has no such oracle.)
+    pub fn accepted_digest_is_wrong(&self, farm: &FarmScheduler, unit: usize) -> bool {
+        let u = &self.units[unit];
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for &job in &u.jobs {
+            if let Some(w) = farm.job_completed_by(job) {
+                *counts.entry(self.replica_digest(unit, w)).or_insert(0) += 1;
+            }
+        }
+        let winner = counts
+            .iter()
+            .max_by_key(|(_, &c)| c)
+            .map(|(&d, &c)| (d, c));
+        match winner {
+            Some((digest, count)) if count >= self.config.quorum => digest != u.digest,
+            _ => false,
+        }
+    }
+
+    /// Vote on all units, returning verdicts and the reputation table.
+    pub fn tally(&self, farm: &FarmScheduler) -> (Vec<Verdict>, HashMap<WorkerId, Reputation>) {
+        let mut reps: HashMap<WorkerId, Reputation> = HashMap::new();
+        let verdicts: Vec<Verdict> = (0..self.units.len())
+            .map(|i| {
+                let v = self.verdict(farm, i);
+                if let Verdict::Accepted { dissenters } = &v {
+                    let dissent: Vec<WorkerId> = dissenters.clone();
+                    for &job in &self.units[i].jobs {
+                        if let Some(w) = farm.job_completed_by(job) {
+                            let r = reps.entry(w).or_default();
+                            if dissent.contains(&w) {
+                                r.dissented += 1;
+                            } else {
+                                r.agreed += 1;
+                            }
+                        }
+                    }
+                }
+                v
+            })
+            .collect();
+        (verdicts, reps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::farm::{run_farm, FarmConfig};
+    use crate::grid::{GridWorld, WorkerSetup};
+    use netsim::avail::AvailabilityTrace;
+    use netsim::{HostSpec, SimTime};
+    use p2p::DiscoveryMode;
+
+    fn setup(behaviours: Vec<Behaviour>) -> (GridWorld, FarmScheduler, VotingFarm) {
+        let mut world = GridWorld::new(77, DiscoveryMode::Flooding);
+        let (ctrl, _) = world.add_peer(HostSpec::lan_workstation());
+        let mut farm = FarmScheduler::new(&world, ctrl, FarmConfig::default());
+        let horizon = SimTime::from_secs(1_000_000);
+        for _ in 0..behaviours.len() {
+            let spec = HostSpec::lan_workstation();
+            let (peer, _) = world.add_peer(spec.clone());
+            farm.add_worker(
+                &mut world,
+                WorkerSetup {
+                    peer,
+                    spec,
+                    trace: AvailabilityTrace::always(horizon),
+                    cache_bytes: 1 << 20,
+                },
+            );
+        }
+        let voting = VotingFarm::new(RedundancyConfig::triple(), behaviours, 1);
+        (world, farm, voting)
+    }
+
+    fn job() -> JobSpec {
+        JobSpec {
+            work_gigacycles: 10.0,
+            input_bytes: 1_000,
+            output_bytes: 1_000,
+            module: None,
+        }
+    }
+
+    #[test]
+    fn honest_pool_accepts_everything_with_no_dissenters() {
+        let (mut world, mut farm, mut voting) = setup(vec![Behaviour::Honest; 4]);
+        for _ in 0..5 {
+            voting.submit_unit(&mut farm, &mut world.sim, &mut world.net, job());
+        }
+        run_farm(&mut world, &mut farm);
+        let (verdicts, reps) = voting.tally(&farm);
+        for v in &verdicts {
+            assert_eq!(v, &Verdict::Accepted { dissenters: vec![] });
+        }
+        for r in reps.values() {
+            assert_eq!(r.dissented, 0);
+            assert_eq!(r.score(), 1.0);
+        }
+    }
+
+    #[test]
+    fn single_always_cheater_is_outvoted_and_flagged() {
+        let behaviours = vec![
+            Behaviour::Cheater { cheat_prob: 1.0 },
+            Behaviour::Honest,
+            Behaviour::Honest,
+            Behaviour::Honest,
+        ];
+        let (mut world, mut farm, mut voting) = setup(behaviours);
+        for _ in 0..8 {
+            voting.submit_unit(&mut farm, &mut world.sim, &mut world.net, job());
+        }
+        run_farm(&mut world, &mut farm);
+        let (verdicts, reps) = voting.tally(&farm);
+        let mut accepted = 0;
+        for v in &verdicts {
+            match v {
+                Verdict::Accepted { dissenters } => {
+                    accepted += 1;
+                    for d in dissenters {
+                        assert_eq!(*d, WorkerId(0), "only the cheater dissents");
+                    }
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(accepted, 8);
+        let cheater = reps.get(&WorkerId(0)).copied().unwrap_or_default();
+        if cheater.agreed + cheater.dissented > 0 {
+            assert_eq!(cheater.agreed, 0, "{cheater:?}");
+            assert!(cheater.score() < 0.5);
+        }
+        // Honest workers keep clean records.
+        for w in 1..4 {
+            let r = reps.get(&WorkerId(w)).copied().unwrap_or_default();
+            assert_eq!(r.dissented, 0);
+        }
+    }
+
+    #[test]
+    fn intermittent_cheater_loses_reputation_over_time() {
+        let behaviours = vec![
+            Behaviour::Cheater { cheat_prob: 0.5 },
+            Behaviour::Honest,
+            Behaviour::Honest,
+            Behaviour::Honest,
+            Behaviour::Honest,
+        ];
+        let (mut world, mut farm, mut voting) = setup(behaviours);
+        for _ in 0..30 {
+            voting.submit_unit(&mut farm, &mut world.sim, &mut world.net, job());
+        }
+        run_farm(&mut world, &mut farm);
+        let (_, reps) = voting.tally(&farm);
+        let cheater = reps.get(&WorkerId(0)).copied().unwrap_or_default();
+        assert!(
+            cheater.dissented > 0,
+            "a 50% cheater must get caught eventually: {cheater:?}"
+        );
+        assert!(cheater.score() < 0.9, "{cheater:?}");
+    }
+
+    #[test]
+    fn incomplete_units_are_reported() {
+        let (mut world, mut farm, mut voting) = setup(vec![Behaviour::Honest; 3]);
+        voting.submit_unit(&mut farm, &mut world.sim, &mut world.net, job());
+        // Don't run the sim: nothing completes.
+        let _ = &mut world;
+        assert_eq!(voting.verdict(&farm, 0), Verdict::Incomplete);
+    }
+
+    #[test]
+    fn replicas_match_config() {
+        let (mut world, mut farm, mut voting) = setup(vec![Behaviour::Honest; 3]);
+        let u = voting.submit_unit(&mut farm, &mut world.sim, &mut world.net, job());
+        assert_eq!(voting.units[u].jobs.len(), 3);
+    }
+}

@@ -1,0 +1,36 @@
+//! `triana-core` — the Triana workflow engine and Consumer Grid runtime.
+//!
+//! This crate is the paper's primary contribution, reimplemented:
+//!
+//! * a typed dataflow **data model** ([`data`]) — "a set of built-in data
+//!   types that can be used to connect different Peer services – and
+//!   undertake type checking on their connectivity" (§3.1);
+//! * **units** and the toolbox registry ([`mod@unit`]);
+//! * **task graphs** with group units and per-group distribution policies
+//!   ([`graph`]) — "the unit of distribution is a group" (§3.3);
+//! * a real multi-threaded **local executor** ([`engine`]) so the same
+//!   graph that runs distributed also runs (and speeds up) on the host;
+//! * on-demand **module management** with content-hashed blobs and an LRU
+//!   cache ([`modules`]) — §3.3's dynamic code download;
+//! * the **Consumer Grid runtime** ([`grid`]): Triana Services and a
+//!   Controller executing groups across simulated volunteer peers under the
+//!   `parallel` (farm-out) and `peer-to-peer` (pipeline) policies, with
+//!   churn, checkpointing and migration (§3.2–§3.6);
+//! * **checkpointing** support ([`checkpoint`]) — "a check-pointing
+//!   mechanism may also be employed to migrate computation" (§3.6.2).
+
+pub mod checkpoint;
+pub mod data;
+pub mod engine;
+pub mod graph;
+pub mod grid;
+pub mod modules;
+pub mod rewrite;
+pub mod unit;
+
+pub use data::{DataType, ParticleSet, Table, TrianaData, TypeSpec};
+pub use engine::{run_graph, EngineConfig, RunResult};
+pub use graph::{Cable, DistributionPolicy, Group, GroupId, Task, TaskGraph, TaskId};
+pub use modules::{ModuleCache, ModuleKey, ModuleLibrary};
+pub use rewrite::{annotate, plan_parallel, plan_peer_to_peer, DistributedPlan};
+pub use unit::{Params, Unit, UnitError, UnitRegistry};

@@ -1,0 +1,300 @@
+//! On-demand module management (§3.3).
+//!
+//! "When distributing an application, a Triana peer can send a connectivity
+//! graph to another peer node … the peer can request executable code for
+//! modules that are present within the connectivity graph. This dynamic
+//! download of code … allows the peer to only host code that is necessary –
+//! and overcomes the problem of having inconsistent versions of executables
+//! … A resource-constrained device may also decide to selectively download
+//! and release executable modules."
+//!
+//! * [`ModuleLibrary`] — the owner side: (name, version) → blob.
+//! * [`ModuleCache`] — the hosting peer side: an LRU cache bounded in bytes,
+//!   the "selectively download and release" mechanism.
+
+use std::collections::HashMap;
+use tvm::ModuleBlob;
+
+/// Identity of a module: name plus version. Content hash disambiguates
+/// further (stale copies of the same version are detected by hash).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModuleKey {
+    pub name: String,
+    pub version: u32,
+}
+
+impl ModuleKey {
+    pub fn new(name: &str, version: u32) -> Self {
+        ModuleKey {
+            name: name.to_string(),
+            version,
+        }
+    }
+}
+
+/// The code owner's library: source of truth for module blobs.
+#[derive(Debug, Default)]
+pub struct ModuleLibrary {
+    blobs: HashMap<ModuleKey, ModuleBlob>,
+}
+
+impl ModuleLibrary {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish a blob. Re-publishing the same key replaces the blob —
+    /// because peers always re-request from the owner, every subsequent
+    /// execution uses the new code (the paper's version-consistency
+    /// property).
+    pub fn publish(&mut self, key: ModuleKey, blob: ModuleBlob) {
+        self.blobs.insert(key, blob);
+    }
+
+    pub fn fetch(&self, key: &ModuleKey) -> Option<&ModuleBlob> {
+        self.blobs.get(key)
+    }
+
+    /// Latest version of a named module.
+    pub fn latest(&self, name: &str) -> Option<&ModuleKey> {
+        self.blobs
+            .keys()
+            .filter(|k| k.name == name)
+            .max_by_key(|k| k.version)
+    }
+
+    pub fn len(&self) -> usize {
+        self.blobs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.blobs.is_empty()
+    }
+}
+
+/// Cache statistics for experiment E8.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    /// Bytes inserted into the cache over its lifetime (= bytes downloaded).
+    pub bytes_fetched: u64,
+    /// High-water resident size.
+    pub peak_resident: u64,
+}
+
+/// A byte-bounded LRU cache of module blobs on a hosting peer.
+#[derive(Debug)]
+pub struct ModuleCache {
+    capacity: u64,
+    resident: u64,
+    /// Insertion/access order: front = least recently used.
+    order: Vec<ModuleKey>,
+    blobs: HashMap<ModuleKey, ModuleBlob>,
+    stats: CacheStats,
+}
+
+impl ModuleCache {
+    /// `capacity` in bytes — on a handheld this is small (§3.3's
+    /// "limited capability to host code locally – due to memory
+    /// constraints").
+    pub fn new(capacity: u64) -> Self {
+        ModuleCache {
+            capacity,
+            resident: 0,
+            order: Vec::new(),
+            blobs: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    pub fn contains(&self, key: &ModuleKey) -> bool {
+        self.blobs.contains_key(key)
+    }
+
+    pub fn len(&self) -> usize {
+        self.blobs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.blobs.is_empty()
+    }
+
+    /// Look up a blob, updating recency and hit/miss counters.
+    pub fn get(&mut self, key: &ModuleKey) -> Option<&ModuleBlob> {
+        if self.blobs.contains_key(key) {
+            self.stats.hits += 1;
+            self.touch(key);
+            self.blobs.get(key)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Insert a downloaded blob, evicting least-recently-used entries until
+    /// it fits. Returns `false` (and caches nothing) if the blob alone
+    /// exceeds capacity — the device executes it streaming-style without
+    /// retention.
+    pub fn insert(&mut self, key: ModuleKey, blob: ModuleBlob) -> bool {
+        let size = blob.len() as u64;
+        self.stats.bytes_fetched += size;
+        if size > self.capacity {
+            return false;
+        }
+        if let Some(old) = self.blobs.remove(&key) {
+            self.resident -= old.len() as u64;
+            self.order.retain(|k| k != &key);
+        }
+        while self.resident + size > self.capacity {
+            let victim = self.order.remove(0);
+            let evicted = self
+                .blobs
+                .remove(&victim)
+                .expect("order and map out of sync");
+            self.resident -= evicted.len() as u64;
+            self.stats.evictions += 1;
+        }
+        self.resident += size;
+        self.order.push(key.clone());
+        self.blobs.insert(key, blob);
+        self.stats.peak_resident = self.stats.peak_resident.max(self.resident);
+        true
+    }
+
+    /// Explicitly release a module ("download and release code modules
+    /// on-demand").
+    pub fn release(&mut self, key: &ModuleKey) -> bool {
+        if let Some(b) = self.blobs.remove(key) {
+            self.resident -= b.len() as u64;
+            self.order.retain(|k| k != key);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn touch(&mut self, key: &ModuleKey) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            let k = self.order.remove(pos);
+            self.order.push(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::asm::assemble;
+
+    fn blob_of_size(name: &str, approx: usize) -> ModuleBlob {
+        // Pad with push/pop pairs (9+1 bytes each) to reach ~approx bytes.
+        let pairs = approx / 10;
+        let mut src = format!(".module {name} 1 0 0\n.func main 0\n");
+        for _ in 0..pairs {
+            src.push_str(" push 1\n pop\n");
+        }
+        src.push_str(" halt\n");
+        assemble(&src).unwrap().to_blob()
+    }
+
+    #[test]
+    fn library_publish_fetch_latest() {
+        let mut lib = ModuleLibrary::new();
+        lib.publish(ModuleKey::new("FFT", 1), blob_of_size("FFT", 100));
+        lib.publish(ModuleKey::new("FFT", 3), blob_of_size("FFT", 100));
+        lib.publish(ModuleKey::new("Wave", 2), blob_of_size("Wave", 100));
+        assert_eq!(lib.latest("FFT"), Some(&ModuleKey::new("FFT", 3)));
+        assert!(lib.fetch(&ModuleKey::new("FFT", 1)).is_some());
+        assert!(lib.fetch(&ModuleKey::new("FFT", 2)).is_none());
+        assert_eq!(lib.len(), 3);
+    }
+
+    #[test]
+    fn republish_replaces_blob() {
+        let mut lib = ModuleLibrary::new();
+        let k = ModuleKey::new("M", 1);
+        let b1 = blob_of_size("M", 50);
+        let b2 = blob_of_size("M", 500);
+        lib.publish(k.clone(), b1.clone());
+        lib.publish(k.clone(), b2.clone());
+        assert_eq!(lib.fetch(&k).unwrap().hash, b2.hash);
+        assert_ne!(b1.hash, b2.hash);
+    }
+
+    #[test]
+    fn cache_hits_and_misses_counted() {
+        let mut cache = ModuleCache::new(10_000);
+        let k = ModuleKey::new("A", 1);
+        assert!(cache.get(&k).is_none());
+        cache.insert(k.clone(), blob_of_size("A", 100));
+        assert!(cache.get(&k).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let a = blob_of_size("A", 400);
+        let b = blob_of_size("B", 400);
+        let c = blob_of_size("C", 400);
+        let cap = a.len() as u64 + b.len() as u64 + 10; // fits two
+        let mut cache = ModuleCache::new(cap);
+        cache.insert(ModuleKey::new("A", 1), a);
+        cache.insert(ModuleKey::new("B", 1), b);
+        // Touch A so B becomes LRU.
+        assert!(cache.get(&ModuleKey::new("A", 1)).is_some());
+        cache.insert(ModuleKey::new("C", 1), c);
+        assert!(cache.contains(&ModuleKey::new("A", 1)));
+        assert!(!cache.contains(&ModuleKey::new("B", 1)), "B should be evicted");
+        assert!(cache.contains(&ModuleKey::new("C", 1)));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn oversized_blob_is_not_cached() {
+        let mut cache = ModuleCache::new(100);
+        let big = blob_of_size("Big", 5_000);
+        assert!(!cache.insert(ModuleKey::new("Big", 1), big.clone()));
+        assert!(cache.is_empty());
+        // but the download still counted
+        assert_eq!(cache.stats().bytes_fetched, big.len() as u64);
+    }
+
+    #[test]
+    fn resident_bytes_tracked_through_insert_release() {
+        let mut cache = ModuleCache::new(100_000);
+        let a = blob_of_size("A", 1_000);
+        let sz = a.len() as u64;
+        cache.insert(ModuleKey::new("A", 1), a);
+        assert_eq!(cache.resident_bytes(), sz);
+        assert!(cache.release(&ModuleKey::new("A", 1)));
+        assert_eq!(cache.resident_bytes(), 0);
+        assert!(!cache.release(&ModuleKey::new("A", 1)));
+        assert_eq!(cache.stats().peak_resident, sz);
+    }
+
+    #[test]
+    fn reinsert_same_key_does_not_double_count() {
+        let mut cache = ModuleCache::new(100_000);
+        let a = blob_of_size("A", 1_000);
+        let sz = a.len() as u64;
+        cache.insert(ModuleKey::new("A", 1), a.clone());
+        cache.insert(ModuleKey::new("A", 1), a);
+        assert_eq!(cache.resident_bytes(), sz);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,410 @@
+//! Distribution planning: re-wiring a group for execution on the grid.
+//!
+//! §3.3: "Control units reroute input data and dynamically re-wire the task
+//! graph to create a distributed version that is annotated with the
+//! particular resources the particular groups will run on and the specific
+//! data channels that are used for the communication." §3.4: "each group
+//! input and output connection is uniquely labelled by the local service".
+//!
+//! [`plan_parallel`] and [`plan_peer_to_peer`] implement the two control
+//! units: they take a validated graph, a group, and a set of candidate
+//! peers, and produce a [`DistributedPlan`] — clone/stage assignments plus
+//! uniquely-named channels. [`annotate`] bakes a plan back into the task
+//! graph as parameters, so the "distributed version" round-trips through
+//! the XML dialect exactly as the paper describes. The glue functions turn
+//! a plan into the farm jobs / pipeline stages the grid schedulers consume.
+
+use crate::data::TrianaData;
+use crate::graph::{Cable, DistributionPolicy, GraphError, GroupId, TaskGraph, TaskId};
+use crate::grid::farm::JobSpec;
+use crate::unit::UnitRegistry;
+use p2p::PeerId;
+use std::collections::HashSet;
+
+/// One placement decision.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Assignment {
+    /// Clone index (parallel) or stage index (peer-to-peer).
+    pub index: usize,
+    /// The member tasks that run at this placement.
+    pub tasks: Vec<TaskId>,
+    pub peer: PeerId,
+}
+
+/// A uniquely-labelled data channel (§3.4's pipe names).
+#[derive(Clone, Debug, PartialEq)]
+pub struct NamedChannel {
+    pub name: String,
+    /// The original cable this channel carries.
+    pub cable: Cable,
+    /// Clone/stage index the channel belongs to.
+    pub index: usize,
+}
+
+/// The distributed version of one group.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DistributedPlan {
+    pub group: GroupId,
+    pub policy: DistributionPolicy,
+    pub assignments: Vec<Assignment>,
+    pub channels: Vec<NamedChannel>,
+}
+
+/// Planning failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanError {
+    Graph(GraphError),
+    UnknownGroup(GroupId),
+    NoPeers,
+    /// Peer-to-peer needs one peer per member task.
+    NotEnoughPeers { needed: usize, got: usize },
+    /// The group's policy does not match the requested plan.
+    PolicyMismatch {
+        group: DistributionPolicy,
+        requested: DistributionPolicy,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Graph(e) => write!(f, "{e}"),
+            PlanError::UnknownGroup(g) => write!(f, "unknown group {g:?}"),
+            PlanError::NoPeers => write!(f, "no candidate peers"),
+            PlanError::NotEnoughPeers { needed, got } => {
+                write!(f, "peer-to-peer needs {needed} peers, got {got}")
+            }
+            PlanError::PolicyMismatch { group, requested } => {
+                write!(f, "group policy is {group:?}, requested {requested:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<GraphError> for PlanError {
+    fn from(e: GraphError) -> Self {
+        PlanError::Graph(e)
+    }
+}
+
+fn channel_name(graph: &TaskGraph, group_name: &str, cable: &Cable, index: usize) -> String {
+    let from = &graph.tasks[cable.from.0 .0 as usize].name;
+    let to = &graph.tasks[cable.to.0 .0 as usize].name;
+    format!(
+        "{}.{}[{}].{}:{}-{}:{}",
+        graph.name, group_name, index, from, cable.from.1, to, cable.to.1
+    )
+}
+
+/// The `parallel` control unit: clone the whole group across the peers;
+/// boundary cables become per-clone scatter/gather channels.
+pub fn plan_parallel(
+    graph: &TaskGraph,
+    gid: GroupId,
+    peers: &[PeerId],
+) -> Result<DistributedPlan, PlanError> {
+    graph.validate()?;
+    let group = graph.group(gid).ok_or(PlanError::UnknownGroup(gid))?;
+    if group.policy != DistributionPolicy::Parallel {
+        return Err(PlanError::PolicyMismatch {
+            group: group.policy,
+            requested: DistributionPolicy::Parallel,
+        });
+    }
+    if peers.is_empty() {
+        return Err(PlanError::NoPeers);
+    }
+    let (incoming, outgoing) = graph.group_boundary(gid);
+    let mut channels = Vec::new();
+    let assignments = peers
+        .iter()
+        .enumerate()
+        .map(|(index, &peer)| {
+            for c in incoming.iter().chain(outgoing.iter()) {
+                channels.push(NamedChannel {
+                    name: channel_name(graph, &group.name, c, index),
+                    cable: *c,
+                    index,
+                });
+            }
+            Assignment {
+                index,
+                tasks: group.members.clone(),
+                peer,
+            }
+        })
+        .collect();
+    Ok(DistributedPlan {
+        group: gid,
+        policy: DistributionPolicy::Parallel,
+        assignments,
+        channels,
+    })
+}
+
+/// The `peer-to-peer` control unit: each member task onto its own peer
+/// (in topological order), internal cables become inter-peer channels.
+pub fn plan_peer_to_peer(
+    graph: &TaskGraph,
+    gid: GroupId,
+    peers: &[PeerId],
+) -> Result<DistributedPlan, PlanError> {
+    graph.validate()?;
+    let group = graph.group(gid).ok_or(PlanError::UnknownGroup(gid))?;
+    if group.policy != DistributionPolicy::PeerToPeer {
+        return Err(PlanError::PolicyMismatch {
+            group: group.policy,
+            requested: DistributionPolicy::PeerToPeer,
+        });
+    }
+    let members: HashSet<TaskId> = group.members.iter().copied().collect();
+    if peers.len() < members.len() {
+        return Err(PlanError::NotEnoughPeers {
+            needed: members.len(),
+            got: peers.len(),
+        });
+    }
+    // Stage order: the graph's topological order restricted to members.
+    let order: Vec<TaskId> = graph
+        .topo_order()?
+        .into_iter()
+        .filter(|t| members.contains(t))
+        .collect();
+    let assignments: Vec<Assignment> = order
+        .iter()
+        .enumerate()
+        .map(|(index, &task)| Assignment {
+            index,
+            tasks: vec![task],
+            peer: peers[index],
+        })
+        .collect();
+    let mut channels = Vec::new();
+    for (index, c) in graph.group_internal_cables(gid).into_iter().enumerate() {
+        channels.push(NamedChannel {
+            name: channel_name(graph, &group.name, &c, index),
+            cable: c,
+            index,
+        });
+    }
+    // Boundary channels carry data in and out of the chain.
+    let (incoming, outgoing) = graph.group_boundary(gid);
+    for (index, c) in incoming.into_iter().chain(outgoing).enumerate() {
+        channels.push(NamedChannel {
+            name: channel_name(graph, &group.name, &c, index + 1000),
+            cable: c,
+            index,
+        });
+    }
+    Ok(DistributedPlan {
+        group: gid,
+        policy: DistributionPolicy::PeerToPeer,
+        assignments,
+        channels,
+    })
+}
+
+/// Bake a plan into the task graph as parameters — the "annotated"
+/// distributed version of §3.3, which serializes through the XML dialect.
+/// Each member task gets `_peer` (its placement) and each assignment's
+/// clone index is recorded for parallel plans.
+pub fn annotate(graph: &TaskGraph, plan: &DistributedPlan) -> TaskGraph {
+    let mut g = graph.clone();
+    for a in &plan.assignments {
+        for &t in &a.tasks {
+            let task = &mut g.tasks[t.0 as usize];
+            match plan.policy {
+                DistributionPolicy::PeerToPeer => {
+                    task.params
+                        .insert("_peer".to_string(), a.peer.0.to_string());
+                    task.params
+                        .insert("_stage".to_string(), a.index.to_string());
+                }
+                DistributionPolicy::Parallel => {
+                    // Every clone of the member runs somewhere; record the
+                    // full placement list once.
+                    let entry = task.params.entry("_peers".to_string()).or_default();
+                    if !entry.is_empty() {
+                        entry.push(',');
+                    }
+                    entry.push_str(&a.peer.0.to_string());
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Estimate the farm job for executing one whole-group clone on one input
+/// token: work is the sum of member unit estimates (each fed the token —
+/// an upper-bound approximation documented in DESIGN.md), input/output
+/// bytes from the token and the group's boundary arity.
+pub fn group_job_spec(
+    graph: &TaskGraph,
+    registry: &UnitRegistry,
+    gid: GroupId,
+    token: &TrianaData,
+) -> Result<JobSpec, PlanError> {
+    let group = graph.group(gid).ok_or(PlanError::UnknownGroup(gid))?;
+    let mut work = 0.0;
+    for &t in &group.members {
+        let task = graph.task(t)?;
+        let unit = registry
+            .create(&task.unit_type, &task.params)
+            .map_err(GraphError::Unit)?;
+        let inputs: Vec<TrianaData> = (0..task.n_in.max(1)).map(|_| token.clone()).collect();
+        work += unit.work_estimate(&inputs);
+    }
+    let (incoming, outgoing) = graph.group_boundary(gid);
+    Ok(JobSpec {
+        work_gigacycles: work,
+        input_bytes: token.wire_size() * incoming.len().max(1) as u64,
+        output_bytes: token.wire_size() * outgoing.len().max(1) as u64,
+        module: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit::test_units::test_registry;
+    use crate::unit::Params;
+    use taskless::build_group_graph;
+
+    /// Helpers building a Counter -> [Scale -> Scale] -> (out) graph.
+    mod taskless {
+        use super::*;
+
+        pub fn build_group_graph(policy: DistributionPolicy) -> (TaskGraph, GroupId) {
+            let reg = test_registry();
+            let mut g = TaskGraph::new("job");
+            let c = g.add_task(&reg, "Counter", "src", Params::new()).unwrap();
+            let s1 = g.add_task(&reg, "Scale", "stage1", Params::new()).unwrap();
+            let s2 = g.add_task(&reg, "Scale", "stage2", Params::new()).unwrap();
+            let out = g.add_task(&reg, "Scale", "out", Params::new()).unwrap();
+            g.connect(c, 0, s1, 0).unwrap();
+            g.connect(s1, 0, s2, 0).unwrap();
+            g.connect(s2, 0, out, 0).unwrap();
+            let gid = g.add_group("grp", vec![s1, s2], policy).unwrap();
+            (g, gid)
+        }
+    }
+
+    #[test]
+    fn parallel_plan_clones_group_per_peer() {
+        let (g, gid) = build_group_graph(DistributionPolicy::Parallel);
+        let peers = [PeerId(3), PeerId(5), PeerId(9)];
+        let plan = plan_parallel(&g, gid, &peers).unwrap();
+        assert_eq!(plan.assignments.len(), 3);
+        for (i, a) in plan.assignments.iter().enumerate() {
+            assert_eq!(a.index, i);
+            assert_eq!(a.peer, peers[i]);
+            assert_eq!(a.tasks.len(), 2, "whole group per clone");
+        }
+        // One incoming + one outgoing boundary cable per clone.
+        assert_eq!(plan.channels.len(), 6);
+    }
+
+    #[test]
+    fn channel_names_are_unique_and_descriptive() {
+        let (g, gid) = build_group_graph(DistributionPolicy::Parallel);
+        let plan = plan_parallel(&g, gid, &[PeerId(0), PeerId(1)]).unwrap();
+        let names: HashSet<&str> = plan.channels.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names.len(), plan.channels.len(), "unique labels (§3.4)");
+        assert!(plan.channels[0].name.contains("job.grp"));
+        assert!(plan.channels[0].name.contains("src:0-stage1:0"));
+    }
+
+    #[test]
+    fn peer_to_peer_plan_one_stage_per_member_in_topo_order() {
+        let (g, gid) = build_group_graph(DistributionPolicy::PeerToPeer);
+        let peers = [PeerId(7), PeerId(8)];
+        let plan = plan_peer_to_peer(&g, gid, &peers).unwrap();
+        assert_eq!(plan.assignments.len(), 2);
+        let stage_names: Vec<&str> = plan
+            .assignments
+            .iter()
+            .map(|a| g.tasks[a.tasks[0].0 as usize].name.as_str())
+            .collect();
+        assert_eq!(stage_names, vec!["stage1", "stage2"], "topological stages");
+    }
+
+    #[test]
+    fn peer_to_peer_needs_enough_peers() {
+        let (g, gid) = build_group_graph(DistributionPolicy::PeerToPeer);
+        assert_eq!(
+            plan_peer_to_peer(&g, gid, &[PeerId(1)]),
+            Err(PlanError::NotEnoughPeers { needed: 2, got: 1 })
+        );
+    }
+
+    #[test]
+    fn policy_mismatch_rejected() {
+        let (g, gid) = build_group_graph(DistributionPolicy::Parallel);
+        assert!(matches!(
+            plan_peer_to_peer(&g, gid, &[PeerId(1), PeerId(2)]),
+            Err(PlanError::PolicyMismatch { .. })
+        ));
+        let (g2, gid2) = build_group_graph(DistributionPolicy::PeerToPeer);
+        assert!(matches!(
+            plan_parallel(&g2, gid2, &[PeerId(1)]),
+            Err(PlanError::PolicyMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_peer_set_rejected() {
+        let (g, gid) = build_group_graph(DistributionPolicy::Parallel);
+        assert_eq!(plan_parallel(&g, gid, &[]), Err(PlanError::NoPeers));
+    }
+
+    #[test]
+    fn annotation_embeds_placements_and_stays_a_valid_graph() {
+        let (g, gid) = build_group_graph(DistributionPolicy::PeerToPeer);
+        let plan = plan_peer_to_peer(&g, gid, &[PeerId(4), PeerId(6)]).unwrap();
+        let annotated = annotate(&g, &plan);
+        annotated.validate().unwrap();
+        let s1 = annotated.task_by_name("stage1").unwrap();
+        assert_eq!(s1.params.get("_peer").map(String::as_str), Some("4"));
+        assert_eq!(s1.params.get("_stage").map(String::as_str), Some("0"));
+        let s2 = annotated.task_by_name("stage2").unwrap();
+        assert_eq!(s2.params.get("_peer").map(String::as_str), Some("6"));
+        // The source is not in the group and carries no annotation.
+        assert!(!annotated
+            .task_by_name("src")
+            .unwrap()
+            .params
+            .contains_key("_peer"));
+    }
+
+    #[test]
+    fn parallel_annotation_lists_all_clone_peers() {
+        let (g, gid) = build_group_graph(DistributionPolicy::Parallel);
+        let plan = plan_parallel(&g, gid, &[PeerId(1), PeerId(2), PeerId(3)]).unwrap();
+        let annotated = annotate(&g, &plan);
+        let s1 = annotated.task_by_name("stage1").unwrap();
+        assert_eq!(s1.params.get("_peers").map(String::as_str), Some("1,2,3"));
+    }
+
+    #[test]
+    fn group_job_spec_scales_with_token_size() {
+        let (g, gid) = build_group_graph(DistributionPolicy::Parallel);
+        let reg = test_registry();
+        let small = group_job_spec(&g, &reg, gid, &TrianaData::Scalar(1.0)).unwrap();
+        let big = group_job_spec(
+            &g,
+            &reg,
+            gid,
+            &TrianaData::SampleSet {
+                rate_hz: 1.0,
+                samples: vec![0.0; 100_000],
+            },
+        )
+        .unwrap();
+        assert!(big.work_gigacycles > small.work_gigacycles);
+        assert!(big.input_bytes > small.input_bytes);
+        assert!(small.work_gigacycles > 0.0);
+    }
+}

@@ -1,0 +1,346 @@
+//! Units (the paper's "programs") and the toolbox registry.
+//!
+//! §3.1: "There are several hundred units (i.e. programs) and networks of
+//! units can be created by graphical connections to construct new and more
+//! complex programs." A [`Unit`] declares its port signature, is driven by
+//! `process` once per data token set, and may be stateful across iterations
+//! (e.g. `AccumStat` averaging spectra). The [`UnitRegistry`] maps unit type
+//! names to factories — the local equivalent of the Triana toolbox; modules
+//! that are not native are provided as TVM code via the adapter in
+//! `triana-toolbox`.
+
+use crate::data::{DataType, TrianaData, TypeSpec};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Unit construction / execution failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UnitError {
+    UnknownUnit(String),
+    UnknownParam { unit: String, param: String },
+    BadParam { param: String, message: String },
+    ArityMismatch { expected: usize, got: usize },
+    TypeMismatch {
+        port: usize,
+        expected: String,
+        got: DataType,
+    },
+    Runtime(String),
+}
+
+impl fmt::Display for UnitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use UnitError::*;
+        match self {
+            UnknownUnit(n) => write!(f, "unknown unit type `{n}`"),
+            UnknownParam { unit, param } => write!(f, "unit `{unit}` has no param `{param}`"),
+            BadParam { param, message } => write!(f, "bad param `{param}`: {message}"),
+            ArityMismatch { expected, got } => {
+                write!(f, "expected {expected} inputs, got {got}")
+            }
+            TypeMismatch {
+                port,
+                expected,
+                got,
+            } => write!(f, "port {port}: expected {expected}, got {got}"),
+            Runtime(m) => write!(f, "runtime error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for UnitError {}
+
+/// String key/value parameters, as carried in the task-graph XML.
+pub type Params = BTreeMap<String, String>;
+
+/// Parse helper for unit parameter maps.
+pub fn param_f64(params: &Params, key: &str, default: f64) -> Result<f64, UnitError> {
+    match params.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| UnitError::BadParam {
+            param: key.to_string(),
+            message: format!("`{v}` is not a number"),
+        }),
+    }
+}
+
+/// Parse helper for integer parameters.
+pub fn param_usize(params: &Params, key: &str, default: usize) -> Result<usize, UnitError> {
+    match params.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| UnitError::BadParam {
+            param: key.to_string(),
+            message: format!("`{v}` is not an integer"),
+        }),
+    }
+}
+
+/// One processing unit instance.
+pub trait Unit: Send {
+    /// The toolbox type name (e.g. `"Wave"`, `"FFT"`).
+    fn type_name(&self) -> &str;
+
+    /// Accepted type per input port; the length is the input arity.
+    fn input_types(&self) -> Vec<TypeSpec>;
+
+    /// Produced type per output port; the length is the output arity.
+    fn output_types(&self) -> Vec<DataType>;
+
+    /// Consume one token per input port, produce one token per output port.
+    /// Source units (no inputs) are called once per iteration.
+    fn process(&mut self, inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError>;
+
+    /// Reset internal state (between runs).
+    fn reset(&mut self) {}
+
+    /// Estimated work in gigacycles to process `inputs`; drives the
+    /// simulated executor's timing. The default charges a nominal cost
+    /// proportional to input size.
+    fn work_estimate(&self, inputs: &[TrianaData]) -> f64 {
+        let bytes: u64 = inputs.iter().map(TrianaData::wire_size).sum();
+        // ~10 cycles per input byte as a generic default.
+        bytes as f64 * 10.0 / 1e9
+    }
+
+    fn is_source(&self) -> bool {
+        self.input_types().is_empty()
+    }
+
+    fn is_sink(&self) -> bool {
+        self.output_types().is_empty()
+    }
+}
+
+type Factory = dyn Fn(&Params) -> Result<Box<dyn Unit>, UnitError> + Send + Sync;
+
+/// The toolbox: unit type name → factory.
+#[derive(Clone, Default)]
+pub struct UnitRegistry {
+    factories: BTreeMap<String, Arc<Factory>>,
+}
+
+impl UnitRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a factory under a type name (replacing any existing one —
+    /// later toolboxes may shadow built-ins, like user units in Triana).
+    pub fn register<F>(&mut self, name: &str, factory: F)
+    where
+        F: Fn(&Params) -> Result<Box<dyn Unit>, UnitError> + Send + Sync + 'static,
+    {
+        self.factories.insert(name.to_string(), Arc::new(factory));
+    }
+
+    /// Instantiate a unit.
+    pub fn create(&self, name: &str, params: &Params) -> Result<Box<dyn Unit>, UnitError> {
+        let f = self
+            .factories
+            .get(name)
+            .ok_or_else(|| UnitError::UnknownUnit(name.to_string()))?;
+        f(params)
+    }
+
+    /// Port signature of a unit type (by instantiating a probe with the
+    /// given params, since arity may depend on them).
+    pub fn signature(
+        &self,
+        name: &str,
+        params: &Params,
+    ) -> Result<(Vec<TypeSpec>, Vec<DataType>), UnitError> {
+        let u = self.create(name, params)?;
+        Ok((u.input_types(), u.output_types()))
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.factories.contains_key(name)
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.factories.keys().map(String::as_str)
+    }
+
+    pub fn len(&self) -> usize {
+        self.factories.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.factories.is_empty()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_units {
+    use super::*;
+
+    /// Emits consecutive integers 0,1,2,… as scalars.
+    pub struct Counter {
+        pub next: f64,
+    }
+
+    impl Unit for Counter {
+        fn type_name(&self) -> &str {
+            "Counter"
+        }
+        fn input_types(&self) -> Vec<TypeSpec> {
+            vec![]
+        }
+        fn output_types(&self) -> Vec<DataType> {
+            vec![DataType::Scalar]
+        }
+        fn process(&mut self, _inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+            let v = self.next;
+            self.next += 1.0;
+            Ok(vec![TrianaData::Scalar(v)])
+        }
+        fn reset(&mut self) {
+            self.next = 0.0;
+        }
+    }
+
+    /// Multiplies a scalar by `k`.
+    pub struct Scale {
+        pub k: f64,
+    }
+
+    impl Unit for Scale {
+        fn type_name(&self) -> &str {
+            "Scale"
+        }
+        fn input_types(&self) -> Vec<TypeSpec> {
+            vec![TypeSpec::Exact(DataType::Scalar)]
+        }
+        fn output_types(&self) -> Vec<DataType> {
+            vec![DataType::Scalar]
+        }
+        fn process(&mut self, inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+            match inputs.as_slice() {
+                [TrianaData::Scalar(x)] => Ok(vec![TrianaData::Scalar(x * self.k)]),
+                _ => Err(UnitError::Runtime("expected one scalar".into())),
+            }
+        }
+    }
+
+    /// Adds two scalars.
+    pub struct AddU;
+
+    impl Unit for AddU {
+        fn type_name(&self) -> &str {
+            "Add"
+        }
+        fn input_types(&self) -> Vec<TypeSpec> {
+            vec![
+                TypeSpec::Exact(DataType::Scalar),
+                TypeSpec::Exact(DataType::Scalar),
+            ]
+        }
+        fn output_types(&self) -> Vec<DataType> {
+            vec![DataType::Scalar]
+        }
+        fn process(&mut self, inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+            match inputs.as_slice() {
+                [TrianaData::Scalar(a), TrianaData::Scalar(b)] => {
+                    Ok(vec![TrianaData::Scalar(a + b)])
+                }
+                _ => Err(UnitError::Runtime("expected two scalars".into())),
+            }
+        }
+    }
+
+    pub fn test_registry() -> UnitRegistry {
+        let mut r = UnitRegistry::new();
+        r.register("Counter", |_p| Ok(Box::new(Counter { next: 0.0 })));
+        r.register("Scale", |p| {
+            Ok(Box::new(Scale {
+                k: param_f64(p, "k", 1.0)?,
+            }))
+        });
+        r.register("Add", |_p| Ok(Box::new(AddU)));
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_units::*;
+    use super::*;
+
+    #[test]
+    fn registry_creates_units_with_params() {
+        let reg = test_registry();
+        let mut scale = reg
+            .create("Scale", &Params::from([("k".to_string(), "3".to_string())]))
+            .unwrap();
+        let out = scale.process(vec![TrianaData::Scalar(2.0)]).unwrap();
+        assert_eq!(out, vec![TrianaData::Scalar(6.0)]);
+    }
+
+    #[test]
+    fn unknown_unit_is_an_error() {
+        let reg = test_registry();
+        assert_eq!(
+            reg.create("Nope", &Params::new()).err(),
+            Some(UnitError::UnknownUnit("Nope".into()))
+        );
+    }
+
+    #[test]
+    fn bad_param_is_reported() {
+        let reg = test_registry();
+        let e = reg
+            .create("Scale", &Params::from([("k".to_string(), "x".to_string())]))
+            .err()
+            .expect("bad param must fail");
+        assert!(matches!(e, UnitError::BadParam { .. }));
+    }
+
+    #[test]
+    fn signature_reports_arity_and_types() {
+        let reg = test_registry();
+        let (ins, outs) = reg.signature("Add", &Params::new()).unwrap();
+        assert_eq!(ins.len(), 2);
+        assert_eq!(outs, vec![DataType::Scalar]);
+    }
+
+    #[test]
+    fn source_and_sink_flags() {
+        let c = Counter { next: 0.0 };
+        assert!(c.is_source());
+        assert!(!c.is_sink());
+        let a = AddU;
+        assert!(!a.is_source());
+    }
+
+    #[test]
+    fn counter_is_stateful_and_resets() {
+        let mut c = Counter { next: 0.0 };
+        assert_eq!(c.process(vec![]).unwrap(), vec![TrianaData::Scalar(0.0)]);
+        assert_eq!(c.process(vec![]).unwrap(), vec![TrianaData::Scalar(1.0)]);
+        c.reset();
+        assert_eq!(c.process(vec![]).unwrap(), vec![TrianaData::Scalar(0.0)]);
+    }
+
+    #[test]
+    fn default_work_estimate_scales_with_input() {
+        let a = AddU;
+        let small = [TrianaData::Scalar(1.0), TrianaData::Scalar(2.0)];
+        let big = [
+            TrianaData::SampleSet {
+                rate_hz: 1.0,
+                samples: vec![0.0; 100_000],
+            },
+            TrianaData::Scalar(2.0),
+        ];
+        assert!(a.work_estimate(&big) > a.work_estimate(&small) * 100.0);
+    }
+
+    #[test]
+    fn later_registration_shadows() {
+        let mut reg = test_registry();
+        reg.register("Counter", |_p| Ok(Box::new(Counter { next: 100.0 })));
+        let mut c = reg.create("Counter", &Params::new()).unwrap();
+        assert_eq!(c.process(vec![]).unwrap(), vec![TrianaData::Scalar(100.0)]);
+    }
+}

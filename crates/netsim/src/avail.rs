@@ -1,0 +1,318 @@
+//! Volunteer availability and churn models.
+//!
+//! §3.7 of the paper: peers donate cycles "when their workstation is idle
+//! i.e. when the screen saver turns on", and Case 2 lists the downtime causes
+//! that inflate the required peer count: "connection lost, user intervenes,
+//! computational bandwidth not reached". A host's availability is an
+//! alternating up/down renewal process; we pre-generate a deterministic
+//! [`AvailabilityTrace`] per host so experiments are reproducible and
+//! queries are O(log n).
+
+use crate::rng::Pcg32;
+use crate::time::{Duration, SimTime, MICROS_PER_SEC};
+
+const DAY: u64 = 86_400;
+
+/// Generative model for a host's up/down pattern.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AvailabilityModel {
+    /// Dedicated resource: never leaves.
+    AlwaysOn,
+    /// Memoryless churn: up-time ~ Exp(mean_up), down-time ~ Exp(mean_down).
+    Exponential {
+        mean_up: Duration,
+        mean_down: Duration,
+    },
+    /// SETI/Condor screensaver model: the host is donated during one idle
+    /// block per day (mean start hour & length, jittered), and each idle
+    /// block may be cut short by the user returning (probability per block).
+    Screensaver {
+        /// Mean local start hour of the idle block, e.g. 22.0 for 10pm.
+        start_hour: f64,
+        /// Mean idle-block length in hours.
+        mean_hours: f64,
+        /// Probability the user interrupts the block early.
+        interrupt_prob: f64,
+    },
+}
+
+impl AvailabilityModel {
+    /// A typical volunteer PC: donated overnight (~10 h from 10pm), with a
+    /// 20% chance of early interruption.
+    pub fn typical_volunteer() -> Self {
+        AvailabilityModel::Screensaver {
+            start_hour: 22.0,
+            mean_hours: 10.0,
+            interrupt_prob: 0.2,
+        }
+    }
+
+    /// Generate the up-interval trace on `[0, horizon)`.
+    pub fn trace(&self, horizon: SimTime, rng: &mut Pcg32) -> AvailabilityTrace {
+        let mut ups: Vec<(SimTime, SimTime)> = Vec::new();
+        match *self {
+            AvailabilityModel::AlwaysOn => {
+                ups.push((SimTime::ZERO, horizon));
+            }
+            AvailabilityModel::Exponential { mean_up, mean_down } => {
+                assert!(!mean_up.is_zero(), "mean_up must be positive");
+                let mut t = SimTime::ZERO;
+                // Randomize the initial phase: start up or down in proportion
+                // to the stationary distribution.
+                let frac_up = mean_up.as_secs_f64()
+                    / (mean_up.as_secs_f64() + mean_down.as_secs_f64().max(1e-9));
+                let mut up = rng.uniform() < frac_up;
+                while t < horizon {
+                    let mean = if up { mean_up } else { mean_down };
+                    let len = Duration::from_secs_f64(rng.exp(mean.as_secs_f64()).max(1e-6));
+                    let end = (t + len).min(horizon);
+                    if up {
+                        ups.push((t, end));
+                    }
+                    t = end;
+                    up = !up;
+                }
+            }
+            AvailabilityModel::Screensaver {
+                start_hour,
+                mean_hours,
+                interrupt_prob,
+            } => {
+                let days = horizon.as_micros() / (DAY * MICROS_PER_SEC) + 2;
+                for day in 0..days {
+                    let start_s = day as f64 * DAY as f64
+                        + (start_hour + rng.normal() * 0.75) * 3600.0;
+                    let mut len_s = (mean_hours + rng.normal() * 1.0).max(0.25) * 3600.0;
+                    if rng.uniform() < interrupt_prob {
+                        len_s *= rng.uniform(); // user came back early
+                    }
+                    let start =
+                        SimTime((start_s.max(0.0) * MICROS_PER_SEC as f64) as u64).min(horizon);
+                    let end = (start + Duration::from_secs_f64(len_s)).min(horizon);
+                    if end > start {
+                        ups.push((start, end));
+                    }
+                }
+            }
+        }
+        AvailabilityTrace::from_intervals(ups, horizon)
+    }
+}
+
+/// A host's availability as a sorted, disjoint list of up-intervals
+/// `[start, end)` over `[0, horizon)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AvailabilityTrace {
+    ups: Vec<(SimTime, SimTime)>,
+    horizon: SimTime,
+}
+
+impl AvailabilityTrace {
+    /// Normalize raw intervals: sort, clamp, merge overlaps, drop empties.
+    pub fn from_intervals(mut ups: Vec<(SimTime, SimTime)>, horizon: SimTime) -> Self {
+        ups.retain(|&(s, e)| e > s && s < horizon);
+        for iv in ups.iter_mut() {
+            iv.1 = iv.1.min(horizon);
+        }
+        ups.sort_unstable();
+        let mut merged: Vec<(SimTime, SimTime)> = Vec::with_capacity(ups.len());
+        for (s, e) in ups {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        AvailabilityTrace {
+            ups: merged,
+            horizon,
+        }
+    }
+
+    /// An always-up trace.
+    pub fn always(horizon: SimTime) -> Self {
+        AvailabilityTrace {
+            ups: vec![(SimTime::ZERO, horizon)],
+            horizon,
+        }
+    }
+
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    pub fn intervals(&self) -> &[(SimTime, SimTime)] {
+        &self.ups
+    }
+
+    /// Is the host up at `t`?
+    pub fn is_up(&self, t: SimTime) -> bool {
+        match self.ups.binary_search_by(|&(s, _)| s.cmp(&t)) {
+            Ok(_) => true,
+            Err(0) => false,
+            Err(i) => t < self.ups[i - 1].1,
+        }
+    }
+
+    /// The next instant ≥ `t` at which the host transitions (up→down or
+    /// down→up), or `None` if no more transitions before the horizon.
+    pub fn next_transition(&self, t: SimTime) -> Option<SimTime> {
+        for &(s, e) in &self.ups {
+            if s > t {
+                return Some(s);
+            }
+            if e > t && e < self.horizon {
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    /// Earliest instant ≥ `t` at which the host is up, or `None`.
+    pub fn next_up(&self, t: SimTime) -> Option<SimTime> {
+        if self.is_up(t) {
+            return Some(t);
+        }
+        self.ups.iter().map(|&(s, _)| s).find(|&s| s >= t)
+    }
+
+    /// End of the current up-interval containing `t` (i.e. when the host
+    /// will next go down), or `None` if the host is down at `t`.
+    pub fn up_until(&self, t: SimTime) -> Option<SimTime> {
+        match self.ups.binary_search_by(|&(s, _)| s.cmp(&t)) {
+            Ok(i) => Some(self.ups[i].1),
+            Err(0) => None,
+            Err(i) if t < self.ups[i - 1].1 => Some(self.ups[i - 1].1),
+            Err(_) => None,
+        }
+    }
+
+    /// Fraction of `[0, horizon)` the host is up.
+    pub fn uptime_fraction(&self) -> f64 {
+        if self.horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        let up: u64 = self.ups.iter().map(|&(s, e)| e.since(s).as_micros()).sum();
+        up as f64 / self.horizon.as_micros() as f64
+    }
+
+    /// Total up-time within `[from, to)`.
+    pub fn uptime_within(&self, from: SimTime, to: SimTime) -> Duration {
+        let mut total = Duration::ZERO;
+        for &(s, e) in &self.ups {
+            let lo = s.max(from);
+            let hi = e.min(to);
+            if hi > lo {
+                total += hi.since(lo);
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hours(h: u64) -> Duration {
+        Duration::from_secs(h * 3600)
+    }
+
+    #[test]
+    fn always_on_is_up_everywhere() {
+        let horizon = SimTime::from_secs(1000);
+        let mut rng = Pcg32::new(1, 0);
+        let tr = AvailabilityModel::AlwaysOn.trace(horizon, &mut rng);
+        assert!(tr.is_up(SimTime::ZERO));
+        assert!(tr.is_up(SimTime::from_secs(999)));
+        assert_eq!(tr.uptime_fraction(), 1.0);
+        assert_eq!(tr.next_transition(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn exponential_uptime_fraction_matches_stationary_ratio() {
+        let horizon = SimTime::from_secs(30 * 86_400);
+        let mut rng = Pcg32::new(2, 0);
+        let model = AvailabilityModel::Exponential {
+            mean_up: hours(8),
+            mean_down: hours(16),
+        };
+        let tr = model.trace(horizon, &mut rng);
+        let f = tr.uptime_fraction();
+        assert!((f - 1.0 / 3.0).abs() < 0.08, "uptime fraction {f}");
+    }
+
+    #[test]
+    fn screensaver_gives_roughly_nightly_blocks() {
+        let horizon = SimTime::from_secs(14 * 86_400);
+        let mut rng = Pcg32::new(3, 0);
+        let tr = AvailabilityModel::typical_volunteer().trace(horizon, &mut rng);
+        // ~10h/day minus interruptions: expect 25–45% uptime.
+        let f = tr.uptime_fraction();
+        assert!((0.2..0.55).contains(&f), "uptime fraction {f}");
+        // Block count on the order of one per day.
+        let n = tr.intervals().len();
+        assert!((10..=20).contains(&n), "blocks {n}");
+    }
+
+    #[test]
+    fn interval_normalization_merges_and_clamps() {
+        let horizon = SimTime(100);
+        let tr = AvailabilityTrace::from_intervals(
+            vec![
+                (SimTime(50), SimTime(60)),
+                (SimTime(10), SimTime(30)),
+                (SimTime(25), SimTime(40)), // overlaps previous
+                (SimTime(90), SimTime(500)), // past horizon
+                (SimTime(70), SimTime(70)), // empty
+            ],
+            horizon,
+        );
+        assert_eq!(
+            tr.intervals(),
+            &[
+                (SimTime(10), SimTime(40)),
+                (SimTime(50), SimTime(60)),
+                (SimTime(90), SimTime(100))
+            ]
+        );
+    }
+
+    #[test]
+    fn point_queries_agree_with_intervals() {
+        let tr = AvailabilityTrace::from_intervals(
+            vec![(SimTime(10), SimTime(20)), (SimTime(30), SimTime(40))],
+            SimTime(50),
+        );
+        assert!(!tr.is_up(SimTime(5)));
+        assert!(tr.is_up(SimTime(10)));
+        assert!(tr.is_up(SimTime(15)));
+        assert!(!tr.is_up(SimTime(20))); // half-open
+        assert_eq!(tr.next_up(SimTime(5)), Some(SimTime(10)));
+        assert_eq!(tr.next_up(SimTime(15)), Some(SimTime(15)));
+        assert_eq!(tr.next_up(SimTime(45)), None);
+        assert_eq!(tr.up_until(SimTime(15)), Some(SimTime(20)));
+        assert_eq!(tr.up_until(SimTime(25)), None);
+        assert_eq!(tr.next_transition(SimTime(0)), Some(SimTime(10)));
+        assert_eq!(tr.next_transition(SimTime(10)), Some(SimTime(20)));
+        assert_eq!(tr.next_transition(SimTime(40)), None);
+    }
+
+    #[test]
+    fn uptime_within_window() {
+        let tr = AvailabilityTrace::from_intervals(
+            vec![(SimTime(10), SimTime(20)), (SimTime(30), SimTime(40))],
+            SimTime(50),
+        );
+        assert_eq!(tr.uptime_within(SimTime(0), SimTime(50)), Duration(20));
+        assert_eq!(tr.uptime_within(SimTime(15), SimTime(35)), Duration(10));
+        assert_eq!(tr.uptime_within(SimTime(20), SimTime(30)), Duration::ZERO);
+    }
+
+    #[test]
+    fn trace_final_up_interval_never_reports_transition_at_horizon() {
+        // An interval ending exactly at the horizon is not a "transition":
+        // the sim ends there anyway.
+        let tr = AvailabilityTrace::always(SimTime(100));
+        assert_eq!(tr.next_transition(SimTime(50)), None);
+    }
+}

@@ -1,0 +1,271 @@
+//! The discrete-event engine: a clock plus a total-ordered event queue.
+//!
+//! `Sim<Ev>` is generic over the event payload so each layer (overlay,
+//! workflow engine, experiment harness) can define its own event enum and
+//! compose them with `From` impls. Ties in time are broken by insertion
+//! sequence number, giving a total, deterministic order.
+
+use crate::rng::Pcg32;
+use crate::time::{Duration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Scheduled<Ev> {
+    at: SimTime,
+    seq: u64,
+    ev: Ev,
+}
+
+impl<Ev> PartialEq for Scheduled<Ev> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<Ev> Eq for Scheduled<Ev> {}
+impl<Ev> PartialOrd for Scheduled<Ev> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<Ev> Ord for Scheduled<Ev> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first order.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A standalone priority queue of timestamped events (earliest first,
+/// FIFO among equal timestamps).
+pub struct EventQueue<Ev> {
+    heap: BinaryHeap<Scheduled<Ev>>,
+    next_seq: u64,
+}
+
+impl<Ev> Default for EventQueue<Ev> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<Ev> EventQueue<Ev> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, at: SimTime, ev: Ev) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, ev });
+    }
+
+    pub fn pop(&mut self) -> Option<(SimTime, Ev)> {
+        self.heap.pop().map(|s| (s.at, s.ev))
+    }
+
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// The simulator: current time, pending events, and a root random stream.
+pub struct Sim<Ev> {
+    now: SimTime,
+    queue: EventQueue<Ev>,
+    rng: Pcg32,
+    processed: u64,
+    /// Optional hard stop; events scheduled later than this are still queued
+    /// but `run` will not dispatch past it.
+    horizon: Option<SimTime>,
+}
+
+impl<Ev> Sim<Ev> {
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            rng: Pcg32::new(seed, 0xCAFE),
+            processed: 0,
+            horizon: None,
+        }
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Root random stream (split it rather than drawing from it directly in
+    /// per-entity code).
+    pub fn rng(&mut self) -> &mut Pcg32 {
+        &mut self.rng
+    }
+
+    /// Derive an independent random stream for an entity.
+    pub fn stream(&mut self, id: u64) -> Pcg32 {
+        self.rng.split(id)
+    }
+
+    /// Stop dispatching events after this instant.
+    pub fn set_horizon(&mut self, at: SimTime) {
+        self.horizon = Some(at);
+    }
+
+    /// Schedule an event `delay` after now.
+    pub fn schedule(&mut self, delay: Duration, ev: Ev) {
+        self.queue.push(self.now + delay, ev);
+    }
+
+    /// Schedule an event at an absolute instant (clamped to now if earlier;
+    /// the past cannot be revisited).
+    pub fn schedule_at(&mut self, at: SimTime, ev: Ev) {
+        self.queue.push(at.max(self.now), ev);
+    }
+
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Pop the next event, advancing the clock. Returns `None` when the
+    /// queue is empty or the horizon is reached.
+    pub fn step(&mut self) -> Option<Ev> {
+        let at = self.queue.peek_time()?;
+        if let Some(h) = self.horizon {
+            if at > h {
+                self.now = h;
+                return None;
+            }
+        }
+        let (at, ev) = self.queue.pop().expect("peeked");
+        debug_assert!(at >= self.now, "event queue went backwards");
+        self.now = at;
+        self.processed += 1;
+        Some(ev)
+    }
+
+    /// Run to completion (or horizon), dispatching each event to `handler`.
+    /// The handler may schedule further events.
+    pub fn run(&mut self, mut handler: impl FnMut(&mut Sim<Ev>, Ev)) {
+        while let Some(ev) = self.step() {
+            handler(self, ev);
+        }
+    }
+
+    /// Run until the given instant, then stop (events at exactly `until` are
+    /// dispatched).
+    pub fn run_until(&mut self, until: SimTime, mut handler: impl FnMut(&mut Sim<Ev>, Ev)) {
+        loop {
+            match self.queue.peek_time() {
+                Some(t) if t <= until => {
+                    let ev = self.step().expect("peeked");
+                    handler(self, ev);
+                }
+                _ => {
+                    self.now = self.now.max(until.min(self.horizon.unwrap_or(until)));
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_dispatch_in_time_order() {
+        let mut sim: Sim<u32> = Sim::new(1);
+        sim.schedule(Duration::from_micros(30), 3);
+        sim.schedule(Duration::from_micros(10), 1);
+        sim.schedule(Duration::from_micros(20), 2);
+        let mut seen = vec![];
+        sim.run(|s, ev| seen.push((s.now().as_micros(), ev)));
+        assert_eq!(seen, vec![(10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut sim: Sim<u32> = Sim::new(1);
+        for i in 0..5 {
+            sim.schedule(Duration::from_micros(7), i);
+        }
+        let mut seen = vec![];
+        sim.run(|_, ev| seen.push(ev));
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn handler_can_schedule_more() {
+        let mut sim: Sim<u32> = Sim::new(1);
+        sim.schedule(Duration::from_micros(1), 0);
+        let mut count = 0;
+        sim.run(|s, ev| {
+            count += 1;
+            if ev < 4 {
+                s.schedule(Duration::from_micros(1), ev + 1);
+            }
+        });
+        assert_eq!(count, 5);
+        assert_eq!(sim.now().as_micros(), 5);
+        assert_eq!(sim.processed(), 5);
+    }
+
+    #[test]
+    fn horizon_stops_dispatch() {
+        let mut sim: Sim<u32> = Sim::new(1);
+        sim.set_horizon(SimTime(15));
+        sim.schedule(Duration::from_micros(10), 1);
+        sim.schedule(Duration::from_micros(20), 2);
+        let mut seen = vec![];
+        sim.run(|_, ev| seen.push(ev));
+        assert_eq!(seen, vec![1]);
+        assert_eq!(sim.now(), SimTime(15));
+    }
+
+    #[test]
+    fn run_until_leaves_later_events_queued() {
+        let mut sim: Sim<u32> = Sim::new(1);
+        sim.schedule(Duration::from_micros(5), 1);
+        sim.schedule(Duration::from_micros(50), 2);
+        let mut seen = vec![];
+        sim.run_until(SimTime(10), |_, ev| seen.push(ev));
+        assert_eq!(seen, vec![1]);
+        assert_eq!(sim.now(), SimTime(10));
+        assert_eq!(sim.pending(), 1);
+        sim.run(|_, ev| seen.push(ev));
+        assert_eq!(seen, vec![1, 2]);
+    }
+
+    #[test]
+    fn schedule_at_clamps_to_now() {
+        let mut sim: Sim<u32> = Sim::new(1);
+        sim.schedule(Duration::from_micros(10), 1);
+        let mut fired_late = false;
+        sim.run(|s, ev| {
+            if ev == 1 {
+                s.schedule_at(SimTime(3), 2); // in the past: clamps to now=10
+            } else {
+                fired_late = s.now() >= SimTime(10);
+            }
+        });
+        assert!(fired_late);
+    }
+}

@@ -1,0 +1,154 @@
+//! Host (consumer device) model.
+//!
+//! Work is measured in **gigacycles**; a host with an `N` GHz CPU retires
+//! `N` gigacycles per second when fully available. This is the calibration
+//! knob for the paper's Case 2 arithmetic: "this process takes about 5 hours
+//! on a 2 GHz PC" fixes the matched-filter work per chunk at
+//! `2 GHz * 5 h = 36 000 gigacycles`.
+
+use crate::link::{LinkClass, LinkSpec};
+use crate::rng::Pcg32;
+use crate::time::Duration;
+
+/// Device classes the paper mentions as Consumer Grid participants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DeviceClass {
+    /// Desktop / laptop PC.
+    Pc,
+    /// Workstation-cluster head node (gateways to a local resource manager).
+    ClusterNode,
+    /// Handheld / PDA / WAP device: resource-constrained, small module cache.
+    Handheld,
+}
+
+/// Static description of a participating host.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HostSpec {
+    pub device: DeviceClass,
+    /// CPU clock in GHz; also gigacycles retired per second.
+    pub cpu_ghz: f64,
+    /// RAM in MiB; bounds the module cache and data buffering.
+    pub ram_mib: u32,
+    pub link: LinkSpec,
+}
+
+impl HostSpec {
+    /// The paper's reference machine: a 2 GHz PC.
+    pub fn reference_pc() -> Self {
+        HostSpec {
+            device: DeviceClass::Pc,
+            cpu_ghz: 2.0,
+            ram_mib: 512,
+            link: LinkClass::Dsl.spec(),
+        }
+    }
+
+    /// A LAN-connected workstation (the All-Hands demo environment).
+    pub fn lan_workstation() -> Self {
+        HostSpec {
+            device: DeviceClass::Pc,
+            cpu_ghz: 2.0,
+            ram_mib: 1024,
+            link: LinkClass::Lan.spec(),
+        }
+    }
+
+    /// A constrained handheld: slow CPU, little RAM, modem-class link.
+    pub fn handheld() -> Self {
+        HostSpec {
+            device: DeviceClass::Handheld,
+            cpu_ghz: 0.2,
+            ram_mib: 32,
+            link: LinkClass::Modem.spec(),
+        }
+    }
+
+    /// Time for this host to execute `gigacycles` of work with the CPU fully
+    /// dedicated.
+    pub fn exec_time(&self, gigacycles: f64) -> Duration {
+        debug_assert!(self.cpu_ghz > 0.0);
+        Duration::from_secs_f64(gigacycles.max(0.0) / self.cpu_ghz)
+    }
+
+    /// Gigacycles this host retires in `d` of dedicated time.
+    pub fn work_in(&self, d: Duration) -> f64 {
+        d.as_secs_f64() * self.cpu_ghz
+    }
+
+    /// Draw a host from the 2003 consumer population: CPU 0.5–3 GHz, link
+    /// class mixed (mostly DSL/cable, a modem tail, few LAN).
+    pub fn sample_consumer(rng: &mut Pcg32) -> Self {
+        let cpu_ghz = rng.range_f64(0.5, 3.0);
+        let ram_mib = [128u32, 256, 512, 1024][rng.below(4) as usize];
+        let roll = rng.uniform();
+        let link = if roll < 0.40 {
+            LinkClass::Dsl
+        } else if roll < 0.80 {
+            LinkClass::Cable
+        } else if roll < 0.95 {
+            LinkClass::Modem
+        } else {
+            LinkClass::Lan
+        }
+        .spec();
+        HostSpec {
+            device: DeviceClass::Pc,
+            cpu_ghz,
+            ram_mib,
+            link,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case2_calibration_five_hours_on_reference_pc() {
+        // 36 000 gigacycles at 2 GHz = 18 000 s = 5 h.
+        let pc = HostSpec::reference_pc();
+        let t = pc.exec_time(36_000.0);
+        assert!((t.as_secs_f64() - 18_000.0).abs() < 1e-6, "{t}");
+    }
+
+    #[test]
+    fn work_and_exec_time_are_inverse() {
+        let h = HostSpec {
+            cpu_ghz: 1.4,
+            ..HostSpec::reference_pc()
+        };
+        let d = h.exec_time(100.0);
+        assert!((h.work_in(d) - 100.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn faster_cpu_finishes_sooner() {
+        let slow = HostSpec {
+            cpu_ghz: 1.0,
+            ..HostSpec::reference_pc()
+        };
+        let fast = HostSpec {
+            cpu_ghz: 3.0,
+            ..HostSpec::reference_pc()
+        };
+        assert!(fast.exec_time(10.0) < slow.exec_time(10.0));
+    }
+
+    #[test]
+    fn negative_work_clamps_to_zero() {
+        assert_eq!(HostSpec::reference_pc().exec_time(-5.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn consumer_population_is_in_spec() {
+        let mut rng = Pcg32::new(3, 0);
+        let mut classes = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let h = HostSpec::sample_consumer(&mut rng);
+            assert!((0.5..=3.0).contains(&h.cpu_ghz));
+            classes.insert(h.link.class);
+        }
+        assert!(classes.len() >= 3, "population should mix link classes");
+    }
+}

@@ -1,0 +1,141 @@
+//! Consumer access-link models.
+//!
+//! The paper positions the Consumer Grid on "resources such as DSL/Cable, and
+//! the variety of devices that can be connected together using these
+//! technologies". Each host gets an access link of one of the 2003-era
+//! classes below; the core internet is modelled as an over-provisioned cloud
+//! that only contributes propagation latency (see [`crate::net`]).
+
+use crate::time::Duration;
+use std::fmt;
+
+/// 2003-era consumer connection classes with representative bandwidths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LinkClass {
+    /// Campus / institutional LAN (the paper's All-Hands demo ran on one).
+    Lan,
+    /// Cable modem: fast down, modest up.
+    Cable,
+    /// ADSL: asymmetric.
+    Dsl,
+    /// 56k dial-up modem: the long tail of the consumer population.
+    Modem,
+}
+
+impl LinkClass {
+    pub const ALL: [LinkClass; 4] = [
+        LinkClass::Lan,
+        LinkClass::Cable,
+        LinkClass::Dsl,
+        LinkClass::Modem,
+    ];
+
+    /// Representative link parameters for the class.
+    pub fn spec(self) -> LinkSpec {
+        match self {
+            LinkClass::Lan => LinkSpec {
+                class: self,
+                up_bps: 100_000_000 / 8 * 8, // 100 Mbit/s symmetric
+                down_bps: 100_000_000,
+                latency: Duration::from_micros(500),
+            },
+            LinkClass::Cable => LinkSpec {
+                class: self,
+                up_bps: 256_000,
+                down_bps: 2_000_000,
+                latency: Duration::from_millis(15),
+            },
+            LinkClass::Dsl => LinkSpec {
+                class: self,
+                up_bps: 256_000,
+                down_bps: 1_000_000,
+                latency: Duration::from_millis(25),
+            },
+            LinkClass::Modem => LinkSpec {
+                class: self,
+                up_bps: 33_600,
+                down_bps: 56_000,
+                latency: Duration::from_millis(120),
+            },
+        }
+    }
+}
+
+impl fmt::Display for LinkClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LinkClass::Lan => "lan",
+            LinkClass::Cable => "cable",
+            LinkClass::Dsl => "dsl",
+            LinkClass::Modem => "modem",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Concrete access-link parameters. Bandwidths are in *bits* per second;
+/// latency is one-way propagation to the internet core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkSpec {
+    pub class: LinkClass,
+    pub up_bps: u64,
+    pub down_bps: u64,
+    pub latency: Duration,
+}
+
+impl LinkSpec {
+    /// Time to push `bytes` through the uplink (serialization only).
+    pub fn up_serialization(&self, bytes: u64) -> Duration {
+        serialization(bytes, self.up_bps)
+    }
+
+    /// Time to pull `bytes` through the downlink (serialization only).
+    pub fn down_serialization(&self, bytes: u64) -> Duration {
+        serialization(bytes, self.down_bps)
+    }
+}
+
+fn serialization(bytes: u64, bps: u64) -> Duration {
+    debug_assert!(bps > 0);
+    // micros = bytes * 8 * 1e6 / bps, computed in u128 to avoid overflow.
+    let micros = (bytes as u128 * 8 * 1_000_000).div_ceil(bps as u128);
+    Duration(micros as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_times_are_sane() {
+        let dsl = LinkClass::Dsl.spec();
+        // 7.2 MB (the paper's GW chunk) over 1 Mbit/s downlink: ~57.6 s.
+        let t = dsl.down_serialization(7_200_000);
+        assert!((t.as_secs_f64() - 57.6).abs() < 0.1, "{t}");
+        // Same chunk over the 256 kbit/s uplink: 4x slower.
+        let up = dsl.up_serialization(7_200_000);
+        assert!((up.as_secs_f64() - 225.0).abs() < 0.5, "{up}");
+    }
+
+    #[test]
+    fn lan_dwarfs_modem() {
+        let lan = LinkClass::Lan.spec().down_serialization(1_000_000);
+        let modem = LinkClass::Modem.spec().down_serialization(1_000_000);
+        assert!(modem.as_micros() > lan.as_micros() * 100);
+    }
+
+    #[test]
+    fn zero_bytes_costs_nothing_to_serialize() {
+        for class in LinkClass::ALL {
+            assert_eq!(class.spec().up_serialization(0), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn asymmetry_down_faster_than_up_for_consumer_links() {
+        for class in [LinkClass::Cable, LinkClass::Dsl, LinkClass::Modem] {
+            let s = class.spec();
+            assert!(s.down_bps > s.up_bps, "{class} should be asymmetric");
+        }
+    }
+}

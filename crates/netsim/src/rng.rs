@@ -1,0 +1,226 @@
+//! Deterministic random streams.
+//!
+//! Every stochastic process in the simulator (churn, link jitter, workload
+//! generation, overlay wiring) draws from an explicitly seeded [`Pcg32`]
+//! stream. PCG32 is implemented here rather than taken from `rand` so that
+//! the bit-stream is pinned by this crate and can never drift across `rand`
+//! releases; `rand::RngCore` is implemented on top so `rand` distributions
+//! still work.
+
+use rand::RngCore;
+
+const MULT: u64 = 6364136223846793005;
+
+/// A PCG-XSH-RR 64/32 generator: 64-bit state, 32-bit output, with an odd
+/// stream increment allowing many independent streams from one seed.
+#[derive(Clone, Debug)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+impl Pcg32 {
+    /// Create a generator from a seed and a stream id. Distinct stream ids
+    /// yield statistically independent sequences for the same seed.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.next_u32();
+        rng
+    }
+
+    /// Derive a child stream; used to give each host / process its own
+    /// independent randomness so adding a host never perturbs another's draws.
+    pub fn split(&mut self, stream: u64) -> Pcg32 {
+        let seed = self.next_u64();
+        Pcg32::new(seed, stream)
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        (self.next_u32() as u64) << 32 | self.next_u32() as u64
+    }
+
+    /// Uniform in [0, 1).
+    pub fn uniform(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in [lo, hi).
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in [0, n). Uses Lemire's multiply-shift rejection for
+    /// unbiased results.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "Pcg32::below(0)");
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = {
+                let m = (x as u128) * (n as u128);
+                ((m >> 64) as u64, m as u64)
+            };
+            if lo >= n || lo >= n.wrapping_neg() % n {
+                return hi;
+            }
+        }
+    }
+
+    /// Exponential variate with the given mean (inverse-CDF method).
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        let u = 1.0 - self.uniform(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Standard normal variate (Box–Muller; one value per call, the pair's
+    /// second member is discarded to keep the stream position predictable).
+    pub fn normal(&mut self) -> f64 {
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal variate with mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f64, sd: f64) -> f64 {
+        mean + sd * self.normal()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Choose a random element index, or `None` if the slice is empty.
+    pub fn choose_index(&mut self, len: usize) -> Option<usize> {
+        if len == 0 {
+            None
+        } else {
+            Some(self.below(len as u64) as usize)
+        }
+    }
+}
+
+impl RngCore for Pcg32 {
+    fn next_u32(&mut self) -> u32 {
+        Pcg32::next_u32(self)
+    }
+    fn next_u64(&mut self) -> u64 {
+        Pcg32::next_u64(self)
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let w = Pcg32::next_u32(self).to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Pcg32::new(42, 1);
+        let mut b = Pcg32::new(42, 1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn streams_differ() {
+        let mut a = Pcg32::new(42, 1);
+        let mut b = Pcg32::new(42, 2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "streams should be nearly disjoint, got {same} collisions");
+    }
+
+    #[test]
+    fn uniform_in_unit_interval_with_plausible_mean() {
+        let mut r = Pcg32::new(7, 0);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn below_is_unbiased_across_buckets() {
+        let mut r = Pcg32::new(9, 3);
+        let mut counts = [0u32; 7];
+        for _ in 0..70_000 {
+            counts[r.below(7) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 10_000).abs() < 600, "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let mut r = Pcg32::new(11, 0);
+        let mean: f64 = (0..50_000).map(|_| r.exp(3.0)).sum::<f64>() / 50_000.0;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let mut r = Pcg32::new(13, 0);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = Pcg32::new(5, 5);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left slice untouched");
+    }
+
+    #[test]
+    fn split_streams_are_independent_of_later_parent_use() {
+        let mut parent1 = Pcg32::new(1, 0);
+        let mut child1 = parent1.split(9);
+        let mut parent2 = Pcg32::new(1, 0);
+        let mut child2 = parent2.split(9);
+        parent2.next_u64(); // extra parent use must not affect the child
+        for _ in 0..10 {
+            assert_eq!(child1.next_u64(), child2.next_u64());
+        }
+    }
+}

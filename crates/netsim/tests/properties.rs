@@ -1,0 +1,117 @@
+//! Property tests on the simulation substrate.
+
+use netsim::avail::AvailabilityModel;
+use netsim::{Duration, EventQueue, HostSpec, LinkClass, Network, Pcg32, Sim, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, FIFO among ties.
+    #[test]
+    fn event_queue_total_order(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, idx)) = q.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t >= lt, "time went backwards");
+                if t == lt {
+                    prop_assert!(idx > lidx, "FIFO violated among equal times");
+                }
+            }
+            last = Some((t, idx));
+        }
+    }
+
+    /// The sim clock never goes backwards while handlers schedule more
+    /// events with arbitrary delays.
+    #[test]
+    fn sim_clock_monotone(delays in proptest::collection::vec(0u64..10_000, 1..100)) {
+        let mut sim: Sim<u64> = Sim::new(1);
+        for &d in &delays {
+            sim.schedule(Duration::from_micros(d), d);
+        }
+        let mut last = SimTime::ZERO;
+        let mut extra = delays.len() as u64;
+        sim.run(|s, d| {
+            assert!(s.now() >= last);
+            last = s.now();
+            // occasionally schedule follow-ups
+            if d % 7 == 0 && extra > 0 {
+                extra -= 1;
+                s.schedule(Duration::from_micros(d % 50), d + 1);
+            }
+        });
+    }
+
+    /// Transfer delay is monotone in payload size and never less than the
+    /// two propagation latencies.
+    #[test]
+    fn transfer_monotone_in_bytes(
+        a in 0u64..1_000_000,
+        b in 0u64..1_000_000,
+        src_class in 0usize..4,
+        dst_class in 0usize..4,
+    ) {
+        let (small, large) = (a.min(b), a.max(b));
+        let mk = |class: usize| {
+            let mut spec = HostSpec::reference_pc();
+            spec.link = LinkClass::ALL[class].spec();
+            spec
+        };
+        let mut net = Network::new();
+        let s = net.add_host(mk(src_class));
+        let d = net.add_host(mk(dst_class));
+        let t_small = net.estimate(SimTime::ZERO, s, d, small);
+        let t_large = net.estimate(SimTime::ZERO, s, d, large);
+        prop_assert!(t_large >= t_small);
+        let min_latency = net.spec(s).link.latency + net.spec(d).link.latency;
+        if s != d {
+            prop_assert!(t_small >= min_latency);
+        }
+    }
+
+    /// Availability traces never exceed the horizon and keep uptime
+    /// fraction within [0,1] for every model.
+    #[test]
+    fn traces_bounded(seed in any::<u64>(), model_idx in 0usize..3, horizon_s in 1u64..2_000_000) {
+        let model = match model_idx {
+            0 => AvailabilityModel::AlwaysOn,
+            1 => AvailabilityModel::Exponential {
+                mean_up: Duration::from_secs(3_600),
+                mean_down: Duration::from_secs(1_800),
+            },
+            _ => AvailabilityModel::typical_volunteer(),
+        };
+        let horizon = SimTime::from_secs(horizon_s);
+        let mut rng = Pcg32::new(seed, 2);
+        let tr = model.trace(horizon, &mut rng);
+        for &(s, e) in tr.intervals() {
+            prop_assert!(s < e);
+            prop_assert!(e <= horizon);
+        }
+        let f = tr.uptime_fraction();
+        prop_assert!((0.0..=1.0).contains(&f), "fraction {f}");
+    }
+
+    /// Queued transfers preserve FIFO on the uplink: a later send never
+    /// arrives before an earlier equal-size send between the same pair.
+    #[test]
+    fn uplink_fifo(bytes in 1u64..100_000, n in 2usize..8) {
+        let mut net = Network::new();
+        let mk = || {
+            let mut spec = HostSpec::reference_pc();
+            spec.link = LinkClass::Dsl.spec();
+            spec
+        };
+        let s = net.add_host(mk());
+        let d = net.add_host(mk());
+        let mut last = Duration::ZERO;
+        for _ in 0..n {
+            let t = net.transfer(SimTime::ZERO, s, d, bytes).unwrap();
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Advertisements: the self-describing records peers publish and discover.
+//!
+//! The paper relies "on Triana peers to be discovered based on very simple
+//! attributes – such as CPU capability and available free memory"; module
+//! adverts additionally carry (name, version, hash) so on-demand code
+//! download always fetches a consistent executable (§3.3).
+
+use crate::message::QueryKind;
+use crate::overlay::PeerId;
+use crate::pipe::PipeId;
+use netsim::SimTime;
+
+/// A peer offering computational service.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PeerAdvert {
+    pub peer: PeerId,
+    pub cpu_ghz: f64,
+    pub free_ram_mib: u32,
+    /// Service names offered, e.g. `"triana"`, `"data-access"`.
+    pub services: Vec<String>,
+}
+
+/// A named pipe endpoint (an input node advertised for binding, §3.4).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PipeAdvert {
+    pub pipe: PipeId,
+    /// The connection's unique name ("for each input connection, the remote
+    /// service advertises an input pipe with that connection's unique name").
+    pub name: String,
+    pub peer: PeerId,
+}
+
+/// A code module available for on-demand download from its owner.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModuleAdvert {
+    pub name: String,
+    pub version: u32,
+    pub hash: u64,
+    pub size_bytes: u64,
+    pub owner: PeerId,
+}
+
+/// Any advertisement, with its expiry instant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Advertisement {
+    pub body: AdvertBody,
+    pub expires: SimTime,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum AdvertBody {
+    Peer(PeerAdvert),
+    Pipe(PipeAdvert),
+    Module(ModuleAdvert),
+}
+
+impl Advertisement {
+    pub fn peer(&self) -> PeerId {
+        match &self.body {
+            AdvertBody::Peer(a) => a.peer,
+            AdvertBody::Pipe(a) => a.peer,
+            AdvertBody::Module(a) => a.owner,
+        }
+    }
+
+    pub fn is_expired(&self, now: SimTime) -> bool {
+        now >= self.expires
+    }
+
+    /// Does this advertisement satisfy a discovery query?
+    pub fn matches(&self, kind: &QueryKind, now: SimTime) -> bool {
+        if self.is_expired(now) {
+            return false;
+        }
+        match (&self.body, kind) {
+            (AdvertBody::Peer(a), QueryKind::ByService(s)) => a.services.iter().any(|x| x == s),
+            (
+                AdvertBody::Peer(a),
+                QueryKind::ByCapability {
+                    min_cpu_ghz,
+                    min_ram_mib,
+                },
+            ) => a.cpu_ghz >= *min_cpu_ghz && a.free_ram_mib >= *min_ram_mib,
+            (AdvertBody::Pipe(a), QueryKind::ByPipeName(n)) => &a.name == n,
+            (AdvertBody::Module(a), QueryKind::ByModule { name, min_version }) => {
+                &a.name == name && a.version >= *min_version
+            }
+            _ => false,
+        }
+    }
+
+    /// Approximate wire size in bytes (for the network model).
+    pub fn wire_size(&self) -> u64 {
+        match &self.body {
+            AdvertBody::Peer(a) => {
+                64 + a.services.iter().map(|s| s.len() as u64 + 4).sum::<u64>()
+            }
+            AdvertBody::Pipe(a) => 48 + a.name.len() as u64,
+            AdvertBody::Module(a) => 64 + a.name.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peer_ad(expires: SimTime) -> Advertisement {
+        Advertisement {
+            body: AdvertBody::Peer(PeerAdvert {
+                peer: PeerId(1),
+                cpu_ghz: 2.0,
+                free_ram_mib: 512,
+                services: vec!["triana".into(), "data-access".into()],
+            }),
+            expires,
+        }
+    }
+
+    #[test]
+    fn service_match_requires_exact_name() {
+        let ad = peer_ad(SimTime(100));
+        let now = SimTime(10);
+        assert!(ad.matches(&QueryKind::ByService("triana".into()), now));
+        assert!(!ad.matches(&QueryKind::ByService("trian".into()), now));
+    }
+
+    #[test]
+    fn capability_match_is_threshold() {
+        let ad = peer_ad(SimTime(100));
+        let now = SimTime(10);
+        let ok = QueryKind::ByCapability {
+            min_cpu_ghz: 1.5,
+            min_ram_mib: 256,
+        };
+        let too_fast = QueryKind::ByCapability {
+            min_cpu_ghz: 2.5,
+            min_ram_mib: 256,
+        };
+        let too_big = QueryKind::ByCapability {
+            min_cpu_ghz: 1.0,
+            min_ram_mib: 1024,
+        };
+        assert!(ad.matches(&ok, now));
+        assert!(!ad.matches(&too_fast, now));
+        assert!(!ad.matches(&too_big, now));
+    }
+
+    #[test]
+    fn expired_ads_never_match() {
+        let ad = peer_ad(SimTime(100));
+        assert!(!ad.matches(&QueryKind::ByService("triana".into()), SimTime(100)));
+        assert!(ad.is_expired(SimTime(100)));
+        assert!(!ad.is_expired(SimTime(99)));
+    }
+
+    #[test]
+    fn module_match_accepts_newer_versions() {
+        let ad = Advertisement {
+            body: AdvertBody::Module(ModuleAdvert {
+                name: "FFT".into(),
+                version: 3,
+                hash: 0xAB,
+                size_bytes: 1000,
+                owner: PeerId(2),
+            }),
+            expires: SimTime(100),
+        };
+        let now = SimTime(0);
+        let want = |v| QueryKind::ByModule {
+            name: "FFT".into(),
+            min_version: v,
+        };
+        assert!(ad.matches(&want(3), now));
+        assert!(ad.matches(&want(1), now));
+        assert!(!ad.matches(&want(4), now));
+    }
+
+    #[test]
+    fn kinds_do_not_cross_match() {
+        let ad = peer_ad(SimTime(100));
+        assert!(!ad.matches(&QueryKind::ByPipeName("triana".into()), SimTime(0)));
+        assert!(!ad.matches(
+            &QueryKind::ByModule {
+                name: "triana".into(),
+                min_version: 0
+            },
+            SimTime(0)
+        ));
+    }
+
+    #[test]
+    fn wire_size_grows_with_content() {
+        let small = peer_ad(SimTime(1));
+        let mut big = peer_ad(SimTime(1));
+        if let AdvertBody::Peer(p) = &mut big.body {
+            p.services.push("a-very-long-service-name".into());
+        }
+        assert!(big.wire_size() > small.wire_size());
+    }
+}

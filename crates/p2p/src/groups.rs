@@ -1,0 +1,244 @@
+//! Virtual peer groups (§3.7).
+//!
+//! "We also aim to explore additional capabilities of a peer to support
+//! this discovery process – in particular the ability to group peers with
+//! common capability into virtual peer groups." A [`PeerGroup`] is a named
+//! capability predicate; peers that satisfy it join by publishing their
+//! advertisement tagged with the group's service name
+//! (`group:<name>`), so scoped discovery reuses the ordinary service-query
+//! machinery — exactly how JXTA peer groups ride on advertisements.
+
+use crate::advert::{AdvertBody, Advertisement, PeerAdvert};
+use crate::message::{P2pEvent, QueryKind};
+use crate::overlay::{P2p, PeerId};
+use netsim::{Duration, HostSpec, Network, Sim};
+
+/// Membership requirements for a virtual peer group.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CapabilityPredicate {
+    pub min_cpu_ghz: f64,
+    pub min_ram_mib: u32,
+}
+
+impl CapabilityPredicate {
+    pub fn admits(&self, spec: &HostSpec) -> bool {
+        spec.cpu_ghz >= self.min_cpu_ghz && spec.ram_mib >= self.min_ram_mib
+    }
+}
+
+/// A named capability-based peer group.
+#[derive(Clone, Debug)]
+pub struct PeerGroup {
+    pub name: String,
+    pub predicate: CapabilityPredicate,
+    members: Vec<PeerId>,
+}
+
+impl PeerGroup {
+    pub fn new(name: &str, predicate: CapabilityPredicate) -> Self {
+        PeerGroup {
+            name: name.to_string(),
+            predicate,
+            members: Vec::new(),
+        }
+    }
+
+    /// The service tag members advertise under.
+    pub fn service_tag(&self) -> String {
+        format!("group:{}", self.name)
+    }
+
+    /// The query that discovers members of this group.
+    pub fn membership_query(&self) -> QueryKind {
+        QueryKind::ByService(self.service_tag())
+    }
+
+    pub fn members(&self) -> &[PeerId] {
+        &self.members
+    }
+
+    pub fn is_member(&self, p: PeerId) -> bool {
+        self.members.contains(&p)
+    }
+
+    /// Try to enrol a peer: checks the capability predicate against the
+    /// peer's host spec and, on success, publishes a group-tagged
+    /// advertisement. Returns whether the peer was admitted.
+    pub fn enroll<E: From<P2pEvent>>(
+        &mut self,
+        sim: &mut Sim<E>,
+        net: &mut Network,
+        p2p: &mut P2p,
+        peer: PeerId,
+        lifetime: Duration,
+    ) -> bool {
+        let spec = net.spec(p2p.host_of(peer)).clone();
+        if !self.predicate.admits(&spec) {
+            return false;
+        }
+        if self.is_member(peer) {
+            return true;
+        }
+        self.members.push(peer);
+        let ad = Advertisement {
+            body: AdvertBody::Peer(PeerAdvert {
+                peer,
+                cpu_ghz: spec.cpu_ghz,
+                free_ram_mib: spec.ram_mib,
+                services: vec![self.service_tag()],
+            }),
+            expires: sim.now() + lifetime,
+        };
+        p2p.publish(sim, net, peer, ad);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlay::DiscoveryMode;
+    use netsim::{LinkClass, Pcg32, SimTime};
+
+    struct World {
+        sim: Sim<P2pEvent>,
+        net: Network,
+        p2p: P2p,
+    }
+
+    fn world(cpus: &[f64], mode: DiscoveryMode) -> World {
+        let mut net = Network::new();
+        let mut p2p = P2p::new(mode);
+        for &ghz in cpus {
+            let mut spec = HostSpec::reference_pc();
+            spec.cpu_ghz = ghz;
+            spec.link = LinkClass::Dsl.spec();
+            let h = net.add_host(spec);
+            p2p.add_peer(h);
+        }
+        let mut rng = Pcg32::new(3, 1);
+        p2p.wire_random(3, &mut rng);
+        World {
+            sim: Sim::new(9),
+            net,
+            p2p,
+        }
+    }
+
+    fn drain(w: &mut World) {
+        while let Some(ev) = w.sim.step() {
+            w.p2p.handle(&mut w.sim, &mut w.net, ev);
+        }
+    }
+
+    #[test]
+    fn predicate_gates_membership() {
+        let mut w = world(&[1.0, 2.5, 3.0, 0.8], DiscoveryMode::Flooding);
+        let mut fast = PeerGroup::new(
+            "fast-pcs",
+            CapabilityPredicate {
+                min_cpu_ghz: 2.0,
+                min_ram_mib: 0,
+            },
+        );
+        let lifetime = Duration::from_secs(3600);
+        let admitted: Vec<bool> = (0..4)
+            .map(|i| {
+                fast.enroll(&mut w.sim, &mut w.net, &mut w.p2p, PeerId(i), lifetime)
+            })
+            .collect();
+        assert_eq!(admitted, vec![false, true, true, false]);
+        assert_eq!(fast.members(), &[PeerId(1), PeerId(2)]);
+        assert!(fast.is_member(PeerId(1)));
+        assert!(!fast.is_member(PeerId(0)));
+    }
+
+    #[test]
+    fn scoped_discovery_finds_only_members() {
+        let mut w = world(&[1.0, 2.5, 3.0, 0.8, 2.2], DiscoveryMode::Flooding);
+        let mut fast = PeerGroup::new(
+            "fast-pcs",
+            CapabilityPredicate {
+                min_cpu_ghz: 2.0,
+                min_ram_mib: 0,
+            },
+        );
+        let lifetime = Duration::from_secs(3600);
+        for i in 0..5 {
+            fast.enroll(&mut w.sim, &mut w.net, &mut w.p2p, PeerId(i), lifetime);
+        }
+        drain(&mut w);
+        let q = w.p2p.query(
+            &mut w.sim,
+            &mut w.net,
+            PeerId(0),
+            fast.membership_query(),
+            8,
+        );
+        drain(&mut w);
+        let mut found = w.p2p.queries[&q].providers();
+        found.sort();
+        assert_eq!(found, vec![PeerId(1), PeerId(2), PeerId(4)]);
+    }
+
+    #[test]
+    fn re_enrolling_is_idempotent() {
+        let mut w = world(&[2.5], DiscoveryMode::Flooding);
+        let mut g = PeerGroup::new(
+            "g",
+            CapabilityPredicate {
+                min_cpu_ghz: 1.0,
+                min_ram_mib: 0,
+            },
+        );
+        let lifetime = Duration::from_secs(10);
+        assert!(g.enroll(&mut w.sim, &mut w.net, &mut w.p2p, PeerId(0), lifetime));
+        assert!(g.enroll(&mut w.sim, &mut w.net, &mut w.p2p, PeerId(0), lifetime));
+        assert_eq!(g.members().len(), 1);
+    }
+
+    #[test]
+    fn groups_work_over_rendezvous_too() {
+        let mut w = world(&[2.5, 2.5, 2.5, 1.0, 1.0, 1.0], DiscoveryMode::Rendezvous);
+        let mut rng = Pcg32::new(8, 2);
+        w.p2p.assign_rendezvous(2, &mut rng);
+        let mut g = PeerGroup::new(
+            "workers",
+            CapabilityPredicate {
+                min_cpu_ghz: 2.0,
+                min_ram_mib: 0,
+            },
+        );
+        let lifetime = Duration::from_secs(3600);
+        for i in 0..6 {
+            g.enroll(&mut w.sim, &mut w.net, &mut w.p2p, PeerId(i), lifetime);
+        }
+        drain(&mut w);
+        let q = w
+            .p2p
+            .query(&mut w.sim, &mut w.net, PeerId(5), g.membership_query(), 4);
+        drain(&mut w);
+        let found = w.p2p.queries[&q].providers();
+        assert_eq!(found.len(), 3, "{found:?}");
+    }
+
+    #[test]
+    fn ram_floor_also_enforced() {
+        let mut w = world(&[3.0], DiscoveryMode::Flooding);
+        let mut g = PeerGroup::new(
+            "big-ram",
+            CapabilityPredicate {
+                min_cpu_ghz: 1.0,
+                min_ram_mib: 100_000,
+            },
+        );
+        assert!(!g.enroll(
+            &mut w.sim,
+            &mut w.net,
+            &mut w.p2p,
+            PeerId(0),
+            Duration::from_secs(1)
+        ));
+        let _ = SimTime::ZERO;
+    }
+}

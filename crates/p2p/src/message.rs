@@ -1,0 +1,134 @@
+//! Overlay wire messages, their size model, and the event type.
+
+use crate::advert::Advertisement;
+use crate::overlay::PeerId;
+use crate::pipe::PipeId;
+
+/// Discovery query identifier (unique per origin query).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(pub u64);
+
+/// What a discovery query is looking for.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryKind {
+    /// Peers offering a named service.
+    ByService(String),
+    /// A pipe advertised under a unique connection name (§3.4 binding).
+    ByPipeName(String),
+    /// A code module by name and minimum version (§3.3 on-demand download).
+    ByModule { name: String, min_version: u32 },
+    /// Peers meeting capability thresholds ("CPU capability and available
+    /// free memory", §3.7).
+    ByCapability { min_cpu_ghz: f64, min_ram_mib: u32 },
+}
+
+impl QueryKind {
+    fn wire_size(&self) -> u64 {
+        match self {
+            QueryKind::ByService(s) => 16 + s.len() as u64,
+            QueryKind::ByPipeName(s) => 16 + s.len() as u64,
+            QueryKind::ByModule { name, .. } => 24 + name.len() as u64,
+            QueryKind::ByCapability { .. } => 32,
+        }
+    }
+}
+
+/// A message travelling between peers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// Flooded (or rendezvous-routed) discovery query.
+    Query {
+        id: QueryId,
+        origin: PeerId,
+        prev_hop: PeerId,
+        ttl: u8,
+        kind: QueryKind,
+    },
+    /// Direct response to the query origin.
+    QueryHit {
+        id: QueryId,
+        advert: Advertisement,
+    },
+    /// Publish an advertisement to a rendezvous peer.
+    Publish { advert: Advertisement },
+    /// Application payload over a pipe. The payload itself stays in the
+    /// embedding layer; only its size and an opaque tag travel here.
+    PipeData {
+        pipe: PipeId,
+        tag: u64,
+        bytes: u64,
+    },
+}
+
+impl Message {
+    /// Approximate size on the wire, driving the link model.
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            Message::Query { kind, .. } => 48 + kind.wire_size(),
+            Message::QueryHit { advert, .. } => 32 + advert.wire_size(),
+            Message::Publish { advert } => 24 + advert.wire_size(),
+            Message::PipeData { bytes, .. } => 40 + bytes,
+        }
+    }
+}
+
+/// The overlay's event type; embed it in a larger enum via `From`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum P2pEvent {
+    /// A message finished arriving at `to`.
+    Delivered { to: PeerId, msg: Message },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advert::{AdvertBody, PeerAdvert};
+    use netsim::SimTime;
+
+    #[test]
+    fn pipe_data_size_is_dominated_by_payload() {
+        let m = Message::PipeData {
+            pipe: PipeId(1),
+            tag: 9,
+            bytes: 1_000_000,
+        };
+        assert_eq!(m.wire_size(), 1_000_040);
+    }
+
+    #[test]
+    fn query_size_reflects_kind() {
+        let small = Message::Query {
+            id: QueryId(1),
+            origin: PeerId(0),
+            prev_hop: PeerId(0),
+            ttl: 7,
+            kind: QueryKind::ByService("x".into()),
+        };
+        let large = Message::Query {
+            id: QueryId(1),
+            origin: PeerId(0),
+            prev_hop: PeerId(0),
+            ttl: 7,
+            kind: QueryKind::ByService("a-much-longer-service-name".into()),
+        };
+        assert!(large.wire_size() > small.wire_size());
+    }
+
+    #[test]
+    fn hit_carries_advert_size() {
+        let advert = Advertisement {
+            body: AdvertBody::Peer(PeerAdvert {
+                peer: PeerId(3),
+                cpu_ghz: 1.0,
+                free_ram_mib: 64,
+                services: vec!["triana".into()],
+            }),
+            expires: SimTime(10),
+        };
+        let m = Message::QueryHit {
+            id: QueryId(4),
+            advert: advert.clone(),
+        };
+        assert_eq!(m.wire_size(), 32 + advert.wire_size());
+    }
+}

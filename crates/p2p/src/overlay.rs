@@ -1,0 +1,882 @@
+//! The overlay: peer table, neighbour graph, discovery, and message routing.
+//!
+//! Two discovery modes are implemented behind one API so experiments can
+//! compare them on identical topologies (paper §3.7):
+//!
+//! * [`DiscoveryMode::Flooding`] — Gnutella-style TTL-limited flooding with
+//!   duplicate suppression. "A number of P2P application utilise a
+//!   'flooding' mechanism to forward messages to maximise reachability.
+//!   This severely restricts the scalability of such approaches."
+//! * [`DiscoveryMode::Rendezvous`] — JXTA-style super-peers: edge peers
+//!   publish advertisements to an assigned rendezvous; queries visit the
+//!   rendezvous tier only.
+
+use crate::advert::Advertisement;
+use crate::message::{Message, P2pEvent, QueryId, QueryKind};
+use crate::pipe::{PipeError, PipeId, PipeTable};
+use netsim::{HostId, Network, Pcg32, Sim, SimTime};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Index of a peer within the overlay.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeerId(pub u32);
+
+impl fmt::Debug for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// How discovery queries propagate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiscoveryMode {
+    /// TTL-limited flooding over the neighbour graph.
+    Flooding,
+    /// Publish/lookup via rendezvous super-peers.
+    Rendezvous,
+}
+
+struct PeerState {
+    host: HostId,
+    neighbors: Vec<PeerId>,
+    /// Locally published advertisements.
+    ads: Vec<Advertisement>,
+    /// Assigned rendezvous (edge peers in rendezvous mode).
+    rendezvous: Option<PeerId>,
+    is_rendezvous: bool,
+    /// Advertisement cache (rendezvous peers only).
+    cache: Vec<Advertisement>,
+    /// Flood duplicate suppression.
+    seen: HashSet<QueryId>,
+}
+
+/// Progress record of one discovery query.
+#[derive(Clone, Debug)]
+pub struct QueryStatus {
+    pub kind: QueryKind,
+    pub origin: PeerId,
+    pub sent_at: SimTime,
+    /// (arrival time, advert) per hit, in arrival order. May contain the
+    /// same provider twice if it is reachable via several paths.
+    pub hits: Vec<(SimTime, Advertisement)>,
+    /// Overlay messages attributed to this query (queries + hits).
+    pub messages: u64,
+    /// Distinct peers that processed the query.
+    pub peers_visited: u64,
+}
+
+impl QueryStatus {
+    /// Distinct providers among the hits.
+    pub fn providers(&self) -> Vec<PeerId> {
+        let mut seen = HashSet::new();
+        self.hits
+            .iter()
+            .map(|(_, ad)| ad.peer())
+            .filter(|p| seen.insert(*p))
+            .collect()
+    }
+
+    /// Latency from query emission to first hit.
+    pub fn first_hit_latency(&self) -> Option<netsim::Duration> {
+        self.hits.first().map(|(t, _)| t.since(self.sent_at))
+    }
+}
+
+/// A notification surfaced to the embedding layer by [`P2p::handle`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Incoming {
+    /// A query hit arrived at the origin (also recorded in [`QueryStatus`]).
+    QueryHit { id: QueryId, advert: Advertisement },
+    /// Application data arrived on a pipe.
+    PipeData {
+        to: PeerId,
+        pipe: PipeId,
+        tag: u64,
+        bytes: u64,
+    },
+}
+
+/// The overlay network state.
+pub struct P2p {
+    pub mode: DiscoveryMode,
+    peers: Vec<PeerState>,
+    pub pipes: PipeTable,
+    pub queries: HashMap<QueryId, QueryStatus>,
+    next_query: u64,
+    rendezvous_peers: Vec<PeerId>,
+    /// Messages that could not be sent because an endpoint was offline.
+    pub send_failures: u64,
+}
+
+impl P2p {
+    pub fn new(mode: DiscoveryMode) -> Self {
+        P2p {
+            mode,
+            peers: Vec::new(),
+            pipes: PipeTable::new(),
+            queries: HashMap::new(),
+            next_query: 0,
+            rendezvous_peers: Vec::new(),
+            send_failures: 0,
+        }
+    }
+
+    /// Enrol a host as a peer.
+    pub fn add_peer(&mut self, host: HostId) -> PeerId {
+        let id = PeerId(self.peers.len() as u32);
+        self.peers.push(PeerState {
+            host,
+            neighbors: Vec::new(),
+            ads: Vec::new(),
+            rendezvous: None,
+            is_rendezvous: false,
+            cache: Vec::new(),
+            seen: HashSet::new(),
+        });
+        id
+    }
+
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    pub fn host_of(&self, p: PeerId) -> HostId {
+        self.peers[p.0 as usize].host
+    }
+
+    pub fn peer_ids(&self) -> impl Iterator<Item = PeerId> + '_ {
+        (0..self.peers.len() as u32).map(PeerId)
+    }
+
+    pub fn neighbors(&self, p: PeerId) -> &[PeerId] {
+        &self.peers[p.0 as usize].neighbors
+    }
+
+    pub fn is_rendezvous(&self, p: PeerId) -> bool {
+        self.peers[p.0 as usize].is_rendezvous
+    }
+
+    /// Wire the neighbour graph: a ring (guaranteeing connectivity) plus
+    /// random chords until each peer has ~`degree` neighbours. Deterministic
+    /// for a given rng stream.
+    pub fn wire_random(&mut self, degree: usize, rng: &mut Pcg32) {
+        let n = self.peers.len();
+        if n < 2 {
+            return;
+        }
+        let connect = |a: usize, b: usize, peers: &mut Vec<PeerState>| {
+            if a == b {
+                return;
+            }
+            let (pa, pb) = (PeerId(a as u32), PeerId(b as u32));
+            if !peers[a].neighbors.contains(&pb) {
+                peers[a].neighbors.push(pb);
+                peers[b].neighbors.push(pa);
+            }
+        };
+        for i in 0..n {
+            connect(i, (i + 1) % n, &mut self.peers);
+        }
+        for i in 0..n {
+            while self.peers[i].neighbors.len() < degree.min(n - 1) {
+                let j = rng.below(n as u64) as usize;
+                if j == i || self.peers[i].neighbors.contains(&PeerId(j as u32)) {
+                    // Avoid spinning forever on small dense graphs.
+                    if self.peers[i].neighbors.len() >= n - 1 {
+                        break;
+                    }
+                    continue;
+                }
+                connect(i, j, &mut self.peers);
+            }
+        }
+    }
+
+    /// Promote `count` peers (spread deterministically by the rng) to
+    /// rendezvous, and assign every edge peer its rendezvous.
+    pub fn assign_rendezvous(&mut self, count: usize, rng: &mut Pcg32) {
+        assert!(count >= 1, "need at least one rendezvous");
+        let n = self.peers.len();
+        let mut idx: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut idx);
+        self.rendezvous_peers = idx[..count.min(n)]
+            .iter()
+            .map(|&i| PeerId(i as u32))
+            .collect();
+        for &r in &self.rendezvous_peers {
+            self.peers[r.0 as usize].is_rendezvous = true;
+        }
+        for i in 0..n {
+            if !self.peers[i].is_rendezvous {
+                let r = self.rendezvous_peers
+                    [rng.below(self.rendezvous_peers.len() as u64) as usize];
+                self.peers[i].rendezvous = Some(r);
+            }
+        }
+    }
+
+    pub fn rendezvous_peers(&self) -> &[PeerId] {
+        &self.rendezvous_peers
+    }
+
+    fn send<E: From<P2pEvent>>(
+        &mut self,
+        sim: &mut Sim<E>,
+        net: &mut Network,
+        from: PeerId,
+        to: PeerId,
+        msg: Message,
+    ) -> bool {
+        // Attribute query traffic.
+        let qid = match &msg {
+            Message::Query { id, .. } | Message::QueryHit { id, .. } => Some(*id),
+            _ => None,
+        };
+        let bytes = msg.wire_size();
+        let src = self.peers[from.0 as usize].host;
+        let dst = self.peers[to.0 as usize].host;
+        match net.transfer(sim.now(), src, dst, bytes) {
+            Ok(delay) => {
+                if let Some(id) = qid {
+                    if let Some(q) = self.queries.get_mut(&id) {
+                        q.messages += 1;
+                    }
+                }
+                sim.schedule(delay, P2pEvent::Delivered { to, msg }.into());
+                true
+            }
+            Err(_) => {
+                self.send_failures += 1;
+                false
+            }
+        }
+    }
+
+    /// Publish an advertisement: stored locally; in rendezvous mode also
+    /// pushed to the peer's rendezvous cache (or its own cache if it *is*
+    /// a rendezvous).
+    pub fn publish<E: From<P2pEvent>>(
+        &mut self,
+        sim: &mut Sim<E>,
+        net: &mut Network,
+        peer: PeerId,
+        advert: Advertisement,
+    ) {
+        self.peers[peer.0 as usize].ads.push(advert.clone());
+        if self.mode == DiscoveryMode::Rendezvous {
+            if self.peers[peer.0 as usize].is_rendezvous {
+                self.peers[peer.0 as usize].cache.push(advert);
+            } else if let Some(r) = self.peers[peer.0 as usize].rendezvous {
+                self.send(sim, net, peer, r, Message::Publish { advert });
+            }
+        }
+    }
+
+    /// Issue a discovery query from `origin`. `ttl` bounds flooding depth
+    /// (ignored beyond the rendezvous tier in rendezvous mode).
+    pub fn query<E: From<P2pEvent>>(
+        &mut self,
+        sim: &mut Sim<E>,
+        net: &mut Network,
+        origin: PeerId,
+        kind: QueryKind,
+        ttl: u8,
+    ) -> QueryId {
+        let id = QueryId(self.next_query);
+        self.next_query += 1;
+        self.queries.insert(
+            id,
+            QueryStatus {
+                kind: kind.clone(),
+                origin,
+                sent_at: sim.now(),
+                hits: Vec::new(),
+                messages: 0,
+                peers_visited: 0,
+            },
+        );
+        // The origin always answers from its own adverts first (free).
+        self.local_hits(sim.now(), origin, id, &kind);
+        self.peers[origin.0 as usize].seen.insert(id);
+        if let Some(q) = self.queries.get_mut(&id) {
+            q.peers_visited += 1;
+        }
+        match self.mode {
+            DiscoveryMode::Flooding => {
+                let neighbors = self.peers[origin.0 as usize].neighbors.clone();
+                for nb in neighbors {
+                    let msg = Message::Query {
+                        id,
+                        origin,
+                        prev_hop: origin,
+                        ttl,
+                        kind: kind.clone(),
+                    };
+                    self.send(sim, net, origin, nb, msg);
+                }
+            }
+            DiscoveryMode::Rendezvous => {
+                let target = if self.peers[origin.0 as usize].is_rendezvous {
+                    Some(origin)
+                } else {
+                    self.peers[origin.0 as usize].rendezvous
+                };
+                match target {
+                    Some(r) if r != origin => {
+                        let msg = Message::Query {
+                            id,
+                            origin,
+                            prev_hop: origin,
+                            ttl: 1,
+                            kind,
+                        };
+                        self.send(sim, net, origin, r, msg);
+                    }
+                    Some(r) => {
+                        // Origin is itself a rendezvous: answer from cache
+                        // and fan out to the other rendezvous.
+                        self.rendezvous_process(sim, net, r, id, origin, 1, kind);
+                    }
+                    None => {}
+                }
+            }
+        }
+        id
+    }
+
+    /// Local adverts matching a query produce hits. At the origin these are
+    /// recorded directly; elsewhere they are sent back over the network.
+    fn local_hits(&mut self, now: SimTime, at: PeerId, id: QueryId, kind: &QueryKind) {
+        let matching: Vec<Advertisement> = self.peers[at.0 as usize]
+            .ads
+            .iter()
+            .filter(|ad| ad.matches(kind, now))
+            .cloned()
+            .collect();
+        if let Some(q) = self.queries.get_mut(&id) {
+            for ad in matching {
+                q.hits.push((now, ad));
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal dispatch: all fields are live routing state
+    fn rendezvous_process<E: From<P2pEvent>>(
+        &mut self,
+        sim: &mut Sim<E>,
+        net: &mut Network,
+        rdv: PeerId,
+        id: QueryId,
+        origin: PeerId,
+        ttl: u8,
+        kind: QueryKind,
+    ) {
+        let now = sim.now();
+        let hits: Vec<Advertisement> = self.peers[rdv.0 as usize]
+            .cache
+            .iter()
+            .chain(self.peers[rdv.0 as usize].ads.iter())
+            .filter(|ad| ad.matches(&kind, now))
+            .cloned()
+            .collect();
+        for advert in hits {
+            if rdv == origin {
+                if let Some(q) = self.queries.get_mut(&id) {
+                    q.hits.push((now, advert));
+                }
+            } else {
+                self.send(sim, net, rdv, origin, Message::QueryHit { id, advert });
+            }
+        }
+        if ttl > 0 {
+            let others: Vec<PeerId> = self
+                .rendezvous_peers
+                .iter()
+                .copied()
+                .filter(|&r| r != rdv)
+                .collect();
+            for r in others {
+                let msg = Message::Query {
+                    id,
+                    origin,
+                    prev_hop: rdv,
+                    ttl: ttl - 1,
+                    kind: kind.clone(),
+                };
+                self.send(sim, net, rdv, r, msg);
+            }
+        }
+    }
+
+    /// Send application data over a bound pipe. Returns the routing error if
+    /// the pipe is unknown/unbound, `Ok(false)` if the network dropped it.
+    pub fn send_pipe<E: From<P2pEvent>>(
+        &mut self,
+        sim: &mut Sim<E>,
+        net: &mut Network,
+        from: PeerId,
+        pipe: PipeId,
+        tag: u64,
+        bytes: u64,
+    ) -> Result<bool, PipeError> {
+        let receiver = self.pipes.route(pipe, from)?;
+        Ok(self.send(sim, net, from, receiver, Message::PipeData { pipe, tag, bytes }))
+    }
+
+    /// Process a delivered overlay event; returns notifications for the
+    /// embedding layer.
+    pub fn handle<E: From<P2pEvent>>(
+        &mut self,
+        sim: &mut Sim<E>,
+        net: &mut Network,
+        ev: P2pEvent,
+    ) -> Vec<Incoming> {
+        let P2pEvent::Delivered { to, msg } = ev;
+        let mut out = Vec::new();
+        // A message arriving at an offline peer is lost.
+        if !net.is_online(self.peers[to.0 as usize].host) {
+            return out;
+        }
+        match msg {
+            Message::Query {
+                id,
+                origin,
+                prev_hop,
+                ttl,
+                kind,
+            } => {
+                if !self.peers[to.0 as usize].seen.insert(id) {
+                    return out; // duplicate
+                }
+                if let Some(q) = self.queries.get_mut(&id) {
+                    q.peers_visited += 1;
+                }
+                match self.mode {
+                    DiscoveryMode::Flooding => {
+                        let now = sim.now();
+                        let hits: Vec<Advertisement> = self.peers[to.0 as usize]
+                            .ads
+                            .iter()
+                            .filter(|ad| ad.matches(&kind, now))
+                            .cloned()
+                            .collect();
+                        for advert in hits {
+                            self.send(sim, net, to, origin, Message::QueryHit { id, advert });
+                        }
+                        if ttl > 0 {
+                            let fwd: Vec<PeerId> = self.peers[to.0 as usize]
+                                .neighbors
+                                .iter()
+                                .copied()
+                                .filter(|&nb| nb != prev_hop && nb != origin)
+                                .collect();
+                            for nb in fwd {
+                                let msg = Message::Query {
+                                    id,
+                                    origin,
+                                    prev_hop: to,
+                                    ttl: ttl - 1,
+                                    kind: kind.clone(),
+                                };
+                                self.send(sim, net, to, nb, msg);
+                            }
+                        }
+                    }
+                    DiscoveryMode::Rendezvous => {
+                        self.rendezvous_process(sim, net, to, id, origin, ttl, kind);
+                    }
+                }
+            }
+            Message::QueryHit { id, advert } => {
+                if let Some(q) = self.queries.get_mut(&id) {
+                    q.hits.push((sim.now(), advert.clone()));
+                }
+                out.push(Incoming::QueryHit { id, advert });
+            }
+            Message::Publish { advert } => {
+                self.peers[to.0 as usize].cache.push(advert);
+            }
+            Message::PipeData { pipe, tag, bytes } => {
+                out.push(Incoming::PipeData {
+                    to,
+                    pipe,
+                    tag,
+                    bytes,
+                });
+            }
+        }
+        out
+    }
+
+    /// Drop expired advertisements from every peer's local set and
+    /// rendezvous cache. Peers would run this periodically; experiments
+    /// call it between phases. Returns how many ads were discarded.
+    pub fn purge_expired(&mut self, now: SimTime) -> usize {
+        let mut dropped = 0;
+        for p in &mut self.peers {
+            let before = p.ads.len() + p.cache.len();
+            p.ads.retain(|ad| !ad.is_expired(now));
+            p.cache.retain(|ad| !ad.is_expired(now));
+            dropped += before - p.ads.len() - p.cache.len();
+        }
+        dropped
+    }
+
+    /// Forget all seen-query state (between experiment repetitions).
+    pub fn reset_query_state(&mut self) {
+        for p in &mut self.peers {
+            p.seen.clear();
+        }
+        self.queries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advert::{AdvertBody, PeerAdvert};
+    use netsim::{HostSpec, LinkClass};
+
+    type Ev = P2pEvent;
+
+    struct World {
+        sim: Sim<Ev>,
+        net: Network,
+        p2p: P2p,
+    }
+
+    fn world(n: usize, mode: DiscoveryMode) -> World {
+        let mut net = Network::new();
+        let mut p2p = P2p::new(mode);
+        for _ in 0..n {
+            let mut spec = HostSpec::reference_pc();
+            spec.link = LinkClass::Dsl.spec();
+            let h = net.add_host(spec);
+            p2p.add_peer(h);
+        }
+        World {
+            sim: Sim::new(7),
+            net,
+            p2p,
+        }
+    }
+
+    fn run(w: &mut World) -> Vec<Incoming> {
+        let mut all = Vec::new();
+        // Drain with an explicit loop to keep borrows separate.
+        while let Some(ev) = w.sim.step() {
+            all.extend(w.p2p.handle(&mut w.sim, &mut w.net, ev));
+        }
+        all
+    }
+
+    fn triana_ad(peer: PeerId, expires: SimTime) -> Advertisement {
+        Advertisement {
+            body: AdvertBody::Peer(PeerAdvert {
+                peer,
+                cpu_ghz: 2.0,
+                free_ram_mib: 512,
+                services: vec!["triana".into()],
+            }),
+            expires,
+        }
+    }
+
+    #[test]
+    fn flooding_finds_provider_on_ring() {
+        let mut w = world(8, DiscoveryMode::Flooding);
+        let mut rng = Pcg32::new(1, 1);
+        w.p2p.wire_random(2, &mut rng); // pure ring
+        let provider = PeerId(4);
+        let ad = triana_ad(provider, SimTime::from_secs(3600));
+        w.p2p.peers[provider.0 as usize].ads.push(ad);
+        let qid = w.p2p.query(
+            &mut w.sim,
+            &mut w.net,
+            PeerId(0),
+            QueryKind::ByService("triana".into()),
+            7,
+        );
+        run(&mut w);
+        let q = &w.p2p.queries[&qid];
+        assert_eq!(q.providers(), vec![provider]);
+        assert!(q.first_hit_latency().unwrap().as_micros() > 0);
+        // Ring of 8, ttl 7: everyone visited.
+        assert_eq!(q.peers_visited, 8);
+    }
+
+    #[test]
+    fn ttl_limits_flood_reach() {
+        let mut w = world(16, DiscoveryMode::Flooding);
+        let mut rng = Pcg32::new(1, 1);
+        w.p2p.wire_random(2, &mut rng); // ring
+        let far = PeerId(8); // 8 hops away on a 16-ring
+        let ad = triana_ad(far, SimTime::from_secs(3600));
+        w.p2p.peers[far.0 as usize].ads.push(ad);
+        let qid = w.p2p.query(
+            &mut w.sim,
+            &mut w.net,
+            PeerId(0),
+            QueryKind::ByService("triana".into()),
+            3,
+        );
+        run(&mut w);
+        let q = &w.p2p.queries[&qid];
+        assert!(q.hits.is_empty(), "ttl 3 cannot reach 8 hops");
+        // ttl 3 on a ring: origin + 4 peers each side = 9 visited.
+        assert_eq!(q.peers_visited, 9);
+    }
+
+    #[test]
+    fn duplicate_suppression_bounds_messages() {
+        let mut w = world(10, DiscoveryMode::Flooding);
+        let mut rng = Pcg32::new(2, 1);
+        w.p2p.wire_random(4, &mut rng);
+        let qid = w.p2p.query(
+            &mut w.sim,
+            &mut w.net,
+            PeerId(0),
+            QueryKind::ByService("none".into()),
+            8,
+        );
+        run(&mut w);
+        let q = &w.p2p.queries[&qid];
+        // Each peer forwards a given query at most once to each neighbour:
+        // messages bounded by sum of degrees (~edges * 2).
+        let edge_bound: u64 = (0..10).map(|i| w.p2p.neighbors(PeerId(i)).len() as u64).sum();
+        assert!(q.messages <= edge_bound, "{} > {}", q.messages, edge_bound);
+        assert_eq!(q.peers_visited, 10);
+    }
+
+    #[test]
+    fn rendezvous_uses_far_fewer_messages_than_flooding() {
+        let n = 40;
+        let mk = |mode| {
+            let mut w = world(n, mode);
+            let mut rng = Pcg32::new(3, 1);
+            w.p2p.wire_random(4, &mut rng);
+            if mode == DiscoveryMode::Rendezvous {
+                let mut r2 = Pcg32::new(4, 2);
+                w.p2p.assign_rendezvous(3, &mut r2);
+            }
+            let provider = PeerId(17);
+            let ad = triana_ad(provider, SimTime::from_secs(3600));
+            w.p2p
+                .publish(&mut w.sim, &mut w.net, provider, ad);
+            // Let the publish propagate before querying.
+            while let Some(ev) = w.sim.step() {
+                w.p2p.handle(&mut w.sim, &mut w.net, ev);
+            }
+            let qid = w.p2p.query(
+                &mut w.sim,
+                &mut w.net,
+                PeerId(0),
+                QueryKind::ByService("triana".into()),
+                8,
+            );
+            run(&mut w);
+            let q = &w.p2p.queries[&qid];
+            (q.messages, q.providers())
+        };
+        let (flood_msgs, flood_prov) = mk(DiscoveryMode::Flooding);
+        let (rdv_msgs, rdv_prov) = mk(DiscoveryMode::Rendezvous);
+        assert_eq!(flood_prov, vec![PeerId(17)]);
+        assert_eq!(rdv_prov, vec![PeerId(17)]);
+        assert!(
+            rdv_msgs * 4 < flood_msgs,
+            "rendezvous {rdv_msgs} vs flooding {flood_msgs}"
+        );
+    }
+
+    #[test]
+    fn origin_answers_its_own_query_locally() {
+        let mut w = world(4, DiscoveryMode::Flooding);
+        let mut rng = Pcg32::new(5, 1);
+        w.p2p.wire_random(2, &mut rng);
+        let me = PeerId(2);
+        let ad = triana_ad(me, SimTime::from_secs(10));
+        w.p2p.peers[me.0 as usize].ads.push(ad);
+        let qid = w.p2p.query(
+            &mut w.sim,
+            &mut w.net,
+            me,
+            QueryKind::ByService("triana".into()),
+            0,
+        );
+        // No network round-trip needed for the local hit.
+        let q = &w.p2p.queries[&qid];
+        assert_eq!(q.hits.len(), 1);
+        assert_eq!(q.first_hit_latency().unwrap(), netsim::Duration::ZERO);
+    }
+
+    #[test]
+    fn offline_peer_drops_inbound_query() {
+        let mut w = world(3, DiscoveryMode::Flooding);
+        let mut rng = Pcg32::new(6, 1);
+        w.p2p.wire_random(2, &mut rng);
+        let provider = PeerId(1);
+        let ad = triana_ad(provider, SimTime::from_secs(3600));
+        w.p2p.peers[provider.0 as usize].ads.push(ad);
+        // Take provider offline *after* the query is sent but before
+        // delivery: the message is lost at arrival.
+        let qid = w.p2p.query(
+            &mut w.sim,
+            &mut w.net,
+            PeerId(0),
+            QueryKind::ByService("triana".into()),
+            2,
+        );
+        let host = w.p2p.host_of(provider);
+        w.net.set_online(host, false);
+        run(&mut w);
+        let q = &w.p2p.queries[&qid];
+        assert!(q.providers().is_empty());
+    }
+
+    #[test]
+    fn pipe_data_flows_end_to_end() {
+        let mut w = world(2, DiscoveryMode::Flooding);
+        let pipe = w.p2p.pipes.advertise("conn.0", PeerId(1)).unwrap();
+        w.p2p.pipes.bind(pipe, PeerId(0)).unwrap();
+        let sent = w
+            .p2p
+            .send_pipe(&mut w.sim, &mut w.net, PeerId(0), pipe, 99, 10_000)
+            .unwrap();
+        assert!(sent);
+        let incoming = run(&mut w);
+        assert_eq!(
+            incoming,
+            vec![Incoming::PipeData {
+                to: PeerId(1),
+                pipe,
+                tag: 99,
+                bytes: 10_000
+            }]
+        );
+        // Larger payloads take longer on consumer links.
+        let t_small = w.sim.now();
+        w.p2p
+            .send_pipe(&mut w.sim, &mut w.net, PeerId(0), pipe, 100, 10_000_000)
+            .unwrap();
+        run(&mut w);
+        assert!(w.sim.now().since(t_small).as_secs_f64() > 1.0);
+    }
+
+    #[test]
+    fn unbound_pipe_send_is_an_error() {
+        let mut w = world(2, DiscoveryMode::Flooding);
+        let pipe = w.p2p.pipes.advertise("conn.1", PeerId(1)).unwrap();
+        assert!(w
+            .p2p
+            .send_pipe(&mut w.sim, &mut w.net, PeerId(0), pipe, 0, 10)
+            .is_err());
+    }
+
+    #[test]
+    fn expired_ads_are_not_discovered() {
+        let mut w = world(4, DiscoveryMode::Flooding);
+        let mut rng = Pcg32::new(8, 1);
+        w.p2p.wire_random(2, &mut rng);
+        let provider = PeerId(2);
+        let ad = triana_ad(provider, SimTime(1)); // expires almost immediately
+        w.p2p.peers[provider.0 as usize].ads.push(ad);
+        let qid = w.p2p.query(
+            &mut w.sim,
+            &mut w.net,
+            PeerId(0),
+            QueryKind::ByService("triana".into()),
+            4,
+        );
+        run(&mut w);
+        assert!(w.p2p.queries[&qid].hits.is_empty());
+    }
+
+    #[test]
+    fn wire_random_produces_connected_symmetric_graph() {
+        let mut w = world(30, DiscoveryMode::Flooding);
+        let mut rng = Pcg32::new(9, 1);
+        w.p2p.wire_random(4, &mut rng);
+        // Symmetry
+        for p in 0..30u32 {
+            for &nb in w.p2p.neighbors(PeerId(p)) {
+                assert!(w.p2p.neighbors(nb).contains(&PeerId(p)));
+            }
+            assert!(w.p2p.neighbors(PeerId(p)).len() >= 4);
+        }
+        // Connectivity via BFS
+        let mut seen = [false; 30];
+        let mut stack = Vec::from([PeerId(0)]);
+        seen[0] = true;
+        while let Some(p) = stack.pop() {
+            for &nb in w.p2p.neighbors(p) {
+                if !seen[nb.0 as usize] {
+                    seen[nb.0 as usize] = true;
+                    stack.push(nb);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn purge_expired_empties_caches() {
+        let mut w = world(4, DiscoveryMode::Rendezvous);
+        let mut rng = Pcg32::new(12, 1);
+        w.p2p.wire_random(2, &mut rng);
+        w.p2p.assign_rendezvous(1, &mut rng);
+        let short = triana_ad(PeerId(1), SimTime::from_secs(10));
+        let long = triana_ad(PeerId(2), SimTime::from_secs(10_000));
+        w.p2p.publish(&mut w.sim, &mut w.net, PeerId(1), short);
+        w.p2p.publish(&mut w.sim, &mut w.net, PeerId(2), long);
+        run(&mut w);
+        // After the short ad expires, purge drops it everywhere (local set
+        // + rendezvous cache) but keeps the live one.
+        let dropped = w.p2p.purge_expired(SimTime::from_secs(100));
+        assert!(dropped >= 1, "dropped {dropped}");
+        let dropped_again = w.p2p.purge_expired(SimTime::from_secs(100));
+        assert_eq!(dropped_again, 0, "purge is idempotent");
+        // The live ad is still discoverable.
+        let qid = w.p2p.query(
+            &mut w.sim,
+            &mut w.net,
+            PeerId(0),
+            QueryKind::ByService("triana".into()),
+            4,
+        );
+        run(&mut w);
+        assert_eq!(w.p2p.queries[&qid].providers(), vec![PeerId(2)]);
+    }
+
+    #[test]
+    fn reset_query_state_allows_requery() {
+        let mut w = world(6, DiscoveryMode::Flooding);
+        let mut rng = Pcg32::new(10, 1);
+        w.p2p.wire_random(2, &mut rng);
+        let provider = PeerId(3);
+        let ad = triana_ad(provider, SimTime::from_secs(3600));
+        w.p2p.peers[provider.0 as usize].ads.push(ad);
+        for _ in 0..2 {
+            let qid = w.p2p.query(
+                &mut w.sim,
+                &mut w.net,
+                PeerId(0),
+                QueryKind::ByService("triana".into()),
+                5,
+            );
+            run(&mut w);
+            assert_eq!(w.p2p.queries[&qid].providers(), vec![provider]);
+            w.p2p.reset_query_state();
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Virtual pipes: named unidirectional channels between peers.
+//!
+//! §3.4: "for each input connection, the remote service advertises an input
+//! pipe with that connection's unique name. Since the local service knows
+//! the connection's unique name it locates the pipe with that name and binds
+//! to it." A [`PipeTable`] tracks advertised endpoints and bound senders;
+//! actual transfer timing is handled by the overlay via the network model.
+
+use crate::overlay::PeerId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an advertised pipe endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PipeId(pub u64);
+
+impl fmt::Display for PipeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pipe{}", self.0)
+    }
+}
+
+/// One advertised input pipe.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PipeEndpoint {
+    pub id: PipeId,
+    pub name: String,
+    /// The receiving peer (which advertised the endpoint).
+    pub receiver: PeerId,
+    /// The peer currently bound as sender, if any.
+    pub sender: Option<PeerId>,
+}
+
+/// Registry of pipes known to the local overlay instance.
+#[derive(Debug, Default)]
+pub struct PipeTable {
+    pipes: HashMap<PipeId, PipeEndpoint>,
+    by_name: HashMap<String, PipeId>,
+    next_id: u64,
+}
+
+/// Pipe operation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PipeError {
+    DuplicateName(String),
+    UnknownPipe(PipeId),
+    AlreadyBound(PipeId),
+    NotBound(PipeId),
+    WrongSender { pipe: PipeId, expected: PeerId },
+}
+
+impl fmt::Display for PipeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipeError::DuplicateName(n) => write!(f, "pipe name `{n}` already advertised"),
+            PipeError::UnknownPipe(p) => write!(f, "unknown {p}"),
+            PipeError::AlreadyBound(p) => write!(f, "{p} already bound"),
+            PipeError::NotBound(p) => write!(f, "{p} has no bound sender"),
+            PipeError::WrongSender { pipe, expected } => {
+                write!(f, "{pipe} is bound to peer {}", expected.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipeError {}
+
+impl PipeTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advertise an input pipe under a unique connection name.
+    pub fn advertise(&mut self, name: &str, receiver: PeerId) -> Result<PipeId, PipeError> {
+        if self.by_name.contains_key(name) {
+            return Err(PipeError::DuplicateName(name.to_string()));
+        }
+        let id = PipeId(self.next_id);
+        self.next_id += 1;
+        self.pipes.insert(
+            id,
+            PipeEndpoint {
+                id,
+                name: name.to_string(),
+                receiver,
+                sender: None,
+            },
+        );
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Look a pipe up by its unique connection name.
+    pub fn lookup(&self, name: &str) -> Option<&PipeEndpoint> {
+        self.by_name.get(name).and_then(|id| self.pipes.get(id))
+    }
+
+    pub fn get(&self, id: PipeId) -> Option<&PipeEndpoint> {
+        self.pipes.get(&id)
+    }
+
+    /// Bind `sender` to the pipe (one sender per pipe).
+    pub fn bind(&mut self, id: PipeId, sender: PeerId) -> Result<(), PipeError> {
+        let p = self.pipes.get_mut(&id).ok_or(PipeError::UnknownPipe(id))?;
+        if p.sender.is_some() {
+            return Err(PipeError::AlreadyBound(id));
+        }
+        p.sender = Some(sender);
+        Ok(())
+    }
+
+    /// Validate that `from` may send on `id` and return the receiver.
+    pub fn route(&self, id: PipeId, from: PeerId) -> Result<PeerId, PipeError> {
+        let p = self.pipes.get(&id).ok_or(PipeError::UnknownPipe(id))?;
+        match p.sender {
+            None => Err(PipeError::NotBound(id)),
+            Some(s) if s == from => Ok(p.receiver),
+            Some(s) => Err(PipeError::WrongSender {
+                pipe: id,
+                expected: s,
+            }),
+        }
+    }
+
+    /// Remove a pipe (e.g. when its owner leaves).
+    pub fn remove(&mut self, id: PipeId) -> Option<PipeEndpoint> {
+        let p = self.pipes.remove(&id)?;
+        self.by_name.remove(&p.name);
+        Some(p)
+    }
+
+    pub fn len(&self) -> usize {
+        self.pipes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pipes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advertise_lookup_bind_route() {
+        let mut t = PipeTable::new();
+        let id = t.advertise("job42.group0.node0", PeerId(7)).unwrap();
+        assert_eq!(t.lookup("job42.group0.node0").unwrap().id, id);
+        t.bind(id, PeerId(3)).unwrap();
+        assert_eq!(t.route(id, PeerId(3)), Ok(PeerId(7)));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut t = PipeTable::new();
+        t.advertise("n", PeerId(1)).unwrap();
+        assert_eq!(
+            t.advertise("n", PeerId(2)),
+            Err(PipeError::DuplicateName("n".into()))
+        );
+    }
+
+    #[test]
+    fn single_sender_enforced() {
+        let mut t = PipeTable::new();
+        let id = t.advertise("n", PeerId(1)).unwrap();
+        t.bind(id, PeerId(2)).unwrap();
+        assert_eq!(t.bind(id, PeerId(3)), Err(PipeError::AlreadyBound(id)));
+        assert_eq!(
+            t.route(id, PeerId(3)),
+            Err(PipeError::WrongSender {
+                pipe: id,
+                expected: PeerId(2)
+            })
+        );
+    }
+
+    #[test]
+    fn unbound_pipe_rejects_send() {
+        let mut t = PipeTable::new();
+        let id = t.advertise("n", PeerId(1)).unwrap();
+        assert_eq!(t.route(id, PeerId(2)), Err(PipeError::NotBound(id)));
+    }
+
+    #[test]
+    fn remove_frees_the_name() {
+        let mut t = PipeTable::new();
+        let id = t.advertise("n", PeerId(1)).unwrap();
+        assert_eq!(t.remove(id).unwrap().name, "n");
+        assert!(t.lookup("n").is_none());
+        assert!(t.is_empty());
+        // the name can be re-advertised afterwards
+        t.advertise("n", PeerId(2)).unwrap();
+    }
+
+    #[test]
+    fn unknown_pipe_errors() {
+        let mut t = PipeTable::new();
+        assert_eq!(
+            t.bind(PipeId(99), PeerId(0)),
+            Err(PipeError::UnknownPipe(PipeId(99)))
+        );
+        assert!(t.get(PipeId(99)).is_none());
+    }
+}

@@ -1,0 +1,139 @@
+//! Virtual accounts and billing.
+//!
+//! Instead of per-user OS accounts (the Globus model the paper criticises),
+//! every job on a Triana peer runs under a **virtual account** identified by
+//! the submitting controller. The peer meters usage per virtual account so
+//! the owner can bill or cap donations.
+
+use netsim::{Duration, SimTime};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identity of a submitting user/controller, as seen by a resource owner.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VirtualAccount(pub String);
+
+impl fmt::Display for VirtualAccount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "va:{}", self.0)
+    }
+}
+
+/// One metered job execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UsageRecord {
+    pub at: SimTime,
+    pub cpu: Duration,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+    /// Work metered by the sandbox (TVM instructions) where applicable.
+    pub instructions: u64,
+}
+
+/// Aggregate usage for one account.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AccountTotals {
+    pub jobs: u64,
+    pub cpu: Duration,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+    pub instructions: u64,
+}
+
+/// Per-peer billing ledger keyed by virtual account.
+#[derive(Debug, Default)]
+pub struct BillingLedger {
+    records: HashMap<VirtualAccount, Vec<UsageRecord>>,
+}
+
+impl BillingLedger {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn charge(&mut self, account: &VirtualAccount, rec: UsageRecord) {
+        self.records.entry(account.clone()).or_default().push(rec);
+    }
+
+    pub fn records(&self, account: &VirtualAccount) -> &[UsageRecord] {
+        self.records.get(account).map_or(&[], Vec::as_slice)
+    }
+
+    pub fn totals(&self, account: &VirtualAccount) -> AccountTotals {
+        let mut t = AccountTotals::default();
+        for r in self.records(account) {
+            t.jobs += 1;
+            t.cpu += r.cpu;
+            t.bytes_in += r.bytes_in;
+            t.bytes_out += r.bytes_out;
+            t.instructions += r.instructions;
+        }
+        t
+    }
+
+    /// Total CPU donated across all accounts.
+    pub fn total_cpu(&self) -> Duration {
+        self.records
+            .values()
+            .flatten()
+            .fold(Duration::ZERO, |acc, r| acc + r.cpu)
+    }
+
+    pub fn accounts(&self) -> impl Iterator<Item = &VirtualAccount> {
+        self.records.keys()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(secs: u64) -> UsageRecord {
+        UsageRecord {
+            at: SimTime::from_secs(secs),
+            cpu: Duration::from_secs(secs),
+            bytes_in: 100,
+            bytes_out: 50,
+            instructions: 1_000,
+        }
+    }
+
+    #[test]
+    fn charges_accumulate_per_account() {
+        let mut ledger = BillingLedger::new();
+        let alice = VirtualAccount("alice".into());
+        let bob = VirtualAccount("bob".into());
+        ledger.charge(&alice, rec(10));
+        ledger.charge(&alice, rec(20));
+        ledger.charge(&bob, rec(5));
+        let a = ledger.totals(&alice);
+        assert_eq!(a.jobs, 2);
+        assert_eq!(a.cpu, Duration::from_secs(30));
+        assert_eq!(a.bytes_in, 200);
+        assert_eq!(a.instructions, 2_000);
+        assert_eq!(ledger.totals(&bob).jobs, 1);
+        assert_eq!(ledger.total_cpu(), Duration::from_secs(35));
+    }
+
+    #[test]
+    fn unknown_account_reads_as_zero() {
+        let ledger = BillingLedger::new();
+        let ghost = VirtualAccount("ghost".into());
+        assert_eq!(ledger.totals(&ghost), AccountTotals::default());
+        assert!(ledger.records(&ghost).is_empty());
+    }
+
+    #[test]
+    fn records_are_kept_in_charge_order() {
+        let mut ledger = BillingLedger::new();
+        let a = VirtualAccount("a".into());
+        ledger.charge(&a, rec(3));
+        ledger.charge(&a, rec(1));
+        let times: Vec<u64> = ledger.records(&a).iter().map(|r| r.at.as_micros()).collect();
+        assert_eq!(times, vec![3_000_000, 1_000_000]);
+    }
+}

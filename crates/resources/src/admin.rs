@@ -1,0 +1,147 @@
+//! Enrollment-cost models (experiment E9).
+//!
+//! §2 argues Globus's administration model cannot reach consumers: "if
+//! thousands of users wanted access to a resource it would be a daunting
+//! task indeed for any administrator", versus Triana which "installs easily
+//! with a 'point-and-click' method to instantiate a service daemon" and
+//! "does not rely on Certification Agencies". These models quantify that
+//! argument: administrative effort and time-to-first-job as a function of
+//! user count.
+
+use netsim::{Duration, LinkSpec};
+
+/// Cost parameters for the certificate + per-user account workflow.
+#[derive(Clone, Debug)]
+pub struct GlobusAdminModel {
+    /// User-side: generating a key pair and certificate request.
+    pub cert_request: Duration,
+    /// CA round-trip before the certificate is signed.
+    pub ca_turnaround: Duration,
+    /// Administrator time to create and register one account.
+    pub admin_per_account: Duration,
+    /// How many administrators process account requests in parallel.
+    pub admins: u32,
+    /// Daily administrator working time budget.
+    pub admin_day: Duration,
+}
+
+impl GlobusAdminModel {
+    /// Defaults representative of 2003-era practice: a day of CA turnaround,
+    /// 15 minutes of admin work per account, one admin with an 8-hour day.
+    pub fn default_2003() -> Self {
+        GlobusAdminModel {
+            cert_request: Duration::from_secs(30 * 60),
+            ca_turnaround: Duration::from_secs(24 * 3600),
+            admin_per_account: Duration::from_secs(15 * 60),
+            admins: 1,
+            admin_day: Duration::from_secs(8 * 3600),
+        }
+    }
+
+    /// Total administrator working time to enrol `users`.
+    pub fn total_admin_time(&self, users: u64) -> Duration {
+        self.admin_per_account * users
+    }
+
+    /// Time until the `users`-th user (1-based) can run a first job,
+    /// assuming all users apply at t=0 and accounts are processed FIFO at
+    /// `admins × admin_day` per day.
+    pub fn time_to_first_job(&self, user_rank: u64) -> Duration {
+        assert!(user_rank >= 1);
+        // Work queued ahead of this user, divided over parallel admins.
+        let work = self.admin_per_account.as_secs_f64() * user_rank as f64
+            / self.admins as f64;
+        // Admin works admin_day per 24h: stretch elapsed time accordingly.
+        let stretch = 86_400.0 / self.admin_day.as_secs_f64();
+        let admin_elapsed = Duration::from_secs_f64(work * stretch);
+        self.cert_request + self.ca_turnaround + admin_elapsed
+    }
+}
+
+/// Cost parameters for a Triana peer installation.
+#[derive(Clone, Debug)]
+pub struct TrianaInstallModel {
+    /// Size of the service-daemon download from the portal (§3.2: "may be
+    /// downloaded from a pre-defined portal").
+    pub daemon_bytes: u64,
+    /// Point-and-click installation time.
+    pub install: Duration,
+}
+
+impl TrianaInstallModel {
+    /// A ~5 MB Java daemon and two minutes of clicking.
+    pub fn default_2003() -> Self {
+        TrianaInstallModel {
+            daemon_bytes: 5_000_000,
+            install: Duration::from_secs(120),
+        }
+    }
+
+    /// No administrator is involved at all.
+    pub fn total_admin_time(&self, _users: u64) -> Duration {
+        Duration::ZERO
+    }
+
+    /// Time until a user on `link` can run a first job. Independent of how
+    /// many other users enrol (the defining property).
+    pub fn time_to_first_job(&self, link: &LinkSpec) -> Duration {
+        link.down_serialization(self.daemon_bytes) + self.install
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::LinkClass;
+
+    #[test]
+    fn globus_admin_time_scales_linearly() {
+        let m = GlobusAdminModel::default_2003();
+        let t1 = m.total_admin_time(100);
+        let t2 = m.total_admin_time(200);
+        assert_eq!(t2.as_micros(), t1.as_micros() * 2);
+        // 1000 users * 15 min = 250 admin hours.
+        assert!((m.total_admin_time(1000).as_secs_f64() - 250.0 * 3600.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn globus_latency_grows_with_queue_position() {
+        let m = GlobusAdminModel::default_2003();
+        let first = m.time_to_first_job(1);
+        let thousandth = m.time_to_first_job(1000);
+        assert!(thousandth.as_secs_f64() > first.as_secs_f64() * 10.0);
+        // First user still pays CA turnaround: > 1 day.
+        assert!(first.as_secs_f64() > 86_400.0);
+    }
+
+    #[test]
+    fn triana_time_is_flat_in_user_count_and_minutes_scale() {
+        let m = TrianaInstallModel::default_2003();
+        let dsl = LinkClass::Dsl.spec();
+        let t = m.time_to_first_job(&dsl);
+        // 5 MB at 1 Mbit/s = 40 s, + 120 s install.
+        assert!((t.as_secs_f64() - 160.0).abs() < 1.0, "{t}");
+        assert_eq!(m.total_admin_time(1_000_000), Duration::ZERO);
+    }
+
+    #[test]
+    fn triana_beats_globus_by_orders_of_magnitude_at_scale() {
+        let g = GlobusAdminModel::default_2003();
+        let t = TrianaInstallModel::default_2003();
+        let modem = LinkClass::Modem.spec();
+        let triana_worst = t.time_to_first_job(&modem);
+        let globus_best = g.time_to_first_job(1);
+        assert!(globus_best.as_secs_f64() / triana_worst.as_secs_f64() > 50.0);
+    }
+
+    #[test]
+    fn more_admins_reduce_latency_not_effort() {
+        let base = GlobusAdminModel::default_2003();
+        let staffed = GlobusAdminModel {
+            admins: 4,
+            ..GlobusAdminModel::default_2003()
+        };
+        assert!(staffed.time_to_first_job(500) < base.time_to_first_job(500));
+        assert_eq!(staffed.total_admin_time(500), base.total_admin_time(500));
+    }
+}

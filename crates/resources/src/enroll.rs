@@ -1,0 +1,119 @@
+//! Volunteer-population aggregation (experiment E7).
+//!
+//! §3.7 quotes the SETI@home counters: "With 3154517 users taking part there
+//! has been a total CPU time of 668852.233 years". This module models a
+//! volunteer population (host mix × availability mix) and computes the
+//! aggregate donated CPU, both analytically (expected value) and by
+//! deterministic sampling, so the experiment can check the linear scaling
+//! and the users → CPU-years ratio.
+
+use netsim::avail::AvailabilityModel;
+use netsim::{HostSpec, Pcg32, SimTime};
+
+/// A volunteer population description.
+#[derive(Clone, Debug)]
+pub struct Population {
+    /// Number of enrolled users.
+    pub users: u64,
+    /// Availability model shared by the population.
+    pub availability: AvailabilityModel,
+}
+
+/// Result of an aggregation run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AggregateCpu {
+    /// Donated wall-clock CPU time, in years (the SETI metric: a host up
+    /// for a year donates one CPU-year regardless of clock speed).
+    pub cpu_years: f64,
+    /// Donated compute normalised to the paper's 2 GHz reference PC.
+    pub reference_pc_years: f64,
+    /// Mean uptime fraction observed across the sample.
+    pub mean_uptime: f64,
+}
+
+impl Population {
+    pub fn new(users: u64, availability: AvailabilityModel) -> Self {
+        Population {
+            users,
+            availability,
+        }
+    }
+
+    /// Estimate aggregate donated CPU over `wall_years`, sampling
+    /// `sample_hosts` representative volunteers from the consumer host mix
+    /// and scaling up. Deterministic for a given seed.
+    pub fn aggregate(&self, wall_years: f64, sample_hosts: usize, seed: u64) -> AggregateCpu {
+        assert!(sample_hosts > 0);
+        let horizon = SimTime::from_secs((wall_years * 365.25 * 86_400.0) as u64);
+        let mut rng = Pcg32::new(seed, 0xE7);
+        let mut uptime_sum = 0.0;
+        let mut ghz_uptime_sum = 0.0;
+        for i in 0..sample_hosts {
+            let host = HostSpec::sample_consumer(&mut rng);
+            let mut r = rng.split(i as u64 + 1);
+            let trace = self.availability.trace(horizon, &mut r);
+            let f = trace.uptime_fraction();
+            uptime_sum += f;
+            ghz_uptime_sum += f * host.cpu_ghz;
+        }
+        let mean_uptime = uptime_sum / sample_hosts as f64;
+        let mean_ghz_uptime = ghz_uptime_sum / sample_hosts as f64;
+        AggregateCpu {
+            cpu_years: self.users as f64 * mean_uptime * wall_years,
+            reference_pc_years: self.users as f64 * mean_ghz_uptime / 2.0 * wall_years,
+            mean_uptime,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_on_population_donates_one_cpu_year_per_user_year() {
+        let pop = Population::new(1_000, AvailabilityModel::AlwaysOn);
+        let agg = pop.aggregate(1.0, 50, 42);
+        assert!((agg.cpu_years - 1_000.0).abs() < 1e-6);
+        assert_eq!(agg.mean_uptime, 1.0);
+    }
+
+    #[test]
+    fn aggregate_scales_linearly_in_users() {
+        let avail = AvailabilityModel::typical_volunteer();
+        let a = Population::new(10_000, avail.clone()).aggregate(1.0, 100, 7);
+        let b = Population::new(20_000, avail).aggregate(1.0, 100, 7);
+        assert!((b.cpu_years / a.cpu_years - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seti_scale_ratio_is_plausible() {
+        // SETI: 3.15 M users, 668 852 CPU-years over ~2.2 wall-years of
+        // operation => users donated roughly 10% of wall time on average.
+        // Our volunteer model (overnight donation) should land within a
+        // factor of a few of that ratio.
+        let pop = Population::new(3_154_517, AvailabilityModel::typical_volunteer());
+        let agg = pop.aggregate(2.2, 200, 11);
+        let ratio = agg.cpu_years / (pop.users as f64 * 2.2);
+        assert!((0.1..0.6).contains(&ratio), "uptime ratio {ratio}");
+        assert!(agg.cpu_years > 600_000.0, "cpu-years {}", agg.cpu_years);
+    }
+
+    #[test]
+    fn reference_pc_years_accounts_for_cpu_mix() {
+        // The consumer mix averages < 2 GHz, so reference-PC years are
+        // slightly below raw CPU-years for the same availability.
+        let pop = Population::new(1_000, AvailabilityModel::AlwaysOn);
+        let agg = pop.aggregate(1.0, 200, 3);
+        assert!(agg.reference_pc_years < agg.cpu_years);
+        assert!(agg.reference_pc_years > agg.cpu_years * 0.5);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let pop = Population::new(5_000, AvailabilityModel::typical_volunteer());
+        let a = pop.aggregate(0.5, 60, 9);
+        let b = pop.aggregate(0.5, 60, 9);
+        assert_eq!(a, b);
+    }
+}

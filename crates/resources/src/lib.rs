@@ -1,0 +1,28 @@
+//! `resources` — consumer-resource management for the Consumer Grid.
+//!
+//! The paper's §2 contrasts Globus's per-user account administration with
+//! Triana's "virtual account" model ("program modules are automatically
+//! transported and executed on resources enrolled in the Triana environment
+//! effectively using a virtual account"), and sketches billing ("the shell
+//! would also maintain billing information for resources used"). §3.2/§3.5
+//! describe gatewaying into local resource managers (Globus GRAM, batch
+//! queues) and the trust decisions a resource owner makes.
+//!
+//! * [`account`] — virtual accounts and the billing ledger,
+//! * [`trust`] — the owner's resource policy (certified-library allowlists,
+//!   donation limits),
+//! * [`lrm`] — local resource managers: a fork-style direct launcher and a
+//!   GRAM/batch-style queue,
+//! * [`admin`] — the enrollment-cost models behind experiment E9,
+//! * [`enroll`] — the SETI-style population/aggregate-CPU model behind E7.
+
+pub mod account;
+pub mod admin;
+pub mod enroll;
+pub mod lrm;
+pub mod trust;
+
+pub use account::{BillingLedger, UsageRecord, VirtualAccount};
+pub use admin::{GlobusAdminModel, TrianaInstallModel};
+pub use lrm::{BatchQueue, DirectLauncher, ResourceManager};
+pub use trust::ResourcePolicy;

@@ -1,0 +1,195 @@
+//! Local resource managers.
+//!
+//! §3.1: "The server component within each peer can interact with Globus
+//! GRAM to launch jobs locally on the node … A Triana network therefore can
+//! be composed of a number of different kinds of resource management
+//! systems … In the case where no local resource manager is available, the
+//! Triana server component can itself be used to launch the application."
+//!
+//! Both managers are deterministic calculators: given a submission instant
+//! and a work size they return the completion instant, tracking internal
+//! core/slot occupancy. This keeps them usable from both the discrete-event
+//! executor and analytic experiments.
+
+use netsim::{Duration, HostSpec, SimTime};
+
+/// A local job launcher on one host.
+pub trait ResourceManager {
+    /// Submit `gigacycles` of sequential work at `now`; returns
+    /// `(start, completion)` instants.
+    fn submit(&mut self, now: SimTime, gigacycles: f64) -> (SimTime, SimTime);
+
+    /// Number of jobs that can execute simultaneously.
+    fn parallel_capacity(&self) -> u32;
+
+    /// Earliest instant a new job submitted at `now` would start.
+    fn earliest_start(&self, now: SimTime) -> SimTime;
+}
+
+/// The Triana server's own fork-style launcher: one job per core, no queue
+/// overhead.
+#[derive(Clone, Debug)]
+pub struct DirectLauncher {
+    host: HostSpec,
+    core_free: Vec<SimTime>,
+}
+
+impl DirectLauncher {
+    pub fn new(host: HostSpec, cores: u32) -> Self {
+        assert!(cores >= 1);
+        DirectLauncher {
+            host,
+            core_free: vec![SimTime::ZERO; cores as usize],
+        }
+    }
+
+    pub fn host(&self) -> &HostSpec {
+        &self.host
+    }
+
+    fn pick_core(&self, now: SimTime) -> usize {
+        // Earliest-free core (ties broken by index for determinism).
+        let mut best = 0;
+        for i in 1..self.core_free.len() {
+            if self.core_free[i] < self.core_free[best] {
+                best = i;
+            }
+        }
+        let _ = now;
+        best
+    }
+}
+
+impl ResourceManager for DirectLauncher {
+    fn submit(&mut self, now: SimTime, gigacycles: f64) -> (SimTime, SimTime) {
+        let core = self.pick_core(now);
+        let start = now.max(self.core_free[core]);
+        let done = start + self.host.exec_time(gigacycles);
+        self.core_free[core] = done;
+        (start, done)
+    }
+
+    fn parallel_capacity(&self) -> u32 {
+        self.core_free.len() as u32
+    }
+
+    fn earliest_start(&self, now: SimTime) -> SimTime {
+        let min = self.core_free.iter().copied().min().unwrap_or(SimTime::ZERO);
+        now.max(min)
+    }
+}
+
+/// A GRAM/batch-queue-style manager: fixed execution slots, a fixed
+/// per-job submission overhead (certificate check, queue poll), and FIFO
+/// dispatch — the "batch job scheduler" path of §2.
+#[derive(Clone, Debug)]
+pub struct BatchQueue {
+    host: HostSpec,
+    slot_free: Vec<SimTime>,
+    /// Authentication + scheduling overhead added before a job can start.
+    pub submit_overhead: Duration,
+}
+
+impl BatchQueue {
+    pub fn new(host: HostSpec, slots: u32, submit_overhead: Duration) -> Self {
+        assert!(slots >= 1);
+        BatchQueue {
+            host,
+            slot_free: vec![SimTime::ZERO; slots as usize],
+            submit_overhead,
+        }
+    }
+}
+
+impl ResourceManager for BatchQueue {
+    fn submit(&mut self, now: SimTime, gigacycles: f64) -> (SimTime, SimTime) {
+        let eligible = now + self.submit_overhead;
+        let mut best = 0;
+        for i in 1..self.slot_free.len() {
+            if self.slot_free[i] < self.slot_free[best] {
+                best = i;
+            }
+        }
+        let start = eligible.max(self.slot_free[best]);
+        let done = start + self.host.exec_time(gigacycles);
+        self.slot_free[best] = done;
+        (start, done)
+    }
+
+    fn parallel_capacity(&self) -> u32 {
+        self.slot_free.len() as u32
+    }
+
+    fn earliest_start(&self, now: SimTime) -> SimTime {
+        let min = self.slot_free.iter().copied().min().unwrap_or(SimTime::ZERO);
+        (now + self.submit_overhead).max(min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pc() -> HostSpec {
+        HostSpec::reference_pc() // 2 GHz
+    }
+
+    #[test]
+    fn direct_launcher_runs_immediately() {
+        let mut rm = DirectLauncher::new(pc(), 1);
+        let (start, done) = rm.submit(SimTime::from_secs(5), 20.0); // 10 s at 2 GHz
+        assert_eq!(start, SimTime::from_secs(5));
+        assert_eq!(done, SimTime::from_secs(15));
+    }
+
+    #[test]
+    fn direct_launcher_serializes_beyond_core_count() {
+        let mut rm = DirectLauncher::new(pc(), 2);
+        let t0 = SimTime::ZERO;
+        let (_, d1) = rm.submit(t0, 20.0);
+        let (_, d2) = rm.submit(t0, 20.0);
+        let (s3, d3) = rm.submit(t0, 20.0);
+        assert_eq!(d1, SimTime::from_secs(10));
+        assert_eq!(d2, SimTime::from_secs(10));
+        assert_eq!(s3, SimTime::from_secs(10), "third job waits for a core");
+        assert_eq!(d3, SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn batch_queue_adds_submission_overhead() {
+        let mut rm = BatchQueue::new(pc(), 1, Duration::from_secs(30));
+        let (start, done) = rm.submit(SimTime::ZERO, 20.0);
+        assert_eq!(start, SimTime::from_secs(30));
+        assert_eq!(done, SimTime::from_secs(40));
+    }
+
+    #[test]
+    fn batch_queue_fifo_backlog() {
+        let mut rm = BatchQueue::new(pc(), 1, Duration::from_secs(10));
+        let (_, d1) = rm.submit(SimTime::ZERO, 20.0); // starts 10, done 20
+        let (s2, _) = rm.submit(SimTime::ZERO, 20.0);
+        assert_eq!(d1, SimTime::from_secs(20));
+        assert_eq!(s2, SimTime::from_secs(20), "second job queues behind first");
+    }
+
+    #[test]
+    fn earliest_start_predicts_submit() {
+        let mut rm = BatchQueue::new(pc(), 2, Duration::from_secs(5));
+        rm.submit(SimTime::ZERO, 200.0);
+        rm.submit(SimTime::ZERO, 200.0);
+        let predicted = rm.earliest_start(SimTime::ZERO);
+        let (actual, _) = rm.submit(SimTime::ZERO, 1.0);
+        assert_eq!(predicted, actual);
+    }
+
+    #[test]
+    fn direct_beats_batch_for_short_jobs() {
+        // The paper's point about interactive vs. batch access: for a short
+        // job the queue overhead dominates.
+        let mut direct = DirectLauncher::new(pc(), 1);
+        let mut batch = BatchQueue::new(pc(), 1, Duration::from_secs(60));
+        let (_, d_direct) = direct.submit(SimTime::ZERO, 2.0); // 1 s of work
+        let (_, d_batch) = batch.submit(SimTime::ZERO, 2.0);
+        assert!(d_batch.since(d_direct).as_secs_f64() > 50.0);
+    }
+}

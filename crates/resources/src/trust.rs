@@ -1,0 +1,89 @@
+//! Resource-owner trust policy.
+//!
+//! §3.5/§3.7: an owner "must agree to participate in a Consumer Grid by
+//! allowing the Triana peer to exist on their computation resource"; the
+//! only protection is the sandbox, and the paper proposes an alternative
+//! where owners "only download executables that are selected from a
+//! pre-agreed, certified, software library". [`ResourcePolicy`] captures
+//! both models plus donation limits.
+
+use std::collections::HashSet;
+
+/// What a resource owner permits on their machine.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResourcePolicy {
+    /// Accept any sandboxed module (the default Triana model), or only
+    /// modules whose content hash is on the certified list.
+    pub certified_only: bool,
+    /// Content hashes of the pre-agreed certified library.
+    pub certified_hashes: HashSet<u64>,
+    /// Maximum RAM (MiB) donated to guest modules ("users also would have
+    /// the option to specify how much RAM the applications could use").
+    pub max_guest_ram_mib: u32,
+    /// Whether guest modules may use the (simulated) host-I/O capability.
+    pub allow_host_io: bool,
+    /// Donate only when idle (screensaver model) vs. always.
+    pub idle_only: bool,
+}
+
+impl ResourcePolicy {
+    /// The paper's default: sandbox-only trust, idle-time donation.
+    pub fn sandbox_default(max_guest_ram_mib: u32) -> Self {
+        ResourcePolicy {
+            certified_only: false,
+            certified_hashes: HashSet::new(),
+            max_guest_ram_mib,
+            allow_host_io: false,
+            idle_only: true,
+        }
+    }
+
+    /// Certified-library-only trust (§3.7's proposed alternative).
+    pub fn certified(hashes: impl IntoIterator<Item = u64>, max_guest_ram_mib: u32) -> Self {
+        ResourcePolicy {
+            certified_only: true,
+            certified_hashes: hashes.into_iter().collect(),
+            max_guest_ram_mib,
+            allow_host_io: false,
+            idle_only: true,
+        }
+    }
+
+    /// May a module with this content hash run here?
+    pub fn admits_module(&self, hash: u64) -> bool {
+        !self.certified_only || self.certified_hashes.contains(&hash)
+    }
+
+    /// May a job needing `ram_mib` run here?
+    pub fn admits_ram(&self, ram_mib: u32) -> bool {
+        ram_mib <= self.max_guest_ram_mib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sandbox_default_admits_any_module() {
+        let p = ResourcePolicy::sandbox_default(256);
+        assert!(p.admits_module(0xDEAD));
+        assert!(p.admits_module(0xBEEF));
+        assert!(!p.allow_host_io);
+        assert!(p.idle_only);
+    }
+
+    #[test]
+    fn certified_only_checks_the_allowlist() {
+        let p = ResourcePolicy::certified([0xAAAA, 0xBBBB], 256);
+        assert!(p.admits_module(0xAAAA));
+        assert!(!p.admits_module(0xCCCC));
+    }
+
+    #[test]
+    fn ram_limit_is_enforced() {
+        let p = ResourcePolicy::sandbox_default(128);
+        assert!(p.admits_ram(128));
+        assert!(!p.admits_ram(129));
+    }
+}

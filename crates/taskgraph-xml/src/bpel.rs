@@ -1,0 +1,299 @@
+//! BPEL4WS-flavoured task graphs — the third format §3.1 names.
+//!
+//! The mapping follows BPEL's vocabulary: the workflow is a `<process>`
+//! containing one `<flow>`; each task is an `<invoke>` activity; dataflow
+//! cables are `<link>`s declared in the flow's `<links>` section and
+//! referenced from each activity's `<sources>`/`<targets>`. Groups map to
+//! `<scope>` elements carrying the distribution policy.
+
+use crate::format::FormatError;
+use crate::xml::{parse, XmlNode};
+use triana_core::unit::Params;
+use triana_core::{DistributionPolicy, TaskGraph};
+
+fn link_name(graph: &TaskGraph, c: &triana_core::Cable) -> String {
+    format!(
+        "{}.{}-{}.{}",
+        graph.tasks[c.from.0 .0 as usize].name, c.from.1, graph.tasks[c.to.0 .0 as usize].name, c.to.1
+    )
+}
+
+/// Serialize a task graph as a BPEL process.
+pub fn to_bpel(graph: &TaskGraph) -> String {
+    let mut process = XmlNode::new("process").with_attr("name", &graph.name);
+    let mut flow = XmlNode::new("flow");
+    let mut links = XmlNode::new("links");
+    for c in &graph.cables {
+        links
+            .children
+            .push(XmlNode::new("link").with_attr("name", &link_name(graph, c)));
+    }
+    flow.children.push(links);
+    for t in &graph.tasks {
+        let mut invoke = XmlNode::new("invoke")
+            .with_attr("name", &t.name)
+            .with_attr("partnerLink", &t.unit_type)
+            .with_attr("operation", "process")
+            .with_attr("in", &t.n_in.to_string())
+            .with_attr("out", &t.n_out.to_string());
+        let mut targets = XmlNode::new("targets");
+        let mut sources = XmlNode::new("sources");
+        for c in &graph.cables {
+            if c.to.0 == t.id {
+                targets.children.push(
+                    XmlNode::new("target")
+                        .with_attr("linkName", &link_name(graph, c))
+                        .with_attr("port", &c.to.1.to_string()),
+                );
+            }
+            if c.from.0 == t.id {
+                sources.children.push(
+                    XmlNode::new("source")
+                        .with_attr("linkName", &link_name(graph, c))
+                        .with_attr("port", &c.from.1.to_string()),
+                );
+            }
+        }
+        if !targets.children.is_empty() {
+            invoke.children.push(targets);
+        }
+        if !sources.children.is_empty() {
+            invoke.children.push(sources);
+        }
+        for (k, v) in &t.params {
+            invoke.children.push(
+                XmlNode::new("assign")
+                    .with_attr("to", k)
+                    .with_attr("value", v),
+            );
+        }
+        flow.children.push(invoke);
+    }
+    for g in &graph.groups {
+        let mut scope = XmlNode::new("scope").with_attr("name", &g.name).with_attr(
+            "distribution",
+            match g.policy {
+                DistributionPolicy::Parallel => "parallel",
+                DistributionPolicy::PeerToPeer => "peer-to-peer",
+            },
+        );
+        for &m in &g.members {
+            scope.children.push(
+                XmlNode::new("invokeRef").with_attr("name", &graph.tasks[m.0 as usize].name),
+            );
+        }
+        flow.children.push(scope);
+    }
+    process.children.push(flow);
+    format!("<?xml version=\"1.0\"?>\n{}", process.to_string_pretty())
+}
+
+fn require<'a>(node: &'a XmlNode, attr: &str) -> Result<&'a str, FormatError> {
+    node.attr(attr).ok_or_else(|| FormatError::Missing {
+        element: node.name.clone(),
+        attr: attr.to_string(),
+    })
+}
+
+fn number(node: &XmlNode, attr: &str) -> Result<usize, FormatError> {
+    require(node, attr)?
+        .parse()
+        .map_err(|_| FormatError::BadNumber {
+            attr: attr.to_string(),
+            value: node.attr(attr).unwrap_or("").to_string(),
+        })
+}
+
+/// Parse a BPEL process back into a task graph.
+pub fn from_bpel(text: &str) -> Result<TaskGraph, FormatError> {
+    let root = parse(text)?;
+    if root.name != "process" {
+        return Err(FormatError::NotATaskGraph(root.name));
+    }
+    let flow = root
+        .child("flow")
+        .ok_or_else(|| FormatError::Missing {
+            element: "process".into(),
+            attr: "flow".into(),
+        })?;
+    let mut graph = TaskGraph::new(root.attr("name").unwrap_or(""));
+    for invoke in flow.children_named("invoke") {
+        let name = require(invoke, "name")?;
+        let unit_type = require(invoke, "partnerLink")?;
+        let n_in = number(invoke, "in")?;
+        let n_out = number(invoke, "out")?;
+        let mut params = Params::new();
+        for a in invoke.children_named("assign") {
+            params.insert(require(a, "to")?.to_string(), require(a, "value")?.to_string());
+        }
+        graph.add_task_raw(unit_type, name, params, n_in, n_out)?;
+    }
+    for scope in flow.children_named("scope") {
+        let name = require(scope, "name")?;
+        let policy = match require(scope, "distribution")? {
+            "parallel" => DistributionPolicy::Parallel,
+            "peer-to-peer" => DistributionPolicy::PeerToPeer,
+            other => return Err(FormatError::BadPolicy(other.to_string())),
+        };
+        let mut members = Vec::new();
+        for m in scope.children_named("invokeRef") {
+            let tname = require(m, "name")?;
+            let task = graph
+                .task_by_name(tname)
+                .ok_or_else(|| FormatError::UnknownTaskName(tname.to_string()))?;
+            members.push(task.id);
+        }
+        graph.add_group(name, members, policy)?;
+    }
+    // Wire links: each invoke's sources/targets reference link names; a
+    // cable exists where one activity sources a link another targets.
+    struct End {
+        task: String,
+        port: usize,
+    }
+    let mut sources: std::collections::HashMap<String, End> = std::collections::HashMap::new();
+    let mut targets: std::collections::HashMap<String, End> = std::collections::HashMap::new();
+    for invoke in flow.children_named("invoke") {
+        let tname = require(invoke, "name")?.to_string();
+        if let Some(srcs) = invoke.child("sources") {
+            for s in srcs.children_named("source") {
+                sources.insert(
+                    require(s, "linkName")?.to_string(),
+                    End {
+                        task: tname.clone(),
+                        port: number(s, "port")?,
+                    },
+                );
+            }
+        }
+        if let Some(tgts) = invoke.child("targets") {
+            for t in tgts.children_named("target") {
+                targets.insert(
+                    require(t, "linkName")?.to_string(),
+                    End {
+                        task: tname.clone(),
+                        port: number(t, "port")?,
+                    },
+                );
+            }
+        }
+    }
+    let links_node = flow.child("links");
+    let mut link_names: Vec<String> = links_node
+        .map(|l| {
+            l.children_named("link")
+                .filter_map(|n| n.attr("name").map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default();
+    link_names.sort();
+    for name in link_names {
+        let s = sources
+            .get(&name)
+            .ok_or_else(|| FormatError::BadEndpoint(name.clone()))?;
+        let t = targets
+            .get(&name)
+            .ok_or_else(|| FormatError::BadEndpoint(name.clone()))?;
+        let from = graph
+            .task_by_name(&s.task)
+            .ok_or_else(|| FormatError::UnknownTaskName(s.task.clone()))?
+            .id;
+        let to = graph
+            .task_by_name(&t.task)
+            .ok_or_else(|| FormatError::UnknownTaskName(t.task.clone()))?
+            .id;
+        graph.connect(from, s.port, to, t.port)?;
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format;
+
+    fn sample() -> TaskGraph {
+        let mut g = TaskGraph::new("GroupTest");
+        let w = g
+            .add_task_raw(
+                "Wave",
+                "wave",
+                Params::from([("freq".to_string(), "440".to_string())]),
+                0,
+                1,
+            )
+            .unwrap();
+        let ga = g.add_task_raw("Gaussian", "gauss", Params::new(), 1, 1).unwrap();
+        let ff = g.add_task_raw("FFT", "fft", Params::new(), 1, 1).unwrap();
+        g.connect(w, 0, ga, 0).unwrap();
+        g.connect(ga, 0, ff, 0).unwrap();
+        g.add_group("GroupTask", vec![ga, ff], DistributionPolicy::Parallel)
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn bpel_round_trips() {
+        let g = sample();
+        let bpel = to_bpel(&g);
+        assert!(bpel.contains("<process name=\"GroupTest\">"));
+        assert!(bpel.contains("partnerLink=\"Gaussian\""));
+        assert!(bpel.contains("<link name=\"wave.0-gauss.0\"/>"));
+        let back = from_bpel(&bpel).unwrap();
+        // Cables may be reordered (links are sorted); compare structurally.
+        assert_eq!(back.name, g.name);
+        assert_eq!(back.tasks, g.tasks);
+        assert_eq!(back.groups, g.groups);
+        let mut a = back.cables.clone();
+        let mut b = g.cables.clone();
+        a.sort_by_key(|c| (c.from, c.to));
+        b.sort_by_key(|c| (c.from, c.to));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_three_dialects_agree() {
+        let g = sample();
+        let via_native = format::from_xml(&format::to_xml(&g)).unwrap();
+        let via_wsfl = crate::wsfl::from_wsfl(&crate::wsfl::to_wsfl(&g)).unwrap();
+        let via_bpel = from_bpel(&to_bpel(&g)).unwrap();
+        assert_eq!(via_native.tasks, via_bpel.tasks);
+        assert_eq!(via_wsfl.tasks, via_bpel.tasks);
+        assert_eq!(via_native.groups, via_bpel.groups);
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        assert!(matches!(
+            from_bpel("<flowModel/>"),
+            Err(FormatError::NotATaskGraph(_))
+        ));
+    }
+
+    #[test]
+    fn dangling_link_rejected() {
+        let g = sample();
+        // Remove the <sources> side of one link by renaming it in <links>.
+        let bpel = to_bpel(&g).replace(
+            "<link name=\"wave.0-gauss.0\"/>",
+            "<link name=\"ghost.0-gauss.0\"/>",
+        );
+        assert!(matches!(
+            from_bpel(&bpel),
+            Err(FormatError::BadEndpoint(_))
+        ));
+    }
+
+    #[test]
+    fn executable_after_bpel_round_trip() {
+        // Parse a BPEL version of Figure 1 and run it through the engine.
+        let mut g = TaskGraph::new("fig1");
+        let w = g.add_task_raw("Wave", "wave", Params::new(), 0, 1).unwrap();
+        let p = g
+            .add_task_raw("PowerSpectrum", "ps", Params::new(), 1, 1)
+            .unwrap();
+        g.connect(w, 0, p, 0).unwrap();
+        let back = from_bpel(&to_bpel(&g)).unwrap();
+        back.validate().unwrap();
+    }
+}

@@ -1,0 +1,307 @@
+//! TaskGraph ⇄ XML mapping (the dialect of Code Segment 1).
+//!
+//! ```xml
+//! <taskgraph name="GroupTest">
+//!   <task name="wave" type="Wave" in="0" out="1">
+//!     <param name="freq" value="440"/>
+//!   </task>
+//!   <group name="GroupTask" policy="parallel">
+//!     <member task="gauss"/>
+//!   </group>
+//!   <connection from="wave:0" to="gauss:0"/>
+//! </taskgraph>
+//! ```
+//!
+//! Connections reference tasks by instance name (`name:port`), matching the
+//! paper's unique labelling of group connections.
+
+use crate::xml::{parse, XmlError, XmlNode};
+use std::fmt;
+use triana_core::graph::GraphError;
+use triana_core::unit::Params;
+use triana_core::{DistributionPolicy, TaskGraph, TaskId};
+
+/// Task-graph (de)serialization failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FormatError {
+    Xml(XmlError),
+    Graph(GraphError),
+    Missing { element: String, attr: String },
+    BadEndpoint(String),
+    UnknownTaskName(String),
+    BadPolicy(String),
+    NotATaskGraph(String),
+    BadNumber { attr: String, value: String },
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use FormatError::*;
+        match self {
+            Xml(e) => write!(f, "{e}"),
+            Graph(e) => write!(f, "{e}"),
+            Missing { element, attr } => {
+                write!(f, "<{element}> is missing attribute `{attr}`")
+            }
+            BadEndpoint(s) => write!(f, "bad endpoint `{s}` (want `task:port`)"),
+            UnknownTaskName(s) => write!(f, "connection references unknown task `{s}`"),
+            BadPolicy(s) => write!(f, "unknown distribution policy `{s}`"),
+            NotATaskGraph(s) => write!(f, "root element is `{s}`, expected `taskgraph`"),
+            BadNumber { attr, value } => write!(f, "attribute `{attr}`: `{value}` not a number"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+impl From<XmlError> for FormatError {
+    fn from(e: XmlError) -> Self {
+        FormatError::Xml(e)
+    }
+}
+
+impl From<GraphError> for FormatError {
+    fn from(e: GraphError) -> Self {
+        FormatError::Graph(e)
+    }
+}
+
+fn policy_name(p: DistributionPolicy) -> &'static str {
+    match p {
+        DistributionPolicy::Parallel => "parallel",
+        DistributionPolicy::PeerToPeer => "peer-to-peer",
+    }
+}
+
+/// Serialize a task graph to the XML dialect.
+pub fn to_xml(graph: &TaskGraph) -> String {
+    let mut root = XmlNode::new("taskgraph").with_attr("name", &graph.name);
+    for t in &graph.tasks {
+        let mut task = XmlNode::new("task")
+            .with_attr("name", &t.name)
+            .with_attr("type", &t.unit_type)
+            .with_attr("in", &t.n_in.to_string())
+            .with_attr("out", &t.n_out.to_string());
+        for (k, v) in &t.params {
+            task.children
+                .push(XmlNode::new("param").with_attr("name", k).with_attr("value", v));
+        }
+        root.children.push(task);
+    }
+    for g in &graph.groups {
+        let mut group = XmlNode::new("group")
+            .with_attr("name", &g.name)
+            .with_attr("policy", policy_name(g.policy));
+        for &m in &g.members {
+            let name = &graph.tasks[m.0 as usize].name;
+            group
+                .children
+                .push(XmlNode::new("member").with_attr("task", name));
+        }
+        root.children.push(group);
+    }
+    for c in &graph.cables {
+        let from = format!("{}:{}", graph.tasks[c.from.0 .0 as usize].name, c.from.1);
+        let to = format!("{}:{}", graph.tasks[c.to.0 .0 as usize].name, c.to.1);
+        root.children.push(
+            XmlNode::new("connection")
+                .with_attr("from", &from)
+                .with_attr("to", &to),
+        );
+    }
+    format!("<?xml version=\"1.0\"?>\n{}", root.to_string_pretty())
+}
+
+fn require<'a>(node: &'a XmlNode, attr: &str) -> Result<&'a str, FormatError> {
+    node.attr(attr).ok_or_else(|| FormatError::Missing {
+        element: node.name.clone(),
+        attr: attr.to_string(),
+    })
+}
+
+fn number(node: &XmlNode, attr: &str) -> Result<usize, FormatError> {
+    let v = require(node, attr)?;
+    v.parse().map_err(|_| FormatError::BadNumber {
+        attr: attr.to_string(),
+        value: v.to_string(),
+    })
+}
+
+fn endpoint(s: &str, graph: &TaskGraph) -> Result<(TaskId, usize), FormatError> {
+    let (name, port) = s
+        .rsplit_once(':')
+        .ok_or_else(|| FormatError::BadEndpoint(s.to_string()))?;
+    let port: usize = port
+        .parse()
+        .map_err(|_| FormatError::BadEndpoint(s.to_string()))?;
+    let task = graph
+        .task_by_name(name)
+        .ok_or_else(|| FormatError::UnknownTaskName(name.to_string()))?;
+    Ok((task.id, port))
+}
+
+/// Parse the XML dialect back into a task graph.
+pub fn from_xml(text: &str) -> Result<TaskGraph, FormatError> {
+    let root = parse(text)?;
+    if root.name != "taskgraph" {
+        return Err(FormatError::NotATaskGraph(root.name));
+    }
+    let mut graph = TaskGraph::new(root.attr("name").unwrap_or(""));
+    for t in root.children_named("task") {
+        let name = require(t, "name")?;
+        let unit_type = require(t, "type")?;
+        let n_in = number(t, "in")?;
+        let n_out = number(t, "out")?;
+        let mut params = Params::new();
+        for p in t.children_named("param") {
+            params.insert(require(p, "name")?.to_string(), require(p, "value")?.to_string());
+        }
+        graph.add_task_raw(unit_type, name, params, n_in, n_out)?;
+    }
+    for g in root.children_named("group") {
+        let name = require(g, "name")?;
+        let policy = match require(g, "policy")? {
+            "parallel" => DistributionPolicy::Parallel,
+            "peer-to-peer" => DistributionPolicy::PeerToPeer,
+            other => return Err(FormatError::BadPolicy(other.to_string())),
+        };
+        let mut members = Vec::new();
+        for m in g.children_named("member") {
+            let tname = require(m, "task")?;
+            let task = graph
+                .task_by_name(tname)
+                .ok_or_else(|| FormatError::UnknownTaskName(tname.to_string()))?;
+            members.push(task.id);
+        }
+        graph.add_group(name, members, policy)?;
+    }
+    for c in root.children_named("connection") {
+        let from = endpoint(require(c, "from")?, &graph)?;
+        let to = endpoint(require(c, "to")?, &graph)?;
+        graph.connect(from.0, from.1, to.0, to.1)?;
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 1 / Code Segment 1 workflow: Wave -> [Gaussian -> FFT]
+    /// (grouped) -> Grapher.
+    fn code_segment_1() -> TaskGraph {
+        let mut g = TaskGraph::new("GroupTest");
+        let wave = g
+            .add_task_raw(
+                "Wave",
+                "wave",
+                Params::from([("freq".to_string(), "440".to_string())]),
+                0,
+                1,
+            )
+            .unwrap();
+        let gauss = g
+            .add_task_raw("Gaussian", "gauss", Params::new(), 1, 1)
+            .unwrap();
+        let fft = g.add_task_raw("FFT", "fft", Params::new(), 1, 1).unwrap();
+        let grapher = g
+            .add_task_raw("Grapher", "grapher", Params::new(), 1, 0)
+            .unwrap();
+        g.add_group(
+            "GroupTask",
+            vec![gauss, fft],
+            DistributionPolicy::Parallel,
+        )
+        .unwrap();
+        g.connect(wave, 0, gauss, 0).unwrap();
+        g.connect(gauss, 0, fft, 0).unwrap();
+        g.connect(fft, 0, grapher, 0).unwrap();
+        g
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let g = code_segment_1();
+        let xml = to_xml(&g);
+        let back = from_xml(&xml).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn xml_contains_expected_structure() {
+        let xml = to_xml(&code_segment_1());
+        assert!(xml.contains("<taskgraph name=\"GroupTest\">"));
+        assert!(xml.contains("type=\"Gaussian\""));
+        assert!(xml.contains("policy=\"parallel\""));
+        assert!(xml.contains("from=\"wave:0\""));
+        assert!(xml.contains("<param name=\"freq\" value=\"440\"/>"));
+    }
+
+    #[test]
+    fn graph_text_is_small_relative_to_data() {
+        // §3.3: "the graph itself is a text file that does not consume many
+        // resources" — the XML for a 4-task workflow is under 1 KiB.
+        let xml = to_xml(&code_segment_1());
+        assert!(xml.len() < 1024, "taskgraph XML is {} bytes", xml.len());
+    }
+
+    #[test]
+    fn unknown_policy_rejected() {
+        let xml = to_xml(&code_segment_1()).replace("parallel", "magic");
+        assert!(matches!(from_xml(&xml), Err(FormatError::BadPolicy(_))));
+    }
+
+    #[test]
+    fn dangling_connection_rejected() {
+        let xml = to_xml(&code_segment_1()).replace("from=\"wave:0\"", "from=\"nope:0\"");
+        assert!(matches!(
+            from_xml(&xml),
+            Err(FormatError::UnknownTaskName(_))
+        ));
+    }
+
+    #[test]
+    fn bad_endpoint_syntax_rejected() {
+        let xml = to_xml(&code_segment_1()).replace("from=\"wave:0\"", "from=\"wave\"");
+        assert!(matches!(from_xml(&xml), Err(FormatError::BadEndpoint(_))));
+    }
+
+    #[test]
+    fn missing_attr_reported_with_element() {
+        let xml = "<taskgraph name=\"x\"><task name=\"a\" in=\"0\" out=\"1\"/></taskgraph>";
+        match from_xml(xml) {
+            Err(FormatError::Missing { element, attr }) => {
+                assert_eq!(element, "task");
+                assert_eq!(attr, "type");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        assert!(matches!(
+            from_xml("<flow/>"),
+            Err(FormatError::NotATaskGraph(_))
+        ));
+    }
+
+    #[test]
+    fn parsed_graph_passes_validation() {
+        let xml = to_xml(&code_segment_1());
+        let g = from_xml(&xml).unwrap();
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn peer_to_peer_policy_round_trips() {
+        let mut g = TaskGraph::new("p2p");
+        let a = g.add_task_raw("A", "a", Params::new(), 0, 1).unwrap();
+        let b = g.add_task_raw("B", "b", Params::new(), 1, 0).unwrap();
+        g.connect(a, 0, b, 0).unwrap();
+        g.add_group("grp", vec![a, b], DistributionPolicy::PeerToPeer)
+            .unwrap();
+        let back = from_xml(&to_xml(&g)).unwrap();
+        assert_eq!(back.groups[0].policy, DistributionPolicy::PeerToPeer);
+    }
+}

@@ -1,0 +1,22 @@
+//! `taskgraph-xml` — the XML task-graph dialect of Code Segment 1.
+//!
+//! §3.1: "A Triana network can be constructed using the GUI or directly by
+//! writing an XML taskgraph"; §3.3: "transmitting the connectivity graph to
+//! nodes has a limited overhead – as the graph itself is a text file that
+//! does not consume many resources". This crate provides:
+//!
+//! * [`xml`] — a small, dependency-free XML reader/writer (elements,
+//!   attributes, text, entities) sufficient for the dialect;
+//! * [`mod@format`] — the task-graph mapping: serialize a
+//!   `triana_core::TaskGraph` to XML and parse it back, preserving tasks,
+//!   parameters, cables, groups and their distribution policies.
+
+pub mod bpel;
+pub mod format;
+pub mod wsfl;
+pub mod xml;
+
+pub use bpel::{from_bpel, to_bpel};
+pub use format::{from_xml, to_xml, FormatError};
+pub use wsfl::{from_wsfl, to_pnml, to_wsfl};
+pub use xml::{parse, XmlError, XmlNode};

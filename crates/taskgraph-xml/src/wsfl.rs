@@ -1,0 +1,273 @@
+//! WSFL-flavoured task graphs.
+//!
+//! §3.1: "A Triana network can be constructed using the GUI or directly by
+//! writing an XML taskgraph (in Web Services Flow Language (WSFL), Petri
+//! net or Business Process Enactment Language for Web Services (BPEL4WS)
+//! formats)." This module maps a `TaskGraph` onto the WSFL vocabulary —
+//! `flowModel`, `serviceProvider`, `activity`, `dataLink` — and back, so a
+//! workflow authored in either dialect drives the same engine.
+
+use crate::format::FormatError;
+use crate::xml::{parse, XmlNode};
+use triana_core::unit::Params;
+use triana_core::{DistributionPolicy, TaskGraph, TaskId};
+
+/// Serialize a task graph as a WSFL flow model.
+pub fn to_wsfl(graph: &TaskGraph) -> String {
+    let mut root = XmlNode::new("flowModel").with_attr("name", &graph.name);
+    // One serviceProvider per unit type in use.
+    let mut seen_types: Vec<&str> = Vec::new();
+    for t in &graph.tasks {
+        if !seen_types.contains(&t.unit_type.as_str()) {
+            seen_types.push(&t.unit_type);
+            root.children.push(
+                XmlNode::new("serviceProvider")
+                    .with_attr("name", &t.unit_type)
+                    .with_attr("type", "trianaUnit"),
+            );
+        }
+    }
+    for t in &graph.tasks {
+        let mut act = XmlNode::new("activity")
+            .with_attr("name", &t.name)
+            .with_attr("performedBy", &t.unit_type)
+            .with_attr("in", &t.n_in.to_string())
+            .with_attr("out", &t.n_out.to_string());
+        for (k, v) in &t.params {
+            act.children.push(
+                XmlNode::new("input")
+                    .with_attr("name", k)
+                    .with_attr("value", v),
+            );
+        }
+        root.children.push(act);
+    }
+    for g in &graph.groups {
+        let mut blk = XmlNode::new("block").with_attr("name", &g.name).with_attr(
+            "distribution",
+            match g.policy {
+                DistributionPolicy::Parallel => "parallel",
+                DistributionPolicy::PeerToPeer => "peer-to-peer",
+            },
+        );
+        for &m in &g.members {
+            blk.children.push(
+                XmlNode::new("activityRef")
+                    .with_attr("name", &graph.tasks[m.0 as usize].name),
+            );
+        }
+        root.children.push(blk);
+    }
+    for c in &graph.cables {
+        root.children.push(
+            XmlNode::new("dataLink")
+                .with_attr(
+                    "source",
+                    &format!("{}:{}", graph.tasks[c.from.0 .0 as usize].name, c.from.1),
+                )
+                .with_attr(
+                    "target",
+                    &format!("{}:{}", graph.tasks[c.to.0 .0 as usize].name, c.to.1),
+                ),
+        );
+    }
+    format!("<?xml version=\"1.0\"?>\n{}", root.to_string_pretty())
+}
+
+fn require<'a>(node: &'a XmlNode, attr: &str) -> Result<&'a str, FormatError> {
+    node.attr(attr).ok_or_else(|| FormatError::Missing {
+        element: node.name.clone(),
+        attr: attr.to_string(),
+    })
+}
+
+fn endpoint(s: &str, graph: &TaskGraph) -> Result<(TaskId, usize), FormatError> {
+    let (name, port) = s
+        .rsplit_once(':')
+        .ok_or_else(|| FormatError::BadEndpoint(s.to_string()))?;
+    let port: usize = port
+        .parse()
+        .map_err(|_| FormatError::BadEndpoint(s.to_string()))?;
+    let task = graph
+        .task_by_name(name)
+        .ok_or_else(|| FormatError::UnknownTaskName(name.to_string()))?;
+    Ok((task.id, port))
+}
+
+/// Parse a WSFL flow model back into a task graph.
+pub fn from_wsfl(text: &str) -> Result<TaskGraph, FormatError> {
+    let root = parse(text)?;
+    if root.name != "flowModel" {
+        return Err(FormatError::NotATaskGraph(root.name));
+    }
+    let mut graph = TaskGraph::new(root.attr("name").unwrap_or(""));
+    for act in root.children_named("activity") {
+        let name = require(act, "name")?;
+        let unit_type = require(act, "performedBy")?;
+        let n_in: usize = require(act, "in")?
+            .parse()
+            .map_err(|_| FormatError::BadNumber {
+                attr: "in".into(),
+                value: act.attr("in").unwrap_or("").to_string(),
+            })?;
+        let n_out: usize = require(act, "out")?
+            .parse()
+            .map_err(|_| FormatError::BadNumber {
+                attr: "out".into(),
+                value: act.attr("out").unwrap_or("").to_string(),
+            })?;
+        let mut params = Params::new();
+        for p in act.children_named("input") {
+            params.insert(
+                require(p, "name")?.to_string(),
+                require(p, "value")?.to_string(),
+            );
+        }
+        graph.add_task_raw(unit_type, name, params, n_in, n_out)?;
+    }
+    for blk in root.children_named("block") {
+        let name = require(blk, "name")?;
+        let policy = match require(blk, "distribution")? {
+            "parallel" => DistributionPolicy::Parallel,
+            "peer-to-peer" => DistributionPolicy::PeerToPeer,
+            other => return Err(FormatError::BadPolicy(other.to_string())),
+        };
+        let mut members = Vec::new();
+        for m in blk.children_named("activityRef") {
+            let tname = require(m, "name")?;
+            let task = graph
+                .task_by_name(tname)
+                .ok_or_else(|| FormatError::UnknownTaskName(tname.to_string()))?;
+            members.push(task.id);
+        }
+        graph.add_group(name, members, policy)?;
+    }
+    for link in root.children_named("dataLink") {
+        let from = endpoint(require(link, "source")?, &graph)?;
+        let to = endpoint(require(link, "target")?, &graph)?;
+        graph.connect(from.0, from.1, to.0, to.1)?;
+    }
+    Ok(graph)
+}
+
+/// Export a task graph as a PNML Petri net (export only): each task is a
+/// transition, each cable a place with arcs from producer to consumer.
+pub fn to_pnml(graph: &TaskGraph) -> String {
+    let mut net = XmlNode::new("net")
+        .with_attr("id", &graph.name)
+        .with_attr("type", "http://www.pnml.org/version-2009/grammar/ptnet");
+    for t in &graph.tasks {
+        let mut tr = XmlNode::new("transition").with_attr("id", &format!("t_{}", t.name));
+        let mut name = XmlNode::new("name");
+        let mut text = XmlNode::new("text");
+        text.text = format!("{} ({})", t.name, t.unit_type);
+        name.children.push(text);
+        tr.children.push(name);
+        net.children.push(tr);
+    }
+    for (i, c) in graph.cables.iter().enumerate() {
+        let from = &graph.tasks[c.from.0 .0 as usize].name;
+        let to = &graph.tasks[c.to.0 .0 as usize].name;
+        let place_id = format!("p_{i}_{from}_{to}");
+        net.children
+            .push(XmlNode::new("place").with_attr("id", &place_id));
+        net.children.push(
+            XmlNode::new("arc")
+                .with_attr("id", &format!("a{i}s"))
+                .with_attr("source", &format!("t_{from}"))
+                .with_attr("target", &place_id),
+        );
+        net.children.push(
+            XmlNode::new("arc")
+                .with_attr("id", &format!("a{i}t"))
+                .with_attr("source", &place_id)
+                .with_attr("target", &format!("t_{to}")),
+        );
+    }
+    let mut pnml = XmlNode::new("pnml");
+    pnml.children.push(net);
+    format!("<?xml version=\"1.0\"?>\n{}", pnml.to_string_pretty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format;
+
+    fn sample() -> TaskGraph {
+        let mut g = TaskGraph::new("GroupTest");
+        let w = g
+            .add_task_raw(
+                "Wave",
+                "wave",
+                Params::from([("freq".to_string(), "440".to_string())]),
+                0,
+                1,
+            )
+            .unwrap();
+        let ga = g.add_task_raw("Gaussian", "gauss", Params::new(), 1, 1).unwrap();
+        let ff = g.add_task_raw("FFT", "fft", Params::new(), 1, 1).unwrap();
+        g.connect(w, 0, ga, 0).unwrap();
+        g.connect(ga, 0, ff, 0).unwrap();
+        g.add_group("GroupTask", vec![ga, ff], DistributionPolicy::PeerToPeer)
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn wsfl_round_trips() {
+        let g = sample();
+        let wsfl = to_wsfl(&g);
+        assert!(wsfl.contains("<flowModel name=\"GroupTest\">"));
+        assert!(wsfl.contains("performedBy=\"Gaussian\""));
+        assert!(wsfl.contains("<dataLink source=\"wave:0\" target=\"gauss:0\"/>"));
+        let back = from_wsfl(&wsfl).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn wsfl_and_native_dialect_agree() {
+        let g = sample();
+        let via_native = format::from_xml(&format::to_xml(&g)).unwrap();
+        let via_wsfl = from_wsfl(&to_wsfl(&g)).unwrap();
+        assert_eq!(via_native, via_wsfl);
+    }
+
+    #[test]
+    fn wsfl_lists_each_provider_once() {
+        let mut g = sample();
+        g.add_task_raw("FFT", "fft2", Params::new(), 1, 1).unwrap();
+        let wsfl = to_wsfl(&g);
+        assert_eq!(wsfl.matches("serviceProvider name=\"FFT\"").count(), 1);
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        assert!(matches!(
+            from_wsfl("<taskgraph/>"),
+            Err(FormatError::NotATaskGraph(_))
+        ));
+    }
+
+    #[test]
+    fn pnml_export_has_transitions_places_arcs() {
+        let g = sample();
+        let pnml = to_pnml(&g);
+        // 3 transitions, 2 places (one per cable), 4 arcs.
+        assert_eq!(pnml.matches("<transition").count(), 3);
+        assert_eq!(pnml.matches("<place").count(), 2);
+        assert_eq!(pnml.matches("<arc").count(), 4);
+        // And it is well-formed XML.
+        crate::xml::parse(&pnml).unwrap();
+    }
+
+    #[test]
+    fn dangling_wsfl_link_rejected() {
+        let g = sample();
+        let wsfl = to_wsfl(&g).replace("source=\"wave:0\"", "source=\"ghost:0\"");
+        assert!(matches!(
+            from_wsfl(&wsfl),
+            Err(FormatError::UnknownTaskName(_))
+        ));
+    }
+}

@@ -1,0 +1,394 @@
+//! A minimal XML reader/writer.
+//!
+//! Supports exactly what the task-graph dialect needs: nested elements,
+//! attributes (double- or single-quoted), text content, comments, XML
+//! declarations, self-closing tags, and the five predefined entities. No
+//! namespaces, CDATA, or DTDs — the dialect doesn't use them.
+
+use std::fmt;
+
+/// One XML element.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct XmlNode {
+    pub name: String,
+    pub attrs: Vec<(String, String)>,
+    pub children: Vec<XmlNode>,
+    /// Concatenated text content directly inside this element.
+    pub text: String,
+}
+
+impl XmlNode {
+    pub fn new(name: &str) -> Self {
+        XmlNode {
+            name: name.to_string(),
+            ..Default::default()
+        }
+    }
+
+    pub fn with_attr(mut self, key: &str, value: &str) -> Self {
+        self.attrs.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn child(&self, name: &str) -> Option<&XmlNode> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlNode> {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// Serialize with 2-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        out.push_str(&pad);
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attrs {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape(v));
+            out.push('"');
+        }
+        if self.children.is_empty() && self.text.is_empty() {
+            out.push_str("/>\n");
+            return;
+        }
+        out.push('>');
+        if !self.text.is_empty() {
+            out.push_str(&escape(&self.text));
+        }
+        if !self.children.is_empty() {
+            out.push('\n');
+            for c in &self.children {
+                c.write(out, depth + 1);
+            }
+            out.push_str(&pad);
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push_str(">\n");
+    }
+}
+
+/// Parsing failure with byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XmlError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, XmlError> {
+        Err(XmlError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                match self.bytes[self.pos..]
+                    .windows(2)
+                    .position(|w| w == b"?>")
+                {
+                    Some(i) => self.pos += i + 2,
+                    None => return self.err("unterminated declaration"),
+                }
+            } else if self.starts_with("<!--") {
+                match self.bytes[self.pos..]
+                    .windows(3)
+                    .position(|w| w == b"-->")
+                {
+                    Some(i) => self.pos += i + 3,
+                    None => return self.err("unterminated comment"),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return self.err("expected a name");
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn unescape(&self, raw: &str) -> Result<String, XmlError> {
+        if !raw.contains('&') {
+            return Ok(raw.to_string());
+        }
+        let mut out = String::with_capacity(raw.len());
+        let mut rest = raw;
+        while let Some(i) = rest.find('&') {
+            out.push_str(&rest[..i]);
+            rest = &rest[i..];
+            let end = match rest.find(';') {
+                Some(e) => e,
+                None => {
+                    return Err(XmlError {
+                        offset: self.pos,
+                        message: "unterminated entity".into(),
+                    })
+                }
+            };
+            match &rest[..=end] {
+                "&lt;" => out.push('<'),
+                "&gt;" => out.push('>'),
+                "&amp;" => out.push('&'),
+                "&quot;" => out.push('"'),
+                "&apos;" => out.push('\''),
+                other => {
+                    return Err(XmlError {
+                        offset: self.pos,
+                        message: format!("unknown entity `{other}`"),
+                    })
+                }
+            }
+            rest = &rest[end + 1..];
+        }
+        out.push_str(rest);
+        Ok(out)
+    }
+
+    fn element(&mut self) -> Result<XmlNode, XmlError> {
+        if self.peek() != Some(b'<') {
+            return self.err("expected `<`");
+        }
+        self.pos += 1;
+        let name = self.name()?;
+        let mut node = XmlNode::new(&name);
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return self.err("expected `>` after `/`");
+                    }
+                    self.pos += 1;
+                    return Ok(node);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let key = self.name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return self.err("expected `=`");
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return self.err("expected quoted attribute value"),
+                    };
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != quote) {
+                        self.pos += 1;
+                    }
+                    if self.peek().is_none() {
+                        return self.err("unterminated attribute value");
+                    }
+                    let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    node.attrs.push((key, self.unescape(&raw)?));
+                }
+                None => return self.err("unexpected end of input in tag"),
+            }
+        }
+        // Content: text and children until the closing tag.
+        loop {
+            let start = self.pos;
+            while self.peek().is_some_and(|c| c != b'<') {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                let text = self.unescape(&raw)?;
+                let trimmed = text.trim();
+                if !trimmed.is_empty() {
+                    node.text.push_str(trimmed);
+                }
+            }
+            if self.peek().is_none() {
+                return self.err(format!("missing closing tag for `{name}`"));
+            }
+            if self.starts_with("<!--") {
+                self.skip_misc()?;
+                continue;
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.name()?;
+                if close != name {
+                    return self.err(format!("mismatched closing tag `{close}` for `{name}`"));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return self.err("expected `>`");
+                }
+                self.pos += 1;
+                return Ok(node);
+            }
+            node.children.push(self.element()?);
+        }
+    }
+}
+
+/// Parse a document into its root element.
+pub fn parse(input: &str) -> Result<XmlNode, XmlError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_misc()?;
+    let root = p.element()?;
+    p.skip_misc()?;
+    if p.pos != p.bytes.len() {
+        return p.err("trailing content after root element");
+    }
+    Ok(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_elements_and_attrs() {
+        let doc = r#"<a x="1"><b y='two'/><c>text</c></a>"#;
+        let root = parse(doc).unwrap();
+        assert_eq!(root.name, "a");
+        assert_eq!(root.attr("x"), Some("1"));
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.child("b").unwrap().attr("y"), Some("two"));
+        assert_eq!(root.child("c").unwrap().text, "text");
+    }
+
+    #[test]
+    fn round_trips_through_pretty_printer() {
+        let node = XmlNode::new("taskgraph")
+            .with_attr("name", "Group<Test> & \"quotes\"")
+            .with_attr("v", "1");
+        let mut root = node;
+        root.children.push(XmlNode::new("task").with_attr("type", "Wave"));
+        let mut inner = XmlNode::new("note");
+        inner.text = "a < b && c".to_string();
+        root.children.push(inner);
+        let text = root.to_string_pretty();
+        let back = parse(&text).unwrap();
+        assert_eq!(back, root);
+    }
+
+    #[test]
+    fn declaration_and_comments_skipped() {
+        let doc = "<?xml version=\"1.0\"?>\n<!-- header -->\n<r><!-- inner --><x/></r>\n<!-- tail -->";
+        let root = parse(doc).unwrap();
+        assert_eq!(root.name, "r");
+        assert_eq!(root.children.len(), 1);
+    }
+
+    #[test]
+    fn entities_decoded() {
+        let root = parse("<r a=\"&lt;&amp;&gt;\">&quot;hi&apos;</r>").unwrap();
+        assert_eq!(root.attr("a"), Some("<&>"));
+        assert_eq!(root.text, "\"hi'");
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let e = parse("<a><b></a>").unwrap_err();
+        assert!(e.message.contains("mismatched"));
+        assert!(e.offset > 0);
+        assert!(parse("<a>").is_err());
+        assert!(parse("<a x=1/>").is_err());
+        assert!(parse("<a/><b/>").is_err());
+        assert!(parse("<r>&bogus;</r>").is_err());
+    }
+
+    #[test]
+    fn whitespace_only_text_ignored() {
+        let root = parse("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(root.text, "");
+    }
+
+    #[test]
+    fn children_named_filters() {
+        let root = parse("<g><m i=\"0\"/><x/><m i=\"1\"/></g>").unwrap();
+        let ms: Vec<_> = root.children_named("m").collect();
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[1].attr("i"), Some("1"));
+    }
+}

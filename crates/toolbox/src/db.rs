@@ -1,0 +1,459 @@
+//! Case 3: database-access services.
+//!
+//! §3.6.3: "the user establishes a pipeline in Triana consisting of: (1) a
+//! data access service, (2) a data manipulation service, (3) a data
+//! visualisation service, and (4) a data verification service. The data
+//! access service can either read from flat files, or read from a
+//! structured database." JDBC and a 2003 RDBMS are replaced by an in-memory
+//! [`TableStore`]; the four services are real units that can each be bound
+//! to a different peer.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use triana_core::data::{DataType, Table, TrianaData, TypeSpec};
+use triana_core::unit::{param_f64, param_usize, Params, Unit, UnitError};
+
+/// A shared, thread-safe store of named tables (the "structured database").
+#[derive(Clone, Default)]
+pub struct TableStore {
+    tables: Arc<RwLock<HashMap<String, Table>>>,
+}
+
+impl TableStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn put(&self, name: &str, table: Table) {
+        self.tables.write().insert(name.to_string(), table);
+    }
+
+    pub fn get(&self, name: &str) -> Option<Table> {
+        self.tables.read().get(name).cloned()
+    }
+
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+/// (1) Data access: reads a named table from the store.
+pub struct DataAccess {
+    pub store: TableStore,
+    pub table: String,
+}
+
+impl Unit for DataAccess {
+    fn type_name(&self) -> &str {
+        "DataAccess"
+    }
+    fn input_types(&self) -> Vec<TypeSpec> {
+        vec![]
+    }
+    fn output_types(&self) -> Vec<DataType> {
+        vec![DataType::Table]
+    }
+    fn process(&mut self, _inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+        let t = self
+            .store
+            .get(&self.table)
+            .ok_or_else(|| UnitError::Runtime(format!("no table `{}`", self.table)))?;
+        Ok(vec![TrianaData::Table(t)])
+    }
+}
+
+/// (2) Data manipulation: one relational operation per instance.
+pub enum ManipOp {
+    /// Keep rows with `min <= row[col] <= max`.
+    Filter { col: String, min: f64, max: f64 },
+    /// Project onto the named columns (in the given order).
+    Select { cols: Vec<String> },
+    /// Sort by a column, ascending or descending.
+    Sort { col: String, desc: bool },
+}
+
+pub struct DataManipulate {
+    pub op: ManipOp,
+}
+
+impl DataManipulate {
+    pub fn from_params(p: &Params) -> Result<Self, UnitError> {
+        let op = match p.get("op").map(String::as_str) {
+            Some("filter") | None => ManipOp::Filter {
+                col: p.get("col").cloned().unwrap_or_default(),
+                min: param_f64(p, "min", f64::NEG_INFINITY)?,
+                max: param_f64(p, "max", f64::INFINITY)?,
+            },
+            Some("select") => ManipOp::Select {
+                cols: p
+                    .get("cols")
+                    .map(|s| s.split(',').map(|c| c.trim().to_string()).collect())
+                    .unwrap_or_default(),
+            },
+            Some("sort") => ManipOp::Sort {
+                col: p.get("col").cloned().unwrap_or_default(),
+                desc: p.get("desc").map(String::as_str) == Some("true"),
+            },
+            Some(other) => {
+                return Err(UnitError::BadParam {
+                    param: "op".into(),
+                    message: format!("unknown op `{other}`"),
+                })
+            }
+        };
+        Ok(DataManipulate { op })
+    }
+
+    fn apply(&self, t: &Table) -> Result<Table, UnitError> {
+        let col_idx = |name: &str| {
+            t.column_index(name)
+                .ok_or_else(|| UnitError::Runtime(format!("no column `{name}`")))
+        };
+        match &self.op {
+            ManipOp::Filter { col, min, max } => {
+                let ci = col_idx(col)?;
+                let mut out = Table::new(t.columns.clone());
+                out.rows = t
+                    .rows
+                    .iter()
+                    .filter(|r| r[ci] >= *min && r[ci] <= *max)
+                    .cloned()
+                    .collect();
+                Ok(out)
+            }
+            ManipOp::Select { cols } => {
+                let idxs: Vec<usize> = cols
+                    .iter()
+                    .map(|c| col_idx(c))
+                    .collect::<Result<_, _>>()?;
+                let mut out = Table::new(cols.clone());
+                out.rows = t
+                    .rows
+                    .iter()
+                    .map(|r| idxs.iter().map(|&i| r[i]).collect())
+                    .collect();
+                Ok(out)
+            }
+            ManipOp::Sort { col, desc } => {
+                let ci = col_idx(col)?;
+                let mut out = t.clone();
+                out.rows.sort_by(|a, b| {
+                    let ord = a[ci].partial_cmp(&b[ci]).unwrap_or(std::cmp::Ordering::Equal);
+                    if *desc {
+                        ord.reverse()
+                    } else {
+                        ord
+                    }
+                });
+                Ok(out)
+            }
+        }
+    }
+}
+
+impl Unit for DataManipulate {
+    fn type_name(&self) -> &str {
+        "DataManipulate"
+    }
+    fn input_types(&self) -> Vec<TypeSpec> {
+        vec![TypeSpec::Exact(DataType::Table)]
+    }
+    fn output_types(&self) -> Vec<DataType> {
+        vec![DataType::Table]
+    }
+    fn process(&mut self, inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+        match inputs.into_iter().next() {
+            Some(TrianaData::Table(t)) => Ok(vec![TrianaData::Table(self.apply(&t)?)]),
+            other => Err(UnitError::Runtime(format!(
+                "DataManipulate expects a Table, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// (3) Data visualisation: a histogram of one column as an image row.
+pub struct DataVisualise {
+    pub col: String,
+    pub bins: usize,
+}
+
+impl DataVisualise {
+    pub fn from_params(p: &Params) -> Result<Self, UnitError> {
+        Ok(DataVisualise {
+            col: p.get("col").cloned().unwrap_or_default(),
+            bins: param_usize(p, "bins", 32)?.max(1),
+        })
+    }
+}
+
+impl Unit for DataVisualise {
+    fn type_name(&self) -> &str {
+        "DataVisualise"
+    }
+    fn input_types(&self) -> Vec<TypeSpec> {
+        vec![TypeSpec::Exact(DataType::Table)]
+    }
+    fn output_types(&self) -> Vec<DataType> {
+        vec![DataType::ImageFrame]
+    }
+    fn process(&mut self, inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+        match inputs.into_iter().next() {
+            Some(TrianaData::Table(t)) => {
+                let ci = t
+                    .column_index(&self.col)
+                    .ok_or_else(|| UnitError::Runtime(format!("no column `{}`", self.col)))?;
+                let vals: Vec<f64> = t.rows.iter().map(|r| r[ci]).collect();
+                let (lo, hi) = vals
+                    .iter()
+                    .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+                        (l.min(v), h.max(v))
+                    });
+                let mut hist = vec![0.0f64; self.bins];
+                if lo.is_finite() && hi > lo {
+                    for v in vals {
+                        let b = (((v - lo) / (hi - lo)) * self.bins as f64) as usize;
+                        hist[b.min(self.bins - 1)] += 1.0;
+                    }
+                } else if lo.is_finite() {
+                    hist[0] = t.n_rows() as f64;
+                }
+                Ok(vec![TrianaData::ImageFrame {
+                    width: self.bins as u32,
+                    height: 1,
+                    pixels: hist,
+                }])
+            }
+            other => Err(UnitError::Runtime(format!(
+                "DataVisualise expects a Table, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// (4) Data verification: structural checks, reported as text.
+pub struct DataVerify;
+
+impl Unit for DataVerify {
+    fn type_name(&self) -> &str {
+        "DataVerify"
+    }
+    fn input_types(&self) -> Vec<TypeSpec> {
+        vec![TypeSpec::Exact(DataType::Table)]
+    }
+    fn output_types(&self) -> Vec<DataType> {
+        vec![DataType::Text]
+    }
+    fn process(&mut self, inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+        match inputs.into_iter().next() {
+            Some(TrianaData::Table(t)) => {
+                let mut problems = Vec::new();
+                if !t.is_rectangular() {
+                    problems.push("ragged rows".to_string());
+                }
+                let nan_cells = t
+                    .rows
+                    .iter()
+                    .flat_map(|r| r.iter())
+                    .filter(|v| v.is_nan())
+                    .count();
+                if nan_cells > 0 {
+                    problems.push(format!("{nan_cells} NaN cells"));
+                }
+                let report = if problems.is_empty() {
+                    format!("OK rows={} cols={}", t.n_rows(), t.n_cols())
+                } else {
+                    format!("FAIL: {}", problems.join("; "))
+                };
+                Ok(vec![TrianaData::Text(report)])
+            }
+            other => Err(UnitError::Runtime(format!(
+                "DataVerify expects a Table, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// A small synthetic astronomy catalogue for examples and tests.
+pub fn sample_catalogue(rows: usize, seed: u64) -> Table {
+    let mut rng = netsim::Pcg32::new(seed, 0xDB);
+    let mut t = Table::new(vec![
+        "id".into(),
+        "ra".into(),
+        "dec".into(),
+        "magnitude".into(),
+        "redshift".into(),
+    ]);
+    for i in 0..rows {
+        t.rows.push(vec![
+            i as f64,
+            rng.range_f64(0.0, 360.0),
+            rng.range_f64(-90.0, 90.0),
+            rng.normal_with(18.0, 2.0),
+            rng.exp(0.3),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_put_get_names() {
+        let store = TableStore::new();
+        store.put("cat", sample_catalogue(10, 1));
+        store.put("aux", Table::new(vec!["x".into()]));
+        assert_eq!(store.names(), vec!["aux", "cat"]);
+        assert_eq!(store.get("cat").unwrap().n_rows(), 10);
+        assert!(store.get("missing").is_none());
+    }
+
+    #[test]
+    fn data_access_reads_the_named_table() {
+        let store = TableStore::new();
+        store.put("cat", sample_catalogue(5, 2));
+        let mut u = DataAccess {
+            store: store.clone(),
+            table: "cat".into(),
+        };
+        let out = u.process(vec![]).unwrap().pop().unwrap();
+        let TrianaData::Table(t) = out else { panic!() };
+        assert_eq!(t.n_rows(), 5);
+        let mut missing = DataAccess {
+            store,
+            table: "nope".into(),
+        };
+        assert!(missing.process(vec![]).is_err());
+    }
+
+    #[test]
+    fn filter_bounds_inclusive() {
+        let mut t = Table::new(vec!["v".into()]);
+        for i in 0..10 {
+            t.rows.push(vec![i as f64]);
+        }
+        let mut u = DataManipulate {
+            op: ManipOp::Filter {
+                col: "v".into(),
+                min: 3.0,
+                max: 6.0,
+            },
+        };
+        let out = u.process(vec![TrianaData::Table(t)]).unwrap().pop().unwrap();
+        let TrianaData::Table(t) = out else { panic!() };
+        let vals: Vec<f64> = t.rows.iter().map(|r| r[0]).collect();
+        assert_eq!(vals, vec![3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn select_projects_and_reorders() {
+        let cat = sample_catalogue(3, 3);
+        let mut u = DataManipulate {
+            op: ManipOp::Select {
+                cols: vec!["magnitude".into(), "id".into()],
+            },
+        };
+        let out = u
+            .process(vec![TrianaData::Table(cat.clone())])
+            .unwrap()
+            .pop()
+            .unwrap();
+        let TrianaData::Table(t) = out else { panic!() };
+        assert_eq!(t.columns, vec!["magnitude", "id"]);
+        assert_eq!(t.rows[1][1], 1.0);
+        assert_eq!(t.rows[1][0], cat.rows[1][3]);
+    }
+
+    #[test]
+    fn sort_descending() {
+        let mut t = Table::new(vec!["v".into()]);
+        for v in [2.0, 9.0, 5.0] {
+            t.rows.push(vec![v]);
+        }
+        let mut u = DataManipulate {
+            op: ManipOp::Sort {
+                col: "v".into(),
+                desc: true,
+            },
+        };
+        let out = u.process(vec![TrianaData::Table(t)]).unwrap().pop().unwrap();
+        let TrianaData::Table(t) = out else { panic!() };
+        let vals: Vec<f64> = t.rows.iter().map(|r| r[0]).collect();
+        assert_eq!(vals, vec![9.0, 5.0, 2.0]);
+    }
+
+    #[test]
+    fn unknown_column_is_a_runtime_error() {
+        let mut u = DataManipulate {
+            op: ManipOp::Filter {
+                col: "ghost".into(),
+                min: 0.0,
+                max: 1.0,
+            },
+        };
+        let r = u.process(vec![TrianaData::Table(sample_catalogue(2, 4))]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn visualise_histograms_counts_all_rows() {
+        let cat = sample_catalogue(100, 5);
+        let mut u = DataVisualise {
+            col: "magnitude".into(),
+            bins: 8,
+        };
+        let out = u.process(vec![TrianaData::Table(cat)]).unwrap().pop().unwrap();
+        let TrianaData::ImageFrame {
+            width,
+            height,
+            pixels,
+        } = out
+        else {
+            panic!()
+        };
+        assert_eq!((width, height), (8, 1));
+        assert_eq!(pixels.iter().sum::<f64>() as usize, 100);
+    }
+
+    #[test]
+    fn verify_reports_ok_and_failures() {
+        let mut u = DataVerify;
+        let good = sample_catalogue(7, 6);
+        let out = u.process(vec![TrianaData::Table(good)]).unwrap().pop().unwrap();
+        assert_eq!(out, TrianaData::Text("OK rows=7 cols=5".into()));
+        let mut bad = sample_catalogue(3, 7);
+        bad.rows[1][2] = f64::NAN;
+        bad.rows[2].pop();
+        let out = u.process(vec![TrianaData::Table(bad)]).unwrap().pop().unwrap();
+        let TrianaData::Text(report) = out else { panic!() };
+        assert!(report.starts_with("FAIL"));
+        assert!(report.contains("ragged"));
+        assert!(report.contains("NaN"));
+    }
+
+    #[test]
+    fn manipulate_from_params() {
+        let p = Params::from([
+            ("op".to_string(), "filter".to_string()),
+            ("col".to_string(), "redshift".to_string()),
+            ("max".to_string(), "0.5".to_string()),
+        ]);
+        let mut u = DataManipulate::from_params(&p).unwrap();
+        let out = u
+            .process(vec![TrianaData::Table(sample_catalogue(50, 8))])
+            .unwrap()
+            .pop()
+            .unwrap();
+        let TrianaData::Table(t) = out else { panic!() };
+        assert!(t.rows.iter().all(|r| r[4] <= 0.5));
+        assert!(DataManipulate::from_params(&Params::from([(
+            "op".to_string(),
+            "explode".to_string()
+        )]))
+        .is_err());
+    }
+}

@@ -1,0 +1,307 @@
+//! FFT: iterative radix-2 Cooley–Tukey with a Bluestein fallback for
+//! arbitrary lengths.
+//!
+//! This is the numerical core under `PowerSpectrum` (Figure 2) and the
+//! matched filter's "fast correlation" (Case 2). Plain `f64` pairs, no
+//! external dependencies.
+
+use std::f64::consts::PI;
+
+/// In-place radix-2 FFT. `re`/`im` length must be a power of two.
+/// `inverse` applies the conjugate transform *without* 1/N normalization.
+fn fft_pow2(re: &mut [f64], im: &mut [f64], inverse: bool) {
+    let n = re.len();
+    debug_assert!(n.is_power_of_two());
+    debug_assert_eq!(n, im.len());
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let (w_re, w_im) = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let (mut cur_re, mut cur_im) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let a = start + k;
+                let b = a + len / 2;
+                let tr = re[b] * cur_re - im[b] * cur_im;
+                let ti = re[b] * cur_im + im[b] * cur_re;
+                re[b] = re[a] - tr;
+                im[b] = im[a] - ti;
+                re[a] += tr;
+                im[a] += ti;
+                let nr = cur_re * w_re - cur_im * w_im;
+                cur_im = cur_re * w_im + cur_im * w_re;
+                cur_re = nr;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward DFT of a complex signal, any length (Bluestein for non-powers
+/// of two). Returns `(re, im)`.
+pub fn fft(re_in: &[f64], im_in: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    transform(re_in, im_in, false)
+}
+
+/// Inverse DFT (with 1/N normalization), any length.
+pub fn ifft(re_in: &[f64], im_in: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let n = re_in.len();
+    let (mut re, mut im) = transform(re_in, im_in, true);
+    let scale = 1.0 / n as f64;
+    for v in re.iter_mut().chain(im.iter_mut()) {
+        *v *= scale;
+    }
+    (re, im)
+}
+
+fn transform(re_in: &[f64], im_in: &[f64], inverse: bool) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(re_in.len(), im_in.len());
+    let n = re_in.len();
+    if n == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let mut re = re_in.to_vec();
+    let mut im = im_in.to_vec();
+    if n.is_power_of_two() {
+        fft_pow2(&mut re, &mut im, inverse);
+        return (re, im);
+    }
+    bluestein(&mut re, &mut im, inverse);
+    (re, im)
+}
+
+/// Bluestein's algorithm: express an arbitrary-length DFT as a convolution,
+/// evaluated with a power-of-two FFT.
+fn bluestein(re: &mut [f64], im: &mut [f64], inverse: bool) {
+    let n = re.len();
+    let m = (2 * n).next_power_of_two() * 2;
+    let sign = if inverse { 1.0 } else { -1.0 };
+    // Chirp: w_k = exp(sign * i * pi * k^2 / n)
+    let mut cos_t = vec![0.0; n];
+    let mut sin_t = vec![0.0; n];
+    for k in 0..n {
+        // k^2 mod 2n avoids precision loss for large k.
+        let ksq = (k as u128 * k as u128 % (2 * n as u128)) as f64;
+        let ang = sign * PI * ksq / n as f64;
+        cos_t[k] = ang.cos();
+        sin_t[k] = ang.sin();
+    }
+    let mut a_re = vec![0.0; m];
+    let mut a_im = vec![0.0; m];
+    for k in 0..n {
+        a_re[k] = re[k] * cos_t[k] - im[k] * sin_t[k];
+        a_im[k] = re[k] * sin_t[k] + im[k] * cos_t[k];
+    }
+    let mut b_re = vec![0.0; m];
+    let mut b_im = vec![0.0; m];
+    b_re[0] = cos_t[0];
+    b_im[0] = -sin_t[0];
+    for k in 1..n {
+        b_re[k] = cos_t[k];
+        b_im[k] = -sin_t[k];
+        b_re[m - k] = cos_t[k];
+        b_im[m - k] = -sin_t[k];
+    }
+    fft_pow2(&mut a_re, &mut a_im, false);
+    fft_pow2(&mut b_re, &mut b_im, false);
+    for k in 0..m {
+        let r = a_re[k] * b_re[k] - a_im[k] * b_im[k];
+        let i = a_re[k] * b_im[k] + a_im[k] * b_re[k];
+        a_re[k] = r;
+        a_im[k] = i;
+    }
+    fft_pow2(&mut a_re, &mut a_im, true);
+    let scale = 1.0 / m as f64;
+    for k in 0..n {
+        let (cr, ci) = (a_re[k] * scale, a_im[k] * scale);
+        re[k] = cr * cos_t[k] - ci * sin_t[k];
+        im[k] = cr * sin_t[k] + ci * cos_t[k];
+    }
+}
+
+/// Forward DFT of a real signal. Returns full-length `(re, im)`.
+pub fn fft_real(signal: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let zeros = vec![0.0; signal.len()];
+    fft(signal, &zeros)
+}
+
+/// One-sided power spectrum of a real signal: `n/2 + 1` bins of
+/// `|X_k|^2 / n`.
+pub fn power_spectrum(signal: &[f64]) -> Vec<f64> {
+    let n = signal.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let (re, im) = fft_real(signal);
+    (0..=n / 2)
+        .map(|k| (re[k] * re[k] + im[k] * im[k]) / n as f64)
+        .collect()
+}
+
+/// Circular cross-correlation of two equal-length real signals via FFT
+/// (the "fast correlation" of Case 2). Output index `l` holds
+/// `sum_t a[t] * b[t + l]` (indices mod n).
+pub fn correlate(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let (a_re, a_im) = fft_real(a);
+    let (b_re, b_im) = fft_real(b);
+    // conj(A) * B
+    let mut c_re = vec![0.0; n];
+    let mut c_im = vec![0.0; n];
+    for k in 0..n {
+        c_re[k] = a_re[k] * b_re[k] + a_im[k] * b_im[k];
+        c_im[k] = a_re[k] * b_im[k] - a_im[k] * b_re[k];
+    }
+    let (out, _) = ifft(&c_re, &c_im);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(re: &[f64], im: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let n = re.len();
+        let mut or = vec![0.0; n];
+        let mut oi = vec![0.0; n];
+        for k in 0..n {
+            for t in 0..n {
+                let ang = -2.0 * PI * (k * t) as f64 / n as f64;
+                or[k] += re[t] * ang.cos() - im[t] * ang.sin();
+                oi[k] += re[t] * ang.sin() + im[t] * ang.cos();
+            }
+        }
+        (or, oi)
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_power_of_two() {
+        let re: Vec<f64> = (0..16).map(|i| (i as f64 * 0.7).sin()).collect();
+        let im: Vec<f64> = (0..16).map(|i| (i as f64 * 0.3).cos()).collect();
+        let (fr, fi) = fft(&re, &im);
+        let (nr, ni) = naive_dft(&re, &im);
+        assert_close(&fr, &nr, 1e-9);
+        assert_close(&fi, &ni, 1e-9);
+    }
+
+    #[test]
+    fn matches_naive_dft_arbitrary_lengths() {
+        for n in [3usize, 5, 6, 7, 12, 15, 100] {
+            let re: Vec<f64> = (0..n).map(|i| ((i * i) as f64 * 0.13).sin()).collect();
+            let im: Vec<f64> = (0..n).map(|i| (i as f64 * 0.41).cos()).collect();
+            let (fr, fi) = fft(&re, &im);
+            let (nr, ni) = naive_dft(&re, &im);
+            assert_close(&fr, &nr, 1e-7);
+            assert_close(&fi, &ni, 1e-7);
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        for n in [8usize, 10, 17] {
+            let re: Vec<f64> = (0..n).map(|i| (i as f64).sqrt()).collect();
+            let im: Vec<f64> = (0..n).map(|i| (i as f64 * 1.1).sin()).collect();
+            let (fr, fi) = fft(&re, &im);
+            let (br, bi) = ifft(&fr, &fi);
+            assert_close(&br, &re, 1e-9);
+            assert_close(&bi, &im, 1e-9);
+        }
+    }
+
+    #[test]
+    fn pure_tone_concentrates_power_in_one_bin() {
+        let n = 256;
+        let k0 = 19;
+        let signal: Vec<f64> = (0..n)
+            .map(|t| (2.0 * PI * k0 as f64 * t as f64 / n as f64).sin())
+            .collect();
+        let ps = power_spectrum(&signal);
+        let peak = ps
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, k0);
+        let total: f64 = ps.iter().sum();
+        assert!(ps[k0] / total > 0.95, "tone power not concentrated");
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let n = 128;
+        let signal: Vec<f64> = (0..n).map(|t| ((t * 7 % 13) as f64) - 6.0).collect();
+        let (re, im) = fft_real(&signal);
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let freq_energy: f64 = re
+            .iter()
+            .zip(&im)
+            .map(|(r, i)| r * r + i * i)
+            .sum::<f64>()
+            / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-6);
+    }
+
+    #[test]
+    fn correlation_peaks_at_known_shift() {
+        let n = 128;
+        let shift = 37;
+        let mut base = vec![0.0; n];
+        for (i, v) in base.iter_mut().enumerate() {
+            *v = ((i * 31 % 17) as f64) - 8.0;
+        }
+        // b[t] = base[t - shift] (circular), so sum_t base[t] b[t+l] peaks
+        // at l = n - shift... verify: b[t+l] = base[t+l-shift] aligns when
+        // l = shift.
+        let mut shifted = vec![0.0; n];
+        for t in 0..n {
+            shifted[(t + shift) % n] = base[t];
+        }
+        let corr = correlate(&base, &shifted);
+        let peak = corr
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, shift);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert_eq!(fft(&[], &[]).0.len(), 0);
+        let (r, i) = fft(&[5.0], &[0.0]);
+        assert_eq!(r, vec![5.0]);
+        assert_eq!(i, vec![0.0]);
+        assert!(power_spectrum(&[]).is_empty());
+    }
+}

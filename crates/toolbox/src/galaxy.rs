@@ -1,0 +1,360 @@
+//! Case 1: galaxy-formation visualisation.
+//!
+//! §3.6.1: "Galaxy and star formation simulation codes generate binary data
+//! files that represent a series of particles in three dimensions … It is
+//! possible to distribute each time slice or frame over a number of
+//! processes and calculate the different views based on the point of view
+//! in parallel … processed to calculate the column density using smooth
+//! particle hydrodynamics."
+//!
+//! The Cardiff group's simulation outputs are not available, so
+//! [`synthesize_snapshots`] generates Plummer-sphere clusters that merge
+//! over time — the same data shape (positions, masses, smoothing lengths
+//! per snapshot) driving the same render path: an SPH column-density
+//! projection ([`render_column_density`]).
+
+use netsim::Pcg32;
+use triana_core::data::{DataType, ParticleSet, TrianaData, TypeSpec};
+use triana_core::unit::{param_f64, param_usize, Params, Unit, UnitError};
+
+/// Viewing parameters for a projection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct View {
+    /// Rotation about the z axis (radians) before projecting onto x–y.
+    pub angle: f64,
+    /// Half-width of the viewport in simulation units.
+    pub half_width: f64,
+    pub pixels: u32,
+}
+
+impl Default for View {
+    fn default() -> Self {
+        View {
+            angle: 0.0,
+            half_width: 2.0,
+            pixels: 64,
+        }
+    }
+}
+
+/// Generate `frames` snapshots of two Plummer-sphere clusters falling
+/// together — the visual shape of a galaxy-merger animation.
+pub fn synthesize_snapshots(
+    frames: usize,
+    particles_per_cluster: usize,
+    seed: u64,
+) -> Vec<ParticleSet> {
+    let mut rng = Pcg32::new(seed, 0x9A1A);
+    // Sample each cluster's internal structure once; per-frame we move the
+    // cluster centres toward each other.
+    let sample_cluster = |rng: &mut Pcg32| -> Vec<[f64; 3]> {
+        (0..particles_per_cluster)
+            .map(|_| {
+                // Plummer radius via inverse CDF, isotropic direction.
+                let u: f64 = rng.uniform().max(1e-9);
+                let r = 0.3 / (u.powf(-2.0 / 3.0) - 1.0).sqrt().max(1e-3);
+                let costh = rng.range_f64(-1.0, 1.0);
+                let sinth = (1.0 - costh * costh).sqrt();
+                let phi = rng.range_f64(0.0, std::f64::consts::TAU);
+                [r * sinth * phi.cos(), r * sinth * phi.sin(), r * costh]
+            })
+            .collect()
+    };
+    let c1 = sample_cluster(&mut rng);
+    let c2 = sample_cluster(&mut rng);
+    (0..frames)
+        .map(|f| {
+            let t = if frames <= 1 {
+                0.0
+            } else {
+                f as f64 / (frames - 1) as f64
+            };
+            // Clusters start ±1.2 apart and meet at t=1.
+            let sep = 1.2 * (1.0 - t);
+            let mut pos = Vec::with_capacity(2 * particles_per_cluster);
+            for p in &c1 {
+                pos.push([p[0] - sep, p[1], p[2]]);
+            }
+            for p in &c2 {
+                pos.push([p[0] + sep, p[1], p[2]]);
+            }
+            let n = pos.len();
+            ParticleSet {
+                time: t,
+                pos,
+                mass: vec![1.0 / n as f64; n],
+                smoothing: vec![0.08; n],
+            }
+        })
+        .collect()
+}
+
+/// SPH column-density projection: each particle contributes its mass
+/// through a 2-D cubic-spline kernel of radius `2h` around its projected
+/// position.
+pub fn render_column_density(particles: &ParticleSet, view: &View) -> (u32, u32, Vec<f64>) {
+    let npix = view.pixels as usize;
+    let mut image = vec![0.0f64; npix * npix];
+    if npix == 0 {
+        return (0, 0, image);
+    }
+    let scale = npix as f64 / (2.0 * view.half_width);
+    let (ca, sa) = (view.angle.cos(), view.angle.sin());
+    for i in 0..particles.len() {
+        let p = particles.pos[i];
+        // Rotate about z, project onto x–y.
+        let x = p[0] * ca - p[1] * sa;
+        let y = p[0] * sa + p[1] * ca;
+        let h = particles.smoothing[i].max(1e-9);
+        let m = particles.mass[i];
+        // Pixel-space footprint.
+        let px = (x + view.half_width) * scale;
+        let py = (y + view.half_width) * scale;
+        let r_pix = (2.0 * h * scale).max(0.5);
+        let x0 = (px - r_pix).floor().max(0.0) as usize;
+        let x1 = ((px + r_pix).ceil() as usize).min(npix.saturating_sub(1));
+        let y0 = (py - r_pix).floor().max(0.0) as usize;
+        let y1 = ((py + r_pix).ceil() as usize).min(npix.saturating_sub(1));
+        if x0 > x1 || y0 > y1 || px < -r_pix || py < -r_pix {
+            continue;
+        }
+        // 2-D cubic spline kernel W(q), q = r / h, support q < 2.
+        let norm = 10.0 / (7.0 * std::f64::consts::PI * h * h);
+        let mut contributed = 0.0;
+        let mut weights: Vec<(usize, f64)> = Vec::new();
+        for gy in y0..=y1 {
+            for gx in x0..=x1 {
+                let dx = (gx as f64 + 0.5 - px) / scale;
+                let dy = (gy as f64 + 0.5 - py) / scale;
+                let q = (dx * dx + dy * dy).sqrt() / h;
+                let w = if q < 1.0 {
+                    1.0 - 1.5 * q * q + 0.75 * q * q * q
+                } else if q < 2.0 {
+                    0.25 * (2.0 - q).powi(3)
+                } else {
+                    0.0
+                };
+                if w > 0.0 {
+                    let val = norm * w;
+                    weights.push((gy * npix + gx, val));
+                    contributed += val;
+                }
+            }
+        }
+        if contributed > 0.0 {
+            // Normalize so each particle deposits exactly its mass
+            // (conserves total column density despite pixelization).
+            let k = m / contributed;
+            for (idx, w) in weights {
+                image[idx] += w * k;
+            }
+        }
+    }
+    (view.pixels, view.pixels, image)
+}
+
+/// The frame-rendering unit: `Particles -> ImageFrame`.
+pub struct RenderFrame {
+    pub view: View,
+}
+
+impl RenderFrame {
+    pub fn from_params(p: &Params) -> Result<Self, UnitError> {
+        Ok(RenderFrame {
+            view: View {
+                angle: param_f64(p, "angle", 0.0)?,
+                half_width: param_f64(p, "half_width", 2.0)?,
+                pixels: param_usize(p, "pixels", 64)? as u32,
+            },
+        })
+    }
+}
+
+impl Unit for RenderFrame {
+    fn type_name(&self) -> &str {
+        "RenderFrame"
+    }
+    fn input_types(&self) -> Vec<TypeSpec> {
+        vec![TypeSpec::Exact(DataType::Particles)]
+    }
+    fn output_types(&self) -> Vec<DataType> {
+        vec![DataType::ImageFrame]
+    }
+    fn process(&mut self, inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+        match inputs.into_iter().next() {
+            Some(TrianaData::Particles(p)) => {
+                if !p.is_consistent() {
+                    return Err(UnitError::Runtime("inconsistent particle set".into()));
+                }
+                let (width, height, pixels) = render_column_density(&p, &self.view);
+                Ok(vec![TrianaData::ImageFrame {
+                    width,
+                    height,
+                    pixels,
+                }])
+            }
+            other => Err(UnitError::Runtime(format!(
+                "RenderFrame expects Particles, got {other:?}"
+            ))),
+        }
+    }
+    fn work_estimate(&self, inputs: &[TrianaData]) -> f64 {
+        // Kernel footprint dominates: ~particles × footprint pixels.
+        if let Some(TrianaData::Particles(p)) = inputs.first() {
+            let n = p.len() as f64;
+            let scale = self.view.pixels as f64 / (2.0 * self.view.half_width);
+            let mean_h = if p.is_empty() {
+                0.0
+            } else {
+                p.smoothing.iter().sum::<f64>() / n
+            };
+            let footprint = (2.0 * mean_h * scale).max(1.0).powi(2);
+            n * footprint * 60.0 / 1e9
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_have_consistent_shapes() {
+        let snaps = synthesize_snapshots(5, 100, 42);
+        assert_eq!(snaps.len(), 5);
+        for (i, s) in snaps.iter().enumerate() {
+            assert_eq!(s.len(), 200);
+            assert!(s.is_consistent());
+            let expect_t = i as f64 / 4.0;
+            assert!((s.time - expect_t).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn clusters_converge_over_time() {
+        let snaps = synthesize_snapshots(3, 200, 7);
+        let spread_x = |s: &ParticleSet| {
+            let mean: f64 = s.pos.iter().map(|p| p[0]).sum::<f64>() / s.len() as f64;
+            s.pos
+                .iter()
+                .map(|p| (p[0] - mean).abs())
+                .sum::<f64>()
+                / s.len() as f64
+        };
+        assert!(
+            spread_x(&snaps[0]) > spread_x(&snaps[2]),
+            "clusters should approach each other"
+        );
+    }
+
+    #[test]
+    fn render_conserves_total_mass() {
+        let snaps = synthesize_snapshots(1, 300, 11);
+        let view = View {
+            half_width: 4.0, // wide enough to contain everything
+            pixels: 128,
+            angle: 0.0,
+        };
+        let (_, _, img) = render_column_density(&snaps[0], &view);
+        let total: f64 = img.iter().sum();
+        let mass: f64 = snaps[0].mass.iter().sum();
+        assert!(
+            (total - mass).abs() / mass < 0.05,
+            "rendered {total}, expected ~{mass}"
+        );
+    }
+
+    #[test]
+    fn density_peaks_near_cluster_centres() {
+        let snaps = synthesize_snapshots(1, 500, 3);
+        let view = View::default();
+        let (w, _, img) = render_column_density(&snaps[0], &view);
+        // Clusters at x = ±1.2: brightest pixel should be off-centre in x.
+        let (peak_idx, _) = img
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let px = (peak_idx % w as usize) as f64 / w as f64 * 4.0 - 2.0; // world x
+        assert!(px.abs() > 0.5, "peak at x={px}, expected near ±1.2");
+    }
+
+    #[test]
+    fn rotation_changes_the_image() {
+        let snaps = synthesize_snapshots(1, 200, 5);
+        let base = render_column_density(&snaps[0], &View::default()).2;
+        let rot = render_column_density(
+            &snaps[0],
+            &View {
+                angle: std::f64::consts::FRAC_PI_2,
+                ..View::default()
+            },
+        )
+        .2;
+        let diff: f64 = base.iter().zip(&rot).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-3, "rotated view should differ");
+    }
+
+    #[test]
+    fn render_unit_produces_image_frames() {
+        let snaps = synthesize_snapshots(1, 50, 9);
+        let mut unit = RenderFrame {
+            view: View::default(),
+        };
+        let out = unit
+            .process(vec![TrianaData::Particles(snaps[0].clone())])
+            .unwrap()
+            .pop()
+            .unwrap();
+        match out {
+            TrianaData::ImageFrame {
+                width,
+                height,
+                pixels,
+            } => {
+                assert_eq!((width, height), (64, 64));
+                assert_eq!(pixels.len(), 64 * 64);
+                assert!(pixels.iter().any(|&p| p > 0.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(unit.process(vec![TrianaData::Scalar(1.0)]).is_err());
+    }
+
+    #[test]
+    fn work_estimate_grows_with_particles_and_resolution() {
+        let small = synthesize_snapshots(1, 50, 1).pop().unwrap();
+        let big = synthesize_snapshots(1, 500, 1).pop().unwrap();
+        let lo_res = RenderFrame {
+            view: View {
+                pixels: 32,
+                ..View::default()
+            },
+        };
+        let hi_res = RenderFrame {
+            view: View {
+                pixels: 256,
+                ..View::default()
+            },
+        };
+        let w_small = lo_res.work_estimate(&[TrianaData::Particles(small.clone())]);
+        let w_big = lo_res.work_estimate(&[TrianaData::Particles(big.clone())]);
+        assert!(w_big > w_small * 5.0);
+        let w_hi = hi_res.work_estimate(&[TrianaData::Particles(big)]);
+        assert!(w_hi > w_big);
+    }
+
+    #[test]
+    fn empty_particle_set_renders_black() {
+        let empty = ParticleSet {
+            time: 0.0,
+            pos: vec![],
+            mass: vec![],
+            smoothing: vec![],
+        };
+        let (_, _, img) = render_column_density(&empty, &View::default());
+        assert!(img.iter().all(|&p| p == 0.0));
+    }
+}

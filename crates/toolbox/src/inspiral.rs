@@ -1,0 +1,479 @@
+//! Case 2: inspiral search for coalescing binaries.
+//!
+//! §3.6.2: "the gravitational wave signal is sampled at 8kHz … a realistic
+//! sampled representation of the signal contains 2,000 samples per second.
+//! The real-time data set is divided into chunks of 15 minutes in duration
+//! (i.e. 900 seconds) … The node … performs fast correlation on the data
+//! set with each template in a library of between 5,000 and 10,000
+//! templates. This process takes about 5 hours on a 2 GHz PC."
+//!
+//! GEO600 data is not available; [`inject_chirp`] synthesizes chunks with a
+//! known chirp buried in Gaussian noise, and [`search`] runs the real
+//! FFT-based matched filter over a [`TemplateBank`]. The constants in
+//! [`cost`] encode the paper's quoted arithmetic so the Consumer Grid
+//! experiments (E4) are calibrated to it.
+
+use crate::fft::correlate;
+use netsim::Pcg32;
+use triana_core::data::{DataType, Table, TrianaData, TypeSpec};
+use triana_core::unit::{param_f64, param_usize, Params, Unit, UnitError};
+
+/// The paper's quoted workload constants.
+pub mod cost {
+    /// Effective sample rate of the searchable band (samples/second).
+    pub const SAMPLE_RATE_HZ: f64 = 2_000.0;
+    /// Chunk duration (seconds).
+    pub const CHUNK_SECONDS: f64 = 900.0;
+    /// Chunk size in bytes: "4 x 900 x 2000" = 7.2 MB.
+    pub const CHUNK_BYTES: u64 = 4 * 900 * 2_000;
+    /// "about 5 hours on a 2 GHz PC" for 5 000 templates
+    /// ⇒ 2 GHz × 18 000 s = 36 000 gigacycles per chunk.
+    pub const GIGACYCLES_PER_CHUNK_5K: f64 = 36_000.0;
+    /// Per-template cost derived from the above.
+    pub const GIGACYCLES_PER_TEMPLATE: f64 = GIGACYCLES_PER_CHUNK_5K / 5_000.0;
+
+    /// Work to filter one chunk against `n_templates` templates.
+    pub fn chunk_work_gigacycles(n_templates: usize) -> f64 {
+        n_templates as f64 * GIGACYCLES_PER_TEMPLATE
+    }
+
+    /// PCs of `ghz` needed to keep up with real time (one 900 s chunk per
+    /// 900 s), before accounting for downtime.
+    pub fn pcs_for_real_time(n_templates: usize, ghz: f64) -> f64 {
+        chunk_work_gigacycles(n_templates) / (ghz * CHUNK_SECONDS)
+    }
+}
+
+/// A Newtonian chirp template: frequency and amplitude sweep upward until
+/// coalescence.
+#[derive(Clone, Debug)]
+pub struct ChirpTemplate {
+    /// Time to coalescence from the template start (seconds).
+    pub tau: f64,
+    /// Start frequency (Hz).
+    pub f0: f64,
+    /// Normalized waveform samples.
+    pub waveform: Vec<f64>,
+}
+
+/// Generate a chirp waveform: `f(t) = f0 (1 - t/tau)^(-3/8)`,
+/// `a(t) ∝ f(t)^(2/3)`, truncated shortly before coalescence.
+pub fn chirp(tau: f64, f0: f64, rate_hz: f64) -> Vec<f64> {
+    assert!(tau > 0.0 && f0 > 0.0 && rate_hz > 0.0);
+    let n = (tau * rate_hz * 0.98) as usize; // stop at 98% of tau
+    let dt = 1.0 / rate_hz;
+    let mut phase = 0.0f64;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = i as f64 * dt;
+        let x = (1.0 - t / tau).max(1e-4);
+        let f = f0 * x.powf(-3.0 / 8.0);
+        let a = (f / f0).powf(2.0 / 3.0);
+        out.push(a * phase.sin());
+        phase += std::f64::consts::TAU * f * dt;
+    }
+    // Normalize to unit energy so SNRs are comparable across templates.
+    let energy: f64 = out.iter().map(|x| x * x).sum();
+    if energy > 0.0 {
+        let k = 1.0 / energy.sqrt();
+        for v in &mut out {
+            *v *= k;
+        }
+    }
+    out
+}
+
+/// A bank of chirp templates spanning a range of coalescence times.
+#[derive(Clone, Debug)]
+pub struct TemplateBank {
+    pub templates: Vec<ChirpTemplate>,
+    pub rate_hz: f64,
+}
+
+impl TemplateBank {
+    /// `n` templates with `tau` geometrically spaced in
+    /// `[tau_min, tau_max]`.
+    pub fn generate(n: usize, tau_min: f64, tau_max: f64, f0: f64, rate_hz: f64) -> Self {
+        assert!(n >= 1 && tau_min > 0.0 && tau_max >= tau_min);
+        let templates = (0..n)
+            .map(|i| {
+                let frac = if n == 1 {
+                    0.0
+                } else {
+                    i as f64 / (n - 1) as f64
+                };
+                let tau = tau_min * (tau_max / tau_min).powf(frac);
+                ChirpTemplate {
+                    tau,
+                    f0,
+                    waveform: chirp(tau, f0, rate_hz),
+                }
+            })
+            .collect();
+        TemplateBank { templates, rate_hz }
+    }
+
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+}
+
+/// The outcome of a matched-filter search over one chunk.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Detection {
+    pub template: usize,
+    /// Sample offset of the best match within the chunk.
+    pub offset: usize,
+    /// Peak correlation in units of the noise standard deviation.
+    pub snr: f64,
+}
+
+/// Matched-filter one chunk against every template; returns the best match.
+pub fn search(chunk: &[f64], bank: &TemplateBank) -> Option<Detection> {
+    if chunk.is_empty() || bank.is_empty() {
+        return None;
+    }
+    let mut best: Option<Detection> = None;
+    for (ti, tpl) in bank.templates.iter().enumerate() {
+        if tpl.waveform.is_empty() || tpl.waveform.len() > chunk.len() {
+            continue;
+        }
+        // Zero-pad the template to chunk length; circular correlation.
+        let mut padded = vec![0.0; chunk.len()];
+        padded[..tpl.waveform.len()].copy_from_slice(&tpl.waveform);
+        let corr = correlate(&padded, chunk);
+        // Noise level: median absolute correlation is robust to the peak.
+        let mut mags: Vec<f64> = corr.iter().map(|x| x.abs()).collect();
+        mags.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let sigma = mags[mags.len() / 2] / 0.6745; // MAD -> std for Gaussian
+        if sigma <= 0.0 {
+            continue;
+        }
+        let (offset, peak) = corr
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .map(|(i, v)| (i, v.abs()))
+            .unwrap();
+        let snr = peak / sigma;
+        if best.is_none_or(|b| snr > b.snr) {
+            best = Some(Detection {
+                template: ti,
+                offset,
+                snr,
+            });
+        }
+    }
+    best
+}
+
+/// Synthesize a detector chunk: Gaussian noise of unit variance with a
+/// chirp of the given amplitude injected at `offset`.
+pub fn inject_chirp(
+    n_samples: usize,
+    template: &ChirpTemplate,
+    amplitude: f64,
+    offset: usize,
+    rng: &mut Pcg32,
+) -> Vec<f64> {
+    let mut data: Vec<f64> = (0..n_samples).map(|_| rng.normal()).collect();
+    for (i, &w) in template.waveform.iter().enumerate() {
+        let idx = offset + i;
+        if idx < n_samples {
+            data[idx] += amplitude * w;
+        }
+    }
+    data
+}
+
+/// A synthetic detector-chunk source: unit-variance Gaussian noise with a
+/// chirp injected every `inject_every`-th chunk (GEO600 stand-in, so Case 2
+/// runs as a plain task graph).
+pub struct ChunkSource {
+    pub samples: usize,
+    pub rate_hz: f64,
+    pub inject_every: usize,
+    pub amplitude: f64,
+    template: ChirpTemplate,
+    rng: Pcg32,
+    count: usize,
+}
+
+impl ChunkSource {
+    pub fn from_params(p: &Params) -> Result<Self, UnitError> {
+        let samples = param_usize(p, "samples", 8_192)?;
+        let rate_hz = param_f64(p, "rate", 256.0)?;
+        let tau = param_f64(p, "tau", 2.0)?;
+        let f0 = param_f64(p, "f0", 16.0)?;
+        let seed = param_usize(p, "seed", 2003)? as u64;
+        Ok(ChunkSource {
+            samples,
+            rate_hz,
+            inject_every: param_usize(p, "inject_every", 2)?.max(1),
+            amplitude: param_f64(p, "amplitude", 14.0)?,
+            template: ChirpTemplate {
+                tau,
+                f0,
+                waveform: chirp(tau, f0, rate_hz),
+            },
+            rng: Pcg32::new(seed, 0xC40),
+            count: 0,
+        })
+    }
+}
+
+impl Unit for ChunkSource {
+    fn type_name(&self) -> &str {
+        "ChunkSource"
+    }
+    fn input_types(&self) -> Vec<TypeSpec> {
+        vec![]
+    }
+    fn output_types(&self) -> Vec<DataType> {
+        vec![DataType::SampleSet]
+    }
+    fn process(&mut self, _inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+        self.count += 1;
+        let inject = self.count.is_multiple_of(self.inject_every);
+        let amplitude = if inject { self.amplitude } else { 0.0 };
+        let max_offset = self.samples.saturating_sub(self.template.waveform.len());
+        let offset = if max_offset > 0 {
+            self.rng.below(max_offset as u64) as usize
+        } else {
+            0
+        };
+        let samples = inject_chirp(self.samples, &self.template, amplitude, offset, &mut self.rng);
+        Ok(vec![TrianaData::SampleSet {
+            rate_hz: self.rate_hz,
+            samples,
+        }])
+    }
+    fn reset(&mut self) {
+        self.count = 0;
+    }
+}
+
+/// The matched-filter unit: `SampleSet -> Table[template, offset, snr]`.
+pub struct MatchedFilter {
+    pub bank: TemplateBank,
+}
+
+impl MatchedFilter {
+    pub fn from_params(p: &Params) -> Result<Self, UnitError> {
+        let n = param_usize(p, "templates", 16)?;
+        let rate = param_f64(p, "rate", 256.0)?;
+        let tau_min = param_f64(p, "tau_min", 1.0)?;
+        let tau_max = param_f64(p, "tau_max", 4.0)?;
+        let f0 = param_f64(p, "f0", 20.0)?;
+        Ok(MatchedFilter {
+            bank: TemplateBank::generate(n, tau_min, tau_max, f0, rate),
+        })
+    }
+}
+
+impl Unit for MatchedFilter {
+    fn type_name(&self) -> &str {
+        "MatchedFilter"
+    }
+    fn input_types(&self) -> Vec<TypeSpec> {
+        vec![TypeSpec::Exact(DataType::SampleSet)]
+    }
+    fn output_types(&self) -> Vec<DataType> {
+        vec![DataType::Table]
+    }
+    fn process(&mut self, inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+        match inputs.into_iter().next() {
+            Some(TrianaData::SampleSet { samples, .. }) => {
+                let mut table = Table::new(vec![
+                    "template".into(),
+                    "offset".into(),
+                    "snr".into(),
+                ]);
+                if let Some(d) = search(&samples, &self.bank) {
+                    table
+                        .rows
+                        .push(vec![d.template as f64, d.offset as f64, d.snr]);
+                }
+                Ok(vec![TrianaData::Table(table)])
+            }
+            other => Err(UnitError::Runtime(format!(
+                "MatchedFilter expects a SampleSet, got {other:?}"
+            ))),
+        }
+    }
+    fn work_estimate(&self, inputs: &[TrianaData]) -> f64 {
+        // Scale the paper's per-template cost by chunk size relative to the
+        // paper's 1.8 M samples.
+        if let Some(TrianaData::SampleSet { samples, .. }) = inputs.first() {
+            let frac = samples.len() as f64 / (cost::SAMPLE_RATE_HZ * cost::CHUNK_SECONDS);
+            cost::chunk_work_gigacycles(self.bank.len()) * frac
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_arithmetic_reproduced() {
+        // 7.2 MB chunks.
+        assert_eq!(cost::CHUNK_BYTES, 7_200_000);
+        // 5 000 templates on a 2 GHz PC: 5 hours per 900 s chunk ⇒ 20 PCs.
+        let pcs = cost::pcs_for_real_time(5_000, 2.0);
+        assert!((pcs - 20.0).abs() < 1e-9, "pcs = {pcs}");
+        // 10 000 templates: 40 PCs.
+        assert!((cost::pcs_for_real_time(10_000, 2.0) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chirp_frequency_increases() {
+        let w = chirp(2.0, 10.0, 512.0);
+        assert!(w.len() > 900);
+        // Compare zero-crossing density in the first and last quarters.
+        let crossings = |s: &[f64]| {
+            s.windows(2)
+                .filter(|p| p[0].signum() != p[1].signum())
+                .count()
+        };
+        let q = w.len() / 4;
+        let early = crossings(&w[..q]);
+        let late = crossings(&w[w.len() - q..]);
+        assert!(
+            late as f64 > early as f64 * 1.2,
+            "late {late} vs early {early}"
+        );
+    }
+
+    #[test]
+    fn chirp_is_unit_energy() {
+        let w = chirp(1.5, 15.0, 256.0);
+        let e: f64 = w.iter().map(|x| x * x).sum();
+        assert!((e - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bank_spans_tau_range_geometrically() {
+        let bank = TemplateBank::generate(5, 1.0, 16.0, 20.0, 128.0);
+        assert_eq!(bank.len(), 5);
+        let taus: Vec<f64> = bank.templates.iter().map(|t| t.tau).collect();
+        assert!((taus[0] - 1.0).abs() < 1e-9);
+        assert!((taus[4] - 16.0).abs() < 1e-9);
+        assert!((taus[2] - 4.0).abs() < 1e-6, "geometric midpoint");
+    }
+
+    #[test]
+    fn search_recovers_injected_chirp() {
+        let rate = 256.0;
+        let bank = TemplateBank::generate(8, 1.0, 3.0, 16.0, rate);
+        let mut rng = Pcg32::new(21, 0);
+        let true_template = 5;
+        let offset = 1000;
+        let chunk = inject_chirp(4096, &bank.templates[true_template], 15.0, offset, &mut rng);
+        let det = search(&chunk, &bank).unwrap();
+        assert_eq!(det.template, true_template);
+        assert!(
+            (det.offset as i64 - offset as i64).abs() < 5,
+            "offset {} vs {}",
+            det.offset,
+            offset
+        );
+        assert!(det.snr > 10.0, "snr {}", det.snr);
+    }
+
+    #[test]
+    fn pure_noise_yields_low_snr() {
+        let rate = 256.0;
+        let bank = TemplateBank::generate(4, 1.0, 2.0, 16.0, rate);
+        let mut rng = Pcg32::new(33, 0);
+        let chunk: Vec<f64> = (0..4096).map(|_| rng.normal()).collect();
+        let det = search(&chunk, &bank).unwrap();
+        assert!(det.snr < 7.0, "noise snr {}", det.snr);
+    }
+
+    #[test]
+    fn detection_degrades_gracefully_with_amplitude() {
+        let rate = 256.0;
+        let bank = TemplateBank::generate(4, 1.0, 2.0, 16.0, rate);
+        let mut rng = Pcg32::new(55, 0);
+        let loud = inject_chirp(4096, &bank.templates[2], 20.0, 500, &mut rng);
+        let quiet = inject_chirp(4096, &bank.templates[2], 8.0, 500, &mut rng);
+        let snr_loud = search(&loud, &bank).unwrap().snr;
+        let snr_quiet = search(&quiet, &bank).unwrap().snr;
+        assert!(snr_loud > snr_quiet);
+    }
+
+    #[test]
+    fn unit_reports_detection_as_table() {
+        let mut unit = MatchedFilter {
+            bank: TemplateBank::generate(4, 1.0, 2.0, 16.0, 256.0),
+        };
+        let mut rng = Pcg32::new(77, 0);
+        let chunk = inject_chirp(4096, &unit.bank.templates[1], 15.0, 200, &mut rng);
+        let out = unit
+            .process(vec![TrianaData::SampleSet {
+                rate_hz: 256.0,
+                samples: chunk,
+            }])
+            .unwrap()
+            .pop()
+            .unwrap();
+        let TrianaData::Table(t) = out else { panic!() };
+        assert_eq!(t.columns, vec!["template", "offset", "snr"]);
+        assert_eq!(t.n_rows(), 1);
+        assert_eq!(t.rows[0][0], 1.0);
+    }
+
+    #[test]
+    fn work_estimate_matches_paper_scale() {
+        let unit = MatchedFilter {
+            bank: TemplateBank::generate(5_000, 1.0, 2.0, 16.0, 256.0),
+        };
+        // A full-size chunk (1.8 M samples) must cost 36 000 gigacycles.
+        let chunk = TrianaData::SampleSet {
+            rate_hz: 2_000.0,
+            samples: vec![0.0; 1_800_000],
+        };
+        let w = unit.work_estimate(&[chunk]);
+        assert!((w - 36_000.0).abs() < 1.0, "work {w}");
+    }
+
+    #[test]
+    fn chunk_source_injects_on_schedule() {
+        let mut src = ChunkSource::from_params(&Params::from([
+            ("samples".to_string(), "4096".to_string()),
+            ("inject_every".to_string(), "2".to_string()),
+        ]))
+        .unwrap();
+        let bank = TemplateBank::generate(4, 1.0, 3.0, 16.0, 256.0);
+        let mut snrs = Vec::new();
+        for _ in 0..4 {
+            let TrianaData::SampleSet { samples, .. } =
+                src.process(vec![]).unwrap().pop().unwrap()
+            else {
+                panic!()
+            };
+            snrs.push(search(&samples, &bank).unwrap().snr);
+        }
+        // Chunks 2 and 4 carry injections; 1 and 3 are pure noise.
+        assert!(snrs[1] > snrs[0] * 1.5, "{snrs:?}");
+        assert!(snrs[3] > snrs[2] * 1.5, "{snrs:?}");
+    }
+
+    #[test]
+    fn empty_inputs_yield_no_detection() {
+        let bank = TemplateBank::generate(2, 1.0, 2.0, 16.0, 128.0);
+        assert!(search(&[], &bank).is_none());
+        let empty_bank = TemplateBank {
+            templates: vec![],
+            rate_hz: 128.0,
+        };
+        assert!(search(&[1.0; 64], &empty_bank).is_none());
+    }
+}

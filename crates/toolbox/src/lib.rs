@@ -1,0 +1,30 @@
+//! `toolbox` — the built-in Triana unit library.
+//!
+//! §3.1: Triana "comes with many built-in functions that can be used to
+//! manipulate numeric, signal, image and textual data". This crate provides
+//! the units the paper's figures and scenarios use:
+//!
+//! * [`fft`] — radix-2 + Bluestein FFT (the numerical substrate);
+//! * [`signal`] — `Wave`, `GaussianNoise`, `FFT`, `PowerSpectrum`,
+//!   `AccumStat`, `Grapher`: the Figure 1 network and the Figure 2
+//!   noise-averaging experiment;
+//! * [`galaxy`] — Case 1: synthetic galaxy-formation snapshots and the SPH
+//!   column-density frame renderer;
+//! * [`inspiral`] — Case 2: chirp templates and the matched-filter search,
+//!   calibrated to the paper's quoted costs;
+//! * [`db`] — Case 3: the data access / manipulate / visualise / verify
+//!   service units over an in-memory table store;
+//! * [`tvm_unit`] — the adapter that turns a transferred TVM module blob
+//!   into a live unit (user-defined code on the Consumer Grid);
+//! * [`registry`] — `standard_registry()`: every built-in, registered.
+
+pub mod db;
+pub mod fft;
+pub mod galaxy;
+pub mod inspiral;
+pub mod registry;
+pub mod signal;
+pub mod tvm_unit;
+pub mod units;
+
+pub use registry::standard_registry;

@@ -1,0 +1,244 @@
+//! The standard toolbox registry: every built-in unit, registered by name.
+
+use crate::db::{DataAccess, DataManipulate, DataVerify, DataVisualise, TableStore};
+use crate::galaxy::RenderFrame;
+use crate::inspiral::{ChunkSource, MatchedFilter};
+use crate::signal::{AccumStat, FftUnit, GaussianNoise, Grapher, PowerSpectrum, Wave};
+use crate::units::{
+    Adder, Concat, Const, Decibel, Decimate, Downsample, Magnitude, NormalizeImage, Scaler,
+    Statistics, TextSource, Threshold, Window, WordCount,
+};
+use triana_core::unit::UnitRegistry;
+
+/// Build a registry with all built-in units. `store` backs the
+/// `DataAccess` units (pass a fresh one if Case 3 isn't used).
+pub fn standard_registry_with_store(store: TableStore) -> UnitRegistry {
+    let mut r = UnitRegistry::new();
+    r.register("Wave", |p| Ok(Box::new(Wave::from_params(p)?)));
+    r.register("GaussianNoise", |p| {
+        Ok(Box::new(GaussianNoise::from_params(p)?))
+    });
+    r.register("FFT", |_p| Ok(Box::new(FftUnit)));
+    r.register("PowerSpectrum", |_p| Ok(Box::new(PowerSpectrum)));
+    r.register("AccumStat", |_p| Ok(Box::new(AccumStat::new())));
+    r.register("Grapher", |_p| Ok(Box::new(Grapher)));
+    r.register("RenderFrame", |p| Ok(Box::new(RenderFrame::from_params(p)?)));
+    r.register("MatchedFilter", |p| {
+        Ok(Box::new(MatchedFilter::from_params(p)?))
+    });
+    r.register("ChunkSource", |p| Ok(Box::new(ChunkSource::from_params(p)?)));
+    let s = store.clone();
+    r.register("DataAccess", move |p| {
+        Ok(Box::new(DataAccess {
+            store: s.clone(),
+            table: p.get("table").cloned().unwrap_or_default(),
+        }))
+    });
+    r.register("DataManipulate", |p| {
+        Ok(Box::new(DataManipulate::from_params(p)?))
+    });
+    r.register("DataVisualise", |p| {
+        Ok(Box::new(DataVisualise::from_params(p)?))
+    });
+    r.register("DataVerify", |_p| Ok(Box::new(DataVerify)));
+    // General numeric / signal / image / text units.
+    r.register("Const", |p| Ok(Box::new(Const::from_params(p)?)));
+    r.register("Adder", |_p| Ok(Box::new(Adder)));
+    r.register("Scaler", |p| Ok(Box::new(Scaler::from_params(p)?)));
+    r.register("Window", |p| Ok(Box::new(Window::from_params(p)?)));
+    r.register("Decimate", |p| Ok(Box::new(Decimate::from_params(p)?)));
+    r.register("Magnitude", |_p| Ok(Box::new(Magnitude)));
+    r.register("Decibel", |_p| Ok(Box::new(Decibel)));
+    r.register("Statistics", |_p| Ok(Box::new(Statistics)));
+    r.register("Threshold", |p| Ok(Box::new(Threshold::from_params(p)?)));
+    r.register("NormalizeImage", |_p| Ok(Box::new(NormalizeImage)));
+    r.register("Downsample", |_p| Ok(Box::new(Downsample)));
+    r.register("TextSource", |p| {
+        Ok(Box::new(TextSource {
+            text: p.get("text").cloned().unwrap_or_default(),
+        }))
+    });
+    r.register("WordCount", |_p| Ok(Box::new(WordCount)));
+    r.register("Concat", |p| {
+        Ok(Box::new(Concat {
+            separator: p.get("separator").cloned().unwrap_or_default(),
+        }))
+    });
+    r
+}
+
+/// The standard registry with an empty table store.
+pub fn standard_registry() -> UnitRegistry {
+    standard_registry_with_store(TableStore::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::sample_catalogue;
+    use crate::signal::spectrum_snr;
+    use triana_core::data::TrianaData;
+    use triana_core::unit::Params;
+    use triana_core::{run_graph, EngineConfig, TaskGraph};
+
+    #[test]
+    fn all_expected_units_registered() {
+        let r = standard_registry();
+        for name in [
+            "Wave",
+            "GaussianNoise",
+            "FFT",
+            "PowerSpectrum",
+            "AccumStat",
+            "Grapher",
+            "RenderFrame",
+            "MatchedFilter",
+            "ChunkSource",
+            "DataAccess",
+            "DataManipulate",
+            "DataVisualise",
+            "DataVerify",
+            "Const",
+            "Adder",
+            "Scaler",
+            "Window",
+            "Decimate",
+            "Magnitude",
+            "Decibel",
+            "Statistics",
+            "Threshold",
+            "NormalizeImage",
+            "Downsample",
+            "TextSource",
+            "WordCount",
+            "Concat",
+        ] {
+            assert!(r.contains(name), "missing unit `{name}`");
+        }
+        assert_eq!(r.len(), 27);
+    }
+
+    /// The complete Figure 1 network, end-to-end through the engine: Wave →
+    /// GaussianNoise → PowerSpectrum → AccumStat → Grapher, 20 iterations,
+    /// reproducing the Figure 2 observation.
+    #[test]
+    fn figure1_network_end_to_end() {
+        let reg = standard_registry();
+        let mut g = TaskGraph::new("Figure1");
+        let wave = g
+            .add_task(
+                &reg,
+                "Wave",
+                "wave",
+                Params::from([
+                    ("freq".to_string(), "64".to_string()),
+                    ("amplitude".to_string(), "0.3".to_string()),
+                ]),
+            )
+            .unwrap();
+        let noise = g
+            .add_task(
+                &reg,
+                "GaussianNoise",
+                "noise",
+                Params::from([("sigma".to_string(), "2".to_string())]),
+            )
+            .unwrap();
+        let ps = g
+            .add_task(&reg, "PowerSpectrum", "pspec", Params::new())
+            .unwrap();
+        let acc = g.add_task(&reg, "AccumStat", "accum", Params::new()).unwrap();
+        let graph = g.add_task(&reg, "Grapher", "grapher", Params::new()).unwrap();
+        g.connect(wave, 0, noise, 0).unwrap();
+        g.connect(noise, 0, ps, 0).unwrap();
+        g.connect(ps, 0, acc, 0).unwrap();
+        g.connect(acc, 0, graph, 0).unwrap();
+        g.typecheck(&reg).unwrap();
+
+        let run = |iters: usize| {
+            let r = run_graph(
+                &g,
+                &reg,
+                &EngineConfig {
+                    iterations: iters,
+                    threaded: true,
+                },
+            )
+            .unwrap();
+            match r.last_of(&g, "grapher") {
+                Some(TrianaData::Spectrum { df_hz, power }) => {
+                    spectrum_snr(power, *df_hz, 64.0)
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        };
+        let snr_1 = run(1);
+        let snr_20 = run(20);
+        assert!(
+            snr_20 > snr_1 * 2.0,
+            "Figure 2: SNR should improve with averaging ({snr_1:.1} → {snr_20:.1})"
+        );
+    }
+
+    #[test]
+    fn case3_pipeline_end_to_end() {
+        let store = TableStore::new();
+        store.put("catalogue", sample_catalogue(200, 9));
+        let reg = standard_registry_with_store(store);
+        let mut g = TaskGraph::new("Case3");
+        let access = g
+            .add_task(
+                &reg,
+                "DataAccess",
+                "access",
+                Params::from([("table".to_string(), "catalogue".to_string())]),
+            )
+            .unwrap();
+        let manip = g
+            .add_task(
+                &reg,
+                "DataManipulate",
+                "manip",
+                Params::from([
+                    ("op".to_string(), "filter".to_string()),
+                    ("col".to_string(), "magnitude".to_string()),
+                    ("max".to_string(), "18".to_string()),
+                ]),
+            )
+            .unwrap();
+        let vis = g
+            .add_task(
+                &reg,
+                "DataVisualise",
+                "vis",
+                Params::from([("col".to_string(), "magnitude".to_string())]),
+            )
+            .unwrap();
+        let verify = g
+            .add_task(&reg, "DataVerify", "verify", Params::new())
+            .unwrap();
+        g.connect(access, 0, manip, 0).unwrap();
+        g.connect(manip, 0, vis, 0).unwrap();
+        // Verification branch off the manipulated table.
+        g.connect(manip, 0, verify, 0).unwrap();
+        let r = run_graph(
+            &g,
+            &reg,
+            &EngineConfig {
+                iterations: 1,
+                threaded: true,
+            },
+        )
+        .unwrap();
+        match r.last_of(&g, "verify") {
+            Some(TrianaData::Text(report)) => assert!(report.starts_with("OK")),
+            other => panic!("unexpected {other:?}"),
+        }
+        match r.last_of(&g, "vis") {
+            Some(TrianaData::ImageFrame { pixels, .. }) => {
+                assert!(pixels.iter().sum::<f64>() > 0.0)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

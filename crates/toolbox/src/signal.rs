@@ -1,0 +1,496 @@
+//! Signal-processing units: the Figure 1 network.
+//!
+//! "The figure illustrates a simple network that creates a sine wave,
+//! contaminates it with Gaussian-noise, takes its power spectrum and then
+//! uses a unit called AccumStat to average the spectra over successive
+//! iterations to remove the noise from the original signal." (§3.1,
+//! Figures 1 & 2.)
+
+use crate::fft;
+use netsim::Pcg32;
+use triana_core::data::{DataType, TrianaData, TypeSpec};
+use triana_core::unit::{param_f64, param_usize, Params, Unit, UnitError};
+
+/// Sine-wave source with phase continuity across iterations.
+pub struct Wave {
+    pub freq_hz: f64,
+    pub rate_hz: f64,
+    pub samples: usize,
+    pub amplitude: f64,
+    phase: f64,
+}
+
+impl Wave {
+    pub fn from_params(p: &Params) -> Result<Self, UnitError> {
+        Ok(Wave {
+            freq_hz: param_f64(p, "freq", 64.0)?,
+            rate_hz: param_f64(p, "rate", 1024.0)?,
+            samples: param_usize(p, "samples", 1024)?,
+            amplitude: param_f64(p, "amplitude", 1.0)?,
+            phase: 0.0,
+        })
+    }
+}
+
+impl Unit for Wave {
+    fn type_name(&self) -> &str {
+        "Wave"
+    }
+    fn input_types(&self) -> Vec<TypeSpec> {
+        vec![]
+    }
+    fn output_types(&self) -> Vec<DataType> {
+        vec![DataType::SampleSet]
+    }
+    fn process(&mut self, _inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+        let dphi = std::f64::consts::TAU * self.freq_hz / self.rate_hz;
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            samples.push(self.amplitude * self.phase.sin());
+            self.phase += dphi;
+        }
+        self.phase %= std::f64::consts::TAU;
+        Ok(vec![TrianaData::SampleSet {
+            rate_hz: self.rate_hz,
+            samples,
+        }])
+    }
+    fn reset(&mut self) {
+        self.phase = 0.0;
+    }
+    fn work_estimate(&self, _inputs: &[TrianaData]) -> f64 {
+        self.samples as f64 * 20.0 / 1e9
+    }
+}
+
+/// Adds zero-mean Gaussian noise of standard deviation `sigma`.
+pub struct GaussianNoise {
+    pub sigma: f64,
+    rng: Pcg32,
+}
+
+impl GaussianNoise {
+    pub fn from_params(p: &Params) -> Result<Self, UnitError> {
+        let seed = param_usize(p, "seed", 12345)? as u64;
+        Ok(GaussianNoise {
+            sigma: param_f64(p, "sigma", 1.0)?,
+            rng: Pcg32::new(seed, 0x6015E),
+        })
+    }
+}
+
+impl Unit for GaussianNoise {
+    fn type_name(&self) -> &str {
+        "GaussianNoise"
+    }
+    fn input_types(&self) -> Vec<TypeSpec> {
+        vec![TypeSpec::Exact(DataType::SampleSet)]
+    }
+    fn output_types(&self) -> Vec<DataType> {
+        vec![DataType::SampleSet]
+    }
+    fn process(&mut self, inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+        match inputs.into_iter().next() {
+            Some(TrianaData::SampleSet { rate_hz, samples }) => {
+                let noisy = samples
+                    .into_iter()
+                    .map(|x| x + self.sigma * self.rng.normal())
+                    .collect();
+                Ok(vec![TrianaData::SampleSet {
+                    rate_hz,
+                    samples: noisy,
+                }])
+            }
+            other => Err(UnitError::Runtime(format!(
+                "GaussianNoise expects a SampleSet, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Full complex FFT of a sample set.
+pub struct FftUnit;
+
+impl Unit for FftUnit {
+    fn type_name(&self) -> &str {
+        "FFT"
+    }
+    fn input_types(&self) -> Vec<TypeSpec> {
+        vec![TypeSpec::Exact(DataType::SampleSet)]
+    }
+    fn output_types(&self) -> Vec<DataType> {
+        vec![DataType::ComplexSpectrum]
+    }
+    fn process(&mut self, inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+        match inputs.into_iter().next() {
+            Some(TrianaData::SampleSet { rate_hz, samples }) => {
+                let df_hz = rate_hz / samples.len().max(1) as f64;
+                let (re, im) = fft::fft_real(&samples);
+                Ok(vec![TrianaData::ComplexSpectrum { df_hz, re, im }])
+            }
+            other => Err(UnitError::Runtime(format!(
+                "FFT expects a SampleSet, got {other:?}"
+            ))),
+        }
+    }
+    fn work_estimate(&self, inputs: &[TrianaData]) -> f64 {
+        // ~5 n log2 n flops, a few cycles each.
+        if let Some(TrianaData::SampleSet { samples, .. }) = inputs.first() {
+            let n = samples.len().max(2) as f64;
+            5.0 * n * n.log2() * 4.0 / 1e9
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One-sided power spectrum of a sample set.
+pub struct PowerSpectrum;
+
+impl Unit for PowerSpectrum {
+    fn type_name(&self) -> &str {
+        "PowerSpectrum"
+    }
+    fn input_types(&self) -> Vec<TypeSpec> {
+        vec![TypeSpec::Exact(DataType::SampleSet)]
+    }
+    fn output_types(&self) -> Vec<DataType> {
+        vec![DataType::Spectrum]
+    }
+    fn process(&mut self, inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+        match inputs.into_iter().next() {
+            Some(TrianaData::SampleSet { rate_hz, samples }) => {
+                let df_hz = rate_hz / samples.len().max(1) as f64;
+                let power = fft::power_spectrum(&samples);
+                Ok(vec![TrianaData::Spectrum { df_hz, power }])
+            }
+            other => Err(UnitError::Runtime(format!(
+                "PowerSpectrum expects a SampleSet, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Running average of successive spectra ("average the spectra over
+/// successive iterations to remove the noise").
+pub struct AccumStat {
+    count: u64,
+    mean: Vec<f64>,
+    df_hz: f64,
+}
+
+impl AccumStat {
+    pub fn new() -> Self {
+        AccumStat {
+            count: 0,
+            mean: Vec::new(),
+            df_hz: 0.0,
+        }
+    }
+}
+
+impl Default for AccumStat {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Unit for AccumStat {
+    fn type_name(&self) -> &str {
+        "AccumStat"
+    }
+    fn input_types(&self) -> Vec<TypeSpec> {
+        vec![TypeSpec::Exact(DataType::Spectrum)]
+    }
+    fn output_types(&self) -> Vec<DataType> {
+        vec![DataType::Spectrum]
+    }
+    fn process(&mut self, inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+        match inputs.into_iter().next() {
+            Some(TrianaData::Spectrum { df_hz, power }) => {
+                if self.mean.is_empty() {
+                    self.mean = vec![0.0; power.len()];
+                    self.df_hz = df_hz;
+                } else if self.mean.len() != power.len() {
+                    return Err(UnitError::Runtime(
+                        "AccumStat: spectrum length changed mid-run".into(),
+                    ));
+                }
+                self.count += 1;
+                let k = 1.0 / self.count as f64;
+                for (m, x) in self.mean.iter_mut().zip(&power) {
+                    *m += (x - *m) * k;
+                }
+                Ok(vec![TrianaData::Spectrum {
+                    df_hz: self.df_hz,
+                    power: self.mean.clone(),
+                }])
+            }
+            other => Err(UnitError::Runtime(format!(
+                "AccumStat expects a Spectrum, got {other:?}"
+            ))),
+        }
+    }
+    fn reset(&mut self) {
+        self.count = 0;
+        self.mean.clear();
+    }
+}
+
+/// The display sink: passes data through so the engine's collection point
+/// (an unconnected output) captures what the user would see (Figure 2).
+pub struct Grapher;
+
+impl Unit for Grapher {
+    fn type_name(&self) -> &str {
+        "Grapher"
+    }
+    fn input_types(&self) -> Vec<TypeSpec> {
+        vec![TypeSpec::Any]
+    }
+    fn output_types(&self) -> Vec<DataType> {
+        vec![DataType::Spectrum]
+    }
+    fn process(&mut self, inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+        match inputs.into_iter().next() {
+            Some(d @ TrianaData::Spectrum { .. }) => Ok(vec![d]),
+            Some(TrianaData::SampleSet { rate_hz, samples }) => {
+                // Render a time series as a "spectrum" trace for display.
+                Ok(vec![TrianaData::Spectrum {
+                    df_hz: 1.0 / rate_hz.max(f64::MIN_POSITIVE),
+                    power: samples,
+                }])
+            }
+            other => Err(UnitError::Runtime(format!(
+                "Grapher cannot display {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Signal visibility in a spectrum at the bin nearest `freq_hz`: the peak's
+/// height above the noise floor, in units of the floor's *fluctuation*
+/// (standard deviation). This is the Figure 2 metric: averaging does not
+/// lower the mean noise floor, it shrinks its fluctuations by √N, which is
+/// what makes the buried tone emerge after 20 iterations.
+pub fn spectrum_snr(power: &[f64], df_hz: f64, freq_hz: f64) -> f64 {
+    if power.len() < 8 || df_hz <= 0.0 {
+        return 0.0;
+    }
+    let k0 = ((freq_hz / df_hz).round() as usize).min(power.len() - 1);
+    let peak = power[k0];
+    let mut noise = Vec::with_capacity(power.len());
+    for (k, &p) in power.iter().enumerate() {
+        // Exclude the peak and its immediate neighbours (leakage).
+        if k + 2 < k0 || k > k0 + 2 {
+            noise.push(p);
+        }
+    }
+    if noise.is_empty() {
+        return f64::INFINITY;
+    }
+    let mean = noise.iter().sum::<f64>() / noise.len() as f64;
+    let var = noise.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / noise.len() as f64;
+    let sd = var.sqrt();
+    if sd <= 0.0 {
+        return if peak > mean { f64::INFINITY } else { 0.0 };
+    }
+    (peak - mean) / sd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_wave(freq: f64, rate: f64, n: usize) -> Vec<f64> {
+        let mut w = Wave {
+            freq_hz: freq,
+            rate_hz: rate,
+            samples: n,
+            amplitude: 1.0,
+            phase: 0.0,
+        };
+        match w.process(vec![]).unwrap().pop().unwrap() {
+            TrianaData::SampleSet { samples, .. } => samples,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn wave_produces_expected_tone() {
+        let s = run_wave(64.0, 1024.0, 1024);
+        assert_eq!(s.len(), 1024);
+        // samples[4] should be sin(2*pi*64*4/1024) = sin(pi/2) = 1
+        assert!((s[4] - 1.0).abs() < 1e-9);
+        let ps = fft::power_spectrum(&s);
+        let peak = ps
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, 64);
+    }
+
+    #[test]
+    fn wave_phase_is_continuous_across_iterations() {
+        let mut w = Wave {
+            freq_hz: 10.0,
+            rate_hz: 1000.0,
+            samples: 100,
+            amplitude: 1.0,
+            phase: 0.0,
+        };
+        let mut two_blocks = Vec::new();
+        for _ in 0..2 {
+            if let TrianaData::SampleSet { samples, .. } =
+                w.process(vec![]).unwrap().pop().unwrap()
+            {
+                two_blocks.extend(samples);
+            }
+        }
+        let reference = run_wave(10.0, 1000.0, 200);
+        for (a, b) in two_blocks.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn noise_changes_signal_but_preserves_mean() {
+        let clean = TrianaData::SampleSet {
+            rate_hz: 1000.0,
+            samples: vec![0.0; 20_000],
+        };
+        let mut g = GaussianNoise {
+            sigma: 2.0,
+            rng: Pcg32::new(1, 1),
+        };
+        let out = g.process(vec![clean]).unwrap().pop().unwrap();
+        let TrianaData::SampleSet { samples, .. } = out else {
+            panic!()
+        };
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var: f64 = samples.iter().map(|x| x * x).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn accumstat_converges_to_the_mean() {
+        let mut acc = AccumStat::new();
+        // Alternate two spectra; running mean converges to their average.
+        for i in 0..100 {
+            let v = if i % 2 == 0 { 1.0 } else { 3.0 };
+            acc.process(vec![TrianaData::Spectrum {
+                df_hz: 1.0,
+                power: vec![v; 4],
+            }])
+            .unwrap();
+        }
+        let out = acc
+            .process(vec![TrianaData::Spectrum {
+                df_hz: 1.0,
+                power: vec![1.0; 4],
+            }])
+            .unwrap()
+            .pop()
+            .unwrap();
+        let TrianaData::Spectrum { power, .. } = out else {
+            panic!()
+        };
+        assert!((power[0] - 2.0).abs() < 0.05, "{}", power[0]);
+    }
+
+    #[test]
+    fn accumstat_rejects_length_change() {
+        let mut acc = AccumStat::new();
+        acc.process(vec![TrianaData::Spectrum {
+            df_hz: 1.0,
+            power: vec![1.0; 4],
+        }])
+        .unwrap();
+        let e = acc
+            .process(vec![TrianaData::Spectrum {
+                df_hz: 1.0,
+                power: vec![1.0; 8],
+            }])
+            .err();
+        assert!(e.is_some());
+    }
+
+    #[test]
+    fn figure2_snr_improves_with_averaging() {
+        // The Figure 2 experiment in miniature: a sine in heavy noise.
+        let rate = 1024.0;
+        let n = 1024;
+        let freq = 64.0;
+        let mut wave = Wave {
+            freq_hz: freq,
+            rate_hz: rate,
+            samples: n,
+            amplitude: 0.3,
+            phase: 0.0,
+        };
+        let mut noise = GaussianNoise {
+            sigma: 2.0,
+            rng: Pcg32::new(7, 3),
+        };
+        let mut ps = PowerSpectrum;
+        let mut acc = AccumStat::new();
+        let mut snr_1 = 0.0;
+        let mut snr_20 = 0.0;
+        for iter in 1..=20 {
+            let w = wave.process(vec![]).unwrap();
+            let noisy = noise.process(w).unwrap();
+            let spec = ps.process(noisy).unwrap();
+            let avg = acc.process(spec).unwrap().pop().unwrap();
+            let TrianaData::Spectrum { df_hz, power } = avg else {
+                panic!()
+            };
+            let snr = spectrum_snr(&power, df_hz, freq);
+            if iter == 1 {
+                snr_1 = snr;
+            }
+            if iter == 20 {
+                snr_20 = snr;
+            }
+        }
+        assert!(
+            snr_20 > snr_1 * 2.0,
+            "averaging should raise SNR: {snr_1:.1} -> {snr_20:.1}"
+        );
+    }
+
+    #[test]
+    fn grapher_passes_spectra_and_renders_samplesets() {
+        let mut g = Grapher;
+        let spec = TrianaData::Spectrum {
+            df_hz: 2.0,
+            power: vec![1.0, 2.0],
+        };
+        assert_eq!(g.process(vec![spec.clone()]).unwrap(), vec![spec]);
+        let out = g
+            .process(vec![TrianaData::SampleSet {
+                rate_hz: 10.0,
+                samples: vec![5.0],
+            }])
+            .unwrap()
+            .pop()
+            .unwrap();
+        assert!(matches!(out, TrianaData::Spectrum { .. }));
+        assert!(g.process(vec![TrianaData::Scalar(1.0)]).is_err());
+    }
+
+    #[test]
+    fn snr_helper_edge_cases() {
+        assert_eq!(spectrum_snr(&[], 1.0, 5.0), 0.0);
+        assert_eq!(spectrum_snr(&[1.0, 2.0], 1.0, 1.0), 0.0);
+        assert_eq!(spectrum_snr(&[1.0; 10], 0.0, 1.0), 0.0);
+        // Flat floor with a single peak: zero floor fluctuation -> infinite.
+        let mut p = vec![1.0; 64];
+        p[10] = 5.0;
+        assert!(spectrum_snr(&p, 1.0, 10.0).is_infinite());
+        // Flat spectrum including the "peak": nothing sticks out.
+        assert_eq!(spectrum_snr(&vec![1.0; 64], 1.0, 10.0), 0.0);
+    }
+}

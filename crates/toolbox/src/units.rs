@@ -1,0 +1,805 @@
+//! General-purpose toolbox units.
+//!
+//! §3.1: Triana "comes with many built-in functions that can be used to
+//! manipulate numeric, signal, image and textual data". This module holds
+//! the broad everyday units; the domain-specific ones live in [`crate::signal`],
+//! [`crate::galaxy`], [`crate::inspiral`] and [`crate::db`].
+
+use triana_core::data::{DataType, Table, TrianaData, TypeSpec};
+use triana_core::unit::{param_f64, param_usize, Params, Unit, UnitError};
+
+fn one_sampleset(
+    who: &str,
+    inputs: Vec<TrianaData>,
+) -> Result<(f64, Vec<f64>), UnitError> {
+    match inputs.into_iter().next() {
+        Some(TrianaData::SampleSet { rate_hz, samples }) => Ok((rate_hz, samples)),
+        other => Err(UnitError::Runtime(format!(
+            "{who} expects a SampleSet, got {other:?}"
+        ))),
+    }
+}
+
+// ---------- numeric / signal ----------
+
+/// Emits a constant scalar every iteration.
+pub struct Const {
+    pub value: f64,
+}
+
+impl Const {
+    pub fn from_params(p: &Params) -> Result<Self, UnitError> {
+        Ok(Const {
+            value: param_f64(p, "value", 0.0)?,
+        })
+    }
+}
+
+impl Unit for Const {
+    fn type_name(&self) -> &str {
+        "Const"
+    }
+    fn input_types(&self) -> Vec<TypeSpec> {
+        vec![]
+    }
+    fn output_types(&self) -> Vec<DataType> {
+        vec![DataType::Scalar]
+    }
+    fn process(&mut self, _inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+        Ok(vec![TrianaData::Scalar(self.value)])
+    }
+}
+
+/// Element-wise sum of two sample sets (or two scalars).
+pub struct Adder;
+
+impl Unit for Adder {
+    fn type_name(&self) -> &str {
+        "Adder"
+    }
+    fn input_types(&self) -> Vec<TypeSpec> {
+        vec![
+            TypeSpec::OneOf(vec![DataType::SampleSet, DataType::Scalar]),
+            TypeSpec::OneOf(vec![DataType::SampleSet, DataType::Scalar]),
+        ]
+    }
+    fn output_types(&self) -> Vec<DataType> {
+        vec![DataType::SampleSet]
+    }
+    fn process(&mut self, inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+        let mut it = inputs.into_iter();
+        let (a, b) = (it.next(), it.next());
+        match (a, b) {
+            (
+                Some(TrianaData::SampleSet { rate_hz, samples: x }),
+                Some(TrianaData::SampleSet { samples: y, .. }),
+            ) => {
+                if x.len() != y.len() {
+                    return Err(UnitError::Runtime(format!(
+                        "Adder: length mismatch {} vs {}",
+                        x.len(),
+                        y.len()
+                    )));
+                }
+                let sum = x.iter().zip(&y).map(|(p, q)| p + q).collect();
+                Ok(vec![TrianaData::SampleSet {
+                    rate_hz,
+                    samples: sum,
+                }])
+            }
+            (Some(TrianaData::SampleSet { rate_hz, samples }), Some(TrianaData::Scalar(s)))
+            | (Some(TrianaData::Scalar(s)), Some(TrianaData::SampleSet { rate_hz, samples })) => {
+                Ok(vec![TrianaData::SampleSet {
+                    rate_hz,
+                    samples: samples.into_iter().map(|x| x + s).collect(),
+                }])
+            }
+            (Some(TrianaData::Scalar(a)), Some(TrianaData::Scalar(b))) => {
+                Ok(vec![TrianaData::SampleSet {
+                    rate_hz: 1.0,
+                    samples: vec![a + b],
+                }])
+            }
+            other => Err(UnitError::Runtime(format!(
+                "Adder: unsupported inputs {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Multiplies a sample set by a constant gain.
+pub struct Scaler {
+    pub gain: f64,
+}
+
+impl Scaler {
+    pub fn from_params(p: &Params) -> Result<Self, UnitError> {
+        Ok(Scaler {
+            gain: param_f64(p, "gain", 1.0)?,
+        })
+    }
+}
+
+impl Unit for Scaler {
+    fn type_name(&self) -> &str {
+        "Scaler"
+    }
+    fn input_types(&self) -> Vec<TypeSpec> {
+        vec![TypeSpec::Exact(DataType::SampleSet)]
+    }
+    fn output_types(&self) -> Vec<DataType> {
+        vec![DataType::SampleSet]
+    }
+    fn process(&mut self, inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+        let (rate_hz, samples) = one_sampleset("Scaler", inputs)?;
+        Ok(vec![TrianaData::SampleSet {
+            rate_hz,
+            samples: samples.into_iter().map(|x| x * self.gain).collect(),
+        }])
+    }
+}
+
+/// Window kind for [`Window`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowKind {
+    Hann,
+    Hamming,
+    Blackman,
+    Rect,
+}
+
+/// Applies an analysis window to a sample block (reduces spectral leakage
+/// ahead of PowerSpectrum).
+pub struct Window {
+    pub kind: WindowKind,
+}
+
+impl Window {
+    pub fn from_params(p: &Params) -> Result<Self, UnitError> {
+        let kind = match p.get("kind").map(String::as_str) {
+            None | Some("hann") => WindowKind::Hann,
+            Some("hamming") => WindowKind::Hamming,
+            Some("blackman") => WindowKind::Blackman,
+            Some("rect") => WindowKind::Rect,
+            Some(other) => {
+                return Err(UnitError::BadParam {
+                    param: "kind".into(),
+                    message: format!("unknown window `{other}`"),
+                })
+            }
+        };
+        Ok(Window { kind })
+    }
+
+    fn coeff(&self, i: usize, n: usize) -> f64 {
+        if n <= 1 {
+            return 1.0;
+        }
+        let x = i as f64 / (n - 1) as f64;
+        let tau = std::f64::consts::TAU;
+        match self.kind {
+            WindowKind::Hann => 0.5 - 0.5 * (tau * x).cos(),
+            WindowKind::Hamming => 0.54 - 0.46 * (tau * x).cos(),
+            WindowKind::Blackman => {
+                0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos()
+            }
+            WindowKind::Rect => 1.0,
+        }
+    }
+}
+
+impl Unit for Window {
+    fn type_name(&self) -> &str {
+        "Window"
+    }
+    fn input_types(&self) -> Vec<TypeSpec> {
+        vec![TypeSpec::Exact(DataType::SampleSet)]
+    }
+    fn output_types(&self) -> Vec<DataType> {
+        vec![DataType::SampleSet]
+    }
+    fn process(&mut self, inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+        let (rate_hz, samples) = one_sampleset("Window", inputs)?;
+        let n = samples.len();
+        let windowed = samples
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| x * self.coeff(i, n))
+            .collect();
+        Ok(vec![TrianaData::SampleSet {
+            rate_hz,
+            samples: windowed,
+        }])
+    }
+}
+
+/// Keeps every `factor`-th sample (rate divides accordingly).
+pub struct Decimate {
+    pub factor: usize,
+}
+
+impl Decimate {
+    pub fn from_params(p: &Params) -> Result<Self, UnitError> {
+        let factor = param_usize(p, "factor", 2)?;
+        if factor == 0 {
+            return Err(UnitError::BadParam {
+                param: "factor".into(),
+                message: "must be >= 1".into(),
+            });
+        }
+        Ok(Decimate { factor })
+    }
+}
+
+impl Unit for Decimate {
+    fn type_name(&self) -> &str {
+        "Decimate"
+    }
+    fn input_types(&self) -> Vec<TypeSpec> {
+        vec![TypeSpec::Exact(DataType::SampleSet)]
+    }
+    fn output_types(&self) -> Vec<DataType> {
+        vec![DataType::SampleSet]
+    }
+    fn process(&mut self, inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+        let (rate_hz, samples) = one_sampleset("Decimate", inputs)?;
+        Ok(vec![TrianaData::SampleSet {
+            rate_hz: rate_hz / self.factor as f64,
+            samples: samples
+                .into_iter()
+                .step_by(self.factor)
+                .collect(),
+        }])
+    }
+}
+
+/// ComplexSpectrum → one-sided magnitude Spectrum.
+pub struct Magnitude;
+
+impl Unit for Magnitude {
+    fn type_name(&self) -> &str {
+        "Magnitude"
+    }
+    fn input_types(&self) -> Vec<TypeSpec> {
+        vec![TypeSpec::Exact(DataType::ComplexSpectrum)]
+    }
+    fn output_types(&self) -> Vec<DataType> {
+        vec![DataType::Spectrum]
+    }
+    fn process(&mut self, inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+        match inputs.into_iter().next() {
+            Some(TrianaData::ComplexSpectrum { df_hz, re, im }) => {
+                let half = re.len() / 2 + 1;
+                let power = re
+                    .iter()
+                    .zip(&im)
+                    .take(half)
+                    .map(|(r, i)| (r * r + i * i).sqrt())
+                    .collect();
+                Ok(vec![TrianaData::Spectrum { df_hz, power }])
+            }
+            other => Err(UnitError::Runtime(format!(
+                "Magnitude expects a ComplexSpectrum, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Spectrum → decibels relative to the peak bin.
+pub struct Decibel;
+
+impl Unit for Decibel {
+    fn type_name(&self) -> &str {
+        "Decibel"
+    }
+    fn input_types(&self) -> Vec<TypeSpec> {
+        vec![TypeSpec::Exact(DataType::Spectrum)]
+    }
+    fn output_types(&self) -> Vec<DataType> {
+        vec![DataType::Spectrum]
+    }
+    fn process(&mut self, inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+        match inputs.into_iter().next() {
+            Some(TrianaData::Spectrum { df_hz, power }) => {
+                let peak = power.iter().cloned().fold(0.0f64, f64::max);
+                let floor = -160.0;
+                let db = power
+                    .into_iter()
+                    .map(|p| {
+                        if p <= 0.0 || peak <= 0.0 {
+                            floor
+                        } else {
+                            (10.0 * (p / peak).log10()).max(floor)
+                        }
+                    })
+                    .collect();
+                Ok(vec![TrianaData::Spectrum { df_hz, power: db }])
+            }
+            other => Err(UnitError::Runtime(format!(
+                "Decibel expects a Spectrum, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Summary statistics of a sample block, as a one-row table.
+pub struct Statistics;
+
+impl Unit for Statistics {
+    fn type_name(&self) -> &str {
+        "Statistics"
+    }
+    fn input_types(&self) -> Vec<TypeSpec> {
+        vec![TypeSpec::Exact(DataType::SampleSet)]
+    }
+    fn output_types(&self) -> Vec<DataType> {
+        vec![DataType::Table]
+    }
+    fn process(&mut self, inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+        let (_, samples) = one_sampleset("Statistics", inputs)?;
+        let mut t = Table::new(vec![
+            "n".into(),
+            "mean".into(),
+            "sd".into(),
+            "min".into(),
+            "max".into(),
+            "rms".into(),
+        ]);
+        if samples.is_empty() {
+            t.rows.push(vec![0.0; 6]);
+        } else {
+            let n = samples.len() as f64;
+            let mean = samples.iter().sum::<f64>() / n;
+            let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+            let rms = (samples.iter().map(|x| x * x).sum::<f64>() / n).sqrt();
+            let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            t.rows.push(vec![n, mean, var.sqrt(), min, max, rms]);
+        }
+        Ok(vec![TrianaData::Table(t)])
+    }
+}
+
+// ---------- image ----------
+
+fn one_image(
+    who: &str,
+    inputs: Vec<TrianaData>,
+) -> Result<(u32, u32, Vec<f64>), UnitError> {
+    match inputs.into_iter().next() {
+        Some(TrianaData::ImageFrame {
+            width,
+            height,
+            pixels,
+        }) => Ok((width, height, pixels)),
+        other => Err(UnitError::Runtime(format!(
+            "{who} expects an ImageFrame, got {other:?}"
+        ))),
+    }
+}
+
+/// Binary threshold: pixels >= threshold×max become 1, else 0.
+pub struct Threshold {
+    /// Relative threshold in [0, 1].
+    pub level: f64,
+}
+
+impl Threshold {
+    pub fn from_params(p: &Params) -> Result<Self, UnitError> {
+        Ok(Threshold {
+            level: param_f64(p, "level", 0.5)?,
+        })
+    }
+}
+
+impl Unit for Threshold {
+    fn type_name(&self) -> &str {
+        "Threshold"
+    }
+    fn input_types(&self) -> Vec<TypeSpec> {
+        vec![TypeSpec::Exact(DataType::ImageFrame)]
+    }
+    fn output_types(&self) -> Vec<DataType> {
+        vec![DataType::ImageFrame]
+    }
+    fn process(&mut self, inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+        let (width, height, pixels) = one_image("Threshold", inputs)?;
+        let max = pixels.iter().cloned().fold(0.0f64, f64::max);
+        let cut = self.level * max;
+        Ok(vec![TrianaData::ImageFrame {
+            width,
+            height,
+            pixels: pixels
+                .into_iter()
+                .map(|p| if p >= cut && max > 0.0 { 1.0 } else { 0.0 })
+                .collect(),
+        }])
+    }
+}
+
+/// Rescales pixel intensities to [0, 1].
+pub struct NormalizeImage;
+
+impl Unit for NormalizeImage {
+    fn type_name(&self) -> &str {
+        "NormalizeImage"
+    }
+    fn input_types(&self) -> Vec<TypeSpec> {
+        vec![TypeSpec::Exact(DataType::ImageFrame)]
+    }
+    fn output_types(&self) -> Vec<DataType> {
+        vec![DataType::ImageFrame]
+    }
+    fn process(&mut self, inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+        let (width, height, pixels) = one_image("NormalizeImage", inputs)?;
+        let (lo, hi) = pixels
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &p| {
+                (l.min(p), h.max(p))
+            });
+        let span = (hi - lo).max(f64::MIN_POSITIVE);
+        Ok(vec![TrianaData::ImageFrame {
+            width,
+            height,
+            pixels: pixels.into_iter().map(|p| (p - lo) / span).collect(),
+        }])
+    }
+}
+
+/// 2× box-filter downsample.
+pub struct Downsample;
+
+impl Unit for Downsample {
+    fn type_name(&self) -> &str {
+        "Downsample"
+    }
+    fn input_types(&self) -> Vec<TypeSpec> {
+        vec![TypeSpec::Exact(DataType::ImageFrame)]
+    }
+    fn output_types(&self) -> Vec<DataType> {
+        vec![DataType::ImageFrame]
+    }
+    fn process(&mut self, inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+        let (width, height, pixels) = one_image("Downsample", inputs)?;
+        let (w2, h2) = (width / 2, height / 2);
+        let mut out = vec![0.0f64; (w2 * h2) as usize];
+        for y in 0..h2 {
+            for x in 0..w2 {
+                let mut acc = 0.0;
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        acc += pixels[((2 * y + dy) * width + 2 * x + dx) as usize];
+                    }
+                }
+                out[(y * w2 + x) as usize] = acc / 4.0;
+            }
+        }
+        Ok(vec![TrianaData::ImageFrame {
+            width: w2,
+            height: h2,
+            pixels: out,
+        }])
+    }
+}
+
+// ---------- text ----------
+
+/// Emits a fixed text token each iteration.
+pub struct TextSource {
+    pub text: String,
+}
+
+impl Unit for TextSource {
+    fn type_name(&self) -> &str {
+        "TextSource"
+    }
+    fn input_types(&self) -> Vec<TypeSpec> {
+        vec![]
+    }
+    fn output_types(&self) -> Vec<DataType> {
+        vec![DataType::Text]
+    }
+    fn process(&mut self, _inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+        Ok(vec![TrianaData::Text(self.text.clone())])
+    }
+}
+
+/// Counts whitespace-separated words.
+pub struct WordCount;
+
+impl Unit for WordCount {
+    fn type_name(&self) -> &str {
+        "WordCount"
+    }
+    fn input_types(&self) -> Vec<TypeSpec> {
+        vec![TypeSpec::Exact(DataType::Text)]
+    }
+    fn output_types(&self) -> Vec<DataType> {
+        vec![DataType::Scalar]
+    }
+    fn process(&mut self, inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+        match inputs.into_iter().next() {
+            Some(TrianaData::Text(s)) => {
+                Ok(vec![TrianaData::Scalar(s.split_whitespace().count() as f64)])
+            }
+            other => Err(UnitError::Runtime(format!(
+                "WordCount expects Text, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Concatenates two text tokens with a separator.
+pub struct Concat {
+    pub separator: String,
+}
+
+impl Unit for Concat {
+    fn type_name(&self) -> &str {
+        "Concat"
+    }
+    fn input_types(&self) -> Vec<TypeSpec> {
+        vec![
+            TypeSpec::Exact(DataType::Text),
+            TypeSpec::Exact(DataType::Text),
+        ]
+    }
+    fn output_types(&self) -> Vec<DataType> {
+        vec![DataType::Text]
+    }
+    fn process(&mut self, inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+        let mut it = inputs.into_iter();
+        match (it.next(), it.next()) {
+            (Some(TrianaData::Text(a)), Some(TrianaData::Text(b))) => {
+                Ok(vec![TrianaData::Text(format!("{a}{}{b}", self.separator))])
+            }
+            other => Err(UnitError::Runtime(format!(
+                "Concat expects two Text inputs, got {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ss(samples: Vec<f64>) -> TrianaData {
+        TrianaData::SampleSet {
+            rate_hz: 100.0,
+            samples,
+        }
+    }
+
+    #[test]
+    fn adder_handles_all_input_combinations() {
+        let mut a = Adder;
+        let out = a
+            .process(vec![ss(vec![1.0, 2.0]), ss(vec![10.0, 20.0])])
+            .unwrap();
+        assert_eq!(out[0], ss(vec![11.0, 22.0]));
+        let out = a.process(vec![ss(vec![1.0]), TrianaData::Scalar(5.0)]).unwrap();
+        assert_eq!(out[0], ss(vec![6.0]));
+        let out = a
+            .process(vec![TrianaData::Scalar(2.0), TrianaData::Scalar(3.0)])
+            .unwrap();
+        let TrianaData::SampleSet { samples, .. } = &out[0] else {
+            panic!()
+        };
+        assert_eq!(samples, &vec![5.0]);
+        assert!(a
+            .process(vec![ss(vec![1.0]), ss(vec![1.0, 2.0])])
+            .is_err());
+    }
+
+    #[test]
+    fn scaler_scales() {
+        let mut s = Scaler { gain: -2.0 };
+        let out = s.process(vec![ss(vec![1.0, -3.0])]).unwrap();
+        assert_eq!(out[0], ss(vec![-2.0, 6.0]));
+    }
+
+    #[test]
+    fn windows_taper_edges_and_preserve_rect() {
+        for (kind, tapered) in [
+            (WindowKind::Hann, true),
+            (WindowKind::Hamming, true),
+            (WindowKind::Blackman, true),
+            (WindowKind::Rect, false),
+        ] {
+            let mut w = Window { kind };
+            let out = w.process(vec![ss(vec![1.0; 64])]).unwrap();
+            let TrianaData::SampleSet { samples, .. } = &out[0] else {
+                panic!()
+            };
+            let mid = samples[32];
+            if tapered {
+                assert!(samples[0] < 0.2, "{kind:?} edge {}", samples[0]);
+                assert!(mid > 0.8, "{kind:?} centre {mid}");
+            } else {
+                assert!(samples.iter().all(|&x| x == 1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn hann_window_reduces_leakage() {
+        // An off-bin tone leaks into neighbours; Hann narrows the skirt.
+        let n = 256;
+        let tone: Vec<f64> = (0..n)
+            .map(|t| (std::f64::consts::TAU * 20.5 * t as f64 / n as f64).sin())
+            .collect();
+        let raw = crate::fft::power_spectrum(&tone);
+        let mut w = Window {
+            kind: WindowKind::Hann,
+        };
+        let out = w.process(vec![ss(tone)]).unwrap();
+        let TrianaData::SampleSet { samples, .. } = &out[0] else {
+            panic!()
+        };
+        let windowed = crate::fft::power_spectrum(samples);
+        // Compare energy far from the tone (bins 60..120).
+        let far = |ps: &[f64]| ps[60..120].iter().sum::<f64>();
+        assert!(
+            far(&windowed) < far(&raw) / 10.0,
+            "hann must suppress far leakage: {} vs {}",
+            far(&windowed),
+            far(&raw)
+        );
+    }
+
+    #[test]
+    fn decimate_halves_rate_and_length() {
+        let mut d = Decimate { factor: 2 };
+        let out = d.process(vec![ss(vec![0.0, 1.0, 2.0, 3.0, 4.0])]).unwrap();
+        match &out[0] {
+            TrianaData::SampleSet { rate_hz, samples } => {
+                assert_eq!(*rate_hz, 50.0);
+                assert_eq!(samples, &vec![0.0, 2.0, 4.0]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(Decimate::from_params(&Params::from([(
+            "factor".to_string(),
+            "0".to_string()
+        )]))
+        .is_err());
+    }
+
+    #[test]
+    fn magnitude_takes_one_sided_modulus() {
+        let mut m = Magnitude;
+        let out = m
+            .process(vec![TrianaData::ComplexSpectrum {
+                df_hz: 1.0,
+                re: vec![3.0, 0.0, 1.0, 0.0],
+                im: vec![4.0, 2.0, 0.0, 0.0],
+            }])
+            .unwrap();
+        match &out[0] {
+            TrianaData::Spectrum { power, .. } => assert_eq!(power, &vec![5.0, 2.0, 1.0]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn decibel_is_zero_at_peak_and_floored() {
+        let mut d = Decibel;
+        let out = d
+            .process(vec![TrianaData::Spectrum {
+                df_hz: 1.0,
+                power: vec![100.0, 10.0, 0.0],
+            }])
+            .unwrap();
+        match &out[0] {
+            TrianaData::Spectrum { power, .. } => {
+                assert!((power[0] - 0.0).abs() < 1e-12);
+                assert!((power[1] + 10.0).abs() < 1e-9);
+                assert_eq!(power[2], -160.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn statistics_row_is_correct() {
+        let mut s = Statistics;
+        let out = s.process(vec![ss(vec![1.0, 2.0, 3.0, 4.0])]).unwrap();
+        let TrianaData::Table(t) = &out[0] else { panic!() };
+        let row = &t.rows[0];
+        assert_eq!(row[0], 4.0); // n
+        assert!((row[1] - 2.5).abs() < 1e-12); // mean
+        assert!((row[3] - 1.0).abs() < 1e-12); // min
+        assert!((row[4] - 4.0).abs() < 1e-12); // max
+        let rms = ((1.0 + 4.0 + 9.0 + 16.0) / 4.0f64).sqrt();
+        assert!((row[5] - rms).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_binarizes_relative_to_peak() {
+        let mut th = Threshold { level: 0.5 };
+        let out = th
+            .process(vec![TrianaData::ImageFrame {
+                width: 2,
+                height: 2,
+                pixels: vec![0.0, 4.0, 2.0, 1.0],
+            }])
+            .unwrap();
+        match &out[0] {
+            TrianaData::ImageFrame { pixels, .. } => {
+                assert_eq!(pixels, &vec![0.0, 1.0, 1.0, 0.0])
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn normalize_maps_to_unit_range() {
+        let mut nz = NormalizeImage;
+        let out = nz
+            .process(vec![TrianaData::ImageFrame {
+                width: 3,
+                height: 1,
+                pixels: vec![-2.0, 0.0, 2.0],
+            }])
+            .unwrap();
+        match &out[0] {
+            TrianaData::ImageFrame { pixels, .. } => {
+                assert_eq!(pixels, &vec![0.0, 0.5, 1.0])
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn downsample_box_filters() {
+        let mut d = Downsample;
+        let out = d
+            .process(vec![TrianaData::ImageFrame {
+                width: 4,
+                height: 2,
+                pixels: vec![1.0, 3.0, 0.0, 0.0, 5.0, 7.0, 0.0, 4.0],
+            }])
+            .unwrap();
+        match &out[0] {
+            TrianaData::ImageFrame {
+                width,
+                height,
+                pixels,
+            } => {
+                assert_eq!((*width, *height), (2, 1));
+                assert_eq!(pixels, &vec![4.0, 1.0]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_units_compose() {
+        let mut src = TextSource {
+            text: "consumer grid".into(),
+        };
+        let t1 = src.process(vec![]).unwrap().pop().unwrap();
+        let mut cat = Concat {
+            separator: " ".into(),
+        };
+        let joined = cat
+            .process(vec![t1, TrianaData::Text("peers".into())])
+            .unwrap()
+            .pop()
+            .unwrap();
+        assert_eq!(joined, TrianaData::Text("consumer grid peers".into()));
+        let mut wc = WordCount;
+        let n = wc.process(vec![joined]).unwrap().pop().unwrap();
+        assert_eq!(n, TrianaData::Scalar(3.0));
+    }
+
+    #[test]
+    fn bad_window_kind_rejected() {
+        let e = Window::from_params(&Params::from([(
+            "kind".to_string(),
+            "triangular".to_string(),
+        )]));
+        assert!(e.is_err());
+    }
+}

@@ -1,0 +1,440 @@
+//! A small text assembler for TVM modules.
+//!
+//! Triana users extend the toolbox by writing new units; here the equivalent
+//! is a `.tvm` assembly text. Grammar (one item per line, `;` comments):
+//!
+//! ```text
+//! .module <name> <version> <n_inputs> <n_outputs>
+//! .func <name> <n_locals>
+//! <label>:
+//! <mnemonic> [operand]
+//! ```
+//!
+//! Jump operands may be numeric or a label defined in the same function.
+
+use crate::isa::Op;
+use crate::module::{Function, Module};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Assembly failure, with the 1-based source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AsmError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Assemble source text into a [`Module`].
+pub fn assemble(src: &str) -> Result<Module, AsmError> {
+    let mut module: Option<Module> = None;
+    // (line, label-or-op) per pending function, resolved at function end.
+    struct PendingFunc {
+        name: String,
+        n_locals: u16,
+        items: Vec<(usize, Item)>,
+    }
+    enum Item {
+        Label(String),
+        Instr(String, Option<String>),
+    }
+    let mut current: Option<PendingFunc> = None;
+    let mut finished: Vec<PendingFunc> = Vec::new();
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".module") {
+            if module.is_some() {
+                return Err(err(line_no, "duplicate .module"));
+            }
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 4 {
+                return Err(err(line_no, ".module <name> <version> <n_in> <n_out>"));
+            }
+            let version = parts[1]
+                .parse()
+                .map_err(|_| err(line_no, "bad version"))?;
+            let n_inputs = parts[2].parse().map_err(|_| err(line_no, "bad n_in"))?;
+            let n_outputs = parts[3].parse().map_err(|_| err(line_no, "bad n_out"))?;
+            module = Some(Module {
+                name: parts[0].to_string(),
+                version,
+                n_inputs,
+                n_outputs,
+                functions: Vec::new(),
+            });
+        } else if let Some(rest) = line.strip_prefix(".func") {
+            if module.is_none() {
+                return Err(err(line_no, ".func before .module"));
+            }
+            if let Some(f) = current.take() {
+                finished.push(f);
+            }
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 2 {
+                return Err(err(line_no, ".func <name> <n_locals>"));
+            }
+            current = Some(PendingFunc {
+                name: parts[0].to_string(),
+                n_locals: parts[1].parse().map_err(|_| err(line_no, "bad n_locals"))?,
+                items: Vec::new(),
+            });
+        } else if let Some(label) = line.strip_suffix(':') {
+            let f = current
+                .as_mut()
+                .ok_or_else(|| err(line_no, "label outside .func"))?;
+            f.items
+                .push((line_no, Item::Label(label.trim().to_string())));
+        } else {
+            let f = current
+                .as_mut()
+                .ok_or_else(|| err(line_no, "instruction outside .func"))?;
+            let mut parts = line.split_whitespace();
+            let mnemonic = parts.next().unwrap().to_ascii_lowercase();
+            let operand = parts.next().map(str::to_string);
+            if parts.next().is_some() {
+                return Err(err(line_no, "too many operands"));
+            }
+            f.items.push((line_no, Item::Instr(mnemonic, operand)));
+        }
+    }
+    if let Some(f) = current.take() {
+        finished.push(f);
+    }
+    let mut module = module.ok_or_else(|| err(0, "missing .module"))?;
+    // Function name -> index for `call` by name.
+    let fn_index: HashMap<String, u16> = finished
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.clone(), i as u16))
+        .collect();
+
+    for f in finished {
+        // Pass 1: label -> instruction index.
+        let mut labels: HashMap<String, u32> = HashMap::new();
+        let mut pc = 0u32;
+        for (line_no, item) in &f.items {
+            match item {
+                Item::Label(l) => {
+                    if labels.insert(l.clone(), pc).is_some() {
+                        return Err(err(*line_no, format!("duplicate label `{l}`")));
+                    }
+                }
+                Item::Instr(..) => pc += 1,
+            }
+        }
+        // Pass 2: encode.
+        let mut code = Vec::new();
+        for (line_no, item) in &f.items {
+            let (m, operand) = match item {
+                Item::Label(_) => continue,
+                Item::Instr(m, o) => (m.as_str(), o.as_deref()),
+            };
+            let jump_target = |o: Option<&str>| -> Result<u32, AsmError> {
+                let o = o.ok_or_else(|| err(*line_no, "missing jump target"))?;
+                if let Ok(n) = o.parse::<u32>() {
+                    return Ok(n);
+                }
+                labels
+                    .get(o)
+                    .copied()
+                    .ok_or_else(|| err(*line_no, format!("unknown label `{o}`")))
+            };
+            let u16_op = |o: Option<&str>| -> Result<u16, AsmError> {
+                o.ok_or_else(|| err(*line_no, "missing operand"))?
+                    .parse()
+                    .map_err(|_| err(*line_no, "bad operand"))
+            };
+            let u8_op = |o: Option<&str>| -> Result<u8, AsmError> {
+                o.ok_or_else(|| err(*line_no, "missing port"))?
+                    .parse()
+                    .map_err(|_| err(*line_no, "bad port"))
+            };
+            let none = |o: Option<&str>| -> Result<(), AsmError> {
+                if o.is_some() {
+                    Err(err(*line_no, "unexpected operand"))
+                } else {
+                    Ok(())
+                }
+            };
+            let op = match m {
+                "push" => {
+                    let o = operand.ok_or_else(|| err(*line_no, "missing constant"))?;
+                    let v = match o {
+                        "pi" => std::f64::consts::PI,
+                        "tau" => std::f64::consts::TAU,
+                        "e" => std::f64::consts::E,
+                        _ => o.parse().map_err(|_| err(*line_no, "bad constant"))?,
+                    };
+                    Op::Push(v)
+                }
+                "pop" => {
+                    none(operand)?;
+                    Op::Pop
+                }
+                "dup" => {
+                    none(operand)?;
+                    Op::Dup
+                }
+                "swap" => {
+                    none(operand)?;
+                    Op::Swap
+                }
+                "over" => {
+                    none(operand)?;
+                    Op::Over
+                }
+                "load" => Op::Load(u16_op(operand)?),
+                "store" => Op::Store(u16_op(operand)?),
+                "add" => {
+                    none(operand)?;
+                    Op::Add
+                }
+                "sub" => {
+                    none(operand)?;
+                    Op::Sub
+                }
+                "mul" => {
+                    none(operand)?;
+                    Op::Mul
+                }
+                "div" => {
+                    none(operand)?;
+                    Op::Div
+                }
+                "rem" => {
+                    none(operand)?;
+                    Op::Rem
+                }
+                "neg" => {
+                    none(operand)?;
+                    Op::Neg
+                }
+                "abs" => {
+                    none(operand)?;
+                    Op::Abs
+                }
+                "min" => {
+                    none(operand)?;
+                    Op::Min
+                }
+                "max" => {
+                    none(operand)?;
+                    Op::Max
+                }
+                "floor" => {
+                    none(operand)?;
+                    Op::Floor
+                }
+                "sqrt" => {
+                    none(operand)?;
+                    Op::Sqrt
+                }
+                "sin" => {
+                    none(operand)?;
+                    Op::Sin
+                }
+                "cos" => {
+                    none(operand)?;
+                    Op::Cos
+                }
+                "exp" => {
+                    none(operand)?;
+                    Op::Exp
+                }
+                "ln" => {
+                    none(operand)?;
+                    Op::Ln
+                }
+                "pow" => {
+                    none(operand)?;
+                    Op::Pow
+                }
+                "eq" => {
+                    none(operand)?;
+                    Op::Eq
+                }
+                "ne" => {
+                    none(operand)?;
+                    Op::Ne
+                }
+                "lt" => {
+                    none(operand)?;
+                    Op::Lt
+                }
+                "le" => {
+                    none(operand)?;
+                    Op::Le
+                }
+                "gt" => {
+                    none(operand)?;
+                    Op::Gt
+                }
+                "ge" => {
+                    none(operand)?;
+                    Op::Ge
+                }
+                "jmp" => Op::Jmp(jump_target(operand)?),
+                "jz" => Op::Jz(jump_target(operand)?),
+                "jnz" => Op::Jnz(jump_target(operand)?),
+                "call" => {
+                    let o = operand.ok_or_else(|| err(*line_no, "missing call target"))?;
+                    let t = if let Ok(n) = o.parse::<u16>() {
+                        n
+                    } else {
+                        *fn_index
+                            .get(o)
+                            .ok_or_else(|| err(*line_no, format!("unknown function `{o}`")))?
+                    };
+                    Op::Call(t)
+                }
+                "ret" => {
+                    none(operand)?;
+                    Op::Ret
+                }
+                "halt" => {
+                    none(operand)?;
+                    Op::Halt
+                }
+                "inlen" => Op::InLen(u8_op(operand)?),
+                "inget" => Op::InGet(u8_op(operand)?),
+                "outpush" => Op::OutPush(u8_op(operand)?),
+                "outset" => Op::OutSet(u8_op(operand)?),
+                "outlen" => Op::OutLen(u8_op(operand)?),
+                "hostio" => Op::HostIo(u8_op(operand)?),
+                other => return Err(err(*line_no, format!("unknown mnemonic `{other}`"))),
+            };
+            code.push(op);
+        }
+        module.functions.push(Function {
+            name: f.name,
+            n_locals: f.n_locals,
+            code,
+        });
+    }
+    if module.functions.is_empty() {
+        return Err(err(0, "module has no functions"));
+    }
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::execute;
+    use crate::sandbox::SandboxPolicy;
+
+    const DOUBLER: &str = r#"
+; doubles every input sample
+.module Doubler 1 1 1
+.func main 2
+    inlen 0
+    store 0
+    push 0
+    store 1
+loop:
+    load 1
+    load 0
+    lt
+    jz end
+    load 1
+    inget 0
+    push 2.0
+    mul
+    outpush 0
+    load 1
+    push 1
+    add
+    store 1
+    jmp loop
+end:
+    halt
+"#;
+
+    #[test]
+    fn assembles_and_runs() {
+        let m = assemble(DOUBLER).unwrap();
+        assert_eq!(m.name, "Doubler");
+        assert_eq!((m.n_inputs, m.n_outputs), (1, 1));
+        let input = [1.0, -2.0, 0.5];
+        let (out, _) = execute(&m, &[&input], &SandboxPolicy::standard()).unwrap();
+        assert_eq!(out[0], vec![2.0, -4.0, 1.0]);
+    }
+
+    #[test]
+    fn call_by_name() {
+        let src = r#"
+.module Sq 1 0 1
+.func main 0
+    push 5
+    call square
+    outpush 0
+    halt
+.func square 0
+    dup
+    mul
+    ret
+"#;
+        let m = assemble(src).unwrap();
+        let (out, _) = execute(&m, &[], &SandboxPolicy::standard()).unwrap();
+        assert_eq!(out[0], vec![25.0]);
+    }
+
+    #[test]
+    fn named_constants() {
+        let src = ".module C 1 0 1\n.func main 0\n push pi\n sin\n abs\n outpush 0\n halt\n";
+        let m = assemble(src).unwrap();
+        let (out, _) = execute(&m, &[], &SandboxPolicy::standard()).unwrap();
+        assert!(out[0][0] < 1e-12);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble(".module M 1 0 0\n.func main 0\n bogus\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        let e = assemble(".module M 1 0 0\n.func main 0\n jmp nowhere\n").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+        let e = assemble("push 1\n").unwrap_err();
+        assert!(e.message.contains("outside"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let src = ".module M 1 0 0\n.func main 0\nx:\nx:\n halt\n";
+        let e = assemble(src).unwrap_err();
+        assert!(e.message.contains("duplicate label"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "; header\n\n.module M 1 0 1 ; trailing\n.func main 0\n push 1 ; one\n outpush 0\n halt\n";
+        let m = assemble(src).unwrap();
+        assert_eq!(m.functions[0].code.len(), 3);
+    }
+
+    #[test]
+    fn assembled_module_round_trips_through_blob() {
+        let m = assemble(DOUBLER).unwrap();
+        let blob = m.to_blob();
+        let back = crate::module::Module::from_blob(&blob).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,523 @@
+//! The interpreter: executes a verified module under a sandbox policy.
+//!
+//! Execution is fully deterministic: f64 arithmetic only, no clock, no
+//! randomness, no host state (unless `HostIo` is granted, and even then the
+//! simulated syscall is a pure function). The instruction count returned in
+//! [`ExecStats`] doubles as the *work metering* signal the Consumer Grid
+//! uses for billing (paper §2: "the shell would also maintain billing
+//! information for resources used").
+
+use crate::isa::Op;
+use crate::module::Module;
+use crate::sandbox::SandboxPolicy;
+use crate::verify::{verify, VerifyError};
+use std::fmt;
+
+/// Runtime failure of a sandboxed execution.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TvmError {
+    /// Static verification failed; the module was never started.
+    Verify(VerifyError),
+    /// Supplied input port count does not match the module signature.
+    BadArity { expected: u8, got: usize },
+    StackUnderflow,
+    StackOverflow,
+    CallDepthExceeded,
+    /// The sandbox instruction budget was exhausted (runaway / hostile code).
+    BudgetExceeded,
+    /// Output ports exceeded the sandbox cell cap.
+    OutputLimitExceeded,
+    /// An `InGet`/`OutSet` index was negative, non-finite, or out of bounds.
+    IndexOutOfBounds { port: u8, index: f64 },
+    /// `HostIo` executed without the capability.
+    HostIoDenied,
+}
+
+impl fmt::Display for TvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TvmError::*;
+        match self {
+            Verify(e) => write!(f, "verification failed: {e}"),
+            BadArity { expected, got } => {
+                write!(f, "expected {expected} input ports, got {got}")
+            }
+            StackUnderflow => write!(f, "operand stack underflow"),
+            StackOverflow => write!(f, "operand stack overflow"),
+            CallDepthExceeded => write!(f, "call depth exceeded"),
+            BudgetExceeded => write!(f, "instruction budget exceeded"),
+            OutputLimitExceeded => write!(f, "output cell limit exceeded"),
+            IndexOutOfBounds { port, index } => {
+                write!(f, "index {index} out of bounds on port {port}")
+            }
+            HostIoDenied => write!(f, "host I/O denied by sandbox"),
+        }
+    }
+}
+
+impl std::error::Error for TvmError {}
+
+/// Metering results from a completed run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// High-water operand stack depth.
+    pub max_stack: usize,
+}
+
+struct Frame {
+    func: usize,
+    pc: usize,
+    locals: Vec<f64>,
+}
+
+/// Execute `module` on `inputs` under `policy`. Verifies first, then runs
+/// function 0 from instruction 0. Returns the output ports and metering.
+pub fn execute(
+    module: &Module,
+    inputs: &[&[f64]],
+    policy: &SandboxPolicy,
+) -> Result<(Vec<Vec<f64>>, ExecStats), TvmError> {
+    verify(module).map_err(TvmError::Verify)?;
+    if inputs.len() != module.n_inputs as usize {
+        return Err(TvmError::BadArity {
+            expected: module.n_inputs,
+            got: inputs.len(),
+        });
+    }
+    let mut outputs: Vec<Vec<f64>> = vec![Vec::new(); module.n_outputs as usize];
+    let mut out_cells = 0usize;
+    let mut stack: Vec<f64> = Vec::with_capacity(64);
+    let mut stats = ExecStats::default();
+    let mut frames = vec![Frame {
+        func: 0,
+        pc: 0,
+        locals: vec![0.0; module.functions[0].n_locals as usize],
+    }];
+
+    macro_rules! pop {
+        () => {
+            stack.pop().ok_or(TvmError::StackUnderflow)?
+        };
+    }
+    macro_rules! push {
+        ($v:expr) => {{
+            if stack.len() >= policy.max_stack {
+                return Err(TvmError::StackOverflow);
+            }
+            stack.push($v);
+            stats.max_stack = stats.max_stack.max(stack.len());
+        }};
+    }
+    macro_rules! binop {
+        ($f:expr) => {{
+            let b = pop!();
+            let a = pop!();
+            push!($f(a, b));
+        }};
+    }
+    macro_rules! unop {
+        ($f:expr) => {{
+            let a = pop!();
+            push!($f(a));
+        }};
+    }
+
+    'run: loop {
+        if stats.instructions >= policy.max_instructions {
+            return Err(TvmError::BudgetExceeded);
+        }
+        stats.instructions += 1;
+        let frame = frames.last_mut().expect("frame stack never empty here");
+        let code = &module.functions[frame.func].code;
+        // The verifier guarantees the last instruction is a terminator and
+        // jumps are in range, so pc is always valid.
+        let op = code[frame.pc];
+        frame.pc += 1;
+        match op {
+            Op::Push(x) => push!(x),
+            Op::Pop => {
+                pop!();
+            }
+            Op::Dup => {
+                let a = *stack.last().ok_or(TvmError::StackUnderflow)?;
+                push!(a);
+            }
+            Op::Swap => {
+                let n = stack.len();
+                if n < 2 {
+                    return Err(TvmError::StackUnderflow);
+                }
+                stack.swap(n - 1, n - 2);
+            }
+            Op::Over => {
+                let n = stack.len();
+                if n < 2 {
+                    return Err(TvmError::StackUnderflow);
+                }
+                let a = stack[n - 2];
+                push!(a);
+            }
+            Op::Load(i) => {
+                let v = frame.locals[i as usize];
+                push!(v);
+            }
+            Op::Store(i) => {
+                let v = pop!();
+                frames.last_mut().unwrap().locals[i as usize] = v;
+            }
+            Op::Add => binop!(|a: f64, b: f64| a + b),
+            Op::Sub => binop!(|a: f64, b: f64| a - b),
+            Op::Mul => binop!(|a: f64, b: f64| a * b),
+            Op::Div => binop!(|a: f64, b: f64| a / b),
+            Op::Rem => binop!(|a: f64, b: f64| a % b),
+            Op::Min => binop!(|a: f64, b: f64| a.min(b)),
+            Op::Max => binop!(|a: f64, b: f64| a.max(b)),
+            Op::Pow => binop!(|a: f64, b: f64| a.powf(b)),
+            Op::Neg => unop!(|a: f64| -a),
+            Op::Abs => unop!(|a: f64| a.abs()),
+            Op::Floor => unop!(|a: f64| a.floor()),
+            Op::Sqrt => unop!(|a: f64| a.sqrt()),
+            Op::Sin => unop!(|a: f64| a.sin()),
+            Op::Cos => unop!(|a: f64| a.cos()),
+            Op::Exp => unop!(|a: f64| a.exp()),
+            Op::Ln => unop!(|a: f64| a.ln()),
+            Op::Eq => binop!(|a, b| bool_f(a == b)),
+            Op::Ne => binop!(|a, b| bool_f(a != b)),
+            Op::Lt => binop!(|a, b| bool_f(a < b)),
+            Op::Le => binop!(|a, b| bool_f(a <= b)),
+            Op::Gt => binop!(|a, b| bool_f(a > b)),
+            Op::Ge => binop!(|a, b| bool_f(a >= b)),
+            Op::Jmp(t) => frame.pc = t as usize,
+            Op::Jz(t) => {
+                let c = pop!();
+                if c == 0.0 {
+                    frames.last_mut().unwrap().pc = t as usize;
+                }
+            }
+            Op::Jnz(t) => {
+                let c = pop!();
+                if c != 0.0 {
+                    frames.last_mut().unwrap().pc = t as usize;
+                }
+            }
+            Op::Call(t) => {
+                if frames.len() >= policy.max_call_depth {
+                    return Err(TvmError::CallDepthExceeded);
+                }
+                frames.push(Frame {
+                    func: t as usize,
+                    pc: 0,
+                    locals: vec![0.0; module.functions[t as usize].n_locals as usize],
+                });
+            }
+            Op::Ret => {
+                frames.pop();
+                if frames.is_empty() {
+                    break 'run;
+                }
+            }
+            Op::Halt => break 'run,
+            Op::InLen(p) => push!(inputs[p as usize].len() as f64),
+            Op::InGet(p) => {
+                let idx = pop!();
+                let port = inputs[p as usize];
+                let i = to_index(idx, port.len())
+                    .ok_or(TvmError::IndexOutOfBounds { port: p, index: idx })?;
+                push!(port[i]);
+            }
+            Op::OutPush(p) => {
+                let v = pop!();
+                if out_cells >= policy.max_output_cells {
+                    return Err(TvmError::OutputLimitExceeded);
+                }
+                out_cells += 1;
+                outputs[p as usize].push(v);
+            }
+            Op::OutSet(p) => {
+                let v = pop!();
+                let idx = pop!();
+                let out = &mut outputs[p as usize];
+                let i = to_raw_index(idx)
+                    .ok_or(TvmError::IndexOutOfBounds { port: p, index: idx })?;
+                if i >= out.len() {
+                    let grow = i + 1 - out.len();
+                    if out_cells + grow > policy.max_output_cells {
+                        return Err(TvmError::OutputLimitExceeded);
+                    }
+                    out_cells += grow;
+                    out.resize(i + 1, 0.0);
+                }
+                out[i] = v;
+            }
+            Op::OutLen(p) => push!(outputs[p as usize].len() as f64),
+            Op::HostIo(_) => {
+                if !policy.allow_host_io {
+                    return Err(TvmError::HostIoDenied);
+                }
+                let _arg = pop!();
+                push!(0.0); // simulated syscall result
+            }
+        }
+    }
+    Ok((outputs, stats))
+}
+
+fn bool_f(b: bool) -> f64 {
+    if b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+fn to_index(x: f64, len: usize) -> Option<usize> {
+    let i = to_raw_index(x)?;
+    (i < len).then_some(i)
+}
+
+fn to_raw_index(x: f64) -> Option<usize> {
+    if !x.is_finite() || x < 0.0 || x > (1u64 << 52) as f64 {
+        return None;
+    }
+    Some(x as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Function;
+    use Op::*;
+
+    fn module1(code: Vec<Op>, n_locals: u16, n_inputs: u8, n_outputs: u8) -> Module {
+        Module {
+            name: "t".into(),
+            version: 1,
+            n_inputs,
+            n_outputs,
+            functions: vec![Function {
+                name: "main".into(),
+                n_locals,
+                code,
+            }],
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_output() {
+        // (3 + 4) * 2 -> out0
+        let m = module1(
+            vec![Push(3.0), Push(4.0), Add, Push(2.0), Mul, OutPush(0), Halt],
+            0,
+            0,
+            1,
+        );
+        let (out, stats) = execute(&m, &[], &SandboxPolicy::standard()).unwrap();
+        assert_eq!(out, vec![vec![14.0]]);
+        assert_eq!(stats.instructions, 7);
+        assert!(stats.max_stack >= 2);
+    }
+
+    #[test]
+    fn doubler_loop_over_input() {
+        let m = module1(
+            vec![
+                InLen(0),
+                Store(0),
+                Push(0.0),
+                Store(1),
+                // loop head @4
+                Load(1),
+                Load(0),
+                Lt,
+                Jz(18),
+                Load(1),
+                InGet(0),
+                Push(2.0),
+                Mul,
+                OutPush(0),
+                Load(1),
+                Push(1.0),
+                Add,
+                Store(1),
+                Jmp(4),
+                Halt,
+            ],
+            2,
+            1,
+            1,
+        );
+        let input = [1.0, 2.5, -3.0];
+        let (out, _) = execute(&m, &[&input], &SandboxPolicy::standard()).unwrap();
+        assert_eq!(out[0], vec![2.0, 5.0, -6.0]);
+    }
+
+    #[test]
+    fn function_calls_share_the_operand_stack() {
+        // fn1 squares top of stack; main calls it twice on 3 -> 81.
+        let m = Module {
+            name: "sq".into(),
+            version: 1,
+            n_inputs: 0,
+            n_outputs: 1,
+            functions: vec![
+                Function {
+                    name: "main".into(),
+                    n_locals: 0,
+                    code: vec![Push(3.0), Call(1), Call(1), OutPush(0), Halt],
+                },
+                Function {
+                    name: "square".into(),
+                    n_locals: 0,
+                    code: vec![Dup, Mul, Ret],
+                },
+            ],
+        };
+        let (out, _) = execute(&m, &[], &SandboxPolicy::standard()).unwrap();
+        assert_eq!(out[0], vec![81.0]);
+    }
+
+    #[test]
+    fn budget_kills_infinite_loop() {
+        let m = module1(vec![Jmp(0)], 0, 0, 0);
+        let policy = SandboxPolicy {
+            max_instructions: 10_000,
+            ..SandboxPolicy::standard()
+        };
+        assert_eq!(execute(&m, &[], &policy), Err(TvmError::BudgetExceeded));
+    }
+
+    #[test]
+    fn stack_overflow_detected() {
+        // push forever
+        let m = module1(vec![Push(1.0), Jmp(0)], 0, 0, 0);
+        let policy = SandboxPolicy {
+            max_stack: 100,
+            ..SandboxPolicy::standard()
+        };
+        assert_eq!(execute(&m, &[], &policy), Err(TvmError::StackOverflow));
+    }
+
+    #[test]
+    fn output_limit_enforced_for_push_and_set() {
+        let m = module1(vec![Push(1.0), OutPush(0), Jmp(0)], 0, 0, 1);
+        let policy = SandboxPolicy {
+            max_output_cells: 50,
+            ..SandboxPolicy::standard()
+        };
+        assert_eq!(
+            execute(&m, &[], &policy),
+            Err(TvmError::OutputLimitExceeded)
+        );
+        // OutSet with a huge index must also be capped (no OOM from one op).
+        let m = module1(vec![Push(1e9), Push(7.0), OutSet(0), Halt], 0, 0, 1);
+        assert_eq!(
+            execute(&m, &[], &policy),
+            Err(TvmError::OutputLimitExceeded)
+        );
+    }
+
+    #[test]
+    fn outset_zero_extends() {
+        let m = module1(
+            vec![Push(3.0), Push(9.0), OutSet(0), OutLen(0), OutPush(0), Halt],
+            0,
+            0,
+            1,
+        );
+        let (out, _) = execute(&m, &[], &SandboxPolicy::standard()).unwrap();
+        assert_eq!(out[0], vec![0.0, 0.0, 0.0, 9.0, 4.0]);
+    }
+
+    #[test]
+    fn host_io_requires_capability() {
+        let m = module1(vec![Push(1.0), HostIo(0), Pop, Halt], 0, 0, 0);
+        assert_eq!(
+            execute(&m, &[], &SandboxPolicy::standard()),
+            Err(TvmError::HostIoDenied)
+        );
+        assert!(execute(&m, &[], &SandboxPolicy::trusted()).is_ok());
+    }
+
+    #[test]
+    fn bad_input_index_is_an_error_not_ub() {
+        let input = [1.0, 2.0];
+        for idx in [5.0, -1.0, f64::NAN, f64::INFINITY] {
+            let m = module1(vec![Push(idx), InGet(0), Pop, Halt], 0, 1, 0);
+            let r = execute(&m, &[&input], &SandboxPolicy::standard());
+            assert!(
+                matches!(r, Err(TvmError::IndexOutOfBounds { port: 0, .. })),
+                "idx {idx}: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let m = module1(vec![Halt], 0, 2, 0);
+        let one = [1.0];
+        assert_eq!(
+            execute(&m, &[&one], &SandboxPolicy::standard()),
+            Err(TvmError::BadArity {
+                expected: 2,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
+    fn unverifiable_module_never_runs() {
+        let m = module1(vec![Jmp(99)], 0, 0, 0);
+        assert!(matches!(
+            execute(&m, &[], &SandboxPolicy::standard()),
+            Err(TvmError::Verify(_))
+        ));
+    }
+
+    #[test]
+    fn call_depth_limited() {
+        // main calls itself forever.
+        let m = module1(vec![Call(0), Ret], 0, 0, 0);
+        let policy = SandboxPolicy {
+            max_call_depth: 8,
+            ..SandboxPolicy::standard()
+        };
+        assert_eq!(execute(&m, &[], &policy), Err(TvmError::CallDepthExceeded));
+    }
+
+    #[test]
+    fn comparisons_push_unit_floats() {
+        let m = module1(
+            vec![
+                Push(2.0),
+                Push(3.0),
+                Lt,
+                OutPush(0),
+                Push(2.0),
+                Push(3.0),
+                Ge,
+                OutPush(0),
+                Halt,
+            ],
+            0,
+            0,
+            1,
+        );
+        let (out, _) = execute(&m, &[], &SandboxPolicy::standard()).unwrap();
+        assert_eq!(out[0], vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_outputs() {
+        let m = module1(
+            vec![Push(0.5), Sin, Push(1.5), Pow, Sqrt, OutPush(0), Halt],
+            0,
+            0,
+            1,
+        );
+        let a = execute(&m, &[], &SandboxPolicy::standard()).unwrap();
+        let b = execute(&m, &[], &SandboxPolicy::standard()).unwrap();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+}

@@ -1,0 +1,345 @@
+//! Instruction set and bytecode encoding.
+//!
+//! A compact, fixed-meaning ISA: all arithmetic is on `f64`; comparisons
+//! push 1.0/0.0; control flow uses absolute instruction indices (validated
+//! by the verifier). Port I/O instructions are the unit ABI.
+
+use std::fmt;
+
+/// One TVM instruction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Op {
+    // --- stack ---
+    /// Push a constant.
+    Push(f64),
+    Pop,
+    /// Duplicate the top of stack.
+    Dup,
+    /// Swap the two top elements.
+    Swap,
+    /// Push a copy of the second element.
+    Over,
+
+    // --- locals ---
+    Load(u16),
+    Store(u16),
+
+    // --- arithmetic (pop b, pop a, push a∘b) ---
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Neg,
+    Abs,
+    Min,
+    Max,
+    Floor,
+    Sqrt,
+    Sin,
+    Cos,
+    Exp,
+    Ln,
+    /// pop b, pop a, push a^b
+    Pow,
+
+    // --- comparisons (push 1.0 or 0.0) ---
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+
+    // --- control flow (absolute target within the function) ---
+    Jmp(u32),
+    /// Jump if popped value == 0.0.
+    Jz(u32),
+    /// Jump if popped value != 0.0.
+    Jnz(u32),
+    /// Call function by index in the module's function table.
+    Call(u16),
+    Ret,
+    Halt,
+
+    // --- port I/O (the unit ABI) ---
+    /// Push the length of input port `p`.
+    InLen(u8),
+    /// Pop index, push `inputs[p][index]`.
+    InGet(u8),
+    /// Pop value, append it to output port `p`.
+    OutPush(u8),
+    /// Pop value, pop index, set `outputs[p][index] = value`
+    /// (zero-extending the port if needed, subject to the sandbox cap).
+    OutSet(u8),
+    /// Push the current length of output port `p`.
+    OutLen(u8),
+
+    // --- host access (capability-gated) ---
+    /// Simulated host system call `n`; denied unless the sandbox grants
+    /// `allow_host_io`. Pops one argument, pushes one result (0.0).
+    HostIo(u8),
+}
+
+impl Op {
+    /// Bytecode opcode byte.
+    fn opcode(&self) -> u8 {
+        use Op::*;
+        match self {
+            Push(_) => 0x01,
+            Pop => 0x02,
+            Dup => 0x03,
+            Swap => 0x04,
+            Over => 0x05,
+            Load(_) => 0x10,
+            Store(_) => 0x11,
+            Add => 0x20,
+            Sub => 0x21,
+            Mul => 0x22,
+            Div => 0x23,
+            Rem => 0x24,
+            Neg => 0x25,
+            Abs => 0x26,
+            Min => 0x27,
+            Max => 0x28,
+            Floor => 0x29,
+            Sqrt => 0x2A,
+            Sin => 0x2B,
+            Cos => 0x2C,
+            Exp => 0x2D,
+            Ln => 0x2E,
+            Pow => 0x2F,
+            Eq => 0x30,
+            Ne => 0x31,
+            Lt => 0x32,
+            Le => 0x33,
+            Gt => 0x34,
+            Ge => 0x35,
+            Jmp(_) => 0x40,
+            Jz(_) => 0x41,
+            Jnz(_) => 0x42,
+            Call(_) => 0x43,
+            Ret => 0x44,
+            Halt => 0x45,
+            InLen(_) => 0x50,
+            InGet(_) => 0x51,
+            OutPush(_) => 0x52,
+            OutSet(_) => 0x53,
+            OutLen(_) => 0x54,
+            HostIo(_) => 0x60,
+        }
+    }
+
+    /// Append the binary encoding to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        use Op::*;
+        out.push(self.opcode());
+        match *self {
+            Push(x) => out.extend_from_slice(&x.to_le_bytes()),
+            Load(i) | Store(i) | Call(i) => out.extend_from_slice(&i.to_le_bytes()),
+            Jmp(t) | Jz(t) | Jnz(t) => out.extend_from_slice(&t.to_le_bytes()),
+            InLen(p) | InGet(p) | OutPush(p) | OutSet(p) | OutLen(p) | HostIo(p) => out.push(p),
+            _ => {}
+        }
+    }
+
+    /// Decode one instruction from `bytes[*pos..]`, advancing `pos`.
+    pub fn decode(bytes: &[u8], pos: &mut usize) -> Result<Op, DecodeError> {
+        use Op::*;
+        let op = *bytes.get(*pos).ok_or(DecodeError::Truncated)?;
+        *pos += 1;
+        let f64_arg = |pos: &mut usize| -> Result<f64, DecodeError> {
+            let b = bytes
+                .get(*pos..*pos + 8)
+                .ok_or(DecodeError::Truncated)?;
+            *pos += 8;
+            Ok(f64::from_le_bytes(b.try_into().unwrap()))
+        };
+        let u16_arg = |pos: &mut usize| -> Result<u16, DecodeError> {
+            let b = bytes
+                .get(*pos..*pos + 2)
+                .ok_or(DecodeError::Truncated)?;
+            *pos += 2;
+            Ok(u16::from_le_bytes(b.try_into().unwrap()))
+        };
+        let u32_arg = |pos: &mut usize| -> Result<u32, DecodeError> {
+            let b = bytes
+                .get(*pos..*pos + 4)
+                .ok_or(DecodeError::Truncated)?;
+            *pos += 4;
+            Ok(u32::from_le_bytes(b.try_into().unwrap()))
+        };
+        let u8_arg = |pos: &mut usize| -> Result<u8, DecodeError> {
+            let b = *bytes.get(*pos).ok_or(DecodeError::Truncated)?;
+            *pos += 1;
+            Ok(b)
+        };
+        Ok(match op {
+            0x01 => Push(f64_arg(pos)?),
+            0x02 => Pop,
+            0x03 => Dup,
+            0x04 => Swap,
+            0x05 => Over,
+            0x10 => Load(u16_arg(pos)?),
+            0x11 => Store(u16_arg(pos)?),
+            0x20 => Add,
+            0x21 => Sub,
+            0x22 => Mul,
+            0x23 => Div,
+            0x24 => Rem,
+            0x25 => Neg,
+            0x26 => Abs,
+            0x27 => Min,
+            0x28 => Max,
+            0x29 => Floor,
+            0x2A => Sqrt,
+            0x2B => Sin,
+            0x2C => Cos,
+            0x2D => Exp,
+            0x2E => Ln,
+            0x2F => Pow,
+            0x30 => Eq,
+            0x31 => Ne,
+            0x32 => Lt,
+            0x33 => Le,
+            0x34 => Gt,
+            0x35 => Ge,
+            0x40 => Jmp(u32_arg(pos)?),
+            0x41 => Jz(u32_arg(pos)?),
+            0x42 => Jnz(u32_arg(pos)?),
+            0x43 => Call(u16_arg(pos)?),
+            0x44 => Ret,
+            0x45 => Halt,
+            0x50 => InLen(u8_arg(pos)?),
+            0x51 => InGet(u8_arg(pos)?),
+            0x52 => OutPush(u8_arg(pos)?),
+            0x53 => OutSet(u8_arg(pos)?),
+            0x54 => OutLen(u8_arg(pos)?),
+            0x60 => HostIo(u8_arg(pos)?),
+            other => return Err(DecodeError::BadOpcode(other)),
+        })
+    }
+}
+
+/// Bytecode decoding failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    Truncated,
+    BadOpcode(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "bytecode truncated"),
+            DecodeError::BadOpcode(b) => write!(f, "bad opcode 0x{b:02X}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_ops() -> Vec<Op> {
+        use Op::*;
+        vec![
+            Push(3.25),
+            Pop,
+            Dup,
+            Swap,
+            Over,
+            Load(7),
+            Store(65535),
+            Add,
+            Sub,
+            Mul,
+            Div,
+            Rem,
+            Neg,
+            Abs,
+            Min,
+            Max,
+            Floor,
+            Sqrt,
+            Sin,
+            Cos,
+            Exp,
+            Ln,
+            Pow,
+            Eq,
+            Ne,
+            Lt,
+            Le,
+            Gt,
+            Ge,
+            Jmp(0),
+            Jz(123456),
+            Jnz(u32::MAX),
+            Call(3),
+            Ret,
+            Halt,
+            InLen(0),
+            InGet(1),
+            OutPush(2),
+            OutSet(3),
+            OutLen(255),
+            HostIo(9),
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_op() {
+        for op in all_ops() {
+            let mut buf = Vec::new();
+            op.encode(&mut buf);
+            let mut pos = 0;
+            let back = Op::decode(&buf, &mut pos).unwrap();
+            assert_eq!(back, op);
+            assert_eq!(pos, buf.len(), "trailing bytes for {op:?}");
+        }
+    }
+
+    #[test]
+    fn decode_stream_of_ops() {
+        let ops = all_ops();
+        let mut buf = Vec::new();
+        for op in &ops {
+            op.encode(&mut buf);
+        }
+        let mut pos = 0;
+        let mut decoded = Vec::new();
+        while pos < buf.len() {
+            decoded.push(Op::decode(&buf, &mut pos).unwrap());
+        }
+        assert_eq!(decoded, ops);
+    }
+
+    #[test]
+    fn truncated_operand_errors() {
+        let mut buf = Vec::new();
+        Op::Push(1.0).encode(&mut buf);
+        buf.truncate(5);
+        let mut pos = 0;
+        assert_eq!(Op::decode(&buf, &mut pos), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn unknown_opcode_errors() {
+        let mut pos = 0;
+        assert_eq!(
+            Op::decode(&[0xFF], &mut pos),
+            Err(DecodeError::BadOpcode(0xFF))
+        );
+    }
+
+    #[test]
+    fn opcodes_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in all_ops() {
+            assert!(seen.insert(op.opcode()), "duplicate opcode for {op:?}");
+        }
+    }
+}

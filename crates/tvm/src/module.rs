@@ -1,0 +1,280 @@
+//! Modules: the distributable unit of code.
+//!
+//! A [`Module`] is a named, versioned collection of functions plus the port
+//! signature of the unit it implements. Its binary form, [`ModuleBlob`], is
+//! what peers request on demand, cache, and evict (paper §3.3): the blob
+//! carries a content hash so that "the problem of having inconsistent
+//! versions of executables" is solved by construction — a peer always
+//! fetches by (name, version) and validates the hash.
+
+use crate::fnv1a64;
+use crate::isa::{DecodeError, Op};
+use std::fmt;
+
+/// One function body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Function {
+    pub name: String,
+    /// Number of local variable slots.
+    pub n_locals: u16,
+    pub code: Vec<Op>,
+}
+
+/// A distributable code module implementing one Triana unit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Module {
+    pub name: String,
+    pub version: u32,
+    /// Input / output port counts of the unit this module implements.
+    pub n_inputs: u8,
+    pub n_outputs: u8,
+    /// Function table; index 0 is the entry point.
+    pub functions: Vec<Function>,
+}
+
+const MAGIC: &[u8; 4] = b"TVM1";
+
+impl Module {
+    /// Serialize to the wire format.
+    pub fn to_blob(&self) -> ModuleBlob {
+        let mut b = Vec::new();
+        b.extend_from_slice(MAGIC);
+        b.extend_from_slice(&self.version.to_le_bytes());
+        b.push(self.n_inputs);
+        b.push(self.n_outputs);
+        write_str(&mut b, &self.name);
+        b.extend_from_slice(&(self.functions.len() as u32).to_le_bytes());
+        for f in &self.functions {
+            write_str(&mut b, &f.name);
+            b.extend_from_slice(&f.n_locals.to_le_bytes());
+            let mut code = Vec::new();
+            for op in &f.code {
+                op.encode(&mut code);
+            }
+            b.extend_from_slice(&(code.len() as u32).to_le_bytes());
+            b.extend_from_slice(&code);
+        }
+        let hash = fnv1a64(&b);
+        ModuleBlob { bytes: b, hash }
+    }
+
+    /// Parse a blob back into a module, verifying the magic.
+    pub fn from_blob(blob: &ModuleBlob) -> Result<Module, BlobError> {
+        let b = &blob.bytes;
+        if b.len() < 4 || &b[..4] != MAGIC {
+            return Err(BlobError::BadMagic);
+        }
+        let mut pos = 4;
+        let version = read_u32(b, &mut pos)?;
+        let n_inputs = read_u8(b, &mut pos)?;
+        let n_outputs = read_u8(b, &mut pos)?;
+        let name = read_str(b, &mut pos)?;
+        let n_funcs = read_u32(b, &mut pos)? as usize;
+        if n_funcs > 10_000 {
+            return Err(BlobError::Corrupt);
+        }
+        let mut functions = Vec::with_capacity(n_funcs);
+        for _ in 0..n_funcs {
+            let fname = read_str(b, &mut pos)?;
+            let n_locals = read_u16(b, &mut pos)?;
+            let code_len = read_u32(b, &mut pos)? as usize;
+            let end = pos.checked_add(code_len).ok_or(BlobError::Corrupt)?;
+            if end > b.len() {
+                return Err(BlobError::Corrupt);
+            }
+            let mut code = Vec::new();
+            let mut cpos = pos;
+            while cpos < end {
+                code.push(Op::decode(&b[..end], &mut cpos).map_err(BlobError::Decode)?);
+            }
+            pos = end;
+            functions.push(Function {
+                name: fname,
+                n_locals,
+                code,
+            });
+        }
+        Ok(Module {
+            name,
+            version,
+            n_inputs,
+            n_outputs,
+            functions,
+        })
+    }
+
+    /// Total instruction count across all functions.
+    pub fn instruction_count(&self) -> usize {
+        self.functions.iter().map(|f| f.code.len()).sum()
+    }
+}
+
+/// The serialized, content-hashed form of a [`Module`] — what travels over
+/// the Consumer Grid.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModuleBlob {
+    pub bytes: Vec<u8>,
+    pub hash: u64,
+}
+
+impl ModuleBlob {
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Re-hash the bytes and check against the recorded hash (detects
+    /// corruption or tampering in transit).
+    pub fn integrity_ok(&self) -> bool {
+        fnv1a64(&self.bytes) == self.hash
+    }
+}
+
+/// Blob parsing failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlobError {
+    BadMagic,
+    Corrupt,
+    Decode(DecodeError),
+}
+
+impl fmt::Display for BlobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlobError::BadMagic => write!(f, "not a TVM module"),
+            BlobError::Corrupt => write!(f, "module blob corrupt"),
+            BlobError::Decode(e) => write!(f, "bytecode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BlobError {}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_u8(b: &[u8], pos: &mut usize) -> Result<u8, BlobError> {
+    let v = *b.get(*pos).ok_or(BlobError::Corrupt)?;
+    *pos += 1;
+    Ok(v)
+}
+
+fn read_u16(b: &[u8], pos: &mut usize) -> Result<u16, BlobError> {
+    let s = b.get(*pos..*pos + 2).ok_or(BlobError::Corrupt)?;
+    *pos += 2;
+    Ok(u16::from_le_bytes(s.try_into().unwrap()))
+}
+
+fn read_u32(b: &[u8], pos: &mut usize) -> Result<u32, BlobError> {
+    let s = b.get(*pos..*pos + 4).ok_or(BlobError::Corrupt)?;
+    *pos += 4;
+    Ok(u32::from_le_bytes(s.try_into().unwrap()))
+}
+
+fn read_str(b: &[u8], pos: &mut usize) -> Result<String, BlobError> {
+    let len = read_u32(b, pos)? as usize;
+    if len > 1 << 20 {
+        return Err(BlobError::Corrupt);
+    }
+    let s = b.get(*pos..*pos + len).ok_or(BlobError::Corrupt)?;
+    *pos += len;
+    String::from_utf8(s.to_vec()).map_err(|_| BlobError::Corrupt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Op::*;
+
+    fn sample_module() -> Module {
+        Module {
+            name: "Doubler".into(),
+            version: 3,
+            n_inputs: 1,
+            n_outputs: 1,
+            functions: vec![Function {
+                name: "main".into(),
+                n_locals: 2,
+                code: vec![
+                    InLen(0),
+                    Store(0),
+                    Push(0.0),
+                    Store(1),
+                    Load(1),
+                    Load(0),
+                    Lt,
+                    Jz(18),
+                    Load(1),
+                    InGet(0),
+                    Push(2.0),
+                    Mul,
+                    OutPush(0),
+                    Load(1),
+                    Push(1.0),
+                    Add,
+                    Store(1),
+                    Jmp(4),
+                    Halt,
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn blob_round_trips() {
+        let m = sample_module();
+        let blob = m.to_blob();
+        assert!(blob.integrity_ok());
+        let back = Module::from_blob(&blob).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn hash_is_content_addressed() {
+        let m1 = sample_module();
+        let mut m2 = sample_module();
+        assert_eq!(m1.to_blob().hash, m2.to_blob().hash);
+        m2.version = 4;
+        assert_ne!(m1.to_blob().hash, m2.to_blob().hash);
+    }
+
+    #[test]
+    fn tampering_breaks_integrity() {
+        let mut blob = sample_module().to_blob();
+        let n = blob.bytes.len();
+        blob.bytes[n - 1] ^= 0x01;
+        assert!(!blob.integrity_ok());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let blob = ModuleBlob {
+            bytes: b"NOPE----".to_vec(),
+            hash: 0,
+        };
+        assert_eq!(Module::from_blob(&blob), Err(BlobError::BadMagic));
+    }
+
+    #[test]
+    fn truncated_blob_rejected() {
+        let mut blob = sample_module().to_blob();
+        blob.bytes.truncate(blob.bytes.len() / 2);
+        assert!(Module::from_blob(&blob).is_err());
+    }
+
+    #[test]
+    fn instruction_count_sums_functions() {
+        let mut m = sample_module();
+        m.functions.push(Function {
+            name: "helper".into(),
+            n_locals: 0,
+            code: vec![Ret],
+        });
+        assert_eq!(m.instruction_count(), 20);
+    }
+}

@@ -1,0 +1,90 @@
+//! The sandbox: resource limits and capabilities for untrusted modules.
+//!
+//! Mirrors the role of the Java sandbox in the paper ("resource file systems
+//! are also automatically protected"): a downloaded module executes under a
+//! [`SandboxPolicy`] that bounds CPU (instruction budget), memory (stack,
+//! locals, output cells) and gates host access behind an explicit
+//! capability. Resource owners choose the policy; the default denies host
+//! I/O entirely.
+
+/// Execution limits for one module invocation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SandboxPolicy {
+    /// Maximum instructions retired before the run is killed.
+    pub max_instructions: u64,
+    /// Maximum operand-stack depth.
+    pub max_stack: usize,
+    /// Maximum call depth.
+    pub max_call_depth: usize,
+    /// Maximum total cells (f64 values) across all output ports.
+    pub max_output_cells: usize,
+    /// Whether the `HostIo` instruction is permitted.
+    pub allow_host_io: bool,
+}
+
+impl SandboxPolicy {
+    /// The default consumer-peer policy: generous compute, no host access.
+    pub fn standard() -> Self {
+        SandboxPolicy {
+            max_instructions: 100_000_000,
+            max_stack: 4_096,
+            max_call_depth: 128,
+            max_output_cells: 4_000_000,
+            allow_host_io: false,
+        }
+    }
+
+    /// A policy for resource-constrained devices (PDA/handheld, §3.3).
+    pub fn constrained() -> Self {
+        SandboxPolicy {
+            max_instructions: 5_000_000,
+            max_stack: 256,
+            max_call_depth: 16,
+            max_output_cells: 65_536,
+            allow_host_io: false,
+        }
+    }
+
+    /// A trusted policy for modules from a pre-agreed certified library
+    /// (the alternative trust model the paper sketches in §3.7).
+    pub fn trusted() -> Self {
+        SandboxPolicy {
+            allow_host_io: true,
+            ..SandboxPolicy::standard()
+        }
+    }
+}
+
+impl Default for SandboxPolicy {
+    fn default() -> Self {
+        SandboxPolicy::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_denies_host_io() {
+        assert!(!SandboxPolicy::default().allow_host_io);
+    }
+
+    #[test]
+    fn constrained_is_strictly_tighter_than_standard() {
+        let c = SandboxPolicy::constrained();
+        let s = SandboxPolicy::standard();
+        assert!(c.max_instructions < s.max_instructions);
+        assert!(c.max_stack < s.max_stack);
+        assert!(c.max_call_depth < s.max_call_depth);
+        assert!(c.max_output_cells < s.max_output_cells);
+    }
+
+    #[test]
+    fn trusted_only_relaxes_host_io() {
+        let t = SandboxPolicy::trusted();
+        let s = SandboxPolicy::standard();
+        assert!(t.allow_host_io);
+        assert_eq!(t.max_instructions, s.max_instructions);
+    }
+}

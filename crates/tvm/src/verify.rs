@@ -1,0 +1,196 @@
+//! Static bytecode verification.
+//!
+//! Run before a downloaded module is admitted to the local cache: all jump
+//! targets must land inside their function, local indices must be within the
+//! declared frame, call targets must exist, port numbers must be within the
+//! module's declared signature, and every path must end in `Ret`/`Halt`
+//! (enforced conservatively: the last instruction must be a terminator and
+//! jump targets must be in range, so the program counter can never run off
+//! the end).
+
+use crate::isa::Op;
+use crate::module::Module;
+use std::fmt;
+
+/// A verification failure, with the offending function index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    EmptyModule,
+    EmptyFunction(usize),
+    JumpOutOfRange { func: usize, pc: usize, target: u32 },
+    LocalOutOfRange { func: usize, pc: usize, index: u16 },
+    CallOutOfRange { func: usize, pc: usize, target: u16 },
+    PortOutOfRange { func: usize, pc: usize, port: u8 },
+    MissingTerminator(usize),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use VerifyError::*;
+        match self {
+            EmptyModule => write!(f, "module has no functions"),
+            EmptyFunction(i) => write!(f, "function {i} is empty"),
+            JumpOutOfRange { func, pc, target } => {
+                write!(f, "fn{func}@{pc}: jump target {target} out of range")
+            }
+            LocalOutOfRange { func, pc, index } => {
+                write!(f, "fn{func}@{pc}: local {index} out of range")
+            }
+            CallOutOfRange { func, pc, target } => {
+                write!(f, "fn{func}@{pc}: call target {target} out of range")
+            }
+            PortOutOfRange { func, pc, port } => {
+                write!(f, "fn{func}@{pc}: port {port} out of range")
+            }
+            MissingTerminator(i) => write!(f, "function {i} does not end in Ret/Halt"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify a module. Cheap (single pass per function); `Ok(())` means the
+/// interpreter can execute without any PC/local/port bound being violated.
+pub fn verify(module: &Module) -> Result<(), VerifyError> {
+    if module.functions.is_empty() {
+        return Err(VerifyError::EmptyModule);
+    }
+    let n_funcs = module.functions.len();
+    for (fi, func) in module.functions.iter().enumerate() {
+        if func.code.is_empty() {
+            return Err(VerifyError::EmptyFunction(fi));
+        }
+        match func.code.last().unwrap() {
+            Op::Ret | Op::Halt | Op::Jmp(_) => {}
+            _ => return Err(VerifyError::MissingTerminator(fi)),
+        }
+        let len = func.code.len() as u32;
+        for (pc, op) in func.code.iter().enumerate() {
+            match *op {
+                Op::Jmp(t) | Op::Jz(t) | Op::Jnz(t) if t >= len => {
+                    return Err(VerifyError::JumpOutOfRange {
+                        func: fi,
+                        pc,
+                        target: t,
+                    });
+                }
+                Op::Load(i) | Op::Store(i) if i >= func.n_locals => {
+                    return Err(VerifyError::LocalOutOfRange {
+                        func: fi,
+                        pc,
+                        index: i,
+                    });
+                }
+                Op::Call(t) if t as usize >= n_funcs => {
+                    return Err(VerifyError::CallOutOfRange {
+                        func: fi,
+                        pc,
+                        target: t,
+                    });
+                }
+                Op::InLen(p) | Op::InGet(p) if p >= module.n_inputs => {
+                    return Err(VerifyError::PortOutOfRange { func: fi, pc, port: p });
+                }
+                Op::OutPush(p) | Op::OutSet(p) | Op::OutLen(p) if p >= module.n_outputs => {
+                    return Err(VerifyError::PortOutOfRange { func: fi, pc, port: p });
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Function;
+    use Op::*;
+
+    fn module_with(code: Vec<Op>, n_locals: u16) -> Module {
+        Module {
+            name: "t".into(),
+            version: 1,
+            n_inputs: 1,
+            n_outputs: 1,
+            functions: vec![Function {
+                name: "main".into(),
+                n_locals,
+                code,
+            }],
+        }
+    }
+
+    #[test]
+    fn accepts_well_formed_code() {
+        let m = module_with(vec![Push(1.0), OutPush(0), Halt], 0);
+        assert_eq!(verify(&m), Ok(()));
+    }
+
+    #[test]
+    fn rejects_empty_module_and_function() {
+        let m = Module {
+            name: "e".into(),
+            version: 1,
+            n_inputs: 0,
+            n_outputs: 0,
+            functions: vec![],
+        };
+        assert_eq!(verify(&m), Err(VerifyError::EmptyModule));
+        let m = module_with(vec![], 0);
+        assert_eq!(verify(&m), Err(VerifyError::EmptyFunction(0)));
+    }
+
+    #[test]
+    fn rejects_jump_out_of_range() {
+        let m = module_with(vec![Jmp(5), Halt], 0);
+        assert!(matches!(
+            verify(&m),
+            Err(VerifyError::JumpOutOfRange { target: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_local() {
+        let m = module_with(vec![Load(2), Halt], 2);
+        assert!(matches!(
+            verify(&m),
+            Err(VerifyError::LocalOutOfRange { index: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_call() {
+        let m = module_with(vec![Call(1), Halt], 0);
+        assert!(matches!(
+            verify(&m),
+            Err(VerifyError::CallOutOfRange { target: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_ports() {
+        let m = module_with(vec![InLen(1), Halt], 0);
+        assert!(matches!(
+            verify(&m),
+            Err(VerifyError::PortOutOfRange { port: 1, .. })
+        ));
+        let m = module_with(vec![OutPush(3), Halt], 0);
+        assert!(matches!(
+            verify(&m),
+            Err(VerifyError::PortOutOfRange { port: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let m = module_with(vec![Push(1.0), Pop], 0);
+        assert_eq!(verify(&m), Err(VerifyError::MissingTerminator(0)));
+    }
+
+    #[test]
+    fn trailing_jmp_counts_as_terminator() {
+        let m = module_with(vec![Halt, Jmp(0)], 0);
+        assert_eq!(verify(&m), Ok(()));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests: the verifier/sandbox never let malformed or hostile
+//! bytecode do anything undefined.
+
+use proptest::prelude::*;
+use tvm::asm::assemble;
+use tvm::{execute, Function, Module, Op, SandboxPolicy};
+
+/// Arbitrary (possibly invalid) instruction.
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (-1e6f64..1e6).prop_map(Op::Push),
+        Just(Op::Pop),
+        Just(Op::Dup),
+        Just(Op::Swap),
+        Just(Op::Add),
+        Just(Op::Mul),
+        Just(Op::Div),
+        Just(Op::Sqrt),
+        Just(Op::Lt),
+        (0u16..8).prop_map(Op::Load),
+        (0u16..8).prop_map(Op::Store),
+        (0u32..64).prop_map(Op::Jmp),
+        (0u32..64).prop_map(Op::Jz),
+        (0u16..4).prop_map(Op::Call),
+        Just(Op::Ret),
+        Just(Op::Halt),
+        (0u8..3).prop_map(Op::InLen),
+        (0u8..3).prop_map(Op::InGet),
+        (0u8..3).prop_map(Op::OutPush),
+        (0u8..3).prop_map(Op::OutLen),
+        (0u8..2).prop_map(Op::HostIo),
+    ]
+}
+
+proptest! {
+    /// Whatever bytecode we throw at it — verified or rejected — execution
+    /// never panics, never exceeds the sandbox, and always terminates
+    /// (budget-bounded).
+    #[test]
+    fn execution_is_total_and_bounded(
+        code in proptest::collection::vec(arb_op(), 1..80),
+        n_locals in 0u16..8,
+        n_inputs in 0u8..3,
+        n_outputs in 0u8..3,
+        input_len in 0usize..32,
+    ) {
+        let module = Module {
+            name: "fuzz".into(),
+            version: 0,
+            n_inputs,
+            n_outputs,
+            functions: vec![Function {
+                name: "main".into(),
+                n_locals,
+                code,
+            }],
+        };
+        let policy = SandboxPolicy {
+            max_instructions: 50_000,
+            max_stack: 256,
+            max_call_depth: 8,
+            max_output_cells: 4_096,
+            allow_host_io: false,
+        };
+        let buffers: Vec<Vec<f64>> = (0..n_inputs)
+            .map(|i| vec![i as f64; input_len])
+            .collect();
+        let slices: Vec<&[f64]> = buffers.iter().map(Vec::as_slice).collect();
+        // Rejection is fine; panicking is not.
+        if let Ok((outputs, stats)) = execute(&module, &slices, &policy) {
+            prop_assert!(stats.instructions <= policy.max_instructions);
+            prop_assert!(stats.max_stack <= policy.max_stack);
+            let cells: usize = outputs.iter().map(Vec::len).sum();
+            prop_assert!(cells <= policy.max_output_cells);
+        }
+    }
+
+    /// Bytecode encode/decode round-trips arbitrary op streams.
+    #[test]
+    fn wire_round_trip(code in proptest::collection::vec(arb_op(), 0..100)) {
+        let mut bytes = Vec::new();
+        for op in &code {
+            op.encode(&mut bytes);
+        }
+        let mut pos = 0;
+        let mut back = Vec::new();
+        while pos < bytes.len() {
+            back.push(Op::decode(&bytes, &mut pos).unwrap());
+        }
+        prop_assert_eq!(back, code);
+    }
+
+    /// Assembler output always passes the verifier and the blob format.
+    #[test]
+    fn assembled_modules_verify(pushes in proptest::collection::vec(-1e3f64..1e3, 1..40)) {
+        let mut src = String::from(".module P 1 0 1\n.func main 0\n");
+        for v in &pushes {
+            src.push_str(&format!(" push {v}\n outpush 0\n"));
+        }
+        src.push_str(" halt\n");
+        let module = assemble(&src).unwrap();
+        tvm::verify::verify(&module).unwrap();
+        let blob = module.to_blob();
+        prop_assert!(blob.integrity_ok());
+        let (out, _) = execute(&module, &[], &SandboxPolicy::standard()).unwrap();
+        prop_assert_eq!(out[0].len(), pushes.len());
+    }
+}

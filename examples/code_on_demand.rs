@@ -1,0 +1,160 @@
+//! §3.3: dynamic, on-demand code download — the Consumer Grid's answer to
+//! "inconsistent versions of executables" and resource-constrained devices.
+//!
+//! A user writes a unit in TVM assembly; it is assembled to a content-hashed
+//! blob, published in the controller's module library, and shipped to a
+//! volunteer peer the first time a job needs it. The peer runs it in the
+//! sandbox (with metering for billing), caches it under LRU, and — when the
+//! owner republishes a new version — transparently fetches the update.
+//! A hostile module is shown being killed by the instruction budget.
+//!
+//! Run with: `cargo run --release --example code_on_demand`
+
+use consumer_grid::core::data::TrianaData;
+use consumer_grid::core::grid::farm::{run_farm, FarmConfig, FarmScheduler, JobSpec};
+use consumer_grid::core::grid::{GridWorld, WorkerSetup};
+use consumer_grid::core::modules::ModuleKey;
+use consumer_grid::core::unit::Unit;
+use consumer_grid::netsim::avail::AvailabilityTrace;
+use consumer_grid::netsim::{HostSpec, SimTime};
+use consumer_grid::p2p::DiscoveryMode;
+use consumer_grid::toolbox::tvm_unit::TvmUnit;
+use consumer_grid::tvm::asm::assemble;
+use consumer_grid::tvm::SandboxPolicy;
+
+const SMOOTHER: &str = r#"
+; 3-point moving average: y[i] = (x[i-1] + x[i] + x[i+1]) / 3
+.module Smoother 1 1 1
+.func main 2
+    inlen 0
+    store 0
+    push 1
+    store 1            ; i = 1
+loop:
+    load 1
+    load 0
+    push 1
+    sub
+    lt                 ; i < len-1 ?
+    jz end
+    load 1
+    push 1
+    sub
+    inget 0
+    load 1
+    inget 0
+    add
+    load 1
+    push 1
+    add
+    inget 0
+    add
+    push 3
+    div
+    outpush 0
+    load 1
+    push 1
+    add
+    store 1
+    jmp loop
+end:
+    halt
+"#;
+
+const HOSTILE: &str = r#"
+; a malicious module: spins forever trying to burn the host's CPU
+.module CpuBurner 1 0 0
+.func main 0
+spin:
+    jmp spin
+"#;
+
+fn main() {
+    // --- 1. Assemble user code into a transferable, content-hashed blob.
+    let module = assemble(SMOOTHER).expect("assembles");
+    let blob = module.to_blob();
+    println!(
+        "assembled `Smoother`: {} instructions, {} bytes on the wire, hash {:016x}",
+        module.instruction_count(),
+        blob.len(),
+        blob.hash
+    );
+
+    // --- 2. Execute it locally as a Triana unit under the sandbox.
+    let mut unit = TvmUnit::from_blob(&blob, SandboxPolicy::standard()).expect("admitted");
+    let input = TrianaData::SampleSet {
+        rate_hz: 10.0,
+        samples: vec![0.0, 3.0, 0.0, 3.0, 0.0, 3.0],
+    };
+    let out = unit.process(vec![input]).expect("runs");
+    if let TrianaData::SampleSet { samples, .. } = &out[0] {
+        println!("smoothed [0,3,0,3,0,3] -> {samples:?}");
+    }
+    println!(
+        "metered for billing: {} TVM instructions\n",
+        unit.last_stats.instructions
+    );
+
+    // --- 3. The sandbox kills hostile code.
+    let hostile = assemble(HOSTILE).expect("assembles");
+    let mut burner = TvmUnit::from_blob(
+        &hostile.to_blob(),
+        SandboxPolicy {
+            max_instructions: 1_000_000,
+            ..SandboxPolicy::standard()
+        },
+    )
+    .expect("admitted");
+    match burner.process(vec![]) {
+        Err(e) => println!("hostile `CpuBurner` stopped by the sandbox: {e}\n"),
+        Ok(_) => unreachable!("the burner never halts"),
+    }
+
+    // --- 4. On-demand distribution over the grid, with a version bump.
+    let mut world = GridWorld::new(33, DiscoveryMode::Flooding);
+    let (ctrl, _) = world.add_peer(HostSpec::lan_workstation());
+    let mut farm = FarmScheduler::new(&world, ctrl, FarmConfig::default());
+    let horizon = SimTime::from_secs(100_000);
+    let spec = HostSpec::reference_pc();
+    let (peer, _) = world.add_peer(spec.clone());
+    let wid = farm.add_worker(
+        &mut world,
+        WorkerSetup {
+            peer,
+            spec,
+            trace: AvailabilityTrace::always(horizon),
+            cache_bytes: 1 << 20,
+        },
+    );
+    let v1 = ModuleKey::new("Smoother", 1);
+    farm.library.publish(v1.clone(), blob.clone());
+    let job = |key: ModuleKey| JobSpec {
+        work_gigacycles: 1.0,
+        input_bytes: 10_000,
+        output_bytes: 10_000,
+        module: Some(key),
+    };
+    for _ in 0..3 {
+        farm.submit(&mut world.sim, &mut world.net, job(v1.clone()));
+    }
+    run_farm(&mut world, &mut farm);
+    let s = farm.worker_cache_stats(wid);
+    println!(
+        "3 jobs needing Smoother v1: {} download(s) of {} B (then {} cache hits)",
+        s.misses,
+        s.bytes_fetched,
+        s.hits
+    );
+
+    // Republish as v2: the next job re-fetches exactly once.
+    let v2 = ModuleKey::new("Smoother", 2);
+    farm.library.publish(v2.clone(), blob.clone());
+    farm.submit(&mut world.sim, &mut world.net, job(v2));
+    run_farm(&mut world, &mut farm);
+    let s2 = farm.worker_cache_stats(wid);
+    println!(
+        "after republishing v2, one more job: {} total download(s) — \"overcomes the\n\
+         problem of having inconsistent versions of executables\" (§3.3)",
+        s2.misses
+    );
+}

@@ -1,0 +1,206 @@
+//! The Consumer Grid end to end, at scale.
+//!
+//! Everything the paper describes, in one run: 200 consumer volunteers
+//! (mixed CPUs, DSL/cable/modem links, screensaver-idle availability)
+//! enrol by advertising over a rendezvous overlay; a Triana Controller
+//! discovers capable peers, groups them into a virtual peer group, farms a
+//! matched-filter workload out with 15-minute checkpoints and triple-
+//! redundant voting, migrates interrupted jobs, meters every volunteer's
+//! donated CPU into billing ledgers, and reports the aggregate.
+//!
+//! Run with: `cargo run --release --example consumer_grid_scale`
+
+use consumer_grid::core::checkpoint::CheckpointPolicy;
+use consumer_grid::core::grid::farm::{run_farm, FarmConfig, FarmScheduler, JobSpec};
+use consumer_grid::core::grid::redundancy::{
+    Behaviour, RedundancyConfig, Verdict, VotingFarm,
+};
+use consumer_grid::core::grid::service::{TrianaController, TrianaService};
+use consumer_grid::core::grid::{GridWorld, WorkerId, WorkerSetup};
+use consumer_grid::netsim::avail::AvailabilityModel;
+use consumer_grid::netsim::{Duration, HostSpec, Pcg32, SimTime};
+use consumer_grid::p2p::{CapabilityPredicate, DiscoveryMode, PeerGroup};
+use consumer_grid::resources::trust::ResourcePolicy;
+use consumer_grid::toolbox::inspiral::cost;
+
+fn main() {
+    let volunteers = 200;
+    let horizon = SimTime::from_secs(4 * 86_400);
+    let mut world = GridWorld::new(2003, DiscoveryMode::Rendezvous);
+
+    // --- The controller (the science lab, LAN-connected).
+    let (ctrl_peer, _) = world.add_peer(HostSpec::lan_workstation());
+    println!("consumer grid: {volunteers} volunteers enrolling…");
+
+    // --- Volunteers: consumer host mix, each running a Triana Service.
+    let mut rng = Pcg32::new(42, 0);
+    let mut services = Vec::new();
+    for _ in 0..volunteers {
+        let spec = HostSpec::sample_consumer(&mut rng);
+        let (peer, _) = world.add_peer(spec);
+        services.push(TrianaService::new(
+            peer,
+            &[],
+            ResourcePolicy::sandbox_default(256),
+        ));
+    }
+    let mut wiring = Pcg32::new(7, 1);
+    world.p2p.wire_random(4, &mut wiring);
+    let n_rdv = (volunteers as f64).sqrt() as usize;
+    world.p2p.assign_rendezvous(n_rdv, &mut wiring);
+    for s in &services {
+        s.advertise(&mut world, Duration::from_secs(7 * 86_400));
+    }
+
+    // --- A virtual peer group of capable machines (§3.7).
+    let mut fast_group = PeerGroup::new(
+        "inspiral-workers",
+        CapabilityPredicate {
+            min_cpu_ghz: 1.5,
+            min_ram_mib: 128,
+        },
+    );
+    let mut grouped = 0;
+    for s in &services {
+        if fast_group.enroll(
+            &mut world.sim,
+            &mut world.net,
+            &mut world.p2p,
+            s.peer,
+            Duration::from_secs(7 * 86_400),
+        ) {
+            grouped += 1;
+        }
+    }
+    println!("  virtual peer group `inspiral-workers`: {grouped}/{volunteers} qualify (>=1.5 GHz)");
+
+    // --- Discovery: the controller finds group members over the overlay.
+    let ctl = TrianaController::new(ctrl_peer, "gw-search");
+    let q = ctl.discover(&mut world, fast_group.membership_query(), 8);
+    ctl.drain(&mut world);
+    let discovered = world.p2p.queries[&q].providers();
+    let msgs = world.p2p.queries[&q].messages;
+    println!(
+        "  rendezvous discovery found {} providers with {} messages\n",
+        discovered.len(),
+        msgs
+    );
+
+    // --- Enrol the first 60 discovered peers as farm workers.
+    let mut farm = FarmScheduler::new(
+        &world,
+        ctrl_peer,
+        FarmConfig {
+            checkpoint: Some(CheckpointPolicy::every(Duration::from_secs(900), 2 << 20)),
+        },
+    );
+    let pool: Vec<_> = discovered.into_iter().take(60).collect();
+    let mut behaviours = Vec::new();
+    let mut avail_rng = Pcg32::new(9, 2);
+    for (i, &peer) in pool.iter().enumerate() {
+        let spec = world.net.spec(world.p2p.host_of(peer)).clone();
+        let trace =
+            AvailabilityModel::typical_volunteer().trace(horizon, &mut avail_rng.split(i as u64));
+        farm.add_worker(
+            &mut world,
+            WorkerSetup {
+                peer,
+                spec,
+                trace,
+                cache_bytes: 8 << 20,
+            },
+        );
+        // A small fraction of volunteers return bad results.
+        behaviours.push(if i % 17 == 0 {
+            Behaviour::Cheater { cheat_prob: 0.7 }
+        } else {
+            Behaviour::Honest
+        });
+    }
+    let n_cheaters = behaviours
+        .iter()
+        .filter(|b| matches!(b, Behaviour::Cheater { .. }))
+        .count();
+    println!(
+        "farming 24 work units x3 replicas over {} volunteers ({} of them dishonest)…",
+        pool.len(),
+        n_cheaters
+    );
+
+    // --- The workload: scaled-down inspiral chunks, triple-redundant.
+    let mut voting = VotingFarm::new(RedundancyConfig::triple(), behaviours, 99);
+    for _ in 0..24 {
+        voting.submit_unit(
+            &mut farm,
+            &mut world.sim,
+            &mut world.net,
+            JobSpec {
+                work_gigacycles: cost::chunk_work_gigacycles(2_000), // ~2 h at 2 GHz
+                input_bytes: cost::CHUNK_BYTES / 10,
+                output_bytes: 10_000,
+                module: None,
+            },
+        );
+    }
+    world.sim.set_horizon(horizon);
+    run_farm(&mut world, &mut farm);
+
+    // --- Voting + reputation.
+    let (verdicts, reps) = voting.tally(&farm);
+    let accepted = verdicts
+        .iter()
+        .filter(|v| matches!(v, Verdict::Accepted { .. }))
+        .count();
+    let caught: usize = verdicts
+        .iter()
+        .filter_map(|v| match v {
+            Verdict::Accepted { dissenters } => Some(dissenters.len()),
+            _ => None,
+        })
+        .sum();
+    println!("\nresults:");
+    let s = farm.stats();
+    println!(
+        "  {}/{} replica jobs completed; makespan {:.1} h; wasted {:.1} h CPU to churn; {} migrations",
+        s.jobs_done,
+        s.jobs_total,
+        s.makespan.as_secs_f64() / 3600.0,
+        s.wasted.as_secs_f64() / 3600.0,
+        s.attempts - s.jobs_total,
+    );
+    println!("  {accepted}/24 units accepted by majority vote; {caught} bad replicas outvoted");
+    let mut flagged: Vec<(WorkerId, f64)> = reps
+        .iter()
+        .filter(|(_, r)| r.score() < 0.9 && r.dissented > 0)
+        .map(|(&w, r)| (w, r.score()))
+        .collect();
+    flagged.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"));
+    println!("  volunteers flagged by reputation: {flagged:?}");
+
+    // --- Billing: donated CPU per volunteer.
+    let billed = farm.total_billed_cpu();
+    println!(
+        "  billed to account `{}`: {:.1} h of donated CPU across the pool",
+        farm.account.0,
+        billed.as_secs_f64() / 3600.0
+    );
+    let top: Vec<(u32, f64)> = (0..pool.len() as u32)
+        .map(|w| {
+            (
+                w,
+                farm.worker_ledger(WorkerId(w)).total_cpu().as_secs_f64() / 3600.0,
+            )
+        })
+        .filter(|(_, h)| *h > 0.0)
+        .collect();
+    let donors = top.len();
+    let max_donor = top
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite hours"));
+    println!(
+        "  {donors} volunteers actually donated; top donor gave {:.1} h",
+        max_donor.map(|(_, h)| h).unwrap_or(0.0)
+    );
+    println!("\n\"anybody can make their spare CPU cycles available\" — §2");
+}

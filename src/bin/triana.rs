@@ -1,0 +1,188 @@
+//! `triana` — command-line front end to the Consumer Grid engine.
+//!
+//! The paper's Triana Controller "can be based either on a command line or
+//! a GUI user interface" (§3.2); this is the command line. Workflows are
+//! XML task graphs in either the native dialect or WSFL.
+//!
+//! ```text
+//! triana units                       list the toolbox
+//! triana validate <file>             structural + type check
+//! triana run <file> [-n ITERS] [-s]  execute and print collected outputs
+//! triana convert <file> <xml|wsfl|bpel|pnml>   dialect conversion
+//! ```
+
+use consumer_grid::core::data::TrianaData;
+use consumer_grid::core::unit::Params;
+use consumer_grid::core::{run_graph, EngineConfig, TaskGraph};
+use consumer_grid::taskgraph_xml::{from_bpel, from_wsfl, from_xml, to_bpel, to_pnml, to_wsfl, to_xml};
+use consumer_grid::toolbox::standard_registry;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  triana units\n  triana validate <file>\n  triana run <file> [-n ITERS] [-s]\n  triana convert <file> <xml|wsfl|bpel|pnml>"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<TaskGraph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    // Dialect by root element.
+    if text.contains("<flowModel") {
+        from_wsfl(&text).map_err(|e| format!("{path}: {e}"))
+    } else if text.contains("<process") {
+        from_bpel(&text).map_err(|e| format!("{path}: {e}"))
+    } else {
+        from_xml(&text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn describe(token: &TrianaData) -> String {
+    match token {
+        TrianaData::Scalar(x) => format!("Scalar({x})"),
+        TrianaData::Text(s) => format!("Text({:?})", s),
+        TrianaData::SampleSet { rate_hz, samples } => {
+            format!("SampleSet[{} @ {} Hz]", samples.len(), rate_hz)
+        }
+        TrianaData::Spectrum { df_hz, power } => {
+            let peak = power
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite power"))
+                .map(|(k, p)| format!("peak bin {k} ({:.3} Hz) = {p:.4}", k as f64 * df_hz))
+                .unwrap_or_default();
+            format!("Spectrum[{} bins, {peak}]", power.len())
+        }
+        TrianaData::ComplexSpectrum { re, .. } => format!("ComplexSpectrum[{}]", re.len()),
+        TrianaData::ImageFrame { width, height, .. } => format!("ImageFrame[{width}x{height}]"),
+        TrianaData::Particles(p) => format!("Particles[{} @ t={}]", p.len(), p.time),
+        TrianaData::Table(t) => format!("Table[{}x{}]", t.n_rows(), t.n_cols()),
+        TrianaData::Bytes(b) => format!("Bytes[{}]", b.len()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    match cmd {
+        "units" => {
+            let reg = standard_registry();
+            println!("{} toolbox units:", reg.len());
+            for name in reg.names() {
+                match reg.signature(name, &Params::new()) {
+                    Ok((ins, outs)) => {
+                        println!("  {name:<16} {} in, {} out", ins.len(), outs.len())
+                    }
+                    Err(_) => println!("  {name:<16} (parameter-dependent signature)"),
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "validate" => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let g = match load(path) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("parse error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let reg = standard_registry();
+            if let Err(e) = g.validate() {
+                eprintln!("invalid: {e}");
+                return ExitCode::FAILURE;
+            }
+            if let Err(e) = g.typecheck(&reg) {
+                eprintln!("type error: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "ok: {} tasks, {} cables, {} group(s)",
+                g.tasks.len(),
+                g.cables.len(),
+                g.groups.len()
+            );
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let mut iterations = 1usize;
+            let mut threaded = true;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "-n" => {
+                        iterations = match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                            Some(n) => n,
+                            None => return usage(),
+                        };
+                        i += 2;
+                    }
+                    "-s" => {
+                        threaded = false;
+                        i += 1;
+                    }
+                    _ => return usage(),
+                }
+            }
+            let g = match load(path) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("parse error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let reg = standard_registry();
+            match run_graph(
+                &g,
+                &reg,
+                &EngineConfig {
+                    iterations,
+                    threaded,
+                },
+            ) {
+                Ok(result) => {
+                    for ((task, port), tokens) in &result.outputs {
+                        let name = &g.tasks[task.0 as usize].name;
+                        println!("{name}:{port}  ({} token(s))", tokens.len());
+                        if let Some(last) = tokens.last() {
+                            println!("  last: {}", describe(last));
+                        }
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("execution failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "convert" => {
+            let (Some(path), Some(to)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            let g = match load(path) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("parse error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match to.as_str() {
+                "xml" => print!("{}", to_xml(&g)),
+                "wsfl" => print!("{}", to_wsfl(&g)),
+                "bpel" => print!("{}", to_bpel(&g)),
+                "pnml" => print!("{}", to_pnml(&g)),
+                _ => return usage(),
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,46 @@
+//! `consumer-grid` — a Rust reproduction of *Supporting Peer-2-Peer
+//! Interactions in the Consumer Grid* (Taylor, Rana, Philp, Wang, Shields;
+//! IPPS 2003).
+//!
+//! This facade re-exports the workspace crates under one roof:
+//!
+//! * [`core`] — the Triana workflow engine: typed dataflow graphs, group
+//!   units, distribution policies, local and grid executors;
+//! * [`toolbox`] — the built-in unit library (signal, galaxy SPH, inspiral
+//!   matched filter, database services, TVM adapter);
+//! * [`p2p`] — the JXTA-like overlay (advertisements, discovery, pipes);
+//! * [`tvm`] — the sandboxed bytecode VM used as transferable code;
+//! * [`netsim`] — the deterministic discrete-event network/host simulator;
+//! * [`resources`] — virtual accounts, billing, trust policy, local
+//!   resource managers, and the enrolment-cost models;
+//! * [`taskgraph_xml`] — the XML task-graph dialect (Code Segment 1).
+//!
+//! # Quickstart
+//!
+//! Build the paper's Figure 1 network and run it for 20 iterations:
+//!
+//! ```
+//! use consumer_grid::core::{run_graph, EngineConfig, TaskGraph};
+//! use consumer_grid::core::unit::Params;
+//! use consumer_grid::toolbox::standard_registry;
+//!
+//! let reg = standard_registry();
+//! let mut g = TaskGraph::new("Figure1");
+//! let wave = g.add_task(&reg, "Wave", "wave", Params::new()).unwrap();
+//! let noise = g.add_task(&reg, "GaussianNoise", "noise", Params::new()).unwrap();
+//! let ps = g.add_task(&reg, "PowerSpectrum", "pspec", Params::new()).unwrap();
+//! let acc = g.add_task(&reg, "AccumStat", "accum", Params::new()).unwrap();
+//! g.connect(wave, 0, noise, 0).unwrap();
+//! g.connect(noise, 0, ps, 0).unwrap();
+//! g.connect(ps, 0, acc, 0).unwrap();
+//! let result = run_graph(&g, &reg, &EngineConfig { iterations: 20, threaded: true }).unwrap();
+//! assert_eq!(result.of(&g, "accum").len(), 20);
+//! ```
+
+pub use netsim;
+pub use p2p;
+pub use resources;
+pub use taskgraph_xml;
+pub use toolbox;
+pub use triana_core as core;
+pub use tvm;

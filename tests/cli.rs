@@ -1,0 +1,87 @@
+//! End-to-end tests of the `triana` CLI binary.
+
+use std::process::Command;
+
+fn triana(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_triana"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn units_lists_the_toolbox() {
+    let (ok, stdout, _) = triana(&["units"]);
+    assert!(ok);
+    assert!(stdout.contains("27 toolbox units"));
+    assert!(stdout.contains("Wave"));
+    assert!(stdout.contains("MatchedFilter"));
+}
+
+#[test]
+fn validate_accepts_shipped_samples() {
+    for wf in [
+        "workflows/figure1.xml",
+        "workflows/group_test.xml",
+        "workflows/signal_conditioning.xml",
+        "workflows/inspiral.xml",
+        "workflows/figure1.wsfl",
+    ] {
+        let (ok, stdout, stderr) = triana(&["validate", wf]);
+        assert!(ok, "{wf}: {stderr}");
+        assert!(stdout.starts_with("ok:"), "{wf}: {stdout}");
+    }
+}
+
+#[test]
+fn run_executes_figure1() {
+    let (ok, stdout, stderr) = triana(&["run", "workflows/figure1.xml", "-n", "3"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("grapher:0"));
+    assert!(stdout.contains("3 token(s)"));
+    assert!(stdout.contains("Spectrum"));
+}
+
+#[test]
+fn convert_produces_parseable_dialects() {
+    for dialect in ["xml", "wsfl", "bpel", "pnml"] {
+        let (ok, stdout, stderr) = triana(&["convert", "workflows/group_test.xml", dialect]);
+        assert!(ok, "{dialect}: {stderr}");
+        assert!(stdout.starts_with("<?xml"), "{dialect}");
+        consumer_grid::taskgraph_xml::parse(&stdout).expect("well-formed output");
+    }
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    let (ok, _, stderr) = triana(&["validate", "no/such/file.xml"]);
+    assert!(!ok);
+    assert!(stderr.contains("parse error"));
+    let (ok, _, stderr) = triana(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+    let (ok, _, _) = triana(&["convert", "workflows/figure1.xml", "yaml"]);
+    assert!(!ok);
+}
+
+#[test]
+fn run_reports_unit_errors() {
+    // A graph referencing a unit the toolbox doesn't have.
+    let dir = std::env::temp_dir().join("triana_cli_test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("bad.xml");
+    std::fs::write(
+        &path,
+        "<taskgraph name=\"bad\"><task name=\"x\" type=\"FluxCapacitor\" in=\"0\" out=\"1\"/></taskgraph>",
+    )
+    .expect("write");
+    let (ok, _, stderr) = triana(&["validate", path.to_str().expect("utf8 path")]);
+    assert!(!ok);
+    assert!(stderr.contains("FluxCapacitor"), "{stderr}");
+}

@@ -1,0 +1,208 @@
+//! Integration tests spanning crates: workflows authored as XML, executed
+//! by the engine, distributed over the simulated Consumer Grid.
+
+use consumer_grid::core::data::TrianaData;
+use consumer_grid::core::unit::Params;
+use consumer_grid::core::{run_graph, DistributionPolicy, EngineConfig, TaskGraph};
+use consumer_grid::taskgraph_xml::{from_xml, to_xml};
+use consumer_grid::toolbox::signal::spectrum_snr;
+use consumer_grid::toolbox::standard_registry;
+
+/// The exact workflow of Code Segment 1 — Wave → [Gaussian, FFT] grouped →
+/// Grapher — authored directly as XML, then validated, type-checked and
+/// executed.
+#[test]
+fn code_segment_1_xml_executes() {
+    let xml = r#"<?xml version="1.0"?>
+<taskgraph name="GroupTest">
+  <task name="wave" type="Wave" in="0" out="1">
+    <param name="freq" value="64"/>
+  </task>
+  <task name="gaussian" type="GaussianNoise" in="1" out="1"/>
+  <task name="fft" type="PowerSpectrum" in="1" out="1"/>
+  <task name="grapher" type="Grapher" in="1" out="1"/>
+  <group name="GroupTask" policy="parallel">
+    <member task="gaussian"/>
+    <member task="fft"/>
+  </group>
+  <connection from="wave:0" to="gaussian:0"/>
+  <connection from="gaussian:0" to="fft:0"/>
+  <connection from="fft:0" to="grapher:0"/>
+</taskgraph>
+"#;
+    let g = from_xml(xml).expect("parse Code Segment 1");
+    let reg = standard_registry();
+    g.validate().expect("valid");
+    g.typecheck(&reg).expect("well typed");
+    assert_eq!(g.groups.len(), 1);
+    assert_eq!(g.groups[0].policy, DistributionPolicy::Parallel);
+    let (incoming, outgoing) = g.group_boundary(g.groups[0].id);
+    assert_eq!(incoming.len(), 1, "Wave feeds the group");
+    assert_eq!(outgoing.len(), 1, "the group feeds the Grapher");
+
+    let r = run_graph(
+        &g,
+        &reg,
+        &EngineConfig {
+            iterations: 5,
+            threaded: true,
+        },
+    )
+    .expect("executes");
+    assert_eq!(r.of(&g, "grapher").len(), 5);
+    for tok in r.of(&g, "grapher") {
+        assert!(matches!(tok, TrianaData::Spectrum { .. }));
+    }
+}
+
+/// Round-trip: build programmatically → XML → parse → run. The parsed
+/// graph must produce exactly the same results as the original (the
+/// "middleware independence" §3.3 asks of the representation).
+#[test]
+fn xml_round_trip_preserves_execution_results() {
+    let reg = standard_registry();
+    let mut g = TaskGraph::new("roundtrip");
+    let wave = g
+        .add_task(
+            &reg,
+            "Wave",
+            "wave",
+            Params::from([
+                ("freq".to_string(), "32".to_string()),
+                ("samples".to_string(), "256".to_string()),
+            ]),
+        )
+        .expect("build");
+    let ps = g
+        .add_task(&reg, "PowerSpectrum", "pspec", Params::new())
+        .expect("build");
+    g.connect(wave, 0, ps, 0).expect("wire");
+
+    let parsed = from_xml(&to_xml(&g)).expect("round trip");
+    let cfg = EngineConfig {
+        iterations: 3,
+        threaded: false,
+    };
+    let direct = run_graph(&g, &reg, &cfg).expect("run original");
+    let via_xml = run_graph(&parsed, &reg, &cfg).expect("run parsed");
+    assert_eq!(direct.outputs, via_xml.outputs);
+}
+
+/// Threaded and sequential executors agree on a stateful, fanned-out
+/// signal workflow (20 iterations of Figure 1 plus a parallel branch).
+#[test]
+fn executors_agree_on_fanned_out_figure1() {
+    let reg = standard_registry();
+    let mut g = TaskGraph::new("fan");
+    let wave = g
+        .add_task(
+            &reg,
+            "Wave",
+            "wave",
+            Params::from([("samples".to_string(), "512".to_string())]),
+        )
+        .expect("build");
+    let noise = g
+        .add_task(
+            &reg,
+            "GaussianNoise",
+            "noise",
+            Params::from([("seed".to_string(), "77".to_string())]),
+        )
+        .expect("build");
+    let ps1 = g
+        .add_task(&reg, "PowerSpectrum", "ps_noisy", Params::new())
+        .expect("build");
+    let ps2 = g
+        .add_task(&reg, "PowerSpectrum", "ps_clean", Params::new())
+        .expect("build");
+    let acc = g
+        .add_task(&reg, "AccumStat", "accum", Params::new())
+        .expect("build");
+    g.connect(wave, 0, noise, 0).expect("wire");
+    g.connect(noise, 0, ps1, 0).expect("wire");
+    g.connect(wave, 0, ps2, 0).expect("wire");
+    g.connect(ps1, 0, acc, 0).expect("wire");
+
+    let seq = run_graph(
+        &g,
+        &reg,
+        &EngineConfig {
+            iterations: 20,
+            threaded: false,
+        },
+    )
+    .expect("sequential");
+    let par = run_graph(
+        &g,
+        &reg,
+        &EngineConfig {
+            iterations: 20,
+            threaded: true,
+        },
+    )
+    .expect("threaded");
+    assert_eq!(seq.outputs, par.outputs);
+}
+
+/// The Figure 2 claim holds through the full public API path (facade crate
+/// → toolbox → engine): averaging lifts the buried tone above the noise.
+#[test]
+fn figure2_through_public_api() {
+    let reg = standard_registry();
+    let mut g = TaskGraph::new("fig2");
+    let wave = g
+        .add_task(
+            &reg,
+            "Wave",
+            "wave",
+            Params::from([("amplitude".to_string(), "0.3".to_string())]),
+        )
+        .expect("build");
+    let noise = g
+        .add_task(
+            &reg,
+            "GaussianNoise",
+            "noise",
+            Params::from([("sigma".to_string(), "2".to_string())]),
+        )
+        .expect("build");
+    let ps = g
+        .add_task(&reg, "PowerSpectrum", "pspec", Params::new())
+        .expect("build");
+    let acc = g
+        .add_task(&reg, "AccumStat", "accum", Params::new())
+        .expect("build");
+    g.connect(wave, 0, noise, 0).expect("wire");
+    g.connect(noise, 0, ps, 0).expect("wire");
+    g.connect(ps, 0, acc, 0).expect("wire");
+    let snr_at = |iters: usize| {
+        let r = run_graph(
+            &g,
+            &reg,
+            &EngineConfig {
+                iterations: iters,
+                threaded: true,
+            },
+        )
+        .expect("run");
+        match r.last_of(&g, "accum") {
+            Some(TrianaData::Spectrum { df_hz, power }) => spectrum_snr(power, *df_hz, 64.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    };
+    assert!(snr_at(20) > snr_at(1) * 2.0);
+}
+
+/// Unknown units are caught by validation before execution, with the
+/// offending name in the error.
+#[test]
+fn unknown_unit_rejected_before_run() {
+    let xml = r#"<taskgraph name="bad">
+  <task name="mystery" type="FluxCapacitor" in="0" out="1"/>
+</taskgraph>"#;
+    let g = from_xml(xml).expect("parses structurally");
+    let reg = standard_registry();
+    let err = g.typecheck(&reg).expect_err("must be rejected");
+    assert!(err.to_string().contains("FluxCapacitor"));
+}

@@ -1,0 +1,383 @@
+//! Consumer Grid scenario tests: determinism, churn robustness, discovery
+//! + farm composition, and metering/billing across the full stack.
+
+use consumer_grid::core::data::TrianaData;
+use consumer_grid::core::grid::farm::{run_farm, FarmConfig, FarmScheduler, JobSpec};
+use consumer_grid::core::grid::service::{TrianaController, TrianaService};
+use consumer_grid::core::grid::{GridWorld, WorkerSetup};
+use consumer_grid::core::checkpoint::CheckpointPolicy;
+use consumer_grid::core::modules::ModuleKey;
+use consumer_grid::core::unit::{Params, Unit};
+use consumer_grid::netsim::avail::{AvailabilityModel, AvailabilityTrace};
+use consumer_grid::netsim::{Duration, HostSpec, Pcg32, SimTime};
+use consumer_grid::p2p::DiscoveryMode;
+use consumer_grid::resources::account::VirtualAccount;
+use consumer_grid::resources::trust::ResourcePolicy;
+use consumer_grid::core::grid::exec::execute_group_parallel;
+use consumer_grid::core::{DistributionPolicy, TaskGraph};
+use consumer_grid::toolbox::galaxy::{render_column_density, synthesize_snapshots, View};
+use consumer_grid::toolbox::standard_registry;
+use consumer_grid::toolbox::tvm_unit::TvmUnit;
+use consumer_grid::tvm::asm::assemble;
+use consumer_grid::tvm::SandboxPolicy;
+
+fn churny_farm(seed: u64, workers: usize) -> (GridWorld, FarmScheduler) {
+    let horizon = SimTime::from_secs(7 * 86_400);
+    let mut world = GridWorld::new(seed, DiscoveryMode::Flooding);
+    let (ctrl, _) = world.add_peer(HostSpec::lan_workstation());
+    let mut farm = FarmScheduler::new(
+        &world,
+        ctrl,
+        FarmConfig {
+            checkpoint: Some(CheckpointPolicy::every(Duration::from_secs(600), 100_000)),
+        },
+    );
+    let mut rng = Pcg32::new(seed, 0x5CE);
+    for i in 0..workers {
+        let spec = HostSpec::sample_consumer(&mut rng);
+        let (peer, _) = world.add_peer(spec.clone());
+        let model = AvailabilityModel::Exponential {
+            mean_up: Duration::from_secs(2 * 3600),
+            mean_down: Duration::from_secs(3600),
+        };
+        let mut r = rng.split(i as u64 + 100);
+        farm.add_worker(
+            &mut world,
+            WorkerSetup {
+                peer,
+                spec,
+                trace: model.trace(horizon, &mut r),
+                cache_bytes: 1 << 20,
+            },
+        );
+    }
+    world.sim.set_horizon(horizon);
+    (world, farm)
+}
+
+fn submit_jobs(world: &mut GridWorld, farm: &mut FarmScheduler, n: usize) {
+    for _ in 0..n {
+        farm.submit(
+            &mut world.sim,
+            &mut world.net,
+            JobSpec {
+                work_gigacycles: 1_000.0, // ~10 min on a 2 GHz host
+                input_bytes: 200_000,
+                output_bytes: 50_000,
+                module: None,
+            },
+        );
+    }
+}
+
+/// Identical seeds produce bit-identical schedules and statistics — the
+/// whole stack (RNG, event order, churn traces, link queues) is
+/// deterministic.
+#[test]
+fn simulation_is_deterministic() {
+    let run = || {
+        let (mut world, mut farm) = churny_farm(4242, 12);
+        submit_jobs(&mut world, &mut farm, 30);
+        run_farm(&mut world, &mut farm);
+        (
+            farm.stats(),
+            world.net.stats(),
+            world.sim.processed(),
+            world.now(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+    assert_eq!(a.3, b.3);
+}
+
+/// Under heavy churn with checkpointing, no job is ever lost: everything
+/// submitted eventually completes (within a generous horizon), despite
+/// many migrations.
+#[test]
+fn churn_never_loses_jobs() {
+    let (mut world, mut farm) = churny_farm(7, 16);
+    submit_jobs(&mut world, &mut farm, 40);
+    run_farm(&mut world, &mut farm);
+    let s = farm.stats();
+    assert_eq!(s.jobs_done, 40, "all jobs complete: {s:?}");
+    assert!(
+        s.attempts > 40,
+        "churn at this rate must force at least some migrations: {s:?}"
+    );
+}
+
+/// Discovery-driven enrolment composes with the farm: a controller finds
+/// capable volunteer peers over the overlay, enrols exactly those as
+/// workers, and the farmed jobs land only on them.
+#[test]
+fn discovery_feeds_the_farm() {
+    let mut world = GridWorld::new(99, DiscoveryMode::Flooding);
+    let (ctrl_peer, _) = world.add_peer(HostSpec::lan_workstation());
+    let mut services = Vec::new();
+    let mut rng = Pcg32::new(17, 0);
+    for _ in 0..15 {
+        let spec = HostSpec::sample_consumer(&mut rng);
+        let (p, _) = world.add_peer(spec);
+        services.push(TrianaService::new(
+            p,
+            &[],
+            ResourcePolicy::sandbox_default(512),
+        ));
+    }
+    let mut wiring = Pcg32::new(18, 1);
+    world.p2p.wire_random(4, &mut wiring);
+    for s in &services {
+        s.advertise(&mut world, Duration::from_secs(24 * 3600));
+    }
+    let ctl = TrianaController::new(ctrl_peer, "scientist");
+    let enrolled = ctl.enroll_workers(&mut world, 2.0, 6, 10);
+    assert!(!enrolled.is_empty());
+    for &p in &enrolled {
+        let h = world.p2p.host_of(p);
+        assert!(world.net.spec(h).cpu_ghz >= 2.0, "capability filter holds");
+    }
+
+    let mut farm = FarmScheduler::new(&world, ctrl_peer, FarmConfig::default());
+    let horizon = SimTime::from_secs(100_000);
+    let wids: Vec<_> = enrolled
+        .iter()
+        .map(|&peer| {
+            let spec = world.net.spec(world.p2p.host_of(peer)).clone();
+            farm.add_worker(
+                &mut world,
+                WorkerSetup {
+                    peer,
+                    spec,
+                    trace: AvailabilityTrace::always(horizon),
+                    cache_bytes: 1 << 20,
+                },
+            )
+        })
+        .collect();
+    for _ in 0..12 {
+        farm.submit(
+            &mut world.sim,
+            &mut world.net,
+            JobSpec {
+                work_gigacycles: 10.0,
+                input_bytes: 10_000,
+                output_bytes: 1_000,
+                module: None,
+            },
+        );
+    }
+    run_farm(&mut world, &mut farm);
+    assert!(farm.all_done());
+    let total: u64 = wids.iter().map(|&w| farm.worker_jobs_completed(w)).sum();
+    assert_eq!(total, 12, "all jobs ran on enrolled peers");
+}
+
+/// Full metering path: a TVM module executes under the sandbox on a
+/// volunteer's Triana Service and the instruction count lands in the
+/// billing ledger under the submitting user's virtual account.
+#[test]
+fn tvm_execution_is_metered_and_billed() {
+    let mut world = GridWorld::new(55, DiscoveryMode::Flooding);
+    let (_ctrl, _) = world.add_peer(HostSpec::lan_workstation());
+    let (vol_peer, _) = world.add_peer(HostSpec::reference_pc());
+    let mut volunteer =
+        TrianaService::new(vol_peer, &[], ResourcePolicy::sandbox_default(256));
+
+    // The guest module (shipped as a blob).
+    let blob = assemble(
+        ".module Sq 1 1 1\n.func main 2\n inlen 0\n store 0\n push 0\n store 1\nloop:\n load 1\n load 0\n lt\n jz end\n load 1\n inget 0\n dup\n mul\n outpush 0\n load 1\n push 1\n add\n store 1\n jmp loop\nend:\n halt\n",
+    )
+    .expect("assembles")
+    .to_blob();
+    let mut unit = TvmUnit::from_blob(&blob, SandboxPolicy::standard()).expect("admitted");
+    let input = TrianaData::SampleSet {
+        rate_hz: 1.0,
+        samples: vec![1.0, 2.0, 3.0],
+    };
+    let bytes_in = input.wire_size();
+    let out = unit.process(vec![input]).expect("runs");
+    assert_eq!(
+        out[0],
+        TrianaData::SampleSet {
+            rate_hz: 1.0,
+            samples: vec![1.0, 4.0, 9.0]
+        }
+    );
+    // The volunteer meters the execution.
+    let account = VirtualAccount("alice".into());
+    let spec = world.net.spec(world.p2p.host_of(vol_peer)).clone();
+    let cpu = spec.exec_time(unit.work_estimate(&[out[0].clone()]));
+    volunteer.meter(
+        &account,
+        world.now(),
+        cpu,
+        bytes_in,
+        out[0].wire_size(),
+        unit.last_stats.instructions,
+    );
+    let totals = volunteer.ledger.totals(&account);
+    assert_eq!(totals.jobs, 1);
+    assert_eq!(totals.instructions, unit.last_stats.instructions);
+    assert!(totals.instructions > 0);
+    assert_eq!(totals.bytes_in, bytes_in);
+}
+
+/// Certified-library policy: a peer configured for certified-only modules
+/// refuses unknown hashes but admits listed ones.
+#[test]
+fn certified_only_policy_gates_modules() {
+    let good = assemble(".module Good 1 0 0\n.func main 0\n halt\n")
+        .expect("assembles")
+        .to_blob();
+    let evil = assemble(".module Evil 1 0 0\n.func main 0\n push 1\n pop\n halt\n")
+        .expect("assembles")
+        .to_blob();
+    let policy = ResourcePolicy::certified([good.hash], 256);
+    assert!(policy.admits_module(good.hash));
+    assert!(!policy.admits_module(evil.hash));
+    // Sandbox-default admits both (the paper's default trust model).
+    let open = ResourcePolicy::sandbox_default(256);
+    assert!(open.admits_module(evil.hash));
+}
+
+/// Module distribution under churn: jobs needing code still complete when
+/// the worker pool churns, and the module travels at most once per worker
+/// epoch of need.
+#[test]
+fn module_distribution_survives_churn() {
+    let (mut world, mut farm) = churny_farm(21, 10);
+    let key = ModuleKey::new("Analysis", 1);
+    let blob = assemble(".module Analysis 1 0 0\n.func main 0\n halt\n")
+        .expect("assembles")
+        .to_blob();
+    farm.library.publish(key.clone(), blob);
+    for _ in 0..20 {
+        farm.submit(
+            &mut world.sim,
+            &mut world.net,
+            JobSpec {
+                work_gigacycles: 500.0,
+                input_bytes: 100_000,
+                output_bytes: 10_000,
+                module: Some(key.clone()),
+            },
+        );
+    }
+    run_farm(&mut world, &mut farm);
+    let s = farm.stats();
+    assert_eq!(s.jobs_done, 20, "{s:?}");
+}
+
+
+/// Case 1 through the full distribution stack: the RenderFrame group is
+/// planned, farmed over simulated LAN peers, and the returned images are
+/// bit-identical to rendering locally — real results, simulated timing.
+#[test]
+fn case1_group_farmed_with_real_rendering() {
+    use consumer_grid::core::data::{DataType, TypeSpec};
+    use consumer_grid::core::unit::{Unit, UnitError};
+
+    // A snapshot source so the graph validates (the group entry must have
+    // a driver).
+    struct SnapshotSource {
+        frames: Vec<consumer_grid::core::data::ParticleSet>,
+        next: usize,
+    }
+    impl Unit for SnapshotSource {
+        fn type_name(&self) -> &str {
+            "SnapshotSource"
+        }
+        fn input_types(&self) -> Vec<TypeSpec> {
+            vec![]
+        }
+        fn output_types(&self) -> Vec<DataType> {
+            vec![DataType::Particles]
+        }
+        fn process(&mut self, _i: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
+            let f = self.frames[self.next % self.frames.len()].clone();
+            self.next += 1;
+            Ok(vec![TrianaData::Particles(f)])
+        }
+    }
+    let mut reg = standard_registry();
+    reg.register("SnapshotSource", |_p| {
+        Ok(Box::new(SnapshotSource {
+            frames: synthesize_snapshots(4, 200, 42),
+            next: 0,
+        }))
+    });
+
+    let mut g = TaskGraph::new("case1");
+    let src = g
+        .add_task(&reg, "SnapshotSource", "src", Params::new())
+        .expect("build");
+    let render = g
+        .add_task(
+            &reg,
+            "RenderFrame",
+            "render",
+            Params::from([("pixels".to_string(), "64".to_string())]),
+        )
+        .expect("build");
+    g.connect(src, 0, render, 0).expect("wire");
+    let gid = g
+        .add_group("farm", vec![render], DistributionPolicy::Parallel)
+        .expect("group");
+
+    let mut world = GridWorld::new(91, DiscoveryMode::Flooding);
+    let (ctrl, _) = world.add_peer(HostSpec::lan_workstation());
+    let horizon = SimTime::from_secs(1_000_000);
+    let workers: Vec<WorkerSetup> = (0..3)
+        .map(|_| {
+            let spec = HostSpec::lan_workstation();
+            let (peer, _) = world.add_peer(spec.clone());
+            WorkerSetup {
+                peer,
+                spec,
+                trace: AvailabilityTrace::always(horizon),
+                cache_bytes: 1 << 20,
+            }
+        })
+        .collect();
+    let snaps = synthesize_snapshots(4, 200, 42);
+    let tokens: Vec<TrianaData> = snaps
+        .iter()
+        .map(|s| TrianaData::Particles(s.clone()))
+        .collect();
+    let run = execute_group_parallel(
+        &mut world,
+        &g,
+        &reg,
+        gid,
+        ctrl,
+        workers,
+        tokens,
+        consumer_grid::core::grid::farm::FarmConfig::default(),
+    )
+    .expect("distributed run");
+    assert_eq!(run.tokens.len(), 4);
+    let view = View {
+        pixels: 64,
+        ..View::default()
+    };
+    for (i, tr) in run.tokens.iter().enumerate() {
+        // Distributed result == local render, exactly.
+        let (_, _, expected) = render_column_density(&snaps[i], &view);
+        match &tr.outputs[0] {
+            TrianaData::ImageFrame {
+                width,
+                height,
+                pixels,
+            } => {
+                assert_eq!((*width, *height), (64, 64));
+                assert_eq!(pixels, &expected, "frame {i} differs from local render");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(tr.latency > Duration::ZERO);
+    }
+}

@@ -1,0 +1,324 @@
+//! Property-based tests on core data structures and invariants, spanning
+//! the workspace crates.
+
+use consumer_grid::core::modules::{ModuleCache, ModuleKey};
+use consumer_grid::core::unit::Params;
+use consumer_grid::core::TaskGraph;
+use consumer_grid::netsim::avail::AvailabilityTrace;
+use consumer_grid::netsim::stats::Summary;
+use consumer_grid::netsim::{Pcg32, SimTime};
+use consumer_grid::taskgraph_xml::{from_xml, to_xml};
+use consumer_grid::toolbox::fft::{fft, ifft, power_spectrum};
+use consumer_grid::tvm;
+use consumer_grid::tvm::{Module, SandboxPolicy};
+use proptest::prelude::*;
+
+// ---------- netsim ----------
+
+proptest! {
+    /// `below(n)` is always in range, for any seed/stream.
+    #[test]
+    fn pcg_below_in_range(seed in any::<u64>(), stream in any::<u64>(), n in 1u64..1_000_000) {
+        let mut rng = Pcg32::new(seed, stream);
+        for _ in 0..32 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    /// `uniform()` stays in [0, 1).
+    #[test]
+    fn pcg_uniform_in_unit(seed in any::<u64>()) {
+        let mut rng = Pcg32::new(seed, 1);
+        for _ in 0..64 {
+            let u = rng.uniform();
+            prop_assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    /// Interval normalization always yields sorted, disjoint, in-horizon
+    /// intervals, and point queries agree with them.
+    #[test]
+    fn availability_normalization_invariants(
+        raw in proptest::collection::vec((0u64..10_000, 0u64..10_000), 0..20),
+        horizon in 1u64..10_000,
+    ) {
+        let intervals: Vec<(SimTime, SimTime)> = raw
+            .iter()
+            .map(|&(a, b)| (SimTime(a.min(b)), SimTime(a.max(b))))
+            .collect();
+        let tr = AvailabilityTrace::from_intervals(intervals, SimTime(horizon));
+        let ivs = tr.intervals();
+        for w in ivs.windows(2) {
+            prop_assert!(w[0].1 < w[1].0, "disjoint and sorted: {ivs:?}");
+        }
+        for &(s, e) in ivs {
+            prop_assert!(s < e);
+            prop_assert!(e <= SimTime(horizon));
+            prop_assert!(tr.is_up(s));
+            if e < SimTime(horizon) {
+                prop_assert!(!tr.is_up(e), "half-open end");
+            }
+        }
+        let f = tr.uptime_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    /// Welford summary matches a direct two-pass computation.
+    #[test]
+    fn summary_matches_two_pass(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut s = Summary::new();
+        for &x in &xs {
+            s.add(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() < 1e-4 * (1.0 + var.abs()));
+        prop_assert_eq!(s.count(), xs.len() as u64);
+    }
+}
+
+// ---------- toolbox / fft ----------
+
+proptest! {
+    /// The inverse transform undoes the forward transform at any length.
+    #[test]
+    fn fft_inverts(re in proptest::collection::vec(-100.0f64..100.0, 1..160)) {
+        let im = vec![0.0; re.len()];
+        let (fr, fi) = fft(&re, &im);
+        let (br, bi) = ifft(&fr, &fi);
+        for i in 0..re.len() {
+            prop_assert!((br[i] - re[i]).abs() < 1e-6, "re[{i}]");
+            prop_assert!(bi[i].abs() < 1e-6, "im[{i}]");
+        }
+    }
+
+    /// Parseval: time-domain and frequency-domain energies agree.
+    #[test]
+    fn fft_parseval(sig in proptest::collection::vec(-10.0f64..10.0, 2..120)) {
+        let n = sig.len() as f64;
+        let (re, im) = fft(&sig, &vec![0.0; sig.len()]);
+        let t_energy: f64 = sig.iter().map(|x| x * x).sum();
+        let f_energy: f64 = re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum::<f64>() / n;
+        prop_assert!((t_energy - f_energy).abs() < 1e-6 * (1.0 + t_energy));
+    }
+
+    /// Power spectra are non-negative with n/2 + 1 bins.
+    #[test]
+    fn power_spectrum_shape(sig in proptest::collection::vec(-10.0f64..10.0, 1..100)) {
+        let ps = power_spectrum(&sig);
+        prop_assert_eq!(ps.len(), sig.len() / 2 + 1);
+        for p in ps {
+            prop_assert!(p >= -1e-12);
+        }
+    }
+}
+
+// ---------- tvm ----------
+
+/// Strategy: a random straight-line arithmetic program that never
+/// underflows the stack and always halts.
+fn arb_program() -> impl Strategy<Value = Vec<tvm::Op>> {
+    use tvm::Op;
+    proptest::collection::vec((0u8..8, -100.0f64..100.0), 1..60).prop_map(|steps| {
+        let mut ops = Vec::new();
+        let mut depth = 0usize;
+        for (kind, val) in steps {
+            match kind {
+                0..=2 => {
+                    ops.push(Op::Push(val));
+                    depth += 1;
+                }
+                3 if depth >= 2 => {
+                    ops.push(Op::Add);
+                    depth -= 1;
+                }
+                4 if depth >= 2 => {
+                    ops.push(Op::Mul);
+                    depth -= 1;
+                }
+                5 if depth >= 1 => {
+                    ops.push(Op::Dup);
+                    depth += 1;
+                }
+                6 if depth >= 1 => {
+                    ops.push(Op::Neg);
+                }
+                7 if depth >= 1 => {
+                    ops.push(Op::OutPush(0));
+                    depth -= 1;
+                }
+                _ => {
+                    ops.push(Op::Push(val));
+                    depth += 1;
+                }
+            }
+        }
+        ops.push(Op::Halt);
+        ops
+    })
+}
+
+proptest! {
+    /// Any generated module round-trips through the blob format and passes
+    /// the verifier; execution is deterministic and within the sandbox.
+    #[test]
+    fn tvm_blob_round_trip_and_determinism(code in arb_program(), version in 0u32..1000) {
+        let module = Module {
+            name: "prop".into(),
+            version,
+            n_inputs: 0,
+            n_outputs: 1,
+            functions: vec![tvm::Function {
+                name: "main".into(),
+                n_locals: 0,
+                code,
+            }],
+        };
+        let blob = module.to_blob();
+        prop_assert!(blob.integrity_ok());
+        let back = Module::from_blob(&blob).unwrap();
+        prop_assert_eq!(&back, &module);
+        let policy = SandboxPolicy::standard();
+        let a = tvm::execute(&module, &[], &policy).unwrap();
+        let b = tvm::execute(&module, &[], &policy).unwrap();
+        prop_assert_eq!(a.0, b.0);
+        prop_assert!(a.1.instructions <= policy.max_instructions);
+        prop_assert!(a.1.max_stack <= policy.max_stack);
+    }
+
+    /// Corrupting any single byte of a blob is detected by the integrity
+    /// hash (or, if it hits the hash-excluded path, still never panics on
+    /// parse).
+    #[test]
+    fn tvm_blob_corruption_detected(code in arb_program(), flip in any::<(usize, u8)>()) {
+        let module = Module {
+            name: "prop".into(),
+            version: 1,
+            n_inputs: 0,
+            n_outputs: 1,
+            functions: vec![tvm::Function { name: "main".into(), n_locals: 0, code }],
+        };
+        let mut blob = module.to_blob();
+        let idx = flip.0 % blob.bytes.len();
+        let mask = if flip.1 == 0 { 1 } else { flip.1 };
+        blob.bytes[idx] ^= mask;
+        prop_assert!(!blob.integrity_ok());
+        let _ = Module::from_blob(&blob); // must not panic
+    }
+}
+
+// ---------- module cache ----------
+
+proptest! {
+    /// Resident bytes never exceed capacity; stats are consistent.
+    #[test]
+    fn module_cache_respects_capacity(
+        capacity in 50u64..2_000,
+        ops in proptest::collection::vec((0u8..4, 0u8..6), 1..60),
+    ) {
+        let blob = |i: u8| {
+            let mut src = format!(".module M{i} 1 0 0\n.func main 0\n");
+            for _ in 0..(i as usize * 12) {
+                src.push_str(" push 1\n pop\n");
+            }
+            src.push_str(" halt\n");
+            tvm::asm::assemble(&src).unwrap().to_blob()
+        };
+        let mut cache = ModuleCache::new(capacity);
+        for (op, which) in ops {
+            let key = ModuleKey::new(&format!("M{which}"), 1);
+            match op {
+                0 | 1 => {
+                    cache.insert(key, blob(which));
+                }
+                2 => {
+                    cache.get(&key);
+                }
+                _ => {
+                    cache.release(&key);
+                }
+            }
+            prop_assert!(cache.resident_bytes() <= capacity);
+            prop_assert!(cache.stats().peak_resident <= capacity);
+        }
+    }
+}
+
+// ---------- taskgraph xml ----------
+
+/// Strategy: a random DAG over up to 8 tasks (edges only point forward).
+fn arb_graph() -> impl Strategy<Value = TaskGraph> {
+    (
+        2usize..8,
+        proptest::collection::vec((any::<u8>(), any::<u8>()), 0..16),
+    )
+        .prop_map(|(n, raw_edges)| {
+            let mut g = TaskGraph::new("prop");
+            // Task i has 1 input (except task 0, a source) and 2 outputs.
+            let mut ids = Vec::new();
+            for i in 0..n {
+                let n_in = usize::from(i != 0);
+                let id = g
+                    .add_task_raw(
+                        &format!("Type{}", i % 3),
+                        &format!("task{i}"),
+                        Params::from([("p".to_string(), format!("{i}"))]),
+                        n_in,
+                        2,
+                    )
+                    .unwrap();
+                ids.push(id);
+            }
+            for (a, b) in raw_edges {
+                let from = a as usize % n;
+                let to = b as usize % n;
+                if from < to {
+                    // one driver per input: only connect if input 0 is free
+                    let _ = g.connect(ids[from], (a as usize / n) % 2, ids[to], 0);
+                }
+            }
+            g
+        })
+}
+
+proptest! {
+    /// Any constructible task graph round-trips through XML exactly.
+    #[test]
+    fn taskgraph_xml_round_trips(g in arb_graph()) {
+        let xml = to_xml(&g);
+        let back = from_xml(&xml).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    /// Serialization is deterministic.
+    #[test]
+    fn taskgraph_xml_deterministic(g in arb_graph()) {
+        prop_assert_eq!(to_xml(&g), to_xml(&g));
+    }
+
+    /// Topological order, when it exists, respects every cable.
+    #[test]
+    fn topo_order_respects_cables(g in arb_graph()) {
+        if let Ok(order) = g.topo_order() {
+            let pos = |t| order.iter().position(|&x| x == t).unwrap();
+            for c in &g.cables {
+                prop_assert!(pos(c.from.0) < pos(c.to.0));
+            }
+        }
+    }
+}
+
+// ---------- xml text layer ----------
+
+proptest! {
+    /// Attribute values with arbitrary printable content survive escaping.
+    #[test]
+    fn xml_attr_escaping(value in "[ -~]{0,40}") {
+        let node = consumer_grid::taskgraph_xml::XmlNode::new("n").with_attr("v", &value);
+        let text = node.to_string_pretty();
+        let back = consumer_grid::taskgraph_xml::parse(&text).unwrap();
+        prop_assert_eq!(back.attr("v"), Some(value.as_str()));
+    }
+}

@@ -1,0 +1,109 @@
+//! The shipped sample workflows in `workflows/` must parse, validate,
+//! type-check against the standard toolbox, and execute.
+
+use consumer_grid::core::data::TrianaData;
+use consumer_grid::core::{run_graph, EngineConfig, TaskGraph};
+use consumer_grid::taskgraph_xml::{from_wsfl, from_xml};
+use consumer_grid::toolbox::standard_registry;
+
+fn check_and_run(graph: &TaskGraph, iterations: usize) {
+    let reg = standard_registry();
+    graph.validate().expect("valid");
+    graph.typecheck(&reg).expect("well typed");
+    let r = run_graph(
+        graph,
+        &reg,
+        &EngineConfig {
+            iterations,
+            threaded: true,
+        },
+    )
+    .expect("executes");
+    assert!(
+        r.outputs.values().any(|v| !v.is_empty()),
+        "produced no output tokens"
+    );
+}
+
+#[test]
+fn figure1_sample() {
+    let g = from_xml(include_str!("../workflows/figure1.xml")).expect("parses");
+    assert_eq!(g.name, "Figure1");
+    check_and_run(&g, 5);
+}
+
+#[test]
+fn group_test_sample_matches_code_segment_1() {
+    let g = from_xml(include_str!("../workflows/group_test.xml")).expect("parses");
+    assert_eq!(g.groups.len(), 1);
+    assert_eq!(g.groups[0].name, "GroupTask");
+    assert_eq!(g.groups[0].members.len(), 2);
+    check_and_run(&g, 3);
+}
+
+#[test]
+fn signal_conditioning_sample() {
+    let g = from_xml(include_str!("../workflows/signal_conditioning.xml")).expect("parses");
+    let reg = standard_registry();
+    g.typecheck(&reg).expect("well typed");
+    let r = run_graph(
+        &g,
+        &reg,
+        &EngineConfig {
+            iterations: 1,
+            threaded: true,
+        },
+    )
+    .expect("executes");
+    // The dB spectrum peaks (0 dB) at the tone bin: 100 Hz at 1 Hz/bin.
+    match r.last_of(&g, "db") {
+        Some(TrianaData::Spectrum { df_hz, power }) => {
+            let peak_bin = power
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .expect("nonempty")
+                .0;
+            let freq = peak_bin as f64 * df_hz;
+            assert!((freq - 100.0).abs() < 2.0, "peak at {freq} Hz");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // The stats table reports the right sample count.
+    match r.last_of(&g, "stats") {
+        Some(TrianaData::Table(t)) => assert_eq!(t.rows[0][0], 2048.0),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn wsfl_sample() {
+    let g = from_wsfl(include_str!("../workflows/figure1.wsfl")).expect("parses");
+    assert_eq!(g.tasks.len(), 3);
+    check_and_run(&g, 2);
+}
+
+
+#[test]
+fn inspiral_sample_detects_injections() {
+    let g = from_xml(include_str!("../workflows/inspiral.xml")).expect("parses");
+    let reg = standard_registry();
+    g.typecheck(&reg).expect("well typed");
+    let r = run_graph(
+        &g,
+        &reg,
+        &EngineConfig {
+            iterations: 4,
+            threaded: true,
+        },
+    )
+    .expect("executes");
+    let reports = r.of(&g, "verify");
+    assert_eq!(reports.len(), 4);
+    for rep in reports {
+        match rep {
+            TrianaData::Text(t) => assert!(t.starts_with("OK"), "{t}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
