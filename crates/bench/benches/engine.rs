@@ -22,8 +22,12 @@ fn figure1() -> (TaskGraph, UnitRegistry) {
     let ps = g
         .add_task(&reg, "PowerSpectrum", "pspec", Params::new())
         .unwrap();
-    let acc = g.add_task(&reg, "AccumStat", "accum", Params::new()).unwrap();
-    let gr = g.add_task(&reg, "Grapher", "grapher", Params::new()).unwrap();
+    let acc = g
+        .add_task(&reg, "AccumStat", "accum", Params::new())
+        .unwrap();
+    let gr = g
+        .add_task(&reg, "Grapher", "grapher", Params::new())
+        .unwrap();
     g.connect(wave, 0, noise, 0).unwrap();
     g.connect(noise, 0, ps, 0).unwrap();
     g.connect(ps, 0, acc, 0).unwrap();

@@ -13,7 +13,13 @@ fn bench_search(c: &mut Criterion) {
     for &n_templates in &[4usize, 16, 64] {
         let bank = TemplateBank::generate(n_templates, 1.0, 4.0, 16.0, rate);
         let mut rng = Pcg32::new(9, 0);
-        let chunk = inject_chirp(chunk_len, &bank.templates[n_templates / 2], 12.0, 3_000, &mut rng);
+        let chunk = inject_chirp(
+            chunk_len,
+            &bank.templates[n_templates / 2],
+            12.0,
+            3_000,
+            &mut rng,
+        );
         g.throughput(Throughput::Elements((n_templates * chunk_len) as u64));
         g.bench_with_input(
             BenchmarkId::new("templates", n_templates),

@@ -54,7 +54,9 @@ fn bench_module_lifecycle(c: &mut Criterion) {
     g.bench_function("blob_roundtrip", |b| {
         b.iter(|| Module::from_blob(&blob).unwrap())
     });
-    g.bench_function("verify", |b| b.iter(|| tvm::verify::verify(&module).unwrap()));
+    g.bench_function("verify", |b| {
+        b.iter(|| tvm::verify::verify(&module).unwrap())
+    });
     g.finish();
 }
 

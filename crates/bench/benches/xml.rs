@@ -8,7 +8,9 @@ use triana_core::{DistributionPolicy, TaskGraph};
 
 fn workflow(n: usize) -> TaskGraph {
     let mut g = TaskGraph::new(&format!("fan{n}"));
-    let src = g.add_task_raw("Wave", "source", Params::new(), 0, 1).unwrap();
+    let src = g
+        .add_task_raw("Wave", "source", Params::new(), 0, 1)
+        .unwrap();
     let mut members = Vec::new();
     for i in 0..n {
         let t = g

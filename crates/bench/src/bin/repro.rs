@@ -2,9 +2,11 @@
 //!
 //! Usage:
 //! ```text
-//! repro            # run everything
-//! repro e1 e5      # run selected experiments
-//! repro --list     # list experiment ids
+//! repro                      # run everything
+//! repro e1 e5                # run selected experiments
+//! repro --list               # list experiment ids
+//! repro --quick              # seeded observability smoke only (CI)
+//! repro --metrics-out FILE   # also dump the metrics JSON snapshot
 //! ```
 
 use consumer_grid_bench as bench;
@@ -44,12 +46,45 @@ fn run(id: &str) -> Option<String> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--list" || a == "-l") {
         for (id, desc) in IDS {
             println!("{id:>4}  {desc}");
         }
         return;
+    }
+    let mut metrics_out: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--metrics-out") {
+        if i + 1 >= args.len() {
+            eprintln!("--metrics-out requires a file argument");
+            std::process::exit(2);
+        }
+        metrics_out = Some(args.remove(i + 1));
+        args.remove(i);
+    }
+    let quick = if let Some(i) = args.iter().position(|a| a == "--quick" || a == "-q") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    if quick {
+        let observer = obs::Obs::enabled();
+        bench::smoke::run(&observer);
+        println!("{}", bench::smoke::report_with(&observer));
+        if let Some(out) = metrics_out {
+            let json = observer.snapshot_json().expect("observer is enabled");
+            if let Err(e) = std::fs::write(&out, json) {
+                eprintln!("cannot write metrics to {out}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("metrics written to {out}");
+        }
+        return;
+    }
+    if metrics_out.is_some() {
+        eprintln!("--metrics-out requires --quick");
+        std::process::exit(2);
     }
     let selected: Vec<&str> = if args.is_empty() {
         IDS.iter().map(|(id, _)| *id).collect()

@@ -80,9 +80,7 @@ pub fn snr_series(points: &[usize]) -> Vec<SnrPoint> {
             )
             .expect("figure-1 graph runs");
             let snr = match r.last_of(&g, "grapher") {
-                Some(TrianaData::Spectrum { df_hz, power }) => {
-                    spectrum_snr(power, *df_hz, FREQ_HZ)
-                }
+                Some(TrianaData::Spectrum { df_hz, power }) => spectrum_snr(power, *df_hz, FREQ_HZ),
                 _ => 0.0,
             };
             SnrPoint { iterations, snr }

@@ -84,16 +84,16 @@ pub fn report() -> String {
                 p.xml_bytes.to_string(),
                 p.module_bytes.to_string(),
                 p.chunk_bytes.to_string(),
-                table::f(p.xml_bytes as f64 / (p.module_bytes + p.chunk_bytes as usize) as f64 * 100.0, 3),
+                table::f(
+                    p.xml_bytes as f64 / (p.module_bytes + p.chunk_bytes as usize) as f64 * 100.0,
+                    3,
+                ),
             ]
         })
         .collect();
     format!(
         "E2  Task-graph transmission overhead (paper: \"limited overhead\")\n\n{}",
-        table::render(
-            &["tasks", "xml B", "modules B", "chunk B", "xml %"],
-            &rows
-        )
+        table::render(&["tasks", "xml B", "modules B", "chunk B", "xml %"], &rows)
     )
 }
 

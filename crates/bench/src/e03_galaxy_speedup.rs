@@ -24,7 +24,7 @@ use netsim::avail::AvailabilityTrace;
 use netsim::{HostSpec, SimTime};
 use p2p::DiscoveryMode;
 use std::time::Instant;
-use toolbox::galaxy::{synthesize_snapshots, render_column_density, RenderFrame, View};
+use toolbox::galaxy::{render_column_density, synthesize_snapshots, RenderFrame, View};
 use triana_core::data::TrianaData;
 use triana_core::grid::farm::{run_farm, FarmConfig, FarmScheduler, JobSpec};
 use triana_core::grid::{GridWorld, WorkerSetup};
@@ -202,10 +202,7 @@ mod tests {
         // efficiency at 8 peers (the paper notes the data "could be copied
         // beforehand and distributed in a parallel way also").
         assert!(pts[2].speedup > 4.5, "8 peers: {}", pts[2].speedup);
-        assert!(
-            pts[2].speedup > pts[1].speedup,
-            "more peers, more speedup"
-        );
+        assert!(pts[2].speedup > pts[1].speedup, "more peers, more speedup");
     }
 
     #[test]

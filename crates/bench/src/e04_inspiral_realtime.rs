@@ -73,10 +73,7 @@ pub fn simulate(workers: usize, availability: f64, chunks: u64, seed: u64) -> Si
         &world,
         ctrl,
         FarmConfig {
-            checkpoint: Some(CheckpointPolicy::every(
-                Duration::from_secs(900),
-                2 << 20,
-            )),
+            checkpoint: Some(CheckpointPolicy::every(Duration::from_secs(900), 2 << 20)),
         },
     );
     let mut rng = world.sim.stream(0xE4);
@@ -191,10 +188,7 @@ pub fn report() -> String {
          (a) paper arithmetic (2 GHz PCs; paper: 5 h/chunk, 20 PCs at 5 000 templates)\n{}\n\
          (b) streaming grid simulation (30 chunks, 15-min checkpoints, churn sweep)\n{}",
         table::render(&["templates", "h/chunk", "PCs"], &s_rows),
-        table::render(
-            &["avail", "min PCs", "max lag h", "wasted h"],
-            &d_rows
-        )
+        table::render(&["avail", "min PCs", "max lag h", "wasted h"], &d_rows)
     )
 }
 

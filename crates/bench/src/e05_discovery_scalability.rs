@@ -15,10 +15,10 @@
 
 use crate::table;
 use netsim::{HostSpec, Pcg32, SimTime};
-use p2p::advert::{AdvertBody, PeerAdvert};
-use p2p::{Advertisement, DiscoveryMode, P2p, PeerId, QueryKind};
 use netsim::{Network, Sim};
+use p2p::advert::{AdvertBody, PeerAdvert};
 use p2p::P2pEvent;
+use p2p::{Advertisement, DiscoveryMode, P2p, PeerId, QueryKind};
 
 /// One measured point.
 #[derive(Clone, Copy, Debug)]
@@ -126,7 +126,14 @@ pub fn report() -> String {
     format!(
         "E5  Discovery scalability: flooding vs rendezvous (ttl=10, degree 4, 5% providers)\n\n{}",
         table::render(
-            &["peers", "mode", "msgs/query", "visited", "found", "1st hit ms"],
+            &[
+                "peers",
+                "mode",
+                "msgs/query",
+                "visited",
+                "found",
+                "1st hit ms"
+            ],
             &rows
         )
     )

@@ -54,10 +54,7 @@ pub fn report() -> String {
     format!(
         "E7  Volunteer aggregate over {SETI_WALL_YEARS} wall-years \
          (paper/SETI: {SETI_USERS} users -> {SETI_CPU_YEARS:.0} CPU-years)\n\n{}",
-        table::render(
-            &["users", "cpu-years", "2GHz-PC-years", "uptime %"],
-            &rows
-        )
+        table::render(&["users", "cpu-years", "2GHz-PC-years", "uptime %"], &rows)
     )
 }
 

@@ -189,7 +189,14 @@ pub fn report() -> String {
         "E8  On-demand code download ({m} modules, {jobs} jobs, 1 worker)\n\n{}\n\
          version bump: {} B fetched for v1 (two jobs, one download), {} B after v2 republish\n",
         table::render(
-            &["strategy", "cache B", "fetched B", "peak res B", "evict", "hit rate"],
+            &[
+                "strategy",
+                "cache B",
+                "fetched B",
+                "peak res B",
+                "evict",
+                "hit rate"
+            ],
             &rows
         ),
         v_before,

@@ -18,4 +18,5 @@ pub mod e09_admin_cost;
 pub mod e10_checkpointing;
 pub mod e11_service_pipeline;
 pub mod e12_redundancy;
+pub mod smoke;
 pub mod table;

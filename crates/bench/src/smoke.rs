@@ -1,0 +1,258 @@
+//! Observability smoke scenario: one small, fully seeded run that touches
+//! every instrumented subsystem — the local engine, the farm (with worker
+//! churn and on-demand modules), P2P discovery, the TVM sandbox (including
+//! a budget violation), and the XML dialect — all feeding a single shared
+//! [`obs::Obs`] registry.
+//!
+//! The scenario is deterministic end to end: identical seeds produce a
+//! byte-identical `snapshot_json()`. CI runs it via `repro --quick
+//! --metrics-out <file>` and archives the snapshot, so a regression that
+//! silently changes dispatch counts, discovery traffic, or sandbox
+//! metering shows up as a diff in the artifact.
+
+use netsim::avail::AvailabilityTrace;
+use netsim::{HostSpec, Pcg32, SimTime};
+use obs::Obs;
+use p2p::advert::{AdvertBody, PeerAdvert};
+use p2p::{Advertisement, DiscoveryMode, QueryKind};
+use toolbox::standard_registry;
+use triana_core::grid::farm::{run_farm, FarmConfig, FarmScheduler, JobSpec};
+use triana_core::grid::{GridWorld, WorkerSetup};
+use triana_core::unit::Params;
+use triana_core::{run_graph_obs, EngineConfig, TaskGraph};
+use tvm::asm::assemble;
+use tvm::SandboxPolicy;
+
+const SEED: u64 = 0x5E11;
+
+/// The Figure 1 signal chain used by the engine and XML stages.
+fn figure1() -> TaskGraph {
+    let reg = standard_registry();
+    let mut g = TaskGraph::new("Smoke");
+    let wave = g.add_task(&reg, "Wave", "wave", Params::new()).unwrap();
+    let noise = g
+        .add_task(&reg, "GaussianNoise", "noise", Params::new())
+        .unwrap();
+    let ps = g
+        .add_task(&reg, "PowerSpectrum", "pspec", Params::new())
+        .unwrap();
+    let acc = g
+        .add_task(&reg, "AccumStat", "accum", Params::new())
+        .unwrap();
+    g.connect(wave, 0, noise, 0).unwrap();
+    g.connect(noise, 0, ps, 0).unwrap();
+    g.connect(ps, 0, acc, 0).unwrap();
+    g
+}
+
+fn engine_stage(observer: &Obs) {
+    let reg = standard_registry();
+    // XML round-trip first so the parse feeds the same registry.
+    let g = figure1();
+    let xml = taskgraph_xml::to_xml(&g);
+    let parsed = taskgraph_xml::from_xml_obs(&xml, observer).expect("round-trip");
+    // Sequential so the queue-depth histogram is populated (it is
+    // interleaving-dependent and therefore skipped in threaded mode).
+    run_graph_obs(
+        &parsed,
+        &reg,
+        &EngineConfig {
+            iterations: 3,
+            threaded: false,
+        },
+        observer,
+    )
+    .expect("engine run");
+}
+
+fn farm_stage(observer: &Obs) {
+    let mut world = GridWorld::new(SEED, DiscoveryMode::Flooding);
+    world.net.set_obs(observer.clone());
+    let (ctrl, _) = world.add_peer(HostSpec::lan_workstation());
+    let mut farm = FarmScheduler::new(&world, ctrl, FarmConfig::default());
+    farm.set_obs(observer.clone());
+    let horizon = SimTime::from_secs(1_000_000);
+    for i in 0..3u64 {
+        let spec = HostSpec::lan_workstation();
+        let (peer, _) = world.add_peer(spec.clone());
+        // Worker 2 goes down mid-run, forcing a migration/retry.
+        let trace = if i == 2 {
+            AvailabilityTrace::from_intervals(vec![(SimTime::ZERO, SimTime::from_secs(4))], horizon)
+        } else {
+            AvailabilityTrace::always(horizon)
+        };
+        farm.add_worker(
+            &mut world,
+            WorkerSetup {
+                peer,
+                spec,
+                trace,
+                cache_bytes: 64 << 10,
+            },
+        );
+    }
+    let modules = crate::e08_code_on_demand::module_set(3);
+    for (k, b) in &modules {
+        farm.library.publish(k.clone(), b.clone());
+    }
+    let mut rng = Pcg32::new(SEED, 0xFA);
+    for _ in 0..12 {
+        let which = rng.below(modules.len() as u64) as usize;
+        farm.submit(
+            &mut world.sim,
+            &mut world.net,
+            JobSpec {
+                work_gigacycles: 2.0,
+                input_bytes: 10_000,
+                output_bytes: 2_000,
+                module: Some(modules[which].0.clone()),
+            },
+        );
+    }
+    run_farm(&mut world, &mut farm);
+    assert!(farm.all_done(), "smoke farm must drain");
+}
+
+fn discovery_stage(observer: &Obs) {
+    let mut sim: netsim::Sim<p2p::P2pEvent> = netsim::Sim::new(SEED);
+    let mut net = netsim::Network::new();
+    net.set_obs(observer.clone());
+    let mut overlay = p2p::P2p::new(DiscoveryMode::Rendezvous);
+    overlay.set_obs(observer.clone());
+    let mut rng = Pcg32::new(SEED, 0xD1);
+    let peers: Vec<_> = (0..24)
+        .map(|_| {
+            let h = net.add_host(HostSpec::sample_consumer(&mut rng));
+            overlay.add_peer(h)
+        })
+        .collect();
+    overlay.wire_random(4, &mut rng);
+    overlay.assign_rendezvous(5, &mut rng);
+    let expires = SimTime::from_secs(24 * 3600);
+    for &peer in peers.iter().take(3) {
+        let spec = net.spec(overlay.host_of(peer)).clone();
+        let ad = Advertisement {
+            body: AdvertBody::Peer(PeerAdvert {
+                peer,
+                cpu_ghz: spec.cpu_ghz,
+                free_ram_mib: spec.ram_mib,
+                services: vec!["triana".into()],
+            }),
+            expires,
+        };
+        overlay.publish(&mut sim, &mut net, peer, ad);
+    }
+    while let Some(ev) = sim.step() {
+        overlay.handle(&mut sim, &mut net, ev);
+    }
+    overlay.query(
+        &mut sim,
+        &mut net,
+        peers[10],
+        QueryKind::ByService("triana".into()),
+        4,
+    );
+    while let Some(ev) = sim.step() {
+        overlay.handle(&mut sim, &mut net, ev);
+    }
+}
+
+fn tvm_stage(observer: &Obs) {
+    let doubler = assemble(
+        ".module Doubler 1 0 1\n.func main 0\n push 21\n push 2\n mul\n outpush 0\n halt\n",
+    )
+    .expect("assembles");
+    let (out, _) = tvm::execute_obs(&doubler, &[], &SandboxPolicy::standard(), observer)
+        .expect("doubler runs");
+    assert_eq!(out[0], vec![42.0]);
+    // A hostile spin loop trips the instruction budget.
+    let spin = assemble(".module Spin 1 0 0\n.func main 0\nloop:\n jmp loop\n").expect("assembles");
+    let tight = SandboxPolicy {
+        max_instructions: 500,
+        ..SandboxPolicy::standard()
+    };
+    let err = tvm::execute_obs(&spin, &[], &tight, observer).expect_err("budget must trip");
+    assert_eq!(err, tvm::TvmError::BudgetExceeded);
+}
+
+/// Run the full smoke scenario into `observer` (which must be enabled for
+/// the snapshot to exist, but a disabled handle still exercises every
+/// subsystem).
+pub fn run(observer: &Obs) {
+    engine_stage(observer);
+    farm_stage(observer);
+    discovery_stage(observer);
+    tvm_stage(observer);
+}
+
+/// Human-readable report over the counters the scenario is expected to move.
+pub fn report() -> String {
+    let observer = Obs::enabled();
+    run(&observer);
+    report_with(&observer)
+}
+
+/// Render the report from an observer that [`run`] already populated.
+pub fn report_with(observer: &Obs) -> String {
+    let reg = observer.registry().expect("enabled");
+    let mut out = String::from("## Observability smoke (seeded, deterministic)\n\n");
+    for key in [
+        "engine.runs",
+        "engine.tokens_emitted",
+        "farm.dispatches",
+        "farm.completions",
+        "farm.retries",
+        "farm.module_cache_hits",
+        "farm.module_cache_misses",
+        "p2p.messages_sent",
+        "p2p.query_hits",
+        "tvm.executions",
+        "tvm.violations.budget",
+        "net.transfers",
+        "xml.parses",
+    ] {
+        out.push_str(&format!("{key:<28} {}\n", reg.counter_value(key)));
+    }
+    out.push_str(&format!(
+        "events recorded              {}\n",
+        reg.event_count()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_moves_every_subsystem_counter() {
+        let observer = Obs::enabled();
+        run(&observer);
+        let reg = observer.registry().unwrap();
+        for key in [
+            "engine.runs",
+            "engine.tokens_emitted",
+            "farm.dispatches",
+            "farm.completions",
+            "farm.module_cache_misses",
+            "p2p.messages_sent",
+            "p2p.advert_cache_inserts",
+            "tvm.executions",
+            "tvm.violations.budget",
+            "net.transfers",
+            "xml.parses",
+        ] {
+            assert!(reg.counter_value(key) > 0, "counter {key} never moved");
+        }
+        assert!(reg.event_count() > 0, "events must be recorded");
+    }
+
+    #[test]
+    fn smoke_snapshot_is_deterministic() {
+        let a = Obs::enabled();
+        run(&a);
+        let b = Obs::enabled();
+        run(&b);
+        assert_eq!(a.snapshot_json().unwrap(), b.snapshot_json().unwrap());
+    }
+}

@@ -1,0 +1,66 @@
+//! End-to-end determinism of the CI smoke artifact: two `repro --quick`
+//! invocations in separate processes must produce byte-identical metrics
+//! snapshots, and the snapshot must be valid JSON with the counters CI
+//! diffs against.
+
+use std::process::Command;
+
+fn run_quick(out: &std::path::Path) -> String {
+    let status = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--quick", "--metrics-out", out.to_str().expect("utf8 path")])
+        .output()
+        .expect("repro runs");
+    assert!(
+        status.status.success(),
+        "repro --quick failed: {}",
+        String::from_utf8_lossy(&status.stderr)
+    );
+    std::fs::read_to_string(out).expect("metrics file written")
+}
+
+#[test]
+fn quick_metrics_snapshot_is_byte_identical_across_processes() {
+    let dir = std::env::temp_dir().join("repro_metrics_determinism");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let a = run_quick(&dir.join("a.json"));
+    let b = run_quick(&dir.join("b.json"));
+    assert_eq!(a, b, "same-seed smoke runs must be byte-identical");
+
+    let doc = obs::json::parse(&a).expect("valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some("triana-obs/1")
+    );
+    let counters = doc
+        .get("counters")
+        .and_then(|v| v.as_object())
+        .expect("counters");
+    for key in [
+        "engine.runs",
+        "farm.dispatches",
+        "farm.completions",
+        "p2p.messages_sent",
+        "tvm.violations.budget",
+        "net.transfers",
+        "xml.parses",
+    ] {
+        let v = counters
+            .get(key)
+            .and_then(|v| v.as_u64())
+            .unwrap_or_else(|| panic!("counter {key} missing"));
+        assert!(v > 0, "counter {key} is zero");
+    }
+    let events = doc
+        .get("events")
+        .and_then(|v| v.as_array())
+        .expect("events");
+    assert!(!events.is_empty(), "events must be recorded");
+    // Event timestamps are virtual (netsim) time, monotone per subsystem run.
+    for ev in events {
+        assert!(
+            ev.get("t").and_then(|v| v.as_u64()).is_some(),
+            "virtual timestamp"
+        );
+        assert!(ev.get("kind").and_then(|v| v.as_str()).is_some());
+    }
+}

@@ -188,9 +188,7 @@ impl TrianaData {
             TrianaData::Text(s) => 16 + s.len() as u64,
             TrianaData::SampleSet { samples, .. } => 24 + 4 * samples.len() as u64,
             TrianaData::Spectrum { power, .. } => 24 + 4 * power.len() as u64,
-            TrianaData::ComplexSpectrum { re, im, .. } => {
-                24 + 4 * (re.len() + im.len()) as u64
-            }
+            TrianaData::ComplexSpectrum { re, im, .. } => 24 + 4 * (re.len() + im.len()) as u64,
             TrianaData::ImageFrame { pixels, .. } => 24 + 4 * pixels.len() as u64,
             // pos(3) + mass + smoothing = 5 floats of 4 bytes per particle
             TrianaData::Particles(p) => 32 + 20 * p.len() as u64,

@@ -12,14 +12,19 @@ use crate::data::TrianaData;
 use crate::graph::{GraphError, TaskGraph, TaskId};
 use crate::unit::{Unit, UnitError, UnitRegistry};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use obs::Obs;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::time::Instant;
 
 /// Engine failure.
 #[derive(Clone, Debug, PartialEq)]
 pub enum EngineError {
     Graph(GraphError),
-    Unit { task: TaskId, error: UnitError },
+    Unit {
+        task: TaskId,
+        error: UnitError,
+    },
     /// A worker thread disappeared without reporting (channel torn down).
     Internal(String),
 }
@@ -92,6 +97,19 @@ pub fn run_graph(
     registry: &UnitRegistry,
     config: &EngineConfig,
 ) -> Result<RunResult, EngineError> {
+    run_graph_obs(graph, registry, config, &Obs::disabled())
+}
+
+/// [`run_graph`] with observability. With a recording handle the engine
+/// counts per-task fires, token traffic and (in sequential mode) cable
+/// queue depths; per-task fire counters are sums, so threaded runs report
+/// the same values as sequential ones regardless of interleaving.
+pub fn run_graph_obs(
+    graph: &TaskGraph,
+    registry: &UnitRegistry,
+    config: &EngineConfig,
+    observer: &Obs,
+) -> Result<RunResult, EngineError> {
     graph.validate()?;
     graph.typecheck(registry)?;
     let mut units: Vec<Box<dyn Unit>> = Vec::with_capacity(graph.tasks.len());
@@ -99,16 +117,35 @@ pub fn run_graph(
         units.push(
             registry
                 .create(&t.unit_type, &t.params)
-                .map_err(|error| EngineError::Unit {
-                    task: t.id,
-                    error,
-                })?,
+                .map_err(|error| EngineError::Unit { task: t.id, error })?,
         );
     }
-    if config.threaded {
-        run_threaded(graph, units, config.iterations)
+    observer.incr("engine.runs");
+    observer.add("engine.iterations", config.iterations as u64);
+    observer.gauge("engine.tasks", graph.tasks.len() as i64);
+    observer.gauge("engine.cables", graph.cables.len() as i64);
+    let started = Instant::now();
+    let result = if config.threaded {
+        run_threaded(graph, units, config.iterations, observer)
     } else {
-        run_sequential(graph, units, config.iterations)
+        run_sequential(graph, units, config.iterations, observer)
+    };
+    // Wall-clock duration is host-dependent: volatile section only.
+    observer.volatile("engine.wall_secs", started.elapsed().as_secs_f64());
+    result
+}
+
+/// Flush per-task fire counts accumulated locally (so the disabled path
+/// never formats counter names and the enabled path locks once per task,
+/// not once per fire).
+fn flush_fires(observer: &Obs, graph: &TaskGraph, fires: &[u64]) {
+    if !observer.is_enabled() {
+        return;
+    }
+    for (task, &n) in graph.tasks.iter().zip(fires) {
+        if n > 0 {
+            observer.add(&format!("engine.fire.{}", task.name), n);
+        }
     }
 }
 
@@ -116,10 +153,13 @@ fn run_sequential(
     graph: &TaskGraph,
     mut units: Vec<Box<dyn Unit>>,
     iterations: usize,
+    observer: &Obs,
 ) -> Result<RunResult, EngineError> {
     let order = graph.topo_order()?;
     let mut result = RunResult::default();
     let collect_ports = graph.unconnected_outputs();
+    let mut fires = vec![0u64; graph.tasks.len()];
+    let mut tokens_emitted = 0u64;
     // One FIFO per cable.
     let mut queues: BTreeMap<(TaskId, usize, TaskId, usize), Vec<TrianaData>> = BTreeMap::new();
     for _ in 0..iterations {
@@ -135,6 +175,7 @@ fn run_sequential(
             let outputs = units[tid.0 as usize]
                 .process(inputs)
                 .map_err(|error| EngineError::Unit { task: tid, error })?;
+            fires[tid.0 as usize] += 1;
             if outputs.len() != task.n_out {
                 return Err(EngineError::Unit {
                     task: tid,
@@ -145,6 +186,7 @@ fn run_sequential(
                 });
             }
             for (port, token) in outputs.into_iter().enumerate() {
+                tokens_emitted += 1;
                 let consumers: Vec<_> = graph
                     .out_cables(tid)
                     .into_iter()
@@ -154,10 +196,16 @@ fn run_sequential(
                     result.outputs.entry((tid, port)).or_default().push(token);
                 } else {
                     for c in consumers {
-                        queues
+                        let q = queues
                             .entry((c.from.0, c.from.1, c.to.0, c.to.1))
-                            .or_default()
-                            .push(token.clone());
+                            .or_default();
+                        q.push(token.clone());
+                        if observer.is_enabled() {
+                            // Depth at enqueue time; only meaningful (and
+                            // deterministic) in sequential mode.
+                            observer.observe("engine.queue_depth", q.len() as u64);
+                            observer.gauge_max("engine.queue_peak", q.len() as i64);
+                        }
                     }
                 }
             }
@@ -166,6 +214,8 @@ fn run_sequential(
     for (t, p) in collect_ports {
         result.outputs.entry((t, p)).or_default();
     }
+    flush_fires(observer, graph, &fires);
+    observer.add("engine.tokens_emitted", tokens_emitted);
     Ok(result)
 }
 
@@ -173,6 +223,7 @@ fn run_threaded(
     graph: &TaskGraph,
     units: Vec<Box<dyn Unit>>,
     iterations: usize,
+    observer: &Obs,
 ) -> Result<RunResult, EngineError> {
     // Channel per cable; collector channel per unconnected output port.
     let mut senders: BTreeMap<TaskId, Vec<(usize, Sender<TrianaData>)>> = BTreeMap::new();
@@ -195,27 +246,45 @@ fn run_threaded(
         for (tid, mut unit) in graph.tasks.iter().map(|t| t.id).zip(units) {
             let task = graph.task(tid).expect("validated");
             let n_out = task.n_out;
+            let task_name = task.name.as_str();
             let mut my_rx = receivers.remove(&tid).unwrap_or_default();
             my_rx.sort_by_key(|(p, _)| *p);
             let my_tx = senders.remove(&tid).unwrap_or_default();
             let err_tx = err_tx.clone();
+            let observer = observer.clone();
             scope.spawn(move || {
+                // Count locally, publish once at thread exit: totals are
+                // interleaving-independent sums, so threaded runs match
+                // sequential ones.
+                let mut fired = 0u64;
+                let mut emitted = 0u64;
+                let flush = |fired: u64, emitted: u64| {
+                    if observer.is_enabled() && fired > 0 {
+                        observer.add(&format!("engine.fire.{task_name}"), fired);
+                        observer.add("engine.tokens_emitted", emitted);
+                    }
+                };
                 for _iter in 0..iterations {
                     let mut inputs = Vec::with_capacity(my_rx.len());
                     for (_, rx) in &my_rx {
                         match rx.recv() {
                             Ok(tok) => inputs.push(tok),
                             // Upstream stopped early (error path): stop too.
-                            Err(_) => return,
+                            Err(_) => {
+                                flush(fired, emitted);
+                                return;
+                            }
                         }
                     }
                     let outputs = match unit.process(inputs) {
                         Ok(o) => o,
                         Err(error) => {
                             let _ = err_tx.send(EngineError::Unit { task: tid, error });
+                            flush(fired, emitted);
                             return;
                         }
                     };
+                    fired += 1;
                     if outputs.len() != n_out {
                         let _ = err_tx.send(EngineError::Unit {
                             task: tid,
@@ -224,20 +293,24 @@ fn run_threaded(
                                 got: outputs.len(),
                             },
                         });
+                        flush(fired, emitted);
                         return;
                     }
                     for (port, token) in outputs.into_iter().enumerate() {
+                        emitted += 1;
                         for (p, tx) in &my_tx {
                             if *p == port {
                                 // A closed downstream means an error was
                                 // reported there; just stop quietly.
                                 if tx.send(token.clone()).is_err() {
+                                    flush(fired, emitted);
                                     return;
                                 }
                             }
                         }
                     }
                 }
+                flush(fired, emitted);
             });
         }
         drop(err_tx);
@@ -394,10 +467,7 @@ mod tests {
                 fn output_types(&self) -> Vec<crate::data::DataType> {
                     vec![crate::data::DataType::Scalar]
                 }
-                fn process(
-                    &mut self,
-                    _i: Vec<TrianaData>,
-                ) -> Result<Vec<TrianaData>, UnitError> {
+                fn process(&mut self, _i: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
                     Err(UnitError::Runtime("boom".into()))
                 }
             }
@@ -469,6 +539,54 @@ mod tests {
         )
         .unwrap();
         assert_eq!(scalars(r.of(&g, "c")), vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn obs_counts_fires_identically_in_both_modes() {
+        let count = |threaded: bool| {
+            let (g, reg) = diamond();
+            let observer = Obs::enabled();
+            run_graph_obs(
+                &g,
+                &reg,
+                &EngineConfig {
+                    iterations: 7,
+                    threaded,
+                },
+                &observer,
+            )
+            .unwrap();
+            let r = observer.registry().unwrap().clone();
+            (
+                r.counter_value("engine.fire.c"),
+                r.counter_value("engine.fire.add"),
+                r.counter_value("engine.tokens_emitted"),
+            )
+        };
+        let seq = count(false);
+        let par = count(true);
+        assert_eq!(seq, (7, 7, 28));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn obs_queue_depth_recorded_sequentially() {
+        let (g, reg) = diamond();
+        let observer = Obs::enabled();
+        run_graph_obs(
+            &g,
+            &reg,
+            &EngineConfig {
+                iterations: 3,
+                threaded: false,
+            },
+            &observer,
+        )
+        .unwrap();
+        let r = observer.registry().unwrap();
+        assert_eq!(r.gauge_value("engine.queue_peak"), Some(1));
+        assert_eq!(r.counter_value("engine.runs"), 1);
+        assert_eq!(r.counter_value("engine.iterations"), 3);
     }
 
     #[test]

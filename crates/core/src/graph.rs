@@ -76,11 +76,22 @@ pub enum GraphError {
         port: usize,
         is_input: bool,
     },
-    InputAlreadyDriven { task: TaskId, port: usize },
-    InputUnconnected { task: TaskId, port: usize },
+    InputAlreadyDriven {
+        task: TaskId,
+        port: usize,
+    },
+    InputUnconnected {
+        task: TaskId,
+        port: usize,
+    },
     Cycle,
-    GroupMemberMissing { group: String, task: TaskId },
-    OverlappingGroups { task: TaskId },
+    GroupMemberMissing {
+        group: String,
+        task: TaskId,
+    },
+    OverlappingGroups {
+        task: TaskId,
+    },
     EmptyGroup(String),
     Unit(UnitError),
 }
@@ -592,8 +603,20 @@ mod tests {
             .add_group("GroupTask", vec![ga, ff], DistributionPolicy::Parallel)
             .unwrap();
         let (inc, out) = g.group_boundary(gid);
-        assert_eq!(inc, vec![Cable { from: (w, 0), to: (ga, 0) }]);
-        assert_eq!(out, vec![Cable { from: (ff, 0), to: (gr, 0) }]);
+        assert_eq!(
+            inc,
+            vec![Cable {
+                from: (w, 0),
+                to: (ga, 0)
+            }]
+        );
+        assert_eq!(
+            out,
+            vec![Cable {
+                from: (ff, 0),
+                to: (gr, 0)
+            }]
+        );
         assert_eq!(
             g.group_internal_cables(gid),
             vec![Cable {

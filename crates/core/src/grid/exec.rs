@@ -16,6 +16,7 @@
 //! have arrived back at the controller.
 
 use netsim::{Duration, SimTime};
+use obs::Obs;
 
 use crate::data::TrianaData;
 use crate::graph::{GraphError, GroupId, TaskGraph, TaskId};
@@ -50,9 +51,14 @@ pub enum ExecError {
     Unit(UnitError),
     /// The group must have exactly one incoming boundary cable to accept a
     /// token stream.
-    BadBoundary { incoming: usize },
+    BadBoundary {
+        incoming: usize,
+    },
     /// The simulation ended before every token completed.
-    Incomplete { done: usize, total: usize },
+    Incomplete {
+        done: usize,
+        total: usize,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -162,6 +168,33 @@ pub fn execute_group_parallel(
     tokens: Vec<TrianaData>,
     cfg: FarmConfig,
 ) -> Result<GroupRun, ExecError> {
+    execute_group_parallel_obs(
+        world,
+        graph,
+        registry,
+        gid,
+        controller,
+        workers,
+        tokens,
+        cfg,
+        &Obs::disabled(),
+    )
+}
+
+/// [`execute_group_parallel`] with observability: the graph rewrite is
+/// counted, and the driving farm scheduler records through the same handle.
+#[allow(clippy::too_many_arguments)] // same seam as the uninstrumented variant
+pub fn execute_group_parallel_obs(
+    world: &mut GridWorld,
+    graph: &TaskGraph,
+    registry: &UnitRegistry,
+    gid: GroupId,
+    controller: p2p::PeerId,
+    workers: Vec<WorkerSetup>,
+    tokens: Vec<TrianaData>,
+    cfg: FarmConfig,
+    observer: &Obs,
+) -> Result<GroupRun, ExecError> {
     graph.validate().map_err(PlanError::from)?;
     let (incoming, _) = graph.group_boundary(gid);
     if incoming.len() != 1 {
@@ -172,6 +205,9 @@ pub fn execute_group_parallel(
     let entry = incoming[0].to;
     let peers: Vec<p2p::PeerId> = workers.iter().map(|w| w.peer).collect();
     let plan = plan_parallel(graph, gid, &peers)?;
+    observer.incr("exec.rewrites");
+    observer.add("exec.rewrite_clones", plan.assignments.len() as u64);
+    observer.add("exec.tokens_submitted", tokens.len() as u64);
 
     // Real results, computed up front (clone semantics: stateless).
     let mut outputs = Vec::with_capacity(tokens.len());
@@ -181,6 +217,7 @@ pub fn execute_group_parallel(
 
     // Simulated timing via the farm.
     let mut farm = FarmScheduler::new(world, controller, cfg);
+    farm.set_obs(observer.clone());
     for w in workers {
         farm.add_worker(world, w);
     }
@@ -235,6 +272,32 @@ pub fn execute_group_pipeline(
     stage_peers: &[p2p::PeerId],
     tokens: Vec<TrianaData>,
 ) -> Result<GroupRun, ExecError> {
+    execute_group_pipeline_obs(
+        world,
+        graph,
+        registry,
+        gid,
+        controller,
+        stage_peers,
+        tokens,
+        &Obs::disabled(),
+    )
+}
+
+/// [`execute_group_pipeline`] with observability: the graph rewrite is
+/// counted, and the driving pipeline scheduler records through the same
+/// handle.
+#[allow(clippy::too_many_arguments)] // same seam as the uninstrumented variant
+pub fn execute_group_pipeline_obs(
+    world: &mut GridWorld,
+    graph: &TaskGraph,
+    registry: &UnitRegistry,
+    gid: GroupId,
+    controller: p2p::PeerId,
+    stage_peers: &[p2p::PeerId],
+    tokens: Vec<TrianaData>,
+    observer: &Obs,
+) -> Result<GroupRun, ExecError> {
     use crate::grid::pipeline::{run_pipeline, PipelineScheduler, StageSpec};
     use crate::rewrite::plan_peer_to_peer;
 
@@ -247,6 +310,9 @@ pub fn execute_group_pipeline(
     }
     let entry = incoming[0].to;
     let plan = plan_peer_to_peer(graph, gid, stage_peers)?;
+    observer.incr("exec.rewrites");
+    observer.add("exec.rewrite_stages", plan.assignments.len() as u64);
+    observer.add("exec.tokens_submitted", tokens.len() as u64);
 
     // Real results, token by token (chain semantics are per-token).
     let mut outputs = Vec::with_capacity(tokens.len());
@@ -280,6 +346,7 @@ pub fn execute_group_pipeline(
         stages,
         token_bytes,
     );
+    pl.set_obs(observer.clone());
     pl.emit_tokens(&mut world.sim, tokens.len() as u64, netsim::Duration::ZERO);
     run_pipeline(world, &mut pl);
 
@@ -443,8 +510,7 @@ mod tests {
             let mut world = GridWorld::new(63, DiscoveryMode::Flooding);
             let (ctrl, _) = world.add_peer(HostSpec::lan_workstation());
             let workers = lan_workers(&mut world, k);
-            let tokens: Vec<TrianaData> =
-                (0..12).map(|i| TrianaData::Scalar(i as f64)).collect();
+            let tokens: Vec<TrianaData> = (0..12).map(|i| TrianaData::Scalar(i as f64)).collect();
             execute_group_parallel(
                 &mut world,
                 &g,
@@ -548,8 +614,8 @@ mod pipeline_exec_tests {
             .map(|_| world.add_peer(HostSpec::lan_workstation()).0)
             .collect();
         let tokens: Vec<TrianaData> = (0..6).map(|i| TrianaData::Scalar(i as f64)).collect();
-        let run = execute_group_pipeline(&mut world, &g, &reg, gid, ctrl, &stage_peers, tokens)
-            .unwrap();
+        let run =
+            execute_group_pipeline(&mut world, &g, &reg, gid, ctrl, &stage_peers, tokens).unwrap();
         assert_eq!(run.tokens.len(), 6);
         for (i, tr) in run.tokens.iter().enumerate() {
             assert_eq!(&&tr.outputs[0], &expected[i], "token {i}: 21*i expected");
@@ -584,7 +650,9 @@ mod pipeline_exec_tests {
         );
         assert!(matches!(
             r,
-            Err(ExecError::Plan(crate::rewrite::PlanError::NotEnoughPeers { .. }))
+            Err(ExecError::Plan(
+                crate::rewrite::PlanError::NotEnoughPeers { .. }
+            ))
         ));
     }
 }

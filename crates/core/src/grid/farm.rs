@@ -13,6 +13,7 @@ use std::collections::VecDeque;
 
 use netsim::avail::AvailabilityTrace;
 use netsim::{Duration, HostId, HostSpec, Network, Sim, SimTime};
+use obs::Obs;
 use p2p::PeerId;
 
 use resources::account::{BillingLedger, UsageRecord, VirtualAccount};
@@ -130,6 +131,7 @@ pub struct FarmScheduler {
     pub chunk_spec: Option<JobSpec>,
     /// The submitting user's virtual account, billed on every worker.
     pub account: VirtualAccount,
+    obs: Obs,
 }
 
 impl FarmScheduler {
@@ -144,7 +146,14 @@ impl FarmScheduler {
             library: ModuleLibrary::new(),
             chunk_spec: None,
             account: VirtualAccount("controller".to_string()),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attach an observability handle; dispatches, retries, completions,
+    /// module-cache traffic and worker churn are recorded through it.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Enrol a single-slot worker (an ordinary volunteer PC).
@@ -246,9 +255,7 @@ impl FarmScheduler {
                     if w.up && w.active < w.capacity && self.eligible(job_id, wid) {
                         let better = match candidate {
                             None => true,
-                            Some(c) => {
-                                w.spec.cpu_ghz > self.workers[c.0 as usize].spec.cpu_ghz
-                            }
+                            Some(c) => w.spec.cpu_ghz > self.workers[c.0 as usize].spec.cpu_ghz,
                         };
                         if better {
                             candidate = Some(wid);
@@ -283,9 +290,23 @@ impl FarmScheduler {
             Some(key) => self.workers[wid.0 as usize].cache.get(key).is_none(),
             None => false,
         };
+        if module_key.is_some() {
+            self.obs.incr(if needs_module {
+                "farm.module_cache_misses"
+            } else {
+                "farm.module_cache_hits"
+            });
+        }
+        self.obs.incr("farm.dispatches");
+        self.obs.event(sim.now().as_micros(), "farm.dispatch", || {
+            format!("job={} worker={}", job_id.0, wid.0)
+        });
         let job = &mut self.jobs[job_id.0 as usize];
         job.assigned = Some((wid, epoch));
         job.attempts += 1;
+        if job.attempts > 1 {
+            self.obs.incr("farm.retries");
+        }
         if needs_module {
             let key = module_key.expect("checked above");
             let bytes = self
@@ -294,6 +315,7 @@ impl FarmScheduler {
                 .map(|b| b.len() as u64)
                 .unwrap_or(0);
             self.jobs[job_id.0 as usize].state = JobState::FetchingModule;
+            self.obs.add("farm.module_bytes_sent", bytes);
             let dst = self.workers[wid.0 as usize].host;
             match net.transfer(sim.now(), self.controller_host, dst, bytes) {
                 Ok(delay) => sim.schedule(
@@ -374,9 +396,18 @@ impl FarmScheduler {
                 w.active = 0;
                 w.running.clear();
                 net.set_online(w.host, true);
+                self.obs.incr("farm.worker_up");
+                self.obs.event(sim.now().as_micros(), "farm.worker_up", || {
+                    format!("worker={}", wid.0)
+                });
                 self.dispatch(sim, net);
             }
             GridEvent::WorkerDown(wid) => {
+                self.obs.incr("farm.worker_down");
+                self.obs
+                    .event(sim.now().as_micros(), "farm.worker_down", || {
+                        format!("worker={}", wid.0)
+                    });
                 self.worker_down(sim.now(), net, wid);
                 self.dispatch(sim, net);
             }
@@ -457,6 +488,12 @@ impl FarmScheduler {
                     j.state = JobState::Done;
                     j.completed = Some(sim.now());
                     j.assigned = None;
+                    let latency = sim.now().since(j.created);
+                    self.obs.incr("farm.completions");
+                    self.obs.observe("farm.job_latency_us", latency.as_micros());
+                    self.obs.event(sim.now().as_micros(), "farm.complete", || {
+                        format!("job={} latency_us={}", job.0, latency.as_micros())
+                    });
                 }
             }
             GridEvent::ChunkArrives { .. } => {
@@ -504,6 +541,7 @@ impl FarmScheduler {
             j.state = JobState::Pending;
             j.assigned = None;
             self.pending.push_back(job_id);
+            self.obs.incr("farm.migrations");
         }
     }
 
@@ -647,17 +685,18 @@ mod tests {
     #[test]
     fn single_job_completes_with_transfer_and_compute_time() {
         let horizon = SimTime::from_secs(10_000);
-        let (mut world, mut farm) =
-            world_with_workers(1, FarmConfig::default(), |_, h, _| AvailabilityTrace::always(h), horizon);
+        let (mut world, mut farm) = world_with_workers(
+            1,
+            FarmConfig::default(),
+            |_, h, _| AvailabilityTrace::always(h),
+            horizon,
+        );
         let id = farm.submit(&mut world.sim, &mut world.net, job(20.0)); // 10 s at 2 GHz
         run_farm(&mut world, &mut farm);
         assert!(farm.all_done());
         let lat = farm.job_latency(id).unwrap();
         // 10 s compute + LAN transfers (~ms): latency in (10.0, 10.5).
-        assert!(
-            (10.0..10.5).contains(&lat.as_secs_f64()),
-            "latency {lat}"
-        );
+        assert!((10.0..10.5).contains(&lat.as_secs_f64()), "latency {lat}");
         assert_eq!(farm.stats().attempts, 1);
     }
 
@@ -727,7 +766,10 @@ mod tests {
             FarmConfig::default(),
             |i, h, _| {
                 if i == 0 {
-                    AvailabilityTrace::from_intervals(vec![(SimTime::ZERO, SimTime::from_secs(50))], h)
+                    AvailabilityTrace::from_intervals(
+                        vec![(SimTime::ZERO, SimTime::from_secs(50))],
+                        h,
+                    )
                 } else {
                     AvailabilityTrace::always(h)
                 }
@@ -742,7 +784,11 @@ mod tests {
         assert!(farm.all_done());
         let s = farm.stats();
         assert_eq!(s.jobs_done, 2);
-        assert!(s.attempts >= 3, "one migration expected, attempts={}", s.attempts);
+        assert!(
+            s.attempts >= 3,
+            "one migration expected, attempts={}",
+            s.attempts
+        );
         // Without checkpointing, ~50 s of work wasted.
         assert!(
             (45.0..55.0).contains(&s.wasted.as_secs_f64()),

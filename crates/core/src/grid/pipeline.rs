@@ -14,6 +14,7 @@
 
 use netsim::avail::AvailabilityTrace;
 use netsim::{Duration, HostSpec, Network, Sim, SimTime};
+use obs::Obs;
 use p2p::{Incoming, PeerId, PipeId};
 
 use crate::grid::{GridEvent, GridWorld, WorkerId};
@@ -126,6 +127,7 @@ pub struct PipelineScheduler {
     token_bytes: u64,
     tokens: Vec<TokenRecord>,
     name: String,
+    obs: Obs,
 }
 
 impl PipelineScheduler {
@@ -217,7 +219,14 @@ impl PipelineScheduler {
             token_bytes,
             tokens: Vec::new(),
             name: name.to_string(),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attach an observability handle; emissions, re-emissions, completed
+    /// tokens and end-to-end latency are recorded through it.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     pub fn name(&self) -> &str {
@@ -252,16 +261,26 @@ impl PipelineScheduler {
             rec.emitted = Some(sim.now());
         }
         rec.attempts_total += 1;
+        let attempt = rec.attempt;
         let full = tag(token, rec.attempt);
         let pipe = self.stages[0].in_pipe;
         let sent = p2p
             .send_pipe(sim, net, self.controller, pipe, full, self.token_bytes)
             .unwrap_or(false);
+        let rec = &mut self.tokens[token as usize];
         if sent {
             rec.position = Position::InTransitTo(0);
+            self.obs.incr("pipeline.emissions");
+            if attempt > 0 {
+                self.obs.incr("pipeline.reemissions");
+            }
+            self.obs.event(sim.now().as_micros(), "pipeline.emit", || {
+                format!("token={token} attempt={attempt}")
+            });
         } else {
             // Stage 0 is offline: park until it returns.
             rec.position = Position::Parked;
+            self.obs.incr("pipeline.parked");
         }
     }
 
@@ -326,21 +345,22 @@ impl PipelineScheduler {
                 if s >= self.stages.len() {
                     return;
                 }
+                self.obs.incr("pipeline.stage_down");
+                self.obs
+                    .event(sim.now().as_micros(), "pipeline.stage_down", || {
+                        format!("stage={s}")
+                    });
                 self.stages[s].up = false;
                 self.stages[s].busy = false;
                 self.stages[s].queue.clear();
-                net.set_online(
-                    p2p.host_of(self.stages[s].peer),
-                    false,
-                );
+                net.set_online(p2p.host_of(self.stages[s].peer), false);
                 // Restart every token lost with the stage.
                 let lost: Vec<u64> = self
                     .tokens
                     .iter()
                     .enumerate()
                     .filter(|(_, r)| {
-                        r.position == Position::AtStage(s)
-                            || r.position == Position::InTransitTo(s)
+                        r.position == Position::AtStage(s) || r.position == Position::InTransitTo(s)
                     })
                     .map(|(i, _)| i as u64)
                     .collect();
@@ -373,7 +393,10 @@ impl PipelineScheduler {
 
     /// Handle overlay notifications (pipe deliveries).
     pub fn on_incoming(&mut self, sim: &mut Sim<GridEvent>, inc: Incoming) {
-        if let Incoming::PipeData { pipe, tag: full, .. } = inc {
+        if let Incoming::PipeData {
+            pipe, tag: full, ..
+        } = inc
+        {
             let (token, attempt) = untag(full);
             let Some(rec) = self.tokens.get_mut(token as usize) else {
                 return;
@@ -384,6 +407,16 @@ impl PipelineScheduler {
             if pipe == self.result_pipe {
                 rec.completed = Some(sim.now());
                 rec.position = Position::Done;
+                let latency = rec.emitted.map(|e| sim.now().since(e));
+                self.obs.incr("pipeline.tokens_done");
+                if let Some(lat) = latency {
+                    self.obs
+                        .observe("pipeline.token_latency_us", lat.as_micros());
+                }
+                self.obs
+                    .event(sim.now().as_micros(), "pipeline.token_done", || {
+                        format!("token={token} attempt={attempt}")
+                    });
                 return;
             }
             if let Some(idx) = self.stages.iter().position(|s| s.in_pipe == pipe) {
@@ -579,14 +612,8 @@ mod tests {
                 work_gigacycles: work,
             });
         }
-        let pl = PipelineScheduler::with_churn(
-            &mut world,
-            ctrl,
-            "churny",
-            stages,
-            1_000,
-            stage_traces,
-        );
+        let pl =
+            PipelineScheduler::with_churn(&mut world, ctrl, "churny", stages, 1_000, stage_traces);
         (world, pl)
     }
 

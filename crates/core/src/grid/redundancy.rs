@@ -136,10 +136,7 @@ impl VotingFarm {
         match self.behaviours.get(worker.0 as usize) {
             Some(Behaviour::Cheater { cheat_prob }) => {
                 // Deterministic per-(unit, worker) coin.
-                let mut coin = Pcg32::new(
-                    truth ^ ((worker.0 as u64) << 32) ^ unit as u64,
-                    0xBAD,
-                );
+                let mut coin = Pcg32::new(truth ^ ((worker.0 as u64) << 32) ^ unit as u64, 0xBAD);
                 if coin.uniform() < *cheat_prob {
                     // A wrong-but-consistent digest per worker (colluding
                     // cheaters are out of scope, as for SETI).
@@ -194,10 +191,7 @@ impl VotingFarm {
                 *counts.entry(self.replica_digest(unit, w)).or_insert(0) += 1;
             }
         }
-        let winner = counts
-            .iter()
-            .max_by_key(|(_, &c)| c)
-            .map(|(&d, &c)| (d, c));
+        let winner = counts.iter().max_by_key(|(_, &c)| c).map(|(&d, &c)| (d, c));
         match winner {
             Some((digest, count)) if count >= self.config.quorum => digest != u.digest,
             _ => false,

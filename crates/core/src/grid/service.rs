@@ -230,7 +230,12 @@ mod tests {
     #[test]
     fn bind_service_pipeline_in_order() {
         let mut world = GridWorld::new(33, DiscoveryMode::Flooding);
-        let kinds = ["data-access", "data-manipulate", "data-visualise", "data-verify"];
+        let kinds = [
+            "data-access",
+            "data-manipulate",
+            "data-visualise",
+            "data-verify",
+        ];
         let (ctl_peer, _) = world.add_peer(HostSpec::lan_workstation());
         let mut providers = Vec::new();
         for k in kinds {
@@ -285,7 +290,10 @@ mod tests {
         let ctl = TrianaController::new(ctl_peer, "dave");
         let q = ctl.discover(&mut world, QueryKind::ByService("render".into()), 8);
         ctl.drain(&mut world);
-        assert_eq!(ctl.select(&world, q, Selection::FastestCpu), Some(fast.peer));
+        assert_eq!(
+            ctl.select(&world, q, Selection::FastestCpu),
+            Some(fast.peer)
+        );
     }
 
     #[test]

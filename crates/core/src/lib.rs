@@ -29,7 +29,7 @@ pub mod rewrite;
 pub mod unit;
 
 pub use data::{DataType, ParticleSet, Table, TrianaData, TypeSpec};
-pub use engine::{run_graph, EngineConfig, RunResult};
+pub use engine::{run_graph, run_graph_obs, EngineConfig, RunResult};
 pub use graph::{Cable, DistributionPolicy, Group, GroupId, Task, TaskGraph, TaskId};
 pub use modules::{ModuleCache, ModuleKey, ModuleLibrary};
 pub use rewrite::{annotate, plan_parallel, plan_peer_to_peer, DistributedPlan};

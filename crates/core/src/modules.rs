@@ -259,7 +259,10 @@ mod tests {
         assert!(cache.get(&ModuleKey::new("A", 1)).is_some());
         cache.insert(ModuleKey::new("C", 1), c);
         assert!(cache.contains(&ModuleKey::new("A", 1)));
-        assert!(!cache.contains(&ModuleKey::new("B", 1)), "B should be evicted");
+        assert!(
+            !cache.contains(&ModuleKey::new("B", 1)),
+            "B should be evicted"
+        );
         assert!(cache.contains(&ModuleKey::new("C", 1)));
         assert_eq!(cache.stats().evictions, 1);
     }

@@ -57,7 +57,10 @@ pub enum PlanError {
     UnknownGroup(GroupId),
     NoPeers,
     /// Peer-to-peer needs one peer per member task.
-    NotEnoughPeers { needed: usize, got: usize },
+    NotEnoughPeers {
+        needed: usize,
+        got: usize,
+    },
     /// The group's policy does not match the requested plan.
     PolicyMismatch {
         group: DistributionPolicy,

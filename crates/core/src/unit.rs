@@ -18,9 +18,18 @@ use std::sync::Arc;
 #[derive(Clone, Debug, PartialEq)]
 pub enum UnitError {
     UnknownUnit(String),
-    UnknownParam { unit: String, param: String },
-    BadParam { param: String, message: String },
-    ArityMismatch { expected: usize, got: usize },
+    UnknownParam {
+        unit: String,
+        param: String,
+    },
+    BadParam {
+        param: String,
+        message: String,
+    },
+    ArityMismatch {
+        expected: usize,
+        got: usize,
+    },
     TypeMismatch {
         port: usize,
         expected: String,

@@ -80,8 +80,8 @@ impl AvailabilityModel {
             } => {
                 let days = horizon.as_micros() / (DAY * MICROS_PER_SEC) + 2;
                 for day in 0..days {
-                    let start_s = day as f64 * DAY as f64
-                        + (start_hour + rng.normal() * 0.75) * 3600.0;
+                    let start_s =
+                        day as f64 * DAY as f64 + (start_hour + rng.normal() * 0.75) * 3600.0;
                     let mut len_s = (mean_hours + rng.normal() * 1.0).max(0.25) * 3600.0;
                     if rng.uniform() < interrupt_prob {
                         len_s *= rng.uniform(); // user came back early
@@ -261,9 +261,9 @@ mod tests {
             vec![
                 (SimTime(50), SimTime(60)),
                 (SimTime(10), SimTime(30)),
-                (SimTime(25), SimTime(40)), // overlaps previous
+                (SimTime(25), SimTime(40)),  // overlaps previous
                 (SimTime(90), SimTime(500)), // past horizon
-                (SimTime(70), SimTime(70)), // empty
+                (SimTime(70), SimTime(70)),  // empty
             ],
             horizon,
         );

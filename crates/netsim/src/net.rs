@@ -51,6 +51,7 @@ pub struct Network {
     stats: NetStats,
     /// Local (same-host) delivery cost; models IPC, not the network.
     pub loopback: Duration,
+    observer: obs::Obs,
 }
 
 /// Why a transfer could not be initiated.
@@ -72,7 +73,14 @@ impl Network {
             hosts: Vec::new(),
             stats: NetStats::default(),
             loopback: Duration::from_micros(50),
+            observer: obs::Obs::disabled(),
         }
+    }
+
+    /// Attach a metrics observer; every [`Network::transfer`] then also feeds
+    /// the `net.*` counters in the shared registry.
+    pub fn set_obs(&mut self, observer: obs::Obs) {
+        self.observer = observer;
     }
 
     pub fn add_host(&mut self, spec: HostSpec) -> HostId {
@@ -131,14 +139,20 @@ impl Network {
     ) -> Result<Duration, SendError> {
         if !self.hosts[src.0 as usize].online {
             self.stats.dropped += 1;
+            self.observer.incr("net.dropped");
             return Err(SendError::SourceOffline);
         }
         if !self.hosts[dst.0 as usize].online {
             self.stats.dropped += 1;
+            self.observer.incr("net.dropped");
             return Err(SendError::DestOffline);
         }
         self.stats.messages += 1;
         self.stats.bytes += bytes;
+        if self.observer.is_enabled() {
+            self.observer.incr("net.transfers");
+            self.observer.add("net.bytes", bytes);
+        }
         if src == dst {
             return Ok(self.loopback);
         }
@@ -194,6 +208,23 @@ mod tests {
             })
             .collect();
         (net, ids)
+    }
+
+    #[test]
+    fn attached_observer_counts_transfers_and_drops() {
+        let observer = obs::Obs::enabled();
+        let (mut net, ids) = net_with(&[LinkClass::Lan, LinkClass::Lan]);
+        net.set_obs(observer.clone());
+        net.transfer(SimTime::ZERO, ids[0], ids[1], 1_000).unwrap();
+        net.set_online(ids[1], false);
+        assert!(net.transfer(SimTime::ZERO, ids[0], ids[1], 1_000).is_err());
+        let reg = observer.registry().unwrap();
+        assert_eq!(reg.counter_value("net.transfers"), 1);
+        assert_eq!(reg.counter_value("net.bytes"), 1_000);
+        assert_eq!(reg.counter_value("net.dropped"), 1);
+        // The observer mirrors the built-in stats block.
+        assert_eq!(net.stats().messages, 1);
+        assert_eq!(net.stats().dropped, 1);
     }
 
     #[test]
@@ -270,8 +301,12 @@ mod tests {
     #[test]
     fn faster_links_deliver_sooner() {
         let (mut net, ids) = net_with(&[LinkClass::Lan, LinkClass::Lan, LinkClass::Modem]);
-        let lan = net.transfer(SimTime::ZERO, ids[0], ids[1], 100_000).unwrap();
-        let modem = net.transfer(SimTime::ZERO, ids[0], ids[2], 100_000).unwrap();
+        let lan = net
+            .transfer(SimTime::ZERO, ids[0], ids[1], 100_000)
+            .unwrap();
+        let modem = net
+            .transfer(SimTime::ZERO, ids[0], ids[2], 100_000)
+            .unwrap();
         assert!(modem.as_micros() > lan.as_micros() * 10);
     }
 }

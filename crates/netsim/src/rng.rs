@@ -154,7 +154,10 @@ mod tests {
         let mut a = Pcg32::new(42, 1);
         let mut b = Pcg32::new(42, 2);
         let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
-        assert!(same < 4, "streams should be nearly disjoint, got {same} collisions");
+        assert!(
+            same < 4,
+            "streams should be nearly disjoint, got {same} collisions"
+        );
     }
 
     #[test]
@@ -209,7 +212,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left slice untouched");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "shuffle left slice untouched"
+        );
     }
 
     #[test]

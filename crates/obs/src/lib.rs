@@ -1,0 +1,193 @@
+//! Grid-wide observability for the consumer-grid workspace.
+//!
+//! Two pieces:
+//!
+//! * a metrics [`Registry`] — monotonic counters, gauges, power-of-two
+//!   bucketed latency [`Histogram`]s — plus a bounded structured event log
+//!   keyed on **virtual** (simulation) time;
+//! * a cheap handle, [`Obs`], threaded through the engine, grid
+//!   schedulers, P2P overlay and TVM. A disabled handle is a single
+//!   `Option` branch per call site, so instrumentation costs nothing when
+//!   off (the default everywhere).
+//!
+//! Snapshots serialize to JSON with a fixed key order and no wall-clock
+//! data, so two identically-seeded runs emit byte-identical files; see
+//! [`Registry::snapshot_json`]. Wall-clock measurements live in a separate
+//! volatile section surfaced only by [`Registry::snapshot_json_full`].
+//!
+//! The crate is dependency-free (it ships its own tiny JSON emitter and
+//! parser in [`json`]) so every other crate can depend on it without
+//! widening the build graph.
+
+pub mod json;
+pub mod registry;
+
+pub use registry::{Event, Histogram, Registry, DEFAULT_EVENT_CAPACITY};
+
+use std::sync::Arc;
+
+/// Cheap, cloneable observability handle.
+///
+/// `Obs::disabled()` (also `Obs::default()`) is a `None` inside: every
+/// recording method is one branch and returns. `Obs::enabled()` allocates
+/// a shared [`Registry`] that all clones feed.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<Registry>>,
+}
+
+impl Obs {
+    /// The no-op handle; recording methods do nothing.
+    pub fn disabled() -> Self {
+        Obs { inner: None }
+    }
+
+    /// A recording handle backed by a fresh shared registry.
+    pub fn enabled() -> Self {
+        Obs {
+            inner: Some(Arc::new(Registry::default())),
+        }
+    }
+
+    /// A recording handle with a bounded event log of `capacity` entries.
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        Obs {
+            inner: Some(Arc::new(Registry::with_event_capacity(capacity))),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The backing registry, if enabled (for snapshots).
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.inner.as_ref()
+    }
+
+    /// Add `delta` to the named monotonic counter.
+    pub fn add(&self, name: &str, delta: u64) {
+        if let Some(r) = &self.inner {
+            r.add_counter(name, delta);
+        }
+    }
+
+    /// Increment the named counter by one.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Set a gauge to an absolute value.
+    pub fn gauge(&self, name: &str, value: i64) {
+        if let Some(r) = &self.inner {
+            r.set_gauge(name, value);
+        }
+    }
+
+    /// Raise a gauge to `value` if it is a new high-water mark.
+    pub fn gauge_max(&self, name: &str, value: i64) {
+        if let Some(r) = &self.inner {
+            r.max_gauge(name, value);
+        }
+    }
+
+    /// Record one sample into the named histogram.
+    pub fn observe(&self, name: &str, value: u64) {
+        if let Some(r) = &self.inner {
+            r.observe(name, value);
+        }
+    }
+
+    /// Append a structured event at virtual time `t_micros`. The detail
+    /// closure only runs when recording is enabled, so call sites can
+    /// format freely without paying for it when off.
+    pub fn event(&self, t_micros: u64, kind: &str, detail: impl FnOnce() -> String) {
+        if let Some(r) = &self.inner {
+            r.record_event(t_micros, kind, detail());
+        }
+    }
+
+    /// Record a wall-clock / host-dependent value; excluded from the
+    /// deterministic snapshot.
+    pub fn volatile(&self, name: &str, value: f64) {
+        if let Some(r) = &self.inner {
+            r.set_volatile(name, value);
+        }
+    }
+
+    /// Deterministic JSON snapshot, or `None` when disabled.
+    pub fn snapshot_json(&self) -> Option<String> {
+        self.inner.as_ref().map(|r| r.snapshot_json())
+    }
+
+    /// Snapshot including the volatile section, or `None` when disabled.
+    pub fn snapshot_json_full(&self) -> Option<String> {
+        self.inner.as_ref().map(|r| r.snapshot_json_full())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        obs.incr("x");
+        obs.gauge("g", 1);
+        obs.observe("h", 1);
+        obs.event(0, "k", || unreachable!("detail closure must not run"));
+        assert!(!obs.is_enabled());
+        assert!(obs.snapshot_json().is_none());
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let obs = Obs::enabled();
+        let other = obs.clone();
+        obs.incr("shared");
+        other.add("shared", 4);
+        assert_eq!(obs.registry().unwrap().counter_value("shared"), 5);
+    }
+
+    #[test]
+    fn snapshot_parses_with_expected_sections() {
+        let obs = Obs::enabled();
+        obs.incr("engine.fires");
+        obs.observe("lat", 3);
+        obs.event(1_000_000, "farm.dispatch", || "job=1".to_string());
+        let snap = obs.snapshot_json().unwrap();
+        let v = json::parse(&snap).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("triana-obs/1"));
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("engine.fires")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        let events = v.get("events").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("t").unwrap().as_u64(), Some(1_000_000));
+        assert_eq!(
+            events[0].get("kind").unwrap().as_str(),
+            Some("farm.dispatch")
+        );
+        assert_eq!(v.get("events_dropped").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn identical_recording_gives_identical_bytes() {
+        let run = || {
+            let obs = Obs::enabled();
+            for i in 0..10u64 {
+                obs.add("c", i);
+                obs.observe("h", i * 17);
+                obs.event(i * 5, "tick", || format!("i={i}"));
+            }
+            obs.snapshot_json().unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

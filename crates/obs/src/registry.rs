@@ -1,0 +1,372 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms and a
+//! bounded structured event log.
+//!
+//! All collections are `BTreeMap`s so snapshot emission is deterministic
+//! without a sort pass. Wall-clock measurements go into the separate
+//! *volatile* section, which [`Registry::snapshot_json`] excludes — the
+//! deterministic snapshot of a seeded run must be byte-identical across
+//! machines and runs.
+
+use crate::json;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Default bound on retained events; older events are dropped (and counted).
+pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
+/// Power-of-two bucketed histogram of `u64` samples.
+///
+/// Bucket `i` counts samples `v` with `2^(i-1) < v <= 2^i` (bucket 0 takes
+/// `v <= 1`). Only non-empty buckets appear in snapshots.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    buckets: [u64; 64],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; 64],
+        }
+    }
+}
+
+impl Histogram {
+    pub fn record(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.buckets[Self::bucket_index(value)] += 1;
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value <= 1 {
+            0
+        } else {
+            (64 - (value - 1).leading_zeros() as usize).min(63)
+        }
+    }
+
+    /// Upper bound of bucket `i` (inclusive).
+    fn bucket_bound(i: usize) -> u64 {
+        if i >= 63 {
+            u64::MAX
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Non-empty `(upper_bound, count)` pairs in ascending bound order.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_bound(i), c))
+            .collect()
+    }
+}
+
+/// One structured trace event, timestamped with virtual (simulation) time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual time in microseconds (netsim `SimTime::as_micros`).
+    pub t_micros: u64,
+    /// Dotted event kind, e.g. `"farm.dispatch"`.
+    pub kind: String,
+    /// Free-form detail, e.g. `"job=3 worker=1"`.
+    pub detail: String,
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+    events: VecDeque<Event>,
+    events_dropped: u64,
+    /// Wall-clock / host-dependent values, excluded from the deterministic
+    /// snapshot.
+    volatile: BTreeMap<String, f64>,
+}
+
+/// Shared metrics store. Cheap to clone via `Arc` inside [`crate::Obs`];
+/// all mutation is behind one mutex (instrumented paths hold it for a few
+/// map operations only).
+pub struct Registry {
+    inner: Mutex<Inner>,
+    event_capacity: usize,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+impl Registry {
+    pub fn with_event_capacity(event_capacity: usize) -> Self {
+        Registry {
+            inner: Mutex::new(Inner::default()),
+            event_capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("obs registry poisoned")
+    }
+
+    pub fn add_counter(&self, name: &str, delta: u64) {
+        let mut inner = self.lock();
+        match inner.counters.get_mut(name) {
+            Some(v) => *v = v.saturating_add(delta),
+            None => {
+                inner.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    pub fn set_gauge(&self, name: &str, value: i64) {
+        self.lock().gauges.insert(name.to_string(), value);
+    }
+
+    /// Set the gauge to `value` only if it exceeds the current value
+    /// (high-water marks such as peak queue depth).
+    pub fn max_gauge(&self, name: &str, value: i64) {
+        let mut inner = self.lock();
+        match inner.gauges.get_mut(name) {
+            Some(v) => *v = (*v).max(value),
+            None => {
+                inner.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    pub fn observe(&self, name: &str, value: u64) {
+        self.lock()
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    pub fn record_event(&self, t_micros: u64, kind: &str, detail: String) {
+        let mut inner = self.lock();
+        if inner.events.len() >= self.event_capacity {
+            inner.events.pop_front();
+            inner.events_dropped += 1;
+        }
+        inner.events.push_back(Event {
+            t_micros,
+            kind: kind.to_string(),
+            detail,
+        });
+    }
+
+    pub fn set_volatile(&self, name: &str, value: f64) {
+        self.lock().volatile.insert(name.to_string(), value);
+    }
+
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn gauge_value(&self, name: &str) -> Option<i64> {
+        self.lock().gauges.get(name).copied()
+    }
+
+    pub fn event_count(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    /// The deterministic snapshot: fixed top-level key order, `BTreeMap`
+    /// iteration order inside each section, virtual-time timestamps only.
+    /// Two identically-seeded runs produce byte-identical output.
+    pub fn snapshot_json(&self) -> String {
+        self.emit(false)
+    }
+
+    /// Deterministic snapshot plus the volatile (wall-clock) section; for
+    /// human consumption, not for byte-comparison.
+    pub fn snapshot_json_full(&self) -> String {
+        self.emit(true)
+    }
+
+    fn emit(&self, with_volatile: bool) -> String {
+        let inner = self.lock();
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"schema\":\"triana-obs/1\",\"counters\":{");
+        for (i, (k, v)) in inner.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_string(&mut out, k);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in inner.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_string(&mut out, k);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in inner.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_string(&mut out, k);
+            out.push_str(&format!(
+                ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                h.count, h.sum, h.min, h.max
+            ));
+            for (j, (bound, count)) in h.nonzero_buckets().into_iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{bound},{count}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("},\"events\":[");
+        for (i, e) in inner.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"t\":{},\"kind\":", e.t_micros));
+            json::push_string(&mut out, &e.kind);
+            out.push_str(",\"detail\":");
+            json::push_string(&mut out, &e.detail);
+            out.push('}');
+        }
+        out.push_str(&format!("],\"events_dropped\":{}", inner.events_dropped));
+        if with_volatile {
+            out.push_str(",\"volatile\":{");
+            for (i, (k, v)) in inner.volatile.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::push_string(&mut out, k);
+                out.push(':');
+                out.push_str(&format!("{v}"));
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_saturate() {
+        let r = Registry::default();
+        r.add_counter("a", 2);
+        r.add_counter("a", 3);
+        assert_eq!(r.counter_value("a"), 5);
+        r.add_counter("b", u64::MAX);
+        r.add_counter("b", 10);
+        assert_eq!(r.counter_value("b"), u64::MAX);
+    }
+
+    #[test]
+    fn gauges_set_and_max() {
+        let r = Registry::default();
+        r.set_gauge("depth", 4);
+        r.set_gauge("depth", 2);
+        assert_eq!(r.gauge_value("depth"), Some(2));
+        r.max_gauge("peak", 3);
+        r.max_gauge("peak", 1);
+        r.max_gauge("peak", 9);
+        assert_eq!(r.gauge_value("peak"), Some(9));
+    }
+
+    #[test]
+    fn histogram_buckets_power_of_two() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 5, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 7);
+        assert_eq!(h.sum, 1015);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        // 0,1 -> bound 1; 2 -> 2; 3,4 -> 4; 5 -> 8; 1000 -> 1024
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![(1, 2), (2, 1), (4, 2), (8, 1), (1024, 1)]
+        );
+    }
+
+    #[test]
+    fn histogram_extremes() {
+        let mut h = Histogram::default();
+        h.record(u64::MAX);
+        assert_eq!(h.nonzero_buckets(), vec![(u64::MAX, 1)]);
+    }
+
+    #[test]
+    fn event_ring_bounds_and_counts_drops() {
+        let r = Registry::with_event_capacity(3);
+        for i in 0..5u64 {
+            r.record_event(i, "k", format!("e{i}"));
+        }
+        assert_eq!(r.event_count(), 3);
+        let snap = r.snapshot_json();
+        assert!(snap.contains("\"events_dropped\":2"));
+        assert!(snap.contains("e4"));
+        assert!(!snap.contains("e0"));
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_ordered() {
+        let build = || {
+            let r = Registry::default();
+            r.add_counter("z.last", 1);
+            r.add_counter("a.first", 2);
+            r.observe("lat", 7);
+            r.record_event(10, "kind", "detail \"quoted\"".to_string());
+            r.set_volatile("wall_secs", 1.25);
+            r.snapshot_json()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+        // BTreeMap ordering: a.first before z.last.
+        let ai = a.find("a.first").unwrap();
+        let zi = a.find("z.last").unwrap();
+        assert!(ai < zi);
+        // Volatile section excluded from the deterministic snapshot.
+        assert!(!a.contains("wall_secs"));
+        assert!(!a.contains("volatile"));
+    }
+
+    #[test]
+    fn full_snapshot_includes_volatile() {
+        let r = Registry::default();
+        r.set_volatile("wall_secs", 0.5);
+        let full = r.snapshot_json_full();
+        assert!(full.contains("\"volatile\":{\"wall_secs\":0.5}"));
+    }
+}

@@ -92,9 +92,7 @@ impl Advertisement {
     /// Approximate wire size in bytes (for the network model).
     pub fn wire_size(&self) -> u64 {
         match &self.body {
-            AdvertBody::Peer(a) => {
-                64 + a.services.iter().map(|s| s.len() as u64 + 4).sum::<u64>()
-            }
+            AdvertBody::Peer(a) => 64 + a.services.iter().map(|s| s.len() as u64 + 4).sum::<u64>(),
             AdvertBody::Pipe(a) => 48 + a.name.len() as u64,
             AdvertBody::Module(a) => 64 + a.name.len() as u64,
         }

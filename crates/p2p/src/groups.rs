@@ -143,9 +143,7 @@ mod tests {
         );
         let lifetime = Duration::from_secs(3600);
         let admitted: Vec<bool> = (0..4)
-            .map(|i| {
-                fast.enroll(&mut w.sim, &mut w.net, &mut w.p2p, PeerId(i), lifetime)
-            })
+            .map(|i| fast.enroll(&mut w.sim, &mut w.net, &mut w.p2p, PeerId(i), lifetime))
             .collect();
         assert_eq!(admitted, vec![false, true, true, false]);
         assert_eq!(fast.members(), &[PeerId(1), PeerId(2)]);

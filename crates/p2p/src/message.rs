@@ -45,19 +45,12 @@ pub enum Message {
         kind: QueryKind,
     },
     /// Direct response to the query origin.
-    QueryHit {
-        id: QueryId,
-        advert: Advertisement,
-    },
+    QueryHit { id: QueryId, advert: Advertisement },
     /// Publish an advertisement to a rendezvous peer.
     Publish { advert: Advertisement },
     /// Application payload over a pipe. The payload itself stays in the
     /// embedding layer; only its size and an opaque tag travel here.
-    PipeData {
-        pipe: PipeId,
-        tag: u64,
-        bytes: u64,
-    },
+    PipeData { pipe: PipeId, tag: u64, bytes: u64 },
 }
 
 impl Message {

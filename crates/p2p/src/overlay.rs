@@ -15,6 +15,7 @@ use crate::advert::Advertisement;
 use crate::message::{Message, P2pEvent, QueryId, QueryKind};
 use crate::pipe::{PipeError, PipeId, PipeTable};
 use netsim::{HostId, Network, Pcg32, Sim, SimTime};
+use obs::Obs;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -113,6 +114,7 @@ pub struct P2p {
     rendezvous_peers: Vec<PeerId>,
     /// Messages that could not be sent because an endpoint was offline.
     pub send_failures: u64,
+    obs: Obs,
 }
 
 impl P2p {
@@ -125,7 +127,14 @@ impl P2p {
             next_query: 0,
             rendezvous_peers: Vec::new(),
             send_failures: 0,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attach an observability handle; overlay message traffic, queries,
+    /// advert cache activity and send failures are recorded through it.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Enrol a host as a peer.
@@ -219,8 +228,8 @@ impl P2p {
         }
         for i in 0..n {
             if !self.peers[i].is_rendezvous {
-                let r = self.rendezvous_peers
-                    [rng.below(self.rendezvous_peers.len() as u64) as usize];
+                let r =
+                    self.rendezvous_peers[rng.below(self.rendezvous_peers.len() as u64) as usize];
                 self.peers[i].rendezvous = Some(r);
             }
         }
@@ -253,11 +262,20 @@ impl P2p {
                         q.messages += 1;
                     }
                 }
+                self.obs.incr("p2p.messages_sent");
+                self.obs.add("p2p.bytes_sent", bytes);
+                self.obs.incr(match &msg {
+                    Message::Query { .. } => "p2p.sent.query",
+                    Message::QueryHit { .. } => "p2p.sent.query_hit",
+                    Message::Publish { .. } => "p2p.sent.publish",
+                    Message::PipeData { .. } => "p2p.sent.pipe_data",
+                });
                 sim.schedule(delay, P2pEvent::Delivered { to, msg }.into());
                 true
             }
             Err(_) => {
                 self.send_failures += 1;
+                self.obs.incr("p2p.send_failures");
                 false
             }
         }
@@ -273,9 +291,11 @@ impl P2p {
         peer: PeerId,
         advert: Advertisement,
     ) {
+        self.obs.incr("p2p.publishes");
         self.peers[peer.0 as usize].ads.push(advert.clone());
         if self.mode == DiscoveryMode::Rendezvous {
             if self.peers[peer.0 as usize].is_rendezvous {
+                self.obs.incr("p2p.advert_cache_inserts");
                 self.peers[peer.0 as usize].cache.push(advert);
             } else if let Some(r) = self.peers[peer.0 as usize].rendezvous {
                 self.send(sim, net, peer, r, Message::Publish { advert });
@@ -295,6 +315,10 @@ impl P2p {
     ) -> QueryId {
         let id = QueryId(self.next_query);
         self.next_query += 1;
+        self.obs.incr("p2p.queries");
+        self.obs.event(sim.now().as_micros(), "p2p.query", || {
+            format!("id={} origin={} ttl={ttl}", id.0, origin.0)
+        });
         self.queries.insert(
             id,
             QueryStatus {
@@ -383,6 +407,14 @@ impl P2p {
         kind: QueryKind,
     ) {
         let now = sim.now();
+        let cache_hits = self.peers[rdv.0 as usize]
+            .cache
+            .iter()
+            .filter(|ad| ad.matches(&kind, now))
+            .count() as u64;
+        if cache_hits > 0 {
+            self.obs.add("p2p.advert_cache_hits", cache_hits);
+        }
         let hits: Vec<Advertisement> = self.peers[rdv.0 as usize]
             .cache
             .iter()
@@ -431,7 +463,13 @@ impl P2p {
         bytes: u64,
     ) -> Result<bool, PipeError> {
         let receiver = self.pipes.route(pipe, from)?;
-        Ok(self.send(sim, net, from, receiver, Message::PipeData { pipe, tag, bytes }))
+        Ok(self.send(
+            sim,
+            net,
+            from,
+            receiver,
+            Message::PipeData { pipe, tag, bytes },
+        ))
     }
 
     /// Process a delivered overlay event; returns notifications for the
@@ -446,8 +484,10 @@ impl P2p {
         let mut out = Vec::new();
         // A message arriving at an offline peer is lost.
         if !net.is_online(self.peers[to.0 as usize].host) {
+            self.obs.incr("p2p.messages_lost");
             return out;
         }
+        self.obs.incr("p2p.messages_received");
         match msg {
             Message::Query {
                 id,
@@ -502,9 +542,14 @@ impl P2p {
                 if let Some(q) = self.queries.get_mut(&id) {
                     q.hits.push((sim.now(), advert.clone()));
                 }
+                self.obs.incr("p2p.query_hits");
+                self.obs.event(sim.now().as_micros(), "p2p.query_hit", || {
+                    format!("id={} provider={}", id.0, advert.peer().0)
+                });
                 out.push(Incoming::QueryHit { id, advert });
             }
             Message::Publish { advert } => {
+                self.obs.incr("p2p.advert_cache_inserts");
                 self.peers[to.0 as usize].cache.push(advert);
             }
             Message::PipeData { pipe, tag, bytes } => {
@@ -654,7 +699,9 @@ mod tests {
         let q = &w.p2p.queries[&qid];
         // Each peer forwards a given query at most once to each neighbour:
         // messages bounded by sum of degrees (~edges * 2).
-        let edge_bound: u64 = (0..10).map(|i| w.p2p.neighbors(PeerId(i)).len() as u64).sum();
+        let edge_bound: u64 = (0..10)
+            .map(|i| w.p2p.neighbors(PeerId(i)).len() as u64)
+            .sum();
         assert!(q.messages <= edge_bound, "{} > {}", q.messages, edge_bound);
         assert_eq!(q.peers_visited, 10);
     }
@@ -672,8 +719,7 @@ mod tests {
             }
             let provider = PeerId(17);
             let ad = triana_ad(provider, SimTime::from_secs(3600));
-            w.p2p
-                .publish(&mut w.sim, &mut w.net, provider, ad);
+            w.p2p.publish(&mut w.sim, &mut w.net, provider, ad);
             // Let the publish propagate before querying.
             while let Some(ev) = w.sim.step() {
                 w.p2p.handle(&mut w.sim, &mut w.net, ev);
@@ -856,6 +902,42 @@ mod tests {
         );
         run(&mut w);
         assert_eq!(w.p2p.queries[&qid].providers(), vec![PeerId(2)]);
+    }
+
+    #[test]
+    fn obs_counts_discovery_traffic() {
+        let mut w = world(8, DiscoveryMode::Rendezvous);
+        let observer = Obs::enabled();
+        w.p2p.set_obs(observer.clone());
+        let mut rng = Pcg32::new(15, 1);
+        w.p2p.wire_random(2, &mut rng);
+        w.p2p.assign_rendezvous(2, &mut rng);
+        let provider = PeerId(5);
+        let ad = triana_ad(provider, SimTime::from_secs(3600));
+        w.p2p.publish(&mut w.sim, &mut w.net, provider, ad);
+        run(&mut w);
+        let qid = w.p2p.query(
+            &mut w.sim,
+            &mut w.net,
+            PeerId(0),
+            QueryKind::ByService("triana".into()),
+            8,
+        );
+        run(&mut w);
+        assert_eq!(w.p2p.queries[&qid].providers(), vec![provider]);
+        let r = observer.registry().unwrap();
+        assert_eq!(r.counter_value("p2p.publishes"), 1);
+        assert_eq!(r.counter_value("p2p.queries"), 1);
+        assert!(r.counter_value("p2p.messages_sent") > 0);
+        assert!(r.counter_value("p2p.messages_received") > 0);
+        assert!(r.counter_value("p2p.advert_cache_inserts") >= 1);
+        assert!(r.counter_value("p2p.advert_cache_hits") >= 1);
+        assert!(r.counter_value("p2p.query_hits") >= 1);
+        // Sent messages either arrive or are lost at an offline endpoint.
+        assert_eq!(
+            r.counter_value("p2p.messages_sent"),
+            r.counter_value("p2p.messages_received") + r.counter_value("p2p.messages_lost")
+        );
     }
 
     #[test]

@@ -133,7 +133,11 @@ mod tests {
         let a = VirtualAccount("a".into());
         ledger.charge(&a, rec(3));
         ledger.charge(&a, rec(1));
-        let times: Vec<u64> = ledger.records(&a).iter().map(|r| r.at.as_micros()).collect();
+        let times: Vec<u64> = ledger
+            .records(&a)
+            .iter()
+            .map(|r| r.at.as_micros())
+            .collect();
         assert_eq!(times, vec![3_000_000, 1_000_000]);
     }
 }

@@ -49,8 +49,7 @@ impl GlobusAdminModel {
     pub fn time_to_first_job(&self, user_rank: u64) -> Duration {
         assert!(user_rank >= 1);
         // Work queued ahead of this user, divided over parallel admins.
-        let work = self.admin_per_account.as_secs_f64() * user_rank as f64
-            / self.admins as f64;
+        let work = self.admin_per_account.as_secs_f64() * user_rank as f64 / self.admins as f64;
         // Admin works admin_day per 24h: stretch elapsed time accordingly.
         let stretch = 86_400.0 / self.admin_day.as_secs_f64();
         let admin_elapsed = Duration::from_secs_f64(work * stretch);

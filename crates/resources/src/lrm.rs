@@ -74,7 +74,12 @@ impl ResourceManager for DirectLauncher {
     }
 
     fn earliest_start(&self, now: SimTime) -> SimTime {
-        let min = self.core_free.iter().copied().min().unwrap_or(SimTime::ZERO);
+        let min = self
+            .core_free
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(SimTime::ZERO);
         now.max(min)
     }
 }
@@ -121,7 +126,12 @@ impl ResourceManager for BatchQueue {
     }
 
     fn earliest_start(&self, now: SimTime) -> SimTime {
-        let min = self.slot_free.iter().copied().min().unwrap_or(SimTime::ZERO);
+        let min = self
+            .slot_free
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(SimTime::ZERO);
         (now + self.submit_overhead).max(min)
     }
 }

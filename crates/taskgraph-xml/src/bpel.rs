@@ -14,7 +14,10 @@ use triana_core::{DistributionPolicy, TaskGraph};
 fn link_name(graph: &TaskGraph, c: &triana_core::Cable) -> String {
     format!(
         "{}.{}-{}.{}",
-        graph.tasks[c.from.0 .0 as usize].name, c.from.1, graph.tasks[c.to.0 .0 as usize].name, c.to.1
+        graph.tasks[c.from.0 .0 as usize].name,
+        c.from.1,
+        graph.tasks[c.to.0 .0 as usize].name,
+        c.to.1
     )
 }
 
@@ -78,9 +81,9 @@ pub fn to_bpel(graph: &TaskGraph) -> String {
             },
         );
         for &m in &g.members {
-            scope.children.push(
-                XmlNode::new("invokeRef").with_attr("name", &graph.tasks[m.0 as usize].name),
-            );
+            scope
+                .children
+                .push(XmlNode::new("invokeRef").with_attr("name", &graph.tasks[m.0 as usize].name));
         }
         flow.children.push(scope);
     }
@@ -110,12 +113,10 @@ pub fn from_bpel(text: &str) -> Result<TaskGraph, FormatError> {
     if root.name != "process" {
         return Err(FormatError::NotATaskGraph(root.name));
     }
-    let flow = root
-        .child("flow")
-        .ok_or_else(|| FormatError::Missing {
-            element: "process".into(),
-            attr: "flow".into(),
-        })?;
+    let flow = root.child("flow").ok_or_else(|| FormatError::Missing {
+        element: "process".into(),
+        attr: "flow".into(),
+    })?;
     let mut graph = TaskGraph::new(root.attr("name").unwrap_or(""));
     for invoke in flow.children_named("invoke") {
         let name = require(invoke, "name")?;
@@ -124,7 +125,10 @@ pub fn from_bpel(text: &str) -> Result<TaskGraph, FormatError> {
         let n_out = number(invoke, "out")?;
         let mut params = Params::new();
         for a in invoke.children_named("assign") {
-            params.insert(require(a, "to")?.to_string(), require(a, "value")?.to_string());
+            params.insert(
+                require(a, "to")?.to_string(),
+                require(a, "value")?.to_string(),
+            );
         }
         graph.add_task_raw(unit_type, name, params, n_in, n_out)?;
     }
@@ -223,7 +227,9 @@ mod tests {
                 1,
             )
             .unwrap();
-        let ga = g.add_task_raw("Gaussian", "gauss", Params::new(), 1, 1).unwrap();
+        let ga = g
+            .add_task_raw("Gaussian", "gauss", Params::new(), 1, 1)
+            .unwrap();
         let ff = g.add_task_raw("FFT", "fft", Params::new(), 1, 1).unwrap();
         g.connect(w, 0, ga, 0).unwrap();
         g.connect(ga, 0, ff, 0).unwrap();
@@ -278,10 +284,7 @@ mod tests {
             "<link name=\"wave.0-gauss.0\"/>",
             "<link name=\"ghost.0-gauss.0\"/>",
         );
-        assert!(matches!(
-            from_bpel(&bpel),
-            Err(FormatError::BadEndpoint(_))
-        ));
+        assert!(matches!(from_bpel(&bpel), Err(FormatError::BadEndpoint(_))));
     }
 
     #[test]

@@ -83,8 +83,11 @@ pub fn to_xml(graph: &TaskGraph) -> String {
             .with_attr("in", &t.n_in.to_string())
             .with_attr("out", &t.n_out.to_string());
         for (k, v) in &t.params {
-            task.children
-                .push(XmlNode::new("param").with_attr("name", k).with_attr("value", v));
+            task.children.push(
+                XmlNode::new("param")
+                    .with_attr("name", k)
+                    .with_attr("value", v),
+            );
         }
         root.children.push(task);
     }
@@ -154,7 +157,10 @@ pub fn from_xml(text: &str) -> Result<TaskGraph, FormatError> {
         let n_out = number(t, "out")?;
         let mut params = Params::new();
         for p in t.children_named("param") {
-            params.insert(require(p, "name")?.to_string(), require(p, "value")?.to_string());
+            params.insert(
+                require(p, "name")?.to_string(),
+                require(p, "value")?.to_string(),
+            );
         }
         graph.add_task_raw(unit_type, name, params, n_in, n_out)?;
     }
@@ -183,6 +189,26 @@ pub fn from_xml(text: &str) -> Result<TaskGraph, FormatError> {
     Ok(graph)
 }
 
+/// Instrumented variant of [`from_xml`]: identical semantics, but records
+/// `xml.parses`, `xml.parse_errors`, `xml.bytes_parsed`, and per-graph
+/// `xml.tasks_parsed` / `xml.cables_parsed` into `observer` (a no-op when
+/// the handle is disabled).
+pub fn from_xml_obs(text: &str, observer: &obs::Obs) -> Result<TaskGraph, FormatError> {
+    let result = from_xml(text);
+    if observer.is_enabled() {
+        observer.incr("xml.parses");
+        observer.add("xml.bytes_parsed", text.len() as u64);
+        match &result {
+            Ok(graph) => {
+                observer.add("xml.tasks_parsed", graph.tasks.len() as u64);
+                observer.add("xml.cables_parsed", graph.cables.len() as u64);
+            }
+            Err(_) => observer.incr("xml.parse_errors"),
+        }
+    }
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,12 +233,8 @@ mod tests {
         let grapher = g
             .add_task_raw("Grapher", "grapher", Params::new(), 1, 0)
             .unwrap();
-        g.add_group(
-            "GroupTask",
-            vec![gauss, fft],
-            DistributionPolicy::Parallel,
-        )
-        .unwrap();
+        g.add_group("GroupTask", vec![gauss, fft], DistributionPolicy::Parallel)
+            .unwrap();
         g.connect(wave, 0, gauss, 0).unwrap();
         g.connect(gauss, 0, fft, 0).unwrap();
         g.connect(fft, 0, grapher, 0).unwrap();
@@ -225,6 +247,25 @@ mod tests {
         let xml = to_xml(&g);
         let back = from_xml(&xml).unwrap();
         assert_eq!(back, g);
+    }
+
+    #[test]
+    fn from_xml_obs_counts_parses_and_errors() {
+        let observer = obs::Obs::enabled();
+        let g = code_segment_1();
+        let xml = to_xml(&g);
+        let back = from_xml_obs(&xml, &observer).unwrap();
+        assert_eq!(back, g);
+        assert!(from_xml_obs("<notataskgraph/>", &observer).is_err());
+        let reg = observer.registry().unwrap();
+        assert_eq!(reg.counter_value("xml.parses"), 2);
+        assert_eq!(reg.counter_value("xml.parse_errors"), 1);
+        assert_eq!(reg.counter_value("xml.tasks_parsed"), g.tasks.len() as u64);
+        assert_eq!(
+            reg.counter_value("xml.cables_parsed"),
+            g.cables.len() as u64
+        );
+        assert!(reg.counter_value("xml.bytes_parsed") > xml.len() as u64);
     }
 
     #[test]

@@ -17,6 +17,6 @@ pub mod wsfl;
 pub mod xml;
 
 pub use bpel::{from_bpel, to_bpel};
-pub use format::{from_xml, to_xml, FormatError};
+pub use format::{from_xml, from_xml_obs, to_xml, FormatError};
 pub use wsfl::{from_wsfl, to_pnml, to_wsfl};
 pub use xml::{parse, XmlError, XmlNode};

@@ -52,8 +52,7 @@ pub fn to_wsfl(graph: &TaskGraph) -> String {
         );
         for &m in &g.members {
             blk.children.push(
-                XmlNode::new("activityRef")
-                    .with_attr("name", &graph.tasks[m.0 as usize].name),
+                XmlNode::new("activityRef").with_attr("name", &graph.tasks[m.0 as usize].name),
             );
         }
         root.children.push(blk);
@@ -205,7 +204,9 @@ mod tests {
                 1,
             )
             .unwrap();
-        let ga = g.add_task_raw("Gaussian", "gauss", Params::new(), 1, 1).unwrap();
+        let ga = g
+            .add_task_raw("Gaussian", "gauss", Params::new(), 1, 1)
+            .unwrap();
         let ff = g.add_task_raw("FFT", "fft", Params::new(), 1, 1).unwrap();
         g.connect(w, 0, ga, 0).unwrap();
         g.connect(ga, 0, ff, 0).unwrap();

@@ -146,18 +146,12 @@ impl<'a> Parser<'a> {
         loop {
             self.skip_ws();
             if self.starts_with("<?") {
-                match self.bytes[self.pos..]
-                    .windows(2)
-                    .position(|w| w == b"?>")
-                {
+                match self.bytes[self.pos..].windows(2).position(|w| w == b"?>") {
                     Some(i) => self.pos += i + 2,
                     None => return self.err("unterminated declaration"),
                 }
             } else if self.starts_with("<!--") {
-                match self.bytes[self.pos..]
-                    .windows(3)
-                    .position(|w| w == b"-->")
-                {
+                match self.bytes[self.pos..].windows(3).position(|w| w == b"-->") {
                     Some(i) => self.pos += i + 3,
                     None => return self.err("unterminated comment"),
                 }
@@ -343,7 +337,8 @@ mod tests {
             .with_attr("name", "Group<Test> & \"quotes\"")
             .with_attr("v", "1");
         let mut root = node;
-        root.children.push(XmlNode::new("task").with_attr("type", "Wave"));
+        root.children
+            .push(XmlNode::new("task").with_attr("type", "Wave"));
         let mut inner = XmlNode::new("note");
         inner.text = "a < b && c".to_string();
         root.children.push(inner);
@@ -354,7 +349,8 @@ mod tests {
 
     #[test]
     fn declaration_and_comments_skipped() {
-        let doc = "<?xml version=\"1.0\"?>\n<!-- header -->\n<r><!-- inner --><x/></r>\n<!-- tail -->";
+        let doc =
+            "<?xml version=\"1.0\"?>\n<!-- header -->\n<r><!-- inner --><x/></r>\n<!-- tail -->";
         let root = parse(doc).unwrap();
         assert_eq!(root.name, "r");
         assert_eq!(root.children.len(), 1);

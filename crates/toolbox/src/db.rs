@@ -125,10 +125,7 @@ impl DataManipulate {
                 Ok(out)
             }
             ManipOp::Select { cols } => {
-                let idxs: Vec<usize> = cols
-                    .iter()
-                    .map(|c| col_idx(c))
-                    .collect::<Result<_, _>>()?;
+                let idxs: Vec<usize> = cols.iter().map(|c| col_idx(c)).collect::<Result<_, _>>()?;
                 let mut out = Table::new(cols.clone());
                 out.rows = t
                     .rows
@@ -141,7 +138,9 @@ impl DataManipulate {
                 let ci = col_idx(col)?;
                 let mut out = t.clone();
                 out.rows.sort_by(|a, b| {
-                    let ord = a[ci].partial_cmp(&b[ci]).unwrap_or(std::cmp::Ordering::Equal);
+                    let ord = a[ci]
+                        .partial_cmp(&b[ci])
+                        .unwrap_or(std::cmp::Ordering::Equal);
                     if *desc {
                         ord.reverse()
                     } else {
@@ -343,7 +342,11 @@ mod tests {
                 max: 6.0,
             },
         };
-        let out = u.process(vec![TrianaData::Table(t)]).unwrap().pop().unwrap();
+        let out = u
+            .process(vec![TrianaData::Table(t)])
+            .unwrap()
+            .pop()
+            .unwrap();
         let TrianaData::Table(t) = out else { panic!() };
         let vals: Vec<f64> = t.rows.iter().map(|r| r[0]).collect();
         assert_eq!(vals, vec![3.0, 4.0, 5.0, 6.0]);
@@ -380,7 +383,11 @@ mod tests {
                 desc: true,
             },
         };
-        let out = u.process(vec![TrianaData::Table(t)]).unwrap().pop().unwrap();
+        let out = u
+            .process(vec![TrianaData::Table(t)])
+            .unwrap()
+            .pop()
+            .unwrap();
         let TrianaData::Table(t) = out else { panic!() };
         let vals: Vec<f64> = t.rows.iter().map(|r| r[0]).collect();
         assert_eq!(vals, vec![9.0, 5.0, 2.0]);
@@ -406,7 +413,11 @@ mod tests {
             col: "magnitude".into(),
             bins: 8,
         };
-        let out = u.process(vec![TrianaData::Table(cat)]).unwrap().pop().unwrap();
+        let out = u
+            .process(vec![TrianaData::Table(cat)])
+            .unwrap()
+            .pop()
+            .unwrap();
         let TrianaData::ImageFrame {
             width,
             height,
@@ -423,13 +434,23 @@ mod tests {
     fn verify_reports_ok_and_failures() {
         let mut u = DataVerify;
         let good = sample_catalogue(7, 6);
-        let out = u.process(vec![TrianaData::Table(good)]).unwrap().pop().unwrap();
+        let out = u
+            .process(vec![TrianaData::Table(good)])
+            .unwrap()
+            .pop()
+            .unwrap();
         assert_eq!(out, TrianaData::Text("OK rows=7 cols=5".into()));
         let mut bad = sample_catalogue(3, 7);
         bad.rows[1][2] = f64::NAN;
         bad.rows[2].pop();
-        let out = u.process(vec![TrianaData::Table(bad)]).unwrap().pop().unwrap();
-        let TrianaData::Text(report) = out else { panic!() };
+        let out = u
+            .process(vec![TrianaData::Table(bad)])
+            .unwrap()
+            .pop()
+            .unwrap();
+        let TrianaData::Text(report) = out else {
+            panic!()
+        };
         assert!(report.starts_with("FAIL"));
         assert!(report.contains("ragged"));
         assert!(report.contains("NaN"));

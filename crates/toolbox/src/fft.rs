@@ -262,12 +262,8 @@ mod tests {
         let signal: Vec<f64> = (0..n).map(|t| ((t * 7 % 13) as f64) - 6.0).collect();
         let (re, im) = fft_real(&signal);
         let time_energy: f64 = signal.iter().map(|x| x * x).sum();
-        let freq_energy: f64 = re
-            .iter()
-            .zip(&im)
-            .map(|(r, i)| r * r + i * i)
-            .sum::<f64>()
-            / n as f64;
+        let freq_energy: f64 =
+            re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum::<f64>() / n as f64;
         assert!((time_energy - freq_energy).abs() < 1e-6);
     }
 

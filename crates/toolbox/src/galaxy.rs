@@ -237,11 +237,7 @@ mod tests {
         let snaps = synthesize_snapshots(3, 200, 7);
         let spread_x = |s: &ParticleSet| {
             let mean: f64 = s.pos.iter().map(|p| p[0]).sum::<f64>() / s.len() as f64;
-            s.pos
-                .iter()
-                .map(|p| (p[0] - mean).abs())
-                .sum::<f64>()
-                / s.len() as f64
+            s.pos.iter().map(|p| (p[0] - mean).abs()).sum::<f64>() / s.len() as f64
         };
         assert!(
             spread_x(&snaps[0]) > spread_x(&snaps[2]),

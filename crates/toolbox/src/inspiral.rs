@@ -246,7 +246,13 @@ impl Unit for ChunkSource {
         } else {
             0
         };
-        let samples = inject_chirp(self.samples, &self.template, amplitude, offset, &mut self.rng);
+        let samples = inject_chirp(
+            self.samples,
+            &self.template,
+            amplitude,
+            offset,
+            &mut self.rng,
+        );
         Ok(vec![TrianaData::SampleSet {
             rate_hz: self.rate_hz,
             samples,
@@ -288,11 +294,7 @@ impl Unit for MatchedFilter {
     fn process(&mut self, inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
         match inputs.into_iter().next() {
             Some(TrianaData::SampleSet { samples, .. }) => {
-                let mut table = Table::new(vec![
-                    "template".into(),
-                    "offset".into(),
-                    "snr".into(),
-                ]);
+                let mut table = Table::new(vec!["template".into(), "offset".into(), "snr".into()]);
                 if let Some(d) = search(&samples, &self.bank) {
                     table
                         .rows
@@ -454,8 +456,7 @@ mod tests {
         let bank = TemplateBank::generate(4, 1.0, 3.0, 16.0, 256.0);
         let mut snrs = Vec::new();
         for _ in 0..4 {
-            let TrianaData::SampleSet { samples, .. } =
-                src.process(vec![]).unwrap().pop().unwrap()
+            let TrianaData::SampleSet { samples, .. } = src.process(vec![]).unwrap().pop().unwrap()
             else {
                 panic!()
             };

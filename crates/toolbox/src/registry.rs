@@ -22,11 +22,15 @@ pub fn standard_registry_with_store(store: TableStore) -> UnitRegistry {
     r.register("PowerSpectrum", |_p| Ok(Box::new(PowerSpectrum)));
     r.register("AccumStat", |_p| Ok(Box::new(AccumStat::new())));
     r.register("Grapher", |_p| Ok(Box::new(Grapher)));
-    r.register("RenderFrame", |p| Ok(Box::new(RenderFrame::from_params(p)?)));
+    r.register("RenderFrame", |p| {
+        Ok(Box::new(RenderFrame::from_params(p)?))
+    });
     r.register("MatchedFilter", |p| {
         Ok(Box::new(MatchedFilter::from_params(p)?))
     });
-    r.register("ChunkSource", |p| Ok(Box::new(ChunkSource::from_params(p)?)));
+    r.register("ChunkSource", |p| {
+        Ok(Box::new(ChunkSource::from_params(p)?))
+    });
     let s = store.clone();
     r.register("DataAccess", move |p| {
         Ok(Box::new(DataAccess {
@@ -147,8 +151,12 @@ mod tests {
         let ps = g
             .add_task(&reg, "PowerSpectrum", "pspec", Params::new())
             .unwrap();
-        let acc = g.add_task(&reg, "AccumStat", "accum", Params::new()).unwrap();
-        let graph = g.add_task(&reg, "Grapher", "grapher", Params::new()).unwrap();
+        let acc = g
+            .add_task(&reg, "AccumStat", "accum", Params::new())
+            .unwrap();
+        let graph = g
+            .add_task(&reg, "Grapher", "grapher", Params::new())
+            .unwrap();
         g.connect(wave, 0, noise, 0).unwrap();
         g.connect(noise, 0, ps, 0).unwrap();
         g.connect(ps, 0, acc, 0).unwrap();
@@ -166,9 +174,7 @@ mod tests {
             )
             .unwrap();
             match r.last_of(&g, "grapher") {
-                Some(TrianaData::Spectrum { df_hz, power }) => {
-                    spectrum_snr(power, *df_hz, 64.0)
-                }
+                Some(TrianaData::Spectrum { df_hz, power }) => spectrum_snr(power, *df_hz, 64.0),
                 other => panic!("unexpected {other:?}"),
             }
         };

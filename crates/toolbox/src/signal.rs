@@ -343,8 +343,7 @@ mod tests {
         };
         let mut two_blocks = Vec::new();
         for _ in 0..2 {
-            if let TrianaData::SampleSet { samples, .. } =
-                w.process(vec![]).unwrap().pop().unwrap()
+            if let TrianaData::SampleSet { samples, .. } = w.process(vec![]).unwrap().pop().unwrap()
             {
                 two_blocks.extend(samples);
             }

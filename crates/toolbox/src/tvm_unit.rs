@@ -7,9 +7,10 @@
 //! transferred blob into a live [`Unit`], executing under the hosting
 //! peer's sandbox policy and exposing metering for billing.
 
+use obs::Obs;
 use triana_core::data::{DataType, TrianaData, TypeSpec};
 use triana_core::unit::{Unit, UnitError};
-use tvm::{execute, ExecStats, Module, ModuleBlob, SandboxPolicy};
+use tvm::{execute_obs, ExecStats, Module, ModuleBlob, SandboxPolicy};
 
 /// A unit backed by sandboxed TVM bytecode.
 pub struct TvmUnit {
@@ -18,13 +19,16 @@ pub struct TvmUnit {
     /// Metering from the most recent execution (for the billing ledger).
     pub last_stats: ExecStats,
     type_name: String,
+    observer: Obs,
 }
 
 impl TvmUnit {
     /// Admit a transferred blob: integrity check, parse, verify.
     pub fn from_blob(blob: &ModuleBlob, policy: SandboxPolicy) -> Result<Self, UnitError> {
         if !blob.integrity_ok() {
-            return Err(UnitError::Runtime("module blob failed integrity check".into()));
+            return Err(UnitError::Runtime(
+                "module blob failed integrity check".into(),
+            ));
         }
         let module = Module::from_blob(blob)
             .map_err(|e| UnitError::Runtime(format!("bad module blob: {e}")))?;
@@ -35,11 +39,18 @@ impl TvmUnit {
             module,
             policy,
             last_stats: ExecStats::default(),
+            observer: Obs::disabled(),
         })
     }
 
     pub fn module(&self) -> &Module {
         &self.module
+    }
+
+    /// Attach a metrics observer; sandboxed runs then feed the `tvm.*`
+    /// counters (instructions, violations) alongside `last_stats`.
+    pub fn set_obs(&mut self, observer: Obs) {
+        self.observer = observer;
     }
 
     fn extract(port: usize, data: &TrianaData) -> Result<Vec<f64>, UnitError> {
@@ -91,7 +102,7 @@ impl Unit for TvmUnit {
             .map(|(i, d)| Self::extract(i, d))
             .collect::<Result<_, _>>()?;
         let slices: Vec<&[f64]> = buffers.iter().map(Vec::as_slice).collect();
-        let (outputs, stats) = execute(&self.module, &slices, &self.policy)
+        let (outputs, stats) = execute_obs(&self.module, &slices, &self.policy, &self.observer)
             .map_err(|e| UnitError::Runtime(format!("sandboxed execution failed: {e}")))?;
         self.last_stats = stats;
         Ok(outputs
@@ -184,6 +195,27 @@ end:
     }
 
     #[test]
+    fn attached_observer_meters_sandboxed_runs() {
+        let observer = Obs::enabled();
+        let mut u = scaler_unit();
+        u.set_obs(observer.clone());
+        u.process(vec![
+            TrianaData::SampleSet {
+                rate_hz: 100.0,
+                samples: vec![1.0, 2.0],
+            },
+            TrianaData::Scalar(2.0),
+        ])
+        .unwrap();
+        let reg = observer.registry().unwrap();
+        assert_eq!(reg.counter_value("tvm.executions"), 1);
+        assert_eq!(
+            reg.counter_value("tvm.instructions"),
+            u.last_stats.instructions
+        );
+    }
+
+    #[test]
     fn corrupted_blob_rejected_at_admission() {
         let mut blob = assemble(SCALER).unwrap().to_blob();
         let n = blob.bytes.len();
@@ -193,11 +225,9 @@ end:
 
     #[test]
     fn sandbox_violation_is_a_unit_error() {
-        let hostile = assemble(
-            ".module Spin 1 0 0\n.func main 0\nloop:\n jmp loop\n",
-        )
-        .unwrap()
-        .to_blob();
+        let hostile = assemble(".module Spin 1 0 0\n.func main 0\nloop:\n jmp loop\n")
+            .unwrap()
+            .to_blob();
         let mut u = TvmUnit::from_blob(
             &hostile,
             SandboxPolicy {

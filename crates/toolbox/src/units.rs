@@ -8,10 +8,7 @@
 use triana_core::data::{DataType, Table, TrianaData, TypeSpec};
 use triana_core::unit::{param_f64, param_usize, Params, Unit, UnitError};
 
-fn one_sampleset(
-    who: &str,
-    inputs: Vec<TrianaData>,
-) -> Result<(f64, Vec<f64>), UnitError> {
+fn one_sampleset(who: &str, inputs: Vec<TrianaData>) -> Result<(f64, Vec<f64>), UnitError> {
     match inputs.into_iter().next() {
         Some(TrianaData::SampleSet { rate_hz, samples }) => Ok((rate_hz, samples)),
         other => Err(UnitError::Runtime(format!(
@@ -71,7 +68,10 @@ impl Unit for Adder {
         let (a, b) = (it.next(), it.next());
         match (a, b) {
             (
-                Some(TrianaData::SampleSet { rate_hz, samples: x }),
+                Some(TrianaData::SampleSet {
+                    rate_hz,
+                    samples: x,
+                }),
                 Some(TrianaData::SampleSet { samples: y, .. }),
             ) => {
                 if x.len() != y.len() {
@@ -180,9 +180,7 @@ impl Window {
         match self.kind {
             WindowKind::Hann => 0.5 - 0.5 * (tau * x).cos(),
             WindowKind::Hamming => 0.54 - 0.46 * (tau * x).cos(),
-            WindowKind::Blackman => {
-                0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos()
-            }
+            WindowKind::Blackman => 0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos(),
             WindowKind::Rect => 1.0,
         }
     }
@@ -245,10 +243,7 @@ impl Unit for Decimate {
         let (rate_hz, samples) = one_sampleset("Decimate", inputs)?;
         Ok(vec![TrianaData::SampleSet {
             rate_hz: rate_hz / self.factor as f64,
-            samples: samples
-                .into_iter()
-                .step_by(self.factor)
-                .collect(),
+            samples: samples.into_iter().step_by(self.factor).collect(),
         }])
     }
 }
@@ -362,10 +357,7 @@ impl Unit for Statistics {
 
 // ---------- image ----------
 
-fn one_image(
-    who: &str,
-    inputs: Vec<TrianaData>,
-) -> Result<(u32, u32, Vec<f64>), UnitError> {
+fn one_image(who: &str, inputs: Vec<TrianaData>) -> Result<(u32, u32, Vec<f64>), UnitError> {
     match inputs.into_iter().next() {
         Some(TrianaData::ImageFrame {
             width,
@@ -520,7 +512,9 @@ impl Unit for WordCount {
     fn process(&mut self, inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
         match inputs.into_iter().next() {
             Some(TrianaData::Text(s)) => {
-                Ok(vec![TrianaData::Scalar(s.split_whitespace().count() as f64)])
+                Ok(vec![
+                    TrianaData::Scalar(s.split_whitespace().count() as f64),
+                ])
             }
             other => Err(UnitError::Runtime(format!(
                 "WordCount expects Text, got {other:?}"
@@ -578,7 +572,9 @@ mod tests {
             .process(vec![ss(vec![1.0, 2.0]), ss(vec![10.0, 20.0])])
             .unwrap();
         assert_eq!(out[0], ss(vec![11.0, 22.0]));
-        let out = a.process(vec![ss(vec![1.0]), TrianaData::Scalar(5.0)]).unwrap();
+        let out = a
+            .process(vec![ss(vec![1.0]), TrianaData::Scalar(5.0)])
+            .unwrap();
         assert_eq!(out[0], ss(vec![6.0]));
         let out = a
             .process(vec![TrianaData::Scalar(2.0), TrianaData::Scalar(3.0)])
@@ -587,9 +583,7 @@ mod tests {
             panic!()
         };
         assert_eq!(samples, &vec![5.0]);
-        assert!(a
-            .process(vec![ss(vec![1.0]), ss(vec![1.0, 2.0])])
-            .is_err());
+        assert!(a.process(vec![ss(vec![1.0]), ss(vec![1.0, 2.0])]).is_err());
     }
 
     #[test]
@@ -659,11 +653,10 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        assert!(Decimate::from_params(&Params::from([(
-            "factor".to_string(),
-            "0".to_string()
-        )]))
-        .is_err());
+        assert!(
+            Decimate::from_params(&Params::from([("factor".to_string(), "0".to_string())]))
+                .is_err()
+        );
     }
 
     #[test]
@@ -705,7 +698,9 @@ mod tests {
     fn statistics_row_is_correct() {
         let mut s = Statistics;
         let out = s.process(vec![ss(vec![1.0, 2.0, 3.0, 4.0])]).unwrap();
-        let TrianaData::Table(t) = &out[0] else { panic!() };
+        let TrianaData::Table(t) = &out[0] else {
+            panic!()
+        };
         let row = &t.rows[0];
         assert_eq!(row[0], 4.0); // n
         assert!((row[1] - 2.5).abs() < 1e-12); // mean

@@ -69,9 +69,7 @@ pub fn assemble(src: &str) -> Result<Module, AsmError> {
             if parts.len() != 4 {
                 return Err(err(line_no, ".module <name> <version> <n_in> <n_out>"));
             }
-            let version = parts[1]
-                .parse()
-                .map_err(|_| err(line_no, "bad version"))?;
+            let version = parts[1].parse().map_err(|_| err(line_no, "bad version"))?;
             let n_inputs = parts[2].parse().map_err(|_| err(line_no, "bad n_in"))?;
             let n_outputs = parts[3].parse().map_err(|_| err(line_no, "bad n_out"))?;
             module = Some(Module {

@@ -19,7 +19,10 @@ pub enum TvmError {
     /// Static verification failed; the module was never started.
     Verify(VerifyError),
     /// Supplied input port count does not match the module signature.
-    BadArity { expected: u8, got: usize },
+    BadArity {
+        expected: u8,
+        got: usize,
+    },
     StackUnderflow,
     StackOverflow,
     CallDepthExceeded,
@@ -28,7 +31,10 @@ pub enum TvmError {
     /// Output ports exceeded the sandbox cell cap.
     OutputLimitExceeded,
     /// An `InGet`/`OutSet` index was negative, non-finite, or out of bounds.
-    IndexOutOfBounds { port: u8, index: f64 },
+    IndexOutOfBounds {
+        port: u8,
+        index: f64,
+    },
     /// `HostIo` executed without the capability.
     HostIoDenied,
 }
@@ -222,8 +228,10 @@ pub fn execute(
             Op::InGet(p) => {
                 let idx = pop!();
                 let port = inputs[p as usize];
-                let i = to_index(idx, port.len())
-                    .ok_or(TvmError::IndexOutOfBounds { port: p, index: idx })?;
+                let i = to_index(idx, port.len()).ok_or(TvmError::IndexOutOfBounds {
+                    port: p,
+                    index: idx,
+                })?;
                 push!(port[i]);
             }
             Op::OutPush(p) => {
@@ -238,8 +246,10 @@ pub fn execute(
                 let v = pop!();
                 let idx = pop!();
                 let out = &mut outputs[p as usize];
-                let i = to_raw_index(idx)
-                    .ok_or(TvmError::IndexOutOfBounds { port: p, index: idx })?;
+                let i = to_raw_index(idx).ok_or(TvmError::IndexOutOfBounds {
+                    port: p,
+                    index: idx,
+                })?;
                 if i >= out.len() {
                     let grow = i + 1 - out.len();
                     if out_cells + grow > policy.max_output_cells {
@@ -261,6 +271,46 @@ pub fn execute(
         }
     }
     Ok((outputs, stats))
+}
+
+/// Instrumented variant of [`execute`]: identical semantics, but records
+/// metering counters into `observer` (a no-op when the handle is disabled).
+///
+/// Counters: `tvm.executions`, `tvm.instructions`, `tvm.errors`, plus
+/// per-kind sandbox violation counters (`tvm.violations.budget`,
+/// `tvm.violations.stack`, `tvm.violations.output`, `tvm.violations.host_io`).
+/// `tvm.max_stack` tracks the high-water operand stack depth as a gauge and
+/// `tvm.instructions_per_run` the per-run instruction histogram.
+pub fn execute_obs(
+    module: &Module,
+    inputs: &[&[f64]],
+    policy: &SandboxPolicy,
+    observer: &obs::Obs,
+) -> Result<(Vec<Vec<f64>>, ExecStats), TvmError> {
+    let result = execute(module, inputs, policy);
+    if observer.is_enabled() {
+        observer.incr("tvm.executions");
+        match &result {
+            Ok((_, stats)) => {
+                observer.add("tvm.instructions", stats.instructions);
+                observer.gauge_max("tvm.max_stack", stats.max_stack as i64);
+                observer.observe("tvm.instructions_per_run", stats.instructions);
+            }
+            Err(e) => {
+                observer.incr("tvm.errors");
+                match e {
+                    TvmError::BudgetExceeded => observer.incr("tvm.violations.budget"),
+                    TvmError::StackOverflow | TvmError::CallDepthExceeded => {
+                        observer.incr("tvm.violations.stack")
+                    }
+                    TvmError::OutputLimitExceeded => observer.incr("tvm.violations.output"),
+                    TvmError::HostIoDenied => observer.incr("tvm.violations.host_io"),
+                    _ => {}
+                }
+            }
+        }
+    }
+    result
 }
 
 fn bool_f(b: bool) -> f64 {
@@ -301,6 +351,41 @@ mod tests {
                 code,
             }],
         }
+    }
+
+    #[test]
+    fn execute_obs_records_metering_and_violations() {
+        let observer = obs::Obs::enabled();
+        let m = module1(
+            vec![Push(3.0), Push(4.0), Add, Push(2.0), Mul, OutPush(0), Halt],
+            0,
+            0,
+            1,
+        );
+        let (out, stats) = execute_obs(&m, &[], &SandboxPolicy::standard(), &observer).unwrap();
+        assert_eq!(out, vec![vec![14.0]]);
+        let reg = observer.registry().unwrap();
+        assert_eq!(reg.counter_value("tvm.executions"), 1);
+        assert_eq!(reg.counter_value("tvm.instructions"), stats.instructions);
+        assert!(reg.gauge_value("tvm.max_stack").unwrap() >= 2);
+
+        // A runaway loop trips the budget and is tallied per violation kind.
+        let runaway = module1(vec![Jmp(0), Halt], 0, 0, 0);
+        let tight = SandboxPolicy {
+            max_instructions: 100,
+            ..SandboxPolicy::standard()
+        };
+        let err = execute_obs(&runaway, &[], &tight, &observer).unwrap_err();
+        assert_eq!(err, TvmError::BudgetExceeded);
+        assert_eq!(reg.counter_value("tvm.executions"), 2);
+        assert_eq!(reg.counter_value("tvm.errors"), 1);
+        assert_eq!(reg.counter_value("tvm.violations.budget"), 1);
+
+        // Disabled handle records nothing and changes nothing.
+        let (out2, _) = execute_obs(&m, &[], &SandboxPolicy::standard(), &obs::Obs::disabled())
+            .expect("disabled observer must not affect execution");
+        assert_eq!(out2, vec![vec![14.0]]);
+        assert_eq!(reg.counter_value("tvm.executions"), 2);
     }
 
     #[test]

@@ -149,23 +149,17 @@ impl Op {
         let op = *bytes.get(*pos).ok_or(DecodeError::Truncated)?;
         *pos += 1;
         let f64_arg = |pos: &mut usize| -> Result<f64, DecodeError> {
-            let b = bytes
-                .get(*pos..*pos + 8)
-                .ok_or(DecodeError::Truncated)?;
+            let b = bytes.get(*pos..*pos + 8).ok_or(DecodeError::Truncated)?;
             *pos += 8;
             Ok(f64::from_le_bytes(b.try_into().unwrap()))
         };
         let u16_arg = |pos: &mut usize| -> Result<u16, DecodeError> {
-            let b = bytes
-                .get(*pos..*pos + 2)
-                .ok_or(DecodeError::Truncated)?;
+            let b = bytes.get(*pos..*pos + 2).ok_or(DecodeError::Truncated)?;
             *pos += 2;
             Ok(u16::from_le_bytes(b.try_into().unwrap()))
         };
         let u32_arg = |pos: &mut usize| -> Result<u32, DecodeError> {
-            let b = bytes
-                .get(*pos..*pos + 4)
-                .ok_or(DecodeError::Truncated)?;
+            let b = bytes.get(*pos..*pos + 4).ok_or(DecodeError::Truncated)?;
             *pos += 4;
             Ok(u32::from_le_bytes(b.try_into().unwrap()))
         };

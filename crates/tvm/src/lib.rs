@@ -25,7 +25,7 @@ pub mod module;
 pub mod sandbox;
 pub mod verify;
 
-pub use interp::{execute, ExecStats, TvmError};
+pub use interp::{execute, execute_obs, ExecStats, TvmError};
 pub use isa::Op;
 pub use module::{Function, Module, ModuleBlob};
 pub use sandbox::SandboxPolicy;

@@ -89,10 +89,18 @@ pub fn verify(module: &Module) -> Result<(), VerifyError> {
                     });
                 }
                 Op::InLen(p) | Op::InGet(p) if p >= module.n_inputs => {
-                    return Err(VerifyError::PortOutOfRange { func: fi, pc, port: p });
+                    return Err(VerifyError::PortOutOfRange {
+                        func: fi,
+                        pc,
+                        port: p,
+                    });
                 }
                 Op::OutPush(p) | Op::OutSet(p) | Op::OutLen(p) if p >= module.n_outputs => {
-                    return Err(VerifyError::PortOutOfRange { func: fi, pc, port: p });
+                    return Err(VerifyError::PortOutOfRange {
+                        func: fi,
+                        pc,
+                        port: p,
+                    });
                 }
                 _ => {}
             }

@@ -141,9 +141,7 @@ fn main() {
     let s = farm.worker_cache_stats(wid);
     println!(
         "3 jobs needing Smoother v1: {} download(s) of {} B (then {} cache hits)",
-        s.misses,
-        s.bytes_fetched,
-        s.hits
+        s.misses, s.bytes_fetched, s.hits
     );
 
     // Republish as v2: the next job re-fetches exactly once.

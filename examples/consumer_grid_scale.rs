@@ -12,9 +12,7 @@
 
 use consumer_grid::core::checkpoint::CheckpointPolicy;
 use consumer_grid::core::grid::farm::{run_farm, FarmConfig, FarmScheduler, JobSpec};
-use consumer_grid::core::grid::redundancy::{
-    Behaviour, RedundancyConfig, Verdict, VotingFarm,
-};
+use consumer_grid::core::grid::redundancy::{Behaviour, RedundancyConfig, Verdict, VotingFarm};
 use consumer_grid::core::grid::service::{TrianaController, TrianaService};
 use consumer_grid::core::grid::{GridWorld, WorkerId, WorkerSetup};
 use consumer_grid::netsim::avail::AvailabilityModel;

@@ -15,12 +15,17 @@ use consumer_grid::core::unit::Unit;
 use consumer_grid::netsim::avail::AvailabilityTrace;
 use consumer_grid::netsim::{HostSpec, SimTime};
 use consumer_grid::p2p::DiscoveryMode;
-use consumer_grid::toolbox::galaxy::{render_column_density, synthesize_snapshots, RenderFrame, View};
+use consumer_grid::toolbox::galaxy::{
+    render_column_density, synthesize_snapshots, RenderFrame, View,
+};
 
 fn main() {
     let frames = 24;
     let particles_per_cluster = 10_000;
-    println!("Case 1: {frames} frames of a {}-particle galaxy merger\n", 2 * particles_per_cluster);
+    println!(
+        "Case 1: {frames} frames of a {}-particle galaxy merger\n",
+        2 * particles_per_cluster
+    );
 
     // Render the first and last frame locally to show the science output.
     let snaps = synthesize_snapshots(frames, particles_per_cluster, 42);
@@ -28,7 +33,10 @@ fn main() {
         pixels: 40,
         ..View::default()
     };
-    for (label, idx) in [("t=0 (separated clusters)", 0), ("t=1 (merged)", frames - 1)] {
+    for (label, idx) in [
+        ("t=0 (separated clusters)", 0),
+        ("t=1 (merged)", frames - 1),
+    ] {
         let (w, _, img) = render_column_density(&snaps[idx], &view);
         println!("{label}:");
         let max = img.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
@@ -36,7 +44,10 @@ fn main() {
             print!("    ");
             for p in row {
                 let l = (p / max * 7.0).sqrt() * 3.0;
-                print!("{}", [" ", ".", ":", "-", "=", "+", "*", "#"][(l as usize).min(7)]);
+                print!(
+                    "{}",
+                    [" ", ".", ":", "-", "=", "+", "*", "#"][(l as usize).min(7)]
+                );
             }
             println!();
         }
@@ -64,7 +75,10 @@ fn main() {
     );
 
     println!("farming over simulated LAN peers (parallel policy):");
-    println!("{:>6}  {:>11}  {:>8}  {:>10}", "peers", "makespan s", "speedup", "efficiency");
+    println!(
+        "{:>6}  {:>11}  {:>8}  {:>10}",
+        "peers", "makespan s", "speedup", "efficiency"
+    );
     let mut base = None;
     for k in [1usize, 2, 4, 8] {
         let mut world = GridWorld::new(7 + k as u64, DiscoveryMode::Flooding);
@@ -108,5 +122,7 @@ fn main() {
             b / makespan / k as f64
         );
     }
-    println!("\n\"the user can visualise the galaxy formation in a fraction of the time\" — §3.6.1");
+    println!(
+        "\n\"the user can visualise the galaxy formation in a fraction of the time\" — §3.6.1"
+    );
 }

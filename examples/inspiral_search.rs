@@ -10,9 +10,9 @@
 //!
 //! Run with: `cargo run --release --example inspiral_search`
 
-use consumer_grid_bench::e04_inspiral_realtime as e4;
 use consumer_grid::netsim::Pcg32;
 use consumer_grid::toolbox::inspiral::{cost, inject_chirp, search, TemplateBank};
+use consumer_grid_bench::e04_inspiral_realtime as e4;
 
 fn main() {
     // --- Part 1: the real matched filter on a synthetic GEO600-like chunk.
@@ -21,7 +21,13 @@ fn main() {
     let mut rng = Pcg32::new(2003, 0);
     let true_template = 21;
     let true_offset = 5_000;
-    let chunk = inject_chirp(32_768, &bank.templates[true_template], 14.0, true_offset, &mut rng);
+    let chunk = inject_chirp(
+        32_768,
+        &bank.templates[true_template],
+        14.0,
+        true_offset,
+        &mut rng,
+    );
     println!(
         "matched-filter search: {} templates x {} samples ({}s at {} Hz)",
         bank.len(),
@@ -36,10 +42,7 @@ fn main() {
     );
     println!(
         "  detected: template {} (tau={:.2}s) at offset {} with SNR {:.1}\n",
-        det.template,
-        bank.templates[det.template].tau,
-        det.offset,
-        det.snr
+        det.template, bank.templates[det.template].tau, det.offset, det.snr
     );
 
     // --- Part 2: the paper's capacity arithmetic.

@@ -1,0 +1,241 @@
+//! Offline shim for `criterion`.
+//!
+//! Supplies the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, `black_box`, `criterion_group!`, `criterion_main!` — over
+//! a simple wall-clock harness: per benchmark it warms up once, then times
+//! a bounded batch of iterations and prints mean time per iteration (plus
+//! throughput when declared).
+//!
+//! No statistics, no HTML reports, no outlier rejection: the point in this
+//! offline environment is that `cargo bench` runs and prints comparable
+//! numbers, and `cargo test` (which executes harness-less bench targets in
+//! test mode) completes quickly. Passing `--test` (as libtest-style runners
+//! do) limits every benchmark to a single iteration.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Declared units of work per iteration, for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark's identifier: function name plus a parameter.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to bench closures; `iter` runs and times the workload.
+pub struct Bencher<'a> {
+    iters: u64,
+    elapsed: &'a mut Duration,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (untimed).
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        *self.elapsed = start.elapsed();
+    }
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+    max_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            max_iters: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for source compatibility with criterion's generated main.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let iters = self.iters();
+        run_one(name, None, iters, f);
+        self
+    }
+
+    fn iters(&self) -> u64 {
+        if self.test_mode {
+            1
+        } else {
+            self.max_iters
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for compatibility; the shim's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        let iters = self.criterion.iters();
+        run_one(&full, self.throughput, iters, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let full = format!("{}/{}", self.name, id.name);
+        let iters = self.criterion.iters();
+        run_one(&full, self.throughput, iters, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(name: &str, tp: Option<Throughput>, iters: u64, mut f: F) {
+    let mut elapsed = Duration::ZERO;
+    let mut b = Bencher {
+        iters,
+        elapsed: &mut elapsed,
+    };
+    f(&mut b);
+    let per_iter = elapsed.as_secs_f64() / iters.max(1) as f64;
+    let rate = match tp {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  {:>12.0} elem/s", n as f64 / per_iter)
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            format!("  {:>12.0} B/s", n as f64 / per_iter)
+        }
+        _ => String::new(),
+    };
+    println!("bench {name:<48} {:>12.3} µs/iter{rate}", per_iter * 1e6);
+}
+
+/// Collect bench functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion {
+            test_mode: true,
+            max_iters: 20,
+        };
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        // warm-up + 1 timed iteration in test mode
+        assert_eq!(ran, 2);
+    }
+
+    #[test]
+    fn group_with_input_and_throughput() {
+        let mut c = Criterion {
+            test_mode: true,
+            max_iters: 20,
+        };
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(100));
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &n| {
+            b.iter(|| black_box(n * n))
+        });
+        g.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).name, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").name, "x");
+    }
+}

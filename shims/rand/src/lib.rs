@@ -1,0 +1,83 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the tiny slice of `rand` 0.8 it actually consumes: the
+//! [`RngCore`] trait (implemented by `netsim::Pcg32`) and the [`Error`]
+//! type appearing in `try_fill_bytes`. All randomness in the workspace is
+//! produced by the in-tree PCG32; this crate only supplies the trait
+//! vocabulary so downstream code stays source-compatible with real `rand`.
+
+use std::fmt;
+
+/// Error type mirroring `rand::Error` (only its public face).
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    pub fn new(msg: &'static str) -> Self {
+        Error { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core RNG abstraction, mirroring `rand::RngCore`.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counting(u32);
+    impl RngCore for Counting {
+        fn next_u32(&mut self) -> u32 {
+            self.0 = self.0.wrapping_add(1);
+            self.0
+        }
+        fn next_u64(&mut self) -> u64 {
+            (self.next_u32() as u64) << 32 | self.next_u32() as u64
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(4) {
+                let w = self.next_u32().to_le_bytes();
+                chunk.copy_from_slice(&w[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn default_try_fill_delegates() {
+        let mut r = Counting(0);
+        let mut buf = [0u8; 7];
+        r.try_fill_bytes(&mut buf).unwrap();
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

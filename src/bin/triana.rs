@@ -7,25 +7,30 @@
 //! ```text
 //! triana units                       list the toolbox
 //! triana validate <file>             structural + type check
-//! triana run <file> [-n ITERS] [-s]  execute and print collected outputs
+//! triana run <file> [-n ITERS] [-s] [--metrics FILE]
+//!                                    execute and print collected outputs;
+//!                                    optionally dump a metrics JSON snapshot
 //! triana convert <file> <xml|wsfl|bpel|pnml>   dialect conversion
 //! ```
 
 use consumer_grid::core::data::TrianaData;
 use consumer_grid::core::unit::Params;
-use consumer_grid::core::{run_graph, EngineConfig, TaskGraph};
-use consumer_grid::taskgraph_xml::{from_bpel, from_wsfl, from_xml, to_bpel, to_pnml, to_wsfl, to_xml};
+use consumer_grid::core::{run_graph_obs, EngineConfig, TaskGraph};
+use consumer_grid::obs::Obs;
+use consumer_grid::taskgraph_xml::{
+    from_bpel, from_wsfl, from_xml_obs, to_bpel, to_pnml, to_wsfl, to_xml,
+};
 use consumer_grid::toolbox::standard_registry;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  triana units\n  triana validate <file>\n  triana run <file> [-n ITERS] [-s]\n  triana convert <file> <xml|wsfl|bpel|pnml>"
+        "usage:\n  triana units\n  triana validate <file>\n  triana run <file> [-n ITERS] [-s] [--metrics FILE]\n  triana convert <file> <xml|wsfl|bpel|pnml>"
     );
     ExitCode::from(2)
 }
 
-fn load(path: &str) -> Result<TaskGraph, String> {
+fn load(path: &str, observer: &Obs) -> Result<TaskGraph, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     // Dialect by root element.
     if text.contains("<flowModel") {
@@ -33,7 +38,7 @@ fn load(path: &str) -> Result<TaskGraph, String> {
     } else if text.contains("<process") {
         from_bpel(&text).map_err(|e| format!("{path}: {e}"))
     } else {
-        from_xml(&text).map_err(|e| format!("{path}: {e}"))
+        from_xml_obs(&text, observer).map_err(|e| format!("{path}: {e}"))
     }
 }
 
@@ -84,7 +89,7 @@ fn main() -> ExitCode {
             let Some(path) = args.get(1) else {
                 return usage();
             };
-            let g = match load(path) {
+            let g = match load(path, &Obs::disabled()) {
                 Ok(g) => g,
                 Err(e) => {
                     eprintln!("parse error: {e}");
@@ -114,6 +119,7 @@ fn main() -> ExitCode {
             };
             let mut iterations = 1usize;
             let mut threaded = true;
+            let mut metrics_path: Option<String> = None;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -128,10 +134,22 @@ fn main() -> ExitCode {
                         threaded = false;
                         i += 1;
                     }
+                    "--metrics" => {
+                        metrics_path = match args.get(i + 1) {
+                            Some(p) => Some(p.clone()),
+                            None => return usage(),
+                        };
+                        i += 2;
+                    }
                     _ => return usage(),
                 }
             }
-            let g = match load(path) {
+            let observer = if metrics_path.is_some() {
+                Obs::enabled()
+            } else {
+                Obs::disabled()
+            };
+            let g = match load(path, &observer) {
                 Ok(g) => g,
                 Err(e) => {
                     eprintln!("parse error: {e}");
@@ -139,14 +157,24 @@ fn main() -> ExitCode {
                 }
             };
             let reg = standard_registry();
-            match run_graph(
+            let run = run_graph_obs(
                 &g,
                 &reg,
                 &EngineConfig {
                     iterations,
                     threaded,
                 },
-            ) {
+                &observer,
+            );
+            if let Some(out) = metrics_path {
+                let json = observer.snapshot_json().expect("observer is enabled");
+                if let Err(e) = std::fs::write(&out, json) {
+                    eprintln!("cannot write metrics to {out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("metrics written to {out}");
+            }
+            match run {
                 Ok(result) => {
                     for ((task, port), tokens) in &result.outputs {
                         let name = &g.tasks[task.0 as usize].name;
@@ -167,7 +195,7 @@ fn main() -> ExitCode {
             let (Some(path), Some(to)) = (args.get(1), args.get(2)) else {
                 return usage();
             };
-            let g = match load(path) {
+            let g = match load(path, &Obs::disabled()) {
                 Ok(g) => g,
                 Err(e) => {
                     eprintln!("parse error: {e}");

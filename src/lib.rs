@@ -13,7 +13,9 @@
 //! * [`netsim`] — the deterministic discrete-event network/host simulator;
 //! * [`resources`] — virtual accounts, billing, trust policy, local
 //!   resource managers, and the enrolment-cost models;
-//! * [`taskgraph_xml`] — the XML task-graph dialect (Code Segment 1).
+//! * [`taskgraph_xml`] — the XML task-graph dialect (Code Segment 1);
+//! * [`obs`] — opt-in metrics registry and structured event tracing used
+//!   by `triana run --metrics` and the bench harness.
 //!
 //! # Quickstart
 //!
@@ -38,6 +40,7 @@
 //! ```
 
 pub use netsim;
+pub use obs;
 pub use p2p;
 pub use resources;
 pub use taskgraph_xml;

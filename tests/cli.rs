@@ -49,6 +49,62 @@ fn run_executes_figure1() {
 }
 
 #[test]
+fn run_with_metrics_emits_deterministic_json() {
+    let dir = std::env::temp_dir().join("triana_cli_metrics");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let snapshots: Vec<String> = (0..2)
+        .map(|i| {
+            let out = dir.join(format!("m{i}.json"));
+            let out_str = out.to_str().expect("utf8 path");
+            let (ok, stdout, stderr) = triana(&[
+                "run",
+                "workflows/figure1.xml",
+                "-n",
+                "2",
+                "--metrics",
+                out_str,
+            ]);
+            assert!(ok, "{stderr}");
+            assert!(stdout.contains("grapher:0"));
+            assert!(stderr.contains("metrics written"), "{stderr}");
+            std::fs::read_to_string(&out).expect("metrics file written")
+        })
+        .collect();
+    assert_eq!(
+        snapshots[0], snapshots[1],
+        "same-seed runs must be byte-identical"
+    );
+
+    let doc = consumer_grid::obs::json::parse(&snapshots[0]).expect("valid JSON");
+    let counters = doc.get("counters").expect("counters section");
+    let fires = counters
+        .get("engine.fire.wave")
+        .and_then(|v| v.as_f64())
+        .expect("engine fire counter present");
+    assert_eq!(fires, 2.0, "wave fires once per iteration");
+    let runs = counters
+        .get("engine.runs")
+        .and_then(|v| v.as_f64())
+        .expect("engine.runs present");
+    assert_eq!(runs, 1.0);
+    assert!(
+        counters.get("xml.parses").is_some(),
+        "parse counters present"
+    );
+}
+
+#[test]
+fn run_without_metrics_writes_nothing_extra() {
+    let (ok, _, stderr) = triana(&["run", "workflows/figure1.xml"]);
+    assert!(ok, "{stderr}");
+    assert!(!stderr.contains("metrics written"));
+    // --metrics with no file argument is a usage error.
+    let (ok, _, stderr) = triana(&["run", "workflows/figure1.xml", "--metrics"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+}
+
+#[test]
 fn convert_produces_parseable_dialects() {
     for dialect in ["xml", "wsfl", "bpel", "pnml"] {
         let (ok, stdout, stderr) = triana(&["convert", "workflows/group_test.xml", dialect]);

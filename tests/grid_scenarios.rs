@@ -1,20 +1,20 @@
 //! Consumer Grid scenario tests: determinism, churn robustness, discovery
 //! + farm composition, and metering/billing across the full stack.
 
+use consumer_grid::core::checkpoint::CheckpointPolicy;
 use consumer_grid::core::data::TrianaData;
+use consumer_grid::core::grid::exec::execute_group_parallel;
 use consumer_grid::core::grid::farm::{run_farm, FarmConfig, FarmScheduler, JobSpec};
 use consumer_grid::core::grid::service::{TrianaController, TrianaService};
 use consumer_grid::core::grid::{GridWorld, WorkerSetup};
-use consumer_grid::core::checkpoint::CheckpointPolicy;
 use consumer_grid::core::modules::ModuleKey;
 use consumer_grid::core::unit::{Params, Unit};
+use consumer_grid::core::{DistributionPolicy, TaskGraph};
 use consumer_grid::netsim::avail::{AvailabilityModel, AvailabilityTrace};
 use consumer_grid::netsim::{Duration, HostSpec, Pcg32, SimTime};
 use consumer_grid::p2p::DiscoveryMode;
 use consumer_grid::resources::account::VirtualAccount;
 use consumer_grid::resources::trust::ResourcePolicy;
-use consumer_grid::core::grid::exec::execute_group_parallel;
-use consumer_grid::core::{DistributionPolicy, TaskGraph};
 use consumer_grid::toolbox::galaxy::{render_column_density, synthesize_snapshots, View};
 use consumer_grid::toolbox::standard_registry;
 use consumer_grid::toolbox::tvm_unit::TvmUnit;
@@ -184,8 +184,7 @@ fn tvm_execution_is_metered_and_billed() {
     let mut world = GridWorld::new(55, DiscoveryMode::Flooding);
     let (_ctrl, _) = world.add_peer(HostSpec::lan_workstation());
     let (vol_peer, _) = world.add_peer(HostSpec::reference_pc());
-    let mut volunteer =
-        TrianaService::new(vol_peer, &[], ResourcePolicy::sandbox_default(256));
+    let mut volunteer = TrianaService::new(vol_peer, &[], ResourcePolicy::sandbox_default(256));
 
     // The guest module (shipped as a blob).
     let blob = assemble(
@@ -271,7 +270,6 @@ fn module_distribution_survives_churn() {
     let s = farm.stats();
     assert_eq!(s.jobs_done, 20, "{s:?}");
 }
-
 
 /// Case 1 through the full distribution stack: the RenderFrame group is
 /// planned, farmed over simulated LAN peers, and the returned images are

@@ -83,7 +83,6 @@ fn wsfl_sample() {
     check_and_run(&g, 2);
 }
 
-
 #[test]
 fn inspiral_sample_detects_injections() {
     let g = from_xml(include_str!("../workflows/inspiral.xml")).expect("parses");
