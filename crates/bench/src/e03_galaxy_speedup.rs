@@ -123,8 +123,7 @@ pub fn simulated_makespan(frames: usize, k: usize) -> f64 {
     .wire_size();
     for _ in 0..frames {
         farm.submit(
-            &mut world.sim,
-            &mut world.net,
+            &mut world,
             JobSpec {
                 work_gigacycles: work,
                 input_bytes: frame_data.wire_size(),

@@ -74,6 +74,7 @@ pub fn simulate(workers: usize, availability: f64, chunks: u64, seed: u64) -> Si
         ctrl,
         FarmConfig {
             checkpoint: Some(CheckpointPolicy::every(Duration::from_secs(900), 2 << 20)),
+            swarm: None,
         },
     );
     let mut rng = world.sim.stream(0xE4);

@@ -96,8 +96,7 @@ pub fn run_parallel(w: &Workload) -> PolicyOutcome {
     }
     for _ in 0..w.tokens {
         farm.submit(
-            &mut world.sim,
-            &mut world.net,
+            &mut world,
             JobSpec {
                 work_gigacycles: w.stage_work * w.stages as f64,
                 input_bytes: w.token_bytes,

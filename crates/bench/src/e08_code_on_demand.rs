@@ -17,9 +17,10 @@
 
 use crate::table;
 use netsim::avail::AvailabilityTrace;
-use netsim::{HostSpec, Pcg32, SimTime};
+use netsim::{Duration, HostSpec, Pcg32, SimTime};
+use obs::Obs;
 use p2p::DiscoveryMode;
-use triana_core::grid::farm::{run_farm, FarmConfig, FarmScheduler, JobSpec};
+use triana_core::grid::farm::{run_farm, FarmConfig, FarmScheduler, JobSpec, SwarmConfig};
 use triana_core::grid::{GridWorld, WorkerId, WorkerSetup};
 use triana_core::modules::ModuleKey;
 use tvm::asm::assemble;
@@ -77,8 +78,7 @@ pub fn run_scenario(cache_bytes: u64, jobs: usize, m: usize, seed: u64) -> Cache
     for _ in 0..jobs {
         let which = rng.below(m as u64) as usize;
         farm.submit(
-            &mut world.sim,
-            &mut world.net,
+            &mut world,
             JobSpec {
                 work_gigacycles: 0.5,
                 input_bytes: 5_000,
@@ -135,17 +135,103 @@ pub fn version_bump_fetches() -> (u64, u64) {
         module: Some(key),
     };
     // Two jobs on v1: one fetch.
-    farm.submit(&mut world.sim, &mut world.net, job(modules[0].0.clone()));
-    farm.submit(&mut world.sim, &mut world.net, job(modules[0].0.clone()));
+    farm.submit(&mut world, job(modules[0].0.clone()));
+    farm.submit(&mut world, job(modules[0].0.clone()));
     run_farm(&mut world, &mut farm);
     let before = farm.worker_cache_stats(wid).bytes_fetched;
     // Publish v2 of Mod0 and run a job against it: one more fetch.
     let v2_key = ModuleKey::new("Mod0", 2);
     farm.library.publish(v2_key.clone(), modules[0].1.clone());
-    farm.submit(&mut world.sim, &mut world.net, job(v2_key));
+    farm.submit(&mut world, job(v2_key));
     run_farm(&mut world, &mut farm);
     let after = farm.worker_cache_stats(wid).bytes_fetched;
     (before, after)
+}
+
+/// Outcome of one peer-assisted (swarm) distribution scenario.
+#[derive(Clone, Debug)]
+pub struct SwarmPoint {
+    pub workers: usize,
+    /// Bytes the controller's uplink shipped for module code.
+    pub uplink_bytes: u64,
+    /// Bytes workers pulled from each other instead.
+    pub peer_bytes: u64,
+    /// Swarm fetches that found no provider and fell back.
+    pub fallbacks: u64,
+    /// Blobs that passed hash verification after reassembly.
+    pub verified: u64,
+    /// Full metrics snapshot, for determinism checks.
+    pub snapshot: String,
+}
+
+/// One ~`approx`-byte module for swarm distribution.
+pub fn swarm_module(approx: usize) -> (ModuleKey, ModuleBlob) {
+    let mut src = String::from(".module Swarm 1 0 0\n.func main 0\n");
+    for _ in 0..approx / 10 {
+        src.push_str(" push 1\n pop\n");
+    }
+    src.push_str(" halt\n");
+    (
+        ModuleKey::new("Swarm", 1),
+        assemble(&src).expect("module assembles").to_blob(),
+    )
+}
+
+/// Farm one long job per worker, arrivals staggered 30 s apart so each job
+/// lands on a fresh worker after earlier ones were seeded. With `swarm` on,
+/// only the first download rides the controller's uplink; later workers
+/// pull chunks from already-seeded peers.
+pub fn run_swarm_scenario(workers: usize, swarm: bool, seed: u64) -> SwarmPoint {
+    let mut world = GridWorld::new(seed, DiscoveryMode::Flooding);
+    let obs = Obs::enabled();
+    let (ctrl, _) = world.add_peer(HostSpec::lan_workstation());
+    let cfg = FarmConfig {
+        checkpoint: None,
+        swarm: swarm.then(|| SwarmConfig {
+            chunk_bytes: 1024,
+            ..SwarmConfig::default()
+        }),
+    };
+    let mut farm = FarmScheduler::new(&world, ctrl, cfg);
+    farm.set_obs(obs.clone());
+    let horizon = SimTime::from_secs(1_000_000);
+    for _ in 0..workers {
+        let spec = HostSpec::lan_workstation();
+        let (peer, _) = world.add_peer(spec.clone());
+        farm.add_worker(
+            &mut world,
+            WorkerSetup {
+                peer,
+                spec,
+                trace: AvailabilityTrace::always(horizon),
+                cache_bytes: 1 << 20,
+            },
+        );
+    }
+    let mut rng = Pcg32::new(seed, 0x5A);
+    world.p2p.wire_random(4, &mut rng);
+    let (key, blob) = swarm_module(16 * 1024);
+    farm.library.publish(key.clone(), blob);
+    // Jobs outlast the whole submission window, so job i always starts on
+    // the idle worker i, which must then fetch the module.
+    farm.chunk_spec = Some(JobSpec {
+        work_gigacycles: 7200.0, // 1 h at 2 GHz
+        input_bytes: 5_000,
+        output_bytes: 1_000,
+        module: Some(key),
+    });
+    farm.schedule_chunks(&mut world.sim, Duration::from_secs(30), workers as u64);
+    run_farm(&mut world, &mut farm);
+    assert!(farm.all_done());
+    let reg = obs.registry().expect("enabled obs has a registry");
+    SwarmPoint {
+        workers,
+        uplink_bytes: reg.counter_value("farm.module_bytes_sent"),
+        peer_bytes: reg.counter_value("store.bytes_from_peers"),
+        fallbacks: reg.counter_value("store.fallback_no_provider"),
+        verified: reg.counter_value("store.blobs_verified"),
+        snapshot: obs.snapshot_json().expect("enabled obs snapshots"),
+    }
 }
 
 pub fn report() -> String {
@@ -185,9 +271,25 @@ pub fn report() -> String {
         ],
     ];
     let (v_before, v_after) = version_bump_fetches();
+    let swarm_rows: Vec<Vec<String>> = [2usize, 4, 8, 16]
+        .iter()
+        .map(|&w| {
+            let direct = run_swarm_scenario(w, false, 42);
+            let sw = run_swarm_scenario(w, true, 42);
+            vec![
+                w.to_string(),
+                direct.uplink_bytes.to_string(),
+                sw.uplink_bytes.to_string(),
+                sw.peer_bytes.to_string(),
+                sw.verified.to_string(),
+            ]
+        })
+        .collect();
     format!(
         "E8  On-demand code download ({m} modules, {jobs} jobs, 1 worker)\n\n{}\n\
-         version bump: {} B fetched for v1 (two jobs, one download), {} B after v2 republish\n",
+         version bump: {} B fetched for v1 (two jobs, one download), {} B after v2 republish\n\n\
+         Peer-assisted distribution (one 16 KiB module, one job per worker):\n\n{}\n\
+         swarm: controller uplink stays flat as workers grow; extra copies ride peer links\n",
         table::render(
             &[
                 "strategy",
@@ -200,7 +302,17 @@ pub fn report() -> String {
             &rows
         ),
         v_before,
-        v_after - v_before
+        v_after - v_before,
+        table::render(
+            &[
+                "workers",
+                "ctrl-only uplink B",
+                "swarm uplink B",
+                "peer B",
+                "verified"
+            ],
+            &swarm_rows
+        ),
     )
 }
 
@@ -249,5 +361,37 @@ mod tests {
         for w in ms.windows(2) {
             assert!(w[1].1.len() > w[0].1.len());
         }
+    }
+
+    #[test]
+    fn swarm_flattens_controller_uplink_at_scale() {
+        let blob_len = swarm_module(16 * 1024).1.len() as u64;
+        for &w in &[8usize, 16] {
+            let direct = run_swarm_scenario(w, false, 42);
+            let sw = run_swarm_scenario(w, true, 42);
+            // Controller-only ships one full blob per worker; the swarm
+            // ships the first copy and lets peers seed the rest.
+            assert_eq!(direct.uplink_bytes, blob_len * w as u64);
+            assert!(
+                sw.uplink_bytes < direct.uplink_bytes / w as u64 * 2,
+                "{w} workers: swarm uplink {} vs direct {}",
+                sw.uplink_bytes,
+                direct.uplink_bytes
+            );
+            // Per-worker uplink strictly lower with the swarm on.
+            assert!(sw.uplink_bytes < direct.uplink_bytes);
+            assert_eq!(sw.peer_bytes, blob_len * (w as u64 - 1));
+            assert_eq!(sw.fallbacks, 1, "only the first fetch lacks providers");
+            assert_eq!(sw.verified, w as u64 - 1);
+        }
+    }
+
+    #[test]
+    fn swarm_scenario_is_deterministic() {
+        let a = run_swarm_scenario(8, true, 7);
+        let b = run_swarm_scenario(8, true, 7);
+        assert_eq!(a.snapshot, b.snapshot, "same seed, same metrics");
+        let c = run_swarm_scenario(8, true, 8);
+        assert_eq!(c.uplink_bytes, a.uplink_bytes, "seed-independent uplink");
     }
 }

@@ -43,6 +43,7 @@ pub fn run_with(
         ctrl,
         FarmConfig {
             checkpoint: interval.map(|i| CheckpointPolicy::every(i, 2 << 20)),
+            swarm: None,
         },
     );
     let mut rng = world.sim.stream(0xE10);
@@ -70,8 +71,7 @@ pub fn run_with(
     }
     for _ in 0..chunks {
         farm.submit(
-            &mut world.sim,
-            &mut world.net,
+            &mut world,
             JobSpec {
                 work_gigacycles: cost::chunk_work_gigacycles(5_000),
                 input_bytes: cost::CHUNK_BYTES,

@@ -77,8 +77,7 @@ pub fn run_config(
     for _ in 0..units {
         voting.submit_unit(
             &mut farm,
-            &mut world.sim,
-            &mut world.net,
+            &mut world,
             JobSpec {
                 work_gigacycles: 10.0,
                 input_bytes: 10_000,

@@ -99,8 +99,7 @@ fn farm_stage(observer: &Obs) {
     for _ in 0..12 {
         let which = rng.below(modules.len() as u64) as usize;
         farm.submit(
-            &mut world.sim,
-            &mut world.net,
+            &mut world,
             JobSpec {
                 work_gigacycles: 2.0,
                 input_bytes: 10_000,

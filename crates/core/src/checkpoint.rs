@@ -98,3 +98,73 @@ mod tests {
         assert_eq!(cp2.fraction, 0.0);
     }
 }
+
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The fraction always lands in [0, 1], whatever the durations.
+        #[test]
+        fn fraction_always_in_unit_interval(
+            interval_s in 1u64..3_600,
+            ran_s in 0u64..1_000_000,
+            total_s in 1u64..1_000_000,
+        ) {
+            let p = CheckpointPolicy::every(Duration::from_secs(interval_s), 1_000);
+            let cp = Checkpoint::after(
+                Some(&p),
+                Duration::from_secs(ran_s),
+                Duration::from_secs(total_s),
+            );
+            prop_assert!((0.0..=1.0).contains(&cp.fraction), "fraction {}", cp.fraction);
+        }
+
+        /// Progress rounds down to the last completed interval boundary:
+        /// the saved fraction equals floor(ran / interval) * interval over
+        /// the total, capped at 1.
+        #[test]
+        fn fraction_rounds_down_to_boundary(
+            interval_s in 1u64..3_600,
+            ran_s in 0u64..1_000_000,
+            total_s in 1u64..1_000_000,
+        ) {
+            let p = CheckpointPolicy::every(Duration::from_secs(interval_s), 1_000);
+            let cp = Checkpoint::after(
+                Some(&p),
+                Duration::from_secs(ran_s),
+                Duration::from_secs(total_s),
+            );
+            let boundaries = ran_s / interval_s;
+            let expect = ((boundaries * interval_s) as f64 / total_s as f64).min(1.0);
+            prop_assert!(
+                (cp.fraction - expect).abs() < 1e-12,
+                "fraction {} expected {expect}",
+                cp.fraction
+            );
+            // Running longer never checkpoints less: one more interval of
+            // progress rounds down to a boundary at least as far along.
+            let later = Checkpoint::after(
+                Some(&p),
+                Duration::from_secs(ran_s + interval_s),
+                Duration::from_secs(total_s),
+            );
+            prop_assert!(later.fraction >= cp.fraction);
+        }
+
+        /// Without a policy the job always restarts from scratch.
+        #[test]
+        fn no_policy_always_restarts(
+            ran_s in 0u64..1_000_000,
+            total_s in 0u64..1_000_000,
+        ) {
+            let cp = Checkpoint::after(
+                None,
+                Duration::from_secs(ran_s),
+                Duration::from_secs(total_s),
+            );
+            prop_assert_eq!(cp.fraction, 0.0);
+        }
+    }
+}

@@ -155,6 +155,61 @@ fn compute_group_output(
     Ok(boundary_out)
 }
 
+/// Validate the graph and resolve the group's single token-entry port.
+fn single_entry(graph: &TaskGraph, gid: GroupId) -> Result<(TaskId, usize), ExecError> {
+    graph.validate().map_err(PlanError::from)?;
+    let (incoming, _) = graph.group_boundary(gid);
+    if incoming.len() != 1 {
+        return Err(ExecError::BadBoundary {
+            incoming: incoming.len(),
+        });
+    }
+    Ok(incoming[0].to)
+}
+
+/// Run every token through the group's real units up front (both policies
+/// compute results eagerly; only the timing differs).
+fn compute_all_outputs(
+    graph: &TaskGraph,
+    registry: &UnitRegistry,
+    gid: GroupId,
+    entry: (TaskId, usize),
+    tokens: &[TrianaData],
+) -> Result<Vec<Vec<TrianaData>>, ExecError> {
+    let mut outputs = Vec::with_capacity(tokens.len());
+    for t in tokens {
+        outputs.push(compute_group_output(graph, registry, gid, entry, t)?);
+    }
+    Ok(outputs)
+}
+
+/// Pair each token's real outputs with its simulated latency. All tokens
+/// enter at t=0, so the completion instant equals the latency; a missing
+/// latency means the simulation ended before that token finished.
+fn collect_results(
+    outputs: Vec<Vec<TrianaData>>,
+    latency_of: impl Fn(usize) -> Option<Duration>,
+) -> Result<Vec<TokenResult>, ExecError> {
+    let total = outputs.len();
+    let mut results = Vec::with_capacity(total);
+    for (i, outs) in outputs.into_iter().enumerate() {
+        match latency_of(i) {
+            Some(latency) => results.push(TokenResult {
+                outputs: outs,
+                latency,
+                completed_at: SimTime::ZERO + latency,
+            }),
+            None => {
+                return Err(ExecError::Incomplete {
+                    done: results.len(),
+                    total,
+                })
+            }
+        }
+    }
+    Ok(results)
+}
+
 /// Farm a parallel group over `workers` (already enrolled in the world),
 /// computing real outputs and simulated latencies for `tokens`.
 #[allow(clippy::too_many_arguments)] // one call site per experiment; a builder would obscure the seam
@@ -195,14 +250,7 @@ pub fn execute_group_parallel_obs(
     cfg: FarmConfig,
     observer: &Obs,
 ) -> Result<GroupRun, ExecError> {
-    graph.validate().map_err(PlanError::from)?;
-    let (incoming, _) = graph.group_boundary(gid);
-    if incoming.len() != 1 {
-        return Err(ExecError::BadBoundary {
-            incoming: incoming.len(),
-        });
-    }
-    let entry = incoming[0].to;
+    let entry = single_entry(graph, gid)?;
     let peers: Vec<p2p::PeerId> = workers.iter().map(|w| w.peer).collect();
     let plan = plan_parallel(graph, gid, &peers)?;
     observer.incr("exec.rewrites");
@@ -210,10 +258,7 @@ pub fn execute_group_parallel_obs(
     observer.add("exec.tokens_submitted", tokens.len() as u64);
 
     // Real results, computed up front (clone semantics: stateless).
-    let mut outputs = Vec::with_capacity(tokens.len());
-    for t in &tokens {
-        outputs.push(compute_group_output(graph, registry, gid, entry, t)?);
-    }
+    let outputs = compute_all_outputs(graph, registry, gid, entry, &tokens)?;
 
     // Simulated timing via the farm.
     let mut farm = FarmScheduler::new(world, controller, cfg);
@@ -225,32 +270,11 @@ pub fn execute_group_parallel_obs(
     for (t, outs) in tokens.iter().zip(&outputs) {
         let mut spec: JobSpec = group_job_spec(graph, registry, gid, t)?;
         spec.output_bytes = outs.iter().map(TrianaData::wire_size).sum::<u64>().max(1);
-        job_ids.push(farm.submit(&mut world.sim, &mut world.net, spec));
+        job_ids.push(farm.submit(world, spec));
     }
     run_farm(world, &mut farm);
 
-    let mut results = Vec::with_capacity(tokens.len());
-    let mut done = 0;
-    for (job, outs) in job_ids.iter().zip(outputs) {
-        match farm.job_latency(*job) {
-            Some(latency) => {
-                done += 1;
-                // All tokens are submitted at t=0, so the completion
-                // instant equals the latency.
-                results.push(TokenResult {
-                    outputs: outs,
-                    latency,
-                    completed_at: SimTime::ZERO + latency,
-                });
-            }
-            None => {
-                return Err(ExecError::Incomplete {
-                    done,
-                    total: job_ids.len(),
-                })
-            }
-        }
-    }
+    let results = collect_results(outputs, |i| farm.job_latency(job_ids[i]))?;
     let makespan = farm.stats().makespan;
     Ok(GroupRun {
         tokens: results,
@@ -301,24 +325,14 @@ pub fn execute_group_pipeline_obs(
     use crate::grid::pipeline::{run_pipeline, PipelineScheduler, StageSpec};
     use crate::rewrite::plan_peer_to_peer;
 
-    graph.validate().map_err(PlanError::from)?;
-    let (incoming, _) = graph.group_boundary(gid);
-    if incoming.len() != 1 {
-        return Err(ExecError::BadBoundary {
-            incoming: incoming.len(),
-        });
-    }
-    let entry = incoming[0].to;
+    let entry = single_entry(graph, gid)?;
     let plan = plan_peer_to_peer(graph, gid, stage_peers)?;
     observer.incr("exec.rewrites");
     observer.add("exec.rewrite_stages", plan.assignments.len() as u64);
     observer.add("exec.tokens_submitted", tokens.len() as u64);
 
     // Real results, token by token (chain semantics are per-token).
-    let mut outputs = Vec::with_capacity(tokens.len());
-    for t in &tokens {
-        outputs.push(compute_group_output(graph, registry, gid, entry, t)?);
-    }
+    let outputs = compute_all_outputs(graph, registry, gid, entry, &tokens)?;
 
     // Simulated timing: one stage per assignment, work from the member
     // unit's calibrated estimate on the first token (uniform stream).
@@ -350,26 +364,7 @@ pub fn execute_group_pipeline_obs(
     pl.emit_tokens(&mut world.sim, tokens.len() as u64, netsim::Duration::ZERO);
     run_pipeline(world, &mut pl);
 
-    let mut results = Vec::with_capacity(tokens.len());
-    let mut done = 0;
-    for (i, outs) in outputs.into_iter().enumerate() {
-        match pl.token_latency(i as u64) {
-            Some(latency) => {
-                done += 1;
-                results.push(TokenResult {
-                    outputs: outs,
-                    latency,
-                    completed_at: SimTime::ZERO + latency,
-                });
-            }
-            None => {
-                return Err(ExecError::Incomplete {
-                    done,
-                    total: tokens.len(),
-                })
-            }
-        }
-    }
+    let results = collect_results(outputs, |i| pl.token_latency(i as u64))?;
     let makespan = pl.stats().last_done;
     Ok(GroupRun {
         tokens: results,

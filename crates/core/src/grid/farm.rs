@@ -9,17 +9,18 @@
 //! migrated and resume from their last checkpoint if a
 //! [`CheckpointPolicy`] is configured.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use netsim::avail::AvailabilityTrace;
-use netsim::{Duration, HostId, HostSpec, Network, Sim, SimTime};
+use netsim::{Duration, HostId, HostSpec, Sim, SimTime};
 use obs::Obs;
-use p2p::PeerId;
+use p2p::{AdvertBody, Advertisement, BlobAdvert, PeerId, QueryId, QueryKind};
+use store::{assign_round_robin, BlobId, ChunkStore, FetchTracker};
 
 use resources::account::{BillingLedger, UsageRecord, VirtualAccount};
 
 use crate::checkpoint::{Checkpoint, CheckpointPolicy};
-use crate::grid::{GridEvent, GridWorld, JobId, WorkerId, WorkerSetup};
+use crate::grid::{ChunkSource, GridEvent, GridWorld, JobId, WorkerId, WorkerSetup};
 use crate::modules::{ModuleCache, ModuleKey, ModuleLibrary};
 
 /// One distributable unit of work.
@@ -40,6 +41,46 @@ pub struct JobSpec {
 pub struct FarmConfig {
     /// Checkpoint/migration policy; `None` restarts interrupted jobs.
     pub checkpoint: Option<CheckpointPolicy>,
+    /// Peer-assisted module distribution; `None` keeps the classic
+    /// controller-direct download of §3.3.
+    pub swarm: Option<SwarmConfig>,
+}
+
+/// Settings for peer-assisted (swarm) module distribution: modules are
+/// content-addressed, chunked, and pulled from other workers that already
+/// hold them, offloading the controller's uplink.
+#[derive(Clone, Debug)]
+pub struct SwarmConfig {
+    /// Chunk size blobs are split into.
+    pub chunk_bytes: u64,
+    /// Flood TTL of provider-discovery queries.
+    pub query_ttl: u8,
+    /// How long a fetching worker collects provider hits before picking
+    /// sources (or falling back to the controller).
+    pub query_window: Duration,
+    /// Pull chunks from at most this many providers in parallel.
+    pub max_providers: usize,
+    /// Lifetime of the provider adverts seeded workers publish.
+    pub advert_ttl: Duration,
+}
+
+impl Default for SwarmConfig {
+    fn default() -> Self {
+        SwarmConfig {
+            chunk_bytes: 16 * 1024,
+            query_ttl: 4,
+            query_window: Duration::from_secs(2),
+            max_providers: 4,
+            advert_ttl: Duration::from_secs(86_400),
+        }
+    }
+}
+
+/// One in-flight swarm module fetch (keyed by job in the scheduler).
+struct SwarmFetch {
+    key: ModuleKey,
+    query: QueryId,
+    tracker: FetchTracker,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -93,6 +134,9 @@ struct Worker {
     /// Jobs currently computing on this worker.
     running: Vec<RunningJob>,
     cache: ModuleCache,
+    /// Chunks of content-addressed blobs this worker holds and can serve
+    /// to swarm-fetching peers.
+    store: ChunkStore,
     jobs_completed: u64,
     /// Usage metered against the controller's virtual account (§2:
     /// "billing information for resources used").
@@ -131,6 +175,10 @@ pub struct FarmScheduler {
     pub chunk_spec: Option<JobSpec>,
     /// The submitting user's virtual account, billed on every worker.
     pub account: VirtualAccount,
+    /// In-flight swarm module fetches, by job.
+    fetches: HashMap<JobId, SwarmFetch>,
+    /// Reverse map for serving swarm chunks out of a provider's store.
+    peer_workers: HashMap<PeerId, WorkerId>,
     obs: Obs,
 }
 
@@ -146,6 +194,8 @@ impl FarmScheduler {
             library: ModuleLibrary::new(),
             chunk_spec: None,
             account: VirtualAccount("controller".to_string()),
+            fetches: HashMap::new(),
+            peer_workers: HashMap::new(),
             obs: Obs::disabled(),
         }
     }
@@ -176,6 +226,8 @@ impl FarmScheduler {
         let up = setup.trace.is_up(SimTime::ZERO);
         world.net.set_online(host, up);
         schedule_transitions(&mut world.sim, id, &setup.trace);
+        let chunk_bytes = self.cfg.swarm.as_ref().map_or(16 * 1024, |s| s.chunk_bytes);
+        self.peer_workers.insert(setup.peer, id);
         self.workers.push(Worker {
             peer: setup.peer,
             host,
@@ -186,6 +238,7 @@ impl FarmScheduler {
             active: 0,
             running: Vec::new(),
             cache: ModuleCache::new(setup.cache_bytes),
+            store: ChunkStore::new(chunk_bytes),
             jobs_completed: 0,
             ledger: BillingLedger::new(),
         });
@@ -193,8 +246,8 @@ impl FarmScheduler {
     }
 
     /// Queue a job and try to place it.
-    pub fn submit(&mut self, sim: &mut Sim<GridEvent>, net: &mut Network, spec: JobSpec) -> JobId {
-        self.submit_with_conflicts(sim, net, spec, Vec::new())
+    pub fn submit(&mut self, world: &mut GridWorld, spec: JobSpec) -> JobId {
+        self.submit_with_conflicts(world, spec, Vec::new())
     }
 
     /// Queue a job that must never run on a worker hosting (or having
@@ -202,15 +255,14 @@ impl FarmScheduler {
     /// behind redundant result verification.
     pub fn submit_with_conflicts(
         &mut self,
-        sim: &mut Sim<GridEvent>,
-        net: &mut Network,
+        world: &mut GridWorld,
         spec: JobSpec,
         conflicts: Vec<JobId>,
     ) -> JobId {
         let id = JobId(self.jobs.len() as u64);
         self.jobs.push(Job {
             spec,
-            created: sim.now(),
+            created: world.sim.now(),
             completed: None,
             completed_by: None,
             conflicts,
@@ -221,7 +273,7 @@ impl FarmScheduler {
             wasted: Duration::ZERO,
         });
         self.pending.push_back(id);
-        self.dispatch(sim, net);
+        self.dispatch(world);
         id
     }
 
@@ -242,7 +294,7 @@ impl FarmScheduler {
         }
     }
 
-    fn dispatch(&mut self, sim: &mut Sim<GridEvent>, net: &mut Network) {
+    fn dispatch(&mut self, world: &mut GridWorld) {
         loop {
             // FIFO over pending jobs, skipping jobs whose conflict set
             // rules out every idle worker; fastest eligible idle worker
@@ -271,17 +323,11 @@ impl FarmScheduler {
                 return;
             };
             let job_id = self.pending.remove(qi).expect("index from scan");
-            self.assign(sim, net, job_id, wid);
+            self.assign(world, job_id, wid);
         }
     }
 
-    fn assign(
-        &mut self,
-        sim: &mut Sim<GridEvent>,
-        net: &mut Network,
-        job_id: JobId,
-        wid: WorkerId,
-    ) {
+    fn assign(&mut self, world: &mut GridWorld, job_id: JobId, wid: WorkerId) {
         let epoch = self.workers[wid.0 as usize].epoch;
         self.workers[wid.0 as usize].active += 1;
         let module_key = self.jobs[job_id.0 as usize].spec.module.clone();
@@ -298,9 +344,10 @@ impl FarmScheduler {
             });
         }
         self.obs.incr("farm.dispatches");
-        self.obs.event(sim.now().as_micros(), "farm.dispatch", || {
-            format!("job={} worker={}", job_id.0, wid.0)
-        });
+        self.obs
+            .event(world.sim.now().as_micros(), "farm.dispatch", || {
+                format!("job={} worker={}", job_id.0, wid.0)
+            });
         let job = &mut self.jobs[job_id.0 as usize];
         job.assigned = Some((wid, epoch));
         job.attempts += 1;
@@ -309,39 +356,214 @@ impl FarmScheduler {
         }
         if needs_module {
             let key = module_key.expect("checked above");
-            let bytes = self
-                .library
-                .fetch(&key)
-                .map(|b| b.len() as u64)
-                .unwrap_or(0);
             self.jobs[job_id.0 as usize].state = JobState::FetchingModule;
-            self.obs.add("farm.module_bytes_sent", bytes);
-            let dst = self.workers[wid.0 as usize].host;
-            match net.transfer(sim.now(), self.controller_host, dst, bytes) {
-                Ok(delay) => sim.schedule(
-                    delay,
-                    GridEvent::ModuleArrived {
-                        job: job_id,
-                        worker: wid,
-                        key,
-                        epoch,
-                    },
-                ),
-                Err(_) => self.requeue(job_id, wid),
+            if self.cfg.swarm.is_some() {
+                self.swarm_fetch(world, job_id, wid, epoch, key);
+            } else {
+                self.direct_fetch(world, job_id, wid, epoch, key);
             }
         } else {
-            self.send_input(sim, net, job_id, wid, epoch);
+            self.send_input(world, job_id, wid, epoch);
         }
     }
 
-    fn send_input(
+    /// Classic §3.3 module download: the controller ships the whole blob.
+    /// Also the swarm's fallback when discovery finds no provider or
+    /// verification rejects the assembled bytes.
+    fn direct_fetch(
         &mut self,
-        sim: &mut Sim<GridEvent>,
-        net: &mut Network,
+        world: &mut GridWorld,
         job_id: JobId,
         wid: WorkerId,
         epoch: u64,
+        key: ModuleKey,
     ) {
+        let bytes = self
+            .library
+            .fetch(&key)
+            .map(|b| b.len() as u64)
+            .unwrap_or(0);
+        self.obs.add("farm.module_bytes_sent", bytes);
+        let dst = self.workers[wid.0 as usize].host;
+        match world
+            .net
+            .transfer(world.sim.now(), self.controller_host, dst, bytes)
+        {
+            Ok(delay) => world.sim.schedule(
+                delay,
+                GridEvent::ModuleArrived {
+                    job: job_id,
+                    worker: wid,
+                    key,
+                    epoch,
+                },
+            ),
+            Err(_) => self.requeue(job_id, wid),
+        }
+    }
+
+    /// Start a peer-assisted fetch: discover providers of the module's
+    /// content hash over the overlay, then pull chunks in parallel once
+    /// the discovery window closes.
+    fn swarm_fetch(
+        &mut self,
+        world: &mut GridWorld,
+        job_id: JobId,
+        wid: WorkerId,
+        epoch: u64,
+        key: ModuleKey,
+    ) {
+        let sw = self.cfg.swarm.clone().expect("swarm fetch implies config");
+        let (id, blob_len) = match self.library.fetch(&key) {
+            Some(b) => (BlobId::of_blob(b), b.len() as u64),
+            // Unknown module: keep the classic path's zero-byte transfer.
+            None => return self.direct_fetch(world, job_id, wid, epoch, key),
+        };
+        // The worker may already hold every chunk (seeded by an earlier
+        // job, then evicted from the LRU cache): rebuild locally for free.
+        let w = &mut self.workers[wid.0 as usize];
+        if w.store.is_complete(id) {
+            if let Ok(rebuilt) = w.store.assemble(id) {
+                w.cache.insert(key, rebuilt);
+                self.obs.incr("store.local_rebuilds");
+                return self.send_input(world, job_id, wid, epoch);
+            }
+            // Resident chunks are corrupt: drop them and fetch afresh.
+            w.store.release(id);
+        }
+        let layout = w.store.layout_for(blob_len);
+        let origin = w.peer;
+        self.obs.incr("store.swarm_fetches");
+        let query = world.p2p.query(
+            &mut world.sim,
+            &mut world.net,
+            origin,
+            QueryKind::ByBlob { hash: id.0 },
+            sw.query_ttl,
+        );
+        world.sim.schedule(
+            sw.query_window,
+            GridEvent::SwarmProvidersDue {
+                job: job_id,
+                worker: wid,
+                epoch,
+            },
+        );
+        self.fetches.insert(
+            job_id,
+            SwarmFetch {
+                key,
+                query,
+                tracker: FetchTracker::new(id, layout),
+            },
+        );
+    }
+
+    /// Request one chunk over the simulated network. Provider failures
+    /// reroute the chunk to the controller (which is always online).
+    fn request_chunk(
+        &mut self,
+        world: &mut GridWorld,
+        job: JobId,
+        wid: WorkerId,
+        epoch: u64,
+        chunk: u32,
+        source: ChunkSource,
+    ) {
+        let Some(fetch) = self.fetches.get_mut(&job) else {
+            return;
+        };
+        let bytes = fetch.tracker.layout().size(chunk);
+        let src_host = match source {
+            ChunkSource::Controller => self.controller_host,
+            ChunkSource::Peer(p) => world.p2p.host_of(p),
+        };
+        let dst = self.workers[wid.0 as usize].host;
+        match world.net.transfer(world.sim.now(), src_host, dst, bytes) {
+            Ok(delay) => {
+                fetch.tracker.request(chunk, world.sim.now());
+                world.sim.schedule(
+                    delay,
+                    GridEvent::SwarmChunkArrived {
+                        job,
+                        worker: wid,
+                        epoch,
+                        chunk,
+                        source,
+                    },
+                );
+            }
+            Err(_) => match source {
+                // Provider went offline between discovery and pull.
+                ChunkSource::Peer(_) => {
+                    self.obs.incr("store.chunk_reroutes");
+                    self.request_chunk(world, job, wid, epoch, chunk, ChunkSource::Controller);
+                }
+                // Controller transfers only fail if the worker itself
+                // vanished in this instant — treat as interrupt.
+                ChunkSource::Controller => {
+                    self.fetches.remove(&job);
+                    self.requeue(job, wid);
+                }
+            },
+        }
+    }
+
+    /// All chunks arrived: reassemble, verify the content hash, and only
+    /// then admit the blob to the worker's module cache. A verification
+    /// failure discards the chunks and falls back to the controller.
+    fn swarm_assembled(&mut self, world: &mut GridWorld, job: JobId, wid: WorkerId, epoch: u64) {
+        let Some(fetch) = self.fetches.remove(&job) else {
+            return;
+        };
+        let blob_id = fetch.tracker.blob();
+        let now = world.sim.now();
+        let w = &mut self.workers[wid.0 as usize];
+        match w.store.assemble(blob_id) {
+            Ok(blob) => {
+                w.cache.insert(fetch.key, blob);
+                self.obs.incr("store.blobs_verified");
+                self.advertise_provider(world, wid, blob_id);
+                self.send_input(world, job, wid, epoch);
+            }
+            Err(_) => {
+                // Corrupt or poisoned transfer: the blob never reaches the
+                // module cache. Drop the chunks, count the rejection, and
+                // fetch the authoritative copy from the controller.
+                w.store.release(blob_id);
+                self.obs.incr("store.verify_failures");
+                self.obs.event(now.as_micros(), "store.verify_failure", || {
+                    format!("job={} worker={} blob={}", job.0, wid.0, blob_id)
+                });
+                self.direct_fetch(world, job, wid, epoch, fetch.key);
+            }
+        }
+    }
+
+    /// Publish a provider advert for a blob this worker now fully holds.
+    fn advertise_provider(&mut self, world: &mut GridWorld, wid: WorkerId, blob: BlobId) {
+        let Some(sw) = self.cfg.swarm.clone() else {
+            return;
+        };
+        let w = &self.workers[wid.0 as usize];
+        let Some(layout) = w.store.layout_of(blob) else {
+            return;
+        };
+        let peer = w.peer;
+        let ad = Advertisement {
+            body: AdvertBody::Blob(BlobAdvert {
+                blob: blob.0,
+                size_bytes: layout.blob_len,
+                chunks: layout.count(),
+                provider: peer,
+            }),
+            expires: world.sim.now() + sw.advert_ttl,
+        };
+        world.p2p.publish(&mut world.sim, &mut world.net, peer, ad);
+        self.obs.incr("store.seed_adverts");
+    }
+
+    fn send_input(&mut self, world: &mut GridWorld, job_id: JobId, wid: WorkerId, epoch: u64) {
         let job = &mut self.jobs[job_id.0 as usize];
         job.state = JobState::SendingInput;
         // A resumed job also ships its checkpoint image.
@@ -352,8 +574,11 @@ impl FarmScheduler {
             }
         }
         let dst = self.workers[wid.0 as usize].host;
-        match net.transfer(sim.now(), self.controller_host, dst, bytes) {
-            Ok(delay) => sim.schedule(
+        match world
+            .net
+            .transfer(world.sim.now(), self.controller_host, dst, bytes)
+        {
+            Ok(delay) => world.sim.schedule(
                 delay,
                 GridEvent::InputArrived {
                     job: job_id,
@@ -376,6 +601,7 @@ impl FarmScheduler {
 
     /// Unassign a job and put it back in the queue; frees the worker slot.
     fn requeue(&mut self, job_id: JobId, wid: WorkerId) {
+        self.fetches.remove(&job_id);
         let job = &mut self.jobs[job_id.0 as usize];
         job.state = JobState::Pending;
         job.assigned = None;
@@ -387,7 +613,7 @@ impl FarmScheduler {
 
     /// Main event handler. `GridEvent::P2p` must be routed to the overlay
     /// by the caller; everything else belongs here.
-    pub fn handle(&mut self, sim: &mut Sim<GridEvent>, net: &mut Network, ev: GridEvent) {
+    pub fn handle(&mut self, world: &mut GridWorld, ev: GridEvent) {
         match ev {
             GridEvent::WorkerUp(wid) => {
                 let w = &mut self.workers[wid.0 as usize];
@@ -395,21 +621,22 @@ impl FarmScheduler {
                 w.epoch += 1;
                 w.active = 0;
                 w.running.clear();
-                net.set_online(w.host, true);
+                world.net.set_online(w.host, true);
                 self.obs.incr("farm.worker_up");
-                self.obs.event(sim.now().as_micros(), "farm.worker_up", || {
-                    format!("worker={}", wid.0)
-                });
-                self.dispatch(sim, net);
+                self.obs
+                    .event(world.sim.now().as_micros(), "farm.worker_up", || {
+                        format!("worker={}", wid.0)
+                    });
+                self.dispatch(world);
             }
             GridEvent::WorkerDown(wid) => {
                 self.obs.incr("farm.worker_down");
                 self.obs
-                    .event(sim.now().as_micros(), "farm.worker_down", || {
+                    .event(world.sim.now().as_micros(), "farm.worker_down", || {
                         format!("worker={}", wid.0)
                     });
-                self.worker_down(sim.now(), net, wid);
-                self.dispatch(sim, net);
+                self.worker_down(world, wid);
+                self.dispatch(world);
             }
             GridEvent::ModuleArrived {
                 job,
@@ -421,11 +648,35 @@ impl FarmScheduler {
                     return;
                 }
                 if let Some(blob) = self.library.fetch(&key) {
-                    self.workers[worker.0 as usize]
-                        .cache
-                        .insert(key, blob.clone());
+                    let blob = blob.clone();
+                    let w = &mut self.workers[worker.0 as usize];
+                    w.cache.insert(key, blob.clone());
+                    // With the swarm on, a controller-fed worker becomes a
+                    // seed: it chunks the blob and advertises itself.
+                    if self.cfg.swarm.is_some() {
+                        let id = w.store.seed_blob(&blob);
+                        self.advertise_provider(world, worker, id);
+                    }
                 }
-                self.send_input(sim, net, job, worker, epoch);
+                self.send_input(world, job, worker, epoch);
+            }
+            GridEvent::SwarmProvidersDue { job, worker, epoch } => {
+                if !self.live(job, worker, epoch, JobState::FetchingModule) {
+                    return;
+                }
+                self.swarm_providers_due(world, job, worker, epoch);
+            }
+            GridEvent::SwarmChunkArrived {
+                job,
+                worker,
+                epoch,
+                chunk,
+                source,
+            } => {
+                if !self.live(job, worker, epoch, JobState::FetchingModule) {
+                    return;
+                }
+                self.swarm_chunk_arrived(world, job, worker, epoch, chunk, source);
             }
             GridEvent::InputArrived { job, worker, epoch } => {
                 if !self.live(job, worker, epoch, JobState::SendingInput) {
@@ -438,10 +689,12 @@ impl FarmScheduler {
                 let exec = w.spec.exec_time(remaining);
                 w.running.push(RunningJob {
                     job,
-                    started: sim.now(),
+                    started: world.sim.now(),
                     exec,
                 });
-                sim.schedule(exec, GridEvent::ComputeDone { job, worker, epoch });
+                world
+                    .sim
+                    .schedule(exec, GridEvent::ComputeDone { job, worker, epoch });
             }
             GridEvent::ComputeDone { job, worker, epoch } => {
                 if !self.live(job, worker, epoch, JobState::Running) {
@@ -463,7 +716,7 @@ impl FarmScheduler {
                 w.ledger.charge(
                     &self.account,
                     UsageRecord {
-                        at: sim.now(),
+                        at: world.sim.now(),
                         cpu,
                         bytes_in: in_bytes,
                         bytes_out: out_bytes,
@@ -474,31 +727,35 @@ impl FarmScheduler {
                 w.active = w.active.saturating_sub(1);
                 w.jobs_completed += 1;
                 let src = w.host;
-                match net.transfer(sim.now(), src, self.controller_host, out_bytes) {
-                    Ok(delay) => sim.schedule(delay, GridEvent::OutputArrived { job }),
+                match world
+                    .net
+                    .transfer(world.sim.now(), src, self.controller_host, out_bytes)
+                {
+                    Ok(delay) => world.sim.schedule(delay, GridEvent::OutputArrived { job }),
                     // Controller is always on; a failure means the worker
                     // vanished in this very instant — treat as interrupt.
                     Err(_) => self.requeue(job, worker),
                 }
-                self.dispatch(sim, net);
+                self.dispatch(world);
             }
             GridEvent::OutputArrived { job } => {
                 let j = &mut self.jobs[job.0 as usize];
                 if j.state == JobState::Returning {
                     j.state = JobState::Done;
-                    j.completed = Some(sim.now());
+                    j.completed = Some(world.sim.now());
                     j.assigned = None;
-                    let latency = sim.now().since(j.created);
+                    let latency = world.sim.now().since(j.created);
                     self.obs.incr("farm.completions");
                     self.obs.observe("farm.job_latency_us", latency.as_micros());
-                    self.obs.event(sim.now().as_micros(), "farm.complete", || {
-                        format!("job={} latency_us={}", job.0, latency.as_micros())
-                    });
+                    self.obs
+                        .event(world.sim.now().as_micros(), "farm.complete", || {
+                            format!("job={} latency_us={}", job.0, latency.as_micros())
+                        });
                 }
             }
             GridEvent::ChunkArrives { .. } => {
                 if let Some(spec) = self.chunk_spec.clone() {
-                    self.submit(sim, net, spec);
+                    self.submit(world, spec);
                 }
             }
             GridEvent::P2p(_)
@@ -509,11 +766,140 @@ impl FarmScheduler {
         }
     }
 
-    fn worker_down(&mut self, now: SimTime, net: &mut Network, wid: WorkerId) {
+    /// The discovery window of a swarm fetch closed: pick providers and
+    /// pull missing chunks round-robin, or fall back to the controller.
+    fn swarm_providers_due(
+        &mut self,
+        world: &mut GridWorld,
+        job: JobId,
+        wid: WorkerId,
+        epoch: u64,
+    ) {
+        let (query, blob, layout, key) = match self.fetches.get(&job) {
+            Some(f) => (f.query, f.tracker.blob(), f.tracker.layout(), f.key.clone()),
+            None => return,
+        };
+        let origin = self.workers[wid.0 as usize].peer;
+        let sw = self.cfg.swarm.clone().expect("swarm fetch implies config");
+        let mut providers: Vec<PeerId> = world
+            .p2p
+            .queries
+            .get(&query)
+            .map(|q| q.providers())
+            .unwrap_or_default();
+        providers.retain(|p| {
+            *p != origin
+                && self
+                    .peer_workers
+                    .get(p)
+                    .is_some_and(|w| self.workers[w.0 as usize].up)
+        });
+        providers.truncate(sw.max_providers);
+        if providers.is_empty() {
+            // Nobody (reachable) holds the blob yet: controller-direct.
+            self.obs.incr("store.fallback_no_provider");
+            self.fetches.remove(&job);
+            return self.direct_fetch(world, job, wid, epoch, key);
+        }
+        self.obs.add("store.providers_used", providers.len() as u64);
+        let missing = self.workers[wid.0 as usize]
+            .store
+            .missing(blob, layout.blob_len);
+        if missing.is_empty() {
+            // A previous attempt already left every chunk resident.
+            return self.swarm_assembled(world, job, wid, epoch);
+        }
+        for (chunk, si) in assign_round_robin(&missing, providers.len()) {
+            self.request_chunk(
+                world,
+                job,
+                wid,
+                epoch,
+                chunk,
+                ChunkSource::Peer(providers[si]),
+            );
+        }
+    }
+
+    /// One swarm chunk landed: meter it, copy the payload out of its
+    /// source's store (the simulated network moves byte counts, not data),
+    /// and assemble once the blob is complete.
+    fn swarm_chunk_arrived(
+        &mut self,
+        world: &mut GridWorld,
+        job: JobId,
+        wid: WorkerId,
+        epoch: u64,
+        chunk: u32,
+        source: ChunkSource,
+    ) {
+        let now = world.sim.now();
+        let Some(fetch) = self.fetches.get_mut(&job) else {
+            return;
+        };
+        let Some(latency) = fetch.tracker.complete(chunk, now) else {
+            return; // stale or duplicate delivery
+        };
+        let (blob, layout, key) = (
+            fetch.tracker.blob(),
+            fetch.tracker.layout(),
+            fetch.key.clone(),
+        );
+        let bytes = layout.size(chunk);
+        self.obs
+            .observe("store.chunk_fetch_us", latency.as_micros());
+        match source {
+            ChunkSource::Controller => {
+                self.obs.add("store.bytes_from_controller", bytes);
+                self.obs.add("farm.module_bytes_sent", bytes);
+            }
+            ChunkSource::Peer(_) => self.obs.add("store.bytes_from_peers", bytes),
+        }
+        let piece: Option<Vec<u8>> = match source {
+            ChunkSource::Controller => self
+                .library
+                .fetch(&key)
+                .filter(|b| BlobId::of_blob(b) == blob)
+                .map(|b| layout.slice(&b.bytes, chunk).to_vec()),
+            ChunkSource::Peer(p) => self
+                .peer_workers
+                .get(&p)
+                .and_then(|w| self.workers[w.0 as usize].store.chunk(blob, chunk))
+                .map(<[u8]>::to_vec),
+        };
+        match piece {
+            Some(data) => {
+                self.workers[wid.0 as usize]
+                    .store
+                    .insert_chunk(blob, layout.blob_len, chunk, data);
+                if self.workers[wid.0 as usize].store.is_complete(blob) {
+                    self.swarm_assembled(world, job, wid, epoch);
+                }
+            }
+            // The source no longer holds the bytes (provider released
+            // them, or the library republished the module mid-fetch).
+            None => match source {
+                ChunkSource::Peer(_) => {
+                    self.obs.incr("store.chunk_reroutes");
+                    self.request_chunk(world, job, wid, epoch, chunk, ChunkSource::Controller);
+                }
+                ChunkSource::Controller => {
+                    // The module changed under us: abandon the swarm fetch
+                    // and ship the current blob whole.
+                    self.workers[wid.0 as usize].store.release(blob);
+                    self.fetches.remove(&job);
+                    self.direct_fetch(world, job, wid, epoch, key);
+                }
+            },
+        }
+    }
+
+    fn worker_down(&mut self, world: &mut GridWorld, wid: WorkerId) {
+        let now = world.sim.now();
         let w = &mut self.workers[wid.0 as usize];
         w.up = false;
         w.epoch += 1;
-        net.set_online(w.host, false);
+        world.net.set_online(w.host, false);
         let interrupted = std::mem::take(&mut w.running);
         w.active = 0;
         // Any job still assigned to this worker in any transit state is
@@ -537,6 +923,7 @@ impl FarmScheduler {
                 j.wasted += ran_for.saturating_sub(saved_time);
                 j.fraction += saved;
             }
+            self.fetches.remove(&job_id);
             let j = &mut self.jobs[job_id.0 as usize];
             j.state = JobState::Pending;
             j.assigned = None;
@@ -581,6 +968,17 @@ impl FarmScheduler {
 
     pub fn worker_cache_stats(&self, wid: WorkerId) -> crate::modules::CacheStats {
         self.workers[wid.0 as usize].cache.stats()
+    }
+
+    /// The worker's resident chunk store (swarm distribution state).
+    pub fn worker_store(&self, wid: WorkerId) -> &ChunkStore {
+        &self.workers[wid.0 as usize].store
+    }
+
+    /// Mutable access to a worker's chunk store — fault injection in
+    /// tests (e.g. corrupting a seeded chunk to exercise verification).
+    pub fn worker_store_mut(&mut self, wid: WorkerId) -> &mut ChunkStore {
+        &mut self.workers[wid.0 as usize].store
     }
 
     pub fn worker_jobs_completed(&self, wid: WorkerId) -> u64 {
@@ -632,7 +1030,7 @@ pub fn run_farm(world: &mut GridWorld, farm: &mut FarmScheduler) {
             GridEvent::P2p(pe) => {
                 world.p2p.handle(&mut world.sim, &mut world.net, pe);
             }
-            other => farm.handle(&mut world.sim, &mut world.net, other),
+            other => farm.handle(world, other),
         }
     }
 }
@@ -691,7 +1089,7 @@ mod tests {
             |_, h, _| AvailabilityTrace::always(h),
             horizon,
         );
-        let id = farm.submit(&mut world.sim, &mut world.net, job(20.0)); // 10 s at 2 GHz
+        let id = farm.submit(&mut world, job(20.0)); // 10 s at 2 GHz
         run_farm(&mut world, &mut farm);
         assert!(farm.all_done());
         let lat = farm.job_latency(id).unwrap();
@@ -711,7 +1109,7 @@ mod tests {
                 horizon,
             );
             for _ in 0..8 {
-                farm.submit(&mut world.sim, &mut world.net, job(200.0)); // 100 s each
+                farm.submit(&mut world, job(200.0)); // 100 s each
             }
             run_farm(&mut world, &mut farm);
             assert!(farm.all_done());
@@ -739,8 +1137,7 @@ mod tests {
         farm.library.publish(key.clone(), blob);
         for _ in 0..3 {
             farm.submit(
-                &mut world.sim,
-                &mut world.net,
+                &mut world,
                 JobSpec {
                     module: Some(key.clone()),
                     ..job(2.0)
@@ -778,8 +1175,8 @@ mod tests {
         );
         // One long job (100 s): lands on worker 0 or 1; submit two so both
         // workers get one, and worker 0's is interrupted at t=50.
-        let a = farm.submit(&mut world.sim, &mut world.net, job(200.0));
-        let b = farm.submit(&mut world.sim, &mut world.net, job(200.0));
+        let a = farm.submit(&mut world, job(200.0));
+        let b = farm.submit(&mut world, job(200.0));
         run_farm(&mut world, &mut farm);
         assert!(farm.all_done());
         let s = farm.stats();
@@ -804,7 +1201,10 @@ mod tests {
         let run_with = |cp: Option<CheckpointPolicy>| {
             let (mut world, mut farm) = world_with_workers(
                 2,
-                FarmConfig { checkpoint: cp },
+                FarmConfig {
+                    checkpoint: cp,
+                    swarm: None,
+                },
                 |i, h, _| {
                     if i == 0 {
                         // Up 0-100 s, then gone: a 200 s job cannot finish here.
@@ -818,8 +1218,8 @@ mod tests {
                 },
                 horizon,
             );
-            farm.submit(&mut world.sim, &mut world.net, job(400.0)); // 200 s
-            farm.submit(&mut world.sim, &mut world.net, job(400.0));
+            farm.submit(&mut world, job(400.0)); // 200 s
+            farm.submit(&mut world, job(400.0));
             run_farm(&mut world, &mut farm);
             assert!(farm.all_done());
             farm.stats()
@@ -904,7 +1304,7 @@ mod tests {
         };
         let slow = add(1.0, &mut farm, &mut world);
         let fast = add(3.0, &mut farm, &mut world);
-        farm.submit(&mut world.sim, &mut world.net, job(30.0));
+        farm.submit(&mut world, job(30.0));
         run_farm(&mut world, &mut farm);
         assert_eq!(farm.worker_jobs_completed(fast), 1);
         assert_eq!(farm.worker_jobs_completed(slow), 0);
@@ -931,7 +1331,7 @@ mod tests {
                 capacity,
             );
             for _ in 0..4 {
-                farm.submit(&mut world.sim, &mut world.net, job(200.0)); // 100 s
+                farm.submit(&mut world, job(200.0)); // 100 s
             }
             run_farm(&mut world, &mut farm);
             assert!(farm.all_done());
@@ -978,7 +1378,7 @@ mod tests {
             },
         );
         for _ in 0..3 {
-            farm.submit(&mut world.sim, &mut world.net, job(400.0)); // 200 s each
+            farm.submit(&mut world, job(400.0)); // 200 s each
         }
         run_farm(&mut world, &mut farm);
         assert!(farm.all_done());
@@ -998,7 +1398,7 @@ mod tests {
         );
         // 4 jobs x 20 Gc at 2 GHz = 10 s each: 40 s of CPU total.
         for _ in 0..4 {
-            farm.submit(&mut world.sim, &mut world.net, job(20.0));
+            farm.submit(&mut world, job(20.0));
         }
         run_farm(&mut world, &mut farm);
         assert!(farm.all_done());
@@ -1029,10 +1429,126 @@ mod tests {
             },
             horizon,
         );
-        let id = farm.submit(&mut world.sim, &mut world.net, job(2.0));
+        let id = farm.submit(&mut world, job(2.0));
         run_farm(&mut world, &mut farm);
         assert!(farm.all_done());
         let lat = farm.job_latency(id).unwrap();
         assert!(lat.as_secs_f64() >= 100.0, "waited for worker: {lat}");
+    }
+
+    fn swarm_world(n: usize) -> (GridWorld, FarmScheduler) {
+        let (mut world, farm) = world_with_workers(
+            n,
+            FarmConfig {
+                checkpoint: None,
+                swarm: Some(SwarmConfig {
+                    chunk_bytes: 256,
+                    ..SwarmConfig::default()
+                }),
+            },
+            |_, h, _| AvailabilityTrace::always(h),
+            SimTime::from_secs(100_000),
+        );
+        // Flooding discovery needs a wired overlay.
+        let mut rng = Pcg32::new(5, 1);
+        world.p2p.wire_random(4, &mut rng);
+        (world, farm)
+    }
+
+    fn sized_blob(name: &str, approx: usize) -> tvm::ModuleBlob {
+        // Pad with push/pop pairs (9+1 bytes each) to reach ~approx bytes.
+        let mut src = format!(".module {name} 1 0 0\n.func main 0\n");
+        for _ in 0..approx / 10 {
+            src.push_str(" push 1\n pop\n");
+        }
+        src.push_str(" halt\n");
+        tvm::asm::assemble(&src).unwrap().to_blob()
+    }
+
+    #[test]
+    fn swarm_pulls_chunks_from_seeded_peer() {
+        let (mut world, mut farm) = swarm_world(2);
+        let obs = Obs::enabled();
+        farm.set_obs(obs.clone());
+        let key = ModuleKey::new("Render", 1);
+        let blob = sized_blob("Render", 2_000);
+        let blob_len = blob.len() as u64;
+        farm.library.publish(key.clone(), blob);
+        let spec = JobSpec {
+            module: Some(key.clone()),
+            ..job(2.0)
+        };
+        // First job: no provider exists yet, so the controller seeds the
+        // worker directly — the classic §3.3 download.
+        let a = farm.submit(&mut world, spec.clone());
+        run_farm(&mut world, &mut farm);
+        let reg = obs.registry().unwrap();
+        assert_eq!(reg.counter_value("store.fallback_no_provider"), 1);
+        assert_eq!(reg.counter_value("farm.module_bytes_sent"), blob_len);
+        // Second job is forced onto the other worker: every chunk comes
+        // from the seeded peer, none from the controller uplink.
+        farm.submit_with_conflicts(&mut world, spec, vec![a]);
+        run_farm(&mut world, &mut farm);
+        assert!(farm.all_done());
+        assert_eq!(reg.counter_value("store.bytes_from_peers"), blob_len);
+        assert_eq!(reg.counter_value("store.bytes_from_controller"), 0);
+        assert_eq!(reg.counter_value("farm.module_bytes_sent"), blob_len);
+        assert_eq!(reg.counter_value("store.blobs_verified"), 1);
+        assert_eq!(reg.counter_value("store.seed_adverts"), 2);
+    }
+
+    #[test]
+    fn corrupted_chunk_rejected_before_cache() {
+        let (mut world, mut farm) = swarm_world(2);
+        let obs = Obs::enabled();
+        farm.set_obs(obs.clone());
+        let key = ModuleKey::new("Render", 1);
+        let blob = sized_blob("Render", 2_000);
+        let blob_len = blob.len() as u64;
+        let blob_id = BlobId::of_blob(&blob);
+        farm.library.publish(key.clone(), blob);
+        let spec = JobSpec {
+            module: Some(key.clone()),
+            ..job(2.0)
+        };
+        let a = farm.submit(&mut world, spec.clone());
+        run_farm(&mut world, &mut farm);
+        // Poison one chunk in the seed's store: the swarm copy will
+        // reassemble to bytes whose hash doesn't match the content id.
+        assert!(farm.worker_store_mut(WorkerId(0)).corrupt_chunk(blob_id, 1));
+        farm.submit_with_conflicts(&mut world, spec, vec![a]);
+        run_farm(&mut world, &mut farm);
+        assert!(farm.all_done());
+        let reg = obs.registry().unwrap();
+        assert_eq!(reg.counter_value("store.verify_failures"), 1);
+        assert_eq!(reg.counter_value("store.blobs_verified"), 0);
+        // The corrupt assembly never reached the module cache: the only
+        // bytes ever cached on worker 1 are the controller's good copy,
+        // fetched by the automatic fallback.
+        assert_eq!(farm.worker_cache_stats(WorkerId(1)).bytes_fetched, blob_len);
+    }
+
+    #[test]
+    fn swarm_single_worker_falls_back_to_controller() {
+        let (mut world, mut farm) = swarm_world(1);
+        let obs = Obs::enabled();
+        farm.set_obs(obs.clone());
+        let key = ModuleKey::new("Render", 1);
+        let blob = sized_blob("Render", 1_000);
+        let blob_len = blob.len() as u64;
+        farm.library.publish(key.clone(), blob);
+        farm.submit(
+            &mut world,
+            JobSpec {
+                module: Some(key),
+                ..job(2.0)
+            },
+        );
+        run_farm(&mut world, &mut farm);
+        assert!(farm.all_done());
+        let reg = obs.registry().unwrap();
+        assert_eq!(reg.counter_value("store.fallback_no_provider"), 1);
+        assert_eq!(reg.counter_value("farm.module_bytes_sent"), blob_len);
+        assert_eq!(reg.counter_value("store.bytes_from_peers"), 0);
     }
 }

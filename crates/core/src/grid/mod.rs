@@ -66,10 +66,34 @@ pub enum GridEvent {
     OutputArrived { job: JobId },
     /// A streaming work chunk arrives at the controller (Case 2).
     ChunkArrives { seq: u64 },
+    /// The provider-discovery window of a swarm module fetch closed; time
+    /// to pick providers (or fall back to the controller).
+    SwarmProvidersDue {
+        job: JobId,
+        worker: WorkerId,
+        epoch: u64,
+    },
+    /// One chunk of a swarm module fetch finished arriving at its worker.
+    SwarmChunkArrived {
+        job: JobId,
+        worker: WorkerId,
+        epoch: u64,
+        chunk: u32,
+        source: ChunkSource,
+    },
     /// A pipeline stage finished computing a token.
     StageComputeDone { stage: usize, token: u64 },
     /// The pipeline source emits its next token.
     EmitToken { token: u64 },
+}
+
+/// Where a swarm chunk transfer originated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChunkSource {
+    /// Controller-direct (seeding the first copy, or per-chunk fallback).
+    Controller,
+    /// Pulled from a providing peer.
+    Peer(PeerId),
 }
 
 impl From<P2pEvent> for GridEvent {

@@ -16,10 +16,10 @@
 
 use std::collections::HashMap;
 
-use netsim::{Network, Pcg32, Sim};
+use netsim::Pcg32;
 
 use crate::grid::farm::{FarmScheduler, JobSpec};
-use crate::grid::{GridEvent, JobId, WorkerId};
+use crate::grid::{GridWorld, JobId, WorkerId};
 
 /// How a simulated volunteer behaves.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -113,8 +113,7 @@ impl VotingFarm {
     pub fn submit_unit(
         &mut self,
         farm: &mut FarmScheduler,
-        sim: &mut Sim<GridEvent>,
-        net: &mut Network,
+        world: &mut GridWorld,
         spec: JobSpec,
     ) -> usize {
         let digest = self.rng.next_u64() | 1; // nonzero true digest
@@ -122,7 +121,7 @@ impl VotingFarm {
         for _ in 0..self.config.replicas {
             // Replicas of a unit must land on distinct workers, or a single
             // bad volunteer could form its own quorum.
-            let id = farm.submit_with_conflicts(sim, net, spec.clone(), jobs.clone());
+            let id = farm.submit_with_conflicts(world, spec.clone(), jobs.clone());
             jobs.push(id);
         }
         self.units.push(LogicalUnit { jobs, digest });
@@ -228,7 +227,7 @@ impl VotingFarm {
 mod tests {
     use super::*;
     use crate::grid::farm::{run_farm, FarmConfig};
-    use crate::grid::{GridWorld, WorkerSetup};
+    use crate::grid::WorkerSetup;
     use netsim::avail::AvailabilityTrace;
     use netsim::{HostSpec, SimTime};
     use p2p::DiscoveryMode;
@@ -268,7 +267,7 @@ mod tests {
     fn honest_pool_accepts_everything_with_no_dissenters() {
         let (mut world, mut farm, mut voting) = setup(vec![Behaviour::Honest; 4]);
         for _ in 0..5 {
-            voting.submit_unit(&mut farm, &mut world.sim, &mut world.net, job());
+            voting.submit_unit(&mut farm, &mut world, job());
         }
         run_farm(&mut world, &mut farm);
         let (verdicts, reps) = voting.tally(&farm);
@@ -291,7 +290,7 @@ mod tests {
         ];
         let (mut world, mut farm, mut voting) = setup(behaviours);
         for _ in 0..8 {
-            voting.submit_unit(&mut farm, &mut world.sim, &mut world.net, job());
+            voting.submit_unit(&mut farm, &mut world, job());
         }
         run_farm(&mut world, &mut farm);
         let (verdicts, reps) = voting.tally(&farm);
@@ -331,7 +330,7 @@ mod tests {
         ];
         let (mut world, mut farm, mut voting) = setup(behaviours);
         for _ in 0..30 {
-            voting.submit_unit(&mut farm, &mut world.sim, &mut world.net, job());
+            voting.submit_unit(&mut farm, &mut world, job());
         }
         run_farm(&mut world, &mut farm);
         let (_, reps) = voting.tally(&farm);
@@ -346,7 +345,7 @@ mod tests {
     #[test]
     fn incomplete_units_are_reported() {
         let (mut world, mut farm, mut voting) = setup(vec![Behaviour::Honest; 3]);
-        voting.submit_unit(&mut farm, &mut world.sim, &mut world.net, job());
+        voting.submit_unit(&mut farm, &mut world, job());
         // Don't run the sim: nothing completes.
         let _ = &mut world;
         assert_eq!(voting.verdict(&farm, 0), Verdict::Incomplete);
@@ -355,7 +354,7 @@ mod tests {
     #[test]
     fn replicas_match_config() {
         let (mut world, mut farm, mut voting) = setup(vec![Behaviour::Honest; 3]);
-        let u = voting.submit_unit(&mut farm, &mut world.sim, &mut world.net, job());
+        let u = voting.submit_unit(&mut farm, &mut world, job());
         assert_eq!(voting.units[u].jobs.len(), 3);
     }
 }

@@ -40,6 +40,19 @@ pub struct ModuleAdvert {
     pub owner: PeerId,
 }
 
+/// A peer holding a complete, content-addressed blob (a cached module's
+/// bytes) and willing to serve its chunks to other peers — the provider
+/// record behind peer-assisted swarm distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlobAdvert {
+    /// Content hash of the blob (`tvm::ModuleBlob::hash`).
+    pub blob: u64,
+    pub size_bytes: u64,
+    /// Chunk count under the provider's layout.
+    pub chunks: u32,
+    pub provider: PeerId,
+}
+
 /// Any advertisement, with its expiry instant.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Advertisement {
@@ -52,6 +65,7 @@ pub enum AdvertBody {
     Peer(PeerAdvert),
     Pipe(PipeAdvert),
     Module(ModuleAdvert),
+    Blob(BlobAdvert),
 }
 
 impl Advertisement {
@@ -60,6 +74,7 @@ impl Advertisement {
             AdvertBody::Peer(a) => a.peer,
             AdvertBody::Pipe(a) => a.peer,
             AdvertBody::Module(a) => a.owner,
+            AdvertBody::Blob(a) => a.provider,
         }
     }
 
@@ -85,6 +100,7 @@ impl Advertisement {
             (AdvertBody::Module(a), QueryKind::ByModule { name, min_version }) => {
                 &a.name == name && a.version >= *min_version
             }
+            (AdvertBody::Blob(a), QueryKind::ByBlob { hash }) => a.blob == *hash,
             _ => false,
         }
     }
@@ -95,6 +111,7 @@ impl Advertisement {
             AdvertBody::Peer(a) => 64 + a.services.iter().map(|s| s.len() as u64 + 4).sum::<u64>(),
             AdvertBody::Pipe(a) => 48 + a.name.len() as u64,
             AdvertBody::Module(a) => 64 + a.name.len() as u64,
+            AdvertBody::Blob(_) => 56,
         }
     }
 }

@@ -24,7 +24,7 @@ pub mod message;
 pub mod overlay;
 pub mod pipe;
 
-pub use advert::{Advertisement, ModuleAdvert, PeerAdvert, PipeAdvert};
+pub use advert::{AdvertBody, Advertisement, BlobAdvert, ModuleAdvert, PeerAdvert, PipeAdvert};
 pub use groups::{CapabilityPredicate, PeerGroup};
 pub use message::{Message, P2pEvent, QueryId, QueryKind};
 pub use overlay::{DiscoveryMode, Incoming, P2p, PeerId, QueryStatus};

@@ -20,6 +20,8 @@ pub enum QueryKind {
     /// Peers meeting capability thresholds ("CPU capability and available
     /// free memory", §3.7).
     ByCapability { min_cpu_ghz: f64, min_ram_mib: u32 },
+    /// Providers of a content-addressed blob (swarm module distribution).
+    ByBlob { hash: u64 },
 }
 
 impl QueryKind {
@@ -29,6 +31,7 @@ impl QueryKind {
             QueryKind::ByPipeName(s) => 16 + s.len() as u64,
             QueryKind::ByModule { name, .. } => 24 + name.len() as u64,
             QueryKind::ByCapability { .. } => 32,
+            QueryKind::ByBlob { .. } => 24,
         }
     }
 }

@@ -575,6 +575,9 @@ impl P2p {
             p.cache.retain(|ad| !ad.is_expired(now));
             dropped += before - p.ads.len() - p.cache.len();
         }
+        if dropped > 0 {
+            self.obs.add("p2p.adverts_purged", dropped as u64);
+        }
         dropped
     }
 
@@ -590,7 +593,7 @@ impl P2p {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::advert::{AdvertBody, PeerAdvert};
+    use crate::advert::{AdvertBody, BlobAdvert, PeerAdvert};
     use netsim::{HostSpec, LinkClass};
 
     type Ev = P2pEvent;
@@ -902,6 +905,68 @@ mod tests {
         );
         run(&mut w);
         assert_eq!(w.p2p.queries[&qid].providers(), vec![PeerId(2)]);
+    }
+
+    #[test]
+    fn purge_expired_ttl_boundary_matches_obs_counter() {
+        let mut w = world(3, DiscoveryMode::Flooding);
+        let observer = Obs::enabled();
+        w.p2p.set_obs(observer.clone());
+        let ttl_end = SimTime::from_secs(100);
+        let short = triana_ad(PeerId(1), ttl_end);
+        let long = triana_ad(PeerId(2), SimTime::from_secs(200));
+        w.p2p.publish(&mut w.sim, &mut w.net, PeerId(1), short);
+        w.p2p.publish(&mut w.sim, &mut w.net, PeerId(2), long);
+        // One tick before TTL the advert is still alive…
+        assert_eq!(w.p2p.purge_expired(SimTime(ttl_end.0 - 1)), 0);
+        let r = observer.registry().unwrap();
+        assert_eq!(r.counter_value("p2p.adverts_purged"), 0);
+        // …at exactly TTL it is expired (`now >= expires`) and purged.
+        assert_eq!(w.p2p.purge_expired(ttl_end), 1);
+        assert_eq!(r.counter_value("p2p.adverts_purged"), 1);
+        // One tick past TTL nothing is left of it; the counter stays in
+        // step with the cumulative purge count.
+        assert_eq!(w.p2p.purge_expired(SimTime(ttl_end.0 + 1)), 0);
+        assert_eq!(r.counter_value("p2p.adverts_purged"), 1);
+        assert_eq!(w.p2p.purge_expired(SimTime::from_secs(200)), 1);
+        assert_eq!(r.counter_value("p2p.adverts_purged"), 2);
+    }
+
+    #[test]
+    fn blob_providers_discovered_by_hash() {
+        let mut w = world(6, DiscoveryMode::Flooding);
+        let mut rng = Pcg32::new(21, 1);
+        w.p2p.wire_random(3, &mut rng);
+        let provider = PeerId(4);
+        let ad = Advertisement {
+            body: AdvertBody::Blob(BlobAdvert {
+                blob: 0xFEED,
+                size_bytes: 9_000,
+                chunks: 3,
+                provider,
+            }),
+            expires: SimTime::from_secs(3_600),
+        };
+        w.p2p.publish(&mut w.sim, &mut w.net, provider, ad);
+        let qid = w.p2p.query(
+            &mut w.sim,
+            &mut w.net,
+            PeerId(0),
+            QueryKind::ByBlob { hash: 0xFEED },
+            6,
+        );
+        run(&mut w);
+        assert_eq!(w.p2p.queries[&qid].providers(), vec![provider]);
+        // A different hash finds nothing.
+        let miss = w.p2p.query(
+            &mut w.sim,
+            &mut w.net,
+            PeerId(0),
+            QueryKind::ByBlob { hash: 0xBEEF },
+            6,
+        );
+        run(&mut w);
+        assert!(w.p2p.queries[&miss].hits.is_empty());
     }
 
     #[test]

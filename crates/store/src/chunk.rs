@@ -1,0 +1,128 @@
+//! Content addressing and fixed-size chunking.
+
+use std::fmt;
+use std::ops::Range;
+
+use tvm::{fnv1a64, ModuleBlob};
+
+/// Content identity of a blob: the FNV-1a 64 hash of its bytes — the same
+/// hash `tvm::ModuleBlob` carries, so a module's wire hash *is* its swarm
+/// address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlobId(pub u64);
+
+impl BlobId {
+    /// Address of raw bytes.
+    pub fn of(bytes: &[u8]) -> BlobId {
+        BlobId(fnv1a64(bytes))
+    }
+
+    /// Address a module blob claims for itself (trusted only after
+    /// [`crate::ChunkStore::assemble`] re-verifies it).
+    pub fn of_blob(blob: &ModuleBlob) -> BlobId {
+        BlobId(blob.hash)
+    }
+}
+
+impl fmt::Debug for BlobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{:016x}", self.0)
+    }
+}
+
+impl fmt::Display for BlobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{:016x}", self.0)
+    }
+}
+
+/// Fixed-size chunking of a `blob_len`-byte blob: every chunk is
+/// `chunk_bytes` long except possibly the last.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkLayout {
+    pub blob_len: u64,
+    pub chunk_bytes: u64,
+}
+
+impl ChunkLayout {
+    pub fn new(blob_len: u64, chunk_bytes: u64) -> Self {
+        assert!(chunk_bytes >= 1, "chunks must hold at least one byte");
+        ChunkLayout {
+            blob_len,
+            chunk_bytes,
+        }
+    }
+
+    /// Number of chunks (0 for an empty blob).
+    pub fn count(&self) -> u32 {
+        self.blob_len.div_ceil(self.chunk_bytes) as u32
+    }
+
+    /// Size in bytes of chunk `i`.
+    pub fn size(&self, i: u32) -> u64 {
+        let Range { start, end } = self.range(i);
+        (end - start) as u64
+    }
+
+    /// Byte range of chunk `i` within the blob.
+    pub fn range(&self, i: u32) -> Range<usize> {
+        assert!(i < self.count(), "chunk {i} out of range");
+        let start = u64::from(i) * self.chunk_bytes;
+        let end = (start + self.chunk_bytes).min(self.blob_len);
+        start as usize..end as usize
+    }
+
+    /// Chunk `i` of `bytes` (which must be the full blob).
+    pub fn slice<'a>(&self, bytes: &'a [u8], i: u32) -> &'a [u8] {
+        assert_eq!(bytes.len() as u64, self.blob_len, "layout/blob mismatch");
+        &bytes[self.range(i)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_covers_blob_exactly() {
+        let l = ChunkLayout::new(10_000, 4_096);
+        assert_eq!(l.count(), 3);
+        assert_eq!(l.size(0), 4_096);
+        assert_eq!(l.size(1), 4_096);
+        assert_eq!(l.size(2), 10_000 - 2 * 4_096);
+        let total: u64 = (0..l.count()).map(|i| l.size(i)).sum();
+        assert_eq!(total, 10_000);
+    }
+
+    #[test]
+    fn exact_multiple_has_no_runt_chunk() {
+        let l = ChunkLayout::new(8_192, 4_096);
+        assert_eq!(l.count(), 2);
+        assert_eq!(l.size(1), 4_096);
+    }
+
+    #[test]
+    fn empty_blob_has_no_chunks() {
+        let l = ChunkLayout::new(0, 4_096);
+        assert_eq!(l.count(), 0);
+    }
+
+    #[test]
+    fn slices_reassemble_to_original() {
+        let bytes: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let l = ChunkLayout::new(bytes.len() as u64, 333);
+        let mut rebuilt = Vec::new();
+        for i in 0..l.count() {
+            rebuilt.extend_from_slice(l.slice(&bytes, i));
+        }
+        assert_eq!(rebuilt, bytes);
+    }
+
+    #[test]
+    fn blob_id_matches_module_hash() {
+        let module = tvm::asm::assemble(".module M 1 0 0\n.func main 0\n halt\n").unwrap();
+        let blob = module.to_blob();
+        assert_eq!(BlobId::of(&blob.bytes), BlobId::of_blob(&blob));
+        assert_eq!(format!("{}", BlobId(0xAB)), "b00000000000000ab");
+    }
+}

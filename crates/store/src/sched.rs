@@ -1,0 +1,137 @@
+//! Chunk-pull scheduling: spreading a fetch across several providers and
+//! tracking the in-flight set.
+
+use std::collections::BTreeMap;
+
+use netsim::{Duration, SimTime};
+
+use crate::chunk::{BlobId, ChunkLayout};
+
+/// Assign each missing chunk to one of `n_sources` providers, round-robin,
+/// so the pull load (and hence uplink cost) spreads evenly. Deterministic:
+/// chunk `missing[k]` goes to source `k % n_sources`.
+pub fn assign_round_robin(missing: &[u32], n_sources: usize) -> Vec<(u32, usize)> {
+    assert!(n_sources >= 1, "need at least one source");
+    missing
+        .iter()
+        .enumerate()
+        .map(|(k, &chunk)| (chunk, k % n_sources))
+        .collect()
+}
+
+/// Book-keeping for one in-flight swarm fetch: which chunks are still out,
+/// when each was requested (for latency histograms), and how many bytes
+/// each source contributed.
+#[derive(Clone, Debug)]
+pub struct FetchTracker {
+    blob: BlobId,
+    layout: ChunkLayout,
+    /// chunk index → request instant, for chunks still in flight.
+    pending: BTreeMap<u32, SimTime>,
+    requested: u32,
+    completed: u32,
+}
+
+impl FetchTracker {
+    pub fn new(blob: BlobId, layout: ChunkLayout) -> Self {
+        FetchTracker {
+            blob,
+            layout,
+            pending: BTreeMap::new(),
+            requested: 0,
+            completed: 0,
+        }
+    }
+
+    pub fn blob(&self) -> BlobId {
+        self.blob
+    }
+
+    pub fn layout(&self) -> ChunkLayout {
+        self.layout
+    }
+
+    /// Record a chunk request going out at `at`. Re-requesting an in-flight
+    /// chunk (rerouting after a provider failure) keeps the original
+    /// request time so the latency histogram reflects the user-visible wait.
+    pub fn request(&mut self, chunk: u32, at: SimTime) {
+        self.requested += 1;
+        self.pending.entry(chunk).or_insert(at);
+    }
+
+    /// Record a chunk arrival; returns the fetch latency, or `None` if the
+    /// chunk was not pending (stale or duplicate delivery).
+    pub fn complete(&mut self, chunk: u32, at: SimTime) -> Option<Duration> {
+        let sent = self.pending.remove(&chunk)?;
+        self.completed += 1;
+        Some(at.since(sent))
+    }
+
+    /// Chunks requested but not yet arrived.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Every requested chunk has arrived.
+    pub fn is_done(&self) -> bool {
+        self.pending.is_empty() && self.completed > 0
+    }
+
+    pub fn requests(&self) -> u32 {
+        self.requested
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_spreads_evenly() {
+        let missing: Vec<u32> = (0..10).collect();
+        let plan = assign_round_robin(&missing, 3);
+        assert_eq!(plan.len(), 10);
+        let mut per_source = [0usize; 3];
+        for &(_, s) in &plan {
+            per_source[s] += 1;
+        }
+        assert_eq!(per_source, [4, 3, 3]);
+        // Deterministic and order-preserving over chunks.
+        assert_eq!(plan[0], (0, 0));
+        assert_eq!(plan[4], (4, 1));
+    }
+
+    #[test]
+    fn single_source_takes_everything() {
+        let plan = assign_round_robin(&[2, 5, 7], 1);
+        assert_eq!(plan, vec![(2, 0), (5, 0), (7, 0)]);
+    }
+
+    #[test]
+    fn tracker_reports_latency_and_completion() {
+        let layout = ChunkLayout::new(1000, 400);
+        let mut t = FetchTracker::new(BlobId(9), layout);
+        assert!(!t.is_done(), "nothing requested yet");
+        t.request(0, SimTime(100));
+        t.request(1, SimTime(100));
+        t.request(2, SimTime(150));
+        assert_eq!(t.in_flight(), 3);
+        assert_eq!(t.complete(1, SimTime(300)), Some(Duration(200)));
+        assert_eq!(t.complete(1, SimTime(400)), None, "duplicate delivery");
+        t.complete(0, SimTime(350));
+        assert!(!t.is_done());
+        t.complete(2, SimTime(500));
+        assert!(t.is_done());
+        assert_eq!(t.requests(), 3);
+    }
+
+    #[test]
+    fn rerequest_keeps_original_request_time() {
+        let layout = ChunkLayout::new(100, 100);
+        let mut t = FetchTracker::new(BlobId(1), layout);
+        t.request(0, SimTime(10));
+        t.request(0, SimTime(90)); // rerouted to another source
+        assert_eq!(t.complete(0, SimTime(100)), Some(Duration(90)));
+        assert_eq!(t.requests(), 2);
+    }
+}

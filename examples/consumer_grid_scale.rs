@@ -90,6 +90,7 @@ fn main() {
         ctrl_peer,
         FarmConfig {
             checkpoint: Some(CheckpointPolicy::every(Duration::from_secs(900), 2 << 20)),
+            swarm: None,
         },
     );
     let pool: Vec<_> = discovered.into_iter().take(60).collect();
@@ -130,8 +131,7 @@ fn main() {
     for _ in 0..24 {
         voting.submit_unit(
             &mut farm,
-            &mut world.sim,
-            &mut world.net,
+            &mut world,
             JobSpec {
                 work_gigacycles: cost::chunk_work_gigacycles(2_000), // ~2 h at 2 GHz
                 input_bytes: cost::CHUNK_BYTES / 10,

@@ -100,8 +100,7 @@ fn main() {
         }
         for _ in 0..frames {
             farm.submit(
-                &mut world.sim,
-                &mut world.net,
+                &mut world,
                 JobSpec {
                     work_gigacycles: work,
                     input_bytes: frame_token.wire_size(),

@@ -9,6 +9,8 @@
 //! * [`toolbox`] — the built-in unit library (signal, galaxy SPH, inspiral
 //!   matched filter, database services, TVM adapter);
 //! * [`p2p`] — the JXTA-like overlay (advertisements, discovery, pipes);
+//! * [`store`] — content-addressed, peer-assisted blob distribution
+//!   (chunked swarm downloads with verify-before-cache);
 //! * [`tvm`] — the sandboxed bytecode VM used as transferable code;
 //! * [`netsim`] — the deterministic discrete-event network/host simulator;
 //! * [`resources`] — virtual accounts, billing, trust policy, local
@@ -43,6 +45,7 @@ pub use netsim;
 pub use obs;
 pub use p2p;
 pub use resources;
+pub use store;
 pub use taskgraph_xml;
 pub use toolbox;
 pub use triana_core as core;

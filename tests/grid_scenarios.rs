@@ -30,6 +30,7 @@ fn churny_farm(seed: u64, workers: usize) -> (GridWorld, FarmScheduler) {
         ctrl,
         FarmConfig {
             checkpoint: Some(CheckpointPolicy::every(Duration::from_secs(600), 100_000)),
+            swarm: None,
         },
     );
     let mut rng = Pcg32::new(seed, 0x5CE);
@@ -58,8 +59,7 @@ fn churny_farm(seed: u64, workers: usize) -> (GridWorld, FarmScheduler) {
 fn submit_jobs(world: &mut GridWorld, farm: &mut FarmScheduler, n: usize) {
     for _ in 0..n {
         farm.submit(
-            &mut world.sim,
-            &mut world.net,
+            world,
             JobSpec {
                 work_gigacycles: 1_000.0, // ~10 min on a 2 GHz host
                 input_bytes: 200_000,
@@ -160,8 +160,7 @@ fn discovery_feeds_the_farm() {
         .collect();
     for _ in 0..12 {
         farm.submit(
-            &mut world.sim,
-            &mut world.net,
+            &mut world,
             JobSpec {
                 work_gigacycles: 10.0,
                 input_bytes: 10_000,
@@ -256,8 +255,7 @@ fn module_distribution_survives_churn() {
     farm.library.publish(key.clone(), blob);
     for _ in 0..20 {
         farm.submit(
-            &mut world.sim,
-            &mut world.net,
+            &mut world,
             JobSpec {
                 work_gigacycles: 500.0,
                 input_bytes: 100_000,
