@@ -11,7 +11,7 @@
 
 use consumer_grid_bench as bench;
 
-const IDS: [(&str, &str); 12] = [
+const IDS: [(&str, &str); 13] = [
     ("e1", "Figure 2: SNR vs AccumStat iterations"),
     ("e2", "Task-graph XML transmission overhead"),
     ("e3", "Case 1: galaxy frame-rendering speedup"),
@@ -24,6 +24,7 @@ const IDS: [(&str, &str); 12] = [
     ("e10", "Checkpointing/migration ablation"),
     ("e11", "Case 3: service discovery & bind"),
     ("e12", "Redundant execution vs cheating volunteers"),
+    ("e13", "Peer profiling & adaptive scheduling"),
 ];
 
 fn run(id: &str) -> Option<String> {
@@ -40,6 +41,7 @@ fn run(id: &str) -> Option<String> {
         "e10" => bench::e10_checkpointing::report(),
         "e11" => bench::e11_service_pipeline::report(),
         "e12" => bench::e12_redundancy::report(),
+        "e13" => bench::e13_adaptive_scheduling::report(),
         _ => return None,
     };
     Some(report)

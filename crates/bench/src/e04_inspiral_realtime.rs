@@ -75,6 +75,7 @@ pub fn simulate(workers: usize, availability: f64, chunks: u64, seed: u64) -> Si
         FarmConfig {
             checkpoint: Some(CheckpointPolicy::every(Duration::from_secs(900), 2 << 20)),
             swarm: None,
+            trust: None,
         },
     );
     let mut rng = world.sim.stream(0xE4);

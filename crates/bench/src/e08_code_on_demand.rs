@@ -191,6 +191,7 @@ pub fn run_swarm_scenario(workers: usize, swarm: bool, seed: u64) -> SwarmPoint 
             chunk_bytes: 1024,
             ..SwarmConfig::default()
         }),
+        trust: None,
     };
     let mut farm = FarmScheduler::new(&world, ctrl, cfg);
     farm.set_obs(obs.clone());

@@ -44,6 +44,7 @@ pub fn run_with(
         FarmConfig {
             checkpoint: interval.map(|i| CheckpointPolicy::every(i, 2 << 20)),
             swarm: None,
+            trust: None,
         },
     );
     let mut rng = world.sim.stream(0xE10);

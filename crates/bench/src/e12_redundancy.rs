@@ -118,8 +118,10 @@ pub fn run_config(
         .filter_map(|w| reps.get(w))
         .map(|r| r.score())
         .collect();
+    // Unobserved cheaters score the neutral prior (0.5), matching
+    // `Reputation::score` — never a perfect 1.0.
     let cheater_score = if observed.is_empty() {
-        1.0
+        0.5
     } else {
         observed.iter().sum::<f64>() / observed.len() as f64
     };

@@ -1,0 +1,473 @@
+//! E13 — peer profiling and adaptive scheduling over the consumer grid.
+//!
+//! The paper's controller picks workers from their advertised "machine
+//! type, speed, memory" (§3.7) and trusts whatever comes back. This
+//! experiment measures what the `triana-trust` layer buys when adverts
+//! lie and volunteers churn (§3.6.2):
+//!
+//! * **(a) policy comparison** — a streaming workload over a heterogeneous
+//!   pool containing "braggarts" (fast adverts, slow delivery, frequent
+//!   churn). The memoryless `first-idle` policy chases the adverts; the
+//!   profiled policies learn delivered speed and availability and route
+//!   around the braggarts, cutting wasted compute and completion times.
+//! * **(b) straggler mitigation** — a worker that delivers a tenth of its
+//!   advert turns one job into the workload's critical path. Speculative
+//!   re-dispatch duplicates the straggling job onto an idle peer, first
+//!   completion wins, and the loser's compute is metered as waste.
+//! * **(c) adaptive replication** — SETI-style voting (E12) pays the
+//!   replication factor on every unit forever. With trust-adaptive
+//!   replication, workers with a proven clean streak graduate to
+//!   single-replica (audit-free) units while suspects keep facing full
+//!   votes and blacklisting — same zero wrong-accepts, far fewer replicas.
+
+use crate::table;
+use netsim::avail::{AvailabilityModel, AvailabilityTrace};
+use netsim::{Duration, HostSpec, SimTime};
+use p2p::DiscoveryMode;
+use triana_core::grid::farm::{run_farm, FarmConfig, FarmScheduler, JobSpec};
+use triana_core::grid::redundancy::{AdaptiveConfig, Behaviour, RedundancyConfig, VotingFarm};
+use triana_core::grid::{GridWorld, WorkerId, WorkerSetup};
+use trust::{GridTrustConfig, PolicyHandle, StragglerConfig};
+
+/// Outcome of one scheduling policy over the churny heterogeneous pool.
+#[derive(Clone, Copy, Debug)]
+pub struct PolicyPoint {
+    pub policy: &'static str,
+    pub makespan_s: f64,
+    pub mean_latency_s: f64,
+    pub max_latency_s: f64,
+    /// Compute lost to churn-interrupted runs.
+    pub wasted_s: f64,
+    /// Re-dispatches after interruptions.
+    pub migrations: u64,
+    /// Fraction of jobs whose accepted result came from a braggart.
+    pub braggart_share: f64,
+}
+
+const BRAGGARTS: u32 = 4;
+
+/// Fixed seeds for the policy comparison. Makespan is dominated by the
+/// placement of the final arrivals, so a single seed can tie; the
+/// comparison aggregates a few deterministic runs instead.
+pub const POLICY_SEEDS: [u64; 3] = [0xE13, 7, 99];
+
+/// Mean of [`run_policy`] over [`POLICY_SEEDS`] (migrations summed).
+pub fn run_policy_avg(policy: PolicyHandle) -> PolicyPoint {
+    let pts: Vec<PolicyPoint> = POLICY_SEEDS
+        .iter()
+        .map(|&s| run_policy(policy.clone(), s))
+        .collect();
+    let n = pts.len() as f64;
+    PolicyPoint {
+        policy: policy.name(),
+        makespan_s: pts.iter().map(|p| p.makespan_s).sum::<f64>() / n,
+        mean_latency_s: pts.iter().map(|p| p.mean_latency_s).sum::<f64>() / n,
+        max_latency_s: pts.iter().map(|p| p.max_latency_s).sum::<f64>() / n,
+        wasted_s: pts.iter().map(|p| p.wasted_s).sum::<f64>() / n,
+        migrations: pts.iter().map(|p| p.migrations).sum(),
+        braggart_share: pts.iter().map(|p| p.braggart_share).sum::<f64>() / n,
+    }
+}
+
+/// Streaming workload (one 150 Gc job every 60 s) over 12 workers:
+/// 4 braggarts (3 GHz advertised, half delivered, churny), 4 steady 2 GHz,
+/// 4 slow-but-steady 1.2 GHz.
+pub fn run_policy(policy: PolicyHandle, seed: u64) -> PolicyPoint {
+    let name = policy.name();
+    let horizon = SimTime::from_secs(200_000);
+    let mut world = GridWorld::new(seed, DiscoveryMode::Flooding);
+    let (ctrl, _) = world.add_peer(HostSpec::lan_workstation());
+    let mut farm = FarmScheduler::new(
+        &world,
+        ctrl,
+        FarmConfig {
+            trust: Some(GridTrustConfig {
+                policy,
+                ..GridTrustConfig::default()
+            }),
+            ..FarmConfig::default()
+        },
+    );
+    let mut rng = world.sim.stream(0xE13);
+    for i in 0..12u32 {
+        let mut spec = HostSpec::lan_workstation();
+        let (ghz, eff, trace) = if i < BRAGGARTS {
+            // Fast advert, half the delivery, and frequent walk-aways.
+            let model = AvailabilityModel::Exponential {
+                mean_up: Duration::from_secs(600),
+                mean_down: Duration::from_secs(300),
+            };
+            (3.0, 0.5, model.trace(horizon, &mut rng))
+        } else if i < 8 {
+            (2.0, 1.0, AvailabilityTrace::always(horizon))
+        } else {
+            (1.2, 1.0, AvailabilityTrace::always(horizon))
+        };
+        spec.cpu_ghz = ghz;
+        let (peer, _) = world.add_peer(spec.clone());
+        let wid = farm.add_worker(
+            &mut world,
+            WorkerSetup {
+                peer,
+                spec,
+                trace,
+                cache_bytes: 1 << 20,
+            },
+        );
+        farm.set_worker_efficiency(wid, eff);
+    }
+    farm.chunk_spec = Some(JobSpec {
+        // 75 s on a steady 2 GHz peer, 100 s on a braggart's delivered
+        // 1.5 GHz, 125 s on a slow 1.2 GHz peer — the braggarts' adverts
+        // are the best, their delivery is not.
+        work_gigacycles: 150.0,
+        input_bytes: 100_000,
+        output_bytes: 10_000,
+        module: None,
+    });
+    farm.schedule_chunks(&mut world.sim, Duration::from_secs(60), 60);
+    run_farm(&mut world, &mut farm);
+    let s = farm.stats();
+    assert_eq!(s.jobs_done, s.jobs_total, "stream must drain");
+    let braggart_jobs = (0..s.jobs_total)
+        .filter(|&j| {
+            farm.job_completed_by(triana_core::grid::JobId(j))
+                .is_some_and(|w| w.0 < BRAGGARTS)
+        })
+        .count();
+    PolicyPoint {
+        policy: name,
+        makespan_s: s.makespan.as_secs_f64(),
+        mean_latency_s: s.total_latency.as_secs_f64() / s.jobs_done as f64,
+        max_latency_s: s.max_latency.as_secs_f64(),
+        wasted_s: s.wasted.as_secs_f64(),
+        migrations: s.attempts - s.jobs_done,
+        braggart_share: braggart_jobs as f64 / s.jobs_total as f64,
+    }
+}
+
+/// Outcome of the straggler-mitigation ablation.
+#[derive(Clone, Copy, Debug)]
+pub struct StragglerPoint {
+    pub speculation: bool,
+    pub makespan_s: f64,
+    pub max_latency_s: f64,
+    pub spec_dispatches: u64,
+    pub spec_wins: u64,
+    pub wasted_s: f64,
+}
+
+/// 8 × 100 Gc jobs over 4 workers, one of which delivers a tenth of its
+/// 3 GHz advert — without speculation that worker's first job IS the
+/// makespan.
+pub fn run_straggler(speculate: bool, seed: u64) -> StragglerPoint {
+    let horizon = SimTime::from_secs(1_000_000);
+    let mut world = GridWorld::new(seed, DiscoveryMode::Flooding);
+    let (ctrl, _) = world.add_peer(HostSpec::lan_workstation());
+    let mut farm = FarmScheduler::new(
+        &world,
+        ctrl,
+        FarmConfig {
+            trust: Some(GridTrustConfig {
+                straggler: speculate.then(StragglerConfig::default),
+                ..GridTrustConfig::default()
+            }),
+            ..FarmConfig::default()
+        },
+    );
+    for i in 0..4u32 {
+        let mut spec = HostSpec::lan_workstation();
+        spec.cpu_ghz = if i == 0 { 3.0 } else { 2.0 };
+        let (peer, _) = world.add_peer(spec.clone());
+        let wid = farm.add_worker(
+            &mut world,
+            WorkerSetup {
+                peer,
+                spec,
+                trace: AvailabilityTrace::always(horizon),
+                cache_bytes: 1 << 20,
+            },
+        );
+        if i == 0 {
+            farm.set_worker_efficiency(wid, 0.1); // 333 s where 33 s was advertised
+        }
+    }
+    for _ in 0..8 {
+        farm.submit(
+            &mut world,
+            JobSpec {
+                work_gigacycles: 100.0,
+                input_bytes: 100_000,
+                output_bytes: 10_000,
+                module: None,
+            },
+        );
+    }
+    run_farm(&mut world, &mut farm);
+    let s = farm.stats();
+    assert_eq!(s.jobs_done, 8);
+    StragglerPoint {
+        speculation: speculate,
+        makespan_s: s.makespan.as_secs_f64(),
+        max_latency_s: s.max_latency.as_secs_f64(),
+        spec_dispatches: s.spec_dispatches,
+        spec_wins: s.spec_wins,
+        wasted_s: s.wasted.as_secs_f64(),
+    }
+}
+
+/// Outcome of one replication mode against the cheating population.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplicationPoint {
+    pub mode: &'static str,
+    pub units: usize,
+    /// Farm jobs spent (the replication cost).
+    pub total_replicas: usize,
+    pub wrong_accepted: usize,
+    pub accepted_on_trust: usize,
+    /// Cheaters excluded by the blacklist floor at the end.
+    pub blacklisted: usize,
+}
+
+const REPLICATION_UNITS: usize = 50;
+// One cheater: two cheaters paired on the same unit each return a
+// *different* wrong digest, leaving no quorum (Unresolved) — nobody is
+// blamed, which shields both from the blacklist floor (E12's 2-replica
+// row shows the same detect-but-cannot-decide effect).
+const CHEATERS: u32 = 1;
+
+/// 50 logical units in waves of 5 over 6 honest + 1 always-cheating
+/// worker, either with fixed SETI-style triple redundancy or with
+/// trust-adaptive replication. The pool is tight enough that replicas
+/// keep landing on the cheater until the blacklist floor removes it.
+pub fn run_replication(adaptive: bool, seed: u64) -> ReplicationPoint {
+    let mut behaviours = vec![Behaviour::Cheater { cheat_prob: 1.0 }; CHEATERS as usize];
+    behaviours.extend(std::iter::repeat_n(Behaviour::Honest, 6));
+    let horizon = SimTime::from_secs(10_000_000);
+    let mut world = GridWorld::new(seed, DiscoveryMode::Flooding);
+    let (ctrl, _) = world.add_peer(HostSpec::lan_workstation());
+    let mut farm = FarmScheduler::new(
+        &world,
+        ctrl,
+        FarmConfig {
+            trust: Some(GridTrustConfig::adaptive()),
+            ..FarmConfig::default()
+        },
+    );
+    for _ in 0..behaviours.len() {
+        let spec = HostSpec::lan_workstation();
+        let (peer, _) = world.add_peer(spec.clone());
+        farm.add_worker(
+            &mut world,
+            WorkerSetup {
+                peer,
+                spec,
+                trace: AvailabilityTrace::always(horizon),
+                cache_bytes: 1 << 20,
+            },
+        );
+    }
+    let mut voting = VotingFarm::new(RedundancyConfig::triple(), behaviours, seed);
+    voting.set_adaptive(AdaptiveConfig::default());
+    let spec = JobSpec {
+        work_gigacycles: 10.0,
+        input_bytes: 10_000,
+        output_bytes: 1_000,
+        module: None,
+    };
+    for wave in 0..(REPLICATION_UNITS / 5) {
+        let units: Vec<usize> = (0..5)
+            .map(|_| {
+                if adaptive {
+                    voting.submit_unit_adaptive(&mut farm, &mut world, spec.clone())
+                } else {
+                    voting.submit_unit(&mut farm, &mut world, spec.clone())
+                }
+            })
+            .collect();
+        run_farm(&mut world, &mut farm);
+        if adaptive {
+            for &u in &units {
+                voting.resolve_unit(&mut farm, &mut world, u);
+            }
+            run_farm(&mut world, &mut farm);
+        }
+        for &u in &units {
+            voting.apply_unit(&mut farm, u);
+        }
+        let _ = wave;
+    }
+    let wrong_accepted = (0..voting.units.len())
+        .filter(|&u| voting.accepted_digest_is_wrong(&farm, u))
+        .count();
+    let blacklisted = (0..CHEATERS)
+        .filter(|&w| farm.worker_blacklisted(WorkerId(w)))
+        .count();
+    ReplicationPoint {
+        mode: if adaptive { "adaptive" } else { "fixed x3" },
+        units: voting.units.len(),
+        total_replicas: voting.total_replicas(),
+        wrong_accepted,
+        accepted_on_trust: voting.accepted_on_trust(),
+        blacklisted,
+    }
+}
+
+pub fn report() -> String {
+    let policies = [
+        PolicyHandle::first_idle(),
+        PolicyHandle::fastest_profiled(),
+        PolicyHandle::reliability_weighted(),
+    ];
+    let policy_rows: Vec<Vec<String>> = policies
+        .into_iter()
+        .map(|p| {
+            let r = run_policy_avg(p);
+            vec![
+                r.policy.to_string(),
+                table::f(r.makespan_s, 0),
+                table::f(r.mean_latency_s, 1),
+                table::f(r.max_latency_s, 1),
+                table::f(r.wasted_s, 1),
+                r.migrations.to_string(),
+                table::f(r.braggart_share, 2),
+            ]
+        })
+        .collect();
+    let straggler_rows: Vec<Vec<String>> = [false, true]
+        .into_iter()
+        .map(|sp| {
+            let r = run_straggler(sp, 0xE13);
+            vec![
+                if sp { "speculative" } else { "none" }.to_string(),
+                table::f(r.makespan_s, 1),
+                table::f(r.max_latency_s, 1),
+                r.spec_dispatches.to_string(),
+                r.spec_wins.to_string(),
+                table::f(r.wasted_s, 1),
+            ]
+        })
+        .collect();
+    let replication_rows: Vec<Vec<String>> = [false, true]
+        .into_iter()
+        .map(|ad| {
+            let r = run_replication(ad, 0xE13);
+            vec![
+                r.mode.to_string(),
+                r.units.to_string(),
+                r.total_replicas.to_string(),
+                r.wrong_accepted.to_string(),
+                r.accepted_on_trust.to_string(),
+                r.blacklisted.to_string(),
+            ]
+        })
+        .collect();
+    format!(
+        "E13 Peer profiling & adaptive scheduling\n\
+         \n\
+         (a) Scheduling policy over 12 heterogeneous workers (4 churny\n\
+         braggarts advertising 3 GHz, delivering 1.5), 60 streamed jobs,\n\
+         mean of 3 seeded runs:\n\n{}\n\
+         (b) Straggler mitigation (1 worker delivering 10% of its advert,\n\
+         8 jobs on 4 workers):\n\n{}\n\
+         (c) Replication cost vs an always-cheating worker in a pool of 7\n\
+         (50 units, waves of 5):\n\n{}",
+        table::render(
+            &[
+                "policy",
+                "makespan s",
+                "mean lat s",
+                "max lat s",
+                "wasted s",
+                "migrations",
+                "braggart share"
+            ],
+            &policy_rows
+        ),
+        table::render(
+            &[
+                "speculation",
+                "makespan s",
+                "max lat s",
+                "dispatched",
+                "wins",
+                "wasted s"
+            ],
+            &straggler_rows
+        ),
+        table::render(
+            &[
+                "mode",
+                "units",
+                "replicas",
+                "wrong ok'd",
+                "on trust",
+                "blacklisted"
+            ],
+            &replication_rows
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliability_weighted_beats_first_idle_under_churn() {
+        let fi = run_policy_avg(PolicyHandle::first_idle());
+        let rw = run_policy_avg(PolicyHandle::reliability_weighted());
+        // The memoryless policy keeps chasing the 3 GHz adverts.
+        assert!(fi.braggart_share > rw.braggart_share, "{fi:?}\n{rw:?}");
+        // Learning delivered speed and availability cuts churn waste and
+        // completion times.
+        assert!(rw.wasted_s < fi.wasted_s, "{fi:?}\n{rw:?}");
+        assert!(rw.makespan_s < fi.makespan_s, "{fi:?}\n{rw:?}");
+        assert!(rw.mean_latency_s < fi.mean_latency_s, "{fi:?}\n{rw:?}");
+    }
+
+    #[test]
+    fn fastest_profiled_also_learns_past_the_adverts() {
+        let fi = run_policy_avg(PolicyHandle::first_idle());
+        let fp = run_policy_avg(PolicyHandle::fastest_profiled());
+        assert!(fp.braggart_share < fi.braggart_share, "{fi:?}\n{fp:?}");
+        assert!(fp.mean_latency_s < fi.mean_latency_s, "{fi:?}\n{fp:?}");
+    }
+
+    #[test]
+    fn speculation_bounds_straggler_latency() {
+        let plain = run_straggler(false, 0xE13);
+        let spec = run_straggler(true, 0xE13);
+        // Without speculation the slug's job dominates everything.
+        assert!(plain.max_latency_s > 300.0, "{plain:?}");
+        assert_eq!(plain.spec_dispatches, 0);
+        // With it, the duplicate wins and the tail collapses.
+        assert!(spec.spec_dispatches >= 1, "{spec:?}");
+        assert!(spec.spec_wins >= 1, "{spec:?}");
+        assert!(
+            spec.max_latency_s < plain.max_latency_s / 1.5,
+            "{plain:?}\n{spec:?}"
+        );
+        assert!(spec.makespan_s < plain.makespan_s, "{plain:?}\n{spec:?}");
+        // The cancelled primary's compute is metered, not hidden.
+        assert!(spec.wasted_s > 0.0, "{spec:?}");
+    }
+
+    #[test]
+    fn adaptive_replication_cuts_cost_at_equal_accuracy() {
+        let fixed = run_replication(false, 0xE13);
+        let adaptive = run_replication(true, 0xE13);
+        // Equal accuracy: the cheaters never get a wrong result accepted.
+        assert_eq!(fixed.wrong_accepted, 0, "{fixed:?}");
+        assert_eq!(adaptive.wrong_accepted, 0, "{adaptive:?}");
+        // Far fewer replicas once honest workers are proven.
+        assert!(
+            adaptive.total_replicas < fixed.total_replicas,
+            "{fixed:?}\n{adaptive:?}"
+        );
+        assert!(adaptive.accepted_on_trust > 0, "{adaptive:?}");
+        // Both modes end with the cheater under the blacklist floor.
+        assert_eq!(fixed.blacklisted, CHEATERS as usize, "{fixed:?}");
+        assert_eq!(adaptive.blacklisted, CHEATERS as usize, "{adaptive:?}");
+    }
+}

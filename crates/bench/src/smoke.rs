@@ -20,6 +20,7 @@ use triana_core::grid::farm::{run_farm, FarmConfig, FarmScheduler, JobSpec};
 use triana_core::grid::{GridWorld, WorkerSetup};
 use triana_core::unit::Params;
 use triana_core::{run_graph_obs, EngineConfig, TaskGraph};
+use trust::{GridTrustConfig, StragglerConfig};
 use tvm::asm::assemble;
 use tvm::SandboxPolicy;
 
@@ -69,11 +70,27 @@ fn farm_stage(observer: &Obs) {
     let mut world = GridWorld::new(SEED, DiscoveryMode::Flooding);
     world.net.set_obs(observer.clone());
     let (ctrl, _) = world.add_peer(HostSpec::lan_workstation());
-    let mut farm = FarmScheduler::new(&world, ctrl, FarmConfig::default());
+    let mut farm = FarmScheduler::new(
+        &world,
+        ctrl,
+        FarmConfig {
+            trust: Some(GridTrustConfig {
+                straggler: Some(StragglerConfig::default()),
+                ..GridTrustConfig::default()
+            }),
+            ..FarmConfig::default()
+        },
+    );
     farm.set_obs(observer.clone());
     let horizon = SimTime::from_secs(1_000_000);
-    for i in 0..3u64 {
-        let spec = HostSpec::lan_workstation();
+    for i in 0..4u64 {
+        let mut spec = HostSpec::lan_workstation();
+        // Worker 3 is a braggart straggler: twice the advertised clock,
+        // a tenth of it delivered — it attracts the big job below and
+        // forces a speculative re-dispatch.
+        if i == 3 {
+            spec.cpu_ghz *= 2.0;
+        }
         let (peer, _) = world.add_peer(spec.clone());
         // Worker 2 goes down mid-run, forcing a migration/retry.
         let trace = if i == 2 {
@@ -81,7 +98,7 @@ fn farm_stage(observer: &Obs) {
         } else {
             AvailabilityTrace::always(horizon)
         };
-        farm.add_worker(
+        let wid = farm.add_worker(
             &mut world,
             WorkerSetup {
                 peer,
@@ -90,11 +107,25 @@ fn farm_stage(observer: &Obs) {
                 cache_bytes: 64 << 10,
             },
         );
+        if i == 3 {
+            farm.set_worker_efficiency(wid, 0.1);
+        }
     }
     let modules = crate::e08_code_on_demand::module_set(3);
     for (k, b) in &modules {
         farm.library.publish(k.clone(), b.clone());
     }
+    // The big job lands on the braggart (fastest advert, everyone idle)
+    // and straggles until the speculative duplicate beats it.
+    farm.submit(
+        &mut world,
+        JobSpec {
+            work_gigacycles: 40.0,
+            input_bytes: 10_000,
+            output_bytes: 2_000,
+            module: None,
+        },
+    );
     let mut rng = Pcg32::new(SEED, 0xFA);
     for _ in 0..12 {
         let which = rng.below(modules.len() as u64) as usize;
@@ -203,6 +234,10 @@ pub fn report_with(observer: &Obs) -> String {
         "farm.retries",
         "farm.module_cache_hits",
         "farm.module_cache_misses",
+        "trust.straggler_checks",
+        "trust.speculative_dispatches",
+        "trust.speculative_wins",
+        "trust.abandons",
         "p2p.messages_sent",
         "p2p.query_hits",
         "tvm.executions",
@@ -234,6 +269,10 @@ mod tests {
             "farm.dispatches",
             "farm.completions",
             "farm.module_cache_misses",
+            "trust.straggler_checks",
+            "trust.speculative_dispatches",
+            "trust.speculative_wins",
+            "trust.abandons",
             "p2p.messages_sent",
             "p2p.advert_cache_inserts",
             "tvm.executions",

@@ -18,6 +18,7 @@ use p2p::{AdvertBody, Advertisement, BlobAdvert, PeerId, QueryId, QueryKind};
 use store::{assign_round_robin, BlobId, ChunkStore, FetchTracker};
 
 use resources::account::{BillingLedger, UsageRecord, VirtualAccount};
+use trust::{Candidate, GridTrustConfig, PolicyHandle, ProfileRegistry};
 
 use crate::checkpoint::{Checkpoint, CheckpointPolicy};
 use crate::grid::{ChunkSource, GridEvent, GridWorld, JobId, WorkerId, WorkerSetup};
@@ -44,6 +45,10 @@ pub struct FarmConfig {
     /// Peer-assisted module distribution; `None` keeps the classic
     /// controller-direct download of §3.3.
     pub swarm: Option<SwarmConfig>,
+    /// Peer profiling and adaptive scheduling; `None` keeps the legacy
+    /// memoryless fastest-advertised-clock dispatch (profiles are still
+    /// collected so reports and redundancy can read them).
+    pub trust: Option<GridTrustConfig>,
 }
 
 /// Settings for peer-assisted (swarm) module distribution: modules are
@@ -110,12 +115,29 @@ struct Job {
     attempts: u32,
     /// Compute time lost to interruptions (beyond the checkpointed part).
     wasted: Duration,
+    /// In-flight speculative duplicate (straggler mitigation), if any.
+    spec_attempt: Option<SpecAttempt>,
+}
+
+/// A speculative duplicate of a straggling job, racing the primary copy on
+/// a second worker. First finisher wins; the loser is cancelled and its
+/// compute metered as waste.
+struct SpecAttempt {
+    worker: WorkerId,
+    epoch: u64,
+    state: JobState,
+    started: Option<SimTime>,
+    exec: Duration,
+    /// Work the duplicate recomputes (the primary's remaining fraction).
+    gigacycles: f64,
 }
 
 struct RunningJob {
     job: JobId,
     started: SimTime,
     exec: Duration,
+    /// Work this run covers, for runtime profiling on completion.
+    gigacycles: f64,
 }
 
 struct Worker {
@@ -133,6 +155,11 @@ struct Worker {
     active: u32,
     /// Jobs currently computing on this worker.
     running: Vec<RunningJob>,
+    /// Fraction of the advertised clock actually delivered (1.0 = honest
+    /// advert). Models the paper's §3.7 gap between a peer's advertised
+    /// "machine type, speed" and the computational bandwidth it reaches —
+    /// only runtime profiling can see through it.
+    efficiency: f64,
     cache: ModuleCache,
     /// Chunks of content-addressed blobs this worker holds and can serve
     /// to swarm-fetching peers.
@@ -158,6 +185,10 @@ pub struct FarmStats {
     pub wasted: Duration,
     /// Total (re)assignments.
     pub attempts: u64,
+    /// Speculative duplicates launched against stragglers.
+    pub spec_dispatches: u64,
+    /// Speculative duplicates that beat their primary.
+    pub spec_wins: u64,
 }
 
 /// The Triana Controller's farm scheduler.
@@ -179,11 +210,18 @@ pub struct FarmScheduler {
     fetches: HashMap<JobId, SwarmFetch>,
     /// Reverse map for serving swarm chunks out of a provider's store.
     peer_workers: HashMap<PeerId, WorkerId>,
+    /// Learned per-worker runtime, availability, and trust estimates.
+    profiles: ProfileRegistry,
+    /// Worker-selection policy resolved from `cfg.trust` at construction.
+    policy: PolicyHandle,
+    spec_dispatches: u64,
+    spec_wins: u64,
     obs: Obs,
 }
 
 impl FarmScheduler {
     pub fn new(world: &GridWorld, controller: PeerId, cfg: FarmConfig) -> Self {
+        let tcfg = cfg.trust.clone().unwrap_or_default();
         FarmScheduler {
             controller,
             controller_host: world.p2p.host_of(controller),
@@ -196,6 +234,10 @@ impl FarmScheduler {
             account: VirtualAccount("controller".to_string()),
             fetches: HashMap::new(),
             peer_workers: HashMap::new(),
+            profiles: ProfileRegistry::new(tcfg.profile),
+            policy: tcfg.policy,
+            spec_dispatches: 0,
+            spec_wins: 0,
             obs: Obs::disabled(),
         }
     }
@@ -204,6 +246,73 @@ impl FarmScheduler {
     /// module-cache traffic and worker churn are recorded through it.
     pub fn set_obs(&mut self, obs: Obs) {
         self.obs = obs;
+    }
+
+    /// Set the fraction of its advertised clock a worker actually delivers
+    /// (1.0 = honest advert). The scheduler never reads this directly —
+    /// it only shapes simulated execution times, which the profile layer
+    /// then learns from.
+    pub fn set_worker_efficiency(&mut self, wid: WorkerId, efficiency: f64) {
+        assert!(efficiency > 0.0);
+        self.workers[wid.0 as usize].efficiency = efficiency;
+    }
+
+    /// Learned per-worker profiles (runtime, availability, trust).
+    pub fn profiles(&self) -> &ProfileRegistry {
+        &self.profiles
+    }
+
+    /// Mutable profile access for verification layers feeding vote
+    /// evidence back into the scheduler (see [`crate::grid::redundancy`]).
+    pub fn profiles_mut(&mut self) -> &mut ProfileRegistry {
+        &mut self.profiles
+    }
+
+    /// Feed a verification verdict for a worker into its profile and
+    /// refresh the blacklist gauge.
+    pub fn record_vote(&mut self, wid: WorkerId, agreed: bool) {
+        self.profiles.record_vote(wid.0, agreed);
+        self.obs.incr(if agreed {
+            "trust.votes_agreed"
+        } else {
+            "trust.votes_dissented"
+        });
+        self.refresh_blacklist_gauge();
+    }
+
+    /// Name of the active worker-selection policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Is this worker currently excluded by the blacklist floor?
+    pub fn worker_blacklisted(&self, wid: WorkerId) -> bool {
+        self.cfg
+            .trust
+            .as_ref()
+            .and_then(|t| t.blacklist.as_ref())
+            .is_some_and(|bl| self.profiles.blacklisted(wid.0, bl))
+    }
+
+    fn refresh_blacklist_gauge(&mut self) {
+        if let Some(bl) = self.cfg.trust.as_ref().and_then(|t| t.blacklist.as_ref()) {
+            self.obs.gauge(
+                "trust.blacklisted",
+                self.profiles.blacklisted_count(bl) as i64,
+            );
+        }
+    }
+
+    /// Simulated execution time of `gigacycles` on a worker, including its
+    /// (hidden) efficiency factor.
+    fn effective_exec(&self, wid: WorkerId, gigacycles: f64) -> Duration {
+        let w = &self.workers[wid.0 as usize];
+        let base = w.spec.exec_time(gigacycles);
+        if w.efficiency == 1.0 {
+            base
+        } else {
+            Duration::from_secs_f64(base.as_secs_f64() / w.efficiency)
+        }
     }
 
     /// Enrol a single-slot worker (an ordinary volunteer PC).
@@ -228,6 +337,7 @@ impl FarmScheduler {
         schedule_transitions(&mut world.sim, id, &setup.trace);
         let chunk_bytes = self.cfg.swarm.as_ref().map_or(16 * 1024, |s| s.chunk_bytes);
         self.peer_workers.insert(setup.peer, id);
+        self.profiles.register(id.0, setup.spec.cpu_ghz, up);
         self.workers.push(Worker {
             peer: setup.peer,
             host,
@@ -237,6 +347,7 @@ impl FarmScheduler {
             capacity,
             active: 0,
             running: Vec::new(),
+            efficiency: 1.0,
             cache: ModuleCache::new(setup.cache_bytes),
             store: ChunkStore::new(chunk_bytes),
             jobs_completed: 0,
@@ -271,6 +382,7 @@ impl FarmScheduler {
             assigned: None,
             attempts: 0,
             wasted: Duration::ZERO,
+            spec_attempt: None,
         });
         self.pending.push_back(id);
         self.dispatch(world);
@@ -281,7 +393,9 @@ impl FarmScheduler {
     fn eligible(&self, job_id: JobId, wid: WorkerId) -> bool {
         self.jobs[job_id.0 as usize].conflicts.iter().all(|&cj| {
             let c = &self.jobs[cj.0 as usize];
-            c.completed_by != Some(wid) && !matches!(c.assigned, Some((w, _)) if w == wid)
+            c.completed_by != Some(wid)
+                && !matches!(c.assigned, Some((w, _)) if w == wid)
+                && !matches!(&c.spec_attempt, Some(s) if s.worker == wid)
         })
     }
 
@@ -294,29 +408,42 @@ impl FarmScheduler {
         }
     }
 
+    /// Idle workers a job may run on, in worker-id order (so every policy
+    /// sees a deterministic candidate list). `exclude` drops one worker —
+    /// the straggling primary when picking a speculative backup.
+    fn candidates_for(&self, job_id: JobId, exclude: Option<WorkerId>) -> Vec<Candidate> {
+        let blacklist = self.cfg.trust.as_ref().and_then(|t| t.blacklist.as_ref());
+        self.workers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| {
+                let wid = WorkerId(i as u32);
+                let open = w.up && w.active < w.capacity && Some(wid) != exclude;
+                let trusted = blacklist.is_none_or(|bl| !self.profiles.blacklisted(wid.0, bl));
+                (open && trusted && self.eligible(job_id, wid)).then_some(Candidate {
+                    worker: wid.0,
+                    cpu_ghz: w.spec.cpu_ghz,
+                })
+            })
+            .collect()
+    }
+
     fn dispatch(&mut self, world: &mut GridWorld) {
         loop {
             // FIFO over pending jobs, skipping jobs whose conflict set
-            // rules out every idle worker; fastest eligible idle worker
-            // first (the controller knows advertised CPU capability, §3.7).
+            // rules out every idle worker; the configured policy picks
+            // among the eligible idle workers (the legacy default takes
+            // the fastest advertised clock, §3.7).
             let mut pick: Option<(usize, WorkerId)> = None;
-            'jobs: for (qi, &job_id) in self.pending.iter().enumerate() {
-                let mut candidate: Option<WorkerId> = None;
-                for (i, w) in self.workers.iter().enumerate() {
-                    let wid = WorkerId(i as u32);
-                    if w.up && w.active < w.capacity && self.eligible(job_id, wid) {
-                        let better = match candidate {
-                            None => true,
-                            Some(c) => w.spec.cpu_ghz > self.workers[c.0 as usize].spec.cpu_ghz,
-                        };
-                        if better {
-                            candidate = Some(wid);
-                        }
-                    }
-                }
-                if let Some(wid) = candidate {
-                    pick = Some((qi, wid));
-                    break 'jobs;
+            for (qi, &job_id) in self.pending.iter().enumerate() {
+                let cands = self.candidates_for(job_id, None);
+                let work = {
+                    let j = &self.jobs[job_id.0 as usize];
+                    j.spec.work_gigacycles * (1.0 - j.fraction)
+                };
+                if let Some(ci) = self.policy.choose(work, &cands, &self.profiles) {
+                    pick = Some((qi, WorkerId(cands[ci].worker)));
+                    break;
                 }
             }
             let Some((qi, wid)) = pick else {
@@ -398,7 +525,7 @@ impl FarmScheduler {
                     epoch,
                 },
             ),
-            Err(_) => self.requeue(job_id, wid),
+            Err(_) => self.requeue(world.sim.now(), job_id, wid),
         }
     }
 
@@ -503,7 +630,7 @@ impl FarmScheduler {
                 // vanished in this instant — treat as interrupt.
                 ChunkSource::Controller => {
                     self.fetches.remove(&job);
-                    self.requeue(job, wid);
+                    self.requeue(world.sim.now(), job, wid);
                 }
             },
         }
@@ -586,7 +713,7 @@ impl FarmScheduler {
                     epoch,
                 },
             ),
-            Err(_) => self.requeue(job_id, wid),
+            Err(_) => self.requeue(world.sim.now(), job_id, wid),
         }
     }
 
@@ -600,8 +727,10 @@ impl FarmScheduler {
     }
 
     /// Unassign a job and put it back in the queue; frees the worker slot.
-    fn requeue(&mut self, job_id: JobId, wid: WorkerId) {
+    /// Any in-flight speculative duplicate is cancelled with it.
+    fn requeue(&mut self, now: SimTime, job_id: JobId, wid: WorkerId) {
         self.fetches.remove(&job_id);
+        self.cancel_spec(now, job_id);
         let job = &mut self.jobs[job_id.0 as usize];
         job.state = JobState::Pending;
         job.assigned = None;
@@ -622,6 +751,7 @@ impl FarmScheduler {
                 w.active = 0;
                 w.running.clear();
                 world.net.set_online(w.host, true);
+                self.profiles.mark_up(wid.0, world.sim.now());
                 self.obs.incr("farm.worker_up");
                 self.obs
                     .event(world.sim.now().as_micros(), "farm.worker_up", || {
@@ -685,16 +815,17 @@ impl FarmScheduler {
                 let j = &mut self.jobs[job.0 as usize];
                 j.state = JobState::Running;
                 let remaining = j.spec.work_gigacycles * (1.0 - j.fraction);
-                let w = &mut self.workers[worker.0 as usize];
-                let exec = w.spec.exec_time(remaining);
-                w.running.push(RunningJob {
+                let exec = self.effective_exec(worker, remaining);
+                self.workers[worker.0 as usize].running.push(RunningJob {
                     job,
                     started: world.sim.now(),
                     exec,
+                    gigacycles: remaining,
                 });
                 world
                     .sim
                     .schedule(exec, GridEvent::ComputeDone { job, worker, epoch });
+                self.arm_straggler_check(world, job, worker, epoch, remaining);
             }
             GridEvent::ComputeDone { job, worker, epoch } => {
                 if !self.live(job, worker, epoch, JobState::Running) {
@@ -707,12 +838,12 @@ impl FarmScheduler {
                 let out_bytes = j.spec.output_bytes;
                 let in_bytes = j.spec.input_bytes;
                 let w = &mut self.workers[worker.0 as usize];
-                let cpu = w
+                let (cpu, gigacycles) = w
                     .running
                     .iter()
                     .find(|r| r.job == job)
-                    .map(|r| r.exec)
-                    .unwrap_or(Duration::ZERO);
+                    .map(|r| (r.exec, r.gigacycles))
+                    .unwrap_or((Duration::ZERO, 0.0));
                 w.ledger.charge(
                     &self.account,
                     UsageRecord {
@@ -727,6 +858,9 @@ impl FarmScheduler {
                 w.active = w.active.saturating_sub(1);
                 w.jobs_completed += 1;
                 let src = w.host;
+                if gigacycles > 0.0 {
+                    self.profiles.record_completion(worker.0, gigacycles, cpu);
+                }
                 match world
                     .net
                     .transfer(world.sim.now(), src, self.controller_host, out_bytes)
@@ -734,7 +868,7 @@ impl FarmScheduler {
                     Ok(delay) => world.sim.schedule(delay, GridEvent::OutputArrived { job }),
                     // Controller is always on; a failure means the worker
                     // vanished in this very instant — treat as interrupt.
-                    Err(_) => self.requeue(job, worker),
+                    Err(_) => self.requeue(world.sim.now(), job, worker),
                 }
                 self.dispatch(world);
             }
@@ -751,6 +885,13 @@ impl FarmScheduler {
                         .event(world.sim.now().as_micros(), "farm.complete", || {
                             format!("job={} latency_us={}", job.0, latency.as_micros())
                         });
+                    // The primary beat its speculative duplicate: cancel
+                    // the duplicate and meter its compute as waste.
+                    if self.jobs[job.0 as usize].spec_attempt.is_some() {
+                        self.obs.incr("trust.speculative_losses");
+                        self.cancel_spec(world.sim.now(), job);
+                        self.dispatch(world);
+                    }
                 }
             }
             GridEvent::ChunkArrives { .. } => {
@@ -758,12 +899,303 @@ impl FarmScheduler {
                     self.submit(world, spec);
                 }
             }
+            GridEvent::StragglerCheck { job, worker, epoch } => {
+                self.straggler_check(world, job, worker, epoch);
+            }
+            GridEvent::SpecInputArrived { job, worker, epoch } => {
+                self.spec_input_arrived(world, job, worker, epoch);
+            }
+            GridEvent::SpecComputeDone { job, worker, epoch } => {
+                self.spec_compute_done(world, job, worker, epoch);
+            }
+            GridEvent::SpecOutputArrived { job, worker } => {
+                self.spec_output_arrived(world, job, worker);
+            }
             GridEvent::P2p(_)
             | GridEvent::StageComputeDone { .. }
             | GridEvent::EmitToken { .. } => {
                 // Not ours.
             }
         }
+    }
+
+    /// Schedule the straggler watchdog for a freshly started run: the
+    /// check fires once the run exceeds `factor ×` its profiled expected
+    /// runtime (never earlier than `min_runtime`).
+    fn arm_straggler_check(
+        &mut self,
+        world: &mut GridWorld,
+        job: JobId,
+        worker: WorkerId,
+        epoch: u64,
+        gigacycles: f64,
+    ) {
+        let Some(st) = self.cfg.trust.as_ref().and_then(|t| t.straggler.as_ref()) else {
+            return;
+        };
+        let expected = self.profiles.expected_runtime(worker.0, gigacycles);
+        let delay = Duration::from_secs_f64(expected.as_secs_f64() * st.factor)
+            .max(st.min_runtime)
+            .max(Duration::from_secs(1));
+        world
+            .sim
+            .schedule(delay, GridEvent::StragglerCheck { job, worker, epoch });
+    }
+
+    /// The watchdog fired: if the run is still going and has no duplicate
+    /// yet, launch a speculative copy on the best other idle worker.
+    fn straggler_check(&mut self, world: &mut GridWorld, job: JobId, worker: WorkerId, epoch: u64) {
+        if !self.live(job, worker, epoch, JobState::Running)
+            || self.jobs[job.0 as usize].spec_attempt.is_some()
+        {
+            return;
+        }
+        self.obs.incr("trust.straggler_checks");
+        let gigacycles = {
+            let j = &self.jobs[job.0 as usize];
+            j.spec.work_gigacycles * (1.0 - j.fraction)
+        };
+        let cands = self.candidates_for(job, Some(worker));
+        let Some(ci) = self.policy.choose(gigacycles, &cands, &self.profiles) else {
+            // Nobody idle to duplicate onto: try again later, while the
+            // straggler is still running.
+            let retry = self
+                .cfg
+                .trust
+                .as_ref()
+                .and_then(|t| t.straggler.as_ref())
+                .map_or(Duration::from_secs(5), |st| st.min_runtime)
+                .max(Duration::from_secs(1));
+            world
+                .sim
+                .schedule(retry, GridEvent::StragglerCheck { job, worker, epoch });
+            return;
+        };
+        let backup = WorkerId(cands[ci].worker);
+        let spec_epoch = self.workers[backup.0 as usize].epoch;
+        self.workers[backup.0 as usize].active += 1;
+        self.spec_dispatches += 1;
+        self.obs.incr("trust.speculative_dispatches");
+        self.obs
+            .event(world.sim.now().as_micros(), "trust.speculate", || {
+                format!("job={} straggler={} backup={}", job.0, worker.0, backup.0)
+            });
+        // Ship input (and the module, if the backup lacks it) controller-
+        // direct; speculation is latency-critical, so no swarm detour.
+        let mut bytes = self.jobs[job.0 as usize].spec.input_bytes;
+        if let Some(key) = self.jobs[job.0 as usize].spec.module.clone() {
+            if self.workers[backup.0 as usize].cache.get(&key).is_none() {
+                let blob_len = self.library.fetch(&key).map_or(0, |b| b.len() as u64);
+                self.obs.add("farm.module_bytes_sent", blob_len);
+                bytes += blob_len;
+            }
+        }
+        let j = &mut self.jobs[job.0 as usize];
+        j.attempts += 1;
+        j.spec_attempt = Some(SpecAttempt {
+            worker: backup,
+            epoch: spec_epoch,
+            state: JobState::SendingInput,
+            started: None,
+            exec: Duration::ZERO,
+            gigacycles,
+        });
+        let dst = self.workers[backup.0 as usize].host;
+        match world
+            .net
+            .transfer(world.sim.now(), self.controller_host, dst, bytes)
+        {
+            Ok(delay) => world.sim.schedule(
+                delay,
+                GridEvent::SpecInputArrived {
+                    job,
+                    worker: backup,
+                    epoch: spec_epoch,
+                },
+            ),
+            // The backup vanished in this instant: abort the duplicate.
+            Err(_) => self.cancel_spec(world.sim.now(), job),
+        }
+    }
+
+    /// Is this in-flight event still the job's live speculative attempt?
+    fn spec_live(&self, job: JobId, wid: WorkerId, epoch: u64, state: JobState) -> bool {
+        let w = &self.workers[wid.0 as usize];
+        matches!(
+            &self.jobs[job.0 as usize].spec_attempt,
+            Some(s) if s.worker == wid && s.epoch == epoch && s.state == state
+        ) && w.up
+            && w.epoch == epoch
+    }
+
+    fn spec_input_arrived(&mut self, world: &mut GridWorld, job: JobId, wid: WorkerId, epoch: u64) {
+        if !self.spec_live(job, wid, epoch, JobState::SendingInput) {
+            return;
+        }
+        if let Some(key) = self.jobs[job.0 as usize].spec.module.clone() {
+            if self.workers[wid.0 as usize].cache.get(&key).is_none() {
+                if let Some(blob) = self.library.fetch(&key) {
+                    let blob = blob.clone();
+                    self.workers[wid.0 as usize].cache.insert(key, blob);
+                }
+            }
+        }
+        let gigacycles = self.jobs[job.0 as usize]
+            .spec_attempt
+            .as_ref()
+            .expect("spec_live checked")
+            .gigacycles;
+        let exec = self.effective_exec(wid, gigacycles);
+        self.workers[wid.0 as usize].running.push(RunningJob {
+            job,
+            started: world.sim.now(),
+            exec,
+            gigacycles,
+        });
+        let s = self.jobs[job.0 as usize]
+            .spec_attempt
+            .as_mut()
+            .expect("checked");
+        s.state = JobState::Running;
+        s.started = Some(world.sim.now());
+        s.exec = exec;
+        world.sim.schedule(
+            exec,
+            GridEvent::SpecComputeDone {
+                job,
+                worker: wid,
+                epoch,
+            },
+        );
+    }
+
+    fn spec_compute_done(&mut self, world: &mut GridWorld, job: JobId, wid: WorkerId, epoch: u64) {
+        if !self.spec_live(job, wid, epoch, JobState::Running) {
+            return;
+        }
+        let (in_bytes, out_bytes) = {
+            let j = &self.jobs[job.0 as usize];
+            (j.spec.input_bytes, j.spec.output_bytes)
+        };
+        let (exec, gigacycles) = {
+            let s = self.jobs[job.0 as usize]
+                .spec_attempt
+                .as_ref()
+                .expect("checked");
+            (s.exec, s.gigacycles)
+        };
+        let w = &mut self.workers[wid.0 as usize];
+        w.ledger.charge(
+            &self.account,
+            UsageRecord {
+                at: world.sim.now(),
+                cpu: exec,
+                bytes_in: in_bytes,
+                bytes_out: out_bytes,
+                instructions: 0,
+            },
+        );
+        w.running.retain(|r| r.job != job);
+        w.active = w.active.saturating_sub(1);
+        w.jobs_completed += 1;
+        let src = w.host;
+        self.profiles.record_completion(wid.0, gigacycles, exec);
+        self.jobs[job.0 as usize]
+            .spec_attempt
+            .as_mut()
+            .expect("checked")
+            .state = JobState::Returning;
+        match world
+            .net
+            .transfer(world.sim.now(), src, self.controller_host, out_bytes)
+        {
+            Ok(delay) => world
+                .sim
+                .schedule(delay, GridEvent::SpecOutputArrived { job, worker: wid }),
+            Err(_) => self.cancel_spec(world.sim.now(), job),
+        }
+        self.dispatch(world);
+    }
+
+    fn spec_output_arrived(&mut self, world: &mut GridWorld, job: JobId, wid: WorkerId) {
+        let returning = matches!(
+            &self.jobs[job.0 as usize].spec_attempt,
+            Some(s) if s.worker == wid && s.state == JobState::Returning
+        );
+        if !returning {
+            return;
+        }
+        self.jobs[job.0 as usize].spec_attempt = None;
+        let now = world.sim.now();
+        // The duplicate beat the primary: cancel the straggling run and
+        // meter the compute it sank as waste.
+        if let Some((pw, pe)) = self.jobs[job.0 as usize].assigned {
+            let alive = {
+                let w = &self.workers[pw.0 as usize];
+                w.up && w.epoch == pe
+            };
+            if alive {
+                let sunk = self.workers[pw.0 as usize]
+                    .running
+                    .iter()
+                    .find(|r| r.job == job)
+                    .map(|r| now.since(r.started));
+                if let Some(sunk) = sunk {
+                    self.jobs[job.0 as usize].wasted += sunk;
+                    self.obs
+                        .add("trust.speculative_wasted_us", sunk.as_micros());
+                }
+                let w = &mut self.workers[pw.0 as usize];
+                w.running.retain(|r| r.job != job);
+                w.active = w.active.saturating_sub(1);
+            }
+        }
+        let j = &mut self.jobs[job.0 as usize];
+        j.state = JobState::Done;
+        j.fraction = 1.0;
+        j.completed = Some(now);
+        j.completed_by = Some(wid);
+        j.assigned = None;
+        let latency = now.since(j.created);
+        self.spec_wins += 1;
+        self.obs.incr("trust.speculative_wins");
+        self.obs.incr("farm.completions");
+        self.obs.observe("farm.job_latency_us", latency.as_micros());
+        self.obs
+            .event(now.as_micros(), "trust.speculative_win", || {
+                format!(
+                    "job={} worker={} latency_us={}",
+                    job.0,
+                    wid.0,
+                    latency.as_micros()
+                )
+            });
+        self.dispatch(world);
+    }
+
+    /// Drop a job's speculative attempt (primary won, job requeued, or the
+    /// backup vanished), freeing the backup's slot and metering any
+    /// compute it already sank.
+    fn cancel_spec(&mut self, now: SimTime, job: JobId) {
+        let Some(s) = self.jobs[job.0 as usize].spec_attempt.take() else {
+            return;
+        };
+        let alive = {
+            let w = &self.workers[s.worker.0 as usize];
+            w.up && w.epoch == s.epoch
+        };
+        if !alive {
+            return;
+        }
+        if let Some(started) = s.started {
+            let sunk = now.since(started);
+            self.jobs[job.0 as usize].wasted += sunk;
+            self.obs
+                .add("trust.speculative_wasted_us", sunk.as_micros());
+        }
+        let w = &mut self.workers[s.worker.0 as usize];
+        w.running.retain(|r| r.job != job);
+        w.active = w.active.saturating_sub(1);
     }
 
     /// The discovery window of a swarm fetch closed: pick providers and
@@ -896,12 +1328,34 @@ impl FarmScheduler {
 
     fn worker_down(&mut self, world: &mut GridWorld, wid: WorkerId) {
         let now = world.sim.now();
+        self.profiles.mark_down(wid.0, now);
         let w = &mut self.workers[wid.0 as usize];
         w.up = false;
         w.epoch += 1;
         world.net.set_online(w.host, false);
         let interrupted = std::mem::take(&mut w.running);
         w.active = 0;
+        // Speculative duplicates that were running (or receiving input) on
+        // the vanished worker die with it; the primaries keep going.
+        let spec_jobs: Vec<JobId> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| matches!(&j.spec_attempt, Some(s) if s.worker == wid))
+            .map(|(i, _)| JobId(i as u64))
+            .collect();
+        for job_id in spec_jobs {
+            // The slot accounting was already zeroed above; just meter the
+            // sunk compute and drop the attempt.
+            if let Some(s) = self.jobs[job_id.0 as usize].spec_attempt.take() {
+                if let Some(started) = s.started {
+                    let sunk = now.since(started);
+                    self.jobs[job_id.0 as usize].wasted += sunk;
+                    self.obs
+                        .add("trust.speculative_wasted_us", sunk.as_micros());
+                }
+            }
+        }
         // Any job still assigned to this worker in any transit state is
         // migrated immediately (the controller notices the peer vanish).
         let assigned_jobs: Vec<JobId> = self
@@ -922,20 +1376,28 @@ impl FarmScheduler {
                 let saved_time = Duration::from_secs_f64(run.exec.as_secs_f64() * cp.fraction);
                 j.wasted += ran_for.saturating_sub(saved_time);
                 j.fraction += saved;
+                // The peer walked away mid-run (§3.6.2 "user intervenes"):
+                // abandonment evidence against its trust score.
+                self.profiles.record_abandon(wid.0);
+                self.obs.incr("trust.abandons");
             }
             self.fetches.remove(&job_id);
+            self.cancel_spec(now, job_id);
             let j = &mut self.jobs[job_id.0 as usize];
             j.state = JobState::Pending;
             j.assigned = None;
             self.pending.push_back(job_id);
             self.obs.incr("farm.migrations");
         }
+        self.refresh_blacklist_gauge();
     }
 
     /// Aggregate statistics so far.
     pub fn stats(&self) -> FarmStats {
         let mut s = FarmStats {
             jobs_total: self.jobs.len() as u64,
+            spec_dispatches: self.spec_dispatches,
+            spec_wins: self.spec_wins,
             ..FarmStats::default()
         };
         for j in &self.jobs {
@@ -1040,6 +1502,7 @@ mod tests {
     use super::*;
     use netsim::Pcg32;
     use p2p::DiscoveryMode;
+    use trust::StragglerConfig;
 
     fn lan_pc() -> HostSpec {
         HostSpec::lan_workstation()
@@ -1204,6 +1667,7 @@ mod tests {
                 FarmConfig {
                     checkpoint: cp,
                     swarm: None,
+                    trust: None,
                 },
                 |i, h, _| {
                     if i == 0 {
@@ -1445,6 +1909,7 @@ mod tests {
                     chunk_bytes: 256,
                     ..SwarmConfig::default()
                 }),
+                trust: None,
             },
             |_, h, _| AvailabilityTrace::always(h),
             SimTime::from_secs(100_000),
@@ -1526,6 +1991,185 @@ mod tests {
         // bytes ever cached on worker 1 are the controller's good copy,
         // fetched by the automatic fallback.
         assert_eq!(farm.worker_cache_stats(WorkerId(1)).bytes_fetched, blob_len);
+    }
+
+    fn trust_cfg(policy: PolicyHandle) -> Option<GridTrustConfig> {
+        Some(GridTrustConfig::default().with_policy(policy))
+    }
+
+    /// Two-worker world for the adaptive-scheduling tests: worker 0
+    /// advertises a fast clock but delivers only `eff0` of it; worker 1 is
+    /// an honest 2 GHz machine.
+    fn braggart_world(cfg: FarmConfig, eff0: f64) -> (GridWorld, FarmScheduler) {
+        let horizon = SimTime::from_secs(1_000_000);
+        let mut world = GridWorld::new(17, DiscoveryMode::Flooding);
+        let (ctrl, _) = world.add_peer(lan_pc());
+        let mut farm = FarmScheduler::new(&world, ctrl, cfg);
+        let mut spec = lan_pc();
+        spec.cpu_ghz = 3.0;
+        let (p0, _) = world.add_peer(spec.clone());
+        let w0 = farm.add_worker(
+            &mut world,
+            WorkerSetup {
+                peer: p0,
+                spec,
+                trace: AvailabilityTrace::always(horizon),
+                cache_bytes: 1 << 20,
+            },
+        );
+        farm.set_worker_efficiency(w0, eff0);
+        let (p1, _) = world.add_peer(lan_pc());
+        farm.add_worker(
+            &mut world,
+            WorkerSetup {
+                peer: p1,
+                spec: lan_pc(),
+                trace: AvailabilityTrace::always(horizon),
+                cache_bytes: 1 << 20,
+            },
+        );
+        (world, farm)
+    }
+
+    #[test]
+    fn profiled_policy_routes_around_overclaiming_worker() {
+        // Jobs arrive far apart, so both workers are idle at every arrival
+        // and the policy has a real choice each time.
+        let run = |policy: PolicyHandle| {
+            let (mut world, mut farm) = braggart_world(
+                FarmConfig {
+                    trust: trust_cfg(policy),
+                    ..FarmConfig::default()
+                },
+                0.2, // 3 GHz advertised, 0.6 GHz delivered
+            );
+            farm.chunk_spec = Some(job(60.0)); // 100 s on w0, 30 s on w1
+            farm.schedule_chunks(&mut world.sim, Duration::from_secs(150), 6);
+            run_farm(&mut world, &mut farm);
+            assert!(farm.all_done());
+            (
+                farm.worker_jobs_completed(WorkerId(0)),
+                farm.worker_jobs_completed(WorkerId(1)),
+            )
+        };
+        // Memoryless: the 3 GHz advert wins every time.
+        assert_eq!(run(PolicyHandle::first_idle()), (6, 0));
+        // Profiled: one job is enough to learn the advert is a lie.
+        let (w0, w1) = run(PolicyHandle::fastest_profiled());
+        assert_eq!(w0, 1, "only the cold-start job should land on the slug");
+        assert_eq!(w1, 5);
+    }
+
+    #[test]
+    fn straggler_speculation_bounds_latency() {
+        let straggled = |straggler: Option<StragglerConfig>| {
+            let (mut world, mut farm) = braggart_world(
+                FarmConfig {
+                    trust: Some(GridTrustConfig {
+                        straggler,
+                        ..GridTrustConfig::default()
+                    }),
+                    ..FarmConfig::default()
+                },
+                0.05, // 60 Gc: 20 s expected from the advert, 400 s real
+            );
+            let id = farm.submit(&mut world, job(60.0));
+            run_farm(&mut world, &mut farm);
+            assert!(farm.all_done());
+            (farm.stats(), farm.job_completed_by(id).unwrap())
+        };
+        let (plain, by) = straggled(None);
+        assert_eq!(by, WorkerId(0));
+        assert!(plain.max_latency.as_secs_f64() > 390.0);
+        assert_eq!(plain.spec_dispatches, 0);
+        // The watchdog fires at 2 x 20 s; the honest worker recomputes the
+        // job in 30 s and its copy wins.
+        let (spec, by) = straggled(Some(StragglerConfig::default()));
+        assert_eq!(by, WorkerId(1));
+        assert_eq!(spec.spec_dispatches, 1);
+        assert_eq!(spec.spec_wins, 1);
+        assert!(
+            spec.max_latency.as_secs_f64() < 100.0,
+            "latency {}",
+            spec.max_latency
+        );
+        // The cancelled primary's sunk compute is metered, not hidden.
+        assert!(spec.wasted.as_secs_f64() > 30.0, "wasted {}", spec.wasted);
+    }
+
+    #[test]
+    fn primary_win_cancels_speculative_duplicate() {
+        let horizon = SimTime::from_secs(1_000_000);
+        let mut world = GridWorld::new(23, DiscoveryMode::Flooding);
+        let (ctrl, _) = world.add_peer(lan_pc());
+        let mut farm = FarmScheduler::new(
+            &world,
+            ctrl,
+            FarmConfig {
+                trust: Some(GridTrustConfig {
+                    // Fire absurdly early so a healthy run gets duplicated.
+                    straggler: Some(StragglerConfig {
+                        factor: 0.1,
+                        min_runtime: Duration::from_secs(1),
+                    }),
+                    ..GridTrustConfig::default()
+                }),
+                ..FarmConfig::default()
+            },
+        );
+        let obs = Obs::enabled();
+        farm.set_obs(obs.clone());
+        let add = |ghz: f64, world: &mut GridWorld, farm: &mut FarmScheduler| {
+            let mut spec = lan_pc();
+            spec.cpu_ghz = ghz;
+            let (peer, _) = world.add_peer(spec.clone());
+            farm.add_worker(
+                world,
+                WorkerSetup {
+                    peer,
+                    spec,
+                    trace: AvailabilityTrace::always(horizon),
+                    cache_bytes: 1 << 20,
+                },
+            )
+        };
+        let fast = add(2.0, &mut world, &mut farm);
+        let slow = add(1.0, &mut world, &mut farm);
+        let id = farm.submit(&mut world, job(60.0)); // 30 s primary, 60 s duplicate
+        run_farm(&mut world, &mut farm);
+        assert!(farm.all_done());
+        assert_eq!(farm.job_completed_by(id), Some(fast));
+        let s = farm.stats();
+        assert_eq!(s.spec_dispatches, 1);
+        assert_eq!(s.spec_wins, 0);
+        let reg = obs.registry().unwrap();
+        assert_eq!(reg.counter_value("trust.speculative_losses"), 1);
+        assert!(reg.counter_value("trust.speculative_wasted_us") > 0);
+        // The duplicate's slot was freed: the slow worker can still work.
+        let _ = slow;
+        assert!(s.wasted > Duration::ZERO);
+    }
+
+    #[test]
+    fn blacklisted_worker_is_not_dispatched_to() {
+        let (mut world, mut farm) = braggart_world(
+            FarmConfig {
+                trust: Some(GridTrustConfig::adaptive()),
+                ..FarmConfig::default()
+            },
+            1.0,
+        );
+        // Worker 0 (the faster advert) keeps returning wrong results.
+        for _ in 0..6 {
+            farm.record_vote(WorkerId(0), false);
+        }
+        assert!(farm.worker_blacklisted(WorkerId(0)));
+        assert!(!farm.worker_blacklisted(WorkerId(1)));
+        let id = farm.submit(&mut world, job(20.0));
+        run_farm(&mut world, &mut farm);
+        assert!(farm.all_done());
+        assert_eq!(farm.job_completed_by(id), Some(WorkerId(1)));
+        assert_eq!(farm.worker_jobs_completed(WorkerId(0)), 0);
     }
 
     #[test]

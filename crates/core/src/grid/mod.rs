@@ -85,6 +85,30 @@ pub enum GridEvent {
     StageComputeDone { stage: usize, token: u64 },
     /// The pipeline source emits its next token.
     EmitToken { token: u64 },
+    /// Straggler watchdog: the job has now been computing on `worker` for
+    /// its profiled expected runtime times the configured factor; if it is
+    /// still running, speculatively re-dispatch it.
+    StragglerCheck {
+        job: JobId,
+        worker: WorkerId,
+        epoch: u64,
+    },
+    /// Input (plus module, if needed) of a *speculative* job copy finished
+    /// arriving at its second worker.
+    SpecInputArrived {
+        job: JobId,
+        worker: WorkerId,
+        epoch: u64,
+    },
+    /// A speculative job copy finished computing.
+    SpecComputeDone {
+        job: JobId,
+        worker: WorkerId,
+        epoch: u64,
+    },
+    /// A speculative copy's results arrived back at the controller; if the
+    /// primary has not completed yet, the speculative copy wins.
+    SpecOutputArrived { job: JobId, worker: WorkerId },
 }
 
 /// Where a swarm chunk transfer originated.

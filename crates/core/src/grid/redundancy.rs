@@ -17,6 +17,8 @@
 use std::collections::HashMap;
 
 use netsim::Pcg32;
+use obs::Obs;
+use trust::beta_score;
 
 use crate::grid::farm::{FarmScheduler, JobSpec};
 use crate::grid::{GridWorld, JobId, WorkerId};
@@ -70,13 +72,34 @@ pub struct Reputation {
 }
 
 impl Reputation {
-    /// Fraction of votes on the winning side (1.0 when unobserved).
+    /// Prior-smoothed fraction of votes on the winning side (Laplace /
+    /// Beta(1,1) smoothing). An unobserved worker scores a *neutral* 0.5,
+    /// not a perfect 1.0: trust is earned by verified agreement, never
+    /// assumed — a fresh identity must not outrank a proven one (which
+    /// would make whitewashing a cheap attack).
     pub fn score(&self) -> f64 {
-        let total = self.agreed + self.dissented;
-        if total == 0 {
-            1.0
-        } else {
-            self.agreed as f64 / total as f64
+        beta_score(self.agreed as f64, self.dissented as f64)
+    }
+}
+
+/// Adaptive replication settings: replication drops to a single audit-free
+/// replica for workers with a proven record, and escalates back to the
+/// full [`RedundancyConfig::replicas`] for everyone else.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveConfig {
+    /// Profile trust score (see [`trust`]) a worker must hold before its
+    /// clean streak can earn single-replica acceptance.
+    pub trust_threshold: f64,
+    /// Consecutive verified-clean units required before replication drops
+    /// to 1 for that worker.
+    pub clean_streak: u32,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            trust_threshold: 0.85,
+            clean_streak: 3,
         }
     }
 }
@@ -87,6 +110,12 @@ pub struct LogicalUnit {
     pub jobs: Vec<JobId>,
     /// True-result digest for this unit.
     digest: u64,
+    /// Job spec kept around for adaptive escalation resubmits.
+    spec: Option<JobSpec>,
+    /// Accepted on the runner's trust alone (single replica, no vote).
+    accepted_on_trust: bool,
+    /// Evidence already fed into profiles/streaks (idempotence guard).
+    applied: bool,
 }
 
 /// The redundancy layer over a [`FarmScheduler`].
@@ -95,6 +124,10 @@ pub struct VotingFarm {
     pub units: Vec<LogicalUnit>,
     behaviours: Vec<Behaviour>,
     rng: Pcg32,
+    adaptive: Option<AdaptiveConfig>,
+    /// Consecutive verified-clean units per worker.
+    streaks: HashMap<WorkerId, u32>,
+    obs: Obs,
 }
 
 impl VotingFarm {
@@ -106,7 +139,20 @@ impl VotingFarm {
             units: Vec::new(),
             behaviours,
             rng: Pcg32::new(seed, 0xF00D),
+            adaptive: None,
+            streaks: HashMap::new(),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Enable adaptive replication (see [`AdaptiveConfig`]).
+    pub fn set_adaptive(&mut self, cfg: AdaptiveConfig) {
+        self.adaptive = Some(cfg);
+    }
+
+    /// Attach an observability handle for `trust.units_*` counters.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Submit one logical unit as `replicas` farm jobs.
@@ -124,8 +170,120 @@ impl VotingFarm {
             let id = farm.submit_with_conflicts(world, spec.clone(), jobs.clone());
             jobs.push(id);
         }
-        self.units.push(LogicalUnit { jobs, digest });
+        self.units.push(LogicalUnit {
+            jobs,
+            digest,
+            spec: None,
+            accepted_on_trust: false,
+            applied: false,
+        });
         self.units.len() - 1
+    }
+
+    /// Submit one logical unit with a single *probe* replica. Once the
+    /// probe completes, [`resolve_unit`](Self::resolve_unit) either
+    /// accepts it on the runner's trust or escalates to full replication.
+    pub fn submit_unit_adaptive(
+        &mut self,
+        farm: &mut FarmScheduler,
+        world: &mut GridWorld,
+        spec: JobSpec,
+    ) -> usize {
+        assert!(
+            self.adaptive.is_some(),
+            "call set_adaptive before submit_unit_adaptive"
+        );
+        let digest = self.rng.next_u64() | 1;
+        let id = farm.submit(world, spec.clone());
+        self.units.push(LogicalUnit {
+            jobs: vec![id],
+            digest,
+            spec: Some(spec),
+            accepted_on_trust: false,
+            applied: false,
+        });
+        self.units.len() - 1
+    }
+
+    /// After an adaptive unit's probe replica completed: accept the result
+    /// on the runner's trust (proven clean streak, high profile trust, not
+    /// blacklisted), or escalate the unit to full replication so the vote
+    /// can catch a wrong result. No-op for non-adaptive or already
+    /// escalated units.
+    pub fn resolve_unit(&mut self, farm: &mut FarmScheduler, world: &mut GridWorld, unit: usize) {
+        let Some(cfg) = self.adaptive else {
+            return;
+        };
+        if self.units[unit].jobs.len() > 1 || self.units[unit].accepted_on_trust {
+            return;
+        }
+        let Some(w) = farm.job_completed_by(self.units[unit].jobs[0]) else {
+            return; // probe still in flight
+        };
+        let trusted = farm.profiles().trust(w.0) >= cfg.trust_threshold
+            && self.streaks.get(&w).copied().unwrap_or(0) >= cfg.clean_streak
+            && !farm.worker_blacklisted(w);
+        if trusted {
+            self.units[unit].accepted_on_trust = true;
+            self.obs.incr("trust.units_accepted_on_trust");
+        } else {
+            let spec = self.units[unit]
+                .spec
+                .clone()
+                .expect("adaptive units keep their spec");
+            let mut jobs = self.units[unit].jobs.clone();
+            for _ in 1..self.config.replicas {
+                let id = farm.submit_with_conflicts(world, spec.clone(), jobs.clone());
+                jobs.push(id);
+            }
+            self.units[unit].jobs = jobs;
+            self.obs.incr("trust.units_escalated");
+        }
+    }
+
+    /// Feed one unit's voting outcome into the farm's worker profiles and
+    /// the clean-streak table (idempotent; incomplete units are skipped so
+    /// a later call can pick them up).
+    pub fn apply_unit(&mut self, farm: &mut FarmScheduler, unit: usize) {
+        if self.units[unit].applied {
+            return;
+        }
+        if self.units[unit].accepted_on_trust {
+            // No vote happened: acceptance rests on prior evidence, and
+            // recording it as fresh agreement would let trust feed itself.
+            self.units[unit].applied = true;
+            return;
+        }
+        match self.verdict(farm, unit) {
+            Verdict::Accepted { dissenters } => {
+                self.units[unit].applied = true;
+                for &job in &self.units[unit].jobs.clone() {
+                    if let Some(w) = farm.job_completed_by(job) {
+                        let agreed = !dissenters.contains(&w);
+                        farm.record_vote(w, agreed);
+                        let s = self.streaks.entry(w).or_insert(0);
+                        if agreed {
+                            *s += 1;
+                        } else {
+                            *s = 0;
+                        }
+                    }
+                }
+            }
+            // No quorum: nobody can be praised or blamed.
+            Verdict::Unresolved => self.units[unit].applied = true,
+            Verdict::Incomplete => {}
+        }
+    }
+
+    /// Total farm jobs spent across all units (replication cost).
+    pub fn total_replicas(&self) -> usize {
+        self.units.iter().map(|u| u.jobs.len()).sum()
+    }
+
+    /// Units accepted on trust alone (single replica, no vote).
+    pub fn accepted_on_trust(&self) -> usize {
+        self.units.iter().filter(|u| u.accepted_on_trust).count()
     }
 
     /// Digest a worker's replica result given its behaviour (deterministic
@@ -148,9 +306,13 @@ impl VotingFarm {
         }
     }
 
-    /// Vote on one unit after the farm has run.
+    /// Vote on one unit after the farm has run. Units accepted on trust
+    /// carry no vote: they are reported accepted with no dissenters.
     pub fn verdict(&self, farm: &FarmScheduler, unit: usize) -> Verdict {
         let u = &self.units[unit];
+        if u.accepted_on_trust {
+            return Verdict::Accepted { dissenters: vec![] };
+        }
         let mut votes: Vec<(WorkerId, u64)> = Vec::with_capacity(u.jobs.len());
         for &job in &u.jobs {
             match farm.job_completed_by(job) {
@@ -184,6 +346,12 @@ impl VotingFarm {
     /// production voting has no such oracle.)
     pub fn accepted_digest_is_wrong(&self, farm: &FarmScheduler, unit: usize) -> bool {
         let u = &self.units[unit];
+        if u.accepted_on_trust {
+            // Single trusted runner: its digest was accepted unexamined.
+            return farm
+                .job_completed_by(u.jobs[0])
+                .is_some_and(|w| self.replica_digest(unit, w) != u.digest);
+        }
         let mut counts: HashMap<u64, usize> = HashMap::new();
         for &job in &u.jobs {
             if let Some(w) = farm.job_completed_by(job) {
@@ -276,8 +444,29 @@ mod tests {
         }
         for r in reps.values() {
             assert_eq!(r.dissented, 0);
-            assert_eq!(r.score(), 1.0);
+            // Prior-smoothed: a clean record scores high but never a
+            // perfect 1.0 (that would equal blind trust).
+            assert!(r.score() > 0.5 && r.score() < 1.0, "{r:?}");
         }
+    }
+
+    #[test]
+    fn fresh_workers_score_neutral_not_perfect() {
+        let fresh = Reputation::default();
+        assert_eq!(fresh.score(), 0.5);
+        let proven = Reputation {
+            agreed: 20,
+            dissented: 0,
+        };
+        assert!(
+            proven.score() > fresh.score(),
+            "a proven worker must outrank an unobserved one"
+        );
+        let caught = Reputation {
+            agreed: 0,
+            dissented: 2,
+        };
+        assert!(caught.score() < fresh.score());
     }
 
     #[test]
@@ -356,5 +545,117 @@ mod tests {
         let (mut world, mut farm, mut voting) = setup(vec![Behaviour::Honest; 3]);
         let u = voting.submit_unit(&mut farm, &mut world, job());
         assert_eq!(voting.units[u].jobs.len(), 3);
+    }
+
+    /// Like [`setup`] but with the farm's adaptive trust layer enabled
+    /// (reliability-weighted policy, straggler watchdog, blacklist).
+    fn setup_adaptive(behaviours: Vec<Behaviour>) -> (GridWorld, FarmScheduler, VotingFarm) {
+        let mut world = GridWorld::new(77, DiscoveryMode::Flooding);
+        let (ctrl, _) = world.add_peer(HostSpec::lan_workstation());
+        let mut farm = FarmScheduler::new(
+            &world,
+            ctrl,
+            FarmConfig {
+                trust: Some(trust::GridTrustConfig::adaptive()),
+                ..FarmConfig::default()
+            },
+        );
+        let horizon = SimTime::from_secs(10_000_000);
+        for _ in 0..behaviours.len() {
+            let spec = HostSpec::lan_workstation();
+            let (peer, _) = world.add_peer(spec.clone());
+            farm.add_worker(
+                &mut world,
+                WorkerSetup {
+                    peer,
+                    spec,
+                    trace: AvailabilityTrace::always(horizon),
+                    cache_bytes: 1 << 20,
+                },
+            );
+        }
+        let mut voting = VotingFarm::new(RedundancyConfig::triple(), behaviours, 1);
+        voting.set_adaptive(AdaptiveConfig::default());
+        (world, farm, voting)
+    }
+
+    /// One wave: run probes, resolve (accept-on-trust or escalate), run
+    /// escalated replicas, feed the verdicts back.
+    fn run_wave(
+        world: &mut GridWorld,
+        farm: &mut FarmScheduler,
+        voting: &mut VotingFarm,
+        units: &[usize],
+    ) {
+        run_farm(world, farm);
+        for &u in units {
+            voting.resolve_unit(farm, world, u);
+        }
+        run_farm(world, farm);
+        for &u in units {
+            voting.apply_unit(farm, u);
+        }
+    }
+
+    #[test]
+    fn adaptive_replication_drops_to_single_for_proven_workers() {
+        let (mut world, mut farm, mut voting) = setup_adaptive(vec![Behaviour::Honest; 3]);
+        let total_units = 10;
+        for wave in 0..5 {
+            let units: Vec<usize> = (0..2)
+                .map(|_| voting.submit_unit_adaptive(&mut farm, &mut world, job()))
+                .collect();
+            run_wave(&mut world, &mut farm, &mut voting, &units);
+            let _ = wave;
+        }
+        assert_eq!(voting.units.len(), total_units);
+        for u in 0..total_units {
+            assert!(
+                matches!(voting.verdict(&farm, u), Verdict::Accepted { .. }),
+                "unit {u}: {:?}",
+                voting.verdict(&farm, u)
+            );
+            assert!(!voting.accepted_digest_is_wrong(&farm, u));
+        }
+        // Early units pay full triple redundancy; once every worker has a
+        // proven streak, later units cost a single replica.
+        assert!(
+            voting.accepted_on_trust() >= 4,
+            "accepted on trust: {}",
+            voting.accepted_on_trust()
+        );
+        assert!(
+            voting.total_replicas() < 3 * total_units,
+            "replicas {}",
+            voting.total_replicas()
+        );
+    }
+
+    #[test]
+    fn adaptive_replication_keeps_auditing_cheaters_and_blacklists_them() {
+        let behaviours = vec![
+            Behaviour::Cheater { cheat_prob: 1.0 },
+            Behaviour::Honest,
+            Behaviour::Honest,
+            Behaviour::Honest,
+        ];
+        let (mut world, mut farm, mut voting) = setup_adaptive(behaviours);
+        for _ in 0..8 {
+            let units: Vec<usize> = (0..2)
+                .map(|_| voting.submit_unit_adaptive(&mut farm, &mut world, job()))
+                .collect();
+            run_wave(&mut world, &mut farm, &mut voting, &units);
+        }
+        // The cheater's wrong digests never reach acceptance…
+        for u in 0..voting.units.len() {
+            assert!(!voting.accepted_digest_is_wrong(&farm, u), "unit {u}");
+        }
+        // …its dissents push its trust under the floor, after which the
+        // scheduler stops giving it work at all…
+        assert!(farm.worker_blacklisted(WorkerId(0)));
+        assert!(farm.profiles().trust(0) < 0.25);
+        // …while proven honest workers graduate to audit-free units.
+        assert!(voting.accepted_on_trust() > 0);
+        assert!(voting.total_replicas() < 3 * voting.units.len());
     }
 }

@@ -95,6 +95,75 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&f), "fraction {f}");
     }
 
+    /// Normalization yields strictly increasing, alternating intervals —
+    /// each up-interval is non-empty and separated from the next by a real
+    /// down-gap — and every point/window query agrees with a linear scan
+    /// over the raw input intervals.
+    #[test]
+    fn trace_queries_agree_with_linear_scan_oracle(
+        raw in proptest::collection::vec((0u64..200, 0u64..200), 0..40),
+        horizon in 1u64..200,
+    ) {
+        let hz = SimTime(horizon);
+        let ups: Vec<(SimTime, SimTime)> = raw
+            .iter()
+            .map(|&(a, b)| (SimTime(a.min(b)), SimTime(a.max(b))))
+            .collect();
+        let tr = netsim::avail::AvailabilityTrace::from_intervals(ups.clone(), hz);
+        for &(s, e) in tr.intervals() {
+            prop_assert!(s < e, "empty interval survived normalization");
+            prop_assert!(e <= hz, "interval past the horizon");
+        }
+        for w in tr.intervals().windows(2) {
+            // Strictly increasing AND separated: adjacent/overlapping
+            // intervals must have been merged, so up and down alternate.
+            prop_assert!(w[0].1 < w[1].0, "{:?} then {:?}", w[0], w[1]);
+        }
+        // Oracle: up at t iff some raw interval covers t (clamped).
+        let oracle = |t: SimTime| ups.iter().any(|&(s, e)| s <= t && t < e.min(hz));
+        for t in 0..horizon {
+            let t = SimTime(t);
+            prop_assert_eq!(tr.is_up(t), oracle(t), "is_up({:?})", t);
+            let expect_next_up = (t.0..horizon).map(SimTime).find(|&x| oracle(x));
+            prop_assert_eq!(tr.next_up(t), expect_next_up, "next_up({:?})", t);
+        }
+        let scan_up = (0..horizon).filter(|&t| oracle(SimTime(t))).count() as u64;
+        prop_assert_eq!(tr.uptime_within(SimTime::ZERO, hz).as_micros(), scan_up);
+    }
+
+    /// Model-generated traces alternate too, and `AlwaysOn` is never down
+    /// anywhere inside the horizon.
+    #[test]
+    fn model_traces_alternate_and_always_on_never_down(
+        seed in any::<u64>(),
+        model_idx in 0usize..3,
+        horizon_s in 1u64..2_000_000,
+        probe in any::<u64>(),
+    ) {
+        let model = match model_idx {
+            0 => AvailabilityModel::AlwaysOn,
+            1 => AvailabilityModel::Exponential {
+                mean_up: Duration::from_secs(600),
+                mean_down: Duration::from_secs(300),
+            },
+            _ => AvailabilityModel::typical_volunteer(),
+        };
+        let horizon = SimTime::from_secs(horizon_s);
+        let mut rng = Pcg32::new(seed, 3);
+        let tr = model.trace(horizon, &mut rng);
+        for w in tr.intervals().windows(2) {
+            prop_assert!(w[0].1 < w[1].0, "{:?} then {:?}", w[0], w[1]);
+        }
+        let t = SimTime(probe % horizon.as_micros());
+        if model_idx == 0 {
+            prop_assert!(tr.is_up(t), "AlwaysOn down at {:?}", t);
+            prop_assert_eq!(tr.uptime_fraction(), 1.0);
+        }
+        // is_up must agree with the interval list at the probe point.
+        let scan = tr.intervals().iter().any(|&(s, e)| s <= t && t < e);
+        prop_assert_eq!(tr.is_up(t), scan);
+    }
+
     /// Queued transfers preserve FIFO on the uplink: a later send never
     /// arrives before an earlier equal-size send between the same pair.
     #[test]

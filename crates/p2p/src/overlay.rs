@@ -1026,4 +1026,32 @@ mod tests {
             w.p2p.reset_query_state();
         }
     }
+    #[test]
+    fn send_to_offline_peer_meters_send_failures() {
+        let observer = obs::Obs::enabled();
+        let mut w = world(3, DiscoveryMode::Flooding);
+        w.p2p.set_obs(observer.clone());
+        let mut rng = Pcg32::new(3, 1);
+        w.p2p.wire_random(2, &mut rng); // ring of 3: everyone adjacent
+                                        // Peer 1 goes offline before the flood reaches it.
+        w.net.set_online(w.p2p.host_of(PeerId(1)), false);
+        w.p2p.query(
+            &mut w.sim,
+            &mut w.net,
+            PeerId(0),
+            QueryKind::ByService("triana".into()),
+            3,
+        );
+        run(&mut w);
+        assert!(
+            w.p2p.send_failures >= 1,
+            "flooding past an offline peer must fail at least one send"
+        );
+        let r = observer.registry().unwrap();
+        assert_eq!(
+            r.counter_value("p2p.send_failures"),
+            w.p2p.send_failures,
+            "the obs counter must track the struct field"
+        );
+    }
 }

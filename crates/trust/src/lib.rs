@@ -1,0 +1,140 @@
+//! `triana-trust` — peer profiling, reputation, and adaptive scheduling.
+//!
+//! The paper leaves volunteer trust as an open problem (§3.7: a user "may
+//! agree to contribute their resources" but nothing stops them returning
+//! wrong results or vanishing mid-job) and sizes the Case 2 peer pool by
+//! *guessing* how unreliable volunteers are ("connection lost, user
+//! intervenes, computational bandwidth not reached"). This crate replaces
+//! the guess with online learning:
+//!
+//! * [`PeerProfile`] / [`ProfileRegistry`] — per-worker EWMA runtime
+//!   estimates, completion/abandon counts, an availability estimator, and a
+//!   decayed trust score with a Bayesian prior, so a never-observed peer is
+//!   *neutral* (0.5), not maximally trusted;
+//! * [`SchedulingPolicy`] — a pluggable worker-selection strategy for the
+//!   farm scheduler, with [`FirstIdle`] (the memoryless legacy behaviour),
+//!   [`FastestProfiled`] (minimise learned expected runtime) and
+//!   [`ReliabilityWeighted`] (discount learned speed by trust and
+//!   availability) implementations;
+//! * [`GridTrustConfig`] — the bundle the grid layer plugs into its
+//!   scheduler: profile parameters, the policy, straggler speculation and
+//!   the blacklist floor.
+//!
+//! Everything here is deterministic: no wall clock, no hidden RNG; the
+//! scores are pure functions of the observation stream.
+
+pub mod policy;
+pub mod profile;
+
+pub use policy::{
+    Candidate, FastestProfiled, FirstIdle, PolicyHandle, ReliabilityWeighted, SchedulingPolicy,
+};
+pub use profile::{beta_score, PeerProfile, ProfileRegistry, TrustConfig};
+
+use netsim::Duration;
+
+/// Straggler-mitigation parameters: when a job has been running on a worker
+/// for more than `factor` times its profiled expected runtime, the
+/// scheduler speculatively re-dispatches it to a second worker; the first
+/// completion wins and the loser's compute is metered as waste.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StragglerConfig {
+    /// Multiple of the profiled expected runtime before speculating.
+    pub factor: f64,
+    /// Never speculate before this much elapsed runtime (guards tiny jobs
+    /// whose estimate noise would trigger useless duplicates).
+    pub min_runtime: Duration,
+}
+
+impl Default for StragglerConfig {
+    fn default() -> Self {
+        StragglerConfig {
+            factor: 2.0,
+            min_runtime: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Blacklist floor: workers whose trust falls below `floor` after at least
+/// `min_observations` recorded outcomes stop receiving work entirely.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BlacklistConfig {
+    pub floor: f64,
+    pub min_observations: u64,
+}
+
+impl Default for BlacklistConfig {
+    fn default() -> Self {
+        BlacklistConfig {
+            floor: 0.25,
+            min_observations: 4,
+        }
+    }
+}
+
+/// Everything the grid scheduler needs to schedule on learned behaviour.
+#[derive(Clone, Debug)]
+pub struct GridTrustConfig {
+    /// Profile/score parameters.
+    pub profile: TrustConfig,
+    /// Worker-selection policy.
+    pub policy: PolicyHandle,
+    /// Speculative re-dispatch of stragglers; `None` disables.
+    pub straggler: Option<StragglerConfig>,
+    /// Exclusion of distrusted workers; `None` disables.
+    pub blacklist: Option<BlacklistConfig>,
+}
+
+impl Default for GridTrustConfig {
+    fn default() -> Self {
+        GridTrustConfig {
+            profile: TrustConfig::default(),
+            policy: PolicyHandle::first_idle(),
+            straggler: None,
+            blacklist: None,
+        }
+    }
+}
+
+impl GridTrustConfig {
+    /// The full adaptive bundle: reliability-weighted selection, straggler
+    /// speculation, and the blacklist floor, all at default parameters.
+    pub fn adaptive() -> Self {
+        GridTrustConfig {
+            profile: TrustConfig::default(),
+            policy: PolicyHandle::reliability_weighted(),
+            straggler: Some(StragglerConfig::default()),
+            blacklist: Some(BlacklistConfig::default()),
+        }
+    }
+
+    /// Replace the policy, keeping the other knobs.
+    pub fn with_policy(mut self, policy: PolicyHandle) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = GridTrustConfig::default();
+        assert_eq!(cfg.policy.name(), "first-idle");
+        assert!(cfg.straggler.is_none());
+        assert!(cfg.blacklist.is_none());
+        let adaptive = GridTrustConfig::adaptive();
+        assert_eq!(adaptive.policy.name(), "reliability-weighted");
+        assert!(adaptive.straggler.is_some());
+        assert!(adaptive.blacklist.is_some());
+    }
+
+    #[test]
+    fn with_policy_swaps_only_the_policy() {
+        let cfg = GridTrustConfig::adaptive().with_policy(PolicyHandle::fastest_profiled());
+        assert_eq!(cfg.policy.name(), "fastest-profiled");
+        assert!(cfg.straggler.is_some());
+    }
+}

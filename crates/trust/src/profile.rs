@@ -1,0 +1,419 @@
+//! Per-peer behaviour profiles: learned speed, availability, and trust.
+//!
+//! A [`PeerProfile`] condenses a worker's observed history into three
+//! numbers the scheduler can act on:
+//!
+//! * **expected runtime** — an EWMA of observed seconds-per-gigacycle,
+//!   seeded from the advertised CPU clock (§3.7: the controller only knows
+//!   "machine type, speed, memory"); workers whose *effective* bandwidth
+//!   falls short of the advert ("computational bandwidth not reached") are
+//!   found out after their first completions;
+//! * **availability** — the prior-smoothed fraction of observed time the
+//!   peer was up, fed by the farm's up/down transitions;
+//! * **trust** — a decayed Beta-Bernoulli score over weighted success
+//!   (completions, majority votes) and failure (abandons, dissents)
+//!   observations. The Bayesian prior makes a fresh peer *neutral*: it can
+//!   never outrank a proven-honest one, fixing the legacy
+//!   `Reputation::score()` behaviour of treating the unknown as perfect.
+
+use netsim::{Duration, SimTime};
+
+/// Parameters of the profile estimators.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrustConfig {
+    /// EWMA smoothing for the seconds-per-gigacycle estimate (weight of the
+    /// newest observation).
+    pub ewma_alpha: f64,
+    /// Beta prior pseudo-successes (α₀). With `prior_failures` this fixes
+    /// the unobserved score at α₀/(α₀+β₀).
+    pub prior_successes: f64,
+    /// Beta prior pseudo-failures (β₀).
+    pub prior_failures: f64,
+    /// Multiplicative decay applied to both evidence counts on every new
+    /// observation, so old behaviour fades.
+    pub decay: f64,
+    /// Evidence weight of one completed job.
+    pub completion_weight: f64,
+    /// Evidence weight of one abandoned (interrupted/churned) job.
+    pub abandon_weight: f64,
+    /// Evidence weight of one majority-agreeing replica vote.
+    pub agree_weight: f64,
+    /// Evidence weight of one dissenting replica vote. Dissent is weighted
+    /// heavily: returning a wrong result is worse than churning away.
+    pub dissent_weight: f64,
+    /// Availability prior: pseudo-seconds of observed up-time...
+    pub avail_prior_up: f64,
+    /// ...and of observed down-time (together they pin the unobserved
+    /// availability estimate and damp early flapping).
+    pub avail_prior_down: f64,
+}
+
+impl Default for TrustConfig {
+    fn default() -> Self {
+        TrustConfig {
+            ewma_alpha: 0.3,
+            prior_successes: 1.0,
+            prior_failures: 1.0,
+            decay: 0.995,
+            completion_weight: 1.0,
+            abandon_weight: 1.0,
+            agree_weight: 1.0,
+            dissent_weight: 4.0,
+            avail_prior_up: 600.0,
+            avail_prior_down: 600.0,
+        }
+    }
+}
+
+/// Prior-smoothed Beta score: `(succ + 1) / (succ + fail + 2)` — Laplace's
+/// rule of succession. Unobserved evidence gives 0.5 (neutral), and no
+/// finite success count ever reaches 1.0, so a fresh peer cannot outrank a
+/// proven one. This is the function the redundancy layer's `Reputation`
+/// routes through.
+pub fn beta_score(successes: f64, failures: f64) -> f64 {
+    (successes + 1.0) / (successes + failures + 2.0)
+}
+
+/// Learned behaviour of one worker.
+#[derive(Clone, Debug)]
+pub struct PeerProfile {
+    /// EWMA seconds-per-gigacycle; `None` until the first completion.
+    secs_per_gc: Option<f64>,
+    /// Advertised seconds-per-gigacycle (1 / advertised GHz): the estimate
+    /// used before any completion is observed.
+    advertised_secs_per_gc: f64,
+    /// Jobs this worker completed (raw count, undecayed).
+    pub completions: u64,
+    /// Jobs interrupted on this worker by churn (raw count, undecayed).
+    pub abandons: u64,
+    /// Replica votes on the winning side (raw count, undecayed).
+    pub votes_agreed: u64,
+    /// Replica votes against the accepted result (raw count, undecayed).
+    pub votes_dissented: u64,
+    /// Decayed weighted success evidence.
+    succ: f64,
+    /// Decayed weighted failure evidence.
+    fail: f64,
+    /// Accumulated observed up-time.
+    up: Duration,
+    /// Accumulated observed down-time.
+    down: Duration,
+    /// When the current up/down stretch began.
+    last_change: SimTime,
+    /// Whether the peer is currently up.
+    is_up: bool,
+}
+
+impl PeerProfile {
+    fn new(advertised_cpu_ghz: f64, up_at_start: bool) -> Self {
+        debug_assert!(advertised_cpu_ghz > 0.0);
+        PeerProfile {
+            secs_per_gc: None,
+            advertised_secs_per_gc: 1.0 / advertised_cpu_ghz,
+            completions: 0,
+            abandons: 0,
+            votes_agreed: 0,
+            votes_dissented: 0,
+            succ: 0.0,
+            fail: 0.0,
+            up: Duration::ZERO,
+            down: Duration::ZERO,
+            last_change: SimTime::ZERO,
+            is_up: up_at_start,
+        }
+    }
+
+    /// Expected runtime of `gigacycles` of work on this peer: learned EWMA
+    /// when available, the advertised clock otherwise.
+    pub fn expected_runtime(&self, gigacycles: f64) -> Duration {
+        let spg = self.secs_per_gc.unwrap_or(self.advertised_secs_per_gc);
+        Duration::from_secs_f64(spg * gigacycles.max(0.0))
+    }
+
+    /// Has at least one completion fed the runtime estimate?
+    pub fn runtime_observed(&self) -> bool {
+        self.secs_per_gc.is_some()
+    }
+
+    /// The decayed, prior-smoothed trust score in (0, 1).
+    pub fn trust(&self, cfg: &TrustConfig) -> f64 {
+        (self.succ + cfg.prior_successes)
+            / (self.succ + self.fail + cfg.prior_successes + cfg.prior_failures)
+    }
+
+    /// Raw (undecayed) count of trust-bearing observations.
+    pub fn observations(&self) -> u64 {
+        self.completions + self.abandons + self.votes_agreed + self.votes_dissented
+    }
+
+    /// Prior-smoothed fraction of observed time this peer was up. The
+    /// estimate only folds *closed* stretches in, so it is independent of
+    /// query order; the farm closes stretches on every transition.
+    pub fn availability(&self, cfg: &TrustConfig) -> f64 {
+        let up = self.up.as_secs_f64() + cfg.avail_prior_up;
+        let down = self.down.as_secs_f64() + cfg.avail_prior_down;
+        up / (up + down)
+    }
+
+    fn observe(&mut self, cfg: &TrustConfig, success_w: f64, failure_w: f64) {
+        self.succ = self.succ * cfg.decay + success_w;
+        self.fail = self.fail * cfg.decay + failure_w;
+    }
+
+    fn fold_stretch(&mut self, now: SimTime) {
+        let span = now.since(self.last_change.min(now));
+        if self.is_up {
+            self.up += span;
+        } else {
+            self.down += span;
+        }
+        self.last_change = now;
+    }
+}
+
+/// Profiles for a scheduler's worker set, indexed by worker id.
+#[derive(Clone, Debug)]
+pub struct ProfileRegistry {
+    cfg: TrustConfig,
+    profiles: Vec<PeerProfile>,
+}
+
+impl ProfileRegistry {
+    pub fn new(cfg: TrustConfig) -> Self {
+        ProfileRegistry {
+            cfg,
+            profiles: Vec::new(),
+        }
+    }
+
+    pub fn config(&self) -> &TrustConfig {
+        &self.cfg
+    }
+
+    /// Register worker `w` (must be registered in id order) with its
+    /// advertised clock and whether it starts up.
+    pub fn register(&mut self, w: u32, advertised_cpu_ghz: f64, up_at_start: bool) {
+        assert_eq!(w as usize, self.profiles.len(), "register in id order");
+        self.profiles
+            .push(PeerProfile::new(advertised_cpu_ghz, up_at_start));
+    }
+
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    pub fn get(&self, w: u32) -> &PeerProfile {
+        &self.profiles[w as usize]
+    }
+
+    /// A completed job: `gigacycles` of work observed to take `took`.
+    pub fn record_completion(&mut self, w: u32, gigacycles: f64, took: Duration) {
+        let alpha = self.cfg.ewma_alpha;
+        let weight = self.cfg.completion_weight;
+        let p = &mut self.profiles[w as usize];
+        p.completions += 1;
+        if gigacycles > 0.0 {
+            let spg = took.as_secs_f64() / gigacycles;
+            p.secs_per_gc = Some(match p.secs_per_gc {
+                None => spg,
+                Some(old) => old + alpha * (spg - old),
+            });
+        }
+        let cfg = self.cfg;
+        self.profiles[w as usize].observe(&cfg, weight, 0.0);
+    }
+
+    /// A job lost to churn while assigned to this worker.
+    pub fn record_abandon(&mut self, w: u32) {
+        let cfg = self.cfg;
+        let p = &mut self.profiles[w as usize];
+        p.abandons += 1;
+        p.observe(&cfg, 0.0, cfg.abandon_weight);
+    }
+
+    /// A replica-vote outcome from the redundancy layer.
+    pub fn record_vote(&mut self, w: u32, agreed: bool) {
+        let cfg = self.cfg;
+        let p = &mut self.profiles[w as usize];
+        if agreed {
+            p.votes_agreed += 1;
+            p.observe(&cfg, cfg.agree_weight, 0.0);
+        } else {
+            p.votes_dissented += 1;
+            p.observe(&cfg, 0.0, cfg.dissent_weight);
+        }
+    }
+
+    /// The peer transitioned to up at `now`.
+    pub fn mark_up(&mut self, w: u32, now: SimTime) {
+        let p = &mut self.profiles[w as usize];
+        p.fold_stretch(now);
+        p.is_up = true;
+    }
+
+    /// The peer transitioned to down at `now`.
+    pub fn mark_down(&mut self, w: u32, now: SimTime) {
+        let p = &mut self.profiles[w as usize];
+        p.fold_stretch(now);
+        p.is_up = false;
+    }
+
+    pub fn trust(&self, w: u32) -> f64 {
+        self.profiles[w as usize].trust(&self.cfg)
+    }
+
+    pub fn availability(&self, w: u32) -> f64 {
+        self.profiles[w as usize].availability(&self.cfg)
+    }
+
+    pub fn expected_runtime(&self, w: u32, gigacycles: f64) -> Duration {
+        self.profiles[w as usize].expected_runtime(gigacycles)
+    }
+
+    /// Is `w` below the blacklist floor (with enough evidence to say so)?
+    pub fn blacklisted(&self, w: u32, bl: &crate::BlacklistConfig) -> bool {
+        let p = &self.profiles[w as usize];
+        p.observations() >= bl.min_observations && p.trust(&self.cfg) < bl.floor
+    }
+
+    /// Number of currently blacklisted workers (for gauges).
+    pub fn blacklisted_count(&self, bl: &crate::BlacklistConfig) -> u64 {
+        (0..self.profiles.len() as u32)
+            .filter(|&w| self.blacklisted(w, bl))
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BlacklistConfig;
+
+    fn registry() -> ProfileRegistry {
+        let mut r = ProfileRegistry::new(TrustConfig::default());
+        r.register(0, 2.0, true);
+        r.register(1, 2.0, true);
+        r
+    }
+
+    #[test]
+    fn beta_score_is_neutral_when_unobserved_and_bounded() {
+        assert_eq!(beta_score(0.0, 0.0), 0.5);
+        assert!(beta_score(1000.0, 0.0) < 1.0);
+        assert!(beta_score(0.0, 1000.0) > 0.0);
+        assert!(beta_score(10.0, 0.0) > beta_score(0.0, 0.0));
+        assert!(beta_score(0.0, 10.0) < beta_score(0.0, 0.0));
+    }
+
+    #[test]
+    fn fresh_peer_cannot_outrank_proven_honest_one() {
+        let mut r = registry();
+        for _ in 0..10 {
+            r.record_vote(0, true);
+        }
+        assert!(r.trust(0) > r.trust(1), "{} vs {}", r.trust(0), r.trust(1));
+        assert_eq!(r.trust(1), 0.5);
+    }
+
+    #[test]
+    fn expected_runtime_starts_at_advert_then_tracks_observations() {
+        let mut r = registry();
+        // Advertised 2 GHz: 100 Gc should take 50 s before any observation.
+        assert_eq!(r.expected_runtime(0, 100.0), Duration::from_secs_f64(50.0));
+        // The worker is actually half as fast: 100 Gc takes 100 s.
+        for _ in 0..30 {
+            r.record_completion(0, 100.0, Duration::from_secs(100));
+        }
+        let est = r.expected_runtime(0, 100.0).as_secs_f64();
+        assert!((est - 100.0).abs() < 1.0, "estimate {est}");
+        // The other worker's estimate is untouched.
+        assert_eq!(r.expected_runtime(1, 100.0), Duration::from_secs_f64(50.0));
+    }
+
+    #[test]
+    fn dissent_costs_more_trust_than_agreement_earns() {
+        let mut r = registry();
+        r.record_vote(0, true);
+        r.record_vote(0, false);
+        assert!(
+            r.trust(0) < 0.5,
+            "one agree + one dissent must net negative: {}",
+            r.trust(0)
+        );
+    }
+
+    #[test]
+    fn abandons_erode_trust_and_completions_rebuild_it() {
+        let mut r = registry();
+        for _ in 0..5 {
+            r.record_abandon(0);
+        }
+        let low = r.trust(0);
+        assert!(low < 0.5, "{low}");
+        for _ in 0..20 {
+            r.record_completion(0, 10.0, Duration::from_secs(5));
+        }
+        assert!(r.trust(0) > low);
+    }
+
+    #[test]
+    fn decay_lets_old_sins_fade() {
+        let cfg = TrustConfig {
+            decay: 0.5, // aggressive decay to make the effect visible
+            ..TrustConfig::default()
+        };
+        let mut r = ProfileRegistry::new(cfg);
+        r.register(0, 2.0, true);
+        for _ in 0..5 {
+            r.record_vote(0, false);
+        }
+        let condemned = r.trust(0);
+        for _ in 0..10 {
+            r.record_vote(0, true);
+        }
+        assert!(
+            r.trust(0) > 0.7,
+            "redemption after decay: {} from {condemned}",
+            r.trust(0)
+        );
+    }
+
+    #[test]
+    fn availability_tracks_observed_up_down_stretches() {
+        let mut r = registry();
+        // Starts up at t=0; down at 1000 s; up again at 3000 s; down 4000 s.
+        r.mark_down(0, SimTime::from_secs(1_000));
+        r.mark_up(0, SimTime::from_secs(3_000));
+        r.mark_down(0, SimTime::from_secs(4_000));
+        // 2000 s up, 2000 s down, plus the symmetric prior: 0.5.
+        let a = r.availability(0);
+        assert!((a - 0.5).abs() < 1e-9, "{a}");
+        // An always-up stretch pulls the estimate above the unobserved one.
+        r.mark_up(1, SimTime::ZERO);
+        r.mark_down(1, SimTime::from_secs(100_000));
+        assert!(r.availability(1) > 0.9);
+    }
+
+    #[test]
+    fn blacklist_requires_evidence_and_low_trust() {
+        let bl = BlacklistConfig {
+            floor: 0.25,
+            min_observations: 4,
+        };
+        let mut r = registry();
+        assert!(!r.blacklisted(0, &bl), "fresh peers are never blacklisted");
+        for _ in 0..2 {
+            r.record_vote(0, false);
+        }
+        assert!(!r.blacklisted(0, &bl), "not enough observations yet");
+        for _ in 0..2 {
+            r.record_vote(0, false);
+        }
+        assert!(r.blacklisted(0, &bl), "trust {}", r.trust(0));
+        assert_eq!(r.blacklisted_count(&bl), 1);
+    }
+}

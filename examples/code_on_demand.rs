@@ -171,6 +171,7 @@ fn main() {
                 chunk_bytes: 512,
                 ..SwarmConfig::default()
             }),
+            trust: None,
         },
     );
     farm.set_obs(obs.clone());

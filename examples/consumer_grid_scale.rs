@@ -91,6 +91,7 @@ fn main() {
         FarmConfig {
             checkpoint: Some(CheckpointPolicy::every(Duration::from_secs(900), 2 << 20)),
             swarm: None,
+            trust: None,
         },
     );
     let pool: Vec<_> = discovered.into_iter().take(60).collect();

@@ -15,6 +15,8 @@
 //! * [`netsim`] — the deterministic discrete-event network/host simulator;
 //! * [`resources`] — virtual accounts, billing, trust policy, local
 //!   resource managers, and the enrolment-cost models;
+//! * [`trust`] — peer profiling, reputation, and the adaptive scheduling
+//!   policies (learned runtimes, availability, Bayesian trust scores);
 //! * [`taskgraph_xml`] — the XML task-graph dialect (Code Segment 1);
 //! * [`obs`] — opt-in metrics registry and structured event tracing used
 //!   by `triana run --metrics` and the bench harness.
@@ -49,4 +51,5 @@ pub use store;
 pub use taskgraph_xml;
 pub use toolbox;
 pub use triana_core as core;
+pub use trust;
 pub use tvm;

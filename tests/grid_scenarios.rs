@@ -31,6 +31,7 @@ fn churny_farm(seed: u64, workers: usize) -> (GridWorld, FarmScheduler) {
         FarmConfig {
             checkpoint: Some(CheckpointPolicy::every(Duration::from_secs(600), 100_000)),
             swarm: None,
+            trust: None,
         },
     );
     let mut rng = Pcg32::new(seed, 0x5CE);
