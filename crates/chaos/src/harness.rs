@@ -1,0 +1,955 @@
+//! The chaos harness: builds a grid scenario, replays a [`FaultPlan`]
+//! against it through the [`FaultOracle`], checks invariants at drain,
+//! and digests the whole run for byte-identical seed-replay.
+//!
+//! Three scenarios cover the grid's execution modes: `farm` (FarmScheduler
+//! with swarm module distribution, checkpointing and adaptive trust),
+//! `pipeline` (PipelineExec over bound pipes), and `voting` (redundant
+//! execution with result voting over the farm). A seed picks the scenario,
+//! generates the plan, and fully determines the run — the digest of two
+//! runs of the same config must match byte-for-byte.
+
+use netsim::avail::AvailabilityTrace;
+use netsim::{Duration, HostId, HostSpec, Pcg32, SimTime};
+use obs::Obs;
+use p2p::{AdvertBody, Advertisement, BlobAdvert, DiscoveryMode, PeerId};
+use store::{BlobId, ChunkLayout};
+use triana_core::checkpoint::CheckpointPolicy;
+use triana_core::grid::farm::{FarmConfig, FarmScheduler, JobSpec, SwarmConfig};
+use triana_core::grid::pipeline::{PipelineScheduler, StageSpec};
+use triana_core::grid::redundancy::{Behaviour, RedundancyConfig, VotingFarm};
+use triana_core::grid::{GridEvent, GridWorld, JobId, WorkerId, WorkerSetup};
+use triana_core::modules::ModuleKey;
+use trust::GridTrustConfig;
+
+use crate::invariants::{
+    check_blacklist_respected, check_cache_integrity, check_dispatch_conservation,
+    check_exactly_once, check_message_conservation, check_no_starvation, check_no_stranded_jobs,
+    check_pipeline, check_voting, Violation,
+};
+use crate::oracle::FaultOracle;
+use crate::plan::{FaultKind, FaultPlan};
+
+/// Workers in the farm/voting scenarios (plan worker indices wrap here).
+pub const N_WORKERS: usize = 5;
+/// Stages in the pipeline scenario.
+pub const N_STAGES: usize = 3;
+/// Jobs submitted in the farm scenario.
+pub const N_JOBS: usize = 12;
+/// Tokens pushed through the pipeline scenario.
+pub const N_TOKENS: u64 = 8;
+/// Horizon the plan generator spreads fault times over.
+pub const PLAN_HORIZON_MS: u64 = 60_000;
+
+/// Which grid execution mode a chaos run exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scenario {
+    Farm,
+    Pipeline,
+    Voting,
+}
+
+impl Scenario {
+    /// Deterministic scenario choice for a sweep seed.
+    pub fn for_seed(seed: u64) -> Scenario {
+        match seed % 3 {
+            0 => Scenario::Farm,
+            1 => Scenario::Pipeline,
+            _ => Scenario::Voting,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Farm => "farm",
+            Scenario::Pipeline => "pipeline",
+            Scenario::Voting => "voting",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Scenario> {
+        match s {
+            "farm" => Some(Scenario::Farm),
+            "pipeline" => Some(Scenario::Pipeline),
+            "voting" => Some(Scenario::Voting),
+            _ => None,
+        }
+    }
+}
+
+/// One fully-specified chaos run.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    pub seed: u64,
+    pub scenario: Scenario,
+    pub plan: FaultPlan,
+    /// Arm the intentional `drop-output` bug (mutation testing: the
+    /// harness must catch, shrink, and replay it).
+    pub mutate_drop_output: bool,
+}
+
+impl ChaosConfig {
+    /// The sweep's derivation: the seed picks the scenario and generates
+    /// the plan.
+    pub fn from_seed(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            scenario: Scenario::for_seed(seed),
+            plan: FaultPlan::generate(seed, N_WORKERS as u32, PLAN_HORIZON_MS),
+            mutate_drop_output: false,
+        }
+    }
+}
+
+/// What a chaos run produced.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// FNV-1a digest of `report`; equal digests mean byte-identical runs.
+    pub digest: u64,
+    /// Deterministic full-run report (stats, counters, obs snapshot,
+    /// violations).
+    pub report: String,
+    pub violations: Vec<Violation>,
+}
+
+impl RunOutcome {
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The one-line command that reproduces a failing run byte-for-byte.
+pub fn replay_command(cfg: &ChaosConfig) -> String {
+    format!(
+        "cargo run --release -p consumer-grid-bench --bin chaos -- replay \
+         --seed {} --scenario {} --plan \"{}\"{}",
+        cfg.seed,
+        cfg.scenario.name(),
+        cfg.plan,
+        if cfg.mutate_drop_output {
+            " --mutate drop-output"
+        } else {
+            ""
+        }
+    )
+}
+
+/// FNV-1a 64-bit: tiny, dependency-free, good enough to compare runs.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Plan expansion: FaultEvents become driver actions
+// ---------------------------------------------------------------------------
+
+/// A fault plan lowered to the operations the driver applies at runtime.
+/// Windowed faults (`Drop`/`Duplicate`/`Delay`) become oracle window
+/// updates whose end is anchored at the event's *nominal* time; a
+/// `Partition` becomes a cut/uncut pair.
+#[derive(Clone, Debug)]
+enum Action {
+    Down(u32),
+    Up(u32),
+    Cut(u32),
+    Uncut(u32),
+    DropWindow { until_ms: u64, pct: u8 },
+    DupWindow { until_ms: u64, pct: u8 },
+    DelayWindow { until_ms: u64, pct: u8, max_ms: u32 },
+    Corrupt(u32),
+    Skew { worker: u32, pct: u8 },
+    Lie(u32),
+}
+
+/// The plan, expanded and sorted, consumed progressively as the driver
+/// steps the sim (shared across waves in the voting scenario).
+pub struct PlanRuntime {
+    actions: Vec<(u64, Action)>,
+    next: usize,
+}
+
+impl PlanRuntime {
+    pub fn new(plan: &FaultPlan, scenario: Scenario) -> PlanRuntime {
+        let n = match scenario {
+            Scenario::Pipeline => N_STAGES as u32,
+            _ => N_WORKERS as u32,
+        };
+        let mut actions: Vec<(u64, Action)> = Vec::with_capacity(plan.len() * 2);
+        for ev in &plan.events {
+            let at = ev.at_ms;
+            match ev.kind {
+                FaultKind::Crash { worker } => actions.push((at, Action::Down(worker % n))),
+                FaultKind::Restart { worker } => actions.push((at, Action::Up(worker % n))),
+                FaultKind::Partition { worker, secs } => {
+                    if scenario == Scenario::Pipeline {
+                        // The pipe protocol has no retry for lost tokens on
+                        // a live-but-unreachable stage; a partition there
+                        // is indistinguishable from a permanent hang, so
+                        // the pipeline scenario maps it to stage churn.
+                        actions.push((at, Action::Down(worker % n)));
+                        actions.push((at + u64::from(secs) * 1_000, Action::Up(worker % n)));
+                    } else {
+                        actions.push((at, Action::Cut(worker % n)));
+                        actions.push((at + u64::from(secs) * 1_000, Action::Uncut(worker % n)));
+                    }
+                }
+                FaultKind::Drop { pct, secs } => actions.push((
+                    at,
+                    Action::DropWindow {
+                        until_ms: at + u64::from(secs) * 1_000,
+                        pct,
+                    },
+                )),
+                FaultKind::Duplicate { pct, secs } => actions.push((
+                    at,
+                    Action::DupWindow {
+                        until_ms: at + u64::from(secs) * 1_000,
+                        pct,
+                    },
+                )),
+                FaultKind::Delay { pct, max_ms, secs } => actions.push((
+                    at,
+                    Action::DelayWindow {
+                        until_ms: at + u64::from(secs) * 1_000,
+                        pct,
+                        max_ms,
+                    },
+                )),
+                FaultKind::Corrupt { worker } => {
+                    if scenario != Scenario::Pipeline {
+                        actions.push((at, Action::Corrupt(worker % n)));
+                    }
+                }
+                FaultKind::Skew { worker, pct } => {
+                    if scenario != Scenario::Pipeline {
+                        actions.push((
+                            at,
+                            Action::Skew {
+                                worker: worker % n,
+                                pct,
+                            },
+                        ));
+                    }
+                }
+                FaultKind::Lie { worker } => {
+                    if scenario != Scenario::Pipeline {
+                        actions.push((at, Action::Lie(worker % n)));
+                    }
+                }
+            }
+        }
+        actions.sort_by_key(|(t, _)| *t);
+        if scenario == Scenario::Pipeline {
+            // A stage that never comes back makes lost tokens recirculate
+            // forever (emit → dead stage → re-emit): guarantee every Down
+            // has a matching later Up so the pipeline can drain.
+            let last = actions.last().map_or(0, |(t, _)| *t);
+            let mut balance = vec![0i32; n as usize];
+            for (_, a) in &actions {
+                match a {
+                    Action::Down(s) => balance[*s as usize] -= 1,
+                    Action::Up(s) => balance[*s as usize] = 0,
+                    _ => {}
+                }
+            }
+            for (s, b) in balance.iter().enumerate() {
+                if *b < 0 {
+                    actions.push((last + 10_000, Action::Up(s as u32)));
+                }
+            }
+        }
+        PlanRuntime { actions, next: 0 }
+    }
+
+    /// Move the churn actions (worker/stage down and up) out of the action
+    /// list and into the sim queue as real grid events at their exact
+    /// times. Everything else (oracle windows, link cuts, state edits)
+    /// only takes effect at the next event handler anyway, so it can keep
+    /// the apply-at-horizon path — but churn handlers read `sim.now()`
+    /// (checkpoint credit, trust profiling), which must be the fault's
+    /// nominal time, not whenever the driver gets around to it.
+    pub fn schedule_churn(&mut self, sim: &mut netsim::Sim<GridEvent>) {
+        debug_assert_eq!(self.next, 0, "schedule churn before driving");
+        let mut rest = Vec::with_capacity(self.actions.len());
+        for (at, a) in self.actions.drain(..) {
+            match a {
+                Action::Down(w) => {
+                    sim.schedule_at(ms_to_time(at), GridEvent::WorkerDown(WorkerId(w)));
+                }
+                Action::Up(w) => {
+                    sim.schedule_at(ms_to_time(at), GridEvent::WorkerUp(WorkerId(w)));
+                }
+                other => rest.push((at, other)),
+            }
+        }
+        self.actions = rest;
+    }
+
+    fn pop_due(&mut self, horizon_ms: Option<u64>) -> Option<Action> {
+        let (at, _) = self.actions.get(self.next)?;
+        if let Some(h) = horizon_ms {
+            if *at > h {
+                return None;
+            }
+        }
+        let a = self.actions[self.next].1.clone();
+        self.next += 1;
+        Some(a)
+    }
+
+    fn pending(&self) -> bool {
+        self.next < self.actions.len()
+    }
+}
+
+fn ms_to_time(ms: u64) -> SimTime {
+    SimTime::ZERO + Duration::from_millis(ms)
+}
+
+/// Static facts the farm driver needs to apply plan actions.
+pub struct FarmCtx {
+    ctrl_host: HostId,
+    worker_hosts: Vec<HostId>,
+    module_blob: BlobId,
+    module_len: u64,
+    module_chunks: u32,
+}
+
+fn apply_farm_action(
+    world: &mut GridWorld,
+    farm: &mut FarmScheduler,
+    oracle: &FaultOracle,
+    ctx: &FarmCtx,
+    act: Action,
+) {
+    match act {
+        Action::Down(w) => farm.handle(world, GridEvent::WorkerDown(WorkerId(w))),
+        Action::Up(w) => farm.handle(world, GridEvent::WorkerUp(WorkerId(w))),
+        Action::Cut(w) => {
+            world
+                .net
+                .set_link_cut(ctx.ctrl_host, ctx.worker_hosts[w as usize], true);
+        }
+        Action::Uncut(w) => {
+            world
+                .net
+                .set_link_cut(ctx.ctrl_host, ctx.worker_hosts[w as usize], false);
+            // Link repairs are not grid events; nudge the queue so jobs
+            // bounced off the severed route get rescheduled.
+            farm.kick(world);
+        }
+        Action::DropWindow { until_ms, pct } => oracle.set_drop_window(ms_to_time(until_ms), pct),
+        Action::DupWindow { until_ms, pct } => oracle.set_dup_window(ms_to_time(until_ms), pct),
+        Action::DelayWindow {
+            until_ms,
+            pct,
+            max_ms,
+        } => oracle.set_delay_window(
+            ms_to_time(until_ms),
+            pct,
+            Duration::from_millis(u64::from(max_ms)),
+        ),
+        Action::Corrupt(w) => {
+            // No-op unless the blob is resident — exactly like real bit-rot.
+            farm.worker_store_mut(WorkerId(w))
+                .corrupt_chunk(ctx.module_blob, 0);
+        }
+        Action::Skew { worker, pct } => {
+            farm.set_worker_efficiency(WorkerId(worker), f64::from(pct.max(5)) / 100.0);
+        }
+        Action::Lie(w) => {
+            // Byzantine provider claim: advertise the module blob from a
+            // worker that may not hold a single chunk of it. Swarm pulls
+            // against it fail and must reroute to the controller.
+            let provider = farm.worker_peer(WorkerId(w));
+            let ad = Advertisement {
+                body: AdvertBody::Blob(BlobAdvert {
+                    blob: ctx.module_blob.0,
+                    size_bytes: ctx.module_len,
+                    chunks: ctx.module_chunks,
+                    provider,
+                }),
+                expires: world.sim.now() + Duration::from_secs(3_600),
+            };
+            world
+                .p2p
+                .publish(&mut world.sim, &mut world.net, provider, ad);
+        }
+    }
+}
+
+/// Step the farm world to drain, interleaving plan actions at their due
+/// times and auditing the blacklist after every handled event. Actions due
+/// before the next sim event apply first; once the queue is empty the
+/// remaining actions apply immediately (there is no natural event left to
+/// wait for).
+pub fn drive_farm(
+    world: &mut GridWorld,
+    farm: &mut FarmScheduler,
+    rt: &mut PlanRuntime,
+    oracle: &FaultOracle,
+    ctx: &FarmCtx,
+    violations: &mut Vec<Violation>,
+) {
+    let mut before: Vec<Option<WorkerId>> = (0..farm.n_jobs())
+        .map(|j| farm.job_assignment(JobId(j as u64)))
+        .collect();
+    loop {
+        let horizon_ms = world.sim.peek_time().map(|t| t.as_micros() / 1_000);
+        while let Some(act) = rt.pop_due(horizon_ms) {
+            apply_farm_action(world, farm, oracle, ctx, act);
+        }
+        match world.sim.step() {
+            Some(GridEvent::P2p(pe)) => {
+                world.p2p.handle(&mut world.sim, &mut world.net, pe);
+            }
+            Some(ev) => farm.handle(world, ev),
+            None => {
+                if rt.pending() {
+                    continue; // actions beyond the last event still apply
+                }
+                break;
+            }
+        }
+        check_blacklist_respected(farm, &before, violations);
+        for (j, slot) in before.iter_mut().enumerate() {
+            *slot = farm.job_assignment(JobId(j as u64));
+        }
+    }
+}
+
+/// Step the pipeline world to drain (same action protocol as
+/// [`drive_farm`]; only churn and message chaos reach a pipeline).
+pub fn drive_pipeline(
+    world: &mut GridWorld,
+    pl: &mut PipelineScheduler,
+    rt: &mut PlanRuntime,
+    oracle: &FaultOracle,
+) {
+    loop {
+        let horizon_ms = world.sim.peek_time().map(|t| t.as_micros() / 1_000);
+        while let Some(act) = rt.pop_due(horizon_ms) {
+            match act {
+                Action::Down(s) => pl.handle(
+                    &mut world.sim,
+                    &mut world.net,
+                    &mut world.p2p,
+                    GridEvent::WorkerDown(WorkerId(s)),
+                ),
+                Action::Up(s) => pl.handle(
+                    &mut world.sim,
+                    &mut world.net,
+                    &mut world.p2p,
+                    GridEvent::WorkerUp(WorkerId(s)),
+                ),
+                Action::DropWindow { until_ms, pct } => {
+                    oracle.set_drop_window(ms_to_time(until_ms), pct);
+                }
+                Action::DupWindow { until_ms, pct } => {
+                    oracle.set_dup_window(ms_to_time(until_ms), pct);
+                }
+                Action::DelayWindow {
+                    until_ms,
+                    pct,
+                    max_ms,
+                } => oracle.set_delay_window(
+                    ms_to_time(until_ms),
+                    pct,
+                    Duration::from_millis(u64::from(max_ms)),
+                ),
+                // Filtered out by PlanRuntime::new for pipelines.
+                _ => unreachable!("farm-only action in a pipeline plan"),
+            }
+        }
+        match world.sim.step() {
+            Some(GridEvent::P2p(pe)) => {
+                let incoming = world.p2p.handle(&mut world.sim, &mut world.net, pe);
+                for inc in incoming {
+                    pl.on_incoming(&mut world.sim, inc);
+                }
+            }
+            Some(ev) => pl.handle(&mut world.sim, &mut world.net, &mut world.p2p, ev),
+            None => {
+                if rt.pending() {
+                    continue;
+                }
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario builders
+// ---------------------------------------------------------------------------
+
+fn host(cpu_ghz: f64) -> HostSpec {
+    let mut spec = HostSpec::lan_workstation();
+    spec.cpu_ghz = cpu_ghz;
+    spec
+}
+
+/// A real assembled module blob of roughly `approx` bytes, so corruption
+/// and hash verification run against genuine TVM bytes.
+fn sized_blob(name: &str, approx: usize) -> tvm::ModuleBlob {
+    let mut src = format!(".module {name} 1 0 0\n.func main 0\n");
+    for _ in 0..approx / 10 {
+        src.push_str(" push 1\n pop\n");
+    }
+    src.push_str(" halt\n");
+    tvm::asm::assemble(&src)
+        .expect("static chaos module")
+        .to_blob()
+}
+
+struct FarmWorld {
+    world: GridWorld,
+    farm: FarmScheduler,
+    ctx: FarmCtx,
+    obs: Obs,
+    module_key: ModuleKey,
+}
+
+fn build_farm_world(seed: u64, oracle: &FaultOracle) -> FarmWorld {
+    let mut world = GridWorld::new(seed, DiscoveryMode::Flooding);
+    let obs = Obs::enabled();
+    world.sim.set_tap(oracle.tap());
+    world.p2p.set_obs(obs.clone());
+    world.p2p.set_send_filter(oracle.send_filter());
+    let (ctrl, ctrl_host) = world.add_peer(host(2.0));
+    let cfg = FarmConfig {
+        checkpoint: Some(CheckpointPolicy::every(Duration::from_secs(5), 2_000)),
+        swarm: Some(SwarmConfig {
+            chunk_bytes: 256,
+            ..SwarmConfig::default()
+        }),
+        trust: Some(GridTrustConfig::adaptive()),
+    };
+    let mut farm = FarmScheduler::new(&world, ctrl, cfg);
+    farm.set_obs(obs.clone());
+    let horizon = SimTime::from_secs(200_000);
+    let mut worker_hosts = Vec::with_capacity(N_WORKERS);
+    for i in 0..N_WORKERS {
+        let spec = host(1.0 + i as f64 * 0.5);
+        let (peer, h) = world.add_peer(spec.clone());
+        worker_hosts.push(h);
+        farm.add_worker(
+            &mut world,
+            WorkerSetup {
+                peer,
+                spec,
+                // All churn comes from the plan, so runs without faults
+                // are a clean baseline.
+                trace: AvailabilityTrace::always(horizon),
+                cache_bytes: 1 << 20,
+            },
+        );
+    }
+    let mut rng = Pcg32::new(seed, 0x3333);
+    world.p2p.wire_random(3, &mut rng);
+    let module_key = ModuleKey::new("Chaos", 1);
+    let blob = sized_blob("Chaos", 2_000);
+    let module_blob = BlobId::of_blob(&blob);
+    let layout = ChunkLayout::new(blob.len() as u64, 256);
+    let module_len = blob.len() as u64;
+    farm.library.publish(module_key.clone(), blob);
+    FarmWorld {
+        world,
+        farm,
+        ctx: FarmCtx {
+            ctrl_host,
+            worker_hosts,
+            module_blob,
+            module_len,
+            module_chunks: layout.count(),
+        },
+        obs,
+        module_key,
+    }
+}
+
+fn farm_job(i: usize, module_key: &ModuleKey) -> JobSpec {
+    JobSpec {
+        work_gigacycles: 10.0 + (i % 5) as f64 * 8.0,
+        input_bytes: 50_000,
+        output_bytes: 5_000,
+        // Every other job needs the shared module: the swarm, the cache,
+        // and the corruption/lie faults all get traffic to chew on.
+        module: i.is_multiple_of(2).then(|| module_key.clone()),
+    }
+}
+
+fn finish_report(
+    cfg: &ChaosConfig,
+    obs: &Obs,
+    stats_line: String,
+    oracle: &FaultOracle,
+    violations: Vec<Violation>,
+) -> RunOutcome {
+    let mut report = String::with_capacity(2_048);
+    report.push_str("chaos-report v1\n");
+    report.push_str(&format!(
+        "scenario={} seed={} mutate={} plan={}\n",
+        cfg.scenario.name(),
+        cfg.seed,
+        cfg.mutate_drop_output,
+        cfg.plan
+    ));
+    report.push_str(&stats_line);
+    report.push('\n');
+    let c = oracle.counters();
+    report.push_str(&format!(
+        "oracle: drops={} dups={} delays={} mutations={}\n",
+        c.drops, c.dups, c.delays, c.mutations
+    ));
+    report.push_str("obs=");
+    report.push_str(&obs.snapshot_json().unwrap_or_default());
+    report.push('\n');
+    if violations.is_empty() {
+        report.push_str("violations: none\n");
+    } else {
+        for v in &violations {
+            report.push_str(&format!("violation: {v}\n"));
+        }
+    }
+    RunOutcome {
+        digest: fnv1a64(report.as_bytes()),
+        report,
+        violations,
+    }
+}
+
+fn run_farm_scenario(cfg: &ChaosConfig) -> RunOutcome {
+    let oracle = FaultOracle::new(cfg.seed);
+    oracle.set_mutate_drop_output(cfg.mutate_drop_output);
+    let mut fw = build_farm_world(cfg.seed, &oracle);
+    for i in 0..N_JOBS {
+        let spec = farm_job(i, &fw.module_key);
+        fw.farm.submit(&mut fw.world, spec);
+    }
+    let mut rt = PlanRuntime::new(&cfg.plan, Scenario::Farm);
+    rt.schedule_churn(&mut fw.world.sim);
+    let mut violations = Vec::new();
+    drive_farm(
+        &mut fw.world,
+        &mut fw.farm,
+        &mut rt,
+        &oracle,
+        &fw.ctx,
+        &mut violations,
+    );
+    let reg = fw.obs.registry().expect("obs enabled").clone();
+    check_no_stranded_jobs(&fw.farm, &mut violations);
+    check_no_starvation(&fw.farm, &mut violations);
+    check_exactly_once(&fw.farm, &reg, &mut violations);
+    check_dispatch_conservation(&reg, &mut violations);
+    check_message_conservation(&reg, oracle.counters(), &mut violations);
+    check_cache_integrity(&fw.farm, &fw.world, &mut violations);
+    let s = fw.farm.stats();
+    let stats_line = format!(
+        "farm: jobs_done={}/{} attempts={} wasted_us={} makespan_us={}",
+        s.jobs_done,
+        s.jobs_total,
+        s.attempts,
+        s.wasted.as_micros(),
+        s.makespan.as_micros()
+    );
+    finish_report(cfg, &fw.obs, stats_line, &oracle, violations)
+}
+
+fn run_voting_scenario(cfg: &ChaosConfig) -> RunOutcome {
+    let oracle = FaultOracle::new(cfg.seed);
+    oracle.set_mutate_drop_output(cfg.mutate_drop_output);
+    let mut fw = build_farm_world(cfg.seed, &oracle);
+    let mut behaviours = vec![Behaviour::Honest; N_WORKERS];
+    behaviours[0] = Behaviour::Cheater { cheat_prob: 1.0 };
+    let mut voting = VotingFarm::new(RedundancyConfig::triple(), behaviours, cfg.seed);
+    voting.set_obs(fw.obs.clone());
+    let mut rt = PlanRuntime::new(&cfg.plan, Scenario::Voting);
+    rt.schedule_churn(&mut fw.world.sim);
+    let mut violations = Vec::new();
+    let unit_spec = JobSpec {
+        work_gigacycles: 12.0,
+        input_bytes: 20_000,
+        output_bytes: 2_000,
+        module: Some(fw.module_key.clone()),
+    };
+    // Two waves of units share one plan runtime, so faults land across
+    // submission boundaries too.
+    for _wave in 0..2 {
+        for _ in 0..2 {
+            voting.submit_unit(&mut fw.farm, &mut fw.world, unit_spec.clone());
+        }
+        drive_farm(
+            &mut fw.world,
+            &mut fw.farm,
+            &mut rt,
+            &oracle,
+            &fw.ctx,
+            &mut violations,
+        );
+        for u in 0..voting.units.len() {
+            voting.apply_unit(&mut fw.farm, u);
+        }
+    }
+    let reg = fw.obs.registry().expect("obs enabled").clone();
+    check_no_stranded_jobs(&fw.farm, &mut violations);
+    // No starvation check: replica conflicts can legitimately leave jobs
+    // pending while a conflicting worker idles.
+    check_exactly_once(&fw.farm, &reg, &mut violations);
+    check_dispatch_conservation(&reg, &mut violations);
+    check_message_conservation(&reg, oracle.counters(), &mut violations);
+    check_cache_integrity(&fw.farm, &fw.world, &mut violations);
+    check_voting(&voting, &fw.farm, &mut violations);
+    let s = fw.farm.stats();
+    let stats_line = format!(
+        "voting: units={} replicas={} jobs_done={}/{} attempts={}",
+        voting.units.len(),
+        voting.total_replicas(),
+        s.jobs_done,
+        s.jobs_total,
+        s.attempts
+    );
+    finish_report(cfg, &fw.obs, stats_line, &oracle, violations)
+}
+
+fn run_pipeline_scenario(cfg: &ChaosConfig) -> RunOutcome {
+    let oracle = FaultOracle::new(cfg.seed);
+    oracle.set_mutate_drop_output(cfg.mutate_drop_output);
+    let mut world = GridWorld::new(cfg.seed, DiscoveryMode::Flooding);
+    let obs = Obs::enabled();
+    world.sim.set_tap(oracle.tap());
+    world.p2p.set_obs(obs.clone());
+    world.p2p.set_send_filter(oracle.send_filter());
+    let (ctrl, _) = world.add_peer(host(2.0));
+    let mut stages = Vec::with_capacity(N_STAGES);
+    let mut peers: Vec<PeerId> = Vec::with_capacity(N_STAGES);
+    for i in 0..N_STAGES {
+        let spec = host(1.5 + i as f64 * 0.25);
+        let (peer, _) = world.add_peer(spec.clone());
+        peers.push(peer);
+        stages.push(StageSpec {
+            peer,
+            spec,
+            work_gigacycles: 5.0,
+        });
+    }
+    let mut pl = PipelineScheduler::new(&mut world, ctrl, "chaos", stages, 10_000);
+    pl.set_obs(obs.clone());
+    pl.emit_tokens(&mut world.sim, N_TOKENS, Duration::from_secs(1));
+    let mut rt = PlanRuntime::new(&cfg.plan, Scenario::Pipeline);
+    rt.schedule_churn(&mut world.sim);
+    drive_pipeline(&mut world, &mut pl, &mut rt, &oracle);
+    let reg = obs.registry().expect("obs enabled").clone();
+    let mut violations = Vec::new();
+    check_pipeline(&pl, N_TOKENS, &reg, &mut violations);
+    check_message_conservation(&reg, oracle.counters(), &mut violations);
+    let s = pl.stats();
+    let stats_line = format!(
+        "pipeline: tokens_done={}/{} emissions={} max_latency_us={}",
+        s.tokens_done,
+        N_TOKENS,
+        s.emissions,
+        s.max_latency.as_micros()
+    );
+    finish_report(cfg, &obs, stats_line, &oracle, violations)
+}
+
+/// Run one chaos configuration to completion and audit it.
+pub fn run_chaos(cfg: &ChaosConfig) -> RunOutcome {
+    match cfg.scenario {
+        Scenario::Farm => run_farm_scenario(cfg),
+        Scenario::Pipeline => run_pipeline_scenario(cfg),
+        Scenario::Voting => run_voting_scenario(cfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_round_trips_names() {
+        for s in [Scenario::Farm, Scenario::Pipeline, Scenario::Voting] {
+            assert_eq!(Scenario::parse(s.name()), Some(s));
+        }
+        assert_eq!(Scenario::parse("nope"), None);
+    }
+
+    #[test]
+    fn replay_command_is_parseable_back() {
+        let cfg = ChaosConfig::from_seed(7);
+        let cmd = replay_command(&cfg);
+        assert!(cmd.contains("--seed 7"));
+        assert!(cmd.contains(&format!("--scenario {}", cfg.scenario.name())));
+        assert!(cmd.contains(&format!("\"{}\"", cfg.plan)));
+    }
+
+    #[test]
+    fn fault_free_scenarios_complete_cleanly() {
+        for scenario in [Scenario::Farm, Scenario::Pipeline, Scenario::Voting] {
+            let cfg = ChaosConfig {
+                seed: 11,
+                scenario,
+                plan: FaultPlan::empty(),
+                mutate_drop_output: false,
+            };
+            let out = run_chaos(&cfg);
+            assert!(
+                out.ok(),
+                "{} baseline violated: {:?}",
+                scenario.name(),
+                out.violations
+            );
+        }
+    }
+
+    #[test]
+    fn same_config_replays_byte_identically() {
+        for seed in [0, 1, 2, 17, 42] {
+            let cfg = ChaosConfig::from_seed(seed);
+            let a = run_chaos(&cfg);
+            let b = run_chaos(&cfg);
+            assert_eq!(a.digest, b.digest, "seed {seed} diverged");
+            assert_eq!(a.report, b.report);
+        }
+    }
+
+    #[test]
+    fn mutation_is_caught_shrunk_and_replayable() {
+        // The acceptance gate: arm the intentional drop-output bug, prove
+        // the invariant checker flags it, shrink the plan to a minimal
+        // reproducer, and show the reproducer replays byte-identically.
+        let mut cfg = ChaosConfig::from_seed(0); // seed 0 → farm scenario
+        cfg.mutate_drop_output = true;
+        let out = run_chaos(&cfg);
+        assert!(
+            !out.ok(),
+            "mutation must trip an invariant:\n{}",
+            out.report
+        );
+
+        let fails = |p: &FaultPlan| {
+            let candidate = ChaosConfig {
+                plan: p.clone(),
+                ..cfg.clone()
+            };
+            !run_chaos(&candidate).ok()
+        };
+        let shrunk = crate::shrink::shrink_plan(&cfg.plan, fails);
+        // The bug fires with no faults at all, so ddmin strips the plan
+        // entirely.
+        assert!(
+            shrunk.is_empty(),
+            "expected empty reproducer, got `{shrunk}`"
+        );
+
+        let min_cfg = ChaosConfig {
+            plan: shrunk,
+            ..cfg.clone()
+        };
+        let cmd = replay_command(&min_cfg);
+        assert!(cmd.contains("--mutate drop-output"), "{cmd}");
+        assert!(cmd.contains("--plan \"-\""), "{cmd}");
+        let a = run_chaos(&min_cfg);
+        let b = run_chaos(&min_cfg);
+        assert!(!a.ok());
+        assert_eq!(
+            a.digest, b.digest,
+            "reproducer must replay byte-identically"
+        );
+        assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn checkpoint_restart_preserves_progress_under_crash() {
+        // Satellite: a mid-run crash with periodic checkpointing must lose
+        // at most the work since the last checkpoint, and the job must
+        // finish after the restart. One worker, one ~50 s job, checkpoints
+        // every 5 s, crash at 26 s, restart at 30 s.
+        let oracle = FaultOracle::new(5);
+        let mut world = GridWorld::new(5, DiscoveryMode::Flooding);
+        world.sim.set_tap(oracle.tap());
+        let obs = Obs::enabled();
+        world.p2p.set_obs(obs.clone());
+        world.p2p.set_send_filter(oracle.send_filter());
+        let (ctrl, ctrl_host) = world.add_peer(host(2.0));
+        let cfg = FarmConfig {
+            checkpoint: Some(CheckpointPolicy::every(Duration::from_secs(5), 2_000)),
+            swarm: None,
+            trust: None,
+        };
+        let mut farm = FarmScheduler::new(&world, ctrl, cfg);
+        farm.set_obs(obs.clone());
+        let spec = host(1.0);
+        let (peer, worker_host) = world.add_peer(spec.clone());
+        farm.add_worker(
+            &mut world,
+            WorkerSetup {
+                peer,
+                spec,
+                trace: AvailabilityTrace::always(SimTime::from_secs(10_000)),
+                cache_bytes: 1 << 20,
+            },
+        );
+        farm.submit(
+            &mut world,
+            JobSpec {
+                work_gigacycles: 50.0,
+                input_bytes: 10_000,
+                output_bytes: 1_000,
+                module: None,
+            },
+        );
+        let plan: FaultPlan = "crash@26000:w0;restart@30000:w0".parse().unwrap();
+        let mut rt = PlanRuntime::new(&plan, Scenario::Farm);
+        rt.schedule_churn(&mut world.sim);
+        let ctx = FarmCtx {
+            ctrl_host,
+            worker_hosts: vec![worker_host],
+            module_blob: BlobId::of(&[]),
+            module_len: 0,
+            module_chunks: 0,
+        };
+        let mut violations = Vec::new();
+        drive_farm(
+            &mut world,
+            &mut farm,
+            &mut rt,
+            &oracle,
+            &ctx,
+            &mut violations,
+        );
+        assert!(violations.is_empty(), "{violations:?}");
+        let s = farm.stats();
+        assert_eq!(s.jobs_done, 1, "job must finish after the restart");
+        assert!(
+            s.wasted < Duration::from_secs(10),
+            "lost more than two checkpoint intervals: {}",
+            s.wasted
+        );
+        assert!(
+            s.wasted > Duration::ZERO,
+            "a mid-interval crash must waste the uncheckpointed tail"
+        );
+    }
+
+    #[test]
+    fn seed_sweep_smoke_holds_invariants() {
+        for seed in 0..30 {
+            let cfg = ChaosConfig::from_seed(seed);
+            let out = run_chaos(&cfg);
+            assert!(
+                out.ok(),
+                "seed {seed} ({}) violated invariants:\n{}",
+                cfg.scenario.name(),
+                out.report
+            );
+        }
+    }
+}

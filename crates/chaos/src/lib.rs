@@ -1,0 +1,37 @@
+//! `triana-chaos`: deterministic fault-injection testing for the consumer
+//! grid.
+//!
+//! The paper's volunteers are "unreliable by contract": they crash, lose
+//! messages, straggle, and occasionally lie. This crate turns that into a
+//! repeatable test discipline over the simulation substrate:
+//!
+//! 1. [`plan`] — a seeded, serializable, shrinkable schedule of faults
+//!    (crash/restart, partitions, discovery drop/duplication, delivery
+//!    delay, chunk corruption, clock skew, Byzantine adverts).
+//! 2. [`oracle`] — the runtime injector: an event tap on the sim loop plus
+//!    a send filter on the p2p overlay, gated by the plan's windows.
+//! 3. [`harness`] — builds a grid scenario (farm / pipeline / voting),
+//!    replays the plan against it, and digests the run so identical seeds
+//!    produce byte-identical reports.
+//! 4. [`invariants`] — cross-layer checks at drain: exactly-once
+//!    completion, no stranded jobs, no starvation, dispatch/speculation/
+//!    message conservation, cache integrity, pipeline liveness, voting
+//!    soundness, blacklist respect.
+//! 5. [`shrink`] — ddmin + weakening to turn a failing plan into a minimal
+//!    reproducer, replayable from one printed command line.
+//!
+//! The entry points are [`ChaosConfig::from_seed`] → [`run_chaos`]; on
+//! failure, [`shrink_plan`] minimises the plan and [`replay_command`]
+//! prints the reproduction line.
+
+pub mod harness;
+pub mod invariants;
+pub mod oracle;
+pub mod plan;
+pub mod shrink;
+
+pub use harness::{replay_command, run_chaos, ChaosConfig, RunOutcome, Scenario, PLAN_HORIZON_MS};
+pub use invariants::Violation;
+pub use oracle::{ChaosCounters, FaultOracle};
+pub use plan::{FaultEvent, FaultKind, FaultPlan, PlanParseError};
+pub use shrink::shrink_plan;

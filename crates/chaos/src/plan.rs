@@ -1,0 +1,345 @@
+//! Fault plans: a seeded, serializable, shrinkable schedule of faults.
+//!
+//! A plan is a list of timestamped fault events. It round-trips through a
+//! compact one-line text form (`kind@ms:args` joined with `;`) so a failing
+//! run can be replayed from its printed command alone, and every event
+//! supports *weakening* (halving intensities) so the shrinker can minimise
+//! a reproducer beyond just deleting events.
+
+use netsim::Pcg32;
+use std::fmt;
+use std::str::FromStr;
+
+/// One kind of injected fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker's host vanishes (volunteer walks away, §3.6.2).
+    Crash { worker: u32 },
+    /// A previously crashed worker returns.
+    Restart { worker: u32 },
+    /// Sever the controller↔worker path for `secs` (routing partition:
+    /// both ends stay online, transfers between them fail).
+    Partition { worker: u32, secs: u32 },
+    /// Drop discovery messages (Query/QueryHit/Publish) with probability
+    /// `pct`% for `secs`.
+    Drop { pct: u8, secs: u32 },
+    /// Duplicate discovery deliveries with probability `pct`% for `secs`.
+    Duplicate { pct: u8, secs: u32 },
+    /// Defer overlay deliveries by up to `max_ms` with probability `pct`%
+    /// for `secs` (message reorder).
+    Delay { pct: u8, max_ms: u32, secs: u32 },
+    /// Flip a byte in a chunk the worker's store holds (bit-rot / hostile
+    /// peer serving garbage).
+    Corrupt { worker: u32 },
+    /// Clock-skewed straggler: the worker silently delivers only `pct`% of
+    /// its advertised clock from now on.
+    Skew { worker: u32, pct: u8 },
+    /// Byzantine advert: publish a provider claim for content the worker
+    /// does not actually hold.
+    Lie { worker: u32 },
+}
+
+/// A fault scheduled at a virtual-time offset (milliseconds).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    pub at_ms: u64,
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// A strictly weaker version of this event (halved intensity /
+    /// duration), or `None` if it is already minimal.
+    pub fn weaken(&self) -> Option<FaultEvent> {
+        use FaultKind::*;
+        let kind = match self.kind {
+            Crash { .. } | Restart { .. } | Corrupt { .. } | Lie { .. } => return None,
+            Partition { worker, secs } if secs > 1 => Partition {
+                worker,
+                secs: secs / 2,
+            },
+            Drop { pct, secs } if pct > 1 || secs > 1 => Drop {
+                pct: (pct / 2).max(1),
+                secs: (secs / 2).max(1),
+            },
+            Duplicate { pct, secs } if pct > 1 || secs > 1 => Duplicate {
+                pct: (pct / 2).max(1),
+                secs: (secs / 2).max(1),
+            },
+            Delay { pct, max_ms, secs } if pct > 1 || max_ms > 1 || secs > 1 => Delay {
+                pct: (pct / 2).max(1),
+                max_ms: (max_ms / 2).max(1),
+                secs: (secs / 2).max(1),
+            },
+            Skew { worker, pct } if pct < 50 => Skew {
+                worker,
+                pct: (pct * 2).min(99), // weaker skew = closer to honest
+            },
+            _ => return None,
+        };
+        Some(FaultEvent {
+            at_ms: self.at_ms,
+            kind,
+        })
+    }
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use FaultKind::*;
+        match &self.kind {
+            Crash { worker } => write!(f, "crash@{}:w{}", self.at_ms, worker),
+            Restart { worker } => write!(f, "restart@{}:w{}", self.at_ms, worker),
+            Partition { worker, secs } => write!(f, "part@{}:w{},{}s", self.at_ms, worker, secs),
+            Drop { pct, secs } => write!(f, "drop@{}:{}%,{}s", self.at_ms, pct, secs),
+            Duplicate { pct, secs } => write!(f, "dup@{}:{}%,{}s", self.at_ms, pct, secs),
+            Delay { pct, max_ms, secs } => {
+                write!(f, "delay@{}:{}%,{}ms,{}s", self.at_ms, pct, max_ms, secs)
+            }
+            Corrupt { worker } => write!(f, "corrupt@{}:w{}", self.at_ms, worker),
+            Skew { worker, pct } => write!(f, "skew@{}:w{},{}%", self.at_ms, worker, pct),
+            Lie { worker } => write!(f, "lie@{}:w{}", self.at_ms, worker),
+        }
+    }
+}
+
+/// Plan (de)serialization failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanParseError(pub String);
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+fn parse_num<T: FromStr>(s: &str, what: &str) -> Result<T, PlanParseError> {
+    s.parse()
+        .map_err(|_| PlanParseError(format!("`{s}` is not a valid {what}")))
+}
+
+fn strip<'a>(s: &'a str, prefix: &str, suffix: &str) -> Result<&'a str, PlanParseError> {
+    s.strip_prefix(prefix)
+        .and_then(|s| s.strip_suffix(suffix))
+        .ok_or_else(|| PlanParseError(format!("`{s}` missing `{prefix}…{suffix}`")))
+}
+
+impl FromStr for FaultEvent {
+    type Err = PlanParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (head, args) = s
+            .split_once(':')
+            .ok_or_else(|| PlanParseError(format!("`{s}` has no `:`")))?;
+        let (kind, at) = head
+            .split_once('@')
+            .ok_or_else(|| PlanParseError(format!("`{head}` has no `@`")))?;
+        let at_ms: u64 = parse_num(at, "time (ms)")?;
+        let parts: Vec<&str> = args.split(',').collect();
+        let kind = match (kind, parts.as_slice()) {
+            ("crash", [w]) => FaultKind::Crash {
+                worker: parse_num(strip(w, "w", "")?, "worker")?,
+            },
+            ("restart", [w]) => FaultKind::Restart {
+                worker: parse_num(strip(w, "w", "")?, "worker")?,
+            },
+            ("part", [w, d]) => FaultKind::Partition {
+                worker: parse_num(strip(w, "w", "")?, "worker")?,
+                secs: parse_num(strip(d, "", "s")?, "duration (s)")?,
+            },
+            ("drop", [p, d]) => FaultKind::Drop {
+                pct: parse_num(strip(p, "", "%")?, "percentage")?,
+                secs: parse_num(strip(d, "", "s")?, "duration (s)")?,
+            },
+            ("dup", [p, d]) => FaultKind::Duplicate {
+                pct: parse_num(strip(p, "", "%")?, "percentage")?,
+                secs: parse_num(strip(d, "", "s")?, "duration (s)")?,
+            },
+            ("delay", [p, m, d]) => FaultKind::Delay {
+                pct: parse_num(strip(p, "", "%")?, "percentage")?,
+                max_ms: parse_num(strip(m, "", "ms")?, "delay (ms)")?,
+                secs: parse_num(strip(d, "", "s")?, "duration (s)")?,
+            },
+            ("corrupt", [w]) => FaultKind::Corrupt {
+                worker: parse_num(strip(w, "w", "")?, "worker")?,
+            },
+            ("skew", [w, p]) => FaultKind::Skew {
+                worker: parse_num(strip(w, "w", "")?, "worker")?,
+                pct: parse_num(strip(p, "", "%")?, "percentage")?,
+            },
+            ("lie", [w]) => FaultKind::Lie {
+                worker: parse_num(strip(w, "w", "")?, "worker")?,
+            },
+            _ => return Err(PlanParseError(format!("unknown event `{s}`"))),
+        };
+        Ok(FaultEvent { at_ms, kind })
+    }
+}
+
+/// An ordered schedule of fault events.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    pub fn empty() -> Self {
+        FaultPlan::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Generate a random plan for a world of `n_workers`, with fault times
+    /// spread over `[0, horizon_ms)`. Fully determined by `seed`.
+    pub fn generate(seed: u64, n_workers: u32, horizon_ms: u64) -> FaultPlan {
+        let mut rng = Pcg32::new(seed, 0xFA17);
+        let n = 1 + rng.below(8) as usize;
+        let mut events = Vec::with_capacity(n * 2);
+        for _ in 0..n {
+            let at_ms = rng.below(horizon_ms.max(1));
+            let worker = rng.below(n_workers.max(1) as u64) as u32;
+            let kind = match rng.below(9) {
+                0 => FaultKind::Crash { worker },
+                1 => FaultKind::Restart { worker },
+                2 => FaultKind::Partition {
+                    worker,
+                    secs: 1 + rng.below(10) as u32,
+                },
+                3 => FaultKind::Drop {
+                    pct: 10 + rng.below(80) as u8,
+                    secs: 1 + rng.below(10) as u32,
+                },
+                4 => FaultKind::Duplicate {
+                    pct: 10 + rng.below(80) as u8,
+                    secs: 1 + rng.below(10) as u32,
+                },
+                5 => FaultKind::Delay {
+                    pct: 10 + rng.below(80) as u8,
+                    max_ms: 1 + rng.below(2_000) as u32,
+                    secs: 1 + rng.below(10) as u32,
+                },
+                6 => FaultKind::Corrupt { worker },
+                7 => FaultKind::Skew {
+                    worker,
+                    pct: 5 + rng.below(70) as u8,
+                },
+                _ => FaultKind::Lie { worker },
+            };
+            events.push(FaultEvent { at_ms, kind });
+            // Most crashes come back: volunteers rejoin after a while.
+            if let FaultKind::Crash { worker } = events.last().unwrap().kind {
+                if rng.below(100) < 75 {
+                    events.push(FaultEvent {
+                        at_ms: at_ms + 500 + rng.below(20_000),
+                        kind: FaultKind::Restart { worker },
+                    });
+                }
+            }
+        }
+        let mut plan = FaultPlan { events };
+        plan.sort();
+        plan
+    }
+
+    /// Sort by time (stable, so equal-time events keep generation order).
+    pub fn sort(&mut self) {
+        self.events.sort_by_key(|e| e.at_ms);
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.events.is_empty() {
+            return write!(f, "-");
+        }
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                write!(f, ";")?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for FaultPlan {
+    type Err = PlanParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() || s == "-" {
+            return Ok(FaultPlan::empty());
+        }
+        let events = s
+            .split(';')
+            .map(|e| e.trim().parse())
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FaultPlan { events })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_sorted() {
+        let a = FaultPlan::generate(42, 5, 60_000);
+        let b = FaultPlan::generate(42, 5, 60_000);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.events.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+        assert_ne!(a, FaultPlan::generate(43, 5, 60_000));
+    }
+
+    #[test]
+    fn plan_round_trips_through_text() {
+        for seed in 0..50 {
+            let plan = FaultPlan::generate(seed, 4, 30_000);
+            let text = plan.to_string();
+            let back: FaultPlan = text.parse().unwrap();
+            assert_eq!(back, plan, "plan `{text}` did not round-trip");
+        }
+        let empty: FaultPlan = "-".parse().unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.to_string(), "-");
+    }
+
+    #[test]
+    fn bad_plans_are_rejected() {
+        assert!("crash500:w0".parse::<FaultPlan>().is_err());
+        assert!("crash@500".parse::<FaultPlan>().is_err());
+        assert!("nuke@500:w0".parse::<FaultPlan>().is_err());
+        assert!("drop@500:x%,3s".parse::<FaultPlan>().is_err());
+    }
+
+    #[test]
+    fn weaken_halves_intensities_until_minimal() {
+        let e = FaultEvent {
+            at_ms: 10,
+            kind: FaultKind::Drop { pct: 40, secs: 8 },
+        };
+        let w = e.weaken().unwrap();
+        assert_eq!(w.kind, FaultKind::Drop { pct: 20, secs: 4 });
+        let mut cur = e;
+        let mut steps = 0;
+        while let Some(next) = cur.weaken() {
+            cur = next;
+            steps += 1;
+            assert!(steps < 20, "weaken must reach a fixpoint");
+        }
+        assert_eq!(cur.kind, FaultKind::Drop { pct: 1, secs: 1 });
+        let crash = FaultEvent {
+            at_ms: 0,
+            kind: FaultKind::Crash { worker: 1 },
+        };
+        assert!(crash.weaken().is_none());
+    }
+}

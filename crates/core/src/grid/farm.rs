@@ -429,6 +429,11 @@ impl FarmScheduler {
     }
 
     fn dispatch(&mut self, world: &mut GridWorld) {
+        // Jobs whose assignment bounced straight back to the queue (the
+        // path to the chosen worker is severed, so the very first transfer
+        // failed synchronously): skip them for the rest of this pass, or
+        // the deterministic policy would pick the same pairing forever.
+        let mut bounced: Vec<JobId> = Vec::new();
         loop {
             // FIFO over pending jobs, skipping jobs whose conflict set
             // rules out every idle worker; the configured policy picks
@@ -436,6 +441,9 @@ impl FarmScheduler {
             // the fastest advertised clock, §3.7).
             let mut pick: Option<(usize, WorkerId)> = None;
             for (qi, &job_id) in self.pending.iter().enumerate() {
+                if bounced.contains(&job_id) {
+                    continue;
+                }
                 let cands = self.candidates_for(job_id, None);
                 let work = {
                     let j = &self.jobs[job_id.0 as usize];
@@ -451,7 +459,19 @@ impl FarmScheduler {
             };
             let job_id = self.pending.remove(qi).expect("index from scan");
             self.assign(world, job_id, wid);
+            if self.jobs[job_id.0 as usize].state == JobState::Pending {
+                bounced.push(job_id);
+            }
         }
+    }
+
+    /// Re-run the dispatch scan. Queue drains are normally triggered by
+    /// grid events (worker churn, completions), but external connectivity
+    /// repairs — e.g. a severed controller↔worker route healing — are not
+    /// events the farm sees, so whoever restores the route must nudge the
+    /// queue.
+    pub fn kick(&mut self, world: &mut GridWorld) {
+        self.dispatch(world);
     }
 
     fn assign(&mut self, world: &mut GridWorld, job_id: JobId, wid: WorkerId) {
@@ -738,6 +758,7 @@ impl FarmScheduler {
         let w = &mut self.workers[wid.0 as usize];
         w.active = w.active.saturating_sub(1);
         w.running.retain(|r| r.job != job_id);
+        self.obs.incr("farm.requeues");
     }
 
     /// Main event handler. `GridEvent::P2p` must be routed to the overlay
@@ -746,6 +767,13 @@ impl FarmScheduler {
         match ev {
             GridEvent::WorkerUp(wid) => {
                 let w = &mut self.workers[wid.0 as usize];
+                if w.up {
+                    // Duplicate up-event for a live worker: bumping the epoch
+                    // here would orphan its in-flight jobs (their completion
+                    // events fail the `live` check and nothing requeues
+                    // them), so it must be a no-op.
+                    return;
+                }
                 w.up = true;
                 w.epoch += 1;
                 w.active = 0;
@@ -760,6 +788,11 @@ impl FarmScheduler {
                 self.dispatch(world);
             }
             GridEvent::WorkerDown(wid) => {
+                if !self.workers[wid.0 as usize].up {
+                    // Duplicate down-event: already handled; a second pass
+                    // would bump the epoch again and double-meter abandons.
+                    return;
+                }
                 self.obs.incr("farm.worker_down");
                 self.obs
                     .event(world.sim.now().as_micros(), "farm.worker_down", || {
@@ -1180,6 +1213,7 @@ impl FarmScheduler {
         let Some(s) = self.jobs[job.0 as usize].spec_attempt.take() else {
             return;
         };
+        self.obs.incr("trust.speculative_cancelled");
         let alive = {
             let w = &self.workers[s.worker.0 as usize];
             w.up && w.epoch == s.epoch
@@ -1213,12 +1247,19 @@ impl FarmScheduler {
         };
         let origin = self.workers[wid.0 as usize].peer;
         let sw = self.cfg.swarm.clone().expect("swarm fetch implies config");
-        let mut providers: Vec<PeerId> = world
+        // Adverts whose TTL lapsed between query emission and this window
+        // closing are churn, not providers: pulling from one would race the
+        // provider's purge. Skip them (the controller fallback below covers
+        // the all-expired case).
+        let (mut providers, expired) = world
             .p2p
             .queries
             .get(&query)
-            .map(|q| q.providers())
+            .map(|q| q.providers_live(world.sim.now()))
             .unwrap_or_default();
+        if expired > 0 {
+            self.obs.add("store.provider_expired", expired);
+        }
         providers.retain(|p| {
             *p != origin
                 && self
@@ -1348,6 +1389,7 @@ impl FarmScheduler {
             // The slot accounting was already zeroed above; just meter the
             // sunk compute and drop the attempt.
             if let Some(s) = self.jobs[job_id.0 as usize].spec_attempt.take() {
+                self.obs.incr("trust.speculative_cancelled");
                 if let Some(started) = s.started {
                     let sunk = now.since(started);
                     self.jobs[job_id.0 as usize].wasted += sunk;
@@ -1470,6 +1512,43 @@ impl FarmScheduler {
 
     pub fn controller(&self) -> PeerId {
         self.controller
+    }
+
+    // --- invariant-checking introspection (used by the chaos harness) ---
+
+    pub fn n_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// The worker currently responsible for the job, if any.
+    pub fn job_assignment(&self, job: JobId) -> Option<WorkerId> {
+        self.jobs[job.0 as usize].assigned.map(|(w, _)| w)
+    }
+
+    pub fn job_is_done(&self, job: JobId) -> bool {
+        self.jobs[job.0 as usize].state == JobState::Done
+    }
+
+    pub fn job_is_pending(&self, job: JobId) -> bool {
+        self.jobs[job.0 as usize].state == JobState::Pending
+    }
+
+    pub fn worker_is_up(&self, wid: WorkerId) -> bool {
+        self.workers[wid.0 as usize].up
+    }
+
+    /// Jobs currently occupying slots on the worker.
+    pub fn worker_active(&self, wid: WorkerId) -> u32 {
+        self.workers[wid.0 as usize].active
+    }
+
+    pub fn worker_capacity(&self, wid: WorkerId) -> u32 {
+        self.workers[wid.0 as usize].capacity
+    }
+
+    /// The worker's module cache (chaos integrity checks walk its entries).
+    pub fn worker_cache(&self, wid: WorkerId) -> &ModuleCache {
+        &self.workers[wid.0 as usize].cache
     }
 }
 
@@ -1960,6 +2039,60 @@ mod tests {
         assert_eq!(reg.counter_value("farm.module_bytes_sent"), blob_len);
         assert_eq!(reg.counter_value("store.blobs_verified"), 1);
         assert_eq!(reg.counter_value("store.seed_adverts"), 2);
+    }
+
+    #[test]
+    fn advert_expiring_mid_discovery_window_is_treated_as_churn() {
+        // Regression: a provider advert whose TTL lapses between the query
+        // hit and the window closing used to be pulled from anyway; it must
+        // instead count as churn and fall back to the controller.
+        let (mut world, mut farm) = swarm_world(2);
+        let obs = Obs::enabled();
+        farm.set_obs(obs.clone());
+        let key = ModuleKey::new("Render", 1);
+        let blob = sized_blob("Render", 2_000);
+        farm.library.publish(key.clone(), blob.clone());
+        // Seed worker 0's store by hand and advertise it with a TTL that
+        // lapses *inside* the 2 s discovery window: the flood hit arrives
+        // valid (LAN flooding takes milliseconds) but the advert is stale
+        // by the time providers are picked.
+        let blob_id = farm.worker_store_mut(WorkerId(0)).seed_blob(&blob);
+        let layout = farm
+            .worker_store(WorkerId(0))
+            .layout_of(blob_id)
+            .expect("seeded");
+        let provider = farm.worker_peer(WorkerId(0));
+        let ad = Advertisement {
+            body: AdvertBody::Blob(BlobAdvert {
+                blob: blob_id.0,
+                size_bytes: layout.blob_len,
+                chunks: layout.count(),
+                provider,
+            }),
+            expires: SimTime::from_secs(1),
+        };
+        world
+            .p2p
+            .publish(&mut world.sim, &mut world.net, provider, ad);
+        // Occupy worker 0 so the module job lands on worker 1.
+        farm.submit(&mut world, job(50.0));
+        let b = farm.submit(
+            &mut world,
+            JobSpec {
+                module: Some(key.clone()),
+                ..job(2.0)
+            },
+        );
+        run_farm(&mut world, &mut farm);
+        assert!(farm.all_done());
+        assert!(farm.job_latency(b).is_some());
+        let reg = obs.registry().unwrap();
+        assert_eq!(reg.counter_value("store.provider_expired"), 1);
+        assert_eq!(reg.counter_value("store.fallback_no_provider"), 1);
+        // Every byte of the module came over the controller's uplink; the
+        // stale provider was never pulled from.
+        assert_eq!(reg.counter_value("store.bytes_from_peers"), 0);
+        assert_eq!(reg.counter_value("store.providers_used"), 0);
     }
 
     #[test]

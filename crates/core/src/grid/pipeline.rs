@@ -237,6 +237,12 @@ impl PipelineScheduler {
         self.stages.len()
     }
 
+    /// Is the stage currently up? (Chaos invariants: a drained pipeline
+    /// with every stage up must have completed all its tokens.)
+    pub fn stage_is_up(&self, stage: usize) -> bool {
+        self.stages[stage].up
+    }
+
     /// Schedule emission of `count` tokens spaced `interval` apart,
     /// starting now.
     pub fn emit_tokens(&mut self, sim: &mut Sim<GridEvent>, count: u64, interval: Duration) {
@@ -375,12 +381,20 @@ impl PipelineScheduler {
                 }
                 self.stages[s].up = true;
                 net.set_online(p2p.host_of(self.stages[s].peer), true);
-                // Re-emit parked tokens (stage 0 outages park them).
+                // Re-emit parked tokens (stage 0 outages park them). A
+                // fresh record is also `Parked`, so require a prior
+                // emission — otherwise a stage recovery before a token's
+                // scheduled first emission would send it twice under the
+                // same attempt tag.
                 let parked: Vec<u64> = self
                     .tokens
                     .iter()
                     .enumerate()
-                    .filter(|(_, r)| r.position == Position::Parked && r.completed.is_none())
+                    .filter(|(_, r)| {
+                        r.position == Position::Parked
+                            && r.completed.is_none()
+                            && r.emitted.is_some()
+                    })
                     .map(|(i, _)| i as u64)
                     .collect();
                 for t in parked {
@@ -523,6 +537,25 @@ mod tests {
         assert_eq!(st.emissions, 5, "no retransmissions without churn");
         // Latency of the first token: ~3 s of compute + small transfers.
         assert!(st.max_latency.as_secs_f64() < 20.0);
+    }
+
+    #[test]
+    fn recovery_before_first_emission_does_not_duplicate_tokens() {
+        // Regression (found by the chaos sweep): a WorkerUp landing while
+        // later tokens still await their scheduled first emission used to
+        // re-emit those fresh records (default position is Parked), and
+        // the scheduled emission then sent a second copy under the same
+        // attempt tag — every affected token completed twice.
+        let (mut world, mut pl) = build(3, 2.0, 1_000);
+        pl.emit_tokens(&mut world.sim, 5, Duration::from_secs(1));
+        world
+            .sim
+            .schedule(Duration::from_millis(500), GridEvent::WorkerUp(WorkerId(0)));
+        run_pipeline(&mut world, &mut pl);
+        assert!(pl.all_done());
+        let st = pl.stats();
+        assert_eq!(st.tokens_done, 5);
+        assert_eq!(st.emissions, 5, "a no-op recovery must not re-emit");
     }
 
     #[test]

@@ -150,6 +150,13 @@ impl VotingFarm {
         self.adaptive = Some(cfg);
     }
 
+    /// The configured per-worker behaviours (chaos invariants count the
+    /// cheaters to know whether a wrong accepted digest is a soundness
+    /// breach or an out-voted honest minority).
+    pub fn behaviours(&self) -> &[Behaviour] {
+        &self.behaviours
+    }
+
     /// Attach an observability handle for `trust.units_*` counters.
     pub fn set_obs(&mut self, obs: Obs) {
         self.obs = obs;

@@ -133,6 +133,14 @@ impl ModuleCache {
         self.blobs.is_empty()
     }
 
+    /// Iterate over resident entries without touching recency or hit/miss
+    /// accounting. Iteration follows LRU order (least recent first) so
+    /// walks are deterministic; integrity audits re-hash each blob against
+    /// the content id expected for its key.
+    pub fn entries(&self) -> impl Iterator<Item = (&ModuleKey, &ModuleBlob)> {
+        self.order.iter().map(|k| (k, &self.blobs[k]))
+    }
+
     /// Look up a blob, updating recency and hit/miss counters.
     pub fn get(&mut self, key: &ModuleKey) -> Option<&ModuleBlob> {
         if self.blobs.contains_key(key) {

@@ -81,6 +81,30 @@ impl<Ev> EventQueue<Ev> {
     }
 }
 
+/// What an [`EventTap`] decides to do with an event popped from the queue,
+/// *before* it reaches the handler.
+pub enum Intercept<Ev> {
+    /// Deliver this (possibly substituted) event now.
+    Deliver(Ev),
+    /// Swallow the event entirely: the handler never sees it.
+    Drop,
+    /// Deliver the first event now and schedule the second `delay` later
+    /// (message duplication).
+    DeliverAndSchedule(Ev, Duration, Ev),
+    /// Do not deliver now; push the event back `delay` into the future
+    /// (message delay / reorder).
+    Reschedule(Duration, Ev),
+}
+
+/// A fault-injection hook threaded through [`Sim::step`]: every event popped
+/// from the queue is offered to the tap, which may deliver, drop, duplicate
+/// or defer it. Ownership of the event passes through the tap, so `Ev` needs
+/// no `Clone` bound — duplication is the tap's job (it must construct the
+/// copy itself).
+pub trait EventTap<Ev> {
+    fn intercept(&mut self, now: SimTime, ev: Ev) -> Intercept<Ev>;
+}
+
 /// The simulator: current time, pending events, and a root random stream.
 pub struct Sim<Ev> {
     now: SimTime,
@@ -90,6 +114,7 @@ pub struct Sim<Ev> {
     /// Optional hard stop; events scheduled later than this are still queued
     /// but `run` will not dispatch past it.
     horizon: Option<SimTime>,
+    tap: Option<Box<dyn EventTap<Ev>>>,
 }
 
 impl<Ev> Sim<Ev> {
@@ -100,7 +125,24 @@ impl<Ev> Sim<Ev> {
             rng: Pcg32::new(seed, 0xCAFE),
             processed: 0,
             horizon: None,
+            tap: None,
         }
+    }
+
+    /// Install a fault-injection tap (see [`EventTap`]). Replaces any
+    /// previous tap.
+    pub fn set_tap(&mut self, tap: Box<dyn EventTap<Ev>>) {
+        self.tap = Some(tap);
+    }
+
+    /// Remove the tap, returning it.
+    pub fn take_tap(&mut self) -> Option<Box<dyn EventTap<Ev>>> {
+        self.tap.take()
+    }
+
+    /// Timestamp of the next pending event, if any (does not advance time).
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
     }
 
     pub fn now(&self) -> SimTime {
@@ -146,18 +188,41 @@ impl<Ev> Sim<Ev> {
     /// Pop the next event, advancing the clock. Returns `None` when the
     /// queue is empty or the horizon is reached.
     pub fn step(&mut self) -> Option<Ev> {
-        let at = self.queue.peek_time()?;
-        if let Some(h) = self.horizon {
-            if at > h {
-                self.now = h;
-                return None;
+        loop {
+            let at = self.queue.peek_time()?;
+            if let Some(h) = self.horizon {
+                if at > h {
+                    self.now = h;
+                    return None;
+                }
             }
+            let (at, ev) = self.queue.pop().expect("peeked");
+            debug_assert!(at >= self.now, "event queue went backwards");
+            self.now = at;
+            let ev = if let Some(tap) = self.tap.as_mut() {
+                match tap.intercept(at, ev) {
+                    Intercept::Deliver(ev) => ev,
+                    Intercept::Drop => continue,
+                    Intercept::DeliverAndSchedule(ev, delay, copy) => {
+                        // A zero delay would still be FIFO-after the original
+                        // (insertion seq breaks the tie), so no clamp needed.
+                        self.queue.push(self.now + delay, copy);
+                        ev
+                    }
+                    Intercept::Reschedule(delay, ev) => {
+                        // Clamp to ≥1µs so a zero-delay defer cannot spin the
+                        // loop forever re-popping the same event.
+                        self.queue
+                            .push(self.now + delay.max(Duration::from_micros(1)), ev);
+                        continue;
+                    }
+                }
+            } else {
+                ev
+            };
+            self.processed += 1;
+            return Some(ev);
         }
-        let (at, ev) = self.queue.pop().expect("peeked");
-        debug_assert!(at >= self.now, "event queue went backwards");
-        self.now = at;
-        self.processed += 1;
-        Some(ev)
     }
 
     /// Run to completion (or horizon), dispatching each event to `handler`.
@@ -252,6 +317,81 @@ mod tests {
         assert_eq!(sim.pending(), 1);
         sim.run(|_, ev| seen.push(ev));
         assert_eq!(seen, vec![1, 2]);
+    }
+
+    struct DropOdd;
+    impl EventTap<u32> for DropOdd {
+        fn intercept(&mut self, _now: SimTime, ev: u32) -> Intercept<u32> {
+            if ev % 2 == 1 {
+                Intercept::Drop
+            } else {
+                Intercept::Deliver(ev)
+            }
+        }
+    }
+
+    #[test]
+    fn tap_can_drop_events() {
+        let mut sim: Sim<u32> = Sim::new(1);
+        sim.set_tap(Box::new(DropOdd));
+        for i in 0..6 {
+            sim.schedule(Duration::from_micros(i as u64 + 1), i);
+        }
+        let mut seen = vec![];
+        sim.run(|_, ev| seen.push(ev));
+        assert_eq!(seen, vec![0, 2, 4]);
+        // Dropped events are not counted as processed.
+        assert_eq!(sim.processed(), 3);
+    }
+
+    struct DupFirst {
+        done: bool,
+    }
+    impl EventTap<u32> for DupFirst {
+        fn intercept(&mut self, _now: SimTime, ev: u32) -> Intercept<u32> {
+            if !self.done {
+                self.done = true;
+                Intercept::DeliverAndSchedule(ev, Duration::from_micros(5), ev + 100)
+            } else {
+                Intercept::Deliver(ev)
+            }
+        }
+    }
+
+    #[test]
+    fn tap_can_duplicate_events() {
+        let mut sim: Sim<u32> = Sim::new(1);
+        sim.set_tap(Box::new(DupFirst { done: false }));
+        sim.schedule(Duration::from_micros(1), 7);
+        let mut seen = vec![];
+        sim.run(|s, ev| seen.push((s.now().as_micros(), ev)));
+        assert_eq!(seen, vec![(1, 7), (6, 107)]);
+    }
+
+    struct DeferOnce {
+        deferred: bool,
+    }
+    impl EventTap<u32> for DeferOnce {
+        fn intercept(&mut self, _now: SimTime, ev: u32) -> Intercept<u32> {
+            if !self.deferred {
+                self.deferred = true;
+                Intercept::Reschedule(Duration::from_micros(10), ev)
+            } else {
+                Intercept::Deliver(ev)
+            }
+        }
+    }
+
+    #[test]
+    fn tap_can_defer_and_reorder_events() {
+        let mut sim: Sim<u32> = Sim::new(1);
+        sim.set_tap(Box::new(DeferOnce { deferred: false }));
+        sim.schedule(Duration::from_micros(1), 1); // deferred to t=11
+        sim.schedule(Duration::from_micros(2), 2);
+        let mut seen = vec![];
+        sim.run(|_, ev| seen.push(ev));
+        assert_eq!(seen, vec![2, 1]);
+        assert!(sim.take_tap().is_some());
     }
 
     #[test]

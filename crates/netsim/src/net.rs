@@ -10,6 +10,7 @@
 
 use crate::host::HostSpec;
 use crate::time::{Duration, SimTime};
+use std::collections::HashSet;
 use std::fmt;
 
 /// Index of a host within a [`Network`].
@@ -52,6 +53,10 @@ pub struct Network {
     /// Local (same-host) delivery cost; models IPC, not the network.
     pub loopback: Duration,
     observer: obs::Obs,
+    /// Severed host pairs (stored normalized low-high); transfers between
+    /// them fail as [`SendError::LinkCut`]. Models a routing partition
+    /// between two otherwise-online hosts.
+    cut_links: HashSet<(HostId, HostId)>,
 }
 
 /// Why a transfer could not be initiated.
@@ -59,6 +64,9 @@ pub struct Network {
 pub enum SendError {
     SourceOffline,
     DestOffline,
+    /// The path between the two hosts is administratively severed
+    /// (fault-injected partition); both endpoints are still online.
+    LinkCut,
 }
 
 impl Default for Network {
@@ -74,7 +82,37 @@ impl Network {
             stats: NetStats::default(),
             loopback: Duration::from_micros(50),
             observer: obs::Obs::disabled(),
+            cut_links: HashSet::new(),
         }
+    }
+
+    fn norm_pair(a: HostId, b: HostId) -> (HostId, HostId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Sever or restore the path between two hosts (order-insensitive).
+    /// While cut, [`Network::transfer`] between them fails with
+    /// [`SendError::LinkCut`] and counts as dropped.
+    pub fn set_link_cut(&mut self, a: HostId, b: HostId, cut: bool) {
+        let pair = Self::norm_pair(a, b);
+        if cut {
+            self.cut_links.insert(pair);
+        } else {
+            self.cut_links.remove(&pair);
+        }
+    }
+
+    pub fn is_link_cut(&self, a: HostId, b: HostId) -> bool {
+        self.cut_links.contains(&Self::norm_pair(a, b))
+    }
+
+    /// Restore every severed link.
+    pub fn clear_link_cuts(&mut self) {
+        self.cut_links.clear();
     }
 
     /// Attach a metrics observer; every [`Network::transfer`] then also feeds
@@ -146,6 +184,11 @@ impl Network {
             self.stats.dropped += 1;
             self.observer.incr("net.dropped");
             return Err(SendError::DestOffline);
+        }
+        if !self.cut_links.is_empty() && self.is_link_cut(src, dst) && src != dst {
+            self.stats.dropped += 1;
+            self.observer.incr("net.dropped");
+            return Err(SendError::LinkCut);
         }
         self.stats.messages += 1;
         self.stats.bytes += bytes;
@@ -265,6 +308,22 @@ mod tests {
         );
         assert_eq!(net.stats().dropped, 2);
         assert_eq!(net.stats().messages, 0);
+    }
+
+    #[test]
+    fn cut_links_drop_until_restored() {
+        let (mut net, ids) = net_with(&[LinkClass::Lan, LinkClass::Lan, LinkClass::Lan]);
+        net.set_link_cut(ids[1], ids[0], true); // order-insensitive
+        assert!(net.is_link_cut(ids[0], ids[1]));
+        assert_eq!(
+            net.transfer(SimTime::ZERO, ids[0], ids[1], 10),
+            Err(SendError::LinkCut)
+        );
+        // Other paths unaffected.
+        assert!(net.transfer(SimTime::ZERO, ids[0], ids[2], 10).is_ok());
+        net.set_link_cut(ids[0], ids[1], false);
+        assert!(net.transfer(SimTime::ZERO, ids[0], ids[1], 10).is_ok());
+        assert_eq!(net.stats().dropped, 1);
     }
 
     #[test]

@@ -84,6 +84,28 @@ impl QueryStatus {
             .collect()
     }
 
+    /// Like [`QueryStatus::providers`], but drops hits whose advertisement
+    /// has expired by `now` — between query emission and the end of the
+    /// discovery window the TTL may lapse, and an expired advert carries no
+    /// promise that the provider still holds the content. Returns the live
+    /// providers plus the number of hits skipped as expired.
+    pub fn providers_live(&self, now: SimTime) -> (Vec<PeerId>, u64) {
+        let mut seen = HashSet::new();
+        let mut expired = 0u64;
+        let mut live = Vec::new();
+        for (_, ad) in &self.hits {
+            if ad.is_expired(now) {
+                expired += 1;
+                continue;
+            }
+            let p = ad.peer();
+            if seen.insert(p) {
+                live.push(p);
+            }
+        }
+        (live, expired)
+    }
+
     /// Latency from query emission to first hit.
     pub fn first_hit_latency(&self) -> Option<netsim::Duration> {
         self.hits.first().map(|(t, _)| t.since(self.sent_at))
@@ -115,6 +137,12 @@ pub struct P2p {
     /// Messages that could not be sent because an endpoint was offline.
     pub send_failures: u64,
     obs: Obs,
+    /// Fault-injection hook: consulted before every overlay send with
+    /// `(now, from, to, &msg)`; returning `false` silently discards the
+    /// message before it touches the network (metered as
+    /// `p2p.messages_filtered`, *not* as sent).
+    #[allow(clippy::type_complexity)]
+    send_filter: Option<Box<dyn FnMut(SimTime, PeerId, PeerId, &Message) -> bool>>,
 }
 
 impl P2p {
@@ -128,7 +156,23 @@ impl P2p {
             rendezvous_peers: Vec::new(),
             send_failures: 0,
             obs: Obs::disabled(),
+            send_filter: None,
         }
+    }
+
+    /// Install a fault-injection send filter (see the `send_filter` field
+    /// docs). Replaces any previous filter.
+    #[allow(clippy::type_complexity)]
+    pub fn set_send_filter(
+        &mut self,
+        filter: Box<dyn FnMut(SimTime, PeerId, PeerId, &Message) -> bool>,
+    ) {
+        self.send_filter = Some(filter);
+    }
+
+    /// Remove the send filter.
+    pub fn clear_send_filter(&mut self) {
+        self.send_filter = None;
     }
 
     /// Attach an observability handle; overlay message traffic, queries,
@@ -247,6 +291,12 @@ impl P2p {
         to: PeerId,
         msg: Message,
     ) -> bool {
+        if let Some(filter) = self.send_filter.as_mut() {
+            if !filter(sim.now(), from, to, &msg) {
+                self.obs.incr("p2p.messages_filtered");
+                return false;
+            }
+        }
         // Attribute query traffic.
         let qid = match &msg {
             Message::Query { id, .. } | Message::QueryHit { id, .. } => Some(*id),
@@ -1053,5 +1103,45 @@ mod tests {
             w.p2p.send_failures,
             "the obs counter must track the struct field"
         );
+    }
+
+    #[test]
+    fn send_filter_discards_before_network_and_preserves_identity() {
+        let observer = Obs::enabled();
+        let mut w = world(4, DiscoveryMode::Flooding);
+        w.p2p.set_obs(observer.clone());
+        let mut rng = Pcg32::new(7, 1);
+        w.p2p.wire_random(2, &mut rng);
+        w.p2p.set_send_filter(Box::new(|_now, _from, _to, msg| {
+            !matches!(msg, Message::Query { .. })
+        }));
+        let qid = w.p2p.query(
+            &mut w.sim,
+            &mut w.net,
+            PeerId(0),
+            QueryKind::ByService("triana".into()),
+            4,
+        );
+        run(&mut w);
+        assert!(w.p2p.queries[&qid].hits.is_empty());
+        let r = observer.registry().unwrap();
+        assert!(r.counter_value("p2p.messages_filtered") > 0);
+        // Filtered messages never count as sent, so the conservation
+        // identity sent = received + lost still holds exactly.
+        assert_eq!(
+            r.counter_value("p2p.messages_sent"),
+            r.counter_value("p2p.messages_received") + r.counter_value("p2p.messages_lost")
+        );
+        w.p2p.clear_send_filter();
+        let qid2 = w.p2p.query(
+            &mut w.sim,
+            &mut w.net,
+            PeerId(0),
+            QueryKind::ByService("triana".into()),
+            4,
+        );
+        run(&mut w);
+        // With the filter removed the query floods again (visits peers).
+        assert!(w.p2p.queries[&qid2].peers_visited > 1);
     }
 }

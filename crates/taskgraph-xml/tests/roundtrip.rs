@@ -1,0 +1,108 @@
+//! Property test: any constructible task graph — tasks with params,
+//! forward-only cables, and non-overlapping groups under either
+//! distribution policy — survives a trip through the XML dialect intact.
+
+use proptest::prelude::*;
+use taskgraph_xml::{from_xml, to_xml};
+use triana_core::unit::Params;
+use triana_core::{DistributionPolicy, TaskGraph, TaskId};
+
+/// Short strings over an alphabet that includes the XML-special
+/// characters, so the round trip also exercises escaping.
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just('a'),
+            Just('Z'),
+            Just('7'),
+            Just('_'),
+            Just('-'),
+            Just(' '),
+            Just('<'),
+            Just('&'),
+            Just('"'),
+        ],
+        0..10,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+/// Per-task raw material: arity, params, group choice (0 = ungrouped),
+/// and one (use?, source, port) connection lottery ticket per input slot.
+type TaskSpec = (
+    usize,                 // n_in
+    usize,                 // n_out
+    Vec<(String, String)>, // params
+    u8,                    // group assignment: 0 none, 1, 2
+    Vec<(u8, u16, u16)>,   // per-input: (connect?, src task, src port)
+);
+
+fn arb_task() -> impl Strategy<Value = TaskSpec> {
+    (
+        0usize..3,
+        0usize..4,
+        proptest::collection::vec((arb_text(), arb_text()), 0..3),
+        0u8..3,
+        proptest::collection::vec((0u8..2, 0u16..1_000, 0u16..1_000), 3..4),
+    )
+}
+
+fn arb_policy() -> impl Strategy<Value = DistributionPolicy> {
+    prop_oneof![
+        Just(DistributionPolicy::Parallel),
+        Just(DistributionPolicy::PeerToPeer),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn graph_round_trips_through_xml(
+        specs in proptest::collection::vec(arb_task(), 1..8),
+        graph_name in arb_text(),
+        policies in proptest::collection::vec(arb_policy(), 2..3),
+    ) {
+        let mut g = TaskGraph::new(&graph_name);
+        let mut ids: Vec<TaskId> = Vec::new();
+        for (i, (n_in, n_out, params, _, _)) in specs.iter().enumerate() {
+            let p: Params = params.iter().cloned().collect();
+            let id = g
+                .add_task_raw(&format!("Unit{}", i % 3), &format!("t{i}"), p, *n_in, *n_out)
+                .unwrap();
+            ids.push(id);
+        }
+        // Forward-only cables keep the graph acyclic; each input gets at
+        // most one driver by construction.
+        for (i, (n_in, _, _, _, lottery)) in specs.iter().enumerate() {
+            for (port, &(want, src, sport)) in lottery.iter().enumerate().take(*n_in) {
+                if want == 0 || i == 0 {
+                    continue;
+                }
+                let j = (src as usize) % i;
+                let src_outs = specs[j].1;
+                if src_outs == 0 {
+                    continue;
+                }
+                g.connect(ids[j], (sport as usize) % src_outs, ids[i], port)
+                    .unwrap();
+            }
+        }
+        // Up to two non-overlapping groups with independent policies.
+        let mut members: [Vec<TaskId>; 2] = [Vec::new(), Vec::new()];
+        for (i, (_, _, _, grp, _)) in specs.iter().enumerate() {
+            match grp {
+                1 => members[0].push(ids[i]),
+                2 => members[1].push(ids[i]),
+                _ => {}
+            }
+        }
+        for (gi, m) in members.into_iter().enumerate() {
+            if !m.is_empty() {
+                g.add_group(&format!("g{gi}"), m, policies[gi]).unwrap();
+            }
+        }
+
+        let xml = to_xml(&g);
+        let back = from_xml(&xml).unwrap();
+        prop_assert_eq!(back, g);
+    }
+}

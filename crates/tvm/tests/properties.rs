@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use tvm::asm::assemble;
-use tvm::{execute, Function, Module, Op, SandboxPolicy};
+use tvm::{execute, Function, Module, Op, SandboxPolicy, TvmError};
 
 /// Arbitrary (possibly invalid) instruction.
 fn arb_op() -> impl Strategy<Value = Op> {
@@ -72,6 +72,76 @@ proptest! {
             prop_assert!(stats.max_stack <= policy.max_stack);
             let cells: usize = outputs.iter().map(Vec::len).sum();
             prop_assert!(cells <= policy.max_output_cells);
+        }
+    }
+
+    /// The caps themselves can be arbitrary (and hostile-tight): whatever
+    /// the policy says is the budget, a successful run never exceeds it.
+    #[test]
+    fn random_tight_budgets_are_never_exceeded(
+        code in proptest::collection::vec(arb_op(), 1..80),
+        n_locals in 0u16..8,
+        max_instructions in 1u64..5_000,
+        max_stack in 1usize..64,
+        max_call_depth in 1usize..8,
+        max_output_cells in 0usize..256,
+    ) {
+        let module = Module {
+            name: "budget".into(),
+            version: 0,
+            n_inputs: 0,
+            n_outputs: 3,
+            functions: vec![Function {
+                name: "main".into(),
+                n_locals,
+                code,
+            }],
+        };
+        let policy = SandboxPolicy {
+            max_instructions,
+            max_stack,
+            max_call_depth,
+            max_output_cells,
+            allow_host_io: false,
+        };
+        if let Ok((outputs, stats)) = execute(&module, &[], &policy) {
+            prop_assert!(stats.instructions <= max_instructions);
+            prop_assert!(stats.max_stack <= max_stack);
+            prop_assert!(outputs.iter().map(Vec::len).sum::<usize>() <= max_output_cells);
+        }
+    }
+
+    /// A module that leads with `HostIo` under a no-host-I/O policy never
+    /// runs to completion: either the verifier rejects it statically, or
+    /// execution traps `HostIoDenied` on the very first instruction —
+    /// before the op can observe or touch anything.
+    #[test]
+    fn host_io_without_capability_never_executes(
+        tail in proptest::collection::vec(arb_op(), 0..40),
+        port in 0u8..2,
+    ) {
+        let mut code = vec![Op::HostIo(port)];
+        code.extend(tail);
+        code.push(Op::Halt);
+        let module = Module {
+            name: "hostio".into(),
+            version: 0,
+            n_inputs: 0,
+            n_outputs: 0,
+            functions: vec![Function {
+                name: "main".into(),
+                n_locals: 0,
+                code,
+            }],
+        };
+        let policy = SandboxPolicy::standard(); // allow_host_io: false
+        match execute(&module, &[], &policy) {
+            Ok(_) => prop_assert!(false, "HostIo must not succeed without the capability"),
+            Err(TvmError::Verify(_)) => {} // static rejection also denies
+            Err(e) => prop_assert!(
+                matches!(e, TvmError::HostIoDenied),
+                "expected HostIoDenied, got {e:?}"
+            ),
         }
     }
 
