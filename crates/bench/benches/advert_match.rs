@@ -1,0 +1,76 @@
+//! Discovery query matching: every query a rendezvous node or flooding
+//! peer handles scans its advert cache through `Advertisement::matches`.
+//! This measures that per-advert predicate over a realistic mixed cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netsim::{Pcg32, SimTime};
+use p2p::advert::{AdvertBody, BlobAdvert, ModuleAdvert, PeerAdvert};
+use p2p::{Advertisement, PeerId, QueryKind};
+
+/// A mixed advert cache: peers offering services, module records, blob
+/// providers — the population a busy rendezvous node accumulates.
+fn advert_cache(n: usize) -> Vec<Advertisement> {
+    let mut rng = Pcg32::new(0xAD17, 0x0B);
+    let expires = SimTime::from_secs(24 * 3600);
+    (0..n)
+        .map(|i| {
+            let body = match i % 3 {
+                0 => AdvertBody::Peer(PeerAdvert {
+                    peer: PeerId(i as u32),
+                    cpu_ghz: 0.5 + rng.below(30) as f64 * 0.1,
+                    free_ram_mib: 128 + rng.below(8) as u32 * 128,
+                    services: vec![if i % 6 == 0 { "triana" } else { "data-access" }.into()],
+                }),
+                1 => AdvertBody::Module(ModuleAdvert {
+                    name: format!("Mod{}", i % 17),
+                    version: 1 + (i % 4) as u32,
+                    hash: rng.next_u64(),
+                    size_bytes: 4_096,
+                    owner: PeerId(i as u32),
+                }),
+                _ => AdvertBody::Blob(BlobAdvert {
+                    blob: i as u64,
+                    size_bytes: 65_536,
+                    chunks: 4,
+                    provider: PeerId(i as u32),
+                }),
+            };
+            Advertisement { body, expires }
+        })
+        .collect()
+}
+
+fn bench_advert_match(c: &mut Criterion) {
+    let now = SimTime::from_secs(3600);
+    let queries = [
+        ("by_service", QueryKind::ByService("triana".into())),
+        (
+            "by_capability",
+            QueryKind::ByCapability {
+                min_cpu_ghz: 2.0,
+                min_ram_mib: 512,
+            },
+        ),
+        (
+            "by_module",
+            QueryKind::ByModule {
+                name: "Mod3".into(),
+                min_version: 2,
+            },
+        ),
+    ];
+    let mut g = c.benchmark_group("p2p_advert_match");
+    for &n in &[1_024usize, 8_192] {
+        let cache = advert_cache(n);
+        g.throughput(Throughput::Elements(n as u64));
+        for (label, kind) in &queries {
+            g.bench_with_input(BenchmarkId::new(*label, n), &cache, |b, cache| {
+                b.iter(|| cache.iter().filter(|ad| ad.matches(kind, now)).count())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_advert_match);
+criterion_main!(benches);

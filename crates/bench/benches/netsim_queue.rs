@@ -1,0 +1,57 @@
+//! The discrete-event queue is on the hot path of every simulated scenario
+//! (discovery, farming, pipelines): this measures raw push/pop cost so a
+//! regression in the ordering structure shows up independently of the
+//! overlay logic above it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netsim::{EventQueue, Pcg32, SimTime};
+
+/// Pre-generated pseudo-random timestamps (the queue's cost depends on
+/// insertion order, so keep it fixed and seeded).
+fn times(n: usize) -> Vec<SimTime> {
+    let mut rng = Pcg32::new(0xE7E7, 0x51);
+    (0..n).map(|_| SimTime(rng.below(1_000_000))).collect()
+}
+
+fn bench_push_pop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim_event_queue");
+    for &n in &[1_024usize, 16_384] {
+        let ts = times(n);
+        g.throughput(Throughput::Elements(n as u64));
+        // Fill then fully drain: the bulk pattern of a scenario wind-down.
+        g.bench_with_input(BenchmarkId::new("push_then_pop", n), &ts, |b, ts| {
+            b.iter(|| {
+                let mut q: EventQueue<u64> = EventQueue::new();
+                for (i, &t) in ts.iter().enumerate() {
+                    q.push(t, i as u64);
+                }
+                let mut acc = 0u64;
+                while let Some((_, ev)) = q.pop() {
+                    acc = acc.wrapping_add(ev);
+                }
+                acc
+            })
+        });
+        // Steady state: a resident backlog with one push per pop, the shape
+        // of a long-running farm or overlay simulation.
+        g.bench_with_input(BenchmarkId::new("steady_state", n), &ts, |b, ts| {
+            b.iter(|| {
+                let mut q: EventQueue<u64> = EventQueue::new();
+                for (i, &t) in ts.iter().take(256).enumerate() {
+                    q.push(t, i as u64);
+                }
+                let mut acc = 0u64;
+                for (i, &t) in ts.iter().enumerate() {
+                    let (at, ev) = q.pop().expect("backlog never empties");
+                    acc = acc.wrapping_add(ev);
+                    q.push(SimTime(at.as_micros() + 1 + t.as_micros()), i as u64);
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_push_pop);
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use tvm::asm::assemble;
-use tvm::{execute, Module, SandboxPolicy};
+use tvm::{execute, ExecContext, Module, PreparedModule, SandboxPolicy};
 
 const DOUBLER: &str = r#"
 .module Doubler 1 1 1
@@ -40,6 +40,13 @@ fn bench_interp_vs_native(c: &mut Criterion) {
     g.bench_function("tvm_interpreted", |b| {
         b.iter(|| execute(&module, &[&input], &policy).unwrap())
     });
+    // Steady state: verified once at prepare time, then executed through a
+    // reusable context (no per-call verify, no per-call allocation).
+    g.bench_function("tvm_prepared", |b| {
+        let prepared = PreparedModule::prepare(&module).unwrap();
+        let mut ctx = ExecContext::new();
+        b.iter(|| prepared.run(&[&input], &policy, &mut ctx).unwrap())
+    });
     g.bench_function("native_rust", |b| {
         b.iter(|| input.iter().map(|x| x * 2.0).collect::<Vec<f64>>())
     });
@@ -56,6 +63,9 @@ fn bench_module_lifecycle(c: &mut Criterion) {
     });
     g.bench_function("verify", |b| {
         b.iter(|| tvm::verify::verify(&module).unwrap())
+    });
+    g.bench_function("prepare", |b| {
+        b.iter(|| PreparedModule::prepare(&module).unwrap())
     });
     g.finish();
 }

@@ -1,0 +1,81 @@
+//! `perf` — the TVM/netsim/farm perf regression harness.
+//!
+//! Usage:
+//! ```text
+//! perf                         # full timing loops, print summary
+//! perf --quick                 # short timing loops (CI)
+//! perf --out FILE              # write the full snapshot (BENCH_PERF.json)
+//! perf --counters-out FILE     # write the deterministic counters only
+//! perf --gate BASELINE         # fail if counters drift >25% from BASELINE
+//! ```
+//!
+//! The counters file is byte-identical across runs of the same build (CI
+//! proves it by diffing two fresh runs); the gate compares only those
+//! deterministic counters, never wall-clock.
+
+use consumer_grid_bench::perf;
+
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} requires a file argument");
+        std::process::exit(2);
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let out = take_value(&mut args, "--out");
+    let counters_out = take_value(&mut args, "--counters-out");
+    let gate_baseline = take_value(&mut args, "--gate");
+    let quick = if let Some(i) = args.iter().position(|a| a == "--quick" || a == "-q") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    if !args.is_empty() {
+        eprintln!("unknown arguments: {args:?}");
+        std::process::exit(2);
+    }
+
+    let report = perf::run(quick);
+    println!("{}", report.summary());
+
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("cannot write snapshot to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("snapshot written to {path}");
+    }
+    if let Some(path) = counters_out {
+        if let Err(e) = std::fs::write(&path, report.counters_json()) {
+            eprintln!("cannot write counters to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("counters written to {path}");
+    }
+    if let Some(path) = gate_baseline {
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match perf::gate(&report.counters_json(), &baseline, perf::GATE_TOLERANCE) {
+            Ok(()) => eprintln!("gate: deterministic counters within tolerance of {path}"),
+            Err(failures) => {
+                eprintln!("gate: {} regression(s) vs {path}:", failures.len());
+                for f in &failures {
+                    eprintln!("  {f}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}

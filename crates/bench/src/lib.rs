@@ -19,5 +19,6 @@ pub mod e10_checkpointing;
 pub mod e11_service_pipeline;
 pub mod e12_redundancy;
 pub mod e13_adaptive_scheduling;
+pub mod perf;
 pub mod smoke;
 pub mod table;

@@ -192,16 +192,37 @@ fn tvm_stage(observer: &Obs) {
         ".module Doubler 1 0 1\n.func main 0\n push 21\n push 2\n mul\n outpush 0\n halt\n",
     )
     .expect("assembles");
-    let (out, _) = tvm::execute_obs(&doubler, &[], &SandboxPolicy::standard(), observer)
+    // Steady-state fast path: admit the blob to a module cache (which
+    // verifies and prepares exactly once), then execute the prepared form
+    // through a reusable context. The metering is identical to the legacy
+    // per-call-verify path — same `ExecStats`, same error taxonomy — so
+    // the pre-existing `tvm.*` counters keep their historical values.
+    let mut cache = triana_core::modules::ModuleCache::new(64 << 10);
+    cache.set_obs(observer.clone());
+    let key = triana_core::ModuleKey::new("Doubler", 1);
+    cache.insert(key.clone(), doubler.to_blob());
+    let prepared = cache.get_prepared(&key).expect("prepared at admission");
+    let mut ctx = tvm::ExecContext::new();
+    let (out, _) = prepared
+        .execute_obs(&[], &SandboxPolicy::standard(), &mut ctx, observer)
         .expect("doubler runs");
     assert_eq!(out[0], vec![42.0]);
-    // A hostile spin loop trips the instruction budget.
+    // A re-lookup is a prepared-cache hit; an absent key is a miss.
+    assert!(cache.get_prepared(&key).is_some());
+    assert!(cache
+        .get_prepared(&triana_core::ModuleKey::new("Absent", 1))
+        .is_none());
+    // A hostile spin loop trips the instruction budget — the prepared path
+    // reports the same violation the legacy interpreter did.
     let spin = assemble(".module Spin 1 0 0\n.func main 0\nloop:\n jmp loop\n").expect("assembles");
     let tight = SandboxPolicy {
         max_instructions: 500,
         ..SandboxPolicy::standard()
     };
-    let err = tvm::execute_obs(&spin, &[], &tight, observer).expect_err("budget must trip");
+    let spin_prepared = tvm::PreparedModule::prepare(&spin).expect("verifies");
+    let err = spin_prepared
+        .execute_obs(&[], &tight, &mut ctx, observer)
+        .expect_err("budget must trip");
     assert_eq!(err, tvm::TvmError::BudgetExceeded);
 }
 
@@ -241,6 +262,9 @@ pub fn report_with(observer: &Obs) -> String {
         "p2p.messages_sent",
         "p2p.query_hits",
         "tvm.executions",
+        "tvm.prepares",
+        "tvm.prepared_cache_hits",
+        "tvm.prepared_cache_misses",
         "tvm.violations.budget",
         "net.transfers",
         "xml.parses",
@@ -276,6 +300,9 @@ mod tests {
             "p2p.messages_sent",
             "p2p.advert_cache_inserts",
             "tvm.executions",
+            "tvm.prepares",
+            "tvm.prepared_cache_hits",
+            "tvm.prepared_cache_misses",
             "tvm.violations.budget",
             "net.transfers",
             "xml.parses",
@@ -283,6 +310,15 @@ mod tests {
             assert!(reg.counter_value(key) > 0, "counter {key} never moved");
         }
         assert!(reg.event_count() > 0, "events must be recorded");
+        // The prepare-cost histogram is deterministic (modeled virtual
+        // time, not wall clock) and must land in the snapshot.
+        assert!(
+            observer
+                .snapshot_json()
+                .unwrap()
+                .contains("\"tvm.prepare_us\""),
+            "prepare histogram missing from deterministic snapshot"
+        );
     }
 
     #[test]

@@ -151,15 +151,28 @@ pub fn check_message_conservation(reg: &Registry, chaos: ChaosCounters, out: &mu
 }
 
 /// Module-cache integrity: no worker's cache may hold bytes whose content
-/// hash disagrees with the controller library's blob for that key. Chunk
-/// corruption and Byzantine providers must be stopped at swarm-assembly
-/// verification, before the cache.
+/// hash disagrees with the controller library's blob for that key, and no
+/// prepared (verify-once) module may outlive or disagree with the blob it
+/// was prepared from. Chunk corruption and Byzantine providers must be
+/// stopped at swarm-assembly verification, before the cache.
 pub fn check_cache_integrity(farm: &FarmScheduler, world: &GridWorld, out: &mut Vec<Violation>) {
     let _ = world;
     for w in 0..farm.n_workers() {
         let wid = WorkerId(w as u32);
         for (key, blob) in farm.worker_cache(wid).entries() {
             let cached = store::BlobId::of_blob(blob);
+            if let Some(p) = farm.worker_cache(wid).prepared_of(key) {
+                if p.source_hash() != cached.0 {
+                    out.push(Violation::new(
+                        "cache-integrity",
+                        format!(
+                            "worker {w} holds a prepared module for {key:?} built from hash \
+                             {:#018x} but the resident blob is {cached}",
+                            p.source_hash()
+                        ),
+                    ));
+                }
+            }
             let Some(truth) = farm.library.fetch(key) else {
                 continue; // library republished under us; nothing to compare
             };

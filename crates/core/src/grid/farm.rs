@@ -161,6 +161,10 @@ struct Worker {
     /// only runtime profiling can see through it.
     efficiency: f64,
     cache: ModuleCache,
+    /// Reusable execution state for running resident modules: the verify-
+    /// once / allocate-once half of the prepared-execution pipeline lives
+    /// in the cache, the per-run scratch lives here.
+    ctx: tvm::ExecContext,
     /// Chunks of content-addressed blobs this worker holds and can serve
     /// to swarm-fetching peers.
     store: ChunkStore,
@@ -190,6 +194,10 @@ pub struct FarmStats {
     /// Speculative duplicates that beat their primary.
     pub spec_wins: u64,
 }
+
+/// Outcome of executing a cache-resident module: the output ports and
+/// retired-instruction stats on success, the sandbox/runtime error otherwise.
+pub type ResidentExec = Result<(Vec<Vec<f64>>, tvm::ExecStats), tvm::TvmError>;
 
 /// The Triana Controller's farm scheduler.
 pub struct FarmScheduler {
@@ -243,8 +251,12 @@ impl FarmScheduler {
     }
 
     /// Attach an observability handle; dispatches, retries, completions,
-    /// module-cache traffic and worker churn are recorded through it.
+    /// module-cache traffic (including prepared-module metering) and worker
+    /// churn are recorded through it.
     pub fn set_obs(&mut self, obs: Obs) {
+        for w in &mut self.workers {
+            w.cache.set_obs(obs.clone());
+        }
         self.obs = obs;
     }
 
@@ -338,6 +350,8 @@ impl FarmScheduler {
         let chunk_bytes = self.cfg.swarm.as_ref().map_or(16 * 1024, |s| s.chunk_bytes);
         self.peer_workers.insert(setup.peer, id);
         self.profiles.register(id.0, setup.spec.cpu_ghz, up);
+        let mut cache = ModuleCache::new(setup.cache_bytes);
+        cache.set_obs(self.obs.clone());
         self.workers.push(Worker {
             peer: setup.peer,
             host,
@@ -348,9 +362,10 @@ impl FarmScheduler {
             active: 0,
             running: Vec::new(),
             efficiency: 1.0,
-            cache: ModuleCache::new(setup.cache_bytes),
+            cache,
             store: ChunkStore::new(chunk_bytes),
             jobs_completed: 0,
+            ctx: tvm::ExecContext::new(),
             ledger: BillingLedger::new(),
         });
         id
@@ -1474,6 +1489,25 @@ impl FarmScheduler {
         self.workers[wid.0 as usize].cache.stats()
     }
 
+    /// Run a module resident in `wid`'s cache through the worker's reusable
+    /// execution context. This is the steady-state fast path: the module was
+    /// verified and flattened once at cache admission, and the context's
+    /// stack/frames/locals arenas are reused across calls, so the run itself
+    /// performs no heap allocation. Returns `None` if the module (or its
+    /// prepared form — e.g. a corrupt blob) is not resident; the lookup is
+    /// metered as a prepared-cache hit or miss either way.
+    pub fn execute_resident(
+        &mut self,
+        wid: WorkerId,
+        key: &ModuleKey,
+        inputs: &[&[f64]],
+        policy: &tvm::SandboxPolicy,
+    ) -> Option<ResidentExec> {
+        let w = &mut self.workers[wid.0 as usize];
+        let prepared = w.cache.get_prepared(key)?;
+        Some(prepared.execute_obs(inputs, policy, &mut w.ctx, &self.obs))
+    }
+
     /// The worker's resident chunk store (swarm distribution state).
     pub fn worker_store(&self, wid: WorkerId) -> &ChunkStore {
         &self.workers[wid.0 as usize].store
@@ -1693,6 +1727,56 @@ mod tests {
         assert!(cs.bytes_fetched > 0);
         assert_eq!(cs.evictions, 0);
         assert_eq!(farm.worker_jobs_completed(WorkerId(0)), 3);
+    }
+
+    #[test]
+    fn resident_modules_execute_through_the_prepared_fast_path() {
+        let horizon = SimTime::from_secs(100_000);
+        let (mut world, mut farm) = world_with_workers(
+            1,
+            FarmConfig::default(),
+            |_, h, _| AvailabilityTrace::always(h),
+            horizon,
+        );
+        let key = ModuleKey::new("Doubler", 1);
+        // y[i] = 2 * x[i]
+        let blob = tvm::asm::assemble(
+            ".module Doubler 1 1 1\n.func main 2\n inlen 0\n store 0\n push 0\n store 1\n\
+             loop:\n load 1\n load 0\n lt\n jz end\n load 1\n inget 0\n push 2\n mul\n \
+             outpush 0\n load 1\n push 1\n add\n store 1\n jmp loop\n end:\n halt\n",
+        )
+        .unwrap()
+        .to_blob();
+        farm.library.publish(key.clone(), blob);
+        farm.submit(
+            &mut world,
+            JobSpec {
+                module: Some(key.clone()),
+                ..job(2.0)
+            },
+        );
+        run_farm(&mut world, &mut farm);
+        assert!(farm.all_done());
+
+        // The download admitted (and prepared) the module; repeated runs
+        // reuse the same prepared form and worker context.
+        let policy = tvm::SandboxPolicy::standard();
+        for _ in 0..3 {
+            let (out, stats) = farm
+                .execute_resident(WorkerId(0), &key, &[&[1.0, 2.5]], &policy)
+                .expect("module resident after the farm run")
+                .expect("sandboxed execution succeeds");
+            assert_eq!(out, vec![vec![2.0, 5.0]]);
+            assert!(stats.instructions > 0);
+        }
+        let cs = farm.worker_cache_stats(WorkerId(0));
+        assert_eq!(cs.prepares, 1, "verified exactly once, at admission");
+        assert_eq!(cs.prepared_hits, 3);
+        // A module the worker never fetched is a metered miss.
+        assert!(farm
+            .execute_resident(WorkerId(0), &ModuleKey::new("Nope", 1), &[], &policy)
+            .is_none());
+        assert_eq!(farm.worker_cache_stats(WorkerId(0)).prepared_misses, 1);
     }
 
     #[test]

@@ -28,6 +28,27 @@ pub struct StageSpec {
     pub work_gigacycles: f64,
 }
 
+impl StageSpec {
+    /// Size a stage from the prepared module it will run per token:
+    /// interpreted TVM work, ~20 host cycles per source instruction per
+    /// token sample (the same model the toolbox `TvmUnit` calibrates its
+    /// work estimate with). Preparation is not charged here — it happened
+    /// once at cache admission, not per token.
+    pub fn for_prepared_module(
+        peer: PeerId,
+        spec: HostSpec,
+        prepared: &tvm::PreparedModule,
+        token_samples: usize,
+    ) -> StageSpec {
+        let per_item = prepared.source_instructions().max(8) as f64;
+        StageSpec {
+            peer,
+            spec,
+            work_gigacycles: token_samples.max(1) as f64 * per_item * 20.0 / 1e9,
+        }
+    }
+}
+
 struct Stage {
     peer: PeerId,
     spec: HostSpec,
@@ -508,6 +529,22 @@ mod tests {
     use super::*;
     use netsim::HostSpec;
     use p2p::DiscoveryMode;
+
+    #[test]
+    fn stage_spec_sized_from_prepared_module() {
+        let module =
+            tvm::asm::assemble(".module M 1 1 1\n.func main 0\n push 1\n outpush 0\n halt\n")
+                .unwrap();
+        let prepared = tvm::PreparedModule::prepare(&module).unwrap();
+        let mut world = GridWorld::new(5, DiscoveryMode::Flooding);
+        let (peer, _) = world.add_peer(HostSpec::lan_workstation());
+        let small =
+            StageSpec::for_prepared_module(peer, HostSpec::lan_workstation(), &prepared, 1_000);
+        let big =
+            StageSpec::for_prepared_module(peer, HostSpec::lan_workstation(), &prepared, 100_000);
+        assert!(small.work_gigacycles > 0.0);
+        assert!((big.work_gigacycles / small.work_gigacycles - 100.0).abs() < 1e-9);
+    }
 
     fn build(n_stages: usize, work: f64, token_bytes: u64) -> (GridWorld, PipelineScheduler) {
         let mut world = GridWorld::new(21, DiscoveryMode::Flooding);

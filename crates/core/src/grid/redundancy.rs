@@ -22,6 +22,40 @@ use trust::beta_score;
 
 use crate::grid::farm::{FarmScheduler, JobSpec};
 use crate::grid::{GridWorld, JobId, WorkerId};
+use crate::modules::ModuleKey;
+
+/// Digest of a real execution's outputs: FNV-1a 64 over every output
+/// port's length and sample bit patterns. Comparing bit patterns (not
+/// values) keeps the digest total — two replicas that both produce NaN
+/// from the same deterministic program still agree — so votes over real
+/// TVM runs behave exactly like votes over modeled digests.
+pub fn executed_digest(outputs: &[Vec<f64>]) -> u64 {
+    let mut bytes = Vec::with_capacity(8 + outputs.iter().map(|p| 8 + p.len() * 8).sum::<usize>());
+    bytes.extend_from_slice(&(outputs.len() as u64).to_le_bytes());
+    for port in outputs {
+        bytes.extend_from_slice(&(port.len() as u64).to_le_bytes());
+        for &x in port {
+            bytes.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+    }
+    tvm::fnv1a64(&bytes)
+}
+
+/// Run a module resident in `wid`'s cache through the farm's prepared
+/// fast path and digest the outputs — the production-shaped replica
+/// digest (the modeled [`Behaviour`] digests remain the experiment
+/// default). Returns `None` if the module is not resident on the worker
+/// or the sandboxed run fails; a failed replica simply casts no vote.
+pub fn run_replica_digest(
+    farm: &mut FarmScheduler,
+    wid: WorkerId,
+    key: &ModuleKey,
+    inputs: &[&[f64]],
+    policy: &tvm::SandboxPolicy,
+) -> Option<u64> {
+    let (outputs, _) = farm.execute_resident(wid, key, inputs, policy)?.ok()?;
+    Some(executed_digest(&outputs))
+}
 
 /// How a simulated volunteer behaves.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -436,6 +470,70 @@ mod tests {
             output_bytes: 1_000,
             module: None,
         }
+    }
+
+    #[test]
+    fn executed_digests_agree_across_replicas_and_separate_inputs() {
+        let (mut world, mut farm, _) = setup(vec![Behaviour::Honest; 2]);
+        let key = ModuleKey::new("Doubler", 1);
+        let blob = tvm::asm::assemble(
+            ".module Doubler 1 1 1\n.func main 2\n inlen 0\n store 0\n push 0\n store 1\n\
+             loop:\n load 1\n load 0\n lt\n jz end\n load 1\n inget 0\n push 2\n mul\n \
+             outpush 0\n load 1\n push 1\n add\n store 1\n jmp loop\n end:\n halt\n",
+        )
+        .unwrap()
+        .to_blob();
+        farm.library.publish(key.clone(), blob);
+        // Conflicting jobs force the module onto both workers.
+        let j0 = farm.submit(
+            &mut world,
+            JobSpec {
+                module: Some(key.clone()),
+                ..job()
+            },
+        );
+        farm.submit_with_conflicts(
+            &mut world,
+            JobSpec {
+                module: Some(key.clone()),
+                ..job()
+            },
+            vec![j0],
+        );
+        run_farm(&mut world, &mut farm);
+        assert!(farm.all_done());
+
+        let policy = tvm::SandboxPolicy::standard();
+        let input: &[f64] = &[1.0, 2.0, 3.0];
+        let d0 = run_replica_digest(&mut farm, WorkerId(0), &key, &[input], &policy)
+            .expect("resident on worker 0");
+        let d1 = run_replica_digest(&mut farm, WorkerId(1), &key, &[input], &policy)
+            .expect("resident on worker 1");
+        assert_eq!(d0, d1, "deterministic execution votes agree");
+        let other = run_replica_digest(&mut farm, WorkerId(0), &key, &[&[9.0]], &policy).unwrap();
+        assert_ne!(d0, other, "different work units digest differently");
+        // A module nobody fetched casts no vote.
+        assert!(run_replica_digest(
+            &mut farm,
+            WorkerId(0),
+            &ModuleKey::new("X", 1),
+            &[],
+            &policy
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn executed_digest_is_total_over_nan_outputs() {
+        // 0/0 is NaN; digests over bit patterns must still be stable.
+        let nan_out = vec![vec![f64::NAN, 1.0]];
+        assert_eq!(executed_digest(&nan_out), executed_digest(&nan_out));
+        assert_ne!(executed_digest(&nan_out), executed_digest(&[vec![1.0]]));
+        // Port structure matters, not just the flattened samples.
+        assert_ne!(
+            executed_digest(&[vec![1.0, 2.0]]),
+            executed_digest(&[vec![1.0], vec![2.0]])
+        );
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //! * [`ModuleCache`] — the hosting peer side: an LRU cache bounded in bytes,
 //!   the "selectively download and release" mechanism.
 
+use obs::Obs;
 use std::collections::HashMap;
-use tvm::ModuleBlob;
+use std::sync::Arc;
+use tvm::{ModuleBlob, PreparedModule};
 
 /// Identity of a module: name plus version. Content hash disambiguates
 /// further (stale copies of the same version are detected by hash).
@@ -82,17 +84,42 @@ pub struct CacheStats {
     pub bytes_fetched: u64,
     /// High-water resident size.
     pub peak_resident: u64,
+    /// Verify-once preparations performed at admission.
+    pub prepares: u64,
+    /// `get_prepared` lookups that found a resident prepared module.
+    pub prepared_hits: u64,
+    /// `get_prepared` lookups that found nothing prepared for the key.
+    pub prepared_misses: u64,
 }
 
 /// A byte-bounded LRU cache of module blobs on a hosting peer.
-#[derive(Debug)]
+///
+/// Admission is also the verify-once point: every cached blob is prepared
+/// into a [`PreparedModule`] exactly once, so steady-state execution never
+/// re-runs the bytecode verifier (the paper's JVM analogue: class
+/// verification happens at load, not per invocation).
 pub struct ModuleCache {
     capacity: u64,
     resident: u64,
     /// Insertion/access order: front = least recently used.
     order: Vec<ModuleKey>,
     blobs: HashMap<ModuleKey, ModuleBlob>,
+    /// Prepared form of each resident blob (absent only if the blob failed
+    /// to verify — corrupt entries stay resident for integrity audits).
+    prepared: HashMap<ModuleKey, Arc<PreparedModule>>,
     stats: CacheStats,
+    obs: Obs,
+}
+
+impl std::fmt::Debug for ModuleCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModuleCache")
+            .field("capacity", &self.capacity)
+            .field("resident", &self.resident)
+            .field("order", &self.order)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ModuleCache {
@@ -105,8 +132,16 @@ impl ModuleCache {
             resident: 0,
             order: Vec::new(),
             blobs: HashMap::new(),
+            prepared: HashMap::new(),
             stats: CacheStats::default(),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attach an observability handle; preparations and prepared-lookup
+    /// hits/misses are metered through it.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     pub fn capacity(&self) -> u64 {
@@ -153,10 +188,37 @@ impl ModuleCache {
         }
     }
 
+    /// Look up the prepared (verified + flattened) form of a resident
+    /// module, updating recency and prepared hit/miss counters. This is the
+    /// execution-path accessor: workers call it once per run and reuse the
+    /// returned [`Arc`] across an [`tvm::ExecContext`].
+    pub fn get_prepared(&mut self, key: &ModuleKey) -> Option<Arc<PreparedModule>> {
+        if let Some(p) = self.prepared.get(key) {
+            let p = Arc::clone(p);
+            self.stats.prepared_hits += 1;
+            self.obs.incr("tvm.prepared_cache_hits");
+            self.touch(key);
+            Some(p)
+        } else {
+            self.stats.prepared_misses += 1;
+            self.obs.incr("tvm.prepared_cache_misses");
+            None
+        }
+    }
+
+    /// Prepared form of a resident module without touching recency or
+    /// hit/miss accounting — for integrity audits (chaos invariants check
+    /// that every prepared module still matches its key's content id).
+    pub fn prepared_of(&self, key: &ModuleKey) -> Option<&Arc<PreparedModule>> {
+        self.prepared.get(key)
+    }
+
     /// Insert a downloaded blob, evicting least-recently-used entries until
     /// it fits. Returns `false` (and caches nothing) if the blob alone
     /// exceeds capacity — the device executes it streaming-style without
-    /// retention.
+    /// retention. Admitted blobs are verified and prepared exactly once,
+    /// here; blobs that fail verification stay resident (integrity audits
+    /// want to see them) but have no prepared form.
     pub fn insert(&mut self, key: ModuleKey, blob: ModuleBlob) -> bool {
         let size = blob.len() as u64;
         self.stats.bytes_fetched += size;
@@ -166,6 +228,7 @@ impl ModuleCache {
         if let Some(old) = self.blobs.remove(&key) {
             self.resident -= old.len() as u64;
             self.order.retain(|k| k != &key);
+            self.prepared.remove(&key);
         }
         while self.resident + size > self.capacity {
             let victim = self.order.remove(0);
@@ -173,8 +236,20 @@ impl ModuleCache {
                 .blobs
                 .remove(&victim)
                 .expect("order and map out of sync");
+            self.prepared.remove(&victim);
             self.resident -= evicted.len() as u64;
             self.stats.evictions += 1;
+        }
+        match PreparedModule::from_blob(&blob) {
+            Ok(p) => {
+                self.stats.prepares += 1;
+                self.obs.incr("tvm.prepares");
+                self.obs.observe("tvm.prepare_us", p.modeled_prepare_us());
+                self.prepared.insert(key.clone(), Arc::new(p));
+            }
+            Err(_) => {
+                self.obs.incr("tvm.prepare_failures");
+            }
         }
         self.resident += size;
         self.order.push(key.clone());
@@ -189,6 +264,7 @@ impl ModuleCache {
         if let Some(b) = self.blobs.remove(key) {
             self.resident -= b.len() as u64;
             self.order.retain(|k| k != key);
+            self.prepared.remove(key);
             true
         } else {
             false
@@ -296,6 +372,54 @@ mod tests {
         assert_eq!(cache.resident_bytes(), 0);
         assert!(!cache.release(&ModuleKey::new("A", 1)));
         assert_eq!(cache.stats().peak_resident, sz);
+    }
+
+    #[test]
+    fn admission_prepares_exactly_once() {
+        let mut cache = ModuleCache::new(100_000);
+        let k = ModuleKey::new("A", 1);
+        let blob = blob_of_size("A", 200);
+        cache.insert(k.clone(), blob.clone());
+        assert_eq!(cache.stats().prepares, 1);
+        let p1 = cache.get_prepared(&k).expect("prepared at admission");
+        let p2 = cache.get_prepared(&k).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2), "same prepared instance reused");
+        assert_eq!(p1.source_hash(), blob.hash);
+        let s = cache.stats();
+        assert_eq!((s.prepared_hits, s.prepared_misses), (2, 0));
+        // Lookups of non-resident keys meter as prepared misses.
+        assert!(cache.get_prepared(&ModuleKey::new("B", 1)).is_none());
+        assert_eq!(cache.stats().prepared_misses, 1);
+    }
+
+    #[test]
+    fn corrupt_blob_admitted_without_prepared_form() {
+        let mut cache = ModuleCache::new(100_000);
+        let mut blob = blob_of_size("A", 200);
+        let last = blob.bytes.len() - 1;
+        blob.bytes[last] ^= 0xff; // break content integrity
+        let k = ModuleKey::new("A", 1);
+        assert!(cache.insert(k.clone(), blob));
+        assert!(cache.contains(&k), "corrupt blob stays resident for audits");
+        assert!(cache.get_prepared(&k).is_none());
+        assert_eq!(cache.stats().prepares, 0);
+        assert_eq!(cache.stats().prepared_misses, 1);
+    }
+
+    #[test]
+    fn eviction_and_release_drop_prepared_forms() {
+        let a = blob_of_size("A", 400);
+        let b = blob_of_size("B", 400);
+        let cap = a.len() as u64 + 10; // fits one
+        let mut cache = ModuleCache::new(cap);
+        let ka = ModuleKey::new("A", 1);
+        let kb = ModuleKey::new("B", 1);
+        cache.insert(ka.clone(), a);
+        cache.insert(kb.clone(), b);
+        assert!(cache.prepared_of(&ka).is_none(), "evicted with its blob");
+        assert!(cache.prepared_of(&kb).is_some());
+        cache.release(&kb);
+        assert!(cache.prepared_of(&kb).is_none());
     }
 
     #[test]

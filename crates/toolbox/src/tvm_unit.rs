@@ -8,13 +8,19 @@
 //! peer's sandbox policy and exposing metering for billing.
 
 use obs::Obs;
+use std::sync::Arc;
 use triana_core::data::{DataType, TrianaData, TypeSpec};
 use triana_core::unit::{Unit, UnitError};
-use tvm::{execute_obs, ExecStats, Module, ModuleBlob, SandboxPolicy};
+use tvm::{ExecContext, ExecStats, ModuleBlob, PrepareError, PreparedModule, SandboxPolicy};
 
 /// A unit backed by sandboxed TVM bytecode.
+///
+/// Admission (blob → prepared module) verifies once; every `process` call
+/// after that reuses the prepared form and a per-unit [`ExecContext`], so
+/// steady-state execution allocates nothing in the interpreter.
 pub struct TvmUnit {
-    module: Module,
+    prepared: Arc<PreparedModule>,
+    ctx: ExecContext,
     policy: SandboxPolicy,
     /// Metering from the most recent execution (for the billing ledger).
     pub last_stats: ExecStats,
@@ -22,29 +28,57 @@ pub struct TvmUnit {
     observer: Obs,
 }
 
+/// Admit a blob as a unit would: integrity check, parse, verify — once.
+fn prepare_blob(blob: &ModuleBlob) -> Result<PreparedModule, UnitError> {
+    PreparedModule::from_blob(blob).map_err(|e| match e {
+        PrepareError::Integrity => UnitError::Runtime("module blob failed integrity check".into()),
+        PrepareError::Blob(e) => UnitError::Runtime(format!("bad module blob: {e}")),
+        PrepareError::Verify(e) => UnitError::Runtime(format!("module rejected by verifier: {e}")),
+    })
+}
+
+/// Register a TVM module blob as a unit factory under `name`. The blob is
+/// verified and prepared here, once; every instance the registry creates
+/// shares the prepared form and owns only its private [`ExecContext`]
+/// scratch — so farmed clones and pipeline stages each get a per-worker
+/// context over the same verified code.
+pub fn register_tvm_module(
+    registry: &mut triana_core::unit::UnitRegistry,
+    name: &str,
+    blob: &ModuleBlob,
+    policy: SandboxPolicy,
+) -> Result<(), UnitError> {
+    let prepared = Arc::new(prepare_blob(blob)?);
+    registry.register(name, move |_p| {
+        Ok(Box::new(TvmUnit::from_prepared(
+            Arc::clone(&prepared),
+            policy,
+        )))
+    });
+    Ok(())
+}
+
 impl TvmUnit {
-    /// Admit a transferred blob: integrity check, parse, verify.
+    /// Admit a transferred blob: integrity check, parse, verify — once.
     pub fn from_blob(blob: &ModuleBlob, policy: SandboxPolicy) -> Result<Self, UnitError> {
-        if !blob.integrity_ok() {
-            return Err(UnitError::Runtime(
-                "module blob failed integrity check".into(),
-            ));
-        }
-        let module = Module::from_blob(blob)
-            .map_err(|e| UnitError::Runtime(format!("bad module blob: {e}")))?;
-        tvm::verify::verify(&module)
-            .map_err(|e| UnitError::Runtime(format!("module rejected by verifier: {e}")))?;
-        Ok(TvmUnit {
-            type_name: format!("tvm:{}", module.name),
-            module,
+        Ok(Self::from_prepared(Arc::new(prepare_blob(blob)?), policy))
+    }
+
+    /// Build a unit around an already-prepared module (e.g. shared out of a
+    /// [`triana_core::modules::ModuleCache`], which prepares at admission).
+    pub fn from_prepared(prepared: Arc<PreparedModule>, policy: SandboxPolicy) -> Self {
+        TvmUnit {
+            type_name: format!("tvm:{}", prepared.name()),
+            prepared,
+            ctx: ExecContext::new(),
             policy,
             last_stats: ExecStats::default(),
             observer: Obs::disabled(),
-        })
+        }
     }
 
-    pub fn module(&self) -> &Module {
-        &self.module
+    pub fn prepared(&self) -> &Arc<PreparedModule> {
+        &self.prepared
     }
 
     /// Attach a metrics observer; sandboxed runs then feed the `tvm.*`
@@ -79,12 +113,12 @@ impl Unit for TvmUnit {
                 DataType::SampleSet,
                 DataType::Spectrum,
             ]);
-            self.module.n_inputs as usize
+            self.prepared.n_inputs() as usize
         ]
     }
 
     fn output_types(&self) -> Vec<DataType> {
-        vec![DataType::SampleSet; self.module.n_outputs as usize]
+        vec![DataType::SampleSet; self.prepared.n_outputs() as usize]
     }
 
     fn process(&mut self, inputs: Vec<TrianaData>) -> Result<Vec<TrianaData>, UnitError> {
@@ -102,7 +136,9 @@ impl Unit for TvmUnit {
             .map(|(i, d)| Self::extract(i, d))
             .collect::<Result<_, _>>()?;
         let slices: Vec<&[f64]> = buffers.iter().map(Vec::as_slice).collect();
-        let (outputs, stats) = execute_obs(&self.module, &slices, &self.policy, &self.observer)
+        let (outputs, stats) = self
+            .prepared
+            .execute_obs(&slices, &self.policy, &mut self.ctx, &self.observer)
             .map_err(|e| UnitError::Runtime(format!("sandboxed execution failed: {e}")))?;
         self.last_stats = stats;
         Ok(outputs
@@ -122,7 +158,7 @@ impl Unit for TvmUnit {
                 _ => 1,
             })
             .sum();
-        let per_item = self.module.instruction_count().max(8) as f64;
+        let per_item = self.prepared.source_instructions().max(8) as f64;
         input_len.max(1) as f64 * per_item * 20.0 / 1e9
     }
 }

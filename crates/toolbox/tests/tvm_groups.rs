@@ -1,0 +1,175 @@
+//! Distributed execution of TVM-backed groups: transferred bytecode runs
+//! through the same group-execution seam as built-in units, under both
+//! distribution policies. Each farmed clone / pipeline stage instance
+//! shares the one prepared (verify-once) module and owns only its private
+//! execution context.
+
+use p2p::DiscoveryMode;
+use toolbox::tvm_unit::register_tvm_module;
+use triana_core::data::TrianaData;
+use triana_core::graph::{DistributionPolicy, TaskGraph};
+use triana_core::grid::exec::{execute_group_parallel, execute_group_pipeline};
+use triana_core::grid::{GridWorld, WorkerSetup};
+use triana_core::unit::{Params, UnitRegistry};
+use tvm::asm::assemble;
+use tvm::SandboxPolicy;
+
+const DOUBLER: &str = ".module Doubler 1 1 1\n.func main 2\n inlen 0\n store 0\n push 0\n \
+                       store 1\nloop:\n load 1\n load 0\n lt\n jz end\n load 1\n inget 0\n \
+                       push 2\n mul\n outpush 0\n load 1\n push 1\n add\n store 1\n jmp loop\n\
+                       end:\n halt\n";
+
+const ADD_TEN: &str = ".module AddTen 1 1 1\n.func main 2\n inlen 0\n store 0\n push 0\n \
+                      store 1\nloop:\n load 1\n load 0\n lt\n jz end\n load 1\n inget 0\n \
+                      push 10\n add\n outpush 0\n load 1\n push 1\n add\n store 1\n jmp loop\n\
+                      end:\n halt\n";
+
+/// Registry with the two TVM modules plus a plain source/sink unit.
+fn tvm_registry() -> UnitRegistry {
+    let mut reg = toolbox::standard_registry();
+    let policy = SandboxPolicy::standard();
+    register_tvm_module(
+        &mut reg,
+        "TvmDoubler",
+        &assemble(DOUBLER).unwrap().to_blob(),
+        policy,
+    )
+    .unwrap();
+    register_tvm_module(
+        &mut reg,
+        "TvmAddTen",
+        &assemble(ADD_TEN).unwrap().to_blob(),
+        policy,
+    )
+    .unwrap();
+    reg
+}
+
+/// src → [TvmDoubler → TvmAddTen] (group) → sink
+fn build(policy: DistributionPolicy) -> (TaskGraph, triana_core::graph::GroupId, UnitRegistry) {
+    let reg = tvm_registry();
+    let mut g = TaskGraph::new("tvm-dist");
+    let src = g.add_task(&reg, "Const", "src", Params::new()).unwrap();
+    let d = g
+        .add_task(&reg, "TvmDoubler", "dbl", Params::new())
+        .unwrap();
+    let a = g
+        .add_task(&reg, "TvmAddTen", "add10", Params::new())
+        .unwrap();
+    let sink = g.add_task(&reg, "Scaler", "sink", Params::new()).unwrap();
+    g.connect(src, 0, d, 0).unwrap();
+    g.connect(d, 0, a, 0).unwrap();
+    g.connect(a, 0, sink, 0).unwrap();
+    let gid = g.add_group("grp", vec![d, a], policy).unwrap();
+    (g, gid, reg)
+}
+
+fn expect_samples(data: &TrianaData) -> &[f64] {
+    match data {
+        TrianaData::SampleSet { samples, .. } => samples,
+        other => panic!("expected SampleSet, got {other:?}"),
+    }
+}
+
+#[test]
+fn tvm_group_farms_in_parallel_with_real_results() {
+    let (g, gid, reg) = build(DistributionPolicy::Parallel);
+    let mut world = GridWorld::new(41, DiscoveryMode::Flooding);
+    let (ctrl, _) = world.add_peer(netsim::HostSpec::lan_workstation());
+    let horizon = netsim::SimTime::from_secs(1_000_000);
+    let workers: Vec<WorkerSetup> = (0..3)
+        .map(|_| {
+            let spec = netsim::HostSpec::lan_workstation();
+            let (peer, _) = world.add_peer(spec.clone());
+            WorkerSetup {
+                peer,
+                spec,
+                trace: netsim::avail::AvailabilityTrace::always(horizon),
+                cache_bytes: 1 << 20,
+            }
+        })
+        .collect();
+    let tokens: Vec<TrianaData> = (0..6).map(|i| TrianaData::Scalar(i as f64)).collect();
+    let run = execute_group_parallel(
+        &mut world,
+        &g,
+        &reg,
+        gid,
+        ctrl,
+        workers,
+        tokens,
+        triana_core::grid::farm::FarmConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(run.tokens.len(), 6);
+    for (i, tr) in run.tokens.iter().enumerate() {
+        // Token i: doubled then +10 ⇒ 2i + 10.
+        assert_eq!(expect_samples(&tr.outputs[0]), &[2.0 * i as f64 + 10.0]);
+        assert!(tr.latency > netsim::Duration::ZERO);
+    }
+}
+
+#[test]
+fn tvm_group_pipelines_peer_to_peer_with_real_results() {
+    let (g, gid, reg) = build(DistributionPolicy::PeerToPeer);
+    let mut world = GridWorld::new(42, DiscoveryMode::Flooding);
+    let (ctrl, _) = world.add_peer(netsim::HostSpec::lan_workstation());
+    let stage_peers: Vec<p2p::PeerId> = (0..2)
+        .map(|_| world.add_peer(netsim::HostSpec::lan_workstation()).0)
+        .collect();
+    let tokens: Vec<TrianaData> = (0..5).map(|i| TrianaData::Scalar(i as f64)).collect();
+    let run =
+        execute_group_pipeline(&mut world, &g, &reg, gid, ctrl, &stage_peers, tokens).unwrap();
+    assert_eq!(run.tokens.len(), 5);
+    for (i, tr) in run.tokens.iter().enumerate() {
+        assert_eq!(expect_samples(&tr.outputs[0]), &[2.0 * i as f64 + 10.0]);
+    }
+}
+
+#[test]
+fn sandbox_violations_surface_through_group_execution() {
+    let mut reg = toolbox::standard_registry();
+    let spin = assemble(".module Spin 1 1 0\n.func main 0\nloop:\n jmp loop\n")
+        .unwrap()
+        .to_blob();
+    register_tvm_module(
+        &mut reg,
+        "TvmSpin",
+        &spin,
+        SandboxPolicy {
+            max_instructions: 1_000,
+            ..SandboxPolicy::standard()
+        },
+    )
+    .unwrap();
+    let mut g = TaskGraph::new("hostile");
+    let src = g.add_task(&reg, "Const", "src", Params::new()).unwrap();
+    let s = g.add_task(&reg, "TvmSpin", "spin", Params::new()).unwrap();
+    g.connect(src, 0, s, 0).unwrap();
+    let gid = g
+        .add_group("grp", vec![s], DistributionPolicy::Parallel)
+        .unwrap();
+    let mut world = GridWorld::new(43, DiscoveryMode::Flooding);
+    let (ctrl, _) = world.add_peer(netsim::HostSpec::lan_workstation());
+    let horizon = netsim::SimTime::from_secs(1_000);
+    let spec = netsim::HostSpec::lan_workstation();
+    let (peer, _) = world.add_peer(spec.clone());
+    let workers = vec![WorkerSetup {
+        peer,
+        spec,
+        trace: netsim::avail::AvailabilityTrace::always(horizon),
+        cache_bytes: 1 << 20,
+    }];
+    let r = execute_group_parallel(
+        &mut world,
+        &g,
+        &reg,
+        gid,
+        ctrl,
+        workers,
+        vec![TrianaData::Scalar(0.0)],
+        triana_core::grid::farm::FarmConfig::default(),
+    );
+    let err = r.expect_err("budget violation must surface");
+    assert!(err.to_string().contains("budget"), "{err}");
+}

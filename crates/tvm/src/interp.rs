@@ -95,11 +95,15 @@ pub fn execute(
     let mut out_cells = 0usize;
     let mut stack: Vec<f64> = Vec::with_capacity(64);
     let mut stats = ExecStats::default();
-    let mut frames = vec![Frame {
+    // The running frame lives outside the frame stack so the hot loop can
+    // mutate it without re-fetching `frames.last_mut()` per instruction;
+    // `frames` holds only suspended callers (depth = frames.len() + 1).
+    let mut cur = Frame {
         func: 0,
         pc: 0,
         locals: vec![0.0; module.functions[0].n_locals as usize],
-    }];
+    };
+    let mut frames: Vec<Frame> = Vec::new();
 
     macro_rules! pop {
         () => {
@@ -130,143 +134,149 @@ pub fn execute(
     }
 
     'run: loop {
-        if stats.instructions >= policy.max_instructions {
-            return Err(TvmError::BudgetExceeded);
-        }
-        stats.instructions += 1;
-        let frame = frames.last_mut().expect("frame stack never empty here");
-        let code = &module.functions[frame.func].code;
-        // The verifier guarantees the last instruction is a terminator and
-        // jumps are in range, so pc is always valid.
-        let op = code[frame.pc];
-        frame.pc += 1;
-        match op {
-            Op::Push(x) => push!(x),
-            Op::Pop => {
-                pop!();
+        // Re-borrow the current function's code only when the frame
+        // changes (call/return), not per instruction.
+        let code = &module.functions[cur.func].code;
+        loop {
+            if stats.instructions >= policy.max_instructions {
+                return Err(TvmError::BudgetExceeded);
             }
-            Op::Dup => {
-                let a = *stack.last().ok_or(TvmError::StackUnderflow)?;
-                push!(a);
-            }
-            Op::Swap => {
-                let n = stack.len();
-                if n < 2 {
-                    return Err(TvmError::StackUnderflow);
+            stats.instructions += 1;
+            // The verifier guarantees the last instruction is a terminator
+            // and jumps are in range, so pc is always valid.
+            let op = code[cur.pc];
+            cur.pc += 1;
+            match op {
+                Op::Push(x) => push!(x),
+                Op::Pop => {
+                    pop!();
                 }
-                stack.swap(n - 1, n - 2);
-            }
-            Op::Over => {
-                let n = stack.len();
-                if n < 2 {
-                    return Err(TvmError::StackUnderflow);
+                Op::Dup => {
+                    let a = *stack.last().ok_or(TvmError::StackUnderflow)?;
+                    push!(a);
                 }
-                let a = stack[n - 2];
-                push!(a);
-            }
-            Op::Load(i) => {
-                let v = frame.locals[i as usize];
-                push!(v);
-            }
-            Op::Store(i) => {
-                let v = pop!();
-                frames.last_mut().unwrap().locals[i as usize] = v;
-            }
-            Op::Add => binop!(|a: f64, b: f64| a + b),
-            Op::Sub => binop!(|a: f64, b: f64| a - b),
-            Op::Mul => binop!(|a: f64, b: f64| a * b),
-            Op::Div => binop!(|a: f64, b: f64| a / b),
-            Op::Rem => binop!(|a: f64, b: f64| a % b),
-            Op::Min => binop!(|a: f64, b: f64| a.min(b)),
-            Op::Max => binop!(|a: f64, b: f64| a.max(b)),
-            Op::Pow => binop!(|a: f64, b: f64| a.powf(b)),
-            Op::Neg => unop!(|a: f64| -a),
-            Op::Abs => unop!(|a: f64| a.abs()),
-            Op::Floor => unop!(|a: f64| a.floor()),
-            Op::Sqrt => unop!(|a: f64| a.sqrt()),
-            Op::Sin => unop!(|a: f64| a.sin()),
-            Op::Cos => unop!(|a: f64| a.cos()),
-            Op::Exp => unop!(|a: f64| a.exp()),
-            Op::Ln => unop!(|a: f64| a.ln()),
-            Op::Eq => binop!(|a, b| bool_f(a == b)),
-            Op::Ne => binop!(|a, b| bool_f(a != b)),
-            Op::Lt => binop!(|a, b| bool_f(a < b)),
-            Op::Le => binop!(|a, b| bool_f(a <= b)),
-            Op::Gt => binop!(|a, b| bool_f(a > b)),
-            Op::Ge => binop!(|a, b| bool_f(a >= b)),
-            Op::Jmp(t) => frame.pc = t as usize,
-            Op::Jz(t) => {
-                let c = pop!();
-                if c == 0.0 {
-                    frames.last_mut().unwrap().pc = t as usize;
+                Op::Swap => {
+                    let n = stack.len();
+                    if n < 2 {
+                        return Err(TvmError::StackUnderflow);
+                    }
+                    stack.swap(n - 1, n - 2);
                 }
-            }
-            Op::Jnz(t) => {
-                let c = pop!();
-                if c != 0.0 {
-                    frames.last_mut().unwrap().pc = t as usize;
+                Op::Over => {
+                    let n = stack.len();
+                    if n < 2 {
+                        return Err(TvmError::StackUnderflow);
+                    }
+                    let a = stack[n - 2];
+                    push!(a);
                 }
-            }
-            Op::Call(t) => {
-                if frames.len() >= policy.max_call_depth {
-                    return Err(TvmError::CallDepthExceeded);
+                Op::Load(i) => {
+                    let v = cur.locals[i as usize];
+                    push!(v);
                 }
-                frames.push(Frame {
-                    func: t as usize,
-                    pc: 0,
-                    locals: vec![0.0; module.functions[t as usize].n_locals as usize],
-                });
-            }
-            Op::Ret => {
-                frames.pop();
-                if frames.is_empty() {
-                    break 'run;
+                Op::Store(i) => {
+                    let v = pop!();
+                    cur.locals[i as usize] = v;
                 }
-            }
-            Op::Halt => break 'run,
-            Op::InLen(p) => push!(inputs[p as usize].len() as f64),
-            Op::InGet(p) => {
-                let idx = pop!();
-                let port = inputs[p as usize];
-                let i = to_index(idx, port.len()).ok_or(TvmError::IndexOutOfBounds {
-                    port: p,
-                    index: idx,
-                })?;
-                push!(port[i]);
-            }
-            Op::OutPush(p) => {
-                let v = pop!();
-                if out_cells >= policy.max_output_cells {
-                    return Err(TvmError::OutputLimitExceeded);
+                Op::Add => binop!(|a: f64, b: f64| a + b),
+                Op::Sub => binop!(|a: f64, b: f64| a - b),
+                Op::Mul => binop!(|a: f64, b: f64| a * b),
+                Op::Div => binop!(|a: f64, b: f64| a / b),
+                Op::Rem => binop!(|a: f64, b: f64| a % b),
+                Op::Min => binop!(|a: f64, b: f64| a.min(b)),
+                Op::Max => binop!(|a: f64, b: f64| a.max(b)),
+                Op::Pow => binop!(|a: f64, b: f64| a.powf(b)),
+                Op::Neg => unop!(|a: f64| -a),
+                Op::Abs => unop!(|a: f64| a.abs()),
+                Op::Floor => unop!(|a: f64| a.floor()),
+                Op::Sqrt => unop!(|a: f64| a.sqrt()),
+                Op::Sin => unop!(|a: f64| a.sin()),
+                Op::Cos => unop!(|a: f64| a.cos()),
+                Op::Exp => unop!(|a: f64| a.exp()),
+                Op::Ln => unop!(|a: f64| a.ln()),
+                Op::Eq => binop!(|a, b| bool_f(a == b)),
+                Op::Ne => binop!(|a, b| bool_f(a != b)),
+                Op::Lt => binop!(|a, b| bool_f(a < b)),
+                Op::Le => binop!(|a, b| bool_f(a <= b)),
+                Op::Gt => binop!(|a, b| bool_f(a > b)),
+                Op::Ge => binop!(|a, b| bool_f(a >= b)),
+                Op::Jmp(t) => cur.pc = t as usize,
+                Op::Jz(t) => {
+                    let c = pop!();
+                    if c == 0.0 {
+                        cur.pc = t as usize;
+                    }
                 }
-                out_cells += 1;
-                outputs[p as usize].push(v);
-            }
-            Op::OutSet(p) => {
-                let v = pop!();
-                let idx = pop!();
-                let out = &mut outputs[p as usize];
-                let i = to_raw_index(idx).ok_or(TvmError::IndexOutOfBounds {
-                    port: p,
-                    index: idx,
-                })?;
-                if i >= out.len() {
-                    let grow = i + 1 - out.len();
-                    if out_cells + grow > policy.max_output_cells {
+                Op::Jnz(t) => {
+                    let c = pop!();
+                    if c != 0.0 {
+                        cur.pc = t as usize;
+                    }
+                }
+                Op::Call(t) => {
+                    if frames.len() + 1 >= policy.max_call_depth {
+                        return Err(TvmError::CallDepthExceeded);
+                    }
+                    let callee = Frame {
+                        func: t as usize,
+                        pc: 0,
+                        locals: vec![0.0; module.functions[t as usize].n_locals as usize],
+                    };
+                    frames.push(std::mem::replace(&mut cur, callee));
+                    continue 'run;
+                }
+                Op::Ret => match frames.pop() {
+                    Some(f) => {
+                        cur = f;
+                        continue 'run;
+                    }
+                    None => break 'run,
+                },
+                Op::Halt => break 'run,
+                Op::InLen(p) => push!(inputs[p as usize].len() as f64),
+                Op::InGet(p) => {
+                    let idx = pop!();
+                    let port = inputs[p as usize];
+                    let i = to_index(idx, port.len()).ok_or(TvmError::IndexOutOfBounds {
+                        port: p,
+                        index: idx,
+                    })?;
+                    push!(port[i]);
+                }
+                Op::OutPush(p) => {
+                    let v = pop!();
+                    if out_cells >= policy.max_output_cells {
                         return Err(TvmError::OutputLimitExceeded);
                     }
-                    out_cells += grow;
-                    out.resize(i + 1, 0.0);
+                    out_cells += 1;
+                    outputs[p as usize].push(v);
                 }
-                out[i] = v;
-            }
-            Op::OutLen(p) => push!(outputs[p as usize].len() as f64),
-            Op::HostIo(_) => {
-                if !policy.allow_host_io {
-                    return Err(TvmError::HostIoDenied);
+                Op::OutSet(p) => {
+                    let v = pop!();
+                    let idx = pop!();
+                    let out = &mut outputs[p as usize];
+                    let i = to_raw_index(idx).ok_or(TvmError::IndexOutOfBounds {
+                        port: p,
+                        index: idx,
+                    })?;
+                    if i >= out.len() {
+                        let grow = i + 1 - out.len();
+                        if out_cells + grow > policy.max_output_cells {
+                            return Err(TvmError::OutputLimitExceeded);
+                        }
+                        out_cells += grow;
+                        out.resize(i + 1, 0.0);
+                    }
+                    out[i] = v;
                 }
-                let _arg = pop!();
-                push!(0.0); // simulated syscall result
+                Op::OutLen(p) => push!(outputs[p as usize].len() as f64),
+                Op::HostIo(_) => {
+                    if !policy.allow_host_io {
+                        return Err(TvmError::HostIoDenied);
+                    }
+                    let _arg = pop!();
+                    push!(0.0); // simulated syscall result
+                }
             }
         }
     }
@@ -289,28 +299,36 @@ pub fn execute_obs(
 ) -> Result<(Vec<Vec<f64>>, ExecStats), TvmError> {
     let result = execute(module, inputs, policy);
     if observer.is_enabled() {
-        observer.incr("tvm.executions");
-        match &result {
-            Ok((_, stats)) => {
-                observer.add("tvm.instructions", stats.instructions);
-                observer.gauge_max("tvm.max_stack", stats.max_stack as i64);
-                observer.observe("tvm.instructions_per_run", stats.instructions);
-            }
-            Err(e) => {
-                observer.incr("tvm.errors");
-                match e {
-                    TvmError::BudgetExceeded => observer.incr("tvm.violations.budget"),
-                    TvmError::StackOverflow | TvmError::CallDepthExceeded => {
-                        observer.incr("tvm.violations.stack")
-                    }
-                    TvmError::OutputLimitExceeded => observer.incr("tvm.violations.output"),
-                    TvmError::HostIoDenied => observer.incr("tvm.violations.host_io"),
-                    _ => {}
+        let slim = result.as_ref().map(|(_, s)| *s).map_err(Clone::clone);
+        record_execution(observer, &slim);
+    }
+    result
+}
+
+/// Shared metering for both execution paths ([`execute_obs`] and
+/// [`crate::prepared::PreparedModule::execute_obs`]), so the prepared
+/// pipeline moves exactly the same `tvm.*` counters as the legacy one.
+pub(crate) fn record_execution(observer: &obs::Obs, result: &Result<ExecStats, TvmError>) {
+    observer.incr("tvm.executions");
+    match result {
+        Ok(stats) => {
+            observer.add("tvm.instructions", stats.instructions);
+            observer.gauge_max("tvm.max_stack", stats.max_stack as i64);
+            observer.observe("tvm.instructions_per_run", stats.instructions);
+        }
+        Err(e) => {
+            observer.incr("tvm.errors");
+            match e {
+                TvmError::BudgetExceeded => observer.incr("tvm.violations.budget"),
+                TvmError::StackOverflow | TvmError::CallDepthExceeded => {
+                    observer.incr("tvm.violations.stack")
                 }
+                TvmError::OutputLimitExceeded => observer.incr("tvm.violations.output"),
+                TvmError::HostIoDenied => observer.incr("tvm.violations.host_io"),
+                _ => {}
             }
         }
     }
-    result
 }
 
 fn bool_f(b: bool) -> f64 {

@@ -22,12 +22,14 @@ pub mod asm;
 pub mod interp;
 pub mod isa;
 pub mod module;
+pub mod prepared;
 pub mod sandbox;
 pub mod verify;
 
 pub use interp::{execute, execute_obs, ExecStats, TvmError};
 pub use isa::Op;
 pub use module::{Function, Module, ModuleBlob};
+pub use prepared::{ExecContext, PrepareError, PreparedModule};
 pub use sandbox::SandboxPolicy;
 
 /// FNV-1a 64-bit hash; used for module content hashes.

@@ -1,0 +1,1476 @@
+//! The prepared-execution pipeline: verify once, execute many.
+//!
+//! [`crate::execute`] re-runs the bytecode verifier on every invocation and
+//! heap-allocates a locals `Vec` on every `Op::Call`. That is the wrong cost
+//! model for the Consumer Grid, where the same module blob is dispatched to a
+//! worker once and then executed for every job, pipeline token, and
+//! redundant-execution vote. Like the lightweight-client engines that
+//! prepare/cache executable modules once per client, this module splits the
+//! lifecycle:
+//!
+//! * [`PreparedModule::prepare`] — the one-time pass: verify, decode every
+//!   function into a single flat instruction array with resolved absolute
+//!   jump and call targets, and peephole-optimise (constant folding,
+//!   push/binop fusion, compare/branch fusion). Each fused instruction
+//!   remembers how many source instructions it retires, so metering is
+//!   unchanged.
+//! * [`ExecContext`] — the reusable per-worker execution state: operand
+//!   stack, frame stack, and a locals arena. After warm-up, repeated
+//!   [`PreparedModule::run`] calls perform **zero heap allocations**,
+//!   including on `Call` (callee locals live in the arena).
+//!
+//! # Determinism contract
+//!
+//! The prepared path is an exact semantic twin of [`crate::execute`]: same
+//! outputs, same [`ExecStats`] (instruction count and high-water stack), and
+//! the same error for every failing program. Fused instructions replicate
+//! the legacy interpreter's check *order* (budget → overflow → budget →
+//! underflow …) step by step, so hostile programs trip the identical
+//! sandbox violation at the identical point. The differential property
+//! tests in `tests/properties.rs` pin this equivalence.
+
+use crate::interp::{ExecStats, TvmError};
+use crate::isa::Op;
+use crate::module::{Module, ModuleBlob};
+use crate::sandbox::SandboxPolicy;
+use crate::verify::{verify, VerifyError};
+use std::fmt;
+
+/// Modeled preparation throughput, in source instructions per virtual
+/// microsecond. Used by [`PreparedModule::modeled_prepare_us`] so metering
+/// of preparation cost stays deterministic (wall-clock timings belong in
+/// the volatile snapshot section only).
+const PREPARE_OPS_PER_US: u64 = 100;
+
+/// A binary operation: pop `b`, pop `a`, push `a ∘ b`.
+///
+/// Comparisons are folded in (they push 1.0/0.0), which lets the fuser
+/// treat `cmp; jz` like any other binop/branch pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Min,
+    Max,
+    Pow,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl BinOp {
+    #[inline(always)]
+    fn eval(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b,
+            BinOp::Rem => a % b,
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+            BinOp::Pow => a.powf(b),
+            BinOp::Eq => bool_f(a == b),
+            BinOp::Ne => bool_f(a != b),
+            BinOp::Lt => bool_f(a < b),
+            BinOp::Le => bool_f(a <= b),
+            BinOp::Gt => bool_f(a > b),
+            BinOp::Ge => bool_f(a >= b),
+        }
+    }
+
+    fn of(op: Op) -> Option<BinOp> {
+        Some(match op {
+            Op::Add => BinOp::Add,
+            Op::Sub => BinOp::Sub,
+            Op::Mul => BinOp::Mul,
+            Op::Div => BinOp::Div,
+            Op::Rem => BinOp::Rem,
+            Op::Min => BinOp::Min,
+            Op::Max => BinOp::Max,
+            Op::Pow => BinOp::Pow,
+            Op::Eq => BinOp::Eq,
+            Op::Ne => BinOp::Ne,
+            Op::Lt => BinOp::Lt,
+            Op::Le => BinOp::Le,
+            Op::Gt => BinOp::Gt,
+            Op::Ge => BinOp::Ge,
+            _ => return None,
+        })
+    }
+}
+
+/// A unary operation: pop `a`, push `f(a)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum UnOp {
+    Neg,
+    Abs,
+    Floor,
+    Sqrt,
+    Sin,
+    Cos,
+    Exp,
+    Ln,
+}
+
+impl UnOp {
+    #[inline(always)]
+    fn eval(self, a: f64) -> f64 {
+        match self {
+            UnOp::Neg => -a,
+            UnOp::Abs => a.abs(),
+            UnOp::Floor => a.floor(),
+            UnOp::Sqrt => a.sqrt(),
+            UnOp::Sin => a.sin(),
+            UnOp::Cos => a.cos(),
+            UnOp::Exp => a.exp(),
+            UnOp::Ln => a.ln(),
+        }
+    }
+
+    fn of(op: Op) -> Option<UnOp> {
+        Some(match op {
+            Op::Neg => UnOp::Neg,
+            Op::Abs => UnOp::Abs,
+            Op::Floor => UnOp::Floor,
+            Op::Sqrt => UnOp::Sqrt,
+            Op::Sin => UnOp::Sin,
+            Op::Cos => UnOp::Cos,
+            Op::Exp => UnOp::Exp,
+            Op::Ln => UnOp::Ln,
+            _ => return None,
+        })
+    }
+}
+
+/// One prepared instruction. Jump and call targets are absolute indices
+/// into the flat [`PreparedModule::code`] array. Fused variants retire more
+/// than one source instruction; the retired count is their metering cost.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum PInst {
+    Push(f64),
+    Pop,
+    Dup,
+    Swap,
+    Over,
+    Load(u16),
+    Store(u16),
+    Bin(BinOp),
+    Un(UnOp),
+    Jmp(u32),
+    Jz(u32),
+    Jnz(u32),
+    Call {
+        entry: u32,
+        n_locals: u16,
+    },
+    Ret,
+    Halt,
+    InLen(u8),
+    InGet(u8),
+    OutPush(u8),
+    OutSet(u8),
+    OutLen(u8),
+    HostIo,
+    // --- fused superinstructions (cost = source instructions retired) ---
+    /// `push k; bin` — cost 2.
+    PushBin {
+        op: BinOp,
+        k: f64,
+    },
+    /// `load i; bin` — cost 2.
+    LoadBin {
+        op: BinOp,
+        i: u16,
+    },
+    /// `load i; load j` — cost 2.
+    LoadLoad {
+        i: u16,
+        j: u16,
+    },
+    /// `load i; inget p` — cost 2.
+    LoadInGet {
+        i: u16,
+        port: u8,
+    },
+    /// `bin; jz/jnz t` — cost 2. Branches when the binop result is
+    /// non-zero (`jump_if = true`, from `jnz`) or zero (`false`, `jz`).
+    BinBr {
+        op: BinOp,
+        target: u32,
+        jump_if: bool,
+    },
+    /// `push a; push b; bin`, constant-folded at prepare time — cost 3.
+    PushPushBin(f64),
+    /// `load i; load j; bin; jz/jnz t` — cost 4. The loop-head shape.
+    LoadLoadBinBr {
+        i: u16,
+        j: u16,
+        op: BinOp,
+        target: u32,
+        jump_if: bool,
+    },
+    /// `load i; push k; bin; store i` — cost 4. The loop-counter shape.
+    LocalBinK {
+        op: BinOp,
+        i: u16,
+        k: f64,
+    },
+    /// `load i; push k; bin; store i; jmp t` — cost 5. A counter bump
+    /// followed by the loop back-edge.
+    LocalBinKJmp {
+        op: BinOp,
+        i: u16,
+        k: f64,
+        target: u32,
+    },
+    /// `dup; bin` — cost 2. Replaces the top with `top ∘ top` (squaring).
+    DupBin(BinOp),
+    /// `dup; dup; bin1; bin2` — cost 4. `top ∘₂ (top ∘₁ top)` (cubing).
+    DupDupBinBin {
+        op1: BinOp,
+        op2: BinOp,
+    },
+    /// `push k; swap; bin` — cost 3. Replaces the top with `k ∘ top`
+    /// (reversed-operand constant binop).
+    PushSwapBin {
+        op: BinOp,
+        k: f64,
+    },
+    /// `load i; inget p; bin` — cost 3. Indexed input read feeding a binop.
+    LoadInGetBin {
+        op: BinOp,
+        i: u16,
+        port: u8,
+    },
+    /// `load i; inget p; load j; inget q; bin` — cost 5. The dot-product
+    /// step: combine one element from each of two input ports.
+    LoadInGet2Bin {
+        op: BinOp,
+        i: u16,
+        j: u16,
+        p: u8,
+        q: u8,
+    },
+    /// `load i; bin; store d` — cost 3. The accumulator shape
+    /// (`locals[d] = top ∘ locals[i]`, consuming the top).
+    LoadBinStore {
+        op: BinOp,
+        i: u16,
+        dst: u16,
+    },
+}
+
+/// Why a blob could not be prepared.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PrepareError {
+    /// Blob bytes do not match their content hash.
+    Integrity,
+    /// Blob failed to parse back into a module.
+    Blob(crate::module::BlobError),
+    /// The module failed static verification.
+    Verify(VerifyError),
+}
+
+impl fmt::Display for PrepareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrepareError::Integrity => write!(f, "module blob failed integrity check"),
+            PrepareError::Blob(e) => write!(f, "bad module blob: {e}"),
+            PrepareError::Verify(e) => write!(f, "module rejected by verifier: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PrepareError {}
+
+/// A verified, flattened, peephole-optimised module, ready for repeated
+/// execution without further checks or per-call allocation.
+#[derive(Clone, Debug)]
+pub struct PreparedModule {
+    name: String,
+    version: u32,
+    n_inputs: u8,
+    n_outputs: u8,
+    /// Locals of function 0, allocated in the arena at run start.
+    entry_locals: u16,
+    code: Vec<PInst>,
+    /// FNV-1a 64 of the source blob bytes — the same value as the blob
+    /// content id, so integrity audits can tie a prepared module back to
+    /// the library's ground truth.
+    source_hash: u64,
+    /// Source instruction count across all functions.
+    source_len: usize,
+}
+
+impl PreparedModule {
+    /// The one-time pass: verify `module`, then flatten and fuse.
+    pub fn prepare(module: &Module) -> Result<Self, VerifyError> {
+        verify(module)?;
+        let source_len: usize = module.functions.iter().map(|f| f.code.len()).sum();
+
+        // Pass 1: per function, fuse and record source-pc → flat-index
+        // (jump targets are kept as source pcs for now).
+        let mut per_func: Vec<(Vec<PInst>, Vec<u32>)> = Vec::with_capacity(module.functions.len());
+        for f in &module.functions {
+            per_func.push(flatten_function(&f.code));
+        }
+
+        // Function base offsets in the flat array.
+        let mut bases = Vec::with_capacity(per_func.len());
+        let mut total = 0u32;
+        for (insts, _) in &per_func {
+            bases.push(total);
+            total += insts.len() as u32;
+        }
+
+        // Pass 2: resolve jump targets (within-function) and call targets.
+        let mut code = Vec::with_capacity(total as usize);
+        for (fi, (insts, map)) in per_func.iter().enumerate() {
+            let base = bases[fi];
+            let resolve = |t: u32| base + map[t as usize];
+            for inst in insts {
+                code.push(match *inst {
+                    PInst::Jmp(t) => PInst::Jmp(resolve(t)),
+                    PInst::Jz(t) => PInst::Jz(resolve(t)),
+                    PInst::Jnz(t) => PInst::Jnz(resolve(t)),
+                    PInst::BinBr {
+                        op,
+                        target,
+                        jump_if,
+                    } => PInst::BinBr {
+                        op,
+                        target: resolve(target),
+                        jump_if,
+                    },
+                    PInst::LoadLoadBinBr {
+                        i,
+                        j,
+                        op,
+                        target,
+                        jump_if,
+                    } => PInst::LoadLoadBinBr {
+                        i,
+                        j,
+                        op,
+                        target: resolve(target),
+                        jump_if,
+                    },
+                    PInst::LocalBinKJmp { op, i, k, target } => PInst::LocalBinKJmp {
+                        op,
+                        i,
+                        k,
+                        target: resolve(target),
+                    },
+                    PInst::Call { entry, .. } => PInst::Call {
+                        entry: bases[entry as usize],
+                        n_locals: module.functions[entry as usize].n_locals,
+                    },
+                    other => other,
+                });
+            }
+        }
+
+        Ok(PreparedModule {
+            name: module.name.clone(),
+            version: module.version,
+            n_inputs: module.n_inputs,
+            n_outputs: module.n_outputs,
+            entry_locals: module.functions[0].n_locals,
+            code,
+            source_hash: crate::fnv1a64(&module.to_blob().bytes),
+            source_len,
+        })
+    }
+
+    /// Admit a transferred blob: integrity check, parse, verify, prepare.
+    pub fn from_blob(blob: &ModuleBlob) -> Result<Self, PrepareError> {
+        if !blob.integrity_ok() {
+            return Err(PrepareError::Integrity);
+        }
+        let module = Module::from_blob(blob).map_err(PrepareError::Blob)?;
+        Self::prepare(&module).map_err(PrepareError::Verify)
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    pub fn n_inputs(&self) -> u8 {
+        self.n_inputs
+    }
+
+    pub fn n_outputs(&self) -> u8 {
+        self.n_outputs
+    }
+
+    /// Content id of the source blob (FNV-1a 64 of its bytes); equal to the
+    /// `store` blob id, so cache-integrity audits can cover prepared code.
+    pub fn source_hash(&self) -> u64 {
+        self.source_hash
+    }
+
+    /// Source instruction count (pre-fusion), the work-estimate signal.
+    pub fn source_instructions(&self) -> usize {
+        self.source_len
+    }
+
+    /// Prepared (post-fusion) instruction count.
+    pub fn prepared_instructions(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Deterministic modeled preparation cost in virtual microseconds
+    /// (source instructions at a fixed modeled rate). Wall-clock prepare
+    /// timings are host-dependent and belong in the volatile snapshot
+    /// section; this modeled figure is what deterministic metering records.
+    pub fn modeled_prepare_us(&self) -> u64 {
+        (self.source_len as u64) / PREPARE_OPS_PER_US + 1
+    }
+
+    /// Execute and return owned outputs, mirroring [`crate::execute`]'s
+    /// signature. Allocates for the returned `Vec`s; use [`Self::run`] for
+    /// the allocation-free steady state.
+    pub fn execute(
+        &self,
+        inputs: &[&[f64]],
+        policy: &SandboxPolicy,
+        ctx: &mut ExecContext,
+    ) -> Result<(Vec<Vec<f64>>, ExecStats), TvmError> {
+        let stats = self.run(inputs, policy, ctx)?;
+        Ok((ctx.outputs().to_vec(), stats))
+    }
+
+    /// Instrumented variant of [`Self::execute`]; records the same
+    /// `tvm.*` counters as [`crate::execute_obs`].
+    pub fn execute_obs(
+        &self,
+        inputs: &[&[f64]],
+        policy: &SandboxPolicy,
+        ctx: &mut ExecContext,
+        observer: &obs::Obs,
+    ) -> Result<(Vec<Vec<f64>>, ExecStats), TvmError> {
+        let result = self.execute(inputs, policy, ctx);
+        if observer.is_enabled() {
+            let slim = result.as_ref().map(|(_, s)| *s).map_err(Clone::clone);
+            crate::interp::record_execution(observer, &slim);
+        }
+        result
+    }
+
+    /// Execute in `ctx`, leaving the outputs in the context's reusable
+    /// buffers (read them via [`ExecContext::outputs`]). After the context
+    /// has warmed up, this performs no heap allocation.
+    pub fn run(
+        &self,
+        inputs: &[&[f64]],
+        policy: &SandboxPolicy,
+        ctx: &mut ExecContext,
+    ) -> Result<ExecStats, TvmError> {
+        if inputs.len() != self.n_inputs as usize {
+            return Err(TvmError::BadArity {
+                expected: self.n_inputs,
+                got: inputs.len(),
+            });
+        }
+        ctx.bind(self.entry_locals as usize, self.n_outputs as usize);
+        run_prepared(self, inputs, policy, ctx)
+    }
+}
+
+/// Reusable execution state: operand stack, frame stack, locals arena and
+/// output buffers. One per worker (or per thread); repeated runs reuse all
+/// four allocations.
+#[derive(Debug, Default)]
+pub struct ExecContext {
+    /// Operand stack storage; `sp` lives in the interpreter loop.
+    stack: Vec<f64>,
+    /// Suspended caller frames: (return pc, caller locals base).
+    frames: Vec<(u32, u32)>,
+    /// Locals arena; each frame owns a `[base, top)` window.
+    locals: Vec<f64>,
+    /// Output port buffers; cleared (not freed) between runs.
+    outputs: Vec<Vec<f64>>,
+    /// Live output port count of the last bound module.
+    n_outputs: usize,
+}
+
+impl ExecContext {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Output ports of the most recent [`PreparedModule::run`].
+    pub fn outputs(&self) -> &[Vec<f64>] {
+        &self.outputs[..self.n_outputs]
+    }
+
+    /// Ready the context for a run: entry locals zeroed, output buffers
+    /// cleared with capacity retained.
+    fn bind(&mut self, entry_locals: usize, n_outputs: usize) {
+        self.frames.clear();
+        if self.locals.len() < entry_locals {
+            self.locals.resize(entry_locals, 0.0);
+        } else {
+            self.locals[..entry_locals].fill(0.0);
+        }
+        if self.outputs.len() < n_outputs {
+            self.outputs.resize_with(n_outputs, Vec::new);
+        }
+        for out in &mut self.outputs[..n_outputs] {
+            out.clear();
+        }
+        self.n_outputs = n_outputs;
+    }
+}
+
+#[inline(always)]
+fn bool_f(b: bool) -> f64 {
+    if b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Fuse and flatten one function. Returns the prepared instructions (jump
+/// targets still as *source* pcs) and the source-pc → local-index map
+/// (interior pcs of fused windows map to `u32::MAX`; the verifier
+/// guarantees no jump lands there because fusion never covers a jump
+/// target with its tail).
+fn flatten_function(code: &[Op]) -> (Vec<PInst>, Vec<u32>) {
+    // Source pcs that are jump targets must stay addressable: a fused
+    // window may start at one but never contain one.
+    let mut is_target = vec![false; code.len()];
+    for op in code {
+        if let Op::Jmp(t) | Op::Jz(t) | Op::Jnz(t) = *op {
+            is_target[t as usize] = true;
+        }
+    }
+    let free = |from: usize, upto: usize| -> bool {
+        upto <= code.len() && (from + 1..upto).all(|p| !is_target[p])
+    };
+
+    let mut out = Vec::with_capacity(code.len());
+    let mut map = vec![u32::MAX; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        map[i] = out.len() as u32;
+        let window = &code[i..];
+        // Longest patterns first; every alternative checks that the fused
+        // window contains no interior jump target.
+        let (inst, len) = match *window {
+            // load i; push k; bin; store i; jmp — counter bump + back-edge.
+            [Op::Load(a), Op::Push(k), op3, Op::Store(b), Op::Jmp(t), ..]
+                if a == b && BinOp::of(op3).is_some() && free(i, i + 5) =>
+            {
+                (
+                    PInst::LocalBinKJmp {
+                        op: BinOp::of(op3).unwrap(),
+                        i: a,
+                        k,
+                        target: t,
+                    },
+                    5,
+                )
+            }
+            // load i; inget p; load j; inget q; bin — the dot-product step.
+            [Op::Load(a), Op::InGet(p), Op::Load(b), Op::InGet(q), op5, ..]
+                if BinOp::of(op5).is_some() && free(i, i + 5) =>
+            {
+                (
+                    PInst::LoadInGet2Bin {
+                        op: BinOp::of(op5).unwrap(),
+                        i: a,
+                        j: b,
+                        p,
+                        q,
+                    },
+                    5,
+                )
+            }
+            // load i; push k; bin; store i — in-place local update.
+            [Op::Load(a), Op::Push(k), op3, Op::Store(b), ..]
+                if a == b && BinOp::of(op3).is_some() && free(i, i + 4) =>
+            {
+                (
+                    PInst::LocalBinK {
+                        op: BinOp::of(op3).unwrap(),
+                        i: a,
+                        k,
+                    },
+                    4,
+                )
+            }
+            // load i; load j; bin; jz/jnz — the loop-head compare.
+            [Op::Load(a), Op::Load(b), op3, br, ..]
+                if BinOp::of(op3).is_some() && branch_of(br).is_some() && free(i, i + 4) =>
+            {
+                let (target, jump_if) = branch_of(br).unwrap();
+                (
+                    PInst::LoadLoadBinBr {
+                        i: a,
+                        j: b,
+                        op: BinOp::of(op3).unwrap(),
+                        target,
+                        jump_if,
+                    },
+                    4,
+                )
+            }
+            // dup; dup; bin; bin — a power tower (cube when both are mul).
+            [Op::Dup, Op::Dup, op3, op4, ..]
+                if BinOp::of(op3).is_some() && BinOp::of(op4).is_some() && free(i, i + 4) =>
+            {
+                (
+                    PInst::DupDupBinBin {
+                        op1: BinOp::of(op3).unwrap(),
+                        op2: BinOp::of(op4).unwrap(),
+                    },
+                    4,
+                )
+            }
+            // push a; push b; bin — folds to a constant at prepare time.
+            [Op::Push(a), Op::Push(b), op3, ..] if BinOp::of(op3).is_some() && free(i, i + 3) => {
+                (PInst::PushPushBin(BinOp::of(op3).unwrap().eval(a, b)), 3)
+            }
+            // push k; swap; bin — constant as the *left* operand.
+            [Op::Push(k), Op::Swap, op3, ..] if BinOp::of(op3).is_some() && free(i, i + 3) => (
+                PInst::PushSwapBin {
+                    op: BinOp::of(op3).unwrap(),
+                    k,
+                },
+                3,
+            ),
+            // load i; inget p; bin — indexed input read feeding a binop.
+            [Op::Load(li), Op::InGet(p), op3, ..] if BinOp::of(op3).is_some() && free(i, i + 3) => {
+                (
+                    PInst::LoadInGetBin {
+                        op: BinOp::of(op3).unwrap(),
+                        i: li,
+                        port: p,
+                    },
+                    3,
+                )
+            }
+            // load i; bin; store d — accumulate into a local.
+            [Op::Load(li), op2, Op::Store(d), ..] if BinOp::of(op2).is_some() && free(i, i + 3) => {
+                (
+                    PInst::LoadBinStore {
+                        op: BinOp::of(op2).unwrap(),
+                        i: li,
+                        dst: d,
+                    },
+                    3,
+                )
+            }
+            // bin; jz/jnz — branch on a fresh binop result.
+            [op1, br, ..]
+                if BinOp::of(op1).is_some() && branch_of(br).is_some() && free(i, i + 2) =>
+            {
+                let (target, jump_if) = branch_of(br).unwrap();
+                (
+                    PInst::BinBr {
+                        op: BinOp::of(op1).unwrap(),
+                        target,
+                        jump_if,
+                    },
+                    2,
+                )
+            }
+            // push k; bin.
+            [Op::Push(k), op2, ..] if BinOp::of(op2).is_some() && free(i, i + 2) => (
+                PInst::PushBin {
+                    op: BinOp::of(op2).unwrap(),
+                    k,
+                },
+                2,
+            ),
+            // load i; bin.
+            [Op::Load(li), op2, ..] if BinOp::of(op2).is_some() && free(i, i + 2) => (
+                PInst::LoadBin {
+                    op: BinOp::of(op2).unwrap(),
+                    i: li,
+                },
+                2,
+            ),
+            // dup; bin — squaring and friends.
+            [Op::Dup, op2, ..] if BinOp::of(op2).is_some() && free(i, i + 2) => {
+                (PInst::DupBin(BinOp::of(op2).unwrap()), 2)
+            }
+            // load i; inget p — indexed input read.
+            [Op::Load(li), Op::InGet(p), ..] if free(i, i + 2) => {
+                (PInst::LoadInGet { i: li, port: p }, 2)
+            }
+            // load i; load j.
+            [Op::Load(a), Op::Load(b), ..] if free(i, i + 2) => (PInst::LoadLoad { i: a, j: b }, 2),
+            _ => (translate(code[i]), 1),
+        };
+        out.push(inst);
+        i += len;
+    }
+    (out, map)
+}
+
+/// `jz`/`jnz` branch shape: (target, jump-if-nonzero).
+fn branch_of(op: Op) -> Option<(u32, bool)> {
+    match op {
+        Op::Jz(t) => Some((t, false)),
+        Op::Jnz(t) => Some((t, true)),
+        _ => None,
+    }
+}
+
+/// One-to-one translation of a single source instruction.
+fn translate(op: Op) -> PInst {
+    if let Some(b) = BinOp::of(op) {
+        return PInst::Bin(b);
+    }
+    if let Some(u) = UnOp::of(op) {
+        return PInst::Un(u);
+    }
+    match op {
+        Op::Push(x) => PInst::Push(x),
+        Op::Pop => PInst::Pop,
+        Op::Dup => PInst::Dup,
+        Op::Swap => PInst::Swap,
+        Op::Over => PInst::Over,
+        Op::Load(i) => PInst::Load(i),
+        Op::Store(i) => PInst::Store(i),
+        Op::Jmp(t) => PInst::Jmp(t),
+        Op::Jz(t) => PInst::Jz(t),
+        Op::Jnz(t) => PInst::Jnz(t),
+        // Call target entry/locals are resolved in pass 2.
+        Op::Call(t) => PInst::Call {
+            entry: t as u32,
+            n_locals: 0,
+        },
+        Op::Ret => PInst::Ret,
+        Op::Halt => PInst::Halt,
+        Op::InLen(p) => PInst::InLen(p),
+        Op::InGet(p) => PInst::InGet(p),
+        Op::OutPush(p) => PInst::OutPush(p),
+        Op::OutSet(p) => PInst::OutSet(p),
+        Op::OutLen(p) => PInst::OutLen(p),
+        Op::HostIo(_) => PInst::HostIo,
+        _ => unreachable!("arithmetic handled above"),
+    }
+}
+
+/// The prepared-dispatch interpreter core. Exact legacy semantics: see the
+/// module docs for the fused-instruction check-ordering contract.
+fn run_prepared(
+    prepared: &PreparedModule,
+    inputs: &[&[f64]],
+    policy: &SandboxPolicy,
+    ctx: &mut ExecContext,
+) -> Result<ExecStats, TvmError> {
+    let code = &prepared.code[..];
+    let max_instr = policy.max_instructions;
+    let max_stack = policy.max_stack;
+
+    let stack = &mut ctx.stack;
+    let frames = &mut ctx.frames;
+    let locals = &mut ctx.locals;
+    let outputs = &mut ctx.outputs;
+
+    let mut pc = 0usize;
+    let mut sp = 0usize;
+    let mut max_sp = 0usize;
+    let mut instr = 0u64;
+    // Current frame's locals window is [lb, lt).
+    let mut lb = 0usize;
+    let mut lt = prepared.entry_locals as usize;
+    let mut out_cells = 0usize;
+
+    // Write `v` at `sp` after the overflow check, growing the backing
+    // buffer only the first time a depth is reached.
+    macro_rules! pushv {
+        ($v:expr) => {{
+            if sp >= max_stack {
+                return Err(TvmError::StackOverflow);
+            }
+            let v = $v;
+            if sp < stack.len() {
+                stack[sp] = v;
+            } else {
+                stack.push(v);
+            }
+            sp += 1;
+            if sp > max_sp {
+                max_sp = sp;
+            }
+        }};
+    }
+    // One extra metered source instruction inside a fused window: the
+    // legacy interpreter checks the budget before every source op.
+    macro_rules! step {
+        () => {{
+            if instr >= max_instr {
+                return Err(TvmError::BudgetExceeded);
+            }
+            instr += 1;
+        }};
+    }
+    macro_rules! underflow {
+        ($n:expr) => {{
+            if sp < $n {
+                return Err(TvmError::StackUnderflow);
+            }
+        }};
+    }
+    // Overflow check + high-water update for a push at depth `sp` inside a
+    // fused window (the write itself happens at the end of the window).
+    macro_rules! probe_push {
+        ($at:expr) => {{
+            if $at >= max_stack {
+                return Err(TvmError::StackOverflow);
+            }
+            if $at + 1 > max_sp {
+                max_sp = $at + 1;
+            }
+        }};
+    }
+
+    loop {
+        step!();
+        // pc is always in range: the verifier guarantees every function
+        // ends in a terminator and all jump targets are mapped.
+        let op = code[pc];
+        pc += 1;
+        match op {
+            PInst::Push(x) => pushv!(x),
+            PInst::Pop => {
+                underflow!(1);
+                sp -= 1;
+            }
+            PInst::Dup => {
+                underflow!(1);
+                let a = stack[sp - 1];
+                pushv!(a);
+            }
+            PInst::Swap => {
+                underflow!(2);
+                stack.swap(sp - 1, sp - 2);
+            }
+            PInst::Over => {
+                underflow!(2);
+                let a = stack[sp - 2];
+                pushv!(a);
+            }
+            PInst::Load(i) => {
+                let v = locals[lb + i as usize];
+                pushv!(v);
+            }
+            PInst::Store(i) => {
+                underflow!(1);
+                sp -= 1;
+                locals[lb + i as usize] = stack[sp];
+            }
+            PInst::Bin(op) => {
+                underflow!(2);
+                let b = stack[sp - 1];
+                let a = stack[sp - 2];
+                sp -= 1;
+                stack[sp - 1] = op.eval(a, b);
+            }
+            PInst::Un(op) => {
+                underflow!(1);
+                stack[sp - 1] = op.eval(stack[sp - 1]);
+            }
+            PInst::Jmp(t) => pc = t as usize,
+            PInst::Jz(t) => {
+                underflow!(1);
+                sp -= 1;
+                if stack[sp] == 0.0 {
+                    pc = t as usize;
+                }
+            }
+            PInst::Jnz(t) => {
+                underflow!(1);
+                sp -= 1;
+                if stack[sp] != 0.0 {
+                    pc = t as usize;
+                }
+            }
+            PInst::Call { entry, n_locals } => {
+                // `frames` holds suspended callers, so depth = len + 1.
+                if frames.len() + 1 >= policy.max_call_depth {
+                    return Err(TvmError::CallDepthExceeded);
+                }
+                frames.push((pc as u32, lb as u32));
+                lb = lt;
+                lt += n_locals as usize;
+                if locals.len() < lt {
+                    locals.resize(lt, 0.0);
+                } else {
+                    locals[lb..lt].fill(0.0);
+                }
+                pc = entry as usize;
+            }
+            PInst::Ret => match frames.pop() {
+                Some((ret_pc, caller_lb)) => {
+                    lt = lb;
+                    lb = caller_lb as usize;
+                    pc = ret_pc as usize;
+                }
+                None => break,
+            },
+            PInst::Halt => break,
+            PInst::InLen(p) => pushv!(inputs[p as usize].len() as f64),
+            PInst::InGet(p) => {
+                underflow!(1);
+                let idx = stack[sp - 1];
+                let port = inputs[p as usize];
+                match to_index(idx, port.len()) {
+                    Some(i) => stack[sp - 1] = port[i],
+                    None => {
+                        return Err(TvmError::IndexOutOfBounds {
+                            port: p,
+                            index: idx,
+                        })
+                    }
+                }
+            }
+            PInst::OutPush(p) => {
+                underflow!(1);
+                sp -= 1;
+                let v = stack[sp];
+                if out_cells >= policy.max_output_cells {
+                    return Err(TvmError::OutputLimitExceeded);
+                }
+                out_cells += 1;
+                outputs[p as usize].push(v);
+            }
+            PInst::OutSet(p) => {
+                underflow!(2);
+                let v = stack[sp - 1];
+                let idx = stack[sp - 2];
+                sp -= 2;
+                let out = &mut outputs[p as usize];
+                let i = match to_raw_index(idx) {
+                    Some(i) => i,
+                    None => {
+                        return Err(TvmError::IndexOutOfBounds {
+                            port: p,
+                            index: idx,
+                        })
+                    }
+                };
+                if i >= out.len() {
+                    let grow = i + 1 - out.len();
+                    if out_cells + grow > policy.max_output_cells {
+                        return Err(TvmError::OutputLimitExceeded);
+                    }
+                    out_cells += grow;
+                    out.resize(i + 1, 0.0);
+                }
+                out[i] = v;
+            }
+            PInst::OutLen(p) => pushv!(outputs[p as usize].len() as f64),
+            PInst::HostIo => {
+                if !policy.allow_host_io {
+                    return Err(TvmError::HostIoDenied);
+                }
+                underflow!(1);
+                stack[sp - 1] = 0.0; // simulated syscall result
+            }
+            // --- fused windows: legacy check order, see module docs ---
+            PInst::PushBin { op, k } => {
+                probe_push!(sp); // push k
+                step!(); // bin
+                underflow!(1);
+                stack[sp - 1] = op.eval(stack[sp - 1], k);
+            }
+            PInst::LoadBin { op, i } => {
+                probe_push!(sp); // push local
+                step!(); // bin
+                underflow!(1);
+                stack[sp - 1] = op.eval(stack[sp - 1], locals[lb + i as usize]);
+            }
+            PInst::LoadLoad { i, j } => {
+                probe_push!(sp);
+                step!();
+                probe_push!(sp + 1);
+                let a = locals[lb + i as usize];
+                let b = locals[lb + j as usize];
+                if sp + 2 <= stack.len() {
+                    stack[sp] = a;
+                    stack[sp + 1] = b;
+                } else {
+                    stack.truncate(sp);
+                    stack.push(a);
+                    stack.push(b);
+                }
+                sp += 2;
+            }
+            PInst::LoadInGet { i, port } => {
+                probe_push!(sp); // push local (the index)
+                step!(); // inget
+                let idx = locals[lb + i as usize];
+                let port_data = inputs[port as usize];
+                match to_index(idx, port_data.len()) {
+                    Some(k) => pushv_raw(stack, sp, port_data[k]),
+                    None => return Err(TvmError::IndexOutOfBounds { port, index: idx }),
+                }
+                sp += 1;
+            }
+            PInst::BinBr {
+                op,
+                target,
+                jump_if,
+            } => {
+                underflow!(2);
+                step!(); // jz/jnz
+                let b = stack[sp - 1];
+                let a = stack[sp - 2];
+                sp -= 2;
+                if (op.eval(a, b) != 0.0) == jump_if {
+                    pc = target as usize;
+                }
+            }
+            PInst::PushPushBin(v) => {
+                probe_push!(sp);
+                step!();
+                probe_push!(sp + 1);
+                step!(); // bin: pops both transients, pushes the folded value
+                pushv_raw(stack, sp, v);
+                sp += 1;
+            }
+            PInst::LoadLoadBinBr {
+                i,
+                j,
+                op,
+                target,
+                jump_if,
+            } => {
+                probe_push!(sp);
+                step!();
+                probe_push!(sp + 1);
+                step!(); // bin
+                step!(); // jz/jnz
+                let a = locals[lb + i as usize];
+                let b = locals[lb + j as usize];
+                if (op.eval(a, b) != 0.0) == jump_if {
+                    pc = target as usize;
+                }
+            }
+            PInst::LocalBinK { op, i, k } => {
+                probe_push!(sp); // load
+                step!(); // push k
+                probe_push!(sp + 1);
+                step!(); // bin
+                step!(); // store
+                let slot = &mut locals[lb + i as usize];
+                *slot = op.eval(*slot, k);
+            }
+            PInst::LocalBinKJmp { op, i, k, target } => {
+                probe_push!(sp); // load
+                step!(); // push k
+                probe_push!(sp + 1);
+                step!(); // bin
+                step!(); // store
+                let slot = &mut locals[lb + i as usize];
+                *slot = op.eval(*slot, k);
+                step!(); // jmp
+                pc = target as usize;
+            }
+            PInst::DupBin(op) => {
+                underflow!(1); // dup
+                probe_push!(sp);
+                step!(); // bin
+                let a = stack[sp - 1];
+                stack[sp - 1] = op.eval(a, a);
+            }
+            PInst::DupDupBinBin { op1, op2 } => {
+                underflow!(1); // first dup
+                probe_push!(sp);
+                step!(); // second dup
+                probe_push!(sp + 1);
+                step!(); // bin1
+                step!(); // bin2
+                let a = stack[sp - 1];
+                stack[sp - 1] = op2.eval(a, op1.eval(a, a));
+            }
+            PInst::PushSwapBin { op, k } => {
+                probe_push!(sp); // push k
+                step!(); // swap
+                underflow!(1); // swap needs two incl. the fused transient
+                step!(); // bin
+                let a = stack[sp - 1];
+                stack[sp - 1] = op.eval(k, a);
+            }
+            PInst::LoadInGetBin { op, i, port } => {
+                probe_push!(sp); // load pushes the index
+                step!(); // inget
+                let idx = locals[lb + i as usize];
+                let port_data = inputs[port as usize];
+                let v = match to_index(idx, port_data.len()) {
+                    Some(x) => port_data[x],
+                    None => return Err(TvmError::IndexOutOfBounds { port, index: idx }),
+                };
+                step!(); // bin
+                underflow!(1); // bin needs two incl. the fused transient
+                stack[sp - 1] = op.eval(stack[sp - 1], v);
+            }
+            PInst::LoadInGet2Bin { op, i, j, p, q } => {
+                probe_push!(sp); // load i pushes the first index
+                step!(); // inget p
+                let idx = locals[lb + i as usize];
+                let port_data = inputs[p as usize];
+                let a = match to_index(idx, port_data.len()) {
+                    Some(x) => port_data[x],
+                    None => {
+                        return Err(TvmError::IndexOutOfBounds {
+                            port: p,
+                            index: idx,
+                        })
+                    }
+                };
+                step!(); // load j
+                probe_push!(sp + 1);
+                step!(); // inget q
+                let idx = locals[lb + j as usize];
+                let port_data = inputs[q as usize];
+                let b = match to_index(idx, port_data.len()) {
+                    Some(x) => port_data[x],
+                    None => {
+                        return Err(TvmError::IndexOutOfBounds {
+                            port: q,
+                            index: idx,
+                        })
+                    }
+                };
+                step!(); // bin: both operands are fused transients
+                pushv_raw(stack, sp, op.eval(a, b));
+                sp += 1;
+            }
+            PInst::LoadBinStore { op, i, dst } => {
+                probe_push!(sp); // load
+                step!(); // bin
+                underflow!(1); // bin needs two incl. the fused transient
+                step!(); // store
+                let v = stack[sp - 1];
+                sp -= 1;
+                locals[lb + dst as usize] = op.eval(v, locals[lb + i as usize]);
+            }
+        }
+    }
+
+    Ok(ExecStats {
+        instructions: instr,
+        max_stack: max_sp,
+    })
+}
+
+/// Write at `sp` (overflow already checked), growing the buffer if this
+/// depth has never been reached. High-water update is the caller's duty.
+#[inline(always)]
+fn pushv_raw(stack: &mut Vec<f64>, sp: usize, v: f64) {
+    if sp < stack.len() {
+        stack[sp] = v;
+    } else {
+        stack.truncate(sp);
+        stack.push(v);
+    }
+}
+
+fn to_index(x: f64, len: usize) -> Option<usize> {
+    let i = to_raw_index(x)?;
+    (i < len).then_some(i)
+}
+
+fn to_raw_index(x: f64) -> Option<usize> {
+    if !x.is_finite() || x < 0.0 || x > (1u64 << 52) as f64 {
+        return None;
+    }
+    Some(x as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Function;
+    use crate::{execute, Module};
+    use Op::*;
+
+    fn module1(code: Vec<Op>, n_locals: u16, n_inputs: u8, n_outputs: u8) -> Module {
+        Module {
+            name: "t".into(),
+            version: 1,
+            n_inputs,
+            n_outputs,
+            functions: vec![Function {
+                name: "main".into(),
+                n_locals,
+                code,
+            }],
+        }
+    }
+
+    type ExecOutcome = Result<(Vec<Vec<f64>>, ExecStats), TvmError>;
+
+    fn both(m: &Module, inputs: &[&[f64]], policy: &SandboxPolicy) -> (ExecOutcome, ExecOutcome) {
+        let legacy = execute(m, inputs, policy);
+        let prepared = PreparedModule::prepare(m).expect("verifies");
+        let mut ctx = ExecContext::new();
+        let fast = prepared.execute(inputs, policy, &mut ctx);
+        (legacy, fast)
+    }
+
+    #[test]
+    fn doubler_loop_matches_legacy_exactly() {
+        let m = module1(
+            vec![
+                InLen(0),
+                Store(0),
+                Push(0.0),
+                Store(1),
+                Load(1),
+                Load(0),
+                Lt,
+                Jz(18),
+                Load(1),
+                InGet(0),
+                Push(2.0),
+                Mul,
+                OutPush(0),
+                Load(1),
+                Push(1.0),
+                Add,
+                Store(1),
+                Jmp(4),
+                Halt,
+            ],
+            2,
+            1,
+            1,
+        );
+        let input = [1.0, 2.5, -3.0];
+        let (legacy, fast) = both(&m, &[&input], &SandboxPolicy::standard());
+        assert_eq!(legacy, fast);
+        assert_eq!(fast.unwrap().0[0], vec![2.0, 5.0, -6.0]);
+    }
+
+    #[test]
+    fn fusion_compresses_the_doubler_loop() {
+        let m = module1(
+            vec![
+                InLen(0),
+                Store(0),
+                Push(0.0),
+                Store(1),
+                Load(1),
+                Load(0),
+                Lt,
+                Jz(18),
+                Load(1),
+                InGet(0),
+                Push(2.0),
+                Mul,
+                OutPush(0),
+                Load(1),
+                Push(1.0),
+                Add,
+                Store(1),
+                Jmp(4),
+                Halt,
+            ],
+            2,
+            1,
+            1,
+        );
+        let p = PreparedModule::prepare(&m).unwrap();
+        assert_eq!(p.source_instructions(), 19);
+        // InLen, Store, Push, Store, [LoadLoadBinBr], [LoadInGet],
+        // [PushBin mul], OutPush, [LocalBinKJmp +1], Halt = 10.
+        assert_eq!(p.prepared_instructions(), 10);
+    }
+
+    #[test]
+    fn constant_folding_preserves_stats() {
+        let m = module1(
+            vec![Push(3.0), Push(4.0), Add, Push(2.0), Mul, OutPush(0), Halt],
+            0,
+            0,
+            1,
+        );
+        let (legacy, fast) = both(&m, &[], &SandboxPolicy::standard());
+        assert_eq!(legacy, fast);
+        let (out, stats) = fast.unwrap();
+        assert_eq!(out, vec![vec![14.0]]);
+        // Folded to [PushPushBin 7.0][PushBin *2][OutPush][Halt] but the
+        // metered instruction count is unchanged.
+        assert_eq!(stats.instructions, 7);
+        assert_eq!(stats.max_stack, 2);
+    }
+
+    #[test]
+    fn calls_use_the_arena_and_match_legacy() {
+        let m = Module {
+            name: "sq".into(),
+            version: 1,
+            n_inputs: 0,
+            n_outputs: 1,
+            functions: vec![
+                Function {
+                    name: "main".into(),
+                    n_locals: 1,
+                    code: vec![Push(3.0), Call(1), Call(1), OutPush(0), Halt],
+                },
+                Function {
+                    name: "square".into(),
+                    n_locals: 2,
+                    code: vec![Dup, Mul, Ret],
+                },
+            ],
+        };
+        let (legacy, fast) = both(&m, &[], &SandboxPolicy::standard());
+        assert_eq!(legacy, fast);
+        assert_eq!(fast.unwrap().0[0], vec![81.0]);
+    }
+
+    #[test]
+    fn budget_trips_inside_a_fused_window() {
+        // push; push; mul (folds) then spin. With a budget that expires on
+        // the second source instruction, the fused op must trip exactly as
+        // the legacy interpreter does.
+        let m = module1(vec![Push(1.0), Push(2.0), Mul, Pop, Jmp(0)], 0, 0, 0);
+        for budget in 1..=6u64 {
+            let policy = SandboxPolicy {
+                max_instructions: budget,
+                ..SandboxPolicy::standard()
+            };
+            let (legacy, fast) = both(&m, &[], &policy);
+            assert_eq!(legacy, fast, "budget={budget}");
+        }
+    }
+
+    #[test]
+    fn overflow_order_matches_legacy_in_fused_window() {
+        // At max_stack = 1 the second push of the folded constant pair must
+        // overflow exactly like the legacy second push.
+        let m = module1(vec![Push(1.0), Push(2.0), Add, OutPush(0), Halt], 0, 0, 1);
+        let tight = SandboxPolicy {
+            max_stack: 1,
+            ..SandboxPolicy::standard()
+        };
+        let (legacy, fast) = both(&m, &[], &tight);
+        assert_eq!(legacy, fast);
+        assert_eq!(fast, Err(TvmError::StackOverflow));
+    }
+
+    #[test]
+    fn jump_target_into_fusible_window_blocks_fusion() {
+        // The `push 1.0; add` pair at 3..5 would fuse, but pc 4 is a jump
+        // target; the prepared module must keep it addressable.
+        let m = module1(
+            vec![
+                Push(10.0), // 0
+                Jmp(4),     // 1
+                Halt,       // 2 (dead)
+                Push(1.0),  // 3
+                Add,        // 4 <- target lands mid-pair... on the binop
+                OutPush(0), // 5
+                Halt,       // 6
+            ],
+            0,
+            0,
+            1,
+        );
+        let (legacy, fast) = both(&m, &[], &SandboxPolicy::standard());
+        assert_eq!(legacy, fast);
+        // Jumped straight to Add with only one operand on the stack.
+        assert_eq!(fast, Err(TvmError::StackUnderflow));
+    }
+
+    #[test]
+    fn deep_recursion_depth_error_matches() {
+        let m = module1(vec![Call(0), Ret], 0, 0, 0);
+        let policy = SandboxPolicy {
+            max_call_depth: 8,
+            ..SandboxPolicy::standard()
+        };
+        let (legacy, fast) = both(&m, &[], &policy);
+        assert_eq!(legacy, fast);
+        assert_eq!(fast, Err(TvmError::CallDepthExceeded));
+    }
+
+    #[test]
+    fn host_io_denied_matches() {
+        let m = module1(vec![Push(1.0), HostIo(0), Pop, Halt], 0, 0, 0);
+        let (legacy, fast) = both(&m, &[], &SandboxPolicy::standard());
+        assert_eq!(legacy, fast);
+        assert_eq!(fast, Err(TvmError::HostIoDenied));
+        let (legacy, fast) = both(&m, &[], &SandboxPolicy::trusted());
+        assert_eq!(legacy, fast);
+        assert!(fast.is_ok());
+    }
+
+    #[test]
+    fn context_reuse_is_clean_across_runs_and_modules() {
+        let m1 = module1(vec![Push(1.0), OutPush(0), Halt], 0, 0, 1);
+        let m2 = module1(
+            vec![Load(0), OutPush(0), Load(1), OutPush(1), Halt],
+            2,
+            0,
+            2,
+        );
+        let p1 = PreparedModule::prepare(&m1).unwrap();
+        let p2 = PreparedModule::prepare(&m2).unwrap();
+        let mut ctx = ExecContext::new();
+        for _ in 0..3 {
+            let (out, _) = p1
+                .execute(&[], &SandboxPolicy::standard(), &mut ctx)
+                .unwrap();
+            assert_eq!(out, vec![vec![1.0]]);
+            // m2's locals must be zero despite m1 leaving stack residue.
+            let (out, _) = p2
+                .execute(&[], &SandboxPolicy::standard(), &mut ctx)
+                .unwrap();
+            assert_eq!(out, vec![vec![0.0], vec![0.0]]);
+        }
+    }
+
+    #[test]
+    fn from_blob_checks_integrity() {
+        let m = module1(vec![Push(1.0), Pop, Halt], 0, 0, 0);
+        let mut blob = m.to_blob();
+        assert!(PreparedModule::from_blob(&blob).is_ok());
+        let n = blob.bytes.len();
+        blob.bytes[n - 1] ^= 0xFF;
+        assert!(matches!(
+            PreparedModule::from_blob(&blob),
+            Err(PrepareError::Integrity)
+        ));
+    }
+
+    #[test]
+    fn source_hash_is_the_blob_content_id() {
+        let m = module1(vec![Push(1.0), Pop, Halt], 0, 0, 0);
+        let p = PreparedModule::prepare(&m).unwrap();
+        assert_eq!(p.source_hash(), crate::fnv1a64(&m.to_blob().bytes));
+        assert_eq!(p.source_hash(), m.to_blob().hash);
+    }
+
+    #[test]
+    fn modeled_prepare_cost_is_deterministic() {
+        let m = module1(vec![Push(1.0), Pop, Halt], 0, 0, 0);
+        let p = PreparedModule::prepare(&m).unwrap();
+        assert_eq!(p.modeled_prepare_us(), 1);
+        assert_eq!(
+            PreparedModule::prepare(&m).unwrap().modeled_prepare_us(),
+            p.modeled_prepare_us()
+        );
+    }
+}

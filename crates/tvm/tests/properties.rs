@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use tvm::asm::assemble;
-use tvm::{execute, Function, Module, Op, SandboxPolicy, TvmError};
+use tvm::{execute, ExecContext, Function, Module, Op, PreparedModule, SandboxPolicy, TvmError};
 
 /// Arbitrary (possibly invalid) instruction.
 fn arb_op() -> impl Strategy<Value = Op> {
@@ -30,6 +30,231 @@ fn arb_op() -> impl Strategy<Value = Op> {
         (0u8..3).prop_map(Op::OutLen),
         (0u8..2).prop_map(Op::HostIo),
     ]
+}
+
+/// Arbitrary instruction drawing from the *full* ISA (for the differential
+/// prepared-vs-legacy tests, which need every opcode and fusion shape).
+fn arb_full_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (-1e6f64..1e6).prop_map(Op::Push),
+        Just(Op::Pop),
+        Just(Op::Dup),
+        Just(Op::Swap),
+        Just(Op::Over),
+        (0u16..64).prop_map(Op::Load),
+        (0u16..64).prop_map(Op::Store),
+        prop_oneof![
+            Just(Op::Add),
+            Just(Op::Sub),
+            Just(Op::Mul),
+            Just(Op::Div),
+            Just(Op::Rem),
+            Just(Op::Min),
+            Just(Op::Max),
+            Just(Op::Pow),
+        ],
+        prop_oneof![
+            Just(Op::Neg),
+            Just(Op::Abs),
+            Just(Op::Floor),
+            Just(Op::Sqrt),
+            Just(Op::Sin),
+            Just(Op::Cos),
+            Just(Op::Exp),
+            Just(Op::Ln),
+        ],
+        prop_oneof![
+            Just(Op::Eq),
+            Just(Op::Ne),
+            Just(Op::Lt),
+            Just(Op::Le),
+            Just(Op::Gt),
+            Just(Op::Ge),
+        ],
+        (0u32..64).prop_map(Op::Jmp),
+        (0u32..64).prop_map(Op::Jz),
+        (0u32..64).prop_map(Op::Jnz),
+        (0u16..8).prop_map(Op::Call),
+        Just(Op::Ret),
+        Just(Op::Halt),
+        (0u8..8).prop_map(Op::InLen),
+        (0u8..8).prop_map(Op::InGet),
+        (0u8..8).prop_map(Op::OutPush),
+        (0u8..8).prop_map(Op::OutSet),
+        (0u8..8).prop_map(Op::OutLen),
+        (0u8..2).prop_map(Op::HostIo),
+    ]
+}
+
+/// Make an arbitrary op stream *valid by construction*: append a
+/// terminator, then clamp every index/target into range so the verifier
+/// accepts the function.
+fn sanitize(mut code: Vec<Op>, n_locals: u16, n_funcs: u16, ports: u8, terminator: Op) -> Vec<Op> {
+    code.push(terminator);
+    let len = code.len() as u32;
+    for op in &mut code {
+        *op = match *op {
+            Op::Load(i) => Op::Load(i % n_locals),
+            Op::Store(i) => Op::Store(i % n_locals),
+            Op::Call(t) => Op::Call(t % n_funcs),
+            Op::Jmp(t) => Op::Jmp(t % len),
+            Op::Jz(t) => Op::Jz(t % len),
+            Op::Jnz(t) => Op::Jnz(t % len),
+            Op::InLen(p) => Op::InLen(p % ports),
+            Op::InGet(p) => Op::InGet(p % ports),
+            Op::OutPush(p) => Op::OutPush(p % ports),
+            Op::OutSet(p) => Op::OutSet(p % ports),
+            Op::OutLen(p) => Op::OutLen(p % ports),
+            other => other,
+        };
+    }
+    code
+}
+
+const DIFF_LOCALS: u16 = 6;
+const DIFF_PORTS: u8 = 3;
+
+/// Build a verified multi-function module from arbitrary op streams.
+fn diff_module(bodies: Vec<Vec<Op>>) -> Module {
+    let n_funcs = bodies.len() as u16;
+    let functions = bodies
+        .into_iter()
+        .enumerate()
+        .map(|(i, body)| Function {
+            name: format!("f{i}"),
+            n_locals: DIFF_LOCALS,
+            code: sanitize(
+                body,
+                DIFF_LOCALS,
+                n_funcs,
+                DIFF_PORTS,
+                if i == 0 { Op::Halt } else { Op::Ret },
+            ),
+        })
+        .collect();
+    Module {
+        name: "diff".into(),
+        version: 1,
+        n_inputs: DIFF_PORTS,
+        n_outputs: DIFF_PORTS,
+        functions,
+    }
+}
+
+/// f64 equality up to bit identity (NaN-safe): the prepared path must
+/// reproduce legacy outputs *bit for bit*.
+fn bits(outputs: &[Vec<f64>]) -> Vec<Vec<u64>> {
+    outputs
+        .iter()
+        .map(|port| port.iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+/// Error equality; `IndexOutOfBounds` carries the offending f64 index,
+/// which may be NaN.
+fn errs_eq(a: &TvmError, b: &TvmError) -> bool {
+    match (a, b) {
+        (
+            TvmError::IndexOutOfBounds {
+                port: p1,
+                index: i1,
+            },
+            TvmError::IndexOutOfBounds {
+                port: p2,
+                index: i2,
+            },
+        ) => p1 == p2 && i1.to_bits() == i2.to_bits(),
+        _ => a == b,
+    }
+}
+
+/// Run both paths (prepared twice, to also exercise context reuse) and
+/// describe the first divergence, if any.
+fn equiv_failure(module: &Module, inputs: &[&[f64]], policy: &SandboxPolicy) -> Option<String> {
+    let legacy = execute(module, inputs, policy);
+    let prepared = match PreparedModule::prepare(module) {
+        Ok(p) => p,
+        Err(e) => return Some(format!("prepare rejected a verified module: {e}")),
+    };
+    let mut ctx = ExecContext::new();
+    for round in 0..2 {
+        let fast = prepared.execute(inputs, policy, &mut ctx);
+        let same = match (&legacy, &fast) {
+            (Ok((lo, ls)), Ok((fo, fs))) => bits(lo) == bits(fo) && ls == fs,
+            (Err(a), Err(b)) => errs_eq(a, b),
+            _ => false,
+        };
+        if !same {
+            return Some(format!(
+                "round {round} diverged:\n  legacy   = {legacy:?}\n  prepared = {fast:?}"
+            ));
+        }
+    }
+    None
+}
+
+proptest! {
+    /// Differential: for arbitrary *valid* modules and inputs, the
+    /// prepared path produces identical outputs (bit for bit), identical
+    /// `ExecStats`, and identical errors — including budget exhaustion,
+    /// which the legacy interpreter checks before every source
+    /// instruction and fused superinstructions must replicate mid-window.
+    #[test]
+    fn prepared_path_matches_legacy(
+        bodies in proptest::collection::vec(
+            proptest::collection::vec(arb_full_op(), 1..50), 1..4),
+        lens in proptest::collection::vec(0usize..12, 3..4),
+        seed in 0u64..1000,
+    ) {
+        let module = diff_module(bodies);
+        let buffers: Vec<Vec<f64>> = lens
+            .iter()
+            .enumerate()
+            .map(|(p, &n)| {
+                (0..n)
+                    .map(|j| (seed as f64 + p as f64 * 7.5 - j as f64 * 1.25).sin() * 50.0)
+                    .collect()
+            })
+            .collect();
+        let slices: Vec<&[f64]> = buffers.iter().map(Vec::as_slice).collect();
+        let policy = SandboxPolicy {
+            max_instructions: 20_000,
+            max_stack: 64,
+            max_call_depth: 8,
+            max_output_cells: 1_024,
+            allow_host_io: false,
+        };
+        let failure = equiv_failure(&module, &slices, &policy);
+        prop_assert!(failure.is_none(), "{}", failure.unwrap());
+    }
+
+    /// Differential under hostile-tight policies: every sandbox violation
+    /// (budget, stack overflow, call depth, output cap, HostIo trap) must
+    /// fire identically on both paths — at the exact same source
+    /// instruction even when it sits inside a fused window.
+    #[test]
+    fn prepared_path_matches_legacy_under_tight_policies(
+        bodies in proptest::collection::vec(
+            proptest::collection::vec(arb_full_op(), 1..50), 1..4),
+        max_instructions in 1u64..2_000,
+        max_stack in 1usize..10,
+        max_call_depth in 1usize..6,
+        max_output_cells in 0usize..48,
+        host_io in 0u8..2,
+    ) {
+        let module = diff_module(bodies);
+        let input = [1.5, -2.0, 0.0, 40.0];
+        let slices: Vec<&[f64]> = vec![&input; DIFF_PORTS as usize];
+        let policy = SandboxPolicy {
+            max_instructions,
+            max_stack,
+            max_call_depth,
+            max_output_cells,
+            allow_host_io: host_io == 1,
+        };
+        let failure = equiv_failure(&module, &slices, &policy);
+        prop_assert!(failure.is_none(), "{}", failure.unwrap());
+    }
 }
 
 proptest! {
