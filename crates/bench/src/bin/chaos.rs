@@ -2,8 +2,8 @@
 //!
 //! Usage:
 //! ```text
-//! chaos sweep [--seeds N] [--long]      # run N seeded plans (default 200)
-//! chaos replay --seed S --scenario NAME --plan "PLAN" [--mutate drop-output]
+//! chaos sweep [--seeds N] [--long] [--orch]  # run N seeded plans (default 200)
+//! chaos replay --seed S --scenario NAME --plan "PLAN" [--mutate drop-output] [--orch]
 //! ```
 //!
 //! `sweep` runs every seed's generated fault plan against its scenario
@@ -22,8 +22,8 @@ const REPRODUCER_FILE: &str = "chaos.reproducer.txt";
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  chaos sweep [--seeds N] [--long]\n  chaos replay --seed S \
-         --scenario NAME --plan \"PLAN\" [--mutate drop-output]"
+        "usage:\n  chaos sweep [--seeds N] [--long] [--orch]\n  chaos replay --seed S \
+         --scenario NAME --plan \"PLAN\" [--mutate drop-output] [--orch]"
     );
     std::process::exit(2)
 }
@@ -43,10 +43,14 @@ fn write_reproducer(cfg: &ChaosConfig, out: &RunOutcome, original: Option<&Chaos
     }
 }
 
-fn sweep(seeds: u64) -> i32 {
+fn sweep(seeds: u64, orch: bool) -> i32 {
     let mut tally = [0u64; 3];
     for seed in 0..seeds {
-        let cfg = ChaosConfig::from_seed(seed);
+        let cfg = if orch {
+            ChaosConfig::from_seed_orch(seed)
+        } else {
+            ChaosConfig::from_seed(seed)
+        };
         let a = run_chaos(&cfg);
         let b = run_chaos(&cfg);
         if a.digest != b.digest || a.report != b.report {
@@ -100,8 +104,11 @@ fn sweep(seeds: u64) -> i32 {
         tally[i] += 1;
     }
     println!(
-        "chaos sweep: {seeds} seeds green, deterministic (farm={} pipeline={} voting={})",
-        tally[0], tally[1], tally[2]
+        "chaos sweep{}: {seeds} seeds green, deterministic (farm={} pipeline={} voting={})",
+        if orch { " [orch]" } else { "" },
+        tally[0],
+        tally[1],
+        tally[2]
     );
     0
 }
@@ -111,6 +118,7 @@ fn replay(args: &[String]) -> i32 {
     let mut scenario: Option<Scenario> = None;
     let mut plan: Option<FaultPlan> = None;
     let mut mutate = false;
+    let mut orch = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -146,6 +154,7 @@ fn replay(args: &[String]) -> i32 {
                     _ => usage(),
                 }
             }
+            "--orch" => orch = true,
             _ => usage(),
         }
         i += 1;
@@ -158,6 +167,7 @@ fn replay(args: &[String]) -> i32 {
         scenario,
         plan,
         mutate_drop_output: mutate,
+        orch,
     };
     let out = run_chaos(&cfg);
     print!("{}", out.report);
@@ -177,10 +187,12 @@ fn main() {
         Some("sweep") => {
             let rest = &args[1..];
             let mut seeds = DEFAULT_SEEDS;
+            let mut orch = false;
             let mut i = 0;
             while i < rest.len() {
                 match rest[i].as_str() {
                     "--long" => seeds = seeds.max(LONG_SEEDS),
+                    "--orch" => orch = true,
                     "--seeds" => {
                         i += 1;
                         match rest.get(i).and_then(|s| s.parse().ok()) {
@@ -192,7 +204,7 @@ fn main() {
                 }
                 i += 1;
             }
-            sweep(seeds)
+            sweep(seeds, orch)
         }
         Some("replay") => replay(&args[1..]),
         _ => usage(),

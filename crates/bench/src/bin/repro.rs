@@ -11,7 +11,7 @@
 
 use consumer_grid_bench as bench;
 
-const IDS: [(&str, &str); 13] = [
+const IDS: [(&str, &str); 14] = [
     ("e1", "Figure 2: SNR vs AccumStat iterations"),
     ("e2", "Task-graph XML transmission overhead"),
     ("e3", "Case 1: galaxy frame-rendering speedup"),
@@ -25,6 +25,7 @@ const IDS: [(&str, &str); 13] = [
     ("e11", "Case 3: service discovery & bind"),
     ("e12", "Redundant execution vs cheating volunteers"),
     ("e13", "Peer profiling & adaptive scheduling"),
+    ("e14", "Decentralised orchestration & controller failover"),
 ];
 
 fn run(id: &str) -> Option<String> {
@@ -42,6 +43,7 @@ fn run(id: &str) -> Option<String> {
         "e11" => bench::e11_service_pipeline::report(),
         "e12" => bench::e12_redundancy::report(),
         "e13" => bench::e13_adaptive_scheduling::report(),
+        "e14" => bench::e14_decentralised_orch::report(),
         _ => return None,
     };
     Some(report)

@@ -1,0 +1,301 @@
+//! E14 — decentralised orchestration: election, gossip replication,
+//! controller failover.
+//!
+//! The paper's §3 architecture keeps one Triana controller in charge of a
+//! distributed task graph; if that peer leaves, the computation dies with
+//! it. This experiment measures what `triana-orch` buys when the
+//! controller itself is a volunteer:
+//!
+//! * **(a) forced failover** — a task farm and a service pipeline each run
+//!   under a 3-member orchestrator set while the scripted fault plan
+//!   crashes the *active* controller twice mid-run. Leadership hops down
+//!   the eligibility order, the successor resumes dispatch from the
+//!   gossip-replicated scheduler state, and every job/token still
+//!   completes exactly once. Each configuration runs twice and the full
+//!   run reports must be byte-identical (the determinism gate CI enforces).
+//! * **(b) replication overhead** — the same fault-free workload under a
+//!   single controller vs the decentralised set. Completion is identical;
+//!   the cost of surviving controller loss is the metered gossip traffic
+//!   (state deltas broadcast + anti-entropy rounds), not outcome drift.
+//! * **(c) seeded chaos sweep** — the orchestrator-fault plan generator
+//!   (`FaultPlan::generate_orch`) mixes controller crashes/partitions into
+//!   the full chaos vocabulary over [`SWEEP_SEEDS`] seeds; every run must
+//!   drain, hold the exactly-once and replication-convergence invariants,
+//!   and replay byte-identically.
+
+use crate::table;
+use chaos::{run_chaos, ChaosConfig, FaultPlan, Scenario};
+
+/// Seeds in the report's chaos sweep section (mirrors CI's smoke gate).
+pub const SWEEP_SEEDS: u64 = 200;
+
+/// Crash the initial leader (o0), let it return as a follower, then crash
+/// its successor (o1) — two elections, two handoffs, leadership ending on
+/// the third member until o1 returns.
+pub const FAILOVER_PLAN: &str = "octl@20000:o0;orest@24000:o0;octl@36000:o1;orest@40000:o1";
+
+/// One scenario driven through the forced-failover plan.
+#[derive(Clone, Copy, Debug)]
+pub struct FailoverPoint {
+    pub scenario: &'static str,
+    /// Scripted crashes of the currently-active controller.
+    pub leader_crashes: u64,
+    pub elections: u64,
+    pub handoffs: u64,
+    /// Jobs (farm/voting) or tokens (pipeline) completed / total.
+    pub done: u64,
+    pub total: u64,
+    /// Scheduler-state deltas broadcast to follower replicas.
+    pub deltas: u64,
+    pub gossip_rounds: u64,
+    /// Run digest; two runs of the same config must agree on it.
+    pub digest: u64,
+    pub invariants_ok: bool,
+}
+
+/// Pull `"name":value` out of the report's embedded obs counter snapshot.
+fn counter(report: &str, name: &str) -> u64 {
+    let key = format!("\"{name}\":");
+    report
+        .find(&key)
+        .map(|i| {
+            report[i + key.len()..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+        })
+        .and_then(|digits| digits.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Pull `key=done/total` out of the report's stats line.
+fn done_of(report: &str, key: &str) -> (u64, u64) {
+    let tag = format!("{key}=");
+    let Some(i) = report.find(&tag) else {
+        return (0, 0);
+    };
+    let rest = &report[i + tag.len()..];
+    let mut it = rest.split(['/', ' ', '\n']);
+    let done = it.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+    let total = it.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+    (done, total)
+}
+
+fn run_cfg(cfg: &ChaosConfig) -> FailoverPoint {
+    let a = run_chaos(cfg);
+    let b = run_chaos(cfg);
+    assert_eq!(
+        a.digest, b.digest,
+        "chaos run must be byte-identical across replays:\n{}",
+        a.report
+    );
+    let key = match cfg.scenario {
+        Scenario::Pipeline => "tokens_done",
+        _ => "jobs_done",
+    };
+    let (done, total) = done_of(&a.report, key);
+    FailoverPoint {
+        scenario: cfg.scenario.name(),
+        leader_crashes: cfg.plan.to_string().matches("octl@").count() as u64,
+        elections: counter(&a.report, "orch.elections"),
+        handoffs: counter(&a.report, "orch.handoffs"),
+        done,
+        total,
+        deltas: counter(&a.report, "orch.deltas_broadcast"),
+        gossip_rounds: counter(&a.report, "orch.gossip_rounds"),
+        digest: a.digest,
+        invariants_ok: a.ok(),
+    }
+}
+
+/// Drive `scenario` through [`FAILOVER_PLAN`] under the decentralised set.
+pub fn run_failover(scenario: Scenario, seed: u64) -> FailoverPoint {
+    run_cfg(&ChaosConfig {
+        seed,
+        scenario,
+        plan: FAILOVER_PLAN.parse().expect("static failover plan"),
+        mutate_drop_output: false,
+        orch: true,
+    })
+}
+
+/// Fault-free run of `scenario` with or without the orchestrator set.
+pub fn run_baseline(scenario: Scenario, orch: bool, seed: u64) -> FailoverPoint {
+    run_cfg(&ChaosConfig {
+        seed,
+        scenario,
+        plan: FaultPlan::default(),
+        mutate_drop_output: false,
+        orch,
+    })
+}
+
+/// Summary of the seeded orchestrator-fault sweep.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SweepSummary {
+    pub seeds: u64,
+    pub green: u64,
+    pub deterministic: u64,
+    pub farm: u64,
+    pub pipeline: u64,
+    pub voting: u64,
+    pub total_elections: u64,
+}
+
+/// Run the orchestrator-fault plan for `seeds` seeds, each twice.
+pub fn run_sweep(seeds: u64) -> SweepSummary {
+    let mut s = SweepSummary {
+        seeds,
+        ..SweepSummary::default()
+    };
+    for seed in 0..seeds {
+        let cfg = ChaosConfig::from_seed_orch(seed);
+        let a = run_chaos(&cfg);
+        let b = run_chaos(&cfg);
+        if a.ok() {
+            s.green += 1;
+        }
+        if a.digest == b.digest {
+            s.deterministic += 1;
+        }
+        match cfg.scenario {
+            Scenario::Farm => s.farm += 1,
+            Scenario::Pipeline => s.pipeline += 1,
+            Scenario::Voting => s.voting += 1,
+        }
+        s.total_elections += counter(&a.report, "orch.elections");
+    }
+    s
+}
+
+fn failover_row(p: &FailoverPoint) -> Vec<String> {
+    vec![
+        p.scenario.to_string(),
+        p.leader_crashes.to_string(),
+        p.elections.to_string(),
+        p.handoffs.to_string(),
+        format!("{}/{}", p.done, p.total),
+        p.deltas.to_string(),
+        p.gossip_rounds.to_string(),
+        if p.invariants_ok { "yes" } else { "NO" }.to_string(),
+    ]
+}
+
+pub fn report() -> String {
+    let failover_rows: Vec<Vec<String>> = [Scenario::Farm, Scenario::Pipeline]
+        .iter()
+        .map(|&sc| failover_row(&run_failover(sc, 0xE14)))
+        .collect();
+    let baseline_rows: Vec<Vec<String>> = [Scenario::Farm, Scenario::Pipeline]
+        .iter()
+        .flat_map(|&sc| {
+            [false, true].into_iter().map(move |orch| {
+                let p = run_baseline(sc, orch, 0xE14);
+                vec![
+                    p.scenario.to_string(),
+                    if orch { "3 orchestrators" } else { "single" }.to_string(),
+                    format!("{}/{}", p.done, p.total),
+                    p.deltas.to_string(),
+                    p.gossip_rounds.to_string(),
+                    p.elections.to_string(),
+                ]
+            })
+        })
+        .collect();
+    let sweep = run_sweep(SWEEP_SEEDS);
+    format!(
+        "E14 Decentralised orchestration (election, gossip replication, failover)\n\
+         \n\
+         (a) Forced failover: plan `{plan}` crashes the active controller\n\
+         twice; each config runs twice and must be byte-identical:\n\n{a}\n\
+         (b) Fault-free replication overhead (single controller vs the\n\
+         3-member set; completion parity, metered gossip cost):\n\n{b}\n\
+         (c) Seeded orchestrator-fault sweep ({seeds} seeds, each run twice):\n\
+         \n\
+         green {green}/{seeds}  deterministic {det}/{seeds}  \
+         (farm={farm} pipeline={pipe} voting={vote})  elections={elections}\n",
+        plan = FAILOVER_PLAN,
+        a = table::render(
+            &[
+                "scenario",
+                "leader crashes",
+                "elections",
+                "handoffs",
+                "done",
+                "deltas",
+                "gossip rounds",
+                "invariants"
+            ],
+            &failover_rows
+        ),
+        b = table::render(
+            &[
+                "scenario",
+                "control plane",
+                "done",
+                "deltas",
+                "gossip rounds",
+                "elections"
+            ],
+            &baseline_rows
+        ),
+        seeds = sweep.seeds,
+        green = sweep.green,
+        det = sweep.deterministic,
+        farm = sweep.farm,
+        pipe = sweep.pipeline,
+        vote = sweep.voting,
+        elections = sweep.total_elections,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn farm_survives_two_leader_crashes() {
+        let p = run_failover(Scenario::Farm, 0xE14);
+        assert!(p.invariants_ok, "{p:?}");
+        assert_eq!(p.leader_crashes, 2, "{p:?}");
+        assert!(p.elections >= 2, "{p:?}");
+        assert!(p.handoffs >= 2, "{p:?}");
+        assert_eq!(p.done, p.total, "{p:?}");
+        assert!(p.total > 0, "{p:?}");
+        assert!(p.deltas > 0, "{p:?}");
+    }
+
+    #[test]
+    fn pipeline_survives_two_leader_crashes() {
+        let p = run_failover(Scenario::Pipeline, 0xE14);
+        assert!(p.invariants_ok, "{p:?}");
+        assert!(p.elections >= 2, "{p:?}");
+        assert!(p.handoffs >= 2, "{p:?}");
+        assert_eq!(p.done, p.total, "{p:?}");
+        assert!(p.total > 0, "{p:?}");
+    }
+
+    #[test]
+    fn decentralisation_preserves_fault_free_outcomes() {
+        for sc in [Scenario::Farm, Scenario::Pipeline] {
+            let single = run_baseline(sc, false, 0xE14);
+            let multi = run_baseline(sc, true, 0xE14);
+            assert!(single.invariants_ok && multi.invariants_ok);
+            assert_eq!(single.done, single.total, "{single:?}");
+            assert_eq!(multi.done, multi.total, "{multi:?}");
+            assert_eq!(single.done, multi.done, "{single:?}\n{multi:?}");
+            // Stable leadership: no crashes, no elections.
+            assert_eq!(multi.elections, 0, "{multi:?}");
+            // The overhead is visible: followers receive replicated state.
+            assert!(multi.deltas > 0, "{multi:?}");
+        }
+    }
+
+    #[test]
+    fn orch_sweep_sample_is_green_and_deterministic() {
+        let s = run_sweep(12);
+        assert_eq!(s.green, 12, "{s:?}");
+        assert_eq!(s.deterministic, 12, "{s:?}");
+        assert!(s.total_elections > 0, "{s:?}");
+    }
+}

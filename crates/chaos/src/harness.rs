@@ -12,7 +12,8 @@
 use netsim::avail::AvailabilityTrace;
 use netsim::{Duration, HostId, HostSpec, Pcg32, SimTime};
 use obs::Obs;
-use p2p::{AdvertBody, Advertisement, BlobAdvert, DiscoveryMode, PeerId};
+use orch::{OrchConfig, OrchestratorHandle, OrchestratorSpec, Orchestrators};
+use p2p::{AdvertBody, Advertisement, BlobAdvert, DiscoveryMode, Incoming, PeerId};
 use store::{BlobId, ChunkLayout};
 use triana_core::checkpoint::CheckpointPolicy;
 use triana_core::grid::farm::{FarmConfig, FarmScheduler, JobSpec, SwarmConfig};
@@ -20,18 +21,20 @@ use triana_core::grid::pipeline::{PipelineScheduler, StageSpec};
 use triana_core::grid::redundancy::{Behaviour, RedundancyConfig, VotingFarm};
 use triana_core::grid::{GridEvent, GridWorld, JobId, WorkerId, WorkerSetup};
 use triana_core::modules::ModuleKey;
-use trust::GridTrustConfig;
+use trust::{orchestrator_eligibility, GridTrustConfig};
 
 use crate::invariants::{
     check_blacklist_respected, check_cache_integrity, check_dispatch_conservation,
     check_exactly_once, check_message_conservation, check_no_starvation, check_no_stranded_jobs,
-    check_pipeline, check_voting, Violation,
+    check_orch_exactly_once, check_orch_replication, check_pipeline, check_voting, Violation,
 };
 use crate::oracle::FaultOracle;
 use crate::plan::{FaultKind, FaultPlan};
 
 /// Workers in the farm/voting scenarios (plan worker indices wrap here).
 pub const N_WORKERS: usize = 5;
+/// Orchestrator-set members in decentralised (`--orch`) runs.
+pub const N_ORCH: usize = 3;
 /// Stages in the pipeline scenario.
 pub const N_STAGES: usize = 3;
 /// Jobs submitted in the farm scenario.
@@ -86,6 +89,10 @@ pub struct ChaosConfig {
     /// Arm the intentional `drop-output` bug (mutation testing: the
     /// harness must catch, shrink, and replay it).
     pub mutate_drop_output: bool,
+    /// Run the scenario under a decentralised [`N_ORCH`]-member
+    /// orchestrator set instead of a single controller; orchestrator
+    /// faults in the plan then crash/partition members of that set.
+    pub orch: bool,
 }
 
 impl ChaosConfig {
@@ -97,6 +104,20 @@ impl ChaosConfig {
             scenario: Scenario::for_seed(seed),
             plan: FaultPlan::generate(seed, N_WORKERS as u32, PLAN_HORIZON_MS),
             mutate_drop_output: false,
+            orch: false,
+        }
+    }
+
+    /// The orchestrator-fault sweep: the same scenario choice, but the
+    /// world runs a decentralised orchestrator set and the plan mixes in
+    /// orchestrator crashes and partitions.
+    pub fn from_seed_orch(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            scenario: Scenario::for_seed(seed),
+            plan: FaultPlan::generate_orch(seed, N_WORKERS as u32, N_ORCH as u32, PLAN_HORIZON_MS),
+            mutate_drop_output: false,
+            orch: true,
         }
     }
 }
@@ -126,10 +147,11 @@ pub fn replay_command(cfg: &ChaosConfig) -> String {
         cfg.seed,
         cfg.scenario.name(),
         cfg.plan,
-        if cfg.mutate_drop_output {
-            " --mutate drop-output"
-        } else {
-            ""
+        match (cfg.mutate_drop_output, cfg.orch) {
+            (true, true) => " --mutate drop-output --orch",
+            (true, false) => " --mutate drop-output",
+            (false, true) => " --orch",
+            (false, false) => "",
         }
     )
 }
@@ -164,6 +186,10 @@ enum Action {
     Corrupt(u32),
     Skew { worker: u32, pct: u8 },
     Lie(u32),
+    OrchDown(u32),
+    OrchUp(u32),
+    OrchCut(u32),
+    OrchUncut(u32),
 }
 
 /// The plan, expanded and sorted, consumed progressively as the driver
@@ -241,9 +267,40 @@ impl PlanRuntime {
                         actions.push((at, Action::Lie(worker % n)));
                     }
                 }
+                FaultKind::OrchCrash { orch } => {
+                    actions.push((at, Action::OrchDown(orch % N_ORCH as u32)));
+                }
+                FaultKind::OrchRestart { orch } => {
+                    actions.push((at, Action::OrchUp(orch % N_ORCH as u32)));
+                }
+                FaultKind::OrchPartition { orch, secs } => {
+                    let o = orch % N_ORCH as u32;
+                    actions.push((at, Action::OrchCut(o)));
+                    actions.push((at + u64::from(secs) * 1_000, Action::OrchUncut(o)));
+                }
             }
         }
         actions.sort_by_key(|(t, _)| *t);
+        {
+            // An orchestrator that never comes back leaves its log entries
+            // unrepairable and can park ownership forever: guarantee every
+            // OrchDown has a matching later OrchUp, mirroring the pipeline
+            // stage balance below.
+            let last = actions.last().map_or(0, |(t, _)| *t);
+            let mut balance = [0i32; N_ORCH];
+            for (_, a) in &actions {
+                match a {
+                    Action::OrchDown(o) => balance[*o as usize] -= 1,
+                    Action::OrchUp(o) => balance[*o as usize] = 0,
+                    _ => {}
+                }
+            }
+            for (o, b) in balance.iter().enumerate() {
+                if *b < 0 {
+                    actions.push((last + 10_000, Action::OrchUp(o as u32)));
+                }
+            }
+        }
         if scenario == Scenario::Pipeline {
             // A stage that never comes back makes lost tokens recirculate
             // forever (emit → dead stage → re-emit): guarantee every Down
@@ -311,20 +368,55 @@ fn ms_to_time(ms: u64) -> SimTime {
     SimTime::ZERO + Duration::from_millis(ms)
 }
 
-/// Static facts the farm driver needs to apply plan actions.
+/// Static facts the farm driver needs to apply plan actions, plus the
+/// mutable reachability bookkeeping for the orchestrator set (a member is
+/// usable only while its host is online *and* unpartitioned).
 pub struct FarmCtx {
     ctrl_host: HostId,
     worker_hosts: Vec<HostId>,
     module_blob: BlobId,
     module_len: u64,
     module_chunks: u32,
+    /// Hosts of the orchestrator set; empty when the world runs the
+    /// classic single controller (orch plan actions are then ignored).
+    orch_hosts: Vec<HostId>,
+    orch_offline: Vec<bool>,
+    orch_cuts: Vec<u32>,
+}
+
+impl FarmCtx {
+    /// Cut or heal every link between orchestrator `o` and the rest of
+    /// the grid (workers and fellow orchestrators).
+    fn set_orch_partitioned(&self, world: &mut GridWorld, o: usize, cut: bool) {
+        for &wh in &self.worker_hosts {
+            world.net.set_link_cut(self.orch_hosts[o], wh, cut);
+        }
+        for (j, &oh) in self.orch_hosts.iter().enumerate() {
+            if j != o {
+                world.net.set_link_cut(self.orch_hosts[o], oh, cut);
+            }
+        }
+    }
+
+    /// Push the membership view to match reachability and let the farm
+    /// react (election, ownership reassignment, resumed returns, kick).
+    fn sync_orch_member(&self, world: &mut GridWorld, farm: &mut FarmScheduler, o: usize) {
+        let up = !self.orch_offline[o] && self.orch_cuts[o] == 0;
+        let orch = farm.orchestrators().clone();
+        if up {
+            orch.set_member_up(&mut world.sim, &mut world.net, &mut world.p2p, o);
+        } else {
+            orch.set_member_down(&mut world.sim, &mut world.net, &mut world.p2p, o);
+        }
+        farm.on_orch_change(world);
+    }
 }
 
 fn apply_farm_action(
     world: &mut GridWorld,
     farm: &mut FarmScheduler,
     oracle: &FaultOracle,
-    ctx: &FarmCtx,
+    ctx: &mut FarmCtx,
     act: Action,
 ) {
     match act {
@@ -380,6 +472,42 @@ fn apply_farm_action(
                 .p2p
                 .publish(&mut world.sim, &mut world.net, provider, ad);
         }
+        Action::OrchDown(o) => {
+            let o = o as usize;
+            if o < ctx.orch_hosts.len() && !ctx.orch_offline[o] {
+                ctx.orch_offline[o] = true;
+                world.net.set_online(ctx.orch_hosts[o], false);
+                ctx.sync_orch_member(world, farm, o);
+            }
+        }
+        Action::OrchUp(o) => {
+            let o = o as usize;
+            if o < ctx.orch_hosts.len() && ctx.orch_offline[o] {
+                ctx.orch_offline[o] = false;
+                world.net.set_online(ctx.orch_hosts[o], true);
+                ctx.sync_orch_member(world, farm, o);
+            }
+        }
+        Action::OrchCut(o) => {
+            let o = o as usize;
+            if o < ctx.orch_hosts.len() {
+                ctx.orch_cuts[o] += 1;
+                if ctx.orch_cuts[o] == 1 {
+                    ctx.set_orch_partitioned(world, o, true);
+                }
+                ctx.sync_orch_member(world, farm, o);
+            }
+        }
+        Action::OrchUncut(o) => {
+            let o = o as usize;
+            if o < ctx.orch_hosts.len() && ctx.orch_cuts[o] > 0 {
+                ctx.orch_cuts[o] -= 1;
+                if ctx.orch_cuts[o] == 0 {
+                    ctx.set_orch_partitioned(world, o, false);
+                }
+                ctx.sync_orch_member(world, farm, o);
+            }
+        }
     }
 }
 
@@ -393,7 +521,7 @@ pub fn drive_farm(
     farm: &mut FarmScheduler,
     rt: &mut PlanRuntime,
     oracle: &FaultOracle,
-    ctx: &FarmCtx,
+    ctx: &mut FarmCtx,
     violations: &mut Vec<Violation>,
 ) {
     let mut before: Vec<Option<WorkerId>> = (0..farm.n_jobs())
@@ -406,7 +534,17 @@ pub fn drive_farm(
         }
         match world.sim.step() {
             Some(GridEvent::P2p(pe)) => {
-                world.p2p.handle(&mut world.sim, &mut world.net, pe);
+                for inc in world.p2p.handle(&mut world.sim, &mut world.net, pe) {
+                    if let Incoming::Orch {
+                        to,
+                        seq,
+                        count,
+                        sync,
+                    } = inc
+                    {
+                        farm.orch_deliver(to, seq, count, sync);
+                    }
+                }
             }
             Some(ev) => farm.handle(world, ev),
             None => {
@@ -423,13 +561,48 @@ pub fn drive_farm(
     }
 }
 
+/// Static facts and orchestrator reachability bookkeeping for the
+/// pipeline driver (the pipeline analogue of [`FarmCtx`]).
+pub struct PipeCtx {
+    stage_hosts: Vec<HostId>,
+    orch_hosts: Vec<HostId>,
+    orch_offline: Vec<bool>,
+    orch_cuts: Vec<u32>,
+}
+
+impl PipeCtx {
+    fn set_orch_partitioned(&self, world: &mut GridWorld, o: usize, cut: bool) {
+        for &sh in &self.stage_hosts {
+            world.net.set_link_cut(self.orch_hosts[o], sh, cut);
+        }
+        for (j, &oh) in self.orch_hosts.iter().enumerate() {
+            if j != o {
+                world.net.set_link_cut(self.orch_hosts[o], oh, cut);
+            }
+        }
+    }
+
+    fn sync_orch_member(&self, world: &mut GridWorld, pl: &mut PipelineScheduler, o: usize) {
+        let up = !self.orch_offline[o] && self.orch_cuts[o] == 0;
+        let orch = pl.orchestrators().clone();
+        if up {
+            orch.set_member_up(&mut world.sim, &mut world.net, &mut world.p2p, o);
+        } else {
+            orch.set_member_down(&mut world.sim, &mut world.net, &mut world.p2p, o);
+        }
+        pl.on_orch_change(&mut world.sim, &mut world.net, &mut world.p2p);
+    }
+}
+
 /// Step the pipeline world to drain (same action protocol as
-/// [`drive_farm`]; only churn and message chaos reach a pipeline).
+/// [`drive_farm`]; only churn, message chaos, and orchestrator faults
+/// reach a pipeline).
 pub fn drive_pipeline(
     world: &mut GridWorld,
     pl: &mut PipelineScheduler,
     rt: &mut PlanRuntime,
     oracle: &FaultOracle,
+    ctx: &mut PipeCtx,
 ) {
     loop {
         let horizon_ms = world.sim.peek_time().map(|t| t.as_micros() / 1_000);
@@ -462,6 +635,42 @@ pub fn drive_pipeline(
                     pct,
                     Duration::from_millis(u64::from(max_ms)),
                 ),
+                Action::OrchDown(o) => {
+                    let o = o as usize;
+                    if o < ctx.orch_hosts.len() && !ctx.orch_offline[o] {
+                        ctx.orch_offline[o] = true;
+                        world.net.set_online(ctx.orch_hosts[o], false);
+                        ctx.sync_orch_member(world, pl, o);
+                    }
+                }
+                Action::OrchUp(o) => {
+                    let o = o as usize;
+                    if o < ctx.orch_hosts.len() && ctx.orch_offline[o] {
+                        ctx.orch_offline[o] = false;
+                        world.net.set_online(ctx.orch_hosts[o], true);
+                        ctx.sync_orch_member(world, pl, o);
+                    }
+                }
+                Action::OrchCut(o) => {
+                    let o = o as usize;
+                    if o < ctx.orch_hosts.len() {
+                        ctx.orch_cuts[o] += 1;
+                        if ctx.orch_cuts[o] == 1 {
+                            ctx.set_orch_partitioned(world, o, true);
+                        }
+                        ctx.sync_orch_member(world, pl, o);
+                    }
+                }
+                Action::OrchUncut(o) => {
+                    let o = o as usize;
+                    if o < ctx.orch_hosts.len() && ctx.orch_cuts[o] > 0 {
+                        ctx.orch_cuts[o] -= 1;
+                        if ctx.orch_cuts[o] == 0 {
+                            ctx.set_orch_partitioned(world, o, false);
+                        }
+                        ctx.sync_orch_member(world, pl, o);
+                    }
+                }
                 // Filtered out by PlanRuntime::new for pipelines.
                 _ => unreachable!("farm-only action in a pipeline plan"),
             }
@@ -470,7 +679,7 @@ pub fn drive_pipeline(
             Some(GridEvent::P2p(pe)) => {
                 let incoming = world.p2p.handle(&mut world.sim, &mut world.net, pe);
                 for inc in incoming {
-                    pl.on_incoming(&mut world.sim, inc);
+                    pl.on_incoming(&mut world.sim, &mut world.net, &mut world.p2p, inc);
                 }
             }
             Some(ev) => pl.handle(&mut world.sim, &mut world.net, &mut world.p2p, ev),
@@ -515,7 +724,36 @@ struct FarmWorld {
     module_key: ModuleKey,
 }
 
-fn build_farm_world(seed: u64, oracle: &FaultOracle) -> FarmWorld {
+/// Build the [`N_ORCH`]-member orchestrator set for a decentralised run:
+/// `lead` (the classic controller peer, fastest host) plus two slower
+/// peers, eligibility scored from advertised clock at full trust.
+fn build_orch_set(
+    world: &mut GridWorld,
+    lead: PeerId,
+    lead_host: HostId,
+    seed: u64,
+) -> (OrchestratorHandle, Vec<HostId>) {
+    let mut specs = vec![OrchestratorSpec {
+        peer: lead,
+        host: lead_host,
+        eligibility: orchestrator_eligibility(2.0, 1.0, 1.0),
+    }];
+    let mut hosts = vec![lead_host];
+    for i in 1..N_ORCH {
+        let cpu = 2.0 - i as f64 * 0.2;
+        let (peer, h) = world.add_peer(host(cpu));
+        hosts.push(h);
+        specs.push(OrchestratorSpec {
+            peer,
+            host: h,
+            eligibility: orchestrator_eligibility(cpu, 1.0, 1.0),
+        });
+    }
+    let handle = OrchestratorHandle::new(Orchestrators::new(&specs, seed, OrchConfig::default()));
+    (handle, hosts)
+}
+
+fn build_farm_world(seed: u64, oracle: &FaultOracle, use_orch: bool) -> FarmWorld {
     let mut world = GridWorld::new(seed, DiscoveryMode::Flooding);
     let obs = Obs::enabled();
     world.sim.set_tap(oracle.tap());
@@ -530,7 +768,15 @@ fn build_farm_world(seed: u64, oracle: &FaultOracle) -> FarmWorld {
         }),
         trust: Some(GridTrustConfig::adaptive()),
     };
-    let mut farm = FarmScheduler::new(&world, ctrl, cfg);
+    let mut orch_hosts = Vec::new();
+    let mut farm = if use_orch {
+        let (handle, hosts) = build_orch_set(&mut world, ctrl, ctrl_host, seed);
+        handle.set_obs(obs.clone());
+        orch_hosts = hosts;
+        FarmScheduler::with_orchestrators(handle, cfg)
+    } else {
+        FarmScheduler::new(&world, ctrl, cfg)
+    };
     farm.set_obs(obs.clone());
     let horizon = SimTime::from_secs(200_000);
     let mut worker_hosts = Vec::with_capacity(N_WORKERS);
@@ -567,6 +813,9 @@ fn build_farm_world(seed: u64, oracle: &FaultOracle) -> FarmWorld {
             module_blob,
             module_len,
             module_chunks: layout.count(),
+            orch_offline: vec![false; orch_hosts.len()],
+            orch_cuts: vec![0; orch_hosts.len()],
+            orch_hosts,
         },
         obs,
         module_key,
@@ -594,10 +843,11 @@ fn finish_report(
     let mut report = String::with_capacity(2_048);
     report.push_str("chaos-report v1\n");
     report.push_str(&format!(
-        "scenario={} seed={} mutate={} plan={}\n",
+        "scenario={} seed={} mutate={} orch={} plan={}\n",
         cfg.scenario.name(),
         cfg.seed,
         cfg.mutate_drop_output,
+        cfg.orch,
         cfg.plan
     ));
     report.push_str(&stats_line);
@@ -624,10 +874,18 @@ fn finish_report(
     }
 }
 
+/// Jobs the farm has actually completed, the ground truth the replicated
+/// completion set must agree with.
+fn farm_done_jobs(farm: &FarmScheduler) -> Vec<u64> {
+    (0..farm.n_jobs() as u64)
+        .filter(|&j| farm.job_is_done(JobId(j)))
+        .collect()
+}
+
 fn run_farm_scenario(cfg: &ChaosConfig) -> RunOutcome {
     let oracle = FaultOracle::new(cfg.seed);
     oracle.set_mutate_drop_output(cfg.mutate_drop_output);
-    let mut fw = build_farm_world(cfg.seed, &oracle);
+    let mut fw = build_farm_world(cfg.seed, &oracle, cfg.orch);
     for i in 0..N_JOBS {
         let spec = farm_job(i, &fw.module_key);
         fw.farm.submit(&mut fw.world, spec);
@@ -640,7 +898,7 @@ fn run_farm_scenario(cfg: &ChaosConfig) -> RunOutcome {
         &mut fw.farm,
         &mut rt,
         &oracle,
-        &fw.ctx,
+        &mut fw.ctx,
         &mut violations,
     );
     let reg = fw.obs.registry().expect("obs enabled").clone();
@@ -650,6 +908,11 @@ fn run_farm_scenario(cfg: &ChaosConfig) -> RunOutcome {
     check_dispatch_conservation(&reg, &mut violations);
     check_message_conservation(&reg, oracle.counters(), &mut violations);
     check_cache_integrity(&fw.farm, &fw.world, &mut violations);
+    if cfg.orch {
+        let done = farm_done_jobs(&fw.farm);
+        check_orch_exactly_once(fw.farm.orchestrators(), &done, &mut violations);
+        check_orch_replication(fw.farm.orchestrators(), &mut violations);
+    }
     let s = fw.farm.stats();
     let stats_line = format!(
         "farm: jobs_done={}/{} attempts={} wasted_us={} makespan_us={}",
@@ -665,7 +928,7 @@ fn run_farm_scenario(cfg: &ChaosConfig) -> RunOutcome {
 fn run_voting_scenario(cfg: &ChaosConfig) -> RunOutcome {
     let oracle = FaultOracle::new(cfg.seed);
     oracle.set_mutate_drop_output(cfg.mutate_drop_output);
-    let mut fw = build_farm_world(cfg.seed, &oracle);
+    let mut fw = build_farm_world(cfg.seed, &oracle, cfg.orch);
     let mut behaviours = vec![Behaviour::Honest; N_WORKERS];
     behaviours[0] = Behaviour::Cheater { cheat_prob: 1.0 };
     let mut voting = VotingFarm::new(RedundancyConfig::triple(), behaviours, cfg.seed);
@@ -690,7 +953,7 @@ fn run_voting_scenario(cfg: &ChaosConfig) -> RunOutcome {
             &mut fw.farm,
             &mut rt,
             &oracle,
-            &fw.ctx,
+            &mut fw.ctx,
             &mut violations,
         );
         for u in 0..voting.units.len() {
@@ -706,6 +969,11 @@ fn run_voting_scenario(cfg: &ChaosConfig) -> RunOutcome {
     check_message_conservation(&reg, oracle.counters(), &mut violations);
     check_cache_integrity(&fw.farm, &fw.world, &mut violations);
     check_voting(&voting, &fw.farm, &mut violations);
+    if cfg.orch {
+        let done = farm_done_jobs(&fw.farm);
+        check_orch_exactly_once(fw.farm.orchestrators(), &done, &mut violations);
+        check_orch_replication(fw.farm.orchestrators(), &mut violations);
+    }
     let s = fw.farm.stats();
     let stats_line = format!(
         "voting: units={} replicas={} jobs_done={}/{} attempts={}",
@@ -726,29 +994,59 @@ fn run_pipeline_scenario(cfg: &ChaosConfig) -> RunOutcome {
     world.sim.set_tap(oracle.tap());
     world.p2p.set_obs(obs.clone());
     world.p2p.set_send_filter(oracle.send_filter());
-    let (ctrl, _) = world.add_peer(host(2.0));
+    let (ctrl, ctrl_host) = world.add_peer(host(2.0));
+    let (orch_set, orch_hosts) = if cfg.orch {
+        let (handle, hosts) = build_orch_set(&mut world, ctrl, ctrl_host, cfg.seed);
+        handle.set_obs(obs.clone());
+        (Some(handle), hosts)
+    } else {
+        (None, Vec::new())
+    };
     let mut stages = Vec::with_capacity(N_STAGES);
-    let mut peers: Vec<PeerId> = Vec::with_capacity(N_STAGES);
+    let mut stage_hosts: Vec<HostId> = Vec::with_capacity(N_STAGES);
     for i in 0..N_STAGES {
         let spec = host(1.5 + i as f64 * 0.25);
-        let (peer, _) = world.add_peer(spec.clone());
-        peers.push(peer);
+        let (peer, h) = world.add_peer(spec.clone());
+        stage_hosts.push(h);
         stages.push(StageSpec {
             peer,
             spec,
             work_gigacycles: 5.0,
         });
     }
-    let mut pl = PipelineScheduler::new(&mut world, ctrl, "chaos", stages, 10_000);
+    let mut pl = match orch_set {
+        Some(handle) => PipelineScheduler::with_orchestrators(
+            &mut world,
+            handle,
+            "chaos",
+            stages,
+            10_000,
+            Vec::new(),
+        ),
+        None => PipelineScheduler::new(&mut world, ctrl, "chaos", stages, 10_000),
+    };
     pl.set_obs(obs.clone());
     pl.emit_tokens(&mut world.sim, N_TOKENS, Duration::from_secs(1));
     let mut rt = PlanRuntime::new(&cfg.plan, Scenario::Pipeline);
     rt.schedule_churn(&mut world.sim);
-    drive_pipeline(&mut world, &mut pl, &mut rt, &oracle);
+    let mut ctx = PipeCtx {
+        stage_hosts,
+        orch_offline: vec![false; orch_hosts.len()],
+        orch_cuts: vec![0; orch_hosts.len()],
+        orch_hosts,
+    };
+    drive_pipeline(&mut world, &mut pl, &mut rt, &oracle, &mut ctx);
     let reg = obs.registry().expect("obs enabled").clone();
     let mut violations = Vec::new();
     check_pipeline(&pl, N_TOKENS, &reg, &mut violations);
     check_message_conservation(&reg, oracle.counters(), &mut violations);
+    if cfg.orch {
+        let done: Vec<u64> = (0..N_TOKENS)
+            .filter(|&t| pl.token_latency(t).is_some())
+            .collect();
+        check_orch_exactly_once(pl.orchestrators(), &done, &mut violations);
+        check_orch_replication(pl.orchestrators(), &mut violations);
+    }
     let s = pl.stats();
     let stats_line = format!(
         "pipeline: tokens_done={}/{} emissions={} max_latency_us={}",
@@ -798,11 +1096,35 @@ mod tests {
                 scenario,
                 plan: FaultPlan::empty(),
                 mutate_drop_output: false,
+                orch: false,
             };
             let out = run_chaos(&cfg);
             assert!(
                 out.ok(),
                 "{} baseline violated: {:?}",
+                scenario.name(),
+                out.violations
+            );
+        }
+    }
+
+    #[test]
+    fn fault_free_orch_scenarios_complete_cleanly() {
+        // A decentralised orchestrator set with no faults must behave like
+        // the single controller: every scenario drains green, no election
+        // ever runs, and every replica converges.
+        for scenario in [Scenario::Farm, Scenario::Pipeline, Scenario::Voting] {
+            let cfg = ChaosConfig {
+                seed: 11,
+                scenario,
+                plan: FaultPlan::empty(),
+                mutate_drop_output: false,
+                orch: true,
+            };
+            let out = run_chaos(&cfg);
+            assert!(
+                out.ok(),
+                "{} orch baseline violated: {:?}",
                 scenario.name(),
                 out.violations
             );
@@ -909,12 +1231,15 @@ mod tests {
         let plan: FaultPlan = "crash@26000:w0;restart@30000:w0".parse().unwrap();
         let mut rt = PlanRuntime::new(&plan, Scenario::Farm);
         rt.schedule_churn(&mut world.sim);
-        let ctx = FarmCtx {
+        let mut ctx = FarmCtx {
             ctrl_host,
             worker_hosts: vec![worker_host],
             module_blob: BlobId::of(&[]),
             module_len: 0,
             module_chunks: 0,
+            orch_hosts: Vec::new(),
+            orch_offline: Vec::new(),
+            orch_cuts: Vec::new(),
         };
         let mut violations = Vec::new();
         drive_farm(
@@ -922,7 +1247,7 @@ mod tests {
             &mut farm,
             &mut rt,
             &oracle,
-            &ctx,
+            &mut ctx,
             &mut violations,
         );
         assert!(violations.is_empty(), "{violations:?}");
@@ -951,5 +1276,83 @@ mod tests {
                 out.report
             );
         }
+    }
+
+    #[test]
+    fn orch_seed_sweep_smoke_holds_invariants() {
+        for seed in 0..18 {
+            let cfg = ChaosConfig::from_seed_orch(seed);
+            let out = run_chaos(&cfg);
+            assert!(
+                out.ok(),
+                "orch seed {seed} ({}) violated invariants:\n{}",
+                cfg.scenario.name(),
+                out.report
+            );
+            if seed < 6 {
+                let again = run_chaos(&cfg);
+                assert_eq!(out.digest, again.digest, "orch seed {seed} diverged");
+                assert_eq!(out.report, again.report);
+            }
+        }
+    }
+
+    #[test]
+    fn leader_crash_handoff_resumes_at_exact_times() {
+        // Satellite regression for the handoff/kick fix: crash the active
+        // leader (member 0, who owns in-flight jobs and their data plane)
+        // mid-run at an exact time and revive it later. The successor must
+        // re-elect, reassign orphaned ownership, re-drive Returning jobs,
+        // and — crucially — kick the queue so the farm actually finishes
+        // instead of stalling until (absent) worker churn.
+        let cfg = ChaosConfig {
+            seed: 3, // 3 % 3 == 0 → farm scenario
+            scenario: Scenario::Farm,
+            plan: "octl@26000:o0;orest@30000:o0".parse().unwrap(),
+            mutate_drop_output: false,
+            orch: true,
+        };
+        let out = run_chaos(&cfg);
+        assert!(out.ok(), "handoff run violated invariants:\n{}", out.report);
+        assert!(
+            out.report.contains(&format!("jobs_done={N_JOBS}/{N_JOBS}")),
+            "farm must finish every job after the handoff:\n{}",
+            out.report
+        );
+        assert!(
+            out.report.contains("\"orch.elections\":1"),
+            "the leader crash must run exactly one election:\n{}",
+            out.report
+        );
+        let again = run_chaos(&cfg);
+        assert_eq!(
+            out.digest, again.digest,
+            "handoff run must be deterministic"
+        );
+    }
+
+    #[test]
+    fn requeued_replica_cannot_revote_through_one_cheater() {
+        // Regression (long-sweep seed 1697): job conflicts used to be
+        // one-directional — a unit's *first* replica carried no conflict
+        // entries, so when its worker crashed the requeued job could land
+        // on the cheater that had already completed a sibling replica.
+        // One bad volunteer then cast two identical wrong digests and won
+        // the vote. Conflicts are now symmetric at submit time.
+        let cfg = ChaosConfig {
+            seed: 1697,
+            scenario: Scenario::Voting,
+            plan: "crash@7580:w4;skew@37796:w1,28%;skew@45106:w2,10%"
+                .parse()
+                .unwrap(),
+            mutate_drop_output: false,
+            orch: false,
+        };
+        let out = run_chaos(&cfg);
+        assert!(
+            out.ok(),
+            "one cheater formed a quorum on a requeued replica:\n{}",
+            out.report
+        );
     }
 }

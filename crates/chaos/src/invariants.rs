@@ -8,6 +8,8 @@
 //! a genuine scheduling bug.
 
 use obs::Registry;
+use orch::{Delta, OrchestratorHandle};
+use std::collections::BTreeSet;
 use std::fmt;
 use triana_core::grid::farm::FarmScheduler;
 use triana_core::grid::pipeline::PipelineScheduler;
@@ -247,6 +249,82 @@ pub fn check_voting(voting: &VotingFarm, farm: &FarmScheduler, out: &mut Vec<Vio
                     ),
                 ));
             }
+        }
+    }
+}
+
+/// Replicated exactly-once: the authoritative delta log records each
+/// unit's completion exactly once, and the set of completions agrees with
+/// the scheduler's ground truth (`done` — finished job ids for a farm,
+/// finished token ids for a pipeline). A double `Complete` means a
+/// failover re-ran a finished unit; a missing one means a handoff lost a
+/// completion the old leader had already accepted.
+pub fn check_orch_exactly_once(orch: &OrchestratorHandle, done: &[u64], out: &mut Vec<Violation>) {
+    let o = orch.inner();
+    let mut completed: BTreeSet<u64> = BTreeSet::new();
+    for d in o.log() {
+        if let Delta::Complete { job } = *d {
+            if !completed.insert(job) {
+                out.push(Violation::new(
+                    "orch-exactly-once",
+                    format!("unit {job} completed more than once in the replicated log"),
+                ));
+            }
+        }
+    }
+    let truth: BTreeSet<u64> = done.iter().copied().collect();
+    if completed != truth {
+        let logged_only: Vec<u64> = completed.difference(&truth).copied().collect();
+        let truth_only: Vec<u64> = truth.difference(&completed).copied().collect();
+        out.push(Violation::new(
+            "orch-exactly-once",
+            format!(
+                "replicated completion set disagrees with the scheduler: \
+                 log-only={logged_only:?} scheduler-only={truth_only:?}"
+            ),
+        ));
+    }
+}
+
+/// No orphaned partition of the task graph at drain: every unfinished
+/// unit's data-plane owner is an up member, and every up member's replica
+/// has converged onto the full authoritative log (anti-entropy finished
+/// its job before the tick stopped).
+pub fn check_orch_replication(orch: &OrchestratorHandle, out: &mut Vec<Violation>) {
+    let o = orch.inner();
+    let auth = o.authority();
+    for (&job, &owner) in &auth.owners {
+        if auth.done.contains(&job) {
+            continue;
+        }
+        if !o.member_up(owner as usize) {
+            out.push(Violation::new(
+                "orch-orphaned-owner",
+                format!("unit {job} still owned by down orchestrator {owner} at drain"),
+            ));
+        }
+    }
+    let log_len = o.log_len();
+    for i in 0..o.n_members() {
+        if !o.member_up(i) {
+            continue;
+        }
+        let r = o.replica(i);
+        if r.applied() != log_len || r.buffered() != 0 {
+            out.push(Violation::new(
+                "orch-replication-divergence",
+                format!(
+                    "up orchestrator {i} drained with applied={}/{log_len} \
+                     and {} buffered deliveries",
+                    r.applied(),
+                    r.buffered()
+                ),
+            ));
+        } else if r.owners != auth.owners || r.dispatch != auth.dispatch || r.done != auth.done {
+            out.push(Violation::new(
+                "orch-replication-divergence",
+                format!("up orchestrator {i} applied the full log but disagrees with authority"),
+            ));
         }
     }
 }

@@ -30,7 +30,9 @@ pub mod oracle;
 pub mod plan;
 pub mod shrink;
 
-pub use harness::{replay_command, run_chaos, ChaosConfig, RunOutcome, Scenario, PLAN_HORIZON_MS};
+pub use harness::{
+    replay_command, run_chaos, ChaosConfig, RunOutcome, Scenario, N_ORCH, PLAN_HORIZON_MS,
+};
 pub use invariants::Violation;
 pub use oracle::{ChaosCounters, FaultOracle};
 pub use plan::{FaultEvent, FaultKind, FaultPlan, PlanParseError};

@@ -37,6 +37,16 @@ pub enum FaultKind {
     /// Byzantine advert: publish a provider claim for content the worker
     /// does not actually hold.
     Lie { worker: u32 },
+    /// An orchestrator crashes (host offline): the active controller if it
+    /// holds the lease, forcing an election; a follower otherwise.
+    OrchCrash { orch: u32 },
+    /// A previously crashed orchestrator returns (its replica catches up
+    /// through anti-entropy).
+    OrchRestart { orch: u32 },
+    /// Partition an orchestrator away from the whole grid for `secs`: its
+    /// host stays up but every route to workers and fellow orchestrators
+    /// is severed.
+    OrchPartition { orch: u32, secs: u32 },
 }
 
 /// A fault scheduled at a virtual-time offset (milliseconds).
@@ -52,9 +62,18 @@ impl FaultEvent {
     pub fn weaken(&self) -> Option<FaultEvent> {
         use FaultKind::*;
         let kind = match self.kind {
-            Crash { .. } | Restart { .. } | Corrupt { .. } | Lie { .. } => return None,
+            Crash { .. }
+            | Restart { .. }
+            | Corrupt { .. }
+            | Lie { .. }
+            | OrchCrash { .. }
+            | OrchRestart { .. } => return None,
             Partition { worker, secs } if secs > 1 => Partition {
                 worker,
+                secs: secs / 2,
+            },
+            OrchPartition { orch, secs } if secs > 1 => OrchPartition {
+                orch,
                 secs: secs / 2,
             },
             Drop { pct, secs } if pct > 1 || secs > 1 => Drop {
@@ -98,6 +117,9 @@ impl fmt::Display for FaultEvent {
             Corrupt { worker } => write!(f, "corrupt@{}:w{}", self.at_ms, worker),
             Skew { worker, pct } => write!(f, "skew@{}:w{},{}%", self.at_ms, worker, pct),
             Lie { worker } => write!(f, "lie@{}:w{}", self.at_ms, worker),
+            OrchCrash { orch } => write!(f, "octl@{}:o{}", self.at_ms, orch),
+            OrchRestart { orch } => write!(f, "orest@{}:o{}", self.at_ms, orch),
+            OrchPartition { orch, secs } => write!(f, "opart@{}:o{},{}s", self.at_ms, orch, secs),
         }
     }
 }
@@ -170,6 +192,16 @@ impl FromStr for FaultEvent {
             },
             ("lie", [w]) => FaultKind::Lie {
                 worker: parse_num(strip(w, "w", "")?, "worker")?,
+            },
+            ("octl", [o]) => FaultKind::OrchCrash {
+                orch: parse_num(strip(o, "o", "")?, "orchestrator")?,
+            },
+            ("orest", [o]) => FaultKind::OrchRestart {
+                orch: parse_num(strip(o, "o", "")?, "orchestrator")?,
+            },
+            ("opart", [o, d]) => FaultKind::OrchPartition {
+                orch: parse_num(strip(o, "o", "")?, "orchestrator")?,
+                secs: parse_num(strip(d, "", "s")?, "duration (s)")?,
             },
             _ => return Err(PlanParseError(format!("unknown event `{s}`"))),
         };
@@ -248,6 +280,43 @@ impl FaultPlan {
         plan
     }
 
+    /// Generate a plan that also exercises the orchestrator set: the base
+    /// worker/network fault mix of [`FaultPlan::generate`] (drawn from the
+    /// same stream, so worker chaos stays comparable) plus 1–3 orchestrator
+    /// crashes/partitions over `n_orch` members. Crashed orchestrators
+    /// always come back (possibly after the horizon), so a run can always
+    /// re-elect and drain.
+    pub fn generate_orch(seed: u64, n_workers: u32, n_orch: u32, horizon_ms: u64) -> FaultPlan {
+        let mut plan = FaultPlan::generate(seed, n_workers, horizon_ms);
+        let mut rng = Pcg32::new(seed, 0x0C71);
+        let n = 1 + rng.below(3) as usize;
+        for _ in 0..n {
+            let at_ms = rng.below(horizon_ms.max(1));
+            let orch = rng.below(n_orch.max(1) as u64) as u32;
+            match rng.below(2) {
+                0 => {
+                    plan.events.push(FaultEvent {
+                        at_ms,
+                        kind: FaultKind::OrchCrash { orch },
+                    });
+                    plan.events.push(FaultEvent {
+                        at_ms: at_ms + 500 + rng.below(20_000),
+                        kind: FaultKind::OrchRestart { orch },
+                    });
+                }
+                _ => plan.events.push(FaultEvent {
+                    at_ms,
+                    kind: FaultKind::OrchPartition {
+                        orch,
+                        secs: 1 + rng.below(15) as u32,
+                    },
+                }),
+            }
+        }
+        plan.sort();
+        plan
+    }
+
     /// Sort by time (stable, so equal-time events keep generation order).
     pub fn sort(&mut self) {
         self.events.sort_by_key(|e| e.at_ms);
@@ -310,6 +379,46 @@ mod tests {
         let empty: FaultPlan = "-".parse().unwrap();
         assert!(empty.is_empty());
         assert_eq!(empty.to_string(), "-");
+    }
+
+    #[test]
+    fn orch_plans_include_orchestrator_faults_and_round_trip() {
+        let mut any_orch = false;
+        for seed in 0..50 {
+            let plan = FaultPlan::generate_orch(seed, 4, 3, 30_000);
+            assert_eq!(plan, FaultPlan::generate_orch(seed, 4, 3, 30_000));
+            let crashes = plan
+                .events
+                .iter()
+                .filter(|e| matches!(e.kind, FaultKind::OrchCrash { .. }))
+                .count();
+            let restarts = plan
+                .events
+                .iter()
+                .filter(|e| matches!(e.kind, FaultKind::OrchRestart { .. }))
+                .count();
+            // Every crashed orchestrator eventually returns.
+            assert_eq!(crashes, restarts);
+            any_orch |= plan.events.iter().any(|e| {
+                matches!(
+                    e.kind,
+                    FaultKind::OrchCrash { .. } | FaultKind::OrchPartition { .. }
+                )
+            });
+            let back: FaultPlan = plan.to_string().parse().unwrap();
+            assert_eq!(back, plan);
+        }
+        assert!(any_orch, "orch generator never produced an orch fault");
+        let e: FaultEvent = "opart@100:o2,8s".parse().unwrap();
+        assert_eq!(
+            e.weaken().unwrap().kind,
+            FaultKind::OrchPartition { orch: 2, secs: 4 }
+        );
+        assert!("octl@5:o0"
+            .parse::<FaultEvent>()
+            .unwrap()
+            .weaken()
+            .is_none());
     }
 
     #[test]

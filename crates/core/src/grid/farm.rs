@@ -14,6 +14,7 @@ use std::collections::{HashMap, VecDeque};
 use netsim::avail::AvailabilityTrace;
 use netsim::{Duration, HostId, HostSpec, Sim, SimTime};
 use obs::Obs;
+use orch::{Delta, OrchestratorHandle};
 use p2p::{AdvertBody, Advertisement, BlobAdvert, PeerId, QueryId, QueryKind};
 use store::{assign_round_robin, BlobId, ChunkStore, FetchTracker};
 
@@ -108,6 +109,9 @@ struct Job {
     /// SETI-style: redundant copies on distinct volunteers).
     conflicts: Vec<JobId>,
     state: JobState,
+    /// Owner stamp minted when the result transfer left the worker; an
+    /// orchestrator change in between makes in-flight arrivals stale.
+    out_stamp: u64,
     /// Fraction of the work already checkpointed.
     fraction: f64,
     /// (worker, worker-epoch) currently responsible, if any.
@@ -200,9 +204,17 @@ pub struct FarmStats {
 pub type ResidentExec = Result<(Vec<Vec<f64>>, tvm::ExecStats), tvm::TvmError>;
 
 /// The Triana Controller's farm scheduler.
+///
+/// Runs either classically (one controller, [`FarmScheduler::new`]) or
+/// decentralised ([`FarmScheduler::with_orchestrators`]): the task graph is
+/// partitioned across an orchestrator set, each job's data plane (input,
+/// module, result) is served by its owning orchestrator, and dispatch-table
+/// changes are replicated so a surviving orchestrator can take over
+/// mid-farm.
 pub struct FarmScheduler {
-    controller: PeerId,
-    controller_host: HostId,
+    orch: OrchestratorHandle,
+    /// An anti-entropy tick is scheduled and will re-arm itself.
+    tick_armed: bool,
     cfg: FarmConfig,
     workers: Vec<Worker>,
     jobs: Vec<Job>,
@@ -228,11 +240,20 @@ pub struct FarmScheduler {
 }
 
 impl FarmScheduler {
+    /// Classic single-controller farm: a one-member orchestrator set,
+    /// behaviourally identical to the pre-decentralisation scheduler.
     pub fn new(world: &GridWorld, controller: PeerId, cfg: FarmConfig) -> Self {
+        let orch = OrchestratorHandle::single(controller, world.p2p.host_of(controller));
+        FarmScheduler::with_orchestrators(orch, cfg)
+    }
+
+    /// Decentralised farm: the handle's members partition ownership of the
+    /// submitted jobs and replicate scheduler state between themselves.
+    pub fn with_orchestrators(orch: OrchestratorHandle, cfg: FarmConfig) -> Self {
         let tcfg = cfg.trust.clone().unwrap_or_default();
         FarmScheduler {
-            controller,
-            controller_host: world.p2p.host_of(controller),
+            orch,
+            tick_armed: false,
             cfg,
             workers: Vec::new(),
             jobs: Vec::new(),
@@ -315,6 +336,19 @@ impl FarmScheduler {
         }
     }
 
+    /// Host whose uplink serves `job`'s data plane (input, module blob,
+    /// result): the owning orchestrator, i.e. the controller in single
+    /// mode.
+    fn owner_host(&self, job: JobId) -> HostId {
+        self.orch.owner_host(job.0)
+    }
+
+    /// Replicate a scheduler-state change across the orchestrator set.
+    fn record_delta(&mut self, world: &mut GridWorld, d: Delta) {
+        self.orch
+            .record(&mut world.sim, &mut world.net, &mut world.p2p, d);
+    }
+
     /// Simulated execution time of `gigacycles` on a worker, including its
     /// (hidden) efficiency factor.
     fn effective_exec(&self, wid: WorkerId, gigacycles: f64) -> Duration {
@@ -378,7 +412,11 @@ impl FarmScheduler {
 
     /// Queue a job that must never run on a worker hosting (or having
     /// completed) any of the `conflicts` jobs — the placement constraint
-    /// behind redundant result verification.
+    /// behind redundant result verification. The relation is symmetric:
+    /// each conflicting job also learns about this one, so a replica
+    /// requeued by a crash can never re-land on a worker already holding
+    /// (or having completed) a sibling — one bad volunteer must not get
+    /// two votes on the same unit.
     pub fn submit_with_conflicts(
         &mut self,
         world: &mut GridWorld,
@@ -386,6 +424,9 @@ impl FarmScheduler {
         conflicts: Vec<JobId>,
     ) -> JobId {
         let id = JobId(self.jobs.len() as u64);
+        for &cj in &conflicts {
+            self.jobs[cj.0 as usize].conflicts.push(id);
+        }
         self.jobs.push(Job {
             spec,
             created: world.sim.now(),
@@ -393,15 +434,33 @@ impl FarmScheduler {
             completed_by: None,
             conflicts,
             state: JobState::Pending,
+            out_stamp: 0,
             fraction: 0.0,
             assigned: None,
             attempts: 0,
             wasted: Duration::ZERO,
             spec_attempt: None,
         });
+        // Partition: the best-scoring reachable orchestrator owns this
+        // unit's data plane (a no-op choice in single-controller mode).
+        self.orch
+            .assign_owner(&mut world.sim, &mut world.net, &mut world.p2p, id.0);
+        self.arm_tick(world);
         self.pending.push_back(id);
         self.dispatch(world);
         id
+    }
+
+    /// Schedule the first anti-entropy tick of a multi-orchestrator run;
+    /// the tick re-arms itself until the farm quiesces converged.
+    fn arm_tick(&mut self, world: &mut GridWorld) {
+        if self.tick_armed || self.orch.is_single() {
+            return;
+        }
+        self.tick_armed = true;
+        world
+            .sim
+            .schedule(self.orch.anti_entropy_interval(), GridEvent::OrchTick);
     }
 
     /// May `job` run on `wid` given its conflict set?
@@ -510,6 +569,13 @@ impl FarmScheduler {
             .event(world.sim.now().as_micros(), "farm.dispatch", || {
                 format!("job={} worker={}", job_id.0, wid.0)
             });
+        self.record_delta(
+            world,
+            Delta::Dispatch {
+                job: job_id.0,
+                worker: wid.0,
+            },
+        );
         let job = &mut self.jobs[job_id.0 as usize];
         job.assigned = Some((wid, epoch));
         job.attempts += 1;
@@ -547,10 +613,8 @@ impl FarmScheduler {
             .unwrap_or(0);
         self.obs.add("farm.module_bytes_sent", bytes);
         let dst = self.workers[wid.0 as usize].host;
-        match world
-            .net
-            .transfer(world.sim.now(), self.controller_host, dst, bytes)
-        {
+        let src = self.owner_host(job_id);
+        match world.net.transfer(world.sim.now(), src, dst, bytes) {
             Ok(delay) => world.sim.schedule(
                 delay,
                 GridEvent::ModuleArrived {
@@ -560,7 +624,7 @@ impl FarmScheduler {
                     epoch,
                 },
             ),
-            Err(_) => self.requeue(world.sim.now(), job_id, wid),
+            Err(_) => self.requeue(world, job_id, wid),
         }
     }
 
@@ -637,7 +701,7 @@ impl FarmScheduler {
         };
         let bytes = fetch.tracker.layout().size(chunk);
         let src_host = match source {
-            ChunkSource::Controller => self.controller_host,
+            ChunkSource::Controller => self.orch.owner_host(job.0),
             ChunkSource::Peer(p) => world.p2p.host_of(p),
         };
         let dst = self.workers[wid.0 as usize].host;
@@ -665,7 +729,7 @@ impl FarmScheduler {
                 // vanished in this instant — treat as interrupt.
                 ChunkSource::Controller => {
                     self.fetches.remove(&job);
-                    self.requeue(world.sim.now(), job, wid);
+                    self.requeue(world, job, wid);
                 }
             },
         }
@@ -736,10 +800,8 @@ impl FarmScheduler {
             }
         }
         let dst = self.workers[wid.0 as usize].host;
-        match world
-            .net
-            .transfer(world.sim.now(), self.controller_host, dst, bytes)
-        {
+        let src = self.owner_host(job_id);
+        match world.net.transfer(world.sim.now(), src, dst, bytes) {
             Ok(delay) => world.sim.schedule(
                 delay,
                 GridEvent::InputArrived {
@@ -748,7 +810,7 @@ impl FarmScheduler {
                     epoch,
                 },
             ),
-            Err(_) => self.requeue(world.sim.now(), job_id, wid),
+            Err(_) => self.requeue(world, job_id, wid),
         }
     }
 
@@ -763,9 +825,9 @@ impl FarmScheduler {
 
     /// Unassign a job and put it back in the queue; frees the worker slot.
     /// Any in-flight speculative duplicate is cancelled with it.
-    fn requeue(&mut self, now: SimTime, job_id: JobId, wid: WorkerId) {
+    fn requeue(&mut self, world: &mut GridWorld, job_id: JobId, wid: WorkerId) {
         self.fetches.remove(&job_id);
-        self.cancel_spec(now, job_id);
+        self.cancel_spec(world.sim.now(), job_id);
         let job = &mut self.jobs[job_id.0 as usize];
         job.state = JobState::Pending;
         job.assigned = None;
@@ -774,6 +836,7 @@ impl FarmScheduler {
         w.active = w.active.saturating_sub(1);
         w.running.retain(|r| r.job != job_id);
         self.obs.incr("farm.requeues");
+        self.record_delta(world, Delta::Requeue { job: job_id.0 });
     }
 
     /// Main event handler. `GridEvent::P2p` must be routed to the overlay
@@ -909,19 +972,32 @@ impl FarmScheduler {
                 if gigacycles > 0.0 {
                     self.profiles.record_completion(worker.0, gigacycles, cpu);
                 }
-                match world
-                    .net
-                    .transfer(world.sim.now(), src, self.controller_host, out_bytes)
-                {
-                    Ok(delay) => world.sim.schedule(delay, GridEvent::OutputArrived { job }),
-                    // Controller is always on; a failure means the worker
-                    // vanished in this very instant — treat as interrupt.
-                    Err(_) => self.requeue(world.sim.now(), job, worker),
+                let dst = self.owner_host(job);
+                let stamp = self.orch.output_stamp(job.0);
+                self.jobs[job.0 as usize].out_stamp = stamp;
+                match world.net.transfer(world.sim.now(), src, dst, out_bytes) {
+                    Ok(delay) => world
+                        .sim
+                        .schedule(delay, GridEvent::OutputArrived { job, orch: stamp }),
+                    // The owner is (normally) always on; a failure means
+                    // the worker or owner vanished in this very instant —
+                    // treat as interrupt.
+                    Err(_) => self.requeue(world, job, worker),
                 }
                 self.dispatch(world);
             }
-            GridEvent::OutputArrived { job } => {
+            GridEvent::OutputArrived { job, orch } => {
                 let j = &mut self.jobs[job.0 as usize];
+                if j.state == JobState::Returning
+                    && (orch != j.out_stamp || !self.orch.stamp_valid(job.0, orch))
+                {
+                    // The owning orchestrator changed while the result was
+                    // in flight: the arrival lands on a dead (or deposed)
+                    // owner. Drop it — `on_orch_change` re-drives the
+                    // result toward the new owner.
+                    self.obs.incr("orch.stale_outputs_dropped");
+                    return;
+                }
                 if j.state == JobState::Returning {
                     j.state = JobState::Done;
                     j.completed = Some(world.sim.now());
@@ -933,6 +1009,7 @@ impl FarmScheduler {
                         .event(world.sim.now().as_micros(), "farm.complete", || {
                             format!("job={} latency_us={}", job.0, latency.as_micros())
                         });
+                    self.record_delta(world, Delta::Complete { job: job.0 });
                     // The primary beat its speculative duplicate: cancel
                     // the duplicate and meter its compute as waste.
                     if self.jobs[job.0 as usize].spec_attempt.is_some() {
@@ -947,6 +1024,21 @@ impl FarmScheduler {
                     self.submit(world, spec);
                 }
             }
+            GridEvent::OrchTick => {
+                let converged =
+                    self.orch
+                        .anti_entropy_round(&mut world.sim, &mut world.net, &mut world.p2p);
+                if (self.all_done() && converged) || self.orch.tick_exhausted() {
+                    // Quiesced with every replica caught up — or the round
+                    // budget is spent — stop ticking (a later submission
+                    // wave re-arms via `submit`).
+                    self.tick_armed = false;
+                } else {
+                    world
+                        .sim
+                        .schedule(self.orch.anti_entropy_interval(), GridEvent::OrchTick);
+                }
+            }
             GridEvent::StragglerCheck { job, worker, epoch } => {
                 self.straggler_check(world, job, worker, epoch);
             }
@@ -956,8 +1048,8 @@ impl FarmScheduler {
             GridEvent::SpecComputeDone { job, worker, epoch } => {
                 self.spec_compute_done(world, job, worker, epoch);
             }
-            GridEvent::SpecOutputArrived { job, worker } => {
-                self.spec_output_arrived(world, job, worker);
+            GridEvent::SpecOutputArrived { job, worker, orch } => {
+                self.spec_output_arrived(world, job, worker, orch);
             }
             GridEvent::P2p(_)
             | GridEvent::StageComputeDone { .. }
@@ -1049,10 +1141,8 @@ impl FarmScheduler {
             gigacycles,
         });
         let dst = self.workers[backup.0 as usize].host;
-        match world
-            .net
-            .transfer(world.sim.now(), self.controller_host, dst, bytes)
-        {
+        let src = self.owner_host(job);
+        match world.net.transfer(world.sim.now(), src, dst, bytes) {
             Ok(delay) => world.sim.schedule(
                 delay,
                 GridEvent::SpecInputArrived {
@@ -1153,24 +1243,34 @@ impl FarmScheduler {
             .as_mut()
             .expect("checked")
             .state = JobState::Returning;
-        match world
-            .net
-            .transfer(world.sim.now(), src, self.controller_host, out_bytes)
-        {
-            Ok(delay) => world
-                .sim
-                .schedule(delay, GridEvent::SpecOutputArrived { job, worker: wid }),
+        let dst = self.owner_host(job);
+        let stamp = self.orch.output_stamp(job.0);
+        match world.net.transfer(world.sim.now(), src, dst, out_bytes) {
+            Ok(delay) => world.sim.schedule(
+                delay,
+                GridEvent::SpecOutputArrived {
+                    job,
+                    worker: wid,
+                    orch: stamp,
+                },
+            ),
             Err(_) => self.cancel_spec(world.sim.now(), job),
         }
         self.dispatch(world);
     }
 
-    fn spec_output_arrived(&mut self, world: &mut GridWorld, job: JobId, wid: WorkerId) {
+    fn spec_output_arrived(&mut self, world: &mut GridWorld, job: JobId, wid: WorkerId, orch: u64) {
         let returning = matches!(
             &self.jobs[job.0 as usize].spec_attempt,
             Some(s) if s.worker == wid && s.state == JobState::Returning
         );
         if !returning {
+            return;
+        }
+        if !self.orch.stamp_valid(job.0, orch) {
+            // The owner this copy was racing toward is gone; drop the
+            // arrival and let the primary (or a later resume) win.
+            self.obs.incr("orch.stale_outputs_dropped");
             return;
         }
         self.jobs[job.0 as usize].spec_attempt = None;
@@ -1206,6 +1306,7 @@ impl FarmScheduler {
         j.assigned = None;
         let latency = now.since(j.created);
         self.spec_wins += 1;
+        self.record_delta(world, Delta::Complete { job: job.0 });
         self.obs.incr("trust.speculative_wins");
         self.obs.incr("farm.completions");
         self.obs.observe("farm.job_latency_us", latency.as_micros());
@@ -1433,10 +1534,20 @@ impl FarmScheduler {
                 let saved_time = Duration::from_secs_f64(run.exec.as_secs_f64() * cp.fraction);
                 j.wasted += ran_for.saturating_sub(saved_time);
                 j.fraction += saved;
+                let permille = (j.fraction * 1000.0).round().min(1000.0) as u32;
                 // The peer walked away mid-run (§3.6.2 "user intervenes"):
                 // abandonment evidence against its trust score.
                 self.profiles.record_abandon(wid.0);
                 self.obs.incr("trust.abandons");
+                // Replicate the checkpoint head, so a takeover orchestrator
+                // resumes the job from here instead of from scratch.
+                self.record_delta(
+                    world,
+                    Delta::Head {
+                        job: job_id.0,
+                        permille,
+                    },
+                );
             }
             self.fetches.remove(&job_id);
             self.cancel_spec(now, job_id);
@@ -1445,6 +1556,7 @@ impl FarmScheduler {
             j.assigned = None;
             self.pending.push_back(job_id);
             self.obs.incr("farm.migrations");
+            self.record_delta(world, Delta::Requeue { job: job_id.0 });
         }
         self.refresh_blacklist_gauge();
     }
@@ -1544,8 +1656,83 @@ impl FarmScheduler {
         self.workers[wid.0 as usize].peer
     }
 
+    /// The active controller: the orchestrator set's current leader.
     pub fn controller(&self) -> PeerId {
-        self.controller
+        self.orch.leader_peer()
+    }
+
+    /// The orchestrator set driving this farm.
+    pub fn orchestrators(&self) -> &OrchestratorHandle {
+        &self.orch
+    }
+
+    /// Route a gossip delivery ([`p2p::Incoming::Orch`]) into the set.
+    pub fn orch_deliver(&mut self, to: PeerId, seq: u64, count: u64, sync: bool) {
+        self.orch.deliver(to, seq, count, sync);
+    }
+
+    /// The orchestrator set changed (election, crash, partition, heal) —
+    /// re-drive everything the change invalidated:
+    ///
+    /// * in-flight results addressed to a dead or deposed owner are
+    ///   re-driven toward the job's new owner (retransfer if the producing
+    ///   worker still holds them, full requeue otherwise);
+    /// * the pending queue is kicked, because ownership moves and healed
+    ///   routes can make previously bounced dispatches placeable — without
+    ///   the kick a farm whose orchestrator change lands at the same sim
+    ///   instant as its last worker event would strand pending units
+    ///   forever.
+    pub fn on_orch_change(&mut self, world: &mut GridWorld) {
+        let stale: Vec<JobId> = (0..self.jobs.len() as u64)
+            .map(JobId)
+            .filter(|&id| {
+                let j = &self.jobs[id.0 as usize];
+                j.state == JobState::Returning && !self.orch.stamp_valid(id.0, j.out_stamp)
+            })
+            .collect();
+        for job_id in stale {
+            self.resume_returning(world, job_id);
+        }
+        self.arm_tick(world);
+        self.kick(world);
+    }
+
+    /// A completed result was in flight toward an owner that no longer
+    /// exists: re-drive it. If the producing worker is still reachable the
+    /// result is retransferred from its host to the new owner; otherwise
+    /// the work is genuinely lost and the job goes back to the queue.
+    fn resume_returning(&mut self, world: &mut GridWorld, job_id: JobId) {
+        let producer = self.jobs[job_id.0 as usize].completed_by;
+        let worker_alive = producer.is_some_and(|w| self.workers[w.0 as usize].up);
+        if let (Some(wid), true) = (producer, worker_alive) {
+            let src = self.workers[wid.0 as usize].host;
+            let dst = self.owner_host(job_id);
+            let stamp = self.orch.output_stamp(job_id.0);
+            let out_bytes = self.jobs[job_id.0 as usize].spec.output_bytes;
+            if let Ok(delay) = world.net.transfer(world.sim.now(), src, dst, out_bytes) {
+                self.jobs[job_id.0 as usize].out_stamp = stamp;
+                self.obs.incr("orch.output_retransfers");
+                world.sim.schedule(
+                    delay,
+                    GridEvent::OutputArrived {
+                        job: job_id,
+                        orch: stamp,
+                    },
+                );
+                return;
+            }
+        }
+        // Producer gone too: recompute. The slot was already freed at
+        // ComputeDone, so only the job's own state is rewound.
+        let j = &mut self.jobs[job_id.0 as usize];
+        j.state = JobState::Pending;
+        j.assigned = None;
+        j.completed_by = None;
+        j.fraction = 0.0;
+        self.pending.push_back(job_id);
+        self.obs.incr("farm.requeues");
+        self.obs.incr("orch.returning_requeued");
+        self.record_delta(world, Delta::Requeue { job: job_id.0 });
     }
 
     // --- invariant-checking introspection (used by the chaos harness) ---
@@ -1603,7 +1790,17 @@ pub fn run_farm(world: &mut GridWorld, farm: &mut FarmScheduler) {
     while let Some(ev) = world.sim.step() {
         match ev {
             GridEvent::P2p(pe) => {
-                world.p2p.handle(&mut world.sim, &mut world.net, pe);
+                for inc in world.p2p.handle(&mut world.sim, &mut world.net, pe) {
+                    if let p2p::Incoming::Orch {
+                        to,
+                        seq,
+                        count,
+                        sync,
+                    } = inc
+                    {
+                        farm.orch_deliver(to, seq, count, sync);
+                    }
+                }
             }
             other => farm.handle(world, other),
         }

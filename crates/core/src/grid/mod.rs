@@ -62,8 +62,11 @@ pub enum GridEvent {
         worker: WorkerId,
         epoch: u64,
     },
-    /// A job's results arrived back at the controller.
-    OutputArrived { job: JobId },
+    /// A job's results arrived back at its owning orchestrator. `orch` is
+    /// the owner stamp minted when the transfer left the worker; an
+    /// orchestrator change in flight makes the stamp stale and the arrival
+    /// is dropped (the failover path re-drives the result).
+    OutputArrived { job: JobId, orch: u64 },
     /// A streaming work chunk arrives at the controller (Case 2).
     ChunkArrives { seq: u64 },
     /// The provider-discovery window of a swarm module fetch closed; time
@@ -106,9 +109,18 @@ pub enum GridEvent {
         worker: WorkerId,
         epoch: u64,
     },
-    /// A speculative copy's results arrived back at the controller; if the
-    /// primary has not completed yet, the speculative copy wins.
-    SpecOutputArrived { job: JobId, worker: WorkerId },
+    /// A speculative copy's results arrived back at the owning
+    /// orchestrator; if the primary has not completed yet, the speculative
+    /// copy wins. `orch` stamps the owner like [`GridEvent::OutputArrived`].
+    SpecOutputArrived {
+        job: JobId,
+        worker: WorkerId,
+        orch: u64,
+    },
+    /// Periodic orchestrator anti-entropy tick (multi-orchestrator sets
+    /// only): runs one gossip repair round and re-arms until the scheduler
+    /// quiesces with every replica converged.
+    OrchTick,
 }
 
 /// Where a swarm chunk transfer originated.

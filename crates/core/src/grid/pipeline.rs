@@ -15,6 +15,7 @@
 use netsim::avail::AvailabilityTrace;
 use netsim::{Duration, HostSpec, Network, Sim, SimTime};
 use obs::Obs;
+use orch::{Delta, OrchestratorHandle};
 use p2p::{Incoming, PeerId, PipeId};
 
 use crate::grid::{GridEvent, GridWorld, WorkerId};
@@ -140,7 +141,8 @@ impl PipelineStats {
 
 /// Executes one group under the peer-to-peer policy.
 pub struct PipelineScheduler {
-    controller: PeerId,
+    orch: OrchestratorHandle,
+    tick_armed: bool,
     stages: Vec<Stage>,
     /// Pipe carrying final results back to the controller.
     result_pipe: PipeId,
@@ -177,6 +179,23 @@ impl PipelineScheduler {
         token_bytes: u64,
         traces: Vec<AvailabilityTrace>,
     ) -> Self {
+        let orch = OrchestratorHandle::single(controller, world.p2p.host_of(controller));
+        Self::with_orchestrators(world, orch, name, stages, token_bytes, traces)
+    }
+
+    /// Build the pipeline under a decentralised orchestrator set: the
+    /// current leader emits tokens and receives results; on failover the
+    /// endpoint pipes migrate to the new leader and in-flight tokens are
+    /// re-emitted under a fresh attempt.
+    pub fn with_orchestrators(
+        world: &mut GridWorld,
+        orch: OrchestratorHandle,
+        name: &str,
+        stages: Vec<StageSpec>,
+        token_bytes: u64,
+        traces: Vec<AvailabilityTrace>,
+    ) -> Self {
+        let controller = orch.leader_peer();
         assert!(!stages.is_empty(), "pipeline needs at least one stage");
         assert!(
             traces.is_empty() || traces.len() == stages.len(),
@@ -234,7 +253,8 @@ impl PipelineScheduler {
             .bind(result_pipe, prev)
             .expect("fresh pipe binds");
         PipelineScheduler {
-            controller,
+            orch,
+            tick_armed: false,
             stages: built,
             result_pipe,
             token_bytes,
@@ -271,6 +291,54 @@ impl PipelineScheduler {
             self.tokens.push(TokenRecord::default());
             sim.schedule(interval * t, GridEvent::EmitToken { token: t });
         }
+        if !self.tick_armed && !self.orch.is_single() {
+            self.tick_armed = true;
+            sim.schedule(self.orch.anti_entropy_interval(), GridEvent::OrchTick);
+        }
+    }
+
+    /// The orchestrator set driving this pipeline.
+    pub fn orchestrators(&self) -> &OrchestratorHandle {
+        &self.orch
+    }
+
+    /// Route a gossip delivery ([`p2p::Incoming::Orch`]) into the set.
+    pub fn orch_deliver(&mut self, to: PeerId, seq: u64, count: u64, sync: bool) {
+        self.orch.deliver(to, seq, count, sync);
+    }
+
+    /// The orchestrator set changed (election, crash, heal): migrate the
+    /// endpoint pipes to the new leader and restart every unfinished token
+    /// under a fresh attempt — copies still in flight toward the old
+    /// leader (or computing under the old attempt) become stale and are
+    /// dropped on arrival, so each token still completes exactly once.
+    pub fn on_orch_change(
+        &mut self,
+        sim: &mut Sim<GridEvent>,
+        net: &mut Network,
+        p2p: &mut p2p::P2p,
+    ) {
+        let leader = self.orch.leader_peer();
+        // The successor re-advertises the result pipe and takes over the
+        // emitter binding of stage 0 (§3.4's named-pipe rebinding, driven
+        // by failover instead of group construction).
+        let _ = p2p.pipes.rebind_receiver(self.result_pipe, leader);
+        let _ = p2p.pipes.rebind_sender(self.stages[0].in_pipe, leader);
+        let unfinished: Vec<u64> = self
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.emitted.is_some() && r.position != Position::Done)
+            .map(|(i, _)| i as u64)
+            .collect();
+        for t in unfinished {
+            self.obs.incr("orch.pipeline_reemits");
+            self.reemit(sim, net, p2p, t);
+        }
+        if !self.tick_armed && !self.orch.is_single() {
+            self.tick_armed = true;
+            sim.schedule(self.orch.anti_entropy_interval(), GridEvent::OrchTick);
+        }
     }
 
     fn emit(
@@ -291,8 +359,9 @@ impl PipelineScheduler {
         let attempt = rec.attempt;
         let full = tag(token, rec.attempt);
         let pipe = self.stages[0].in_pipe;
+        let emitter = self.orch.leader_peer();
         let sent = p2p
-            .send_pipe(sim, net, self.controller, pipe, full, self.token_bytes)
+            .send_pipe(sim, net, emitter, pipe, full, self.token_bytes)
             .unwrap_or(false);
         let rec = &mut self.tokens[token as usize];
         if sent {
@@ -338,7 +407,16 @@ impl PipelineScheduler {
             GridEvent::StageComputeDone { stage, token: full } => {
                 let (token, attempt) = untag(full);
                 if self.tokens[token as usize].attempt != attempt {
-                    return; // a stale attempt finished computing; discard
+                    // A stale attempt finished computing (a failover
+                    // re-emitted the token mid-compute). The result is
+                    // discarded, but the compute slot still frees up —
+                    // otherwise the stage stays busy forever and every
+                    // queued token deadlocks behind it.
+                    if self.stages[stage].up {
+                        self.stages[stage].busy = false;
+                        self.start_next(sim, stage);
+                    }
+                    return;
                 }
                 if !self.stages[stage].up {
                     return; // completed exactly as the stage died
@@ -422,12 +500,36 @@ impl PipelineScheduler {
                     self.reemit(sim, net, p2p, t);
                 }
             }
+            GridEvent::OrchTick => {
+                let converged = self.orch.anti_entropy_round(sim, net, p2p);
+                if (self.all_done() && converged) || self.orch.tick_exhausted() {
+                    self.tick_armed = false;
+                } else {
+                    sim.schedule(self.orch.anti_entropy_interval(), GridEvent::OrchTick);
+                }
+            }
             _ => {}
         }
     }
 
-    /// Handle overlay notifications (pipe deliveries).
-    pub fn on_incoming(&mut self, sim: &mut Sim<GridEvent>, inc: Incoming) {
+    /// Handle overlay notifications (pipe deliveries and gossip).
+    pub fn on_incoming(
+        &mut self,
+        sim: &mut Sim<GridEvent>,
+        net: &mut Network,
+        p2p: &mut p2p::P2p,
+        inc: Incoming,
+    ) {
+        if let Incoming::Orch {
+            to,
+            seq,
+            count,
+            sync,
+        } = inc
+        {
+            self.orch.deliver(to, seq, count, sync);
+            return;
+        }
         if let Incoming::PipeData {
             pipe, tag: full, ..
         } = inc
@@ -452,6 +554,8 @@ impl PipelineScheduler {
                     .event(sim.now().as_micros(), "pipeline.token_done", || {
                         format!("token={token} attempt={attempt}")
                     });
+                self.orch
+                    .record(sim, net, p2p, Delta::Complete { job: token });
                 return;
             }
             if let Some(idx) = self.stages.iter().position(|s| s.in_pipe == pipe) {
@@ -516,7 +620,7 @@ pub fn run_pipeline(world: &mut GridWorld, pl: &mut PipelineScheduler) {
             GridEvent::P2p(pe) => {
                 let incoming = world.p2p.handle(&mut world.sim, &mut world.net, pe);
                 for inc in incoming {
-                    pl.on_incoming(&mut world.sim, inc);
+                    pl.on_incoming(&mut world.sim, &mut world.net, &mut world.p2p, inc);
                 }
             }
             other => pl.handle(&mut world.sim, &mut world.net, &mut world.p2p, other),

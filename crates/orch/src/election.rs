@@ -1,0 +1,92 @@
+//! Deterministic controller election.
+//!
+//! The electorate is the orchestrator membership view: `(peer, eligibility,
+//! up)` triples, where eligibility comes from
+//! [`trust::orchestrator_eligibility`]. The winner is the reachable member
+//! with the highest eligibility, ties broken by the lowest peer id — a pure
+//! function of the view, so every member that holds the same view (and
+//! every replay of the same seed) elects the same leader without any
+//! message exchange beyond the membership gossip itself.
+
+use p2p::PeerId;
+
+/// One member as seen by the election: overlay identity, eligibility
+/// score, and whether the elector can currently reach it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Elector {
+    pub peer: PeerId,
+    pub eligibility: f64,
+    pub up: bool,
+}
+
+/// Elect a leader from the membership view. Returns the index of the
+/// winning member, or `None` when no member is reachable.
+pub fn elect(view: &[Elector]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, m) in view.iter().enumerate() {
+        if !m.up {
+            continue;
+        }
+        best = Some(match best {
+            None => i,
+            Some(b) => {
+                let cur = &view[b];
+                // Strictly-greater score wins; an exact tie falls to the
+                // lower peer id (stable under member-list reordering).
+                if m.eligibility > cur.eligibility
+                    || (m.eligibility == cur.eligibility && m.peer.0 < cur.peer.0)
+                {
+                    i
+                } else {
+                    b
+                }
+            }
+        });
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(peer: u32, score: f64, up: bool) -> Elector {
+        Elector {
+            peer: PeerId(peer),
+            eligibility: score,
+            up,
+        }
+    }
+
+    #[test]
+    fn highest_eligibility_wins() {
+        let view = [m(0, 0.5, true), m(1, 0.9, true), m(2, 0.7, true)];
+        assert_eq!(elect(&view), Some(1));
+    }
+
+    #[test]
+    fn down_members_are_skipped() {
+        let view = [m(0, 0.5, true), m(1, 0.9, false), m(2, 0.7, true)];
+        assert_eq!(elect(&view), Some(2));
+    }
+
+    #[test]
+    fn ties_break_to_the_lowest_peer_id() {
+        let view = [m(7, 0.9, true), m(3, 0.9, true), m(5, 0.9, true)];
+        assert_eq!(elect(&view), Some(1));
+    }
+
+    #[test]
+    fn empty_electorate_elects_nobody() {
+        assert_eq!(elect(&[]), None);
+        assert_eq!(elect(&[m(0, 1.0, false)]), None);
+    }
+
+    #[test]
+    fn election_ignores_member_order() {
+        let a = [m(2, 0.7, true), m(9, 0.9, true), m(4, 0.9, true)];
+        let b = [m(9, 0.9, true), m(4, 0.9, true), m(2, 0.7, true)];
+        assert_eq!(a[elect(&a).unwrap()].peer, b[elect(&b).unwrap()].peer);
+        assert_eq!(a[elect(&a).unwrap()].peer, PeerId(4));
+    }
+}

@@ -1,0 +1,195 @@
+//! The replicated scheduler state: an ordered delta log plus one
+//! [`Replica`] per orchestrator applying a prefix of it.
+//!
+//! Replication is modelled the way the rest of the simulation models data
+//! movement: the authoritative log lives in one place (the
+//! [`crate::Orchestrators`] set), real gossip messages move *sequence
+//! numbers and byte counts* over the simulated network, and a replica only
+//! reflects the entries whose deliveries actually reached it. Crashing or
+//! partitioning a member therefore leaves its replica genuinely behind
+//! until anti-entropy repairs it — exactly the failure surface the chaos
+//! invariants probe.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One replicated scheduler-state change, authored by the elected leader
+/// and gossiped to every follower.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Delta {
+    /// Unit `job` is owned (data-plane: inputs, module, results) by
+    /// orchestrator member `owner`.
+    Own { job: u64, owner: u32 },
+    /// `job` dispatched to worker `worker` (dispatch-table entry).
+    Dispatch { job: u64, worker: u32 },
+    /// Checkpoint head: `job` has durably progressed to `permille`/1000 of
+    /// its total work.
+    Head { job: u64, permille: u32 },
+    /// `job` went back to the queue (dispatch-table entry cleared).
+    Requeue { job: u64 },
+    /// `job` completed (completion-set entry; must be recorded once).
+    Complete { job: u64 },
+}
+
+impl Delta {
+    /// Serialized size estimate, driving the gossip wire model.
+    pub fn wire_bytes(&self) -> u64 {
+        24
+    }
+}
+
+/// One member's copy of the replicated state: log entries `[0, applied)`
+/// are reflected in the maps; deliveries that arrived ahead of a gap wait
+/// in `buffered` until the gap fills (late delivery or anti-entropy).
+#[derive(Clone, Debug, Default)]
+pub struct Replica {
+    applied: u64,
+    buffered: BTreeSet<u64>,
+    /// job → owning member index.
+    pub owners: BTreeMap<u64, u32>,
+    /// job → worker currently responsible (the dispatch table).
+    pub dispatch: BTreeMap<u64, u32>,
+    /// job → checkpointed progress in permille.
+    pub heads: BTreeMap<u64, u32>,
+    /// Completed jobs (the completion set).
+    pub done: BTreeSet<u64>,
+}
+
+impl Replica {
+    /// Log entries this replica has incorporated (a prefix).
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Entries delivered out of order, waiting for a gap to fill.
+    pub fn buffered(&self) -> usize {
+        self.buffered.len()
+    }
+
+    /// How far behind a log of `log_len` entries this replica is.
+    pub fn lag(&self, log_len: u64) -> u64 {
+        log_len.saturating_sub(self.applied)
+    }
+
+    fn apply(&mut self, d: &Delta) {
+        match *d {
+            Delta::Own { job, owner } => {
+                self.owners.insert(job, owner);
+            }
+            Delta::Dispatch { job, worker } => {
+                self.dispatch.insert(job, worker);
+            }
+            Delta::Head { job, permille } => {
+                self.heads.insert(job, permille);
+            }
+            Delta::Requeue { job } => {
+                self.dispatch.remove(&job);
+            }
+            Delta::Complete { job } => {
+                self.dispatch.remove(&job);
+                self.done.insert(job);
+            }
+        }
+    }
+
+    /// One gossiped delta arrived. Applies the longest contiguous prefix
+    /// this unlocks; anything ahead of a gap is buffered. Returns how many
+    /// log entries were applied (0 for duplicates and buffered arrivals).
+    pub fn deliver(&mut self, log: &[Delta], seq: u64) -> u64 {
+        if seq < self.applied {
+            return 0; // duplicate of an already-applied entry
+        }
+        self.buffered.insert(seq);
+        self.drain(log)
+    }
+
+    /// Anti-entropy batch covering `[from, from + count)` arrived: apply
+    /// everything up to the batch end that is not already applied, then
+    /// drain any buffered entries this unlocked. Returns entries applied.
+    pub fn catch_up(&mut self, log: &[Delta], from: u64, count: u64) -> u64 {
+        let upto = (from + count).min(log.len() as u64);
+        let mut n = 0;
+        while self.applied < upto {
+            let d = log[self.applied as usize];
+            self.apply(&d);
+            self.buffered.remove(&self.applied);
+            self.applied += 1;
+            n += 1;
+        }
+        n + self.drain(log)
+    }
+
+    fn drain(&mut self, log: &[Delta]) -> u64 {
+        let mut n = 0;
+        while self.buffered.remove(&self.applied) {
+            let d = log[self.applied as usize];
+            self.apply(&d);
+            self.applied += 1;
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log() -> Vec<Delta> {
+        vec![
+            Delta::Own { job: 0, owner: 1 },
+            Delta::Dispatch { job: 0, worker: 3 },
+            Delta::Head {
+                job: 0,
+                permille: 400,
+            },
+            Delta::Requeue { job: 0 },
+            Delta::Dispatch { job: 0, worker: 2 },
+            Delta::Complete { job: 0 },
+        ]
+    }
+
+    #[test]
+    fn in_order_delivery_applies_immediately() {
+        let log = log();
+        let mut r = Replica::default();
+        for seq in 0..log.len() as u64 {
+            assert_eq!(r.deliver(&log, seq), 1);
+        }
+        assert_eq!(r.applied(), 6);
+        assert!(r.done.contains(&0));
+        assert!(r.dispatch.is_empty());
+        assert_eq!(r.owners.get(&0), Some(&1));
+    }
+
+    #[test]
+    fn out_of_order_delivery_buffers_until_gap_fills() {
+        let log = log();
+        let mut r = Replica::default();
+        assert_eq!(r.deliver(&log, 2), 0);
+        assert_eq!(r.deliver(&log, 1), 0);
+        assert_eq!(r.buffered(), 2);
+        // Seq 0 lands: the whole buffered run drains.
+        assert_eq!(r.deliver(&log, 0), 3);
+        assert_eq!(r.applied(), 3);
+        assert_eq!(r.buffered(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_noops() {
+        let log = log();
+        let mut r = Replica::default();
+        r.deliver(&log, 0);
+        assert_eq!(r.deliver(&log, 0), 0);
+        assert_eq!(r.applied(), 1);
+    }
+
+    #[test]
+    fn catch_up_repairs_gaps_and_drains_buffered() {
+        let log = log();
+        let mut r = Replica::default();
+        r.deliver(&log, 4); // buffered ahead of the gap
+        assert_eq!(r.catch_up(&log, 0, 4), 5);
+        assert_eq!(r.applied(), 5);
+        assert_eq!(r.lag(log.len() as u64), 1);
+    }
+}

@@ -54,6 +54,18 @@ pub enum Message {
     /// Application payload over a pipe. The payload itself stays in the
     /// embedding layer; only its size and an opaque tag travel here.
     PipeData { pipe: PipeId, tag: u64, bytes: u64 },
+    /// One replicated-scheduler delta, gossiped leader → follower. Like
+    /// pipe data, the delta contents stay in the embedding layer (applied
+    /// out of the shared log at delivery); only the sequence number and a
+    /// size estimate travel here.
+    OrchDelta { seq: u64, bytes: u64 },
+    /// Anti-entropy catch-up batch: log entries `[from_seq, from_seq +
+    /// count)` pushed to a lagging replica in one transfer.
+    OrchSync {
+        from_seq: u64,
+        count: u64,
+        bytes: u64,
+    },
 }
 
 impl Message {
@@ -64,6 +76,8 @@ impl Message {
             Message::QueryHit { advert, .. } => 32 + advert.wire_size(),
             Message::Publish { advert } => 24 + advert.wire_size(),
             Message::PipeData { bytes, .. } => 40 + bytes,
+            Message::OrchDelta { bytes, .. } => 24 + bytes,
+            Message::OrchSync { bytes, .. } => 32 + bytes,
         }
     }
 }
@@ -108,6 +122,17 @@ mod tests {
             kind: QueryKind::ByService("a-much-longer-service-name".into()),
         };
         assert!(large.wire_size() > small.wire_size());
+    }
+
+    #[test]
+    fn gossip_sizes_are_header_plus_payload() {
+        assert_eq!(Message::OrchDelta { seq: 7, bytes: 24 }.wire_size(), 48);
+        let sync = Message::OrchSync {
+            from_seq: 3,
+            count: 5,
+            bytes: 120,
+        };
+        assert_eq!(sync.wire_size(), 152);
     }
 
     #[test]

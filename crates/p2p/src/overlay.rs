@@ -124,6 +124,16 @@ pub enum Incoming {
         tag: u64,
         bytes: u64,
     },
+    /// Replicated-scheduler gossip arrived: either one delta (`count == 1`,
+    /// `sync == false`) or an anti-entropy batch covering log entries
+    /// `[seq, seq + count)`. The embedding layer applies the entries out of
+    /// its shared delta log.
+    Orch {
+        to: PeerId,
+        seq: u64,
+        count: u64,
+        sync: bool,
+    },
 }
 
 /// The overlay network state.
@@ -319,6 +329,8 @@ impl P2p {
                     Message::QueryHit { .. } => "p2p.sent.query_hit",
                     Message::Publish { .. } => "p2p.sent.publish",
                     Message::PipeData { .. } => "p2p.sent.pipe_data",
+                    Message::OrchDelta { .. } => "p2p.sent.orch_delta",
+                    Message::OrchSync { .. } => "p2p.sent.orch_sync",
                 });
                 sim.schedule(delay, P2pEvent::Delivered { to, msg }.into());
                 true
@@ -522,6 +534,25 @@ impl P2p {
         ))
     }
 
+    /// Send one replicated-scheduler gossip message (`OrchDelta` /
+    /// `OrchSync`) peer-to-peer. Returns `false` if the network refused the
+    /// transfer (offline endpoint or severed route) or the send filter
+    /// discarded it — the caller's anti-entropy rounds repair the gap.
+    pub fn gossip<E: From<P2pEvent>>(
+        &mut self,
+        sim: &mut Sim<E>,
+        net: &mut Network,
+        from: PeerId,
+        to: PeerId,
+        msg: Message,
+    ) -> bool {
+        debug_assert!(matches!(
+            msg,
+            Message::OrchDelta { .. } | Message::OrchSync { .. }
+        ));
+        self.send(sim, net, from, to, msg)
+    }
+
     /// Process a delivered overlay event; returns notifications for the
     /// embedding layer.
     pub fn handle<E: From<P2pEvent>>(
@@ -608,6 +639,24 @@ impl P2p {
                     pipe,
                     tag,
                     bytes,
+                });
+            }
+            Message::OrchDelta { seq, .. } => {
+                out.push(Incoming::Orch {
+                    to,
+                    seq,
+                    count: 1,
+                    sync: false,
+                });
+            }
+            Message::OrchSync {
+                from_seq, count, ..
+            } => {
+                out.push(Incoming::Orch {
+                    to,
+                    seq: from_seq,
+                    count,
+                    sync: true,
                 });
             }
         }

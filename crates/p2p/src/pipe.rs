@@ -122,6 +122,22 @@ impl PipeTable {
         }
     }
 
+    /// Re-point an advertised pipe at a new receiving peer — service
+    /// failover: the successor re-advertises the endpoint under the same
+    /// connection name, and bound senders keep sending unchanged.
+    pub fn rebind_receiver(&mut self, id: PipeId, receiver: PeerId) -> Result<(), PipeError> {
+        let p = self.pipes.get_mut(&id).ok_or(PipeError::UnknownPipe(id))?;
+        p.receiver = receiver;
+        Ok(())
+    }
+
+    /// Replace a pipe's bound sender (failover of the sending service).
+    pub fn rebind_sender(&mut self, id: PipeId, sender: PeerId) -> Result<(), PipeError> {
+        let p = self.pipes.get_mut(&id).ok_or(PipeError::UnknownPipe(id))?;
+        p.sender = Some(sender);
+        Ok(())
+    }
+
     /// Remove a pipe (e.g. when its owner leaves).
     pub fn remove(&mut self, id: PipeId) -> Option<PipeEndpoint> {
         let p = self.pipes.remove(&id)?;
@@ -192,6 +208,20 @@ mod tests {
         assert!(t.is_empty());
         // the name can be re-advertised afterwards
         t.advertise("n", PeerId(2)).unwrap();
+    }
+
+    #[test]
+    fn failover_rebinds_endpoints() {
+        let mut t = PipeTable::new();
+        let id = t.advertise("n", PeerId(1)).unwrap();
+        t.bind(id, PeerId(2)).unwrap();
+        t.rebind_receiver(id, PeerId(5)).unwrap();
+        t.rebind_sender(id, PeerId(6)).unwrap();
+        assert_eq!(t.route(id, PeerId(6)), Ok(PeerId(5)));
+        assert_eq!(
+            t.rebind_receiver(PipeId(99), PeerId(0)),
+            Err(PipeError::UnknownPipe(PipeId(99)))
+        );
     }
 
     #[test]

@@ -96,6 +96,22 @@ impl Default for GridTrustConfig {
     }
 }
 
+/// Orchestrator eligibility: how suitable a peer is to *host replicated
+/// scheduler state* and stand for controller election. Decentralised
+/// orchestration (Jaradat et al.) partitions the task graph across the
+/// peers best placed to coordinate it; we score a candidate by the same
+/// learned signals the farm scheduler uses for workers — trust and
+/// availability — weighted by its advertised clock (a faster orchestrator
+/// host drains its uplink and bookkeeping faster).
+///
+/// The score is a pure function of its inputs, so two runs that observed
+/// the same history elect the same orchestrators. Clock is normalised
+/// against a 2 GHz reference so typical scores stay in `[0, ~2]`.
+pub fn orchestrator_eligibility(cpu_ghz: f64, trust: f64, availability: f64) -> f64 {
+    let clock = (cpu_ghz / 2.0).max(0.0);
+    clock * trust.clamp(0.0, 1.0) * availability.clamp(0.0, 1.0)
+}
+
 impl GridTrustConfig {
     /// The full adaptive bundle: reliability-weighted selection, straggler
     /// speculation, and the blacklist floor, all at default parameters.
@@ -129,6 +145,20 @@ mod tests {
         assert_eq!(adaptive.policy.name(), "reliability-weighted");
         assert!(adaptive.straggler.is_some());
         assert!(adaptive.blacklist.is_some());
+    }
+
+    #[test]
+    fn eligibility_orders_by_clock_trust_and_availability() {
+        let fast_trusted = orchestrator_eligibility(2.0, 0.9, 1.0);
+        let fast_shady = orchestrator_eligibility(2.0, 0.3, 1.0);
+        let slow_trusted = orchestrator_eligibility(1.0, 0.9, 1.0);
+        let flaky = orchestrator_eligibility(2.0, 0.9, 0.5);
+        assert!(fast_trusted > fast_shady);
+        assert!(fast_trusted > slow_trusted);
+        assert!(fast_trusted > flaky);
+        // Out-of-range inputs clamp instead of producing nonsense.
+        assert_eq!(orchestrator_eligibility(2.0, 2.0, 1.0), 1.0);
+        assert_eq!(orchestrator_eligibility(-1.0, 0.9, 1.0), 0.0);
     }
 
     #[test]
