@@ -2,8 +2,8 @@
 //!
 //! Usage:
 //! ```text
-//! chaos sweep [--seeds N] [--long] [--orch]  # run N seeded plans (default 200)
-//! chaos replay --seed S --scenario NAME --plan "PLAN" [--mutate drop-output] [--orch]
+//! chaos sweep [--seeds N] [--long] [--orch] [--routed]  # run N seeded plans (default 200)
+//! chaos replay --seed S --scenario NAME --plan "PLAN" [--mutate drop-output] [--orch] [--routed]
 //! ```
 //!
 //! `sweep` runs every seed's generated fault plan against its scenario
@@ -22,8 +22,8 @@ const REPRODUCER_FILE: &str = "chaos.reproducer.txt";
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  chaos sweep [--seeds N] [--long] [--orch]\n  chaos replay --seed S \
-         --scenario NAME --plan \"PLAN\" [--mutate drop-output] [--orch]"
+        "usage:\n  chaos sweep [--seeds N] [--long] [--orch] [--routed]\n  chaos replay --seed S \
+         --scenario NAME --plan \"PLAN\" [--mutate drop-output] [--orch] [--routed]"
     );
     std::process::exit(2)
 }
@@ -43,11 +43,13 @@ fn write_reproducer(cfg: &ChaosConfig, out: &RunOutcome, original: Option<&Chaos
     }
 }
 
-fn sweep(seeds: u64, orch: bool) -> i32 {
+fn sweep(seeds: u64, orch: bool, routed: bool) -> i32 {
     let mut tally = [0u64; 3];
     for seed in 0..seeds {
         let cfg = if orch {
             ChaosConfig::from_seed_orch(seed)
+        } else if routed {
+            ChaosConfig::from_seed_routed(seed)
         } else {
             ChaosConfig::from_seed(seed)
         };
@@ -105,7 +107,11 @@ fn sweep(seeds: u64, orch: bool) -> i32 {
     }
     println!(
         "chaos sweep{}: {seeds} seeds green, deterministic (farm={} pipeline={} voting={})",
-        if orch { " [orch]" } else { "" },
+        match (orch, routed) {
+            (true, _) => " [orch]",
+            (false, true) => " [routed]",
+            (false, false) => "",
+        },
         tally[0],
         tally[1],
         tally[2]
@@ -119,6 +125,7 @@ fn replay(args: &[String]) -> i32 {
     let mut plan: Option<FaultPlan> = None;
     let mut mutate = false;
     let mut orch = false;
+    let mut routed = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -155,6 +162,7 @@ fn replay(args: &[String]) -> i32 {
                 }
             }
             "--orch" => orch = true,
+            "--routed" => routed = true,
             _ => usage(),
         }
         i += 1;
@@ -168,6 +176,7 @@ fn replay(args: &[String]) -> i32 {
         plan,
         mutate_drop_output: mutate,
         orch,
+        routed,
     };
     let out = run_chaos(&cfg);
     print!("{}", out.report);
@@ -188,11 +197,13 @@ fn main() {
             let rest = &args[1..];
             let mut seeds = DEFAULT_SEEDS;
             let mut orch = false;
+            let mut routed = false;
             let mut i = 0;
             while i < rest.len() {
                 match rest[i].as_str() {
                     "--long" => seeds = seeds.max(LONG_SEEDS),
                     "--orch" => orch = true,
+                    "--routed" => routed = true,
                     "--seeds" => {
                         i += 1;
                         match rest.get(i).and_then(|s| s.parse().ok()) {
@@ -204,7 +215,7 @@ fn main() {
                 }
                 i += 1;
             }
-            sweep(seeds, orch)
+            sweep(seeds, orch, routed)
         }
         Some("replay") => replay(&args[1..]),
         _ => usage(),

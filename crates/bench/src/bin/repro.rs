@@ -6,12 +6,13 @@
 //! repro e1 e5                # run selected experiments
 //! repro --list               # list experiment ids
 //! repro --quick              # seeded observability smoke only (CI)
+//! repro e15 --quick          # CI-sized variant of an experiment (e15 only)
 //! repro --metrics-out FILE   # also dump the metrics JSON snapshot
 //! ```
 
 use consumer_grid_bench as bench;
 
-const IDS: [(&str, &str); 14] = [
+const IDS: [(&str, &str); 15] = [
     ("e1", "Figure 2: SNR vs AccumStat iterations"),
     ("e2", "Task-graph XML transmission overhead"),
     ("e3", "Case 1: galaxy frame-rendering speedup"),
@@ -26,9 +27,20 @@ const IDS: [(&str, &str); 14] = [
     ("e12", "Redundant execution vs cheating volunteers"),
     ("e13", "Peer profiling & adaptive scheduling"),
     ("e14", "Decentralised orchestration & controller failover"),
+    (
+        "e15",
+        "Structured overlay at 10^5 peers: routed vs flooding",
+    ),
 ];
 
-fn run(id: &str) -> Option<String> {
+fn run(id: &str, quick: bool) -> Option<String> {
+    if quick {
+        // Only experiments with a CI-sized variant are valid here.
+        return match id {
+            "e15" => Some(bench::e15_overlay_scale::report_quick()),
+            _ => None,
+        };
+    }
     let report = match id {
         "e1" => bench::e01_figure2_snr::report(),
         "e2" => bench::e02_taskgraph_overhead::report(),
@@ -44,6 +56,7 @@ fn run(id: &str) -> Option<String> {
         "e12" => bench::e12_redundancy::report(),
         "e13" => bench::e13_adaptive_scheduling::report(),
         "e14" => bench::e14_decentralised_orch::report(),
+        "e15" => bench::e15_overlay_scale::report(),
         _ => return None,
     };
     Some(report)
@@ -72,7 +85,7 @@ fn main() {
     } else {
         false
     };
-    if quick {
+    if quick && args.is_empty() {
         let observer = obs::Obs::enabled();
         bench::smoke::run(&observer);
         println!("{}", bench::smoke::report_with(&observer));
@@ -97,10 +110,14 @@ fn main() {
     };
     let mut failed = false;
     for id in selected {
-        match run(&id.to_lowercase()) {
+        match run(&id.to_lowercase(), quick) {
             Some(report) => {
                 println!("{report}");
                 println!("{}", "=".repeat(72));
+            }
+            None if quick => {
+                eprintln!("experiment `{id}` has no --quick variant");
+                failed = true;
             }
             None => {
                 eprintln!("unknown experiment `{id}` (try --list)");

@@ -116,6 +116,7 @@ pub fn run_failover(scenario: Scenario, seed: u64) -> FailoverPoint {
         plan: FAILOVER_PLAN.parse().expect("static failover plan"),
         mutate_drop_output: false,
         orch: true,
+        routed: false,
     })
 }
 
@@ -127,6 +128,7 @@ pub fn run_baseline(scenario: Scenario, orch: bool, seed: u64) -> FailoverPoint 
         plan: FaultPlan::default(),
         mutate_drop_output: false,
         orch,
+        routed: false,
     })
 }
 

@@ -1,0 +1,322 @@
+//! E15 — structured discovery at consumer-grid scale.
+//!
+//! Paper §3.7: flooding "severely restricts the scalability" of discovery.
+//! E5 measures that restriction; this experiment measures the cure: the
+//! `triana-overlay` Kademlia-style DHT with a super-peer rendezvous tier
+//! (`DiscoveryMode::Routed`), pushed to 10⁵ simulated peers — the scale the
+//! ROADMAP's million-peer north star passes through — with 10% of the
+//! population churning between query phases.
+//!
+//! Claims reproduced:
+//!
+//! * **Hop bound** — the longest referral chain of any iterative lookup
+//!   stays within `⌈log₂ n⌉ + 2` hops, the Kademlia prefix-halving budget.
+//! * **Message economy** — at the same n, a routed query costs ≥10× fewer
+//!   overlay messages than a TTL-limited flood of the same world.
+//! * **Churn survival** — after 10% of peers drop and a republish pass
+//!   re-homes provider records, queries still find providers, and every
+//!   iterative lookup resolves (`active_lookups == 0` once the event queue
+//!   drains — the same invariant triana-chaos checks under fault injection).
+//!
+//! Determinism: everything is seeded; two runs of the same build print
+//! byte-identical reports (CI runs the `--quick` variant twice and `cmp`s).
+
+use crate::table;
+use netsim::{HostSpec, Network, Pcg32, Sim, SimTime};
+use p2p::advert::{AdvertBody, PeerAdvert};
+use p2p::{Advertisement, DiscoveryMode, P2p, P2pEvent, PeerId, QueryId, QueryKind};
+
+/// Flood TTL used wherever flooding is measured (matches E5's report).
+const FLOOD_TTL: u8 = 10;
+
+/// One measured query batch.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalePoint {
+    pub peers: usize,
+    pub mode: DiscoveryMode,
+    /// Which part of the protocol this batch measures.
+    pub phase: &'static str,
+    pub queries: usize,
+    /// Queries that located at least one provider.
+    pub found: usize,
+    pub msgs_per_query: f64,
+    pub mean_hops: f64,
+    pub max_hops: u64,
+    /// `⌈log₂ n⌉ + 2` — the routed hop budget at this n.
+    pub hop_budget: u64,
+    /// Iterative lookups still open after the drain (must be 0).
+    pub lookups_open: usize,
+}
+
+/// The Kademlia hop budget at network size `n`.
+pub fn hop_budget(n: usize) -> u64 {
+    (n.max(2) as f64).log2().ceil() as u64 + 2
+}
+
+fn drain(sim: &mut Sim<P2pEvent>, net: &mut Network, p2p: &mut P2p) {
+    while let Some(ev) = sim.step() {
+        p2p.handle(sim, net, ev);
+    }
+}
+
+fn service_ad(net: &Network, p2p: &P2p, peer: PeerId) -> Advertisement {
+    let spec = net.spec(p2p.host_of(peer)).clone();
+    Advertisement {
+        body: AdvertBody::Peer(PeerAdvert {
+            peer,
+            cpu_ghz: spec.cpu_ghz,
+            free_ram_mib: spec.ram_mib,
+            services: vec!["triana".into()],
+        }),
+        expires: SimTime::from_secs(24 * 3600),
+    }
+}
+
+/// Issue `queries` service queries from random *online* origins, drain the
+/// event queue, and fold the per-query statuses into one point.
+fn query_batch(
+    sim: &mut Sim<P2pEvent>,
+    net: &mut Network,
+    p2p: &mut P2p,
+    rng: &mut Pcg32,
+    queries: usize,
+    phase: &'static str,
+) -> ScalePoint {
+    let n = p2p.len();
+    let mut ids: Vec<QueryId> = Vec::with_capacity(queries);
+    for _ in 0..queries {
+        let mut origin = PeerId(rng.below(n as u64) as u32);
+        while !net.is_online(p2p.host_of(origin)) {
+            origin = PeerId(rng.below(n as u64) as u32);
+        }
+        ids.push(p2p.query(
+            sim,
+            net,
+            origin,
+            QueryKind::ByService("triana".into()),
+            FLOOD_TTL,
+        ));
+    }
+    drain(sim, net, p2p);
+    let mut found = 0usize;
+    let mut msgs = 0u64;
+    let mut hops_sum = 0u64;
+    let mut max_hops = 0u64;
+    for id in &ids {
+        let s = &p2p.queries[id];
+        if !s.providers().is_empty() {
+            found += 1;
+        }
+        msgs += s.messages;
+        hops_sum += s.hops;
+        max_hops = max_hops.max(s.hops);
+    }
+    ScalePoint {
+        peers: n,
+        mode: p2p.mode,
+        phase,
+        queries,
+        found,
+        msgs_per_query: msgs as f64 / queries as f64,
+        mean_hops: hops_sum as f64 / queries as f64,
+        max_hops,
+        hop_budget: hop_budget(n),
+        lookups_open: p2p.active_lookups(),
+    }
+}
+
+/// Build a world of `n` consumer hosts in `mode`. Routed worlds are
+/// bootstrapped from sampled trust profiles (a realistic hot/warm/cold
+/// mix); flooding worlds get the usual degree-4 random neighbour graph.
+/// Returns the world plus the shuffled peer order used to pick providers
+/// and churn sets.
+#[allow(clippy::type_complexity)]
+fn build_world(
+    n: usize,
+    mode: DiscoveryMode,
+    seed: u64,
+) -> (Sim<P2pEvent>, Network, P2p, Pcg32, Vec<u32>) {
+    let mut sim: Sim<P2pEvent> = Sim::new(seed);
+    let mut net = Network::new();
+    let mut p2p = P2p::new(mode);
+    let mut rng = Pcg32::new(seed, 15);
+    let mut profiles = Vec::with_capacity(n);
+    for _ in 0..n {
+        let h = net.add_host(HostSpec::sample_consumer(&mut rng));
+        p2p.add_peer(h);
+        // Availability/speed as triana-trust would report them: most peers
+        // warm, a hot core, a cold fringe (TierConfig default thresholds).
+        profiles.push((rng.range_f64(0.2, 1.0), rng.range_f64(0.4, 1.5)));
+    }
+    match mode {
+        DiscoveryMode::Routed => p2p.enable_routed(&profiles, &mut rng),
+        _ => p2p.wire_random(4, &mut rng),
+    }
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    rng.shuffle(&mut order);
+    let providers_total = (n / 20).max(1);
+    for &pid in order.iter().take(providers_total) {
+        let peer = PeerId(pid);
+        let ad = service_ad(&net, &p2p, peer);
+        p2p.publish(&mut sim, &mut net, peer, ad);
+    }
+    drain(&mut sim, &mut net, &mut p2p);
+    (sim, net, p2p, rng, order)
+}
+
+/// The scale protocol: publish under 5% providers, then two query phases
+/// with a *different* 10% of the population offline in each, and a
+/// republish pass re-homing provider records between them.
+pub fn churn_run(n: usize, queries: usize, seed: u64) -> [ScalePoint; 2] {
+    let (mut sim, mut net, mut p2p, mut rng, order) = build_world(n, DiscoveryMode::Routed, seed);
+    let providers_total = (n / 20).max(1);
+    let churn = (n / 10).max(1);
+    assert!(
+        providers_total + 2 * churn <= n,
+        "churn sets must not swallow the providers"
+    );
+    let set = |lo: usize| -> Vec<PeerId> {
+        order[providers_total + lo..providers_total + lo + churn]
+            .iter()
+            .map(|&i| PeerId(i))
+            .collect()
+    };
+    // Phase A: first churn set offline.
+    let offline_a = set(0);
+    for &p in &offline_a {
+        net.set_online(p2p.host_of(p), false);
+    }
+    let a = query_batch(&mut sim, &mut net, &mut p2p, &mut rng, queries, "churn A");
+    // Swap churn sets; owners republish so records re-home onto the nodes
+    // now closest to each key among the live population.
+    for &p in &offline_a {
+        net.set_online(p2p.host_of(p), true);
+    }
+    for &p in &set(churn) {
+        net.set_online(p2p.host_of(p), false);
+    }
+    for &pid in order.iter().take(providers_total) {
+        p2p.routed_republish(&mut sim, &mut net, PeerId(pid));
+    }
+    drain(&mut sim, &mut net, &mut p2p);
+    let b = query_batch(&mut sim, &mut net, &mut p2p, &mut rng, queries, "churn B");
+    [a, b]
+}
+
+/// Steady-state (no churn) query cost in `mode` — the routed-vs-flooded
+/// comparison leg.
+pub fn steady_run(n: usize, mode: DiscoveryMode, queries: usize, seed: u64) -> ScalePoint {
+    let (mut sim, mut net, mut p2p, mut rng, _order) = build_world(n, mode, seed);
+    query_batch(&mut sim, &mut net, &mut p2p, &mut rng, queries, "steady")
+}
+
+fn rows(points: &[ScalePoint]) -> Vec<Vec<String>> {
+    points
+        .iter()
+        .map(|p| {
+            vec![
+                p.peers.to_string(),
+                format!("{:?}", p.mode),
+                p.phase.to_string(),
+                format!("{}/{}", p.found, p.queries),
+                table::f(p.msgs_per_query, 1),
+                table::f(p.mean_hops, 1),
+                p.max_hops.to_string(),
+                p.hop_budget.to_string(),
+                p.lookups_open.to_string(),
+            ]
+        })
+        .collect()
+}
+
+const HEADERS: [&str; 9] = [
+    "peers",
+    "mode",
+    "phase",
+    "found",
+    "msgs/query",
+    "hops",
+    "max",
+    "budget",
+    "open",
+];
+
+fn render(scale: &[ScalePoint], routed: ScalePoint, flooded: ScalePoint, label: &str) -> String {
+    let mut pts: Vec<ScalePoint> = scale.to_vec();
+    pts.push(routed);
+    pts.push(flooded);
+    let ratio = flooded.msgs_per_query / routed.msgs_per_query.max(1e-9);
+    format!(
+        "E15 Structured overlay at scale ({label}): Kademlia routing + super-peer tier\n\
+         (5% providers; churn phases drop 10% of peers; hop budget = ceil(log2 n)+2)\n\n\
+         {}\nrouted vs flooding at n={}: {:.0}x fewer messages per query\n",
+        table::render(&HEADERS, &rows(&pts)),
+        routed.peers,
+        ratio,
+    )
+}
+
+/// The full reproduction: 10⁵ routed peers under churn, plus the
+/// routed-vs-flooded cost comparison at 10⁴.
+pub fn report() -> String {
+    let scale = churn_run(100_000, 200, 150);
+    let routed = steady_run(10_000, DiscoveryMode::Routed, 40, 151);
+    let flooded = steady_run(10_000, DiscoveryMode::Flooding, 40, 151);
+    render(&scale, routed, flooded, "full")
+}
+
+/// CI-sized variant: same protocol, small n. Byte-identical across runs
+/// of the same build — CI runs it twice and `cmp`s the output.
+pub fn report_quick() -> String {
+    let scale = churn_run(2_000, 40, 150);
+    let routed = steady_run(800, DiscoveryMode::Routed, 20, 151);
+    let flooded = steady_run(800, DiscoveryMode::Flooding, 20, 151);
+    render(&scale, routed, flooded, "quick")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routed_scale_survives_churn() {
+        let [a, b] = churn_run(1_500, 30, 7);
+        for p in [a, b] {
+            assert!(
+                p.found * 10 >= p.queries * 8,
+                "{}: only {}/{} queries found a provider",
+                p.phase,
+                p.found,
+                p.queries
+            );
+            assert!(
+                p.max_hops <= p.hop_budget,
+                "{}: {} hops exceeds budget {}",
+                p.phase,
+                p.max_hops,
+                p.hop_budget
+            );
+            assert_eq!(p.lookups_open, 0, "{}: lookups leaked", p.phase);
+        }
+    }
+
+    #[test]
+    fn routed_beats_flooding_by_an_order_of_magnitude() {
+        let routed = steady_run(2_000, DiscoveryMode::Routed, 20, 9);
+        let flooded = steady_run(2_000, DiscoveryMode::Flooding, 20, 9);
+        assert!(routed.found > 0 && flooded.found > 0);
+        assert!(
+            flooded.msgs_per_query >= 10.0 * routed.msgs_per_query,
+            "flooding {:.0} vs routed {:.0} msgs/query",
+            flooded.msgs_per_query,
+            routed.msgs_per_query
+        );
+        assert!(routed.max_hops <= routed.hop_budget);
+        assert_eq!(routed.lookups_open, 0);
+    }
+
+    #[test]
+    fn quick_report_is_deterministic() {
+        assert_eq!(report_quick(), report_quick());
+    }
+}

@@ -1,6 +1,6 @@
 //! `consumer-grid-bench` — the experiment reproduction harness.
 //!
-//! One module per experiment in DESIGN.md's index (E1–E14). Each module
+//! One module per experiment in DESIGN.md's index (E1–E15). Each module
 //! exposes a structured `rows()`-style function (used by tests to check the
 //! *shape* of the result against the paper's claims) and a `report()`
 //! string (printed by the `repro` binary). EXPERIMENTS.md records
@@ -20,6 +20,7 @@ pub mod e11_service_pipeline;
 pub mod e12_redundancy;
 pub mod e13_adaptive_scheduling;
 pub mod e14_decentralised_orch;
+pub mod e15_overlay_scale;
 pub mod perf;
 pub mod smoke;
 pub mod table;

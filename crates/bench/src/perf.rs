@@ -16,7 +16,7 @@
 //! (add/sub/mul/max), so their output digests are portable.
 
 use netsim::avail::AvailabilityTrace;
-use netsim::{EventQueue, HostSpec, Pcg32, SimTime};
+use netsim::{BinaryHeapQueue, EventQueue, HostSpec, Pcg32, SimTime};
 use obs::json::{self, Value};
 use p2p::advert::{AdvertBody, PeerAdvert};
 use p2p::{Advertisement, DiscoveryMode, QueryKind};
@@ -96,9 +96,13 @@ pub struct PerfReport {
     pub kernels: Vec<KernelPerf>,
     pub discovery_events: u64,
     pub queue_events: u64,
+    /// Pop-schedule digest of the queue churn — identical between the
+    /// calendar queue and the legacy heap, byte-stable across runs.
+    pub queue_digest: u64,
     pub farm: FarmPerf,
     // Volatile.
     pub queue_ns_per_event: f64,
+    pub heap_queue_ns_per_event: f64,
     pub discovery_round_ns: f64,
 }
 
@@ -200,7 +204,26 @@ fn queue_churn(events: u64) -> u64 {
     let mut acc = 0u64;
     for i in 0..events {
         let (at, ev) = q.pop().expect("backlog never empties");
-        acc = acc.wrapping_add(ev);
+        acc = acc.wrapping_add(ev.wrapping_mul(at.as_micros() | 1));
+        q.push(SimTime(at.as_micros() + 1 + rng.below(1_000)), i);
+    }
+    acc
+}
+
+/// The same churn through the legacy binary-heap queue — the baseline the
+/// calendar queue replaced. Kept so every snapshot carries the old heap
+/// number next to the new one, and as a cross-check: both queues must pop
+/// the identical schedule (same digest).
+fn heap_churn(events: u64) -> u64 {
+    let mut rng = Pcg32::new(0xE7E7, 0x51);
+    let mut q: BinaryHeapQueue<u64> = BinaryHeapQueue::new();
+    for i in 0..256u64 {
+        q.push(SimTime(rng.below(1_000)), i);
+    }
+    let mut acc = 0u64;
+    for i in 0..events {
+        let (at, ev) = q.pop().expect("backlog never empties");
+        acc = acc.wrapping_add(ev.wrapping_mul(at.as_micros() | 1));
         q.push(SimTime(at.as_micros() + 1 + rng.below(1_000)), i);
     }
     acc
@@ -308,16 +331,26 @@ fn run_with(mode: &'static str, reps: u64) -> PerfReport {
     ];
     let discovery_events = discovery_round(SEED);
     let discovery_round_ns = time_ns(reps.min(50), || discovery_round(SEED));
+    let queue_digest = queue_churn(QUEUE_EVENTS);
+    assert_eq!(
+        queue_digest,
+        heap_churn(QUEUE_EVENTS),
+        "calendar queue and legacy heap popped different schedules"
+    );
     let queue_ns_per_event =
         time_ns(reps.clamp(1, 20), || queue_churn(QUEUE_EVENTS)) / QUEUE_EVENTS as f64;
+    let heap_queue_ns_per_event =
+        time_ns(reps.clamp(1, 20), || heap_churn(QUEUE_EVENTS)) / QUEUE_EVENTS as f64;
     let farm = farm_perf(reps);
     PerfReport {
         mode,
         kernels,
         discovery_events,
         queue_events: QUEUE_EVENTS,
+        queue_digest,
         farm,
         queue_ns_per_event,
+        heap_queue_ns_per_event,
         discovery_round_ns,
     }
 }
@@ -346,8 +379,9 @@ impl PerfReport {
             ));
         }
         s.push_str(&format!(
-            "}},\"netsim\":{{\"discovery_events_processed\":{},\"queue_events\":{}}}",
-            self.discovery_events, self.queue_events
+            "}},\"netsim\":{{\"discovery_events_processed\":{},\"queue_events\":{},\
+             \"queue_digest\":\"{:#018x}\"}}",
+            self.discovery_events, self.queue_events, self.queue_digest
         ));
         let f = &self.farm;
         s.push_str(&format!(
@@ -386,9 +420,12 @@ impl PerfReport {
         }
         s.push_str(&format!(
             "}},\"netsim\":{{\"queue_ns_per_event\":{:.2},\"queue_events_per_s\":{:.0},\
+             \"heap_queue_ns_per_event\":{:.2},\"calendar_vs_heap_speedup\":{:.2},\
              \"discovery_round_ns\":{:.0}}}",
             self.queue_ns_per_event,
             1e9 / self.queue_ns_per_event,
+            self.heap_queue_ns_per_event,
+            self.heap_queue_ns_per_event / self.queue_ns_per_event,
             self.discovery_round_ns,
         ));
         let f = &self.farm;
@@ -439,8 +476,11 @@ impl PerfReport {
             ));
         }
         out.push_str(&format!(
-            "\nnetsim queue: {:.0} events/s   discovery round: {} events in {:.0} us\n",
+            "\nnetsim queue: {:.0} events/s calendar vs {:.0} events/s heap ({:.2}x)   \
+             discovery round: {} events in {:.0} us\n",
             1e9 / self.queue_ns_per_event,
+            1e9 / self.heap_queue_ns_per_event,
+            self.heap_queue_ns_per_event / self.queue_ns_per_event,
             self.discovery_events,
             self.discovery_round_ns / 1e3,
         ));
@@ -566,6 +606,11 @@ mod tests {
             failures.iter().any(|f| f.contains("queue_events")),
             "{failures:?}"
         );
+    }
+
+    #[test]
+    fn calendar_and_heap_pop_identical_schedules() {
+        assert_eq!(queue_churn(10_000), heap_churn(10_000));
     }
 
     #[test]

@@ -26,7 +26,8 @@ use trust::{orchestrator_eligibility, GridTrustConfig};
 use crate::invariants::{
     check_blacklist_respected, check_cache_integrity, check_dispatch_conservation,
     check_exactly_once, check_message_conservation, check_no_starvation, check_no_stranded_jobs,
-    check_orch_exactly_once, check_orch_replication, check_pipeline, check_voting, Violation,
+    check_orch_exactly_once, check_orch_replication, check_overlay_converged, check_pipeline,
+    check_voting, Violation,
 };
 use crate::oracle::FaultOracle;
 use crate::plan::{FaultKind, FaultPlan};
@@ -93,6 +94,10 @@ pub struct ChaosConfig {
     /// orchestrator set instead of a single controller; orchestrator
     /// faults in the plan then crash/partition members of that set.
     pub orch: bool,
+    /// Run discovery over the structured overlay (`DiscoveryMode::Routed`)
+    /// instead of flooding; `rtbl`/`spfl` faults in the plan then poison
+    /// routing tables and fell super-peer rendezvous nodes.
+    pub routed: bool,
 }
 
 impl ChaosConfig {
@@ -105,6 +110,7 @@ impl ChaosConfig {
             plan: FaultPlan::generate(seed, N_WORKERS as u32, PLAN_HORIZON_MS),
             mutate_drop_output: false,
             orch: false,
+            routed: false,
         }
     }
 
@@ -118,6 +124,21 @@ impl ChaosConfig {
             plan: FaultPlan::generate_orch(seed, N_WORKERS as u32, N_ORCH as u32, PLAN_HORIZON_MS),
             mutate_drop_output: false,
             orch: true,
+            routed: false,
+        }
+    }
+
+    /// The structured-overlay sweep: the same scenario choice, but the
+    /// world discovers over the Kademlia DHT and the plan mixes in
+    /// routing-table poisonings and super-peer outages.
+    pub fn from_seed_routed(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            scenario: Scenario::for_seed(seed),
+            plan: FaultPlan::generate_routed(seed, N_WORKERS as u32, PLAN_HORIZON_MS),
+            mutate_drop_output: false,
+            orch: false,
+            routed: true,
         }
     }
 }
@@ -141,19 +162,23 @@ impl RunOutcome {
 
 /// The one-line command that reproduces a failing run byte-for-byte.
 pub fn replay_command(cfg: &ChaosConfig) -> String {
-    format!(
+    let mut cmd = format!(
         "cargo run --release -p consumer-grid-bench --bin chaos -- replay \
-         --seed {} --scenario {} --plan \"{}\"{}",
+         --seed {} --scenario {} --plan \"{}\"",
         cfg.seed,
         cfg.scenario.name(),
         cfg.plan,
-        match (cfg.mutate_drop_output, cfg.orch) {
-            (true, true) => " --mutate drop-output --orch",
-            (true, false) => " --mutate drop-output",
-            (false, true) => " --orch",
-            (false, false) => "",
-        }
-    )
+    );
+    if cfg.mutate_drop_output {
+        cmd.push_str(" --mutate drop-output");
+    }
+    if cfg.orch {
+        cmd.push_str(" --orch");
+    }
+    if cfg.routed {
+        cmd.push_str(" --routed");
+    }
+    cmd
 }
 
 /// FNV-1a 64-bit: tiny, dependency-free, good enough to compare runs.
@@ -190,6 +215,9 @@ enum Action {
     OrchUp(u32),
     OrchCut(u32),
     OrchUncut(u32),
+    Poison(u32),
+    SuperDown(u32),
+    SuperUp(u32),
 }
 
 /// The plan, expanded and sorted, consumed progressively as the driver
@@ -277,6 +305,22 @@ impl PlanRuntime {
                     let o = orch % N_ORCH as u32;
                     actions.push((at, Action::OrchCut(o)));
                     actions.push((at + u64::from(secs) * 1_000, Action::OrchUncut(o)));
+                }
+                FaultKind::RoutePoison { worker } => {
+                    if scenario != Scenario::Pipeline {
+                        actions.push((at, Action::Poison(worker % n)));
+                    }
+                }
+                FaultKind::SuperPeerFail { worker, secs } => {
+                    // Overlay faults target the farm's worker peers (the
+                    // pipeline's stage peers have no farm churn handler for
+                    // a rendezvous outage, so pipelines skip them — they
+                    // still exercise routed discovery per se).
+                    if scenario != Scenario::Pipeline {
+                        let w = worker % n;
+                        actions.push((at, Action::SuperDown(w)));
+                        actions.push((at + u64::from(secs) * 1_000, Action::SuperUp(w)));
+                    }
                 }
             }
         }
@@ -382,6 +426,8 @@ pub struct FarmCtx {
     orch_hosts: Vec<HostId>,
     orch_offline: Vec<bool>,
     orch_cuts: Vec<u32>,
+    /// Seed-derived stream for routing-table poisonings (`rtbl` faults).
+    poison_rng: Pcg32,
 }
 
 impl FarmCtx {
@@ -506,6 +552,27 @@ fn apply_farm_action(
                     ctx.set_orch_partitioned(world, o, false);
                 }
                 ctx.sync_orch_member(world, farm, o);
+            }
+        }
+        Action::Poison(w) => {
+            // No-op outside routed mode (a flooding peer has no routing
+            // table), exactly like Corrupt on a non-resident blob.
+            let peer = farm.worker_peer(WorkerId(w));
+            world.p2p.poison_routing_table(peer, &mut ctx.poison_rng);
+        }
+        Action::SuperDown(w) => {
+            // Only fell the worker if its peer actually serves as a hot
+            // rendezvous — the fault is about super-peer outage, not plain
+            // worker churn (the Crash kind already covers that). Roles are
+            // assigned at bootstrap and stable for the whole run, so the
+            // matching SuperUp sees the same verdict.
+            if world.p2p.is_rendezvous(farm.worker_peer(WorkerId(w))) {
+                farm.handle(world, GridEvent::WorkerDown(WorkerId(w)));
+            }
+        }
+        Action::SuperUp(w) => {
+            if world.p2p.is_rendezvous(farm.worker_peer(WorkerId(w))) {
+                farm.handle(world, GridEvent::WorkerUp(WorkerId(w)));
             }
         }
     }
@@ -753,8 +820,13 @@ fn build_orch_set(
     (handle, hosts)
 }
 
-fn build_farm_world(seed: u64, oracle: &FaultOracle, use_orch: bool) -> FarmWorld {
-    let mut world = GridWorld::new(seed, DiscoveryMode::Flooding);
+fn build_farm_world(seed: u64, oracle: &FaultOracle, use_orch: bool, routed: bool) -> FarmWorld {
+    let mode = if routed {
+        DiscoveryMode::Routed
+    } else {
+        DiscoveryMode::Flooding
+    };
+    let mut world = GridWorld::new(seed, mode);
     let obs = Obs::enabled();
     world.sim.set_tap(oracle.tap());
     world.p2p.set_obs(obs.clone());
@@ -798,6 +870,14 @@ fn build_farm_world(seed: u64, oracle: &FaultOracle, use_orch: bool) -> FarmWorl
     }
     let mut rng = Pcg32::new(seed, 0x3333);
     world.p2p.wire_random(3, &mut rng);
+    if routed {
+        // Bootstrap the DHT up-front (neutral trust profiles: everyone
+        // warm, the hot quota promoted deterministically) so rendezvous
+        // roles exist before the first publish and `spfl` faults can find
+        // a super-peer to fell.
+        let profiles = vec![(0.7, 1.0); world.p2p.len()];
+        world.p2p.enable_routed(&profiles, &mut rng);
+    }
     let module_key = ModuleKey::new("Chaos", 1);
     let blob = sized_blob("Chaos", 2_000);
     let module_blob = BlobId::of_blob(&blob);
@@ -816,6 +896,7 @@ fn build_farm_world(seed: u64, oracle: &FaultOracle, use_orch: bool) -> FarmWorl
             orch_offline: vec![false; orch_hosts.len()],
             orch_cuts: vec![0; orch_hosts.len()],
             orch_hosts,
+            poison_rng: Pcg32::new(seed, 0x0007_B150),
         },
         obs,
         module_key,
@@ -843,11 +924,12 @@ fn finish_report(
     let mut report = String::with_capacity(2_048);
     report.push_str("chaos-report v1\n");
     report.push_str(&format!(
-        "scenario={} seed={} mutate={} orch={} plan={}\n",
+        "scenario={} seed={} mutate={} orch={} routed={} plan={}\n",
         cfg.scenario.name(),
         cfg.seed,
         cfg.mutate_drop_output,
         cfg.orch,
+        cfg.routed,
         cfg.plan
     ));
     report.push_str(&stats_line);
@@ -885,7 +967,7 @@ fn farm_done_jobs(farm: &FarmScheduler) -> Vec<u64> {
 fn run_farm_scenario(cfg: &ChaosConfig) -> RunOutcome {
     let oracle = FaultOracle::new(cfg.seed);
     oracle.set_mutate_drop_output(cfg.mutate_drop_output);
-    let mut fw = build_farm_world(cfg.seed, &oracle, cfg.orch);
+    let mut fw = build_farm_world(cfg.seed, &oracle, cfg.orch, cfg.routed);
     for i in 0..N_JOBS {
         let spec = farm_job(i, &fw.module_key);
         fw.farm.submit(&mut fw.world, spec);
@@ -908,6 +990,7 @@ fn run_farm_scenario(cfg: &ChaosConfig) -> RunOutcome {
     check_dispatch_conservation(&reg, &mut violations);
     check_message_conservation(&reg, oracle.counters(), &mut violations);
     check_cache_integrity(&fw.farm, &fw.world, &mut violations);
+    check_overlay_converged(&fw.world.p2p, &mut violations);
     if cfg.orch {
         let done = farm_done_jobs(&fw.farm);
         check_orch_exactly_once(fw.farm.orchestrators(), &done, &mut violations);
@@ -928,7 +1011,7 @@ fn run_farm_scenario(cfg: &ChaosConfig) -> RunOutcome {
 fn run_voting_scenario(cfg: &ChaosConfig) -> RunOutcome {
     let oracle = FaultOracle::new(cfg.seed);
     oracle.set_mutate_drop_output(cfg.mutate_drop_output);
-    let mut fw = build_farm_world(cfg.seed, &oracle, cfg.orch);
+    let mut fw = build_farm_world(cfg.seed, &oracle, cfg.orch, cfg.routed);
     let mut behaviours = vec![Behaviour::Honest; N_WORKERS];
     behaviours[0] = Behaviour::Cheater { cheat_prob: 1.0 };
     let mut voting = VotingFarm::new(RedundancyConfig::triple(), behaviours, cfg.seed);
@@ -968,6 +1051,7 @@ fn run_voting_scenario(cfg: &ChaosConfig) -> RunOutcome {
     check_dispatch_conservation(&reg, &mut violations);
     check_message_conservation(&reg, oracle.counters(), &mut violations);
     check_cache_integrity(&fw.farm, &fw.world, &mut violations);
+    check_overlay_converged(&fw.world.p2p, &mut violations);
     check_voting(&voting, &fw.farm, &mut violations);
     if cfg.orch {
         let done = farm_done_jobs(&fw.farm);
@@ -989,7 +1073,14 @@ fn run_voting_scenario(cfg: &ChaosConfig) -> RunOutcome {
 fn run_pipeline_scenario(cfg: &ChaosConfig) -> RunOutcome {
     let oracle = FaultOracle::new(cfg.seed);
     oracle.set_mutate_drop_output(cfg.mutate_drop_output);
-    let mut world = GridWorld::new(cfg.seed, DiscoveryMode::Flooding);
+    let mode = if cfg.routed {
+        // Pipelines take the lazy-bootstrap path: the overlay assembles
+        // itself (neutral profiles) on the first publish or query.
+        DiscoveryMode::Routed
+    } else {
+        DiscoveryMode::Flooding
+    };
+    let mut world = GridWorld::new(cfg.seed, mode);
     let obs = Obs::enabled();
     world.sim.set_tap(oracle.tap());
     world.p2p.set_obs(obs.clone());
@@ -1040,6 +1131,7 @@ fn run_pipeline_scenario(cfg: &ChaosConfig) -> RunOutcome {
     let mut violations = Vec::new();
     check_pipeline(&pl, N_TOKENS, &reg, &mut violations);
     check_message_conservation(&reg, oracle.counters(), &mut violations);
+    check_overlay_converged(&world.p2p, &mut violations);
     if cfg.orch {
         let done: Vec<u64> = (0..N_TOKENS)
             .filter(|&t| pl.token_latency(t).is_some())
@@ -1097,6 +1189,7 @@ mod tests {
                 plan: FaultPlan::empty(),
                 mutate_drop_output: false,
                 orch: false,
+                routed: false,
             };
             let out = run_chaos(&cfg);
             assert!(
@@ -1120,6 +1213,7 @@ mod tests {
                 plan: FaultPlan::empty(),
                 mutate_drop_output: false,
                 orch: true,
+                routed: false,
             };
             let out = run_chaos(&cfg);
             assert!(
@@ -1240,6 +1334,7 @@ mod tests {
             orch_hosts: Vec::new(),
             orch_offline: Vec::new(),
             orch_cuts: Vec::new(),
+            poison_rng: Pcg32::new(5, 0x0007_B150),
         };
         let mut violations = Vec::new();
         drive_farm(
@@ -1311,6 +1406,7 @@ mod tests {
             plan: "octl@26000:o0;orest@30000:o0".parse().unwrap(),
             mutate_drop_output: false,
             orch: true,
+            routed: false,
         };
         let out = run_chaos(&cfg);
         assert!(out.ok(), "handoff run violated invariants:\n{}", out.report);
@@ -1347,6 +1443,7 @@ mod tests {
                 .unwrap(),
             mutate_drop_output: false,
             orch: false,
+            routed: false,
         };
         let out = run_chaos(&cfg);
         assert!(
@@ -1354,5 +1451,56 @@ mod tests {
             "one cheater formed a quorum on a requeued replica:\n{}",
             out.report
         );
+    }
+
+    #[test]
+    fn fault_free_routed_scenarios_complete_cleanly() {
+        // The acceptance criterion for structured discovery under the
+        // chaos harness: every scenario drains green when discovery runs
+        // over the Kademlia overlay instead of flooding, with no faults.
+        for scenario in [Scenario::Farm, Scenario::Pipeline, Scenario::Voting] {
+            let cfg = ChaosConfig {
+                seed: 11,
+                scenario,
+                plan: FaultPlan::empty(),
+                mutate_drop_output: false,
+                orch: false,
+                routed: true,
+            };
+            let out = run_chaos(&cfg);
+            assert!(
+                out.ok(),
+                "{} routed baseline violated: {:?}",
+                scenario.name(),
+                out.violations
+            );
+        }
+    }
+
+    #[test]
+    fn routed_seed_sweep_smoke_holds_invariants() {
+        let mut any_overlay_fault = false;
+        for seed in 0..18 {
+            let cfg = ChaosConfig::from_seed_routed(seed);
+            any_overlay_fault |= cfg.plan.events.iter().any(|e| {
+                matches!(
+                    e.kind,
+                    FaultKind::RoutePoison { .. } | FaultKind::SuperPeerFail { .. }
+                )
+            });
+            let out = run_chaos(&cfg);
+            assert!(
+                out.ok(),
+                "routed seed {seed} ({}) violated invariants:\n{}",
+                cfg.scenario.name(),
+                out.report
+            );
+            if seed < 6 {
+                let again = run_chaos(&cfg);
+                assert_eq!(out.digest, again.digest, "routed seed {seed} diverged");
+                assert_eq!(out.report, again.report);
+            }
+        }
+        assert!(any_overlay_fault, "sweep never exercised an overlay fault");
     }
 }

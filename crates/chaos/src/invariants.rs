@@ -61,6 +61,21 @@ pub fn check_exactly_once(farm: &FarmScheduler, reg: &Registry, out: &mut Vec<Vi
     }
 }
 
+/// Every iterative overlay lookup must resolve by drain: each in-flight
+/// DHT request either completes, fails over to the next candidate, or is
+/// reaped by its scheduled timeout — a lookup still open once the event
+/// queue is empty is wedged forever. Trivially green in flooding mode
+/// (no lookups ever start), so safe to run on every scenario.
+pub fn check_overlay_converged(p2p: &p2p::P2p, out: &mut Vec<Violation>) {
+    let open = p2p.active_lookups();
+    if open != 0 {
+        out.push(Violation::new(
+            "overlay-lookup-converges",
+            format!("{open} iterative lookup(s) still active at drain"),
+        ));
+    }
+}
+
 /// No job may be stranded at drain: once the event queue is empty, every
 /// job is either done or back in the pending queue — never still assigned
 /// to a worker with no event left to move it.

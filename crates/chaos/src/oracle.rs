@@ -28,9 +28,20 @@ use std::rc::Rc;
 use triana_core::grid::GridEvent;
 
 fn is_discovery(msg: &Message) -> bool {
+    // Flood-mode discovery plus the routed overlay's lookup/store traffic:
+    // all of it is loss-tolerant (requests re-fire via lookup timeouts,
+    // provider stores are republished) and idempotent under duplication,
+    // so the oracle may drop and dup it freely without wedging the grid.
     matches!(
         msg,
-        Message::Query { .. } | Message::QueryHit { .. } | Message::Publish { .. }
+        Message::Query { .. }
+            | Message::QueryHit { .. }
+            | Message::Publish { .. }
+            | Message::FindNode { .. }
+            | Message::FindNodeReply { .. }
+            | Message::FindValue { .. }
+            | Message::FindValueReply { .. }
+            | Message::StoreProvider { .. }
     )
 }
 

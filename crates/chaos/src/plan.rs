@@ -47,6 +47,15 @@ pub enum FaultKind {
     /// host stays up but every route to workers and fellow orchestrators
     /// is severed.
     OrchPartition { orch: u32, secs: u32 },
+    /// Poison the worker's routed-mode routing table: roughly half its
+    /// contacts are replaced with fabricated (node-id, peer) mappings.
+    /// No-op unless the world runs `DiscoveryMode::Routed`; the overlay
+    /// must self-heal (fabricated contacts fail and are evicted).
+    RoutePoison { worker: u32 },
+    /// Kill the worker for `secs` *if* its peer serves as a hot super-peer
+    /// rendezvous in routed mode (no-op otherwise): delegated publishes
+    /// and lookups through it must fail over, not wedge.
+    SuperPeerFail { worker: u32, secs: u32 },
 }
 
 /// A fault scheduled at a virtual-time offset (milliseconds).
@@ -67,7 +76,12 @@ impl FaultEvent {
             | Corrupt { .. }
             | Lie { .. }
             | OrchCrash { .. }
-            | OrchRestart { .. } => return None,
+            | OrchRestart { .. }
+            | RoutePoison { .. } => return None,
+            SuperPeerFail { worker, secs } if secs > 1 => SuperPeerFail {
+                worker,
+                secs: secs / 2,
+            },
             Partition { worker, secs } if secs > 1 => Partition {
                 worker,
                 secs: secs / 2,
@@ -120,6 +134,10 @@ impl fmt::Display for FaultEvent {
             OrchCrash { orch } => write!(f, "octl@{}:o{}", self.at_ms, orch),
             OrchRestart { orch } => write!(f, "orest@{}:o{}", self.at_ms, orch),
             OrchPartition { orch, secs } => write!(f, "opart@{}:o{},{}s", self.at_ms, orch, secs),
+            RoutePoison { worker } => write!(f, "rtbl@{}:w{}", self.at_ms, worker),
+            SuperPeerFail { worker, secs } => {
+                write!(f, "spfl@{}:w{},{}s", self.at_ms, worker, secs)
+            }
         }
     }
 }
@@ -201,6 +219,13 @@ impl FromStr for FaultEvent {
             },
             ("opart", [o, d]) => FaultKind::OrchPartition {
                 orch: parse_num(strip(o, "o", "")?, "orchestrator")?,
+                secs: parse_num(strip(d, "", "s")?, "duration (s)")?,
+            },
+            ("rtbl", [w]) => FaultKind::RoutePoison {
+                worker: parse_num(strip(w, "w", "")?, "worker")?,
+            },
+            ("spfl", [w, d]) => FaultKind::SuperPeerFail {
+                worker: parse_num(strip(w, "w", "")?, "worker")?,
                 secs: parse_num(strip(d, "", "s")?, "duration (s)")?,
             },
             _ => return Err(PlanParseError(format!("unknown event `{s}`"))),
@@ -317,6 +342,30 @@ impl FaultPlan {
         plan
     }
 
+    /// Worker chaos (from [`FaultPlan::generate`], same stream) plus 1–3
+    /// routed-overlay faults: routing-table poisonings and super-peer
+    /// outages. Super-peer outages always end within the horizon so the
+    /// worker's jobs can still drain.
+    pub fn generate_routed(seed: u64, n_workers: u32, horizon_ms: u64) -> FaultPlan {
+        let mut plan = FaultPlan::generate(seed, n_workers, horizon_ms);
+        let mut rng = Pcg32::new(seed, 0x07B1);
+        let n = 1 + rng.below(3) as usize;
+        for _ in 0..n {
+            let at_ms = rng.below(horizon_ms.max(1));
+            let worker = rng.below(n_workers.max(1) as u64) as u32;
+            let kind = match rng.below(2) {
+                0 => FaultKind::RoutePoison { worker },
+                _ => FaultKind::SuperPeerFail {
+                    worker,
+                    secs: 1 + rng.below(10) as u32,
+                },
+            };
+            plan.events.push(FaultEvent { at_ms, kind });
+        }
+        plan.sort();
+        plan
+    }
+
     /// Sort by time (stable, so equal-time events keep generation order).
     pub fn sort(&mut self) {
         self.events.sort_by_key(|e| e.at_ms);
@@ -419,6 +468,41 @@ mod tests {
             .unwrap()
             .weaken()
             .is_none());
+    }
+
+    #[test]
+    fn routed_plans_include_overlay_faults_and_round_trip() {
+        let mut any_routed = false;
+        for seed in 0..50 {
+            let plan = FaultPlan::generate_routed(seed, 4, 30_000);
+            assert_eq!(plan, FaultPlan::generate_routed(seed, 4, 30_000));
+            any_routed |= plan.events.iter().any(|e| {
+                matches!(
+                    e.kind,
+                    FaultKind::RoutePoison { .. } | FaultKind::SuperPeerFail { .. }
+                )
+            });
+            let back: FaultPlan = plan.to_string().parse().unwrap();
+            assert_eq!(back, plan);
+        }
+        assert!(
+            any_routed,
+            "routed generator never produced an overlay fault"
+        );
+        let e: FaultEvent = "spfl@250:w3,8s".parse().unwrap();
+        assert_eq!(
+            e.weaken().unwrap().kind,
+            FaultKind::SuperPeerFail { worker: 3, secs: 4 }
+        );
+        assert!("rtbl@5:w1"
+            .parse::<FaultEvent>()
+            .unwrap()
+            .weaken()
+            .is_none());
+        assert_eq!(
+            "rtbl@5:w1".parse::<FaultEvent>().unwrap().kind,
+            FaultKind::RoutePoison { worker: 1 }
+        );
     }
 
     #[test]

@@ -1,0 +1,36 @@
+//! `overlay` — structured (routed) discovery for the Consumer Grid.
+//!
+//! The paper's §3.7 observes that flooding "severely restricts the
+//! scalability" of discovery; this crate supplies the structured
+//! alternative the ROADMAP's million-peer north star needs:
+//!
+//! * [`id`] — a 64-bit XOR-metric identifier space ([`NodeId`]) with
+//!   deterministic derivation from peer indices and content keys,
+//! * [`bucket`] — a Kademlia routing table: k-buckets with LRU ordering,
+//!   splitting along the own-ID prefix, and explicit eviction hooks for
+//!   liveness pings,
+//! * [`lookup`] — the *iterative* `FIND_NODE`/`FIND_VALUE` state machine:
+//!   α-parallel, converging on the k closest live nodes to a target,
+//! * [`store`] — the provider-record store (key → provider records with
+//!   TTL expiry, bounded per key),
+//! * [`super_peer`] — hot/warm/cold peer classification from
+//!   availability/speed profiles, selecting the super-peer rendezvous
+//!   tier that carries cold consumer peers' publish and lookup load.
+//!
+//! The crate is deliberately network-free: it holds pure routing state and
+//! decision logic, and `triana-p2p` drives it with real simulated messages
+//! (`DiscoveryMode::Routed`). That keeps the layering acyclic — `p2p`
+//! depends on `overlay`, never the reverse — and makes every component
+//! property-testable against brute-force oracles.
+
+pub mod bucket;
+pub mod id;
+pub mod lookup;
+pub mod store;
+pub mod super_peer;
+
+pub use bucket::{Contact, Insert, RoutingTable};
+pub use id::NodeId;
+pub use lookup::{Lookup, LookupConfig};
+pub use store::{ProviderStore, StoredRecord};
+pub use super_peer::{assign_roles, classify, should_demote, Role, TierConfig};

@@ -1,0 +1,150 @@
+//! The provider-record store: what a DHT node holds for keys it is close
+//! to.
+//!
+//! Records are opaque to this crate (the p2p layer stores whole
+//! advertisements); each carries the providing peer and an expiry
+//! instant. The store is bounded per key — a hot key (the capability
+//! index, a popular service) cannot grow without limit: when full, the
+//! earliest-expiring record is evicted, which under the republish
+//! protocol means the *stalest* provider. TTL expiry is the forget half
+//! of Kademlia's store/republish pair; the publish half lives with the
+//! record's owner, which re-runs its publish before the TTL lapses.
+
+use netsim::SimTime;
+use std::collections::HashMap;
+
+/// One stored provider record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredRecord<R> {
+    /// The providing peer (p2p peer index).
+    pub provider: u32,
+    pub expires: SimTime,
+    pub record: R,
+}
+
+/// Key → bounded set of provider records.
+pub struct ProviderStore<R> {
+    map: HashMap<u64, Vec<StoredRecord<R>>>,
+    cap_per_key: usize,
+    /// Cumulative evictions under the per-key bound (diagnostics).
+    pub evictions: u64,
+}
+
+impl<R> ProviderStore<R> {
+    pub fn new(cap_per_key: usize) -> Self {
+        assert!(cap_per_key >= 1);
+        ProviderStore {
+            map: HashMap::new(),
+            cap_per_key,
+            evictions: 0,
+        }
+    }
+
+    /// Insert or refresh a record. A record from a provider already
+    /// present under the key replaces the old one (a republish extends
+    /// the TTL); a new provider on a full key evicts the
+    /// earliest-expiring record (ties broken by provider index for
+    /// determinism).
+    pub fn insert(&mut self, key: u64, rec: StoredRecord<R>) {
+        let v = self.map.entry(key).or_default();
+        if let Some(pos) = v.iter().position(|r| r.provider == rec.provider) {
+            v[pos] = rec;
+            return;
+        }
+        if v.len() >= self.cap_per_key {
+            let (pos, _) = v
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, r)| (r.expires, r.provider))
+                .expect("full bucket is non-empty");
+            v.remove(pos);
+            self.evictions += 1;
+        }
+        v.push(rec);
+    }
+
+    /// Live records under a key (expired ones are pruned on access).
+    pub fn get(&mut self, key: u64, now: SimTime) -> &[StoredRecord<R>] {
+        match self.map.get_mut(&key) {
+            Some(v) => {
+                v.retain(|r| now < r.expires);
+                v.as_slice()
+            }
+            None => &[],
+        }
+    }
+
+    /// Drop every expired record; returns how many were discarded.
+    pub fn purge_expired(&mut self, now: SimTime) -> usize {
+        let mut dropped = 0;
+        self.map.retain(|_, v| {
+            let before = v.len();
+            v.retain(|r| now < r.expires);
+            dropped += before - v.len();
+            !v.is_empty()
+        });
+        dropped
+    }
+
+    /// Total live-or-stale records currently held.
+    pub fn len(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(provider: u32, expires: u64) -> StoredRecord<&'static str> {
+        StoredRecord {
+            provider,
+            expires: SimTime(expires),
+            record: "ad",
+        }
+    }
+
+    #[test]
+    fn republish_refreshes_instead_of_duplicating() {
+        let mut s = ProviderStore::new(4);
+        s.insert(1, rec(7, 100));
+        s.insert(1, rec(7, 500));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(1, SimTime(0))[0].expires, SimTime(500));
+    }
+
+    #[test]
+    fn bound_evicts_earliest_expiring() {
+        let mut s = ProviderStore::new(2);
+        s.insert(1, rec(1, 300));
+        s.insert(1, rec(2, 100));
+        s.insert(1, rec(3, 200));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.evictions, 1);
+        let provs: Vec<u32> = s.get(1, SimTime(0)).iter().map(|r| r.provider).collect();
+        assert_eq!(provs, vec![1, 3], "the stalest (expires=100) was evicted");
+    }
+
+    #[test]
+    fn expiry_is_inclusive_at_ttl() {
+        let mut s = ProviderStore::new(4);
+        s.insert(9, rec(1, 50));
+        assert_eq!(s.get(9, SimTime(49)).len(), 1);
+        assert_eq!(s.get(9, SimTime(50)).len(), 0, "now >= expires is expired");
+    }
+
+    #[test]
+    fn purge_drops_only_expired_and_reports_count() {
+        let mut s = ProviderStore::new(4);
+        s.insert(1, rec(1, 10));
+        s.insert(1, rec(2, 100));
+        s.insert(2, rec(3, 10));
+        assert_eq!(s.purge_expired(SimTime(10)), 2);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.purge_expired(SimTime(10)), 0, "idempotent");
+    }
+}

@@ -1,0 +1,151 @@
+//! The super-peer tier: who carries the rendezvous load.
+//!
+//! The paper's "Availability of Peers?" discussion is blunt about
+//! consumer hosts: most are modem/DSL machines that come and go. Routing
+//! infrastructure state (k-buckets, provider records) on a peer that
+//! disappears hourly is wasted work, so — following the decentralised
+//! orchestration literature (PAPERS.md) — peers are classified by their
+//! observed `triana-trust` profiles:
+//!
+//! * **Hot** — high availability *and* adequate speed: a full DHT node
+//!   that additionally serves as a rendezvous point, carrying cold peers'
+//!   publish and lookup traffic.
+//! * **Warm** — available enough to be a DHT node, but not entrusted with
+//!   other peers' load.
+//! * **Cold** — too flaky to hold routing state; delegates every publish
+//!   and lookup to its assigned hot rendezvous (one hop, then the
+//!   rendezvous runs the iterative lookup on its behalf).
+//!
+//! Promotion/demotion is hysteretic: a peer must *exceed* the hot
+//! thresholds to be promoted but only demotes after falling
+//! `hysteresis` below them, so peers on the boundary do not flap —
+//! re-homing every cold peer on each oscillation would itself be churn.
+
+/// A peer's tier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    Hot,
+    Warm,
+    Cold,
+}
+
+/// Classification thresholds over the trust profile's availability
+/// estimate (fraction of time online, 0..=1) and relative speed (1.0 =
+/// reference PC, from the delivered-speed EWMA).
+#[derive(Clone, Copy, Debug)]
+pub struct TierConfig {
+    /// Availability at or above which a peer may be hot.
+    pub hot_availability: f64,
+    /// Speed at or above which a peer may be hot.
+    pub hot_speed: f64,
+    /// Availability below which a peer is cold.
+    pub cold_availability: f64,
+    /// Demotion slack: a hot peer demotes only below `hot_availability -
+    /// hysteresis` (or `hot_speed - hysteresis`).
+    pub hysteresis: f64,
+}
+
+impl Default for TierConfig {
+    fn default() -> Self {
+        TierConfig {
+            hot_availability: 0.85,
+            hot_speed: 0.75,
+            cold_availability: 0.45,
+            hysteresis: 0.10,
+        }
+    }
+}
+
+/// Classify one peer from its profile numbers.
+pub fn classify(availability: f64, speed: f64, cfg: &TierConfig) -> Role {
+    if availability < cfg.cold_availability {
+        Role::Cold
+    } else if availability >= cfg.hot_availability && speed >= cfg.hot_speed {
+        Role::Hot
+    } else {
+        Role::Warm
+    }
+}
+
+/// Should a currently-hot peer step down? Only once it has fallen clearly
+/// below the promotion bar (hysteresis), so boundary peers do not flap.
+pub fn should_demote(availability: f64, speed: f64, cfg: &TierConfig) -> bool {
+    availability < cfg.hot_availability - cfg.hysteresis || speed < cfg.hot_speed - cfg.hysteresis
+}
+
+/// Assign a role to every peer, guaranteeing a functioning rendezvous
+/// tier: if fewer than `⌈√n⌉` peers classify as hot (e.g. fresh worlds
+/// whose trust profiles have no history yet), the best non-cold peers by
+/// `(availability, speed)` are promoted to make up the difference —
+/// deterministically, ties broken by index.
+pub fn assign_roles(profiles: &[(f64, f64)], cfg: &TierConfig) -> Vec<Role> {
+    let n = profiles.len();
+    let mut roles: Vec<Role> = profiles.iter().map(|&(a, s)| classify(a, s, cfg)).collect();
+    let want_hot = (n as f64).sqrt().ceil() as usize;
+    let have_hot = roles.iter().filter(|r| **r == Role::Hot).count();
+    if have_hot < want_hot {
+        let mut candidates: Vec<usize> = (0..n).filter(|&i| roles[i] == Role::Warm).collect();
+        candidates.sort_by(|&a, &b| {
+            let ka = (profiles[a].0, profiles[a].1);
+            let kb = (profiles[b].0, profiles[b].1);
+            kb.partial_cmp(&ka)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        for &i in candidates.iter().take(want_hot - have_hot) {
+            roles[i] = Role::Hot;
+        }
+    }
+    roles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_partition_the_profile_space() {
+        let cfg = TierConfig::default();
+        assert_eq!(classify(0.95, 1.2, &cfg), Role::Hot);
+        assert_eq!(classify(0.95, 0.3, &cfg), Role::Warm, "fast bar not met");
+        assert_eq!(classify(0.60, 1.2, &cfg), Role::Warm);
+        assert_eq!(classify(0.30, 2.0, &cfg), Role::Cold, "availability rules");
+    }
+
+    #[test]
+    fn demotion_has_hysteresis() {
+        let cfg = TierConfig::default();
+        // Just below the promotion bar: stays hot.
+        assert!(!should_demote(0.80, 1.0, &cfg));
+        // Clearly below: demotes.
+        assert!(should_demote(0.70, 1.0, &cfg));
+        assert!(should_demote(0.95, 0.60, &cfg));
+    }
+
+    #[test]
+    fn assign_roles_promotes_to_sqrt_n_minimum() {
+        // 16 uniform warm peers, nobody qualifies hot: top 4 get promoted.
+        let profiles = vec![(0.7, 1.0); 16];
+        let roles = assign_roles(&profiles, &TierConfig::default());
+        assert_eq!(roles.iter().filter(|r| **r == Role::Hot).count(), 4);
+        // Deterministic: lowest indices win the all-equal tie.
+        assert!(roles[..4].iter().all(|r| *r == Role::Hot));
+        assert!(roles[4..].iter().all(|r| *r == Role::Warm));
+    }
+
+    #[test]
+    fn assign_roles_never_promotes_cold_peers() {
+        let mut profiles = vec![(0.2, 1.0); 9];
+        profiles[5] = (0.7, 1.0);
+        let roles = assign_roles(&profiles, &TierConfig::default());
+        assert_eq!(roles[5], Role::Hot, "the only warm peer is promoted");
+        assert_eq!(roles.iter().filter(|r| **r == Role::Cold).count(), 8);
+    }
+
+    #[test]
+    fn natural_hot_population_is_left_alone() {
+        let profiles = vec![(0.95, 1.0); 10];
+        let roles = assign_roles(&profiles, &TierConfig::default());
+        assert!(roles.iter().all(|r| *r == Role::Hot));
+    }
+}

@@ -23,9 +23,11 @@ pub mod groups;
 pub mod message;
 pub mod overlay;
 pub mod pipe;
+pub mod routed;
 
 pub use advert::{AdvertBody, Advertisement, BlobAdvert, ModuleAdvert, PeerAdvert, PipeAdvert};
 pub use groups::{CapabilityPredicate, PeerGroup};
-pub use message::{Message, P2pEvent, QueryId, QueryKind};
-pub use overlay::{DiscoveryMode, Incoming, P2p, PeerId, QueryStatus};
+pub use message::{LookupId, Message, P2pEvent, QueryId, QueryKind};
+pub use overlay::{DiscoveryMode, Incoming, P2p, PeerId, QueryStatus, SEEN_CACHE_CAP};
 pub use pipe::PipeId;
+pub use routed::{RoutedConfig, RoutedNode};

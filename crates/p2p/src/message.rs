@@ -8,6 +8,11 @@ use crate::pipe::PipeId;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct QueryId(pub u64);
 
+/// Identifier of one iterative routed lookup (`DiscoveryMode::Routed`).
+/// A query or publish may spawn several lookups (one per derived key).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LookupId(pub u64);
+
 /// What a discovery query is looking for.
 #[derive(Clone, Debug, PartialEq)]
 pub enum QueryKind {
@@ -66,6 +71,45 @@ pub enum Message {
         count: u64,
         bytes: u64,
     },
+    /// Routed discovery: ask a node for its contacts closest to `key`
+    /// (Kademlia `FIND_NODE`). `from` is the lookup executor the reply
+    /// goes back to.
+    FindNode {
+        lid: LookupId,
+        from: PeerId,
+        key: u64,
+    },
+    /// Reply to [`Message::FindNode`]: the responder's closest known
+    /// `(node-id, peer)` contacts, plus `from` so the executor can learn
+    /// the responder itself.
+    FindNodeReply {
+        lid: LookupId,
+        from: PeerId,
+        closer: Vec<(u64, PeerId)>,
+    },
+    /// Routed discovery: `FIND_NODE` that additionally returns any
+    /// provider records under `key` matching `kind` (Kademlia
+    /// `FIND_VALUE`).
+    FindValue {
+        lid: LookupId,
+        from: PeerId,
+        key: u64,
+        kind: QueryKind,
+    },
+    /// Reply to [`Message::FindValue`]: closer contacts and/or matching
+    /// provider records.
+    FindValueReply {
+        lid: LookupId,
+        from: PeerId,
+        closer: Vec<(u64, PeerId)>,
+        providers: Vec<Advertisement>,
+    },
+    /// Store a provider record on one of the k nodes closest to `key`.
+    StoreProvider {
+        from: PeerId,
+        key: u64,
+        advert: Advertisement,
+    },
 }
 
 impl Message {
@@ -78,6 +122,15 @@ impl Message {
             Message::PipeData { bytes, .. } => 40 + bytes,
             Message::OrchDelta { bytes, .. } => 24 + bytes,
             Message::OrchSync { bytes, .. } => 32 + bytes,
+            Message::FindNode { .. } => 48,
+            Message::FindNodeReply { closer, .. } => 24 + 12 * closer.len() as u64,
+            Message::FindValue { kind, .. } => 48 + kind.wire_size(),
+            Message::FindValueReply {
+                closer, providers, ..
+            } => {
+                24 + 12 * closer.len() as u64 + providers.iter().map(|a| a.wire_size()).sum::<u64>()
+            }
+            Message::StoreProvider { advert, .. } => 32 + advert.wire_size(),
         }
     }
 }
@@ -87,6 +140,15 @@ impl Message {
 pub enum P2pEvent {
     /// A message finished arriving at `to`.
     Delivered { to: PeerId, msg: Message },
+    /// Local timer on a lookup executor: if the routed request sent to the
+    /// contact with claimed node-id `node` is still unanswered, fail it
+    /// and advance the lookup. Not a network message — never counted in
+    /// the sent/received/lost conservation identity.
+    LookupTimeout {
+        executor: PeerId,
+        lid: LookupId,
+        node: u64,
+    },
 }
 
 #[cfg(test)]

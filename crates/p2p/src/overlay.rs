@@ -10,13 +10,18 @@
 //! * [`DiscoveryMode::Rendezvous`] — JXTA-style super-peers: edge peers
 //!   publish advertisements to an assigned rendezvous; queries visit the
 //!   rendezvous tier only.
+//! * [`DiscoveryMode::Routed`] — Kademlia-style structured discovery over
+//!   the `triana-overlay` crate: XOR-routed iterative lookups against a
+//!   provider-record DHT, with a super-peer tier carrying flaky peers'
+//!   traffic (see `crate::routed`).
 
 use crate::advert::Advertisement;
-use crate::message::{Message, P2pEvent, QueryId, QueryKind};
+use crate::message::{LookupId, Message, P2pEvent, QueryId, QueryKind};
 use crate::pipe::{PipeError, PipeId, PipeTable};
+use crate::routed::{ActiveLookup, RoutedConfig, RoutedNode};
 use netsim::{HostId, Network, Pcg32, Sim, SimTime};
 use obs::Obs;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 
 /// Index of a peer within the overlay.
@@ -42,20 +47,73 @@ pub enum DiscoveryMode {
     Flooding,
     /// Publish/lookup via rendezvous super-peers.
     Rendezvous,
+    /// Kademlia-routed iterative lookups over the structured overlay.
+    Routed,
 }
 
-struct PeerState {
-    host: HostId,
-    neighbors: Vec<PeerId>,
+/// Per-peer bound on the flood duplicate-suppression cache: old query IDs
+/// are forgotten FIFO past this many, so a long-lived peer's memory does
+/// not grow with the total number of queries ever flooded.
+pub const SEEN_CACHE_CAP: usize = 4096;
+
+/// Bounded duplicate-suppression cache: a FIFO window over the most
+/// recent query IDs a peer has processed. `insert` returns `false` for a
+/// duplicate within the window.
+pub(crate) struct SeenCache {
+    set: HashSet<QueryId>,
+    order: VecDeque<QueryId>,
+    cap: usize,
+}
+
+impl SeenCache {
+    pub(crate) fn new(cap: usize) -> Self {
+        SeenCache {
+            set: HashSet::new(),
+            order: VecDeque::new(),
+            cap,
+        }
+    }
+
+    /// Record a query ID; `false` means it was already in the window
+    /// (a duplicate to suppress).
+    pub(crate) fn insert(&mut self, id: QueryId) -> bool {
+        if !self.set.insert(id) {
+            return false;
+        }
+        self.order.push_back(id);
+        while self.order.len() > self.cap {
+            if let Some(old) = self.order.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+        true
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.set.clear();
+        self.order.clear();
+    }
+}
+
+pub(crate) struct PeerState {
+    pub(crate) host: HostId,
+    pub(crate) neighbors: Vec<PeerId>,
     /// Locally published advertisements.
-    ads: Vec<Advertisement>,
-    /// Assigned rendezvous (edge peers in rendezvous mode).
-    rendezvous: Option<PeerId>,
-    is_rendezvous: bool,
+    pub(crate) ads: Vec<Advertisement>,
+    /// Assigned rendezvous (edge peers in rendezvous mode; cold peers in
+    /// routed mode).
+    pub(crate) rendezvous: Option<PeerId>,
+    pub(crate) is_rendezvous: bool,
     /// Advertisement cache (rendezvous peers only).
-    cache: Vec<Advertisement>,
-    /// Flood duplicate suppression.
-    seen: HashSet<QueryId>,
+    pub(crate) cache: Vec<Advertisement>,
+    /// Flood duplicate suppression (bounded FIFO window).
+    pub(crate) seen: SeenCache,
+    /// Structured-overlay state (routed mode; `None` until bootstrap).
+    pub(crate) routed: Option<RoutedNode>,
 }
 
 /// Progress record of one discovery query.
@@ -71,6 +129,10 @@ pub struct QueryStatus {
     pub messages: u64,
     /// Distinct peers that processed the query.
     pub peers_visited: u64,
+    /// Routed mode only: the longest referral chain the iterative lookup
+    /// followed (the structured analogue of flood TTL consumption). Zero
+    /// in flooding/rendezvous mode and until the lookup resolves.
+    pub hops: u64,
 }
 
 impl QueryStatus {
@@ -139,14 +201,22 @@ pub enum Incoming {
 /// The overlay network state.
 pub struct P2p {
     pub mode: DiscoveryMode,
-    peers: Vec<PeerState>,
+    pub(crate) peers: Vec<PeerState>,
     pub pipes: PipeTable,
     pub queries: HashMap<QueryId, QueryStatus>,
     next_query: u64,
-    rendezvous_peers: Vec<PeerId>,
+    pub(crate) rendezvous_peers: Vec<PeerId>,
     /// Messages that could not be sent because an endpoint was offline.
     pub send_failures: u64,
-    obs: Obs,
+    pub(crate) obs: Obs,
+    /// Tuning for routed mode (read at bootstrap and per lookup).
+    pub routed_cfg: RoutedConfig,
+    /// In-progress iterative lookups, keyed by wire lookup ID.
+    pub(crate) lookups: HashMap<LookupId, ActiveLookup>,
+    pub(crate) next_lookup: u64,
+    /// How many peers had routed state at the last bootstrap (lazy
+    /// re-bootstrap trigger when peers are added afterwards).
+    pub(crate) routed_peers: usize,
     /// Fault-injection hook: consulted before every overlay send with
     /// `(now, from, to, &msg)`; returning `false` silently discards the
     /// message before it touches the network (metered as
@@ -166,6 +236,10 @@ impl P2p {
             rendezvous_peers: Vec::new(),
             send_failures: 0,
             obs: Obs::disabled(),
+            routed_cfg: RoutedConfig::default(),
+            lookups: HashMap::new(),
+            next_lookup: 0,
+            routed_peers: 0,
             send_filter: None,
         }
     }
@@ -201,7 +275,8 @@ impl P2p {
             rendezvous: None,
             is_rendezvous: false,
             cache: Vec::new(),
-            seen: HashSet::new(),
+            seen: SeenCache::new(SEEN_CACHE_CAP),
+            routed: None,
         });
         id
     }
@@ -293,7 +368,13 @@ impl P2p {
         &self.rendezvous_peers
     }
 
-    fn send<E: From<P2pEvent>>(
+    /// Query IDs currently held in `p`'s duplicate-suppression window
+    /// (bounded by [`SEEN_CACHE_CAP`]).
+    pub fn seen_cache_len(&self, p: PeerId) -> usize {
+        self.peers[p.0 as usize].seen.len()
+    }
+
+    pub(crate) fn send<E: From<P2pEvent>>(
         &mut self,
         sim: &mut Sim<E>,
         net: &mut Network,
@@ -307,9 +388,16 @@ impl P2p {
                 return false;
             }
         }
-        // Attribute query traffic.
+        // Attribute query traffic. Routed lookup messages charge the query
+        // that spawned the lookup (publish-driven lookups charge nobody).
         let qid = match &msg {
             Message::Query { id, .. } | Message::QueryHit { id, .. } => Some(*id),
+            Message::FindNode { lid, .. }
+            | Message::FindNodeReply { lid, .. }
+            | Message::FindValue { lid, .. }
+            | Message::FindValueReply { lid, .. } => {
+                self.lookups.get(lid).and_then(ActiveLookup::query_id)
+            }
             _ => None,
         };
         let bytes = msg.wire_size();
@@ -331,6 +419,11 @@ impl P2p {
                     Message::PipeData { .. } => "p2p.sent.pipe_data",
                     Message::OrchDelta { .. } => "p2p.sent.orch_delta",
                     Message::OrchSync { .. } => "p2p.sent.orch_sync",
+                    Message::FindNode { .. } => "p2p.sent.find_node",
+                    Message::FindNodeReply { .. } => "p2p.sent.find_node_reply",
+                    Message::FindValue { .. } => "p2p.sent.find_value",
+                    Message::FindValueReply { .. } => "p2p.sent.find_value_reply",
+                    Message::StoreProvider { .. } => "p2p.sent.store_provider",
                 });
                 sim.schedule(delay, P2pEvent::Delivered { to, msg }.into());
                 true
@@ -345,7 +438,9 @@ impl P2p {
 
     /// Publish an advertisement: stored locally; in rendezvous mode also
     /// pushed to the peer's rendezvous cache (or its own cache if it *is*
-    /// a rendezvous).
+    /// a rendezvous); in routed mode stored on the k DHT nodes closest to
+    /// each of the advert's derived keys (cold peers delegate to their hot
+    /// rendezvous).
     pub fn publish<E: From<P2pEvent>>(
         &mut self,
         sim: &mut Sim<E>,
@@ -355,12 +450,19 @@ impl P2p {
     ) {
         self.obs.incr("p2p.publishes");
         self.peers[peer.0 as usize].ads.push(advert.clone());
-        if self.mode == DiscoveryMode::Rendezvous {
-            if self.peers[peer.0 as usize].is_rendezvous {
-                self.obs.incr("p2p.advert_cache_inserts");
-                self.peers[peer.0 as usize].cache.push(advert);
-            } else if let Some(r) = self.peers[peer.0 as usize].rendezvous {
-                self.send(sim, net, peer, r, Message::Publish { advert });
+        match self.mode {
+            DiscoveryMode::Flooding => {}
+            DiscoveryMode::Rendezvous => {
+                if self.peers[peer.0 as usize].is_rendezvous {
+                    self.obs.incr("p2p.advert_cache_inserts");
+                    self.peers[peer.0 as usize].cache.push(advert);
+                } else if let Some(r) = self.peers[peer.0 as usize].rendezvous {
+                    self.send(sim, net, peer, r, Message::Publish { advert });
+                }
+            }
+            DiscoveryMode::Routed => {
+                self.ensure_routed(sim);
+                self.routed_publish(sim, net, peer, advert);
             }
         }
     }
@@ -375,6 +477,9 @@ impl P2p {
         kind: QueryKind,
         ttl: u8,
     ) -> QueryId {
+        if self.mode == DiscoveryMode::Routed {
+            self.ensure_routed(sim);
+        }
         let id = QueryId(self.next_query);
         self.next_query += 1;
         self.obs.incr("p2p.queries");
@@ -390,6 +495,7 @@ impl P2p {
                 hits: Vec::new(),
                 messages: 0,
                 peers_visited: 0,
+                hops: 0,
             },
         );
         // The origin always answers from its own adverts first (free).
@@ -436,6 +542,9 @@ impl P2p {
                     }
                     None => {}
                 }
+            }
+            DiscoveryMode::Routed => {
+                self.routed_query(sim, net, origin, id, kind);
             }
         }
         id
@@ -561,7 +670,20 @@ impl P2p {
         net: &mut Network,
         ev: P2pEvent,
     ) -> Vec<Incoming> {
-        let P2pEvent::Delivered { to, msg } = ev;
+        let (to, msg) = match ev {
+            P2pEvent::Delivered { to, msg } => (to, msg),
+            // A lookup timeout is a local timer, not a network message: it
+            // fires even while its executor is offline (the lookup is then
+            // abandoned) and is never metered as received/lost.
+            P2pEvent::LookupTimeout {
+                executor,
+                lid,
+                node,
+            } => {
+                self.routed_on_timeout(sim, net, executor, lid, node);
+                return Vec::new();
+            }
+        };
         let mut out = Vec::new();
         // A message arriving at an offline peer is lost.
         if !net.is_online(self.peers[to.0 as usize].host) {
@@ -578,6 +700,7 @@ impl P2p {
                 kind,
             } => {
                 if !self.peers[to.0 as usize].seen.insert(id) {
+                    self.obs.incr("p2p.flood_duplicates");
                     return out; // duplicate
                 }
                 if let Some(q) = self.queries.get_mut(&id) {
@@ -617,6 +740,12 @@ impl P2p {
                     DiscoveryMode::Rendezvous => {
                         self.rendezvous_process(sim, net, to, id, origin, ttl, kind);
                     }
+                    DiscoveryMode::Routed => {
+                        // A cold peer delegated its query here: this hot
+                        // rendezvous runs the iterative lookup on its
+                        // behalf; hits flow back to `origin` as QueryHits.
+                        self.routed_start_query(sim, net, to, id, origin, &kind);
+                    }
                 }
             }
             Message::QueryHit { id, advert } => {
@@ -630,8 +759,15 @@ impl P2p {
                 out.push(Incoming::QueryHit { id, advert });
             }
             Message::Publish { advert } => {
-                self.obs.incr("p2p.advert_cache_inserts");
-                self.peers[to.0 as usize].cache.push(advert);
+                if self.mode == DiscoveryMode::Routed {
+                    // A cold peer delegated its publish: the rendezvous
+                    // drives the store lookups; the record still names the
+                    // advert's own peer as provider.
+                    self.routed_publish_lookups(sim, net, to, advert);
+                } else {
+                    self.obs.incr("p2p.advert_cache_inserts");
+                    self.peers[to.0 as usize].cache.push(advert);
+                }
             }
             Message::PipeData { pipe, tag, bytes } => {
                 out.push(Incoming::PipeData {
@@ -659,6 +795,31 @@ impl P2p {
                     sync: true,
                 });
             }
+            Message::FindNode { lid, from, key } => {
+                self.routed_serve_find(sim, net, to, lid, from, key, None);
+            }
+            Message::FindValue {
+                lid,
+                from,
+                key,
+                kind,
+            } => {
+                self.routed_serve_find(sim, net, to, lid, from, key, Some(kind));
+            }
+            Message::FindNodeReply { lid, from, closer } => {
+                self.routed_on_reply(sim, net, to, lid, from, closer, Vec::new(), &mut out);
+            }
+            Message::FindValueReply {
+                lid,
+                from,
+                closer,
+                providers,
+            } => {
+                self.routed_on_reply(sim, net, to, lid, from, closer, providers, &mut out);
+            }
+            Message::StoreProvider { from, key, advert } => {
+                self.routed_store(net, sim.now(), to, from, key, advert);
+            }
         }
         out
     }
@@ -673,6 +834,9 @@ impl P2p {
             p.ads.retain(|ad| !ad.is_expired(now));
             p.cache.retain(|ad| !ad.is_expired(now));
             dropped += before - p.ads.len() - p.cache.len();
+            if let Some(r) = p.routed.as_mut() {
+                dropped += r.store.purge_expired(now);
+            }
         }
         if dropped > 0 {
             self.obs.add("p2p.adverts_purged", dropped as u64);
@@ -681,11 +845,13 @@ impl P2p {
     }
 
     /// Forget all seen-query state (between experiment repetitions).
+    /// In-flight routed lookups are abandoned with their queries.
     pub fn reset_query_state(&mut self) {
         for p in &mut self.peers {
             p.seen.clear();
         }
         self.queries.clear();
+        self.lookups.clear();
     }
 }
 
@@ -1192,5 +1358,245 @@ mod tests {
         run(&mut w);
         // With the filter removed the query floods again (visits peers).
         assert!(w.p2p.queries[&qid2].peers_visited > 1);
+    }
+
+    #[test]
+    fn seen_cache_is_bounded_fifo() {
+        let mut c = SeenCache::new(4);
+        for i in 0..10u64 {
+            assert!(c.insert(QueryId(i)), "fresh id accepted");
+        }
+        assert_eq!(c.len(), 4, "window bounded at cap");
+        // Recent ids are still suppressed…
+        assert!(!c.insert(QueryId(9)));
+        // …but an id pushed out of the window has been forgotten.
+        assert!(c.insert(QueryId(0)));
+    }
+
+    #[test]
+    fn clique_flood_counts_suppressed_duplicates() {
+        let observer = Obs::enabled();
+        let n = 8;
+        let mut w = world(n, DiscoveryMode::Flooding);
+        w.p2p.set_obs(observer.clone());
+        let mut rng = Pcg32::new(11, 1);
+        w.p2p.wire_random(n - 1, &mut rng); // complete graph
+        let qid = w.p2p.query(
+            &mut w.sim,
+            &mut w.net,
+            PeerId(0),
+            QueryKind::ByService("none".into()),
+            4,
+        );
+        run(&mut w);
+        let r = observer.registry().unwrap();
+        // On a clique every peer hears the query from every neighbour:
+        // all but the first arrival are suppressed duplicates.
+        assert!(
+            r.counter_value("p2p.flood_duplicates") > 0,
+            "clique fan-out must hit the duplicate cache"
+        );
+        // Suppression bounds attributed traffic by the sum of degrees.
+        let edge_bound = (n * (n - 1)) as u64;
+        let q = &w.p2p.queries[&qid];
+        assert!(q.messages <= edge_bound, "{} > {edge_bound}", q.messages);
+        // Every received message was either fresh or metered as duplicate.
+        assert_eq!(
+            r.counter_value("p2p.messages_sent"),
+            r.counter_value("p2p.messages_received") + r.counter_value("p2p.messages_lost")
+        );
+        for i in 0..n {
+            assert!(w.p2p.seen_cache_len(PeerId(i as u32)) <= SEEN_CACHE_CAP);
+        }
+    }
+
+    #[test]
+    fn routed_finds_provider_end_to_end() {
+        let mut w = world(32, DiscoveryMode::Routed);
+        let provider = PeerId(17);
+        let ad = triana_ad(provider, SimTime::from_secs(3600));
+        w.p2p.publish(&mut w.sim, &mut w.net, provider, ad);
+        run(&mut w);
+        assert!(
+            w.p2p.routed_role(provider).is_some(),
+            "lazy bootstrap ran on first publish"
+        );
+        let qid = w.p2p.query(
+            &mut w.sim,
+            &mut w.net,
+            PeerId(0),
+            QueryKind::ByService("triana".into()),
+            0, // ttl is ignored in routed mode
+        );
+        run(&mut w);
+        let q = &w.p2p.queries[&qid];
+        assert_eq!(q.providers(), vec![provider]);
+        assert_eq!(w.p2p.active_lookups(), 0, "all lookups resolved");
+    }
+
+    #[test]
+    fn routed_hops_stay_within_log_budget_and_beat_flooding() {
+        let n = 64;
+        let mk = |mode| {
+            let mut w = world(n, mode);
+            let mut rng = Pcg32::new(13, 1);
+            w.p2p.wire_random(4, &mut rng);
+            let provider = PeerId(40);
+            let ad = triana_ad(provider, SimTime::from_secs(3600));
+            w.p2p.publish(&mut w.sim, &mut w.net, provider, ad);
+            while let Some(ev) = w.sim.step() {
+                w.p2p.handle(&mut w.sim, &mut w.net, ev);
+            }
+            let qid = w.p2p.query(
+                &mut w.sim,
+                &mut w.net,
+                PeerId(3),
+                QueryKind::ByService("triana".into()),
+                8,
+            );
+            run(&mut w);
+            let q = &w.p2p.queries[&qid];
+            (q.messages, q.hops, q.providers())
+        };
+        let (flood_msgs, _, flood_prov) = mk(DiscoveryMode::Flooding);
+        let (routed_msgs, hops, routed_prov) = mk(DiscoveryMode::Routed);
+        assert_eq!(flood_prov, vec![PeerId(40)]);
+        assert_eq!(routed_prov, vec![PeerId(40)]);
+        let budget = (n as f64).log2().ceil() as u64 + 2;
+        assert!(hops <= budget, "hops {hops} > budget {budget}");
+        assert!(
+            routed_msgs * 4 < flood_msgs,
+            "routed {routed_msgs} vs flooding {flood_msgs}"
+        );
+    }
+
+    #[test]
+    fn cold_peers_delegate_through_their_rendezvous() {
+        let observer = Obs::enabled();
+        let n = 24;
+        let mut w = world(n, DiscoveryMode::Routed);
+        w.p2p.set_obs(observer.clone());
+        // Peer 5 and 6 are too flaky to hold routing state.
+        let mut profiles = vec![(0.9, 1.0); n];
+        profiles[5] = (0.2, 1.0);
+        profiles[6] = (0.1, 1.0);
+        let mut rng = Pcg32::new(14, 1);
+        w.p2p.enable_routed(&profiles, &mut rng);
+        assert_eq!(w.p2p.routed_role(PeerId(5)), Some(::overlay::Role::Cold));
+        assert!(w.p2p.is_rendezvous(w.p2p.rendezvous_peers()[0]));
+        // Cold peer publishes and queries entirely through its rendezvous.
+        let ad = triana_ad(PeerId(5), SimTime::from_secs(3600));
+        w.p2p.publish(&mut w.sim, &mut w.net, PeerId(5), ad);
+        run(&mut w);
+        let qid = w.p2p.query(
+            &mut w.sim,
+            &mut w.net,
+            PeerId(6),
+            QueryKind::ByService("triana".into()),
+            0,
+        );
+        run(&mut w);
+        assert_eq!(w.p2p.queries[&qid].providers(), vec![PeerId(5)]);
+        let r = observer.registry().unwrap();
+        assert!(r.counter_value("p2p.cold_delegated_publishes") >= 1);
+        assert!(r.counter_value("p2p.cold_delegated_queries") >= 1);
+        assert_eq!(w.p2p.active_lookups(), 0);
+    }
+
+    #[test]
+    fn routed_conservation_holds_under_churn() {
+        let observer = Obs::enabled();
+        let n = 40;
+        let mut w = world(n, DiscoveryMode::Routed);
+        w.p2p.set_obs(observer.clone());
+        let provider = PeerId(9);
+        let ad = triana_ad(provider, SimTime::from_secs(3600));
+        w.p2p.publish(&mut w.sim, &mut w.net, provider, ad);
+        run(&mut w);
+        // A third of the peers vanish between publish and query.
+        for i in (0..n).step_by(3) {
+            if i != 0 {
+                let h = w.p2p.host_of(PeerId(i as u32));
+                w.net.set_online(h, false);
+            }
+        }
+        let qid = w.p2p.query(
+            &mut w.sim,
+            &mut w.net,
+            PeerId(0),
+            QueryKind::ByService("triana".into()),
+            0,
+        );
+        run(&mut w);
+        let r = observer.registry().unwrap();
+        assert_eq!(
+            r.counter_value("p2p.messages_sent"),
+            r.counter_value("p2p.messages_received") + r.counter_value("p2p.messages_lost"),
+            "sent = received + lost even with offline DHT nodes"
+        );
+        assert_eq!(w.p2p.active_lookups(), 0, "timeouts resolved every lookup");
+        let _ = qid; // the query may or may not find the provider under churn
+    }
+
+    #[test]
+    fn poisoned_routing_table_lookup_still_converges() {
+        let observer = Obs::enabled();
+        let mut w = world(48, DiscoveryMode::Routed);
+        w.p2p.set_obs(observer.clone());
+        let provider = PeerId(30);
+        let ad = triana_ad(provider, SimTime::from_secs(3600));
+        w.p2p.publish(&mut w.sim, &mut w.net, provider, ad);
+        run(&mut w);
+        let mut rng = Pcg32::new(99, 7);
+        let poisoned = w.p2p.poison_routing_table(PeerId(0), &mut rng);
+        assert!(poisoned > 0, "poison must corrupt some contacts");
+        let qid = w.p2p.query(
+            &mut w.sim,
+            &mut w.net,
+            PeerId(0),
+            QueryKind::ByService("triana".into()),
+            0,
+        );
+        run(&mut w);
+        // Fabricated contacts either answer (and are re-learned under
+        // their real IDs) or time out; the lookup still terminates and
+        // the provider is still found.
+        assert_eq!(w.p2p.queries[&qid].providers(), vec![provider]);
+        assert_eq!(w.p2p.active_lookups(), 0);
+    }
+
+    #[test]
+    fn routed_republish_restores_records_after_churn() {
+        let mut w = world(32, DiscoveryMode::Routed);
+        let provider = PeerId(12);
+        let ad = triana_ad(provider, SimTime::from_secs(3600));
+        w.p2p.publish(&mut w.sim, &mut w.net, provider, ad);
+        run(&mut w);
+        // Every record holder for the service key goes away.
+        let holders: Vec<PeerId> = w
+            .p2p
+            .peer_ids()
+            .filter(|&p| w.p2p.routed_store_len(p) > 0)
+            .collect();
+        assert!(!holders.is_empty());
+        for &h in &holders {
+            let host = w.p2p.host_of(h);
+            w.net.set_online(host, false);
+        }
+        w.p2p.routed_republish(&mut w.sim, &mut w.net, provider);
+        run(&mut w);
+        let qid = w.p2p.query(
+            &mut w.sim,
+            &mut w.net,
+            PeerId(0),
+            QueryKind::ByService("triana".into()),
+            0,
+        );
+        run(&mut w);
+        assert_eq!(
+            w.p2p.queries[&qid].providers(),
+            vec![provider],
+            "republish re-homed the records onto live nodes"
+        );
     }
 }
