@@ -16,6 +16,10 @@ use obs::Obs;
 use p2p::advert::{AdvertBody, PeerAdvert};
 use p2p::{Advertisement, DiscoveryMode, QueryKind};
 use toolbox::standard_registry;
+use transport::harness::{demo_module, run_sim, FarmSpec};
+use transport::node::JobSpec as TransportJobSpec;
+use transport::sim::SimNet;
+use transport::{Endpoint, Transport, TransportEvent};
 use triana_core::grid::farm::{run_farm, FarmConfig, FarmScheduler, JobSpec};
 use triana_core::grid::{GridWorld, WorkerSetup};
 use triana_core::unit::Params;
@@ -226,6 +230,71 @@ fn tvm_stage(observer: &Obs) {
     assert_eq!(err, tvm::TvmError::BudgetExceeded);
 }
 
+fn transport_stage(observer: &Obs) {
+    // Link-fault segment: a frame sent while the peer is offline is lost,
+    // retransmitted on the backoff timer, and delivered once the peer
+    // returns — moving `transport.retransmits` deterministically.
+    let net = SimNet::new(SEED ^ 0x7A);
+    net.set_obs(observer.clone());
+    let mut a = net.add_endpoint(Endpoint(1), HostSpec::reference_pc());
+    let mut b = net.add_endpoint(Endpoint(2), HostSpec::reference_pc());
+    net.set_online(Endpoint(2), false);
+    a.send(Endpoint(2), vec![42]).expect("peer registered");
+    net.set_online(Endpoint(2), true);
+    while net.step() {}
+    let mut evs = Vec::new();
+    b.poll(&mut evs);
+    assert!(
+        evs.contains(&TransportEvent::Delivered {
+            from: Endpoint(1),
+            payload: vec![42],
+        }),
+        "retransmitted frame must arrive once the peer is back"
+    );
+    assert!(net.counters(Endpoint(1)).retransmits > 0);
+
+    // Durable-restart segment: the same farm runs cold then warm over one
+    // set of durable store directories, so `transport.recovered_chunks`
+    // lands in the snapshot with a deterministic nonzero value. The
+    // directory paths are process-unique scratch space and never enter
+    // the snapshot; they are removed before and after so repeated
+    // invocations see an identical cold start.
+    let dirs: Vec<std::path::PathBuf> = (0..2)
+        .map(|i| {
+            std::env::temp_dir().join(format!("triana-smoke-transport-{}-{i}", std::process::id()))
+        })
+        .collect();
+    for d in &dirs {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    let (module, blob) = demo_module("smoke_scale", 1, 300);
+    let spec = FarmSpec {
+        chunk_bytes: 256,
+        cache_capacity: 1 << 20,
+        n_workers: 2,
+        modules: vec![(module.clone(), blob)],
+        jobs: (0..4)
+            .map(|i| TransportJobSpec {
+                module: module.clone(),
+                input: vec![i as f64 + 1.0],
+            })
+            .collect(),
+        durable_dirs: Some(dirs.clone()),
+    };
+    let cold = run_sim(&spec, SEED, observer.clone());
+    assert_eq!(cold.results.len(), 4, "transport smoke farm must drain");
+    assert_eq!(cold.recovered_chunks, 0, "cold start recovers nothing");
+    let warm = run_sim(&spec, SEED, observer.clone());
+    assert_eq!(warm.results, cold.results);
+    assert!(
+        warm.recovered_chunks > 0,
+        "warm restart must reuse the durable cache"
+    );
+    for d in &dirs {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
 /// Run the full smoke scenario into `observer` (which must be enabled for
 /// the snapshot to exist, but a disabled handle still exercises every
 /// subsystem).
@@ -234,6 +303,7 @@ pub fn run(observer: &Obs) {
     farm_stage(observer);
     discovery_stage(observer);
     tvm_stage(observer);
+    transport_stage(observer);
 }
 
 /// Human-readable report over the counters the scenario is expected to move.
@@ -266,6 +336,11 @@ pub fn report_with(observer: &Obs) -> String {
         "tvm.prepared_cache_hits",
         "tvm.prepared_cache_misses",
         "tvm.violations.budget",
+        "transport.frames_sent",
+        "transport.frames_recv",
+        "transport.retransmits",
+        "transport.acks",
+        "transport.recovered_chunks",
         "net.transfers",
         "xml.parses",
     ] {
@@ -304,6 +379,11 @@ mod tests {
             "tvm.prepared_cache_hits",
             "tvm.prepared_cache_misses",
             "tvm.violations.budget",
+            "transport.frames_sent",
+            "transport.frames_recv",
+            "transport.retransmits",
+            "transport.acks",
+            "transport.recovered_chunks",
             "net.transfers",
             "xml.parses",
         ] {

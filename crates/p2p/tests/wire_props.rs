@@ -1,0 +1,191 @@
+//! Property tests for the binary wire codec: encode→decode round-trips
+//! the in-memory value for arbitrary messages, and no truncation or byte
+//! corruption can make the decoder panic.
+
+use netsim::SimTime;
+use p2p::advert::{AdvertBody, BlobAdvert, ModuleAdvert, PeerAdvert, PipeAdvert};
+use p2p::{Advertisement, LookupId, Message, PeerId, PipeId, QueryId, QueryKind};
+use proptest::prelude::*;
+
+/// Deterministically expand a flat seed vector into one of the five query
+/// kinds. `f64` fields are built from finite bit patterns only (NaN would
+/// break `PartialEq`-based round-trip comparison, not the codec).
+fn kind_from(sel: u8, a: u64, b: u64, s: &str) -> QueryKind {
+    match sel % 5 {
+        0 => QueryKind::ByService(s.to_string()),
+        1 => QueryKind::ByPipeName(s.to_string()),
+        2 => QueryKind::ByModule {
+            name: s.to_string(),
+            min_version: a as u32,
+        },
+        3 => QueryKind::ByCapability {
+            min_cpu_ghz: (a % 1_000) as f64 / 10.0,
+            min_ram_mib: b as u32,
+        },
+        _ => QueryKind::ByBlob { hash: a },
+    }
+}
+
+fn advert_from(sel: u8, a: u64, b: u64, s: &str, names: &[String]) -> Advertisement {
+    let body = match sel % 4 {
+        0 => AdvertBody::Peer(PeerAdvert {
+            peer: PeerId(a as u32),
+            cpu_ghz: (b % 100) as f64 / 7.0,
+            free_ram_mib: (a >> 32) as u32,
+            services: names.to_vec(),
+        }),
+        1 => AdvertBody::Pipe(PipeAdvert {
+            pipe: PipeId(a),
+            name: s.to_string(),
+            peer: PeerId(b as u32),
+        }),
+        2 => AdvertBody::Module(ModuleAdvert {
+            name: s.to_string(),
+            version: a as u32,
+            hash: b,
+            size_bytes: a ^ b,
+            owner: PeerId((b >> 32) as u32),
+        }),
+        _ => AdvertBody::Blob(BlobAdvert {
+            blob: a,
+            size_bytes: b,
+            chunks: (a >> 48) as u32,
+            provider: PeerId(b as u32),
+        }),
+    };
+    Advertisement {
+        body,
+        expires: SimTime(a.wrapping_add(b)),
+    }
+}
+
+/// Build an arbitrary message covering every variant from flat seeds.
+fn message_from(sel: u8, a: u64, b: u64, c: u64, s: &str, names: &[String]) -> Message {
+    let kind = kind_from((a >> 8) as u8, b, c, s);
+    let advert = advert_from((a >> 16) as u8, b, c, s, names);
+    let closer: Vec<(u64, PeerId)> = (0..(c % 5))
+        .map(|i| {
+            (
+                a.wrapping_mul(i + 1),
+                PeerId((b as u32).wrapping_add(i as u32)),
+            )
+        })
+        .collect();
+    match sel % 11 {
+        0 => Message::Query {
+            id: QueryId(a),
+            origin: PeerId(b as u32),
+            prev_hop: PeerId(c as u32),
+            ttl: (a >> 24) as u8,
+            kind,
+        },
+        1 => Message::QueryHit {
+            id: QueryId(a),
+            advert,
+        },
+        2 => Message::Publish { advert },
+        3 => Message::PipeData {
+            pipe: PipeId(a),
+            tag: b,
+            bytes: c,
+        },
+        4 => Message::OrchDelta { seq: a, bytes: b },
+        5 => Message::OrchSync {
+            from_seq: a,
+            count: b,
+            bytes: c,
+        },
+        6 => Message::FindNode {
+            lid: LookupId(a),
+            from: PeerId(b as u32),
+            key: c,
+        },
+        7 => Message::FindNodeReply {
+            lid: LookupId(a),
+            from: PeerId(b as u32),
+            closer,
+        },
+        8 => Message::FindValue {
+            lid: LookupId(a),
+            from: PeerId(b as u32),
+            key: c,
+            kind,
+        },
+        9 => Message::FindValueReply {
+            lid: LookupId(a),
+            from: PeerId(b as u32),
+            closer,
+            providers: vec![advert],
+        },
+        _ => Message::StoreProvider {
+            from: PeerId(b as u32),
+            key: c,
+            advert,
+        },
+    }
+}
+
+proptest! {
+    /// Every generated message survives encode→decode exactly.
+    #[test]
+    fn message_round_trips(
+        sel in proptest::arbitrary::any::<u8>(),
+        a in proptest::arbitrary::any::<u64>(),
+        b in proptest::arbitrary::any::<u64>(),
+        c in proptest::arbitrary::any::<u64>(),
+        s in "[a-z]{0,16}",
+        names in proptest::collection::vec("[a-z]{0,8}", 0..4),
+    ) {
+        let msg = message_from(sel, a, b, c, &s, &names);
+        let bytes = msg.encode();
+        let back = Message::decode(&bytes);
+        prop_assert_eq!(back, Ok(msg));
+    }
+
+    /// Truncating an encoded message anywhere yields a typed error — never
+    /// a panic, never a silently shortened value.
+    #[test]
+    fn truncation_always_rejected(
+        sel in proptest::arbitrary::any::<u8>(),
+        a in proptest::arbitrary::any::<u64>(),
+        b in proptest::arbitrary::any::<u64>(),
+        c in proptest::arbitrary::any::<u64>(),
+        s in "[a-z]{0,16}",
+        cut_seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        let msg = message_from(sel, a, b, c, &s, &[]);
+        let bytes = msg.encode();
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        prop_assert!(Message::decode(&bytes[..cut]).is_err());
+    }
+
+    /// Flipping an arbitrary byte can change the decoded value or produce
+    /// a typed error, but must never panic and never return the original
+    /// with trailing bytes unaccounted for.
+    #[test]
+    fn corruption_never_panics(
+        sel in proptest::arbitrary::any::<u8>(),
+        a in proptest::arbitrary::any::<u64>(),
+        b in proptest::arbitrary::any::<u64>(),
+        c in proptest::arbitrary::any::<u64>(),
+        s in "[a-z]{0,16}",
+        flip_at in proptest::arbitrary::any::<u64>(),
+        flip_bits in 1u8..255,
+    ) {
+        let msg = message_from(sel, a, b, c, &s, &[]);
+        let mut bytes = msg.encode();
+        let at = (flip_at % bytes.len() as u64) as usize;
+        bytes[at] ^= flip_bits;
+        // Either a typed error or some decoded message; both are fine —
+        // the invariant is totality (no panic, no over-read).
+        let _ = Message::decode(&bytes);
+    }
+
+    /// Random garbage never panics the decoder.
+    #[test]
+    fn garbage_never_panics(
+        bytes in proptest::collection::vec(proptest::arbitrary::any::<u8>(), 0..200),
+    ) {
+        let _ = Message::decode(&bytes);
+    }
+}

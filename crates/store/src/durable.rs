@@ -1,0 +1,452 @@
+//! Durable peer state: an on-disk chunk store with a write-ahead
+//! manifest, so a restarted peer recovers its verified chunks instead of
+//! re-fetching them over the consumer uplink.
+//!
+//! Layout under one directory per peer:
+//!
+//! ```text
+//! <dir>/manifest.log          append-only text records (the WAL)
+//! <dir>/chunks/<blob>.<idx>   one file per admitted chunk
+//! ```
+//!
+//! Manifest records, one per line:
+//!
+//! ```text
+//! A <blob-hex> <blob_len> <index> <chunk_len> <chunk-fnv-hex>   chunk admitted
+//! S <blob-hex> <name> <version>                                 blob sealed (verified, cached)
+//! R <blob-hex>                                                  blob released
+//! ```
+//!
+//! The write protocol is *chunk file first, fsync, then manifest record,
+//! fsync* — so a manifest entry implies the chunk bytes were durable at
+//! admit time. Recovery replays the manifest, ignores a torn final line,
+//! and re-verifies every admitted chunk file against its recorded length
+//! and FNV-1a 64 checksum: torn or corrupted chunk files are dropped
+//! (counted in [`RecoveryReport::dropped_chunks`]) and will simply be
+//! re-fetched; intact ones come back verified. Content-hash verification
+//! of the *assembled* blob still happens in [`ChunkStore::assemble`] —
+//! the manifest checksum is a per-chunk torn-write detector, not a
+//! substitute for end-to-end verification.
+
+use crate::chunk::BlobId;
+use crate::store::ChunkStore;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// What a recovery scan found.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Chunks whose files matched their manifest record.
+    pub recovered_chunks: u64,
+    /// Manifest-admitted chunks dropped at recovery (missing, short, or
+    /// checksum-mismatched files — torn writes).
+    pub dropped_chunks: u64,
+    /// Blobs recorded as sealed (fully fetched and hash-verified before
+    /// the restart).
+    pub sealed_blobs: u64,
+}
+
+/// A durable-store failure.
+#[derive(Debug)]
+pub enum DurableError {
+    Io(io::Error),
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Io(e) => write!(f, "durable store io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<io::Error> for DurableError {
+    fn from(e: io::Error) -> Self {
+        DurableError::Io(e)
+    }
+}
+
+struct ChunkRec {
+    blob_len: u64,
+    chunk_len: u64,
+    fnv: u64,
+}
+
+/// Durable on-disk chunk store for one peer.
+pub struct DurableStore {
+    dir: PathBuf,
+    manifest: File,
+    /// Live (non-released) admitted chunks: (blob, index) → record.
+    admitted: BTreeMap<(BlobId, u32), ChunkRec>,
+    /// Sealed blobs: blob → (module name, version).
+    sealed: BTreeMap<BlobId, (String, u32)>,
+    report: RecoveryReport,
+}
+
+fn chunk_path(dir: &Path, blob: BlobId, index: u32) -> PathBuf {
+    dir.join("chunks").join(format!("{:016x}.{index}", blob.0))
+}
+
+impl DurableStore {
+    /// Open (or create) the store at `dir`, replaying the manifest and
+    /// verifying every admitted chunk file. The report of what survived
+    /// is kept and also returned by [`DurableStore::report`].
+    pub fn open(dir: &Path) -> Result<DurableStore, DurableError> {
+        fs::create_dir_all(dir.join("chunks"))?;
+        let manifest_path = dir.join("manifest.log");
+        let mut admitted: BTreeMap<(BlobId, u32), ChunkRec> = BTreeMap::new();
+        let mut sealed: BTreeMap<BlobId, (String, u32)> = BTreeMap::new();
+        if manifest_path.exists() {
+            let mut text = String::new();
+            // Invalid UTF-8 in a torn tail must not abort recovery.
+            let mut raw = Vec::new();
+            File::open(&manifest_path)?.read_to_end(&mut raw)?;
+            text.push_str(&String::from_utf8_lossy(&raw));
+            for line in text.lines() {
+                let mut f = line.split_whitespace();
+                match f.next() {
+                    Some("A") => {
+                        let (Some(blob), Some(blob_len), Some(index), Some(clen), Some(fnv)) = (
+                            f.next().and_then(|s| u64::from_str_radix(s, 16).ok()),
+                            f.next().and_then(|s| s.parse::<u64>().ok()),
+                            f.next().and_then(|s| s.parse::<u32>().ok()),
+                            f.next().and_then(|s| s.parse::<u64>().ok()),
+                            f.next().and_then(|s| u64::from_str_radix(s, 16).ok()),
+                        ) else {
+                            continue; // torn tail record
+                        };
+                        admitted.insert(
+                            (BlobId(blob), index),
+                            ChunkRec {
+                                blob_len,
+                                chunk_len: clen,
+                                fnv,
+                            },
+                        );
+                    }
+                    Some("S") => {
+                        let (Some(blob), Some(name), Some(version)) = (
+                            f.next().and_then(|s| u64::from_str_radix(s, 16).ok()),
+                            f.next(),
+                            f.next().and_then(|s| s.parse::<u32>().ok()),
+                        ) else {
+                            continue;
+                        };
+                        sealed.insert(BlobId(blob), (name.to_string(), version));
+                    }
+                    Some("R") => {
+                        if let Some(blob) = f.next().and_then(|s| u64::from_str_radix(s, 16).ok()) {
+                            let blob = BlobId(blob);
+                            admitted.retain(|(b, _), _| *b != blob);
+                            sealed.remove(&blob);
+                        }
+                    }
+                    _ => {} // unknown/torn line: skip
+                }
+            }
+        }
+        // Verify surviving chunk files against their records.
+        let mut report = RecoveryReport::default();
+        let mut verified: BTreeMap<(BlobId, u32), ChunkRec> = BTreeMap::new();
+        for ((blob, index), rec) in admitted {
+            let ok = match fs::read(chunk_path(dir, blob, index)) {
+                Ok(bytes) => bytes.len() as u64 == rec.chunk_len && tvm::fnv1a64(&bytes) == rec.fnv,
+                Err(_) => false,
+            };
+            if ok {
+                report.recovered_chunks += 1;
+                verified.insert((blob, index), rec);
+            } else {
+                report.dropped_chunks += 1;
+                let _ = fs::remove_file(chunk_path(dir, blob, index));
+            }
+        }
+        // Only count seals whose blob still has all its bytes on disk
+        // (surviving chunk lengths sum to the blob length); a seal with
+        // dropped chunks downgrades to a partial fetch.
+        sealed.retain(|blob, _| {
+            let mut have = 0u64;
+            let mut total = None;
+            for ((b, _), rec) in &verified {
+                if b == blob {
+                    have += rec.chunk_len;
+                    total = Some(rec.blob_len);
+                }
+            }
+            total.is_some_and(|t| have == t)
+        });
+        report.sealed_blobs = sealed.len() as u64;
+        let manifest = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&manifest_path)?;
+        Ok(DurableStore {
+            dir: dir.to_path_buf(),
+            manifest,
+            admitted: verified,
+            sealed,
+            report,
+        })
+    }
+
+    /// What the opening scan recovered.
+    pub fn report(&self) -> &RecoveryReport {
+        &self.report
+    }
+
+    /// Blobs recorded as sealed (name, version, id), sorted by id.
+    pub fn sealed(&self) -> Vec<(String, u32, BlobId)> {
+        self.sealed
+            .iter()
+            .map(|(b, (n, v))| (n.clone(), *v, *b))
+            .collect()
+    }
+
+    /// Whether a blob survived recovery fully sealed.
+    pub fn is_sealed(&self, blob: BlobId) -> bool {
+        self.sealed.contains_key(&blob)
+    }
+
+    /// Durably admit one chunk: chunk file + fsync, then manifest record
+    /// + fsync. Idempotent per (blob, index).
+    pub fn admit_chunk(
+        &mut self,
+        blob: BlobId,
+        blob_len: u64,
+        index: u32,
+        bytes: &[u8],
+    ) -> Result<(), DurableError> {
+        if self.admitted.contains_key(&(blob, index)) {
+            return Ok(());
+        }
+        let path = chunk_path(&self.dir, blob, index);
+        let mut f = File::create(&path)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        let fnv = tvm::fnv1a64(bytes);
+        writeln!(
+            self.manifest,
+            "A {:016x} {blob_len} {index} {} {fnv:016x}",
+            blob.0,
+            bytes.len()
+        )?;
+        self.manifest.sync_all()?;
+        self.admitted.insert(
+            (blob, index),
+            ChunkRec {
+                blob_len,
+                chunk_len: bytes.len() as u64,
+                fnv,
+            },
+        );
+        Ok(())
+    }
+
+    /// Record that a blob assembled and hash-verified (it is now in the
+    /// module cache under `name`/`version`).
+    pub fn seal(&mut self, blob: BlobId, name: &str, version: u32) -> Result<(), DurableError> {
+        writeln!(self.manifest, "S {:016x} {name} {version}", blob.0)?;
+        self.manifest.sync_all()?;
+        self.sealed.insert(blob, (name.to_string(), version));
+        Ok(())
+    }
+
+    /// Release a blob: manifest record first, then best-effort file
+    /// removal (leftover files without live records are ignored at
+    /// recovery).
+    pub fn release(&mut self, blob: BlobId) -> Result<(), DurableError> {
+        writeln!(self.manifest, "R {:016x}", blob.0)?;
+        self.manifest.sync_all()?;
+        let gone: Vec<u32> = self
+            .admitted
+            .range((blob, 0)..=(blob, u32::MAX))
+            .map(|((_, i), _)| *i)
+            .collect();
+        for i in gone {
+            self.admitted.remove(&(blob, i));
+            let _ = fs::remove_file(chunk_path(&self.dir, blob, i));
+        }
+        self.sealed.remove(&blob);
+        Ok(())
+    }
+
+    /// Load every recovered chunk into an in-memory [`ChunkStore`];
+    /// returns how many chunks were inserted.
+    pub fn load_into(&self, store: &mut ChunkStore) -> Result<u64, DurableError> {
+        let mut loaded = 0;
+        for ((blob, index), rec) in &self.admitted {
+            let bytes = fs::read(chunk_path(&self.dir, *blob, *index))?;
+            if store.insert_chunk(*blob, rec.blob_len, *index, bytes) {
+                loaded += 1;
+            }
+        }
+        Ok(loaded)
+    }
+
+    /// Number of live admitted chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.admitted.len()
+    }
+
+    /// Fault injection for crash tests: truncate an admitted chunk's file
+    /// to half its length, simulating a torn write that the manifest
+    /// fsync protocol would normally prevent. Returns `false` if the
+    /// chunk is unknown.
+    pub fn tear_chunk_file(&self, blob: BlobId, index: u32) -> bool {
+        let path = chunk_path(&self.dir, blob, index);
+        match fs::metadata(&path) {
+            Ok(m) => {
+                let f = OpenOptions::new().write(true).open(&path);
+                match f {
+                    Ok(f) => f.set_len(m.len() / 2).is_ok(),
+                    Err(_) => false,
+                }
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("triana-durable-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn chunk(i: u32, len: usize) -> Vec<u8> {
+        (0..len).map(|j| ((i as usize + j) % 251) as u8).collect()
+    }
+
+    #[test]
+    fn admit_then_reopen_recovers_everything() {
+        let dir = scratch_dir("roundtrip");
+        let blob = BlobId(0xABCD);
+        {
+            let mut d = DurableStore::open(&dir).unwrap();
+            for i in 0..3 {
+                d.admit_chunk(blob, 250, i, &chunk(i, if i == 2 { 50 } else { 100 }))
+                    .unwrap();
+            }
+            d.seal(blob, "scale", 1).unwrap();
+        }
+        let d = DurableStore::open(&dir).unwrap();
+        assert_eq!(
+            *d.report(),
+            RecoveryReport {
+                recovered_chunks: 3,
+                dropped_chunks: 0,
+                sealed_blobs: 1,
+            }
+        );
+        assert_eq!(d.sealed(), vec![("scale".to_string(), 1, blob)]);
+        let mut store = ChunkStore::new(100);
+        assert_eq!(d.load_into(&mut store).unwrap(), 3);
+        assert!(store.is_complete(blob));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_chunk_file_is_dropped_verified_kept() {
+        let dir = scratch_dir("torn");
+        let blob = BlobId(7);
+        {
+            let mut d = DurableStore::open(&dir).unwrap();
+            d.admit_chunk(blob, 200, 0, &chunk(0, 100)).unwrap();
+            d.admit_chunk(blob, 200, 1, &chunk(1, 100)).unwrap();
+            assert!(d.tear_chunk_file(blob, 1), "chunk file must exist");
+        }
+        let d = DurableStore::open(&dir).unwrap();
+        assert_eq!(d.report().recovered_chunks, 1);
+        assert_eq!(d.report().dropped_chunks, 1);
+        let mut store = ChunkStore::new(100);
+        d.load_into(&mut store).unwrap();
+        assert!(store.has_chunk(blob, 0));
+        assert!(!store.has_chunk(blob, 1));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_chunk_bytes_fail_the_checksum() {
+        let dir = scratch_dir("corrupt");
+        let blob = BlobId(9);
+        {
+            let mut d = DurableStore::open(&dir).unwrap();
+            d.admit_chunk(blob, 100, 0, &chunk(0, 100)).unwrap();
+        }
+        // Flip a byte in place (same length, wrong checksum).
+        let path = chunk_path(&dir, blob, 0);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[3] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let d = DurableStore::open(&dir).unwrap();
+        assert_eq!(d.report().dropped_chunks, 1);
+        assert_eq!(d.chunk_count(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_manifest_tail_is_ignored() {
+        let dir = scratch_dir("tail");
+        let blob = BlobId(5);
+        {
+            let mut d = DurableStore::open(&dir).unwrap();
+            d.admit_chunk(blob, 50, 0, &chunk(0, 50)).unwrap();
+        }
+        // Simulate a crash mid-append: a half-written record.
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(dir.join("manifest.log"))
+            .unwrap();
+        f.write_all(b"A 00000000000000ff 10").unwrap();
+        drop(f);
+        let d = DurableStore::open(&dir).unwrap();
+        assert_eq!(d.report().recovered_chunks, 1);
+        assert_eq!(d.report().dropped_chunks, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn release_removes_chunks_and_survives_reopen() {
+        let dir = scratch_dir("release");
+        let blob = BlobId(11);
+        {
+            let mut d = DurableStore::open(&dir).unwrap();
+            d.admit_chunk(blob, 60, 0, &chunk(0, 60)).unwrap();
+            d.seal(blob, "m", 2).unwrap();
+            d.release(blob).unwrap();
+            assert_eq!(d.chunk_count(), 0);
+        }
+        let d = DurableStore::open(&dir).unwrap();
+        assert_eq!(*d.report(), RecoveryReport::default());
+        assert!(!d.is_sealed(blob));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn admit_is_idempotent() {
+        let dir = scratch_dir("idem");
+        let blob = BlobId(13);
+        let mut d = DurableStore::open(&dir).unwrap();
+        d.admit_chunk(blob, 40, 0, &chunk(0, 40)).unwrap();
+        d.admit_chunk(blob, 40, 0, &chunk(0, 40)).unwrap();
+        assert_eq!(d.chunk_count(), 1);
+        drop(d);
+        let d = DurableStore::open(&dir).unwrap();
+        assert_eq!(d.report().recovered_chunks, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -23,9 +23,11 @@
 //! wires these pieces to `p2p` provider adverts and `netsim` transfers.
 
 mod chunk;
+pub mod durable;
 mod sched;
 mod store;
 
 pub use chunk::{BlobId, ChunkLayout};
+pub use durable::{DurableError, DurableStore, RecoveryReport};
 pub use sched::{assign_round_robin, FetchTracker};
 pub use store::{ChunkStore, StoreError, StoreStats};

@@ -1,0 +1,267 @@
+//! Drive the same worker/orchestrator node code over either backend.
+//!
+//! [`run_sim`] executes a farm on the deterministic simulator
+//! (single-threaded, byte-reproducible from the seed); [`run_sockets`]
+//! executes the *same* farm over real UDP on the loopback interface,
+//! one OS thread per node. Both return a [`FarmOutcome`] whose fields
+//! are wall-clock-independent by construction — job→worker assignment
+//! is round-robin over the sorted worker set, outputs come from the
+//! deterministic TVM, and cache fingerprints list (name, version, hash)
+//! triples — so the two backends must produce identical outcomes. The
+//! parity test holds them to that.
+
+use crate::frame::Endpoint;
+use crate::node::{JobSpec, OrchestratorNode, WorkerNode};
+use crate::proto::ModuleInfo;
+use crate::sim::SimNet;
+use crate::socket::SocketTransport;
+use crate::Transport;
+use netsim::HostSpec;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Instant;
+use tvm::ModuleBlob;
+
+/// A farm to run: modules, jobs, worker count, store geometry.
+#[derive(Clone)]
+pub struct FarmSpec {
+    pub chunk_bytes: u64,
+    pub cache_capacity: u64,
+    pub n_workers: usize,
+    pub modules: Vec<(ModuleInfo, ModuleBlob)>,
+    pub jobs: Vec<JobSpec>,
+    /// One durable-store directory per worker; `None` runs memory-only.
+    pub durable_dirs: Option<Vec<PathBuf>>,
+}
+
+/// The backend-independent result of a farm run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FarmOutcome {
+    /// job → (worker that ran it, outputs).
+    pub results: BTreeMap<u64, (Endpoint, Vec<Vec<f64>>)>,
+    /// job → worker it was dispatched to.
+    pub assignment: BTreeMap<u64, Endpoint>,
+    /// worker → sorted (name, version, hash) cache fingerprint.
+    pub worker_modules: BTreeMap<Endpoint, Vec<(String, u32, u64)>>,
+    /// Chunks recovered from durable stores at startup, all workers.
+    pub recovered_chunks: u64,
+}
+
+/// Assemble a small demo module: reads `input[0][0]`, multiplies by
+/// 2.5, emits one output — padded with `pad` push/pop pairs so the blob
+/// spans several chunks and actually exercises the swarm path.
+pub fn demo_module(name: &str, version: u32, pad: usize) -> (ModuleInfo, ModuleBlob) {
+    let mut src = format!(".module {name} {version} 1 1\n.func main 0\n");
+    for _ in 0..pad {
+        src.push_str(" push 1\n pop\n");
+    }
+    src.push_str(" push 0\n inget 0\n push 2.5\n mul\n outpush 0\n halt\n");
+    let blob = tvm::asm::assemble(&src)
+        .expect("demo module assembles")
+        .to_blob();
+    let info = ModuleInfo {
+        name: name.to_string(),
+        version,
+        hash: blob.hash,
+        blob_len: blob.bytes.len() as u64,
+    };
+    (info, blob)
+}
+
+/// Endpoint ids used by both backends: orchestrator 0, workers 1..=n.
+pub fn orch_endpoint() -> Endpoint {
+    Endpoint(0)
+}
+
+pub fn worker_endpoint(i: usize) -> Endpoint {
+    Endpoint(1 + i as u64)
+}
+
+fn durable_dir(spec: &FarmSpec, i: usize) -> Option<&std::path::Path> {
+    spec.durable_dirs.as_ref().map(|v| v[i].as_path())
+}
+
+fn outcome<T: Transport, U: Transport>(
+    orch: &OrchestratorNode<T>,
+    workers: &[WorkerNode<U>],
+) -> FarmOutcome {
+    let mut worker_modules = BTreeMap::new();
+    let mut recovered = 0;
+    for (i, w) in workers.iter().enumerate() {
+        worker_modules.insert(worker_endpoint(i), w.cached_modules());
+        recovered += w.recovered_chunks();
+    }
+    FarmOutcome {
+        results: orch.results().clone(),
+        assignment: orch.assignment().clone(),
+        worker_modules,
+        recovered_chunks: recovered,
+    }
+}
+
+/// Run the farm on the deterministic sim backend. Identical
+/// (spec, seed) pairs produce identical outcomes *and* identical
+/// `transport.*` counter values in `observer`.
+pub fn run_sim(spec: &FarmSpec, seed: u64, observer: obs::Obs) -> FarmOutcome {
+    let net = SimNet::new(seed);
+    net.set_obs(observer.clone());
+    let orch_t = net.add_endpoint(orch_endpoint(), HostSpec::reference_pc());
+    let mut workers: Vec<WorkerNode<_>> = (0..spec.n_workers)
+        .map(|i| {
+            let t = net.add_endpoint(worker_endpoint(i), HostSpec::reference_pc());
+            WorkerNode::new(
+                t,
+                orch_endpoint(),
+                spec.chunk_bytes,
+                spec.cache_capacity,
+                durable_dir(spec, i),
+                observer.clone(),
+            )
+        })
+        .collect();
+    let mut orch = OrchestratorNode::new(
+        orch_t,
+        spec.chunk_bytes,
+        spec.modules.clone(),
+        spec.jobs.clone(),
+        spec.n_workers,
+        observer,
+    );
+    for w in &mut workers {
+        w.start();
+    }
+    let mut idle = 0;
+    let mut steps: u64 = 0;
+    loop {
+        orch.pump();
+        for w in &mut workers {
+            w.pump();
+        }
+        if net.step() {
+            idle = 0;
+        } else {
+            idle += 1;
+            if idle >= 2 {
+                break;
+            }
+        }
+        steps += 1;
+        assert!(steps < 10_000_000, "sim farm did not quiesce");
+    }
+    assert!(orch.is_done(), "sim farm did not complete all jobs");
+    outcome(&orch, &workers)
+}
+
+/// Run the same farm over real UDP sockets on loopback: the
+/// orchestrator on the calling thread, one OS thread per worker.
+/// Panics if the farm does not complete within `budget`.
+pub fn run_sockets(
+    spec: &FarmSpec,
+    observer: obs::Obs,
+    budget: std::time::Duration,
+) -> FarmOutcome {
+    let mut orch_t =
+        SocketTransport::bind_loopback(orch_endpoint()).expect("bind orchestrator socket");
+    orch_t.set_obs(observer.clone());
+    let orch_addr = orch_t.local_addr().expect("orchestrator address");
+    // Bind every worker first so the full address mesh is known before
+    // any node starts talking.
+    let mut sockets: Vec<SocketTransport> = (0..spec.n_workers)
+        .map(|i| {
+            let mut t =
+                SocketTransport::bind_loopback(worker_endpoint(i)).expect("bind worker socket");
+            t.set_obs(observer.clone());
+            t.register_peer(orch_endpoint(), orch_addr);
+            t
+        })
+        .collect();
+    let worker_addrs: Vec<std::net::SocketAddr> = sockets
+        .iter()
+        .map(|t| t.local_addr().expect("worker address"))
+        .collect();
+    for (i, t) in sockets.iter_mut().enumerate() {
+        for (j, &addr) in worker_addrs.iter().enumerate() {
+            if i != j {
+                t.register_peer(worker_endpoint(j), addr);
+            }
+        }
+    }
+    for (j, &addr) in worker_addrs.iter().enumerate() {
+        orch_t.register_peer(worker_endpoint(j), addr);
+    }
+    let handles: Vec<_> = sockets
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let chunk_bytes = spec.chunk_bytes;
+            let cache_capacity = spec.cache_capacity;
+            let dir = spec.durable_dirs.as_ref().map(|v| v[i].clone());
+            let obs = observer.clone();
+            std::thread::spawn(move || {
+                let mut w = WorkerNode::new(
+                    t,
+                    orch_endpoint(),
+                    chunk_bytes,
+                    cache_capacity,
+                    dir.as_deref(),
+                    obs,
+                );
+                w.start();
+                let start = Instant::now();
+                while !w.is_done() {
+                    w.pump();
+                    assert!(
+                        start.elapsed() < budget,
+                        "worker {i} did not finish within the budget"
+                    );
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                // Grace flush: let final acks drain so peers exit clean.
+                let flush = Instant::now();
+                while w.transport().pending() > 0 && flush.elapsed().as_millis() < 500 {
+                    w.pump();
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                (w.cached_modules(), w.recovered_chunks())
+            })
+        })
+        .collect();
+    let mut orch = OrchestratorNode::new(
+        orch_t,
+        spec.chunk_bytes,
+        spec.modules.clone(),
+        spec.jobs.clone(),
+        spec.n_workers,
+        observer,
+    );
+    let start = Instant::now();
+    while !orch.is_done() {
+        orch.pump();
+        assert!(
+            start.elapsed() < budget,
+            "socket farm did not finish within the budget"
+        );
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+    // Keep pumping while workers ack the shutdown and drain.
+    let flush = Instant::now();
+    while (orch.transport().pending() > 0 || flush.elapsed().as_millis() < 50)
+        && flush.elapsed().as_millis() < 1_000
+    {
+        orch.pump();
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+    let mut worker_modules = BTreeMap::new();
+    let mut recovered = 0;
+    for (i, h) in handles.into_iter().enumerate() {
+        let (mods, rec) = h.join().expect("worker thread");
+        worker_modules.insert(worker_endpoint(i), mods);
+        recovered += rec;
+    }
+    FarmOutcome {
+        results: orch.results().clone(),
+        assignment: orch.assignment().clone(),
+        worker_modules,
+        recovered_chunks: recovered,
+    }
+}

@@ -1,0 +1,408 @@
+//! Per-peer reliability: sequence numbers, in-order delivery, ack /
+//! retransmit with exponential backoff, and liveness probing.
+//!
+//! One [`PeerChannel`] instance manages one direction-pair between two
+//! endpoints. The state machine is pure — it consumes `(now, frame)` and
+//! emits [`ChanOut`] actions — so the **same code** runs over the
+//! deterministic sim backend and the UDP socket backend; only the clock
+//! and the wire underneath differ.
+
+use crate::frame::{Endpoint, Frame, FrameKind};
+use netsim::{Duration, SimTime};
+use std::collections::BTreeMap;
+
+/// Tunables for one channel.
+#[derive(Clone, Copy, Debug)]
+pub struct ChannelConfig {
+    /// Initial retransmit timeout; doubles per attempt.
+    pub rto: Duration,
+    /// Backoff ceiling.
+    pub rto_max: Duration,
+    /// Retransmit attempts before the peer is declared dead.
+    pub max_attempts: u32,
+    /// Probe an idle channel after this long without traffic. `None`
+    /// disables probing — the right choice on the sim backend, where an
+    /// eternal ping loop would keep the event queue from draining.
+    pub ping_after: Option<Duration>,
+    /// Declare the peer dead after this much silence (only meaningful
+    /// with probing or in-flight data).
+    pub liveness: Duration,
+}
+
+impl ChannelConfig {
+    /// Sim backend: netsim delivers reliably while hosts are online, so
+    /// generous timeouts and no idle probing (the queue must drain).
+    pub fn sim_default() -> Self {
+        ChannelConfig {
+            rto: Duration::from_secs(30),
+            rto_max: Duration::from_secs(240),
+            max_attempts: 5,
+            ping_after: None,
+            liveness: Duration::from_secs(3_600),
+        }
+    }
+
+    /// Socket backend: loopback/LAN wall-clock timings.
+    pub fn socket_default() -> Self {
+        ChannelConfig {
+            rto: Duration::from_millis(40),
+            rto_max: Duration::from_secs(2),
+            max_attempts: 25,
+            ping_after: Some(Duration::from_secs(2)),
+            liveness: Duration::from_secs(15),
+        }
+    }
+}
+
+struct Pending {
+    frame: Frame,
+    attempts: u32,
+    next_retry: SimTime,
+}
+
+/// Actions the channel asks its transport to perform.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ChanOut {
+    /// Put this frame on the wire.
+    Transmit(Frame),
+    /// Re-put a timed-out data frame on the wire (metered separately).
+    Retransmit(Frame),
+    /// Hand this payload to the application (frames arrive here in
+    /// sender order, exactly once).
+    Deliver(Vec<u8>),
+    /// The peer stopped acking/answering; emitted once.
+    Dead,
+}
+
+/// Reliable, ordered, deduplicated channel state towards one peer.
+pub struct PeerChannel {
+    local: Endpoint,
+    peer: Endpoint,
+    cfg: ChannelConfig,
+    next_seq: u64,
+    unacked: BTreeMap<u64, Pending>,
+    /// Next incoming sequence number to deliver.
+    recv_next: u64,
+    /// Out-of-order arrivals waiting for the gap to fill.
+    reorder: BTreeMap<u64, Vec<u8>>,
+    last_heard: SimTime,
+    ping_nonce: u64,
+    ping_sent_at: Option<SimTime>,
+    dead: bool,
+    /// Lifetime stats for the transport's counters.
+    pub retransmits: u64,
+    pub acks_sent: u64,
+}
+
+impl PeerChannel {
+    pub fn new(local: Endpoint, peer: Endpoint, cfg: ChannelConfig, now: SimTime) -> Self {
+        PeerChannel {
+            local,
+            peer,
+            cfg,
+            next_seq: 0,
+            unacked: BTreeMap::new(),
+            recv_next: 0,
+            reorder: BTreeMap::new(),
+            last_heard: now,
+            ping_nonce: 0,
+            ping_sent_at: None,
+            dead: false,
+            retransmits: 0,
+            acks_sent: 0,
+        }
+    }
+
+    pub fn peer(&self) -> Endpoint {
+        self.peer
+    }
+
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    pub fn in_flight(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// Sequence, register for retransmission, and return the data frame
+    /// to transmit now.
+    pub fn send_data(&mut self, now: SimTime, payload: Vec<u8>) -> Frame {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let frame = Frame::data(self.local, self.peer, seq, payload);
+        self.unacked.insert(
+            seq,
+            Pending {
+                frame: frame.clone(),
+                attempts: 0,
+                next_retry: now + self.cfg.rto,
+            },
+        );
+        frame
+    }
+
+    /// React to a frame arriving from this peer.
+    pub fn on_frame(&mut self, now: SimTime, frame: Frame, out: &mut Vec<ChanOut>) {
+        self.last_heard = now;
+        self.ping_sent_at = None;
+        match frame.kind {
+            FrameKind::Data => {
+                // Always ack — duplicates mean the previous ack was lost.
+                self.acks_sent += 1;
+                out.push(ChanOut::Transmit(Frame::control(
+                    FrameKind::Ack,
+                    self.local,
+                    self.peer,
+                    frame.seq,
+                )));
+                if frame.seq >= self.recv_next {
+                    self.reorder.entry(frame.seq).or_insert(frame.payload);
+                    // Drain the contiguous run.
+                    while let Some(payload) = self.reorder.remove(&self.recv_next) {
+                        self.recv_next += 1;
+                        out.push(ChanOut::Deliver(payload));
+                    }
+                }
+            }
+            FrameKind::Ack => {
+                self.unacked.remove(&frame.seq);
+            }
+            FrameKind::Ping => {
+                out.push(ChanOut::Transmit(Frame::control(
+                    FrameKind::Pong,
+                    self.local,
+                    self.peer,
+                    frame.seq,
+                )));
+            }
+            FrameKind::Pong => {}
+        }
+    }
+
+    /// Run timers: retransmit overdue frames (exponential backoff), probe
+    /// idle channels, declare death on sustained silence.
+    pub fn on_tick(&mut self, now: SimTime, out: &mut Vec<ChanOut>) {
+        if self.dead {
+            return;
+        }
+        let mut died = false;
+        for p in self.unacked.values_mut() {
+            if p.next_retry <= now {
+                p.attempts += 1;
+                if p.attempts >= self.cfg.max_attempts {
+                    died = true;
+                    break;
+                }
+                let backoff =
+                    Duration((self.cfg.rto.0 << p.attempts.min(16)).min(self.cfg.rto_max.0));
+                p.next_retry = now + backoff;
+                self.retransmits += 1;
+                out.push(ChanOut::Retransmit(p.frame.clone()));
+            }
+        }
+        if let Some(ping_after) = self.cfg.ping_after {
+            let silence = now.since(self.last_heard);
+            if silence >= self.cfg.liveness {
+                died = true;
+            } else if silence >= ping_after && self.ping_sent_at.is_none() {
+                self.ping_nonce += 1;
+                self.ping_sent_at = Some(now);
+                out.push(ChanOut::Transmit(Frame::control(
+                    FrameKind::Ping,
+                    self.local,
+                    self.peer,
+                    self.ping_nonce,
+                )));
+            }
+        }
+        if died {
+            self.dead = true;
+            out.push(ChanOut::Dead);
+        }
+    }
+
+    /// Earliest instant `on_tick` has something to do, or `None` if the
+    /// channel is fully quiescent (lets the sim backend drain).
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        if self.dead {
+            return None;
+        }
+        let mut deadline: Option<SimTime> = self.unacked.values().map(|p| p.next_retry).min();
+        if let Some(ping_after) = self.cfg.ping_after {
+            let probe = if self.ping_sent_at.is_some() {
+                self.last_heard + self.cfg.liveness
+            } else {
+                self.last_heard + ping_after
+            };
+            deadline = Some(deadline.map_or(probe, |d| d.min(probe)));
+        }
+        deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(cfg: ChannelConfig) -> (PeerChannel, PeerChannel) {
+        (
+            PeerChannel::new(Endpoint(0), Endpoint(1), cfg, SimTime::ZERO),
+            PeerChannel::new(Endpoint(1), Endpoint(0), cfg, SimTime::ZERO),
+        )
+    }
+
+    /// Feed every Transmit/Retransmit of `from` into `to`, returning
+    /// payloads `to` delivered and frames `to` wants transmitted back.
+    fn shuttle(
+        now: SimTime,
+        outs: Vec<ChanOut>,
+        to: &mut PeerChannel,
+    ) -> (Vec<Vec<u8>>, Vec<ChanOut>) {
+        let mut delivered = Vec::new();
+        let mut back = Vec::new();
+        for o in outs {
+            match o {
+                ChanOut::Transmit(f) | ChanOut::Retransmit(f) => {
+                    let mut outs2 = Vec::new();
+                    to.on_frame(now, f, &mut outs2);
+                    for o2 in outs2 {
+                        match o2 {
+                            ChanOut::Deliver(p) => delivered.push(p),
+                            other => back.push(other),
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        (delivered, back)
+    }
+
+    #[test]
+    fn in_order_delivery_and_ack_clears_unacked() {
+        let (mut a, mut b) = pair(ChannelConfig::sim_default());
+        let f1 = a.send_data(SimTime(0), vec![1]);
+        let f2 = a.send_data(SimTime(0), vec![2]);
+        assert_eq!(a.in_flight(), 2);
+        let (got, acks) = shuttle(
+            SimTime(10),
+            vec![ChanOut::Transmit(f1), ChanOut::Transmit(f2)],
+            &mut b,
+        );
+        assert_eq!(got, vec![vec![1], vec![2]]);
+        // Feed the acks back.
+        for ack in acks {
+            if let ChanOut::Transmit(f) = ack {
+                a.on_frame(SimTime(20), f, &mut Vec::new());
+            }
+        }
+        assert_eq!(a.in_flight(), 0);
+        assert_eq!(b.acks_sent, 2);
+    }
+
+    #[test]
+    fn reordered_frames_deliver_in_sender_order() {
+        let (mut a, mut b) = pair(ChannelConfig::sim_default());
+        let f1 = a.send_data(SimTime(0), vec![1]);
+        let f2 = a.send_data(SimTime(0), vec![2]);
+        let f3 = a.send_data(SimTime(0), vec![3]);
+        let mut out = Vec::new();
+        b.on_frame(SimTime(1), f3, &mut out);
+        b.on_frame(SimTime(2), f2, &mut out);
+        b.on_frame(SimTime(3), f1, &mut out);
+        let delivered: Vec<_> = out
+            .into_iter()
+            .filter_map(|o| match o {
+                ChanOut::Deliver(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered, vec![vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn duplicates_are_acked_but_delivered_once() {
+        let (mut a, mut b) = pair(ChannelConfig::sim_default());
+        let f1 = a.send_data(SimTime(0), vec![7]);
+        let mut out = Vec::new();
+        b.on_frame(SimTime(1), f1.clone(), &mut out);
+        b.on_frame(SimTime(2), f1, &mut out);
+        let delivered = out
+            .iter()
+            .filter(|o| matches!(o, ChanOut::Deliver(_)))
+            .count();
+        let acked = out
+            .iter()
+            .filter(|o| matches!(o, ChanOut::Transmit(f) if f.kind == FrameKind::Ack))
+            .count();
+        assert_eq!((delivered, acked), (1, 2));
+    }
+
+    #[test]
+    fn unacked_frames_retransmit_with_backoff_then_die() {
+        let cfg = ChannelConfig {
+            rto: Duration(100),
+            rto_max: Duration(100_000),
+            max_attempts: 3,
+            ping_after: None,
+            liveness: Duration::from_secs(3_600),
+        };
+        let mut a = PeerChannel::new(Endpoint(0), Endpoint(1), cfg, SimTime::ZERO);
+        a.send_data(SimTime(0), vec![1]);
+        let mut out = Vec::new();
+        // First retry due at t=100.
+        a.on_tick(SimTime(100), &mut out);
+        assert!(matches!(out[0], ChanOut::Retransmit(_)));
+        // Backoff doubled: next at 100 + 200.
+        assert_eq!(a.next_deadline(), Some(SimTime(300)));
+        out.clear();
+        a.on_tick(SimTime(300), &mut out);
+        assert!(matches!(out[0], ChanOut::Retransmit(_)));
+        out.clear();
+        // Third expiry exhausts max_attempts.
+        a.on_tick(SimTime(1_000), &mut out);
+        assert_eq!(out, vec![ChanOut::Dead]);
+        assert!(a.is_dead());
+        assert_eq!(a.retransmits, 2);
+        assert_eq!(a.next_deadline(), None);
+    }
+
+    #[test]
+    fn idle_channel_pings_then_declares_death_on_silence() {
+        let cfg = ChannelConfig {
+            rto: Duration(100),
+            rto_max: Duration(1_000),
+            max_attempts: 5,
+            ping_after: Some(Duration(1_000)),
+            liveness: Duration(5_000),
+        };
+        let (mut a, mut b) = pair(cfg);
+        let mut out = Vec::new();
+        a.on_tick(SimTime(1_000), &mut out);
+        let ping = match out.remove(0) {
+            ChanOut::Transmit(f) => {
+                assert_eq!(f.kind, FrameKind::Ping);
+                f
+            }
+            other => panic!("expected ping, got {other:?}"),
+        };
+        // The peer answers; feeding the pong back keeps the channel alive.
+        let mut bout = Vec::new();
+        b.on_frame(SimTime(1_100), ping, &mut bout);
+        if let ChanOut::Transmit(pong) = bout.remove(0) {
+            assert_eq!(pong.kind, FrameKind::Pong);
+            a.on_frame(SimTime(1_200), pong, &mut out);
+        }
+        assert!(!a.is_dead());
+        // Silence past the liveness bound kills it.
+        a.on_tick(SimTime(1_200 + 5_000), &mut out);
+        assert_eq!(out, vec![ChanOut::Dead]);
+    }
+
+    #[test]
+    fn quiescent_channel_has_no_deadline_without_probing() {
+        let (a, _) = pair(ChannelConfig::sim_default());
+        assert_eq!(a.next_deadline(), None, "sim backend must drain");
+    }
+}

@@ -1,0 +1,188 @@
+//! Property tests for the transport wire formats: the link-layer
+//! [`Frame`] codec and the grid protocol [`GridMsg`] codec. Both must
+//! round-trip every value exactly, and no truncation, corruption or
+//! random garbage may panic a decoder — malformed input always yields a
+//! typed error.
+
+use netsim::SimTime;
+use p2p::advert::{AdvertBody, BlobAdvert};
+use p2p::{Advertisement, PeerId};
+use proptest::prelude::*;
+use transport::frame::{Endpoint, Frame, FrameKind, MAX_PAYLOAD};
+use transport::proto::{GridMsg, ModuleInfo};
+
+fn kind_from(sel: u8) -> FrameKind {
+    match sel % 4 {
+        0 => FrameKind::Data,
+        1 => FrameKind::Ack,
+        2 => FrameKind::Ping,
+        _ => FrameKind::Pong,
+    }
+}
+
+/// Deterministically expand flat seeds into one of the nine grid
+/// messages. `f64` fields come from small integer ratios (finite, so
+/// `PartialEq` round-trip comparison is exact).
+fn msg_from(sel: u8, a: u64, b: u64, s: &str, floats: &[f64]) -> GridMsg {
+    let module = ModuleInfo {
+        name: s.to_string(),
+        version: a as u32,
+        hash: b,
+        blob_len: a ^ b,
+    };
+    let advert = Advertisement {
+        body: AdvertBody::Blob(BlobAdvert {
+            blob: a,
+            size_bytes: b,
+            chunks: (a >> 40) as u32,
+            provider: PeerId(b as u32),
+        }),
+        expires: SimTime(u64::MAX),
+    };
+    match sel % 9 {
+        0 => GridMsg::Hello {
+            have: (0..(a % 6)).map(|i| b.wrapping_mul(i + 1)).collect(),
+        },
+        1 => GridMsg::Welcome { jobs_total: a },
+        2 => GridMsg::Providers {
+            blob: a,
+            adverts: (0..(b % 4)).map(|_| advert.clone()).collect(),
+        },
+        3 => GridMsg::Dispatch {
+            job: a,
+            module,
+            input: floats.to_vec(),
+        },
+        4 => GridMsg::ChunkRequest {
+            blob: a,
+            blob_len: b,
+            index: (a >> 16) as u32,
+        },
+        5 => GridMsg::ChunkData {
+            blob: a,
+            blob_len: b,
+            index: (a >> 16) as u32,
+            bytes: s.as_bytes().to_vec(),
+        },
+        6 => GridMsg::HaveBlob { blob: a },
+        7 => GridMsg::JobResult {
+            job: a,
+            outputs: vec![floats.to_vec(), vec![b as f64]],
+        },
+        _ => GridMsg::Shutdown,
+    }
+}
+
+proptest! {
+    /// Every frame survives encode→decode exactly, and the declared
+    /// length prefix always matches the encoded size.
+    #[test]
+    fn frame_round_trips(
+        sel in proptest::arbitrary::any::<u8>(),
+        src in proptest::arbitrary::any::<u64>(),
+        dst in proptest::arbitrary::any::<u64>(),
+        seq in proptest::arbitrary::any::<u64>(),
+        payload in proptest::collection::vec(proptest::arbitrary::any::<u8>(), 0..256),
+    ) {
+        let kind = kind_from(sel);
+        let frame = if kind == FrameKind::Data {
+            Frame::data(Endpoint(src), Endpoint(dst), seq, payload)
+        } else {
+            Frame::control(kind, Endpoint(src), Endpoint(dst), seq)
+        };
+        let bytes = frame.encode();
+        prop_assert_eq!(bytes.len(), frame.wire_len());
+        prop_assert_eq!(Frame::decode(&bytes), Ok(frame));
+    }
+
+    /// Truncating an encoded frame anywhere yields a typed error.
+    #[test]
+    fn frame_truncation_always_rejected(
+        src in proptest::arbitrary::any::<u64>(),
+        seq in proptest::arbitrary::any::<u64>(),
+        payload in proptest::collection::vec(proptest::arbitrary::any::<u8>(), 0..64),
+        cut_seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        let bytes = Frame::data(Endpoint(src), Endpoint(1), seq, payload).encode();
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        prop_assert!(Frame::decode(&bytes[..cut]).is_err());
+    }
+
+    /// Flipping an arbitrary byte never panics the frame decoder, and an
+    /// oversized declared payload is refused rather than allocated.
+    #[test]
+    fn frame_corruption_never_panics(
+        src in proptest::arbitrary::any::<u64>(),
+        seq in proptest::arbitrary::any::<u64>(),
+        payload in proptest::collection::vec(proptest::arbitrary::any::<u8>(), 0..64),
+        flip_at in proptest::arbitrary::any::<u64>(),
+        flip_bits in 1u8..255,
+    ) {
+        let mut bytes = Frame::data(Endpoint(src), Endpoint(1), seq, payload).encode();
+        let at = (flip_at % bytes.len() as u64) as usize;
+        bytes[at] ^= flip_bits;
+        if let Ok(frame) = Frame::decode(&bytes) {
+            prop_assert!(frame.payload.len() <= MAX_PAYLOAD);
+        }
+    }
+
+    /// Random garbage never panics the frame decoder.
+    #[test]
+    fn frame_garbage_never_panics(
+        bytes in proptest::collection::vec(proptest::arbitrary::any::<u8>(), 0..128),
+    ) {
+        let _ = Frame::decode(&bytes);
+    }
+
+    /// Every grid message survives encode→decode exactly.
+    #[test]
+    fn grid_msg_round_trips(
+        sel in proptest::arbitrary::any::<u8>(),
+        a in proptest::arbitrary::any::<u64>(),
+        b in proptest::arbitrary::any::<u64>(),
+        s in "[a-z]{0,16}",
+        floats in proptest::collection::vec((0i32..10_000).prop_map(|n| n as f64 / 8.0), 0..6),
+    ) {
+        let msg = msg_from(sel, a, b, &s, &floats);
+        let bytes = msg.encode();
+        prop_assert_eq!(GridMsg::decode(&bytes), Ok(msg));
+    }
+
+    /// Truncating an encoded grid message anywhere yields a typed error.
+    #[test]
+    fn grid_msg_truncation_always_rejected(
+        sel in proptest::arbitrary::any::<u8>(),
+        a in proptest::arbitrary::any::<u64>(),
+        b in proptest::arbitrary::any::<u64>(),
+        s in "[a-z]{0,16}",
+        cut_seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        let bytes = msg_from(sel, a, b, &s, &[1.0]).encode();
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        prop_assert!(GridMsg::decode(&bytes[..cut]).is_err());
+    }
+
+    /// Corrupting an arbitrary byte never panics the grid decoder.
+    #[test]
+    fn grid_msg_corruption_never_panics(
+        sel in proptest::arbitrary::any::<u8>(),
+        a in proptest::arbitrary::any::<u64>(),
+        b in proptest::arbitrary::any::<u64>(),
+        s in "[a-z]{0,16}",
+        flip_at in proptest::arbitrary::any::<u64>(),
+        flip_bits in 1u8..255,
+    ) {
+        let mut bytes = msg_from(sel, a, b, &s, &[1.0]).encode();
+        let at = (flip_at % bytes.len() as u64) as usize;
+        bytes[at] ^= flip_bits;
+        let _ = GridMsg::decode(&bytes);
+    }
+
+    /// Random garbage never panics the grid decoder.
+    #[test]
+    fn grid_msg_garbage_never_panics(
+        bytes in proptest::collection::vec(proptest::arbitrary::any::<u8>(), 0..200),
+    ) {
+        let _ = GridMsg::decode(&bytes);
+    }
+}

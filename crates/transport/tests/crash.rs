@@ -1,0 +1,116 @@
+//! Durable-store crash recovery, end to end: run a farm with on-disk
+//! peer state, tear one chunk file (a simulated mid-write crash),
+//! restart the farm over the same directories and check that the torn
+//! chunk was dropped, the verified chunks were kept and reused, and the
+//! swarm fetch still completes with identical results.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use store::DurableStore;
+use transport::harness::{demo_module, run_sim, FarmSpec};
+use transport::node::JobSpec;
+
+static SCRATCH: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dirs(n: usize) -> Vec<PathBuf> {
+    let run = SCRATCH.fetch_add(1, Ordering::Relaxed);
+    (0..n)
+        .map(|i| {
+            std::env::temp_dir().join(format!("triana-crash-{}-{run}-{i}", std::process::id()))
+        })
+        .collect()
+}
+
+fn farm(dirs: Vec<PathBuf>) -> FarmSpec {
+    let (scale, scale_blob) = demo_module("scale", 1, 400);
+    let jobs = (0..4)
+        .map(|i| JobSpec {
+            module: scale.clone(),
+            input: vec![i as f64 + 1.0],
+        })
+        .collect();
+    FarmSpec {
+        chunk_bytes: 256,
+        cache_capacity: 1 << 20,
+        n_workers: dirs.len(),
+        modules: vec![(scale, scale_blob)],
+        jobs,
+        durable_dirs: Some(dirs),
+    }
+}
+
+#[test]
+fn torn_chunk_dropped_verified_kept_farm_recovers() {
+    let dirs = scratch_dirs(2);
+    let spec = farm(dirs.clone());
+    let first = run_sim(&spec, 11, obs::Obs::disabled());
+    assert_eq!(first.results.len(), 4);
+    assert_eq!(first.recovered_chunks, 0, "cold start recovers nothing");
+
+    // Crash simulation: truncate one chunk file under worker 0 to half
+    // its length, as if the process died mid-write.
+    let d = DurableStore::open(&dirs[0]).expect("reopen worker 0 store");
+    let sealed = d.sealed();
+    assert!(!sealed.is_empty(), "worker 0 sealed the module blob");
+    let blob = sealed[0].2;
+    let total_chunks = d.chunk_count() as u64;
+    assert!(total_chunks > 1, "module must span several chunks");
+    assert!(d.tear_chunk_file(blob, 0), "chunk file 0 must exist");
+    drop(d);
+
+    // Restart over the same directories. The torn chunk is dropped at
+    // recovery, the rest are verified and reused, and the missing piece
+    // is re-fetched over the swarm — so the farm completes again with
+    // identical results.
+    let observer = obs::Obs::enabled();
+    let second = run_sim(&spec, 11, observer.clone());
+    assert_eq!(second.results, first.results);
+    assert_eq!(second.assignment, first.assignment);
+    // Worker 1 recovers every chunk, worker 0 all but the torn one.
+    assert_eq!(
+        second.recovered_chunks,
+        2 * total_chunks - 1,
+        "surviving chunks reused, torn chunk not counted"
+    );
+    let snap = observer.snapshot_json().expect("obs enabled");
+    assert!(snap.contains("\"transport.recovered_chunks\""));
+    assert!(snap.contains("\"transport.dropped_chunks\":1"));
+
+    // The reopened store must have healed: the re-fetched chunk was
+    // re-admitted and the blob sealed again.
+    let d = DurableStore::open(&dirs[0]).expect("reopen after heal");
+    assert_eq!(d.report().dropped_chunks, 0);
+    assert_eq!(d.chunk_count() as u64, total_chunks);
+    assert!(!d.sealed().is_empty(), "blob resealed after re-fetch");
+    drop(d);
+
+    for dir in &dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn warm_restart_reuses_cache_without_refetch() {
+    let dirs = scratch_dirs(2);
+    let spec = farm(dirs.clone());
+    let cold = run_sim(&spec, 3, obs::Obs::disabled());
+
+    let observer = obs::Obs::enabled();
+    let warm = run_sim(&spec, 3, observer.clone());
+    assert_eq!(warm.results, cold.results);
+    assert!(
+        warm.recovered_chunks > 0,
+        "warm start reuses durable chunks"
+    );
+    let snap = observer.snapshot_json().expect("obs enabled");
+    // No chunk transfer happened on the warm run: everything came from
+    // the durable stores.
+    assert!(
+        !snap.contains("\"transport.chunks_served\""),
+        "no chunk should be served on a warm restart: {snap}"
+    );
+
+    for dir in &dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,78 @@
+//! Sim-vs-socket parity: the same farm spec driven through the
+//! deterministic sim backend and through real UDP loopback sockets must
+//! produce identical task-completion sets, job assignments, outputs and
+//! module-cache fingerprints. Only wall-clock-independent fields are
+//! compared ([`FarmOutcome`] contains nothing else by construction).
+
+use transport::harness::{demo_module, run_sim, run_sockets, FarmSpec};
+use transport::node::JobSpec;
+
+fn farm() -> FarmSpec {
+    let (scale, scale_blob) = demo_module("scale", 1, 300);
+    let (gain, gain_blob) = demo_module("gain", 2, 500);
+    let jobs = (0..8)
+        .map(|i| JobSpec {
+            module: if i % 2 == 0 {
+                scale.clone()
+            } else {
+                gain.clone()
+            },
+            input: vec![i as f64, 0.5 * i as f64],
+        })
+        .collect();
+    FarmSpec {
+        chunk_bytes: 512,
+        cache_capacity: 1 << 20,
+        n_workers: 3,
+        modules: vec![(scale, scale_blob), (gain, gain_blob)],
+        jobs,
+        durable_dirs: None,
+    }
+}
+
+#[test]
+fn sim_and_socket_backends_agree() {
+    let spec = farm();
+    let sim = run_sim(&spec, 42, obs::Obs::disabled());
+    let sock = run_sockets(
+        &spec,
+        obs::Obs::disabled(),
+        std::time::Duration::from_secs(60),
+    );
+    assert_eq!(sim, sock);
+    // Sanity on the shared outcome, not just agreement: every job
+    // completed, outputs follow the module's arithmetic (input[0] * 2.5).
+    assert_eq!(sim.results.len(), 8);
+    for (job, (_, outputs)) in &sim.results {
+        assert_eq!(outputs.len(), 1, "one output port");
+        let expected = *job as f64 * 2.5;
+        assert!(
+            (outputs[0][0] - expected).abs() < 1e-12,
+            "job {job}: got {}, want {expected}",
+            outputs[0][0]
+        );
+    }
+    // Round-robin over 3 workers: every worker ran jobs and cached both
+    // modules (jobs alternate between the two).
+    assert_eq!(sim.worker_modules.len(), 3);
+    for mods in sim.worker_modules.values() {
+        assert!(!mods.is_empty());
+    }
+    assert_eq!(sim.recovered_chunks, 0, "no durable dirs in this farm");
+}
+
+#[test]
+fn sim_runs_are_deterministic_with_counters() {
+    let spec = farm();
+    let run = || {
+        let observer = obs::Obs::enabled();
+        let outcome = run_sim(&spec, 7, observer.clone());
+        (outcome, observer.snapshot_json().unwrap())
+    };
+    let (o1, snap1) = run();
+    let (o2, snap2) = run();
+    assert_eq!(o1, o2);
+    assert_eq!(snap1, snap2, "transport.* counters must be byte-identical");
+    assert!(snap1.contains("transport.frames_sent"));
+    assert!(snap1.contains("transport.acks"));
+}
