@@ -228,6 +228,42 @@ fn tvm_stage(observer: &Obs) {
         .execute_obs(&[], &tight, &mut ctx, observer)
         .expect_err("budget must trip");
     assert_eq!(err, tvm::TvmError::BudgetExceeded);
+
+    // Tier-2 segment: a countdown loop admits as tier 2 under the cache's
+    // Auto policy (`tvm.tier2_regions` moves at admission), a batched
+    // dispatch drives the batch counters, and a budget two short of the
+    // exact run cost forces one register-loop fallback — the precondition
+    // fails inside the final iteration, so `tvm.tier2_fallback_exits`
+    // lands in the snapshot with a deterministic nonzero value.
+    let looper = assemble(
+        ".module SmokeLoop 1 0 1\n.func main 1\n push 5\n store 0\nloop:\n load 0\n outpush 0\n \
+         load 0\n push 1\n sub\n store 0\n load 0\n jnz loop\n halt\n",
+    )
+    .expect("assembles");
+    let lkey = triana_core::ModuleKey::new("SmokeLoop", 1);
+    cache.insert(lkey.clone(), looper.to_blob());
+    let tier = cache.get_prepared(&lkey).expect("admitted");
+    assert_eq!(tier.tier_name(), "tier2");
+    assert_eq!(tier.regions_translated(), 1);
+    let (out, stats) = tier
+        .execute_obs(&[], &SandboxPolicy::standard(), &mut ctx, observer)
+        .expect("loop runs");
+    assert_eq!(out[0], vec![5.0, 4.0, 3.0, 2.0, 1.0]);
+    let batch = tier.execute_batch_obs(
+        &[&[], &[], &[]],
+        &SandboxPolicy::standard(),
+        &mut ctx,
+        observer,
+    );
+    assert!(batch.iter().all(|r| r.is_ok()));
+    let short = SandboxPolicy {
+        max_instructions: stats.instructions - 2,
+        ..SandboxPolicy::standard()
+    };
+    let err = tier
+        .execute_obs(&[], &short, &mut ctx, observer)
+        .expect_err("two instructions short must trip the budget");
+    assert_eq!(err, tvm::TvmError::BudgetExceeded);
 }
 
 fn transport_stage(observer: &Obs) {
@@ -335,6 +371,10 @@ pub fn report_with(observer: &Obs) -> String {
         "tvm.prepares",
         "tvm.prepared_cache_hits",
         "tvm.prepared_cache_misses",
+        "tvm.tier2_regions",
+        "tvm.tier2_batch_runs",
+        "tvm.tier2_batch_inputs",
+        "tvm.tier2_fallback_exits",
         "tvm.violations.budget",
         "transport.frames_sent",
         "transport.frames_recv",
@@ -378,6 +418,10 @@ mod tests {
             "tvm.prepares",
             "tvm.prepared_cache_hits",
             "tvm.prepared_cache_misses",
+            "tvm.tier2_regions",
+            "tvm.tier2_batch_runs",
+            "tvm.tier2_batch_inputs",
+            "tvm.tier2_fallback_exits",
             "tvm.violations.budget",
             "transport.frames_sent",
             "transport.frames_recv",

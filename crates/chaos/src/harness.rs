@@ -771,13 +771,18 @@ fn host(cpu_ghz: f64) -> HostSpec {
 }
 
 /// A real assembled module blob of roughly `approx` bytes, so corruption
-/// and hash verification run against genuine TVM bytes.
+/// and hash verification run against genuine TVM bytes. Ends in a small
+/// countdown loop so Auto admission produces a tier-2 artifact and the
+/// cache-integrity invariant's re-admission determinism check has
+/// translated regions to bite on.
 fn sized_blob(name: &str, approx: usize) -> tvm::ModuleBlob {
-    let mut src = format!(".module {name} 1 0 0\n.func main 0\n");
+    let mut src = format!(".module {name} 1 0 0\n.func main 1\n");
     for _ in 0..approx / 10 {
         src.push_str(" push 1\n pop\n");
     }
-    src.push_str(" halt\n");
+    src.push_str(
+        " push 4\n store 0\nloop:\n load 0\n push 1\n sub\n store 0\n load 0\n jnz loop\n halt\n",
+    );
     tvm::asm::assemble(&src)
         .expect("static chaos module")
         .to_blob()

@@ -30,15 +30,16 @@ pub struct StageSpec {
 }
 
 impl StageSpec {
-    /// Size a stage from the prepared module it will run per token:
+    /// Size a stage from the admitted module it will run per token:
     /// interpreted TVM work, ~20 host cycles per source instruction per
     /// token sample (the same model the toolbox `TvmUnit` calibrates its
     /// work estimate with). Preparation is not charged here — it happened
-    /// once at cache admission, not per token.
+    /// once at cache admission, not per token. Any execution tier works;
+    /// the work model reads only the source instruction count.
     pub fn for_prepared_module(
         peer: PeerId,
         spec: HostSpec,
-        prepared: &tvm::PreparedModule,
+        prepared: &dyn tvm::ExecTier,
         token_samples: usize,
     ) -> StageSpec {
         let per_item = prepared.source_instructions().max(8) as f64;

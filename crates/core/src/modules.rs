@@ -15,7 +15,7 @@
 use obs::Obs;
 use std::collections::HashMap;
 use std::sync::Arc;
-use tvm::{ModuleBlob, PreparedModule};
+use tvm::{ExecTier, ModuleBlob, TierPolicy};
 
 /// Identity of a module: name plus version. Content hash disambiguates
 /// further (stale copies of the same version are detected by hash).
@@ -94,19 +94,24 @@ pub struct CacheStats {
 
 /// A byte-bounded LRU cache of module blobs on a hosting peer.
 ///
-/// Admission is also the verify-once point: every cached blob is prepared
-/// into a [`PreparedModule`] exactly once, so steady-state execution never
+/// Admission is also the verify-once point and the execution-tier
+/// selection point: every cached blob is admitted through
+/// [`tvm::tier::admit`] exactly once, so steady-state execution never
 /// re-runs the bytecode verifier (the paper's JVM analogue: class
-/// verification happens at load, not per invocation).
+/// verification happens at load, not per invocation). Under the default
+/// [`TierPolicy::Auto`], modules with translatable hot loops come back as
+/// tier 2, straight-line code as the prepared tier.
 pub struct ModuleCache {
     capacity: u64,
     resident: u64,
     /// Insertion/access order: front = least recently used.
     order: Vec<ModuleKey>,
     blobs: HashMap<ModuleKey, ModuleBlob>,
-    /// Prepared form of each resident blob (absent only if the blob failed
-    /// to verify — corrupt entries stay resident for integrity audits).
-    prepared: HashMap<ModuleKey, Arc<PreparedModule>>,
+    /// Admitted execution tier of each resident blob (absent only if the
+    /// blob failed to verify — corrupt entries stay resident for
+    /// integrity audits).
+    prepared: HashMap<ModuleKey, Arc<dyn ExecTier>>,
+    tier_policy: TierPolicy,
     stats: CacheStats,
     obs: Obs,
 }
@@ -133,6 +138,7 @@ impl ModuleCache {
             order: Vec::new(),
             blobs: HashMap::new(),
             prepared: HashMap::new(),
+            tier_policy: TierPolicy::default(),
             stats: CacheStats::default(),
             obs: Obs::disabled(),
         }
@@ -142,6 +148,16 @@ impl ModuleCache {
     /// hits/misses are metered through it.
     pub fn set_obs(&mut self, obs: Obs) {
         self.obs = obs;
+    }
+
+    /// Choose which execution tier future admissions construct. Already
+    /// resident modules keep the tier they were admitted under.
+    pub fn set_tier_policy(&mut self, policy: TierPolicy) {
+        self.tier_policy = policy;
+    }
+
+    pub fn tier_policy(&self) -> TierPolicy {
+        self.tier_policy
     }
 
     pub fn capacity(&self) -> u64 {
@@ -188,11 +204,11 @@ impl ModuleCache {
         }
     }
 
-    /// Look up the prepared (verified + flattened) form of a resident
-    /// module, updating recency and prepared hit/miss counters. This is the
-    /// execution-path accessor: workers call it once per run and reuse the
-    /// returned [`Arc`] across an [`tvm::ExecContext`].
-    pub fn get_prepared(&mut self, key: &ModuleKey) -> Option<Arc<PreparedModule>> {
+    /// Look up the admitted execution tier of a resident module, updating
+    /// recency and prepared hit/miss counters. This is the execution-path
+    /// accessor: workers call it once per run and reuse the returned
+    /// [`Arc`] across an [`tvm::ExecContext`].
+    pub fn get_prepared(&mut self, key: &ModuleKey) -> Option<Arc<dyn ExecTier>> {
         if let Some(p) = self.prepared.get(key) {
             let p = Arc::clone(p);
             self.stats.prepared_hits += 1;
@@ -206,10 +222,10 @@ impl ModuleCache {
         }
     }
 
-    /// Prepared form of a resident module without touching recency or
+    /// Admitted tier of a resident module without touching recency or
     /// hit/miss accounting — for integrity audits (chaos invariants check
-    /// that every prepared module still matches its key's content id).
-    pub fn prepared_of(&self, key: &ModuleKey) -> Option<&Arc<PreparedModule>> {
+    /// that every admitted module still matches its key's content id).
+    pub fn prepared_of(&self, key: &ModuleKey) -> Option<&Arc<dyn ExecTier>> {
         self.prepared.get(key)
     }
 
@@ -240,12 +256,17 @@ impl ModuleCache {
             self.resident -= evicted.len() as u64;
             self.stats.evictions += 1;
         }
-        match PreparedModule::from_blob(&blob) {
-            Ok(p) => {
+        match tvm::tier::admit(&blob, self.tier_policy) {
+            Ok(tier) => {
                 self.stats.prepares += 1;
                 self.obs.incr("tvm.prepares");
-                self.obs.observe("tvm.prepare_us", p.modeled_prepare_us());
-                self.prepared.insert(key.clone(), Arc::new(p));
+                self.obs
+                    .observe("tvm.prepare_us", tier.modeled_prepare_us());
+                let regions = tier.regions_translated() as u64;
+                if regions > 0 {
+                    self.obs.add("tvm.tier2_regions", regions);
+                }
+                self.prepared.insert(key.clone(), tier);
             }
             Err(_) => {
                 self.obs.incr("tvm.prepare_failures");
@@ -420,6 +441,41 @@ mod tests {
         assert!(cache.prepared_of(&kb).is_some());
         cache.release(&kb);
         assert!(cache.prepared_of(&kb).is_none());
+    }
+
+    #[test]
+    fn auto_admission_selects_tier_per_module() {
+        let mut cache = ModuleCache::new(100_000);
+        cache.insert(ModuleKey::new("A", 1), blob_of_size("A", 100));
+        let straight = cache.prepared_of(&ModuleKey::new("A", 1)).unwrap();
+        assert_eq!(straight.tier_name(), "prepared");
+        assert_eq!(straight.regions_translated(), 0);
+        let src = "\
+.module Loop 1 0 1
+.func main 1
+ push 4
+ store 0
+loop:
+ load 0
+ outpush 0
+ load 0
+ push 1
+ sub
+ store 0
+ load 0
+ jnz loop
+ halt
+";
+        let blob = assemble(src).unwrap().to_blob();
+        cache.insert(ModuleKey::new("Loop", 1), blob);
+        let tier = cache.prepared_of(&ModuleKey::new("Loop", 1)).unwrap();
+        assert_eq!(tier.tier_name(), "tier2");
+        assert_eq!(tier.regions_translated(), 1);
+        // An explicit policy overrides Auto for subsequent admissions.
+        cache.set_tier_policy(TierPolicy::Legacy);
+        cache.insert(ModuleKey::new("B", 1), blob_of_size("B", 100));
+        let legacy = cache.prepared_of(&ModuleKey::new("B", 1)).unwrap();
+        assert_eq!(legacy.tier_name(), "legacy");
     }
 
     #[test]

@@ -529,9 +529,8 @@ impl<T: Transport> WorkerNode<T> {
                 let _ = self
                     .t
                     .send(self.orch, GridMsg::HaveBlob { blob: module.hash }.encode());
-                for (job, _, input) in self.waiting.remove(&module.hash).unwrap_or_default() {
-                    self.run_job(job, &key, &input);
-                }
+                let waiting = self.waiting.remove(&module.hash).unwrap_or_default();
+                self.run_jobs(&key, &waiting);
             }
             Err(StoreError::HashMismatch { .. }) => {
                 // Poisoned transfer: drop everything and re-fetch.
@@ -582,5 +581,41 @@ impl<T: Transport> WorkerNode<T> {
         };
         let msg = GridMsg::JobResult { job, outputs };
         let _ = self.t.send(self.orch, msg.encode());
+    }
+
+    /// Batched job flush: every job that queued up behind one blob fetch
+    /// is driven through a single `execute_batch_obs` dispatch, so the
+    /// tier amortises setup across the backlog. Result messages go out in
+    /// the original queue order, one `JobResult` per job, exactly as the
+    /// sequential path would send them.
+    fn run_jobs(&mut self, key: &ModuleKey, jobs: &[(u64, ModuleInfo, Vec<f64>)]) {
+        if jobs.is_empty() {
+            return;
+        }
+        let results = match self.cache.get_prepared(key) {
+            Some(prepared) => {
+                let port_sets: Vec<Vec<&[f64]>> = jobs
+                    .iter()
+                    .map(|(_, _, input)| {
+                        if input.is_empty() {
+                            Vec::new()
+                        } else {
+                            vec![input.as_slice()]
+                        }
+                    })
+                    .collect();
+                let batch: Vec<&[&[f64]]> = port_sets.iter().map(|p| p.as_slice()).collect();
+                prepared.execute_batch_obs(&batch, &self.policy, &mut self.ctx, &self.obs)
+            }
+            None => jobs
+                .iter()
+                .map(|_| Ok((Vec::new(), Default::default())))
+                .collect(),
+        };
+        for ((job, _, _), result) in jobs.iter().zip(results) {
+            let outputs = result.map(|(o, _stats)| o).unwrap_or_default();
+            let msg = GridMsg::JobResult { job: *job, outputs };
+            let _ = self.t.send(self.orch, msg.encode());
+        }
     }
 }

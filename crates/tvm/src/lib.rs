@@ -24,6 +24,8 @@ pub mod isa;
 pub mod module;
 pub mod prepared;
 pub mod sandbox;
+pub mod tier;
+pub mod tier2;
 pub mod verify;
 
 pub use interp::{execute, execute_obs, ExecStats, TvmError};
@@ -31,6 +33,8 @@ pub use isa::Op;
 pub use module::{Function, Module, ModuleBlob};
 pub use prepared::{ExecContext, PrepareError, PreparedModule};
 pub use sandbox::SandboxPolicy;
+pub use tier::{ExecOutcome, ExecTier, LegacyModule, TierPolicy};
+pub use tier2::Tier2Module;
 
 /// FNV-1a 64-bit hash; used for module content hashes.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {

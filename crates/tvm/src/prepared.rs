@@ -40,7 +40,7 @@ use std::fmt;
 /// microsecond. Used by [`PreparedModule::modeled_prepare_us`] so metering
 /// of preparation cost stays deterministic (wall-clock timings belong in
 /// the volatile snapshot section only).
-const PREPARE_OPS_PER_US: u64 = 100;
+pub(crate) const PREPARE_OPS_PER_US: u64 = 100;
 
 /// A binary operation: pop `b`, pop `a`, push `a ∘ b`.
 ///
@@ -66,7 +66,7 @@ pub(crate) enum BinOp {
 
 impl BinOp {
     #[inline(always)]
-    fn eval(self, a: f64, b: f64) -> f64 {
+    pub(crate) fn eval(self, a: f64, b: f64) -> f64 {
         match self {
             BinOp::Add => a + b,
             BinOp::Sub => a - b,
@@ -85,7 +85,7 @@ impl BinOp {
         }
     }
 
-    fn of(op: Op) -> Option<BinOp> {
+    pub(crate) fn of(op: Op) -> Option<BinOp> {
         Some(match op {
             Op::Add => BinOp::Add,
             Op::Sub => BinOp::Sub,
@@ -121,7 +121,7 @@ pub(crate) enum UnOp {
 
 impl UnOp {
     #[inline(always)]
-    fn eval(self, a: f64) -> f64 {
+    pub(crate) fn eval(self, a: f64) -> f64 {
         match self {
             UnOp::Neg => -a,
             UnOp::Abs => a.abs(),
@@ -134,7 +134,7 @@ impl UnOp {
         }
     }
 
-    fn of(op: Op) -> Option<UnOp> {
+    pub(crate) fn of(op: Op) -> Option<UnOp> {
         Some(match op {
             Op::Neg => UnOp::Neg,
             Op::Abs => UnOp::Abs,
@@ -299,8 +299,8 @@ pub struct PreparedModule {
     n_inputs: u8,
     n_outputs: u8,
     /// Locals of function 0, allocated in the arena at run start.
-    entry_locals: u16,
-    code: Vec<PInst>,
+    pub(crate) entry_locals: u16,
+    pub(crate) code: Vec<PInst>,
     /// FNV-1a 64 of the source blob bytes — the same value as the blob
     /// content id, so integrity audits can tie a prepared module back to
     /// the library's ground truth.
@@ -309,75 +309,88 @@ pub struct PreparedModule {
     source_len: usize,
 }
 
-impl PreparedModule {
-    /// The one-time pass: verify `module`, then flatten and fuse.
-    pub fn prepare(module: &Module) -> Result<Self, VerifyError> {
-        verify(module)?;
-        let source_len: usize = module.functions.iter().map(|f| f.code.len()).sum();
+/// A prepared module plus the flattening byproducts tier 2 needs: the
+/// per-function source-pc → flat-index maps and function base offsets.
+pub(crate) struct PrepareArtifacts {
+    pub(crate) module: PreparedModule,
+    /// Per function: source pc → local flat index (`u32::MAX` for interior
+    /// pcs of fused windows, which are never jump targets).
+    pub(crate) maps: Vec<Vec<u32>>,
+    /// Per function: base offset of its instructions in the flat array.
+    pub(crate) bases: Vec<u32>,
+}
 
-        // Pass 1: per function, fuse and record source-pc → flat-index
-        // (jump targets are kept as source pcs for now).
-        let mut per_func: Vec<(Vec<PInst>, Vec<u32>)> = Vec::with_capacity(module.functions.len());
-        for f in &module.functions {
-            per_func.push(flatten_function(&f.code));
+/// The one-time pass: verify `module`, then flatten and fuse, keeping the
+/// pc maps so callers (tier 2 region detection) can address flat code.
+pub(crate) fn prepare_full(module: &Module) -> Result<PrepareArtifacts, VerifyError> {
+    verify(module)?;
+    let source_len: usize = module.functions.iter().map(|f| f.code.len()).sum();
+
+    // Pass 1: per function, fuse and record source-pc → flat-index
+    // (jump targets are kept as source pcs for now).
+    let mut per_func: Vec<(Vec<PInst>, Vec<u32>)> = Vec::with_capacity(module.functions.len());
+    for f in &module.functions {
+        per_func.push(flatten_function(&f.code));
+    }
+
+    // Function base offsets in the flat array.
+    let mut bases = Vec::with_capacity(per_func.len());
+    let mut total = 0u32;
+    for (insts, _) in &per_func {
+        bases.push(total);
+        total += insts.len() as u32;
+    }
+
+    // Pass 2: resolve jump targets (within-function) and call targets.
+    let mut code = Vec::with_capacity(total as usize);
+    for (fi, (insts, map)) in per_func.iter().enumerate() {
+        let base = bases[fi];
+        let resolve = |t: u32| base + map[t as usize];
+        for inst in insts {
+            code.push(match *inst {
+                PInst::Jmp(t) => PInst::Jmp(resolve(t)),
+                PInst::Jz(t) => PInst::Jz(resolve(t)),
+                PInst::Jnz(t) => PInst::Jnz(resolve(t)),
+                PInst::BinBr {
+                    op,
+                    target,
+                    jump_if,
+                } => PInst::BinBr {
+                    op,
+                    target: resolve(target),
+                    jump_if,
+                },
+                PInst::LoadLoadBinBr {
+                    i,
+                    j,
+                    op,
+                    target,
+                    jump_if,
+                } => PInst::LoadLoadBinBr {
+                    i,
+                    j,
+                    op,
+                    target: resolve(target),
+                    jump_if,
+                },
+                PInst::LocalBinKJmp { op, i, k, target } => PInst::LocalBinKJmp {
+                    op,
+                    i,
+                    k,
+                    target: resolve(target),
+                },
+                PInst::Call { entry, .. } => PInst::Call {
+                    entry: bases[entry as usize],
+                    n_locals: module.functions[entry as usize].n_locals,
+                },
+                other => other,
+            });
         }
+    }
 
-        // Function base offsets in the flat array.
-        let mut bases = Vec::with_capacity(per_func.len());
-        let mut total = 0u32;
-        for (insts, _) in &per_func {
-            bases.push(total);
-            total += insts.len() as u32;
-        }
-
-        // Pass 2: resolve jump targets (within-function) and call targets.
-        let mut code = Vec::with_capacity(total as usize);
-        for (fi, (insts, map)) in per_func.iter().enumerate() {
-            let base = bases[fi];
-            let resolve = |t: u32| base + map[t as usize];
-            for inst in insts {
-                code.push(match *inst {
-                    PInst::Jmp(t) => PInst::Jmp(resolve(t)),
-                    PInst::Jz(t) => PInst::Jz(resolve(t)),
-                    PInst::Jnz(t) => PInst::Jnz(resolve(t)),
-                    PInst::BinBr {
-                        op,
-                        target,
-                        jump_if,
-                    } => PInst::BinBr {
-                        op,
-                        target: resolve(target),
-                        jump_if,
-                    },
-                    PInst::LoadLoadBinBr {
-                        i,
-                        j,
-                        op,
-                        target,
-                        jump_if,
-                    } => PInst::LoadLoadBinBr {
-                        i,
-                        j,
-                        op,
-                        target: resolve(target),
-                        jump_if,
-                    },
-                    PInst::LocalBinKJmp { op, i, k, target } => PInst::LocalBinKJmp {
-                        op,
-                        i,
-                        k,
-                        target: resolve(target),
-                    },
-                    PInst::Call { entry, .. } => PInst::Call {
-                        entry: bases[entry as usize],
-                        n_locals: module.functions[entry as usize].n_locals,
-                    },
-                    other => other,
-                });
-            }
-        }
-
-        Ok(PreparedModule {
+    let maps = per_func.into_iter().map(|(_, map)| map).collect();
+    Ok(PrepareArtifacts {
+        module: PreparedModule {
             name: module.name.clone(),
             version: module.version,
             n_inputs: module.n_inputs,
@@ -386,7 +399,16 @@ impl PreparedModule {
             code,
             source_hash: crate::fnv1a64(&module.to_blob().bytes),
             source_len,
-        })
+        },
+        maps,
+        bases,
+    })
+}
+
+impl PreparedModule {
+    /// The one-time pass: verify `module`, then flatten and fuse.
+    pub fn prepare(module: &Module) -> Result<Self, VerifyError> {
+        prepare_full(module).map(|a| a.module)
     }
 
     /// Admit a transferred blob: integrity check, parse, verify, prepare.
@@ -484,7 +506,7 @@ impl PreparedModule {
             });
         }
         ctx.bind(self.entry_locals as usize, self.n_outputs as usize);
-        run_prepared(self, inputs, policy, ctx)
+        crate::tier2::run_vm::<false>(self, None, inputs, policy, ctx)
     }
 }
 
@@ -494,15 +516,20 @@ impl PreparedModule {
 #[derive(Debug, Default)]
 pub struct ExecContext {
     /// Operand stack storage; `sp` lives in the interpreter loop.
-    stack: Vec<f64>,
+    pub(crate) stack: Vec<f64>,
     /// Suspended caller frames: (return pc, caller locals base).
-    frames: Vec<(u32, u32)>,
+    pub(crate) frames: Vec<(u32, u32)>,
     /// Locals arena; each frame owns a `[base, top)` window.
-    locals: Vec<f64>,
+    pub(crate) locals: Vec<f64>,
     /// Output port buffers; cleared (not freed) between runs.
-    outputs: Vec<Vec<f64>>,
+    pub(crate) outputs: Vec<Vec<f64>>,
     /// Live output port count of the last bound module.
     n_outputs: usize,
+    /// Tier-2 virtual-register frame; sized lazily per region.
+    pub(crate) regs: Vec<f64>,
+    /// Tier-2 fallback exits (region abandoned for precise stepping) taken
+    /// by the most recent run; zero on stack-tier runs.
+    pub(crate) tier2_fallbacks: u64,
 }
 
 impl ExecContext {
@@ -515,9 +542,16 @@ impl ExecContext {
         &self.outputs[..self.n_outputs]
     }
 
+    /// Tier-2 fallback exits taken by the most recent run: times a hot-loop
+    /// region was abandoned mid-flight (budget or stack headroom exhausted)
+    /// in favour of precise stack-form stepping.
+    pub fn tier2_fallbacks(&self) -> u64 {
+        self.tier2_fallbacks
+    }
+
     /// Ready the context for a run: entry locals zeroed, output buffers
     /// cleared with capacity retained.
-    fn bind(&mut self, entry_locals: usize, n_outputs: usize) {
+    pub(crate) fn bind(&mut self, entry_locals: usize, n_outputs: usize) {
         self.frames.clear();
         if self.locals.len() < entry_locals {
             self.locals.resize(entry_locals, 0.0);
@@ -531,6 +565,7 @@ impl ExecContext {
             out.clear();
         }
         self.n_outputs = n_outputs;
+        self.tier2_fallbacks = 0;
     }
 }
 
@@ -765,436 +800,6 @@ fn translate(op: Op) -> PInst {
         Op::HostIo(_) => PInst::HostIo,
         _ => unreachable!("arithmetic handled above"),
     }
-}
-
-/// The prepared-dispatch interpreter core. Exact legacy semantics: see the
-/// module docs for the fused-instruction check-ordering contract.
-fn run_prepared(
-    prepared: &PreparedModule,
-    inputs: &[&[f64]],
-    policy: &SandboxPolicy,
-    ctx: &mut ExecContext,
-) -> Result<ExecStats, TvmError> {
-    let code = &prepared.code[..];
-    let max_instr = policy.max_instructions;
-    let max_stack = policy.max_stack;
-
-    let stack = &mut ctx.stack;
-    let frames = &mut ctx.frames;
-    let locals = &mut ctx.locals;
-    let outputs = &mut ctx.outputs;
-
-    let mut pc = 0usize;
-    let mut sp = 0usize;
-    let mut max_sp = 0usize;
-    let mut instr = 0u64;
-    // Current frame's locals window is [lb, lt).
-    let mut lb = 0usize;
-    let mut lt = prepared.entry_locals as usize;
-    let mut out_cells = 0usize;
-
-    // Write `v` at `sp` after the overflow check, growing the backing
-    // buffer only the first time a depth is reached.
-    macro_rules! pushv {
-        ($v:expr) => {{
-            if sp >= max_stack {
-                return Err(TvmError::StackOverflow);
-            }
-            let v = $v;
-            if sp < stack.len() {
-                stack[sp] = v;
-            } else {
-                stack.push(v);
-            }
-            sp += 1;
-            if sp > max_sp {
-                max_sp = sp;
-            }
-        }};
-    }
-    // One extra metered source instruction inside a fused window: the
-    // legacy interpreter checks the budget before every source op.
-    macro_rules! step {
-        () => {{
-            if instr >= max_instr {
-                return Err(TvmError::BudgetExceeded);
-            }
-            instr += 1;
-        }};
-    }
-    macro_rules! underflow {
-        ($n:expr) => {{
-            if sp < $n {
-                return Err(TvmError::StackUnderflow);
-            }
-        }};
-    }
-    // Overflow check + high-water update for a push at depth `sp` inside a
-    // fused window (the write itself happens at the end of the window).
-    macro_rules! probe_push {
-        ($at:expr) => {{
-            if $at >= max_stack {
-                return Err(TvmError::StackOverflow);
-            }
-            if $at + 1 > max_sp {
-                max_sp = $at + 1;
-            }
-        }};
-    }
-
-    loop {
-        step!();
-        // pc is always in range: the verifier guarantees every function
-        // ends in a terminator and all jump targets are mapped.
-        let op = code[pc];
-        pc += 1;
-        match op {
-            PInst::Push(x) => pushv!(x),
-            PInst::Pop => {
-                underflow!(1);
-                sp -= 1;
-            }
-            PInst::Dup => {
-                underflow!(1);
-                let a = stack[sp - 1];
-                pushv!(a);
-            }
-            PInst::Swap => {
-                underflow!(2);
-                stack.swap(sp - 1, sp - 2);
-            }
-            PInst::Over => {
-                underflow!(2);
-                let a = stack[sp - 2];
-                pushv!(a);
-            }
-            PInst::Load(i) => {
-                let v = locals[lb + i as usize];
-                pushv!(v);
-            }
-            PInst::Store(i) => {
-                underflow!(1);
-                sp -= 1;
-                locals[lb + i as usize] = stack[sp];
-            }
-            PInst::Bin(op) => {
-                underflow!(2);
-                let b = stack[sp - 1];
-                let a = stack[sp - 2];
-                sp -= 1;
-                stack[sp - 1] = op.eval(a, b);
-            }
-            PInst::Un(op) => {
-                underflow!(1);
-                stack[sp - 1] = op.eval(stack[sp - 1]);
-            }
-            PInst::Jmp(t) => pc = t as usize,
-            PInst::Jz(t) => {
-                underflow!(1);
-                sp -= 1;
-                if stack[sp] == 0.0 {
-                    pc = t as usize;
-                }
-            }
-            PInst::Jnz(t) => {
-                underflow!(1);
-                sp -= 1;
-                if stack[sp] != 0.0 {
-                    pc = t as usize;
-                }
-            }
-            PInst::Call { entry, n_locals } => {
-                // `frames` holds suspended callers, so depth = len + 1.
-                if frames.len() + 1 >= policy.max_call_depth {
-                    return Err(TvmError::CallDepthExceeded);
-                }
-                frames.push((pc as u32, lb as u32));
-                lb = lt;
-                lt += n_locals as usize;
-                if locals.len() < lt {
-                    locals.resize(lt, 0.0);
-                } else {
-                    locals[lb..lt].fill(0.0);
-                }
-                pc = entry as usize;
-            }
-            PInst::Ret => match frames.pop() {
-                Some((ret_pc, caller_lb)) => {
-                    lt = lb;
-                    lb = caller_lb as usize;
-                    pc = ret_pc as usize;
-                }
-                None => break,
-            },
-            PInst::Halt => break,
-            PInst::InLen(p) => pushv!(inputs[p as usize].len() as f64),
-            PInst::InGet(p) => {
-                underflow!(1);
-                let idx = stack[sp - 1];
-                let port = inputs[p as usize];
-                match to_index(idx, port.len()) {
-                    Some(i) => stack[sp - 1] = port[i],
-                    None => {
-                        return Err(TvmError::IndexOutOfBounds {
-                            port: p,
-                            index: idx,
-                        })
-                    }
-                }
-            }
-            PInst::OutPush(p) => {
-                underflow!(1);
-                sp -= 1;
-                let v = stack[sp];
-                if out_cells >= policy.max_output_cells {
-                    return Err(TvmError::OutputLimitExceeded);
-                }
-                out_cells += 1;
-                outputs[p as usize].push(v);
-            }
-            PInst::OutSet(p) => {
-                underflow!(2);
-                let v = stack[sp - 1];
-                let idx = stack[sp - 2];
-                sp -= 2;
-                let out = &mut outputs[p as usize];
-                let i = match to_raw_index(idx) {
-                    Some(i) => i,
-                    None => {
-                        return Err(TvmError::IndexOutOfBounds {
-                            port: p,
-                            index: idx,
-                        })
-                    }
-                };
-                if i >= out.len() {
-                    let grow = i + 1 - out.len();
-                    if out_cells + grow > policy.max_output_cells {
-                        return Err(TvmError::OutputLimitExceeded);
-                    }
-                    out_cells += grow;
-                    out.resize(i + 1, 0.0);
-                }
-                out[i] = v;
-            }
-            PInst::OutLen(p) => pushv!(outputs[p as usize].len() as f64),
-            PInst::HostIo => {
-                if !policy.allow_host_io {
-                    return Err(TvmError::HostIoDenied);
-                }
-                underflow!(1);
-                stack[sp - 1] = 0.0; // simulated syscall result
-            }
-            // --- fused windows: legacy check order, see module docs ---
-            PInst::PushBin { op, k } => {
-                probe_push!(sp); // push k
-                step!(); // bin
-                underflow!(1);
-                stack[sp - 1] = op.eval(stack[sp - 1], k);
-            }
-            PInst::LoadBin { op, i } => {
-                probe_push!(sp); // push local
-                step!(); // bin
-                underflow!(1);
-                stack[sp - 1] = op.eval(stack[sp - 1], locals[lb + i as usize]);
-            }
-            PInst::LoadLoad { i, j } => {
-                probe_push!(sp);
-                step!();
-                probe_push!(sp + 1);
-                let a = locals[lb + i as usize];
-                let b = locals[lb + j as usize];
-                if sp + 2 <= stack.len() {
-                    stack[sp] = a;
-                    stack[sp + 1] = b;
-                } else {
-                    stack.truncate(sp);
-                    stack.push(a);
-                    stack.push(b);
-                }
-                sp += 2;
-            }
-            PInst::LoadInGet { i, port } => {
-                probe_push!(sp); // push local (the index)
-                step!(); // inget
-                let idx = locals[lb + i as usize];
-                let port_data = inputs[port as usize];
-                match to_index(idx, port_data.len()) {
-                    Some(k) => pushv_raw(stack, sp, port_data[k]),
-                    None => return Err(TvmError::IndexOutOfBounds { port, index: idx }),
-                }
-                sp += 1;
-            }
-            PInst::BinBr {
-                op,
-                target,
-                jump_if,
-            } => {
-                underflow!(2);
-                step!(); // jz/jnz
-                let b = stack[sp - 1];
-                let a = stack[sp - 2];
-                sp -= 2;
-                if (op.eval(a, b) != 0.0) == jump_if {
-                    pc = target as usize;
-                }
-            }
-            PInst::PushPushBin(v) => {
-                probe_push!(sp);
-                step!();
-                probe_push!(sp + 1);
-                step!(); // bin: pops both transients, pushes the folded value
-                pushv_raw(stack, sp, v);
-                sp += 1;
-            }
-            PInst::LoadLoadBinBr {
-                i,
-                j,
-                op,
-                target,
-                jump_if,
-            } => {
-                probe_push!(sp);
-                step!();
-                probe_push!(sp + 1);
-                step!(); // bin
-                step!(); // jz/jnz
-                let a = locals[lb + i as usize];
-                let b = locals[lb + j as usize];
-                if (op.eval(a, b) != 0.0) == jump_if {
-                    pc = target as usize;
-                }
-            }
-            PInst::LocalBinK { op, i, k } => {
-                probe_push!(sp); // load
-                step!(); // push k
-                probe_push!(sp + 1);
-                step!(); // bin
-                step!(); // store
-                let slot = &mut locals[lb + i as usize];
-                *slot = op.eval(*slot, k);
-            }
-            PInst::LocalBinKJmp { op, i, k, target } => {
-                probe_push!(sp); // load
-                step!(); // push k
-                probe_push!(sp + 1);
-                step!(); // bin
-                step!(); // store
-                let slot = &mut locals[lb + i as usize];
-                *slot = op.eval(*slot, k);
-                step!(); // jmp
-                pc = target as usize;
-            }
-            PInst::DupBin(op) => {
-                underflow!(1); // dup
-                probe_push!(sp);
-                step!(); // bin
-                let a = stack[sp - 1];
-                stack[sp - 1] = op.eval(a, a);
-            }
-            PInst::DupDupBinBin { op1, op2 } => {
-                underflow!(1); // first dup
-                probe_push!(sp);
-                step!(); // second dup
-                probe_push!(sp + 1);
-                step!(); // bin1
-                step!(); // bin2
-                let a = stack[sp - 1];
-                stack[sp - 1] = op2.eval(a, op1.eval(a, a));
-            }
-            PInst::PushSwapBin { op, k } => {
-                probe_push!(sp); // push k
-                step!(); // swap
-                underflow!(1); // swap needs two incl. the fused transient
-                step!(); // bin
-                let a = stack[sp - 1];
-                stack[sp - 1] = op.eval(k, a);
-            }
-            PInst::LoadInGetBin { op, i, port } => {
-                probe_push!(sp); // load pushes the index
-                step!(); // inget
-                let idx = locals[lb + i as usize];
-                let port_data = inputs[port as usize];
-                let v = match to_index(idx, port_data.len()) {
-                    Some(x) => port_data[x],
-                    None => return Err(TvmError::IndexOutOfBounds { port, index: idx }),
-                };
-                step!(); // bin
-                underflow!(1); // bin needs two incl. the fused transient
-                stack[sp - 1] = op.eval(stack[sp - 1], v);
-            }
-            PInst::LoadInGet2Bin { op, i, j, p, q } => {
-                probe_push!(sp); // load i pushes the first index
-                step!(); // inget p
-                let idx = locals[lb + i as usize];
-                let port_data = inputs[p as usize];
-                let a = match to_index(idx, port_data.len()) {
-                    Some(x) => port_data[x],
-                    None => {
-                        return Err(TvmError::IndexOutOfBounds {
-                            port: p,
-                            index: idx,
-                        })
-                    }
-                };
-                step!(); // load j
-                probe_push!(sp + 1);
-                step!(); // inget q
-                let idx = locals[lb + j as usize];
-                let port_data = inputs[q as usize];
-                let b = match to_index(idx, port_data.len()) {
-                    Some(x) => port_data[x],
-                    None => {
-                        return Err(TvmError::IndexOutOfBounds {
-                            port: q,
-                            index: idx,
-                        })
-                    }
-                };
-                step!(); // bin: both operands are fused transients
-                pushv_raw(stack, sp, op.eval(a, b));
-                sp += 1;
-            }
-            PInst::LoadBinStore { op, i, dst } => {
-                probe_push!(sp); // load
-                step!(); // bin
-                underflow!(1); // bin needs two incl. the fused transient
-                step!(); // store
-                let v = stack[sp - 1];
-                sp -= 1;
-                locals[lb + dst as usize] = op.eval(v, locals[lb + i as usize]);
-            }
-        }
-    }
-
-    Ok(ExecStats {
-        instructions: instr,
-        max_stack: max_sp,
-    })
-}
-
-/// Write at `sp` (overflow already checked), growing the buffer if this
-/// depth has never been reached. High-water update is the caller's duty.
-#[inline(always)]
-fn pushv_raw(stack: &mut Vec<f64>, sp: usize, v: f64) {
-    if sp < stack.len() {
-        stack[sp] = v;
-    } else {
-        stack.truncate(sp);
-        stack.push(v);
-    }
-}
-
-fn to_index(x: f64, len: usize) -> Option<usize> {
-    let i = to_raw_index(x)?;
-    (i < len).then_some(i)
-}
-
-fn to_raw_index(x: f64) -> Option<usize> {
-    if !x.is_finite() || x < 0.0 || x > (1u64 << 52) as f64 {
-        return None;
-    }
-    Some(x as usize)
 }
 
 #[cfg(test)]

@@ -3,7 +3,10 @@
 
 use proptest::prelude::*;
 use tvm::asm::assemble;
-use tvm::{execute, ExecContext, Function, Module, Op, PreparedModule, SandboxPolicy, TvmError};
+use tvm::{
+    execute, ExecContext, ExecTier, Function, Module, Op, PreparedModule, SandboxPolicy,
+    Tier2Module, TvmError,
+};
 
 /// Arbitrary (possibly invalid) instruction.
 fn arb_op() -> impl Strategy<Value = Op> {
@@ -168,26 +171,37 @@ fn errs_eq(a: &TvmError, b: &TvmError) -> bool {
     }
 }
 
-/// Run both paths (prepared twice, to also exercise context reuse) and
-/// describe the first divergence, if any.
+/// Run every tier (each twice, to also exercise context reuse) and
+/// describe the first divergence from legacy, if any. The N-way barrage:
+/// Legacy is ground truth; Prepared and Tier2 must reproduce its outputs
+/// bit for bit, its `ExecStats`, and its typed errors.
 fn equiv_failure(module: &Module, inputs: &[&[f64]], policy: &SandboxPolicy) -> Option<String> {
     let legacy = execute(module, inputs, policy);
     let prepared = match PreparedModule::prepare(module) {
         Ok(p) => p,
         Err(e) => return Some(format!("prepare rejected a verified module: {e}")),
     };
+    let tier2 = match Tier2Module::prepare(module) {
+        Ok(t) => t,
+        Err(e) => return Some(format!("tier2 prepare rejected a verified module: {e}")),
+    };
     let mut ctx = ExecContext::new();
     for round in 0..2 {
-        let fast = prepared.execute(inputs, policy, &mut ctx);
-        let same = match (&legacy, &fast) {
-            (Ok((lo, ls)), Ok((fo, fs))) => bits(lo) == bits(fo) && ls == fs,
-            (Err(a), Err(b)) => errs_eq(a, b),
-            _ => false,
-        };
-        if !same {
-            return Some(format!(
-                "round {round} diverged:\n  legacy   = {legacy:?}\n  prepared = {fast:?}"
-            ));
+        let runs = [
+            ("prepared", prepared.execute(inputs, policy, &mut ctx)),
+            ("tier2", tier2.execute(inputs, policy, &mut ctx)),
+        ];
+        for (tier, fast) in &runs {
+            let same = match (&legacy, fast) {
+                (Ok((lo, ls)), Ok((fo, fs))) => bits(lo) == bits(fo) && ls == fs,
+                (Err(a), Err(b)) => errs_eq(a, b),
+                _ => false,
+            };
+            if !same {
+                return Some(format!(
+                    "round {round} diverged:\n  legacy = {legacy:?}\n  {tier} = {fast:?}"
+                ));
+            }
         }
     }
     None
@@ -254,6 +268,235 @@ proptest! {
         };
         let failure = equiv_failure(&module, &slices, &policy);
         prop_assert!(failure.is_none(), "{}", failure.unwrap());
+    }
+}
+
+/// Straight-line op pool for loop bodies: no control flow, every index in
+/// range by construction, so the loop skeleton stays verifiable.
+fn arb_line_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (-100f64..100.0).prop_map(Op::Push),
+        Just(Op::Pop),
+        Just(Op::Dup),
+        Just(Op::Swap),
+        Just(Op::Over),
+        (0u16..DIFF_LOCALS).prop_map(Op::Load),
+        (0u16..DIFF_LOCALS).prop_map(Op::Store),
+        prop_oneof![
+            Just(Op::Add),
+            Just(Op::Sub),
+            Just(Op::Mul),
+            Just(Op::Div),
+            Just(Op::Min),
+            Just(Op::Max),
+        ],
+        prop_oneof![
+            Just(Op::Neg),
+            Just(Op::Abs),
+            Just(Op::Sqrt),
+            Just(Op::Floor),
+        ],
+        prop_oneof![Just(Op::Lt), Just(Op::Ge), Just(Op::Eq)],
+        (0u8..DIFF_PORTS).prop_map(Op::InLen),
+        (0u8..DIFF_PORTS).prop_map(Op::InGet),
+        (0u8..DIFF_PORTS).prop_map(Op::OutPush),
+        (0u8..DIFF_PORTS).prop_map(Op::OutLen),
+    ]
+}
+
+/// A counted while-loop over local 5 around an arbitrary straight-line
+/// body — the exact shape tier 2 hunts for. Some bodies translate to
+/// register form, others defeat the translator (stack dips below entry
+/// depth, interior traps); both kinds must agree with legacy either way.
+/// `iters == 0` exercises zero-trip loops: the region's head exit fires
+/// before any iteration retires.
+fn loop_module(iters: u8, body: Vec<Op>) -> Module {
+    let mut code = vec![Op::Push(iters as f64), Op::Store(5)];
+    let head = code.len() as u32;
+    code.push(Op::Load(5));
+    let patch = code.len();
+    code.push(Op::Jz(0)); // forward exit, target patched below
+    code.extend(body);
+    code.extend([Op::Load(5), Op::Push(1.0), Op::Sub, Op::Store(5)]);
+    code.push(Op::Jmp(head));
+    code[patch] = Op::Jz(code.len() as u32);
+    code.push(Op::Halt);
+    Module {
+        name: "loopy".into(),
+        version: 1,
+        n_inputs: DIFF_PORTS,
+        n_outputs: DIFF_PORTS,
+        functions: vec![Function {
+            name: "main".into(),
+            n_locals: DIFF_LOCALS,
+            code,
+        }],
+    }
+}
+
+proptest! {
+    /// Tier barrage over loop-shaped modules: counted loops with
+    /// arbitrary straight-line bodies, run under the standard policy.
+    /// This is the generator most likely to admit a translated region, so
+    /// every fused superinstruction path gets differential coverage.
+    #[test]
+    fn tier_barrage_on_loop_shaped_modules(
+        iters in 0u8..9,
+        body in proptest::collection::vec(arb_line_op(), 0..24),
+        lens in proptest::collection::vec(0usize..12, 3..4),
+        seed in 0u64..1000,
+    ) {
+        let module = loop_module(iters, body);
+        let buffers: Vec<Vec<f64>> = lens
+            .iter()
+            .enumerate()
+            .map(|(p, &n)| {
+                (0..n)
+                    .map(|j| (seed as f64 + p as f64 * 3.5 + j as f64 * 0.75).cos() * 20.0)
+                    .collect()
+            })
+            .collect();
+        let slices: Vec<&[f64]> = buffers.iter().map(Vec::as_slice).collect();
+        let failure = equiv_failure(&module, &slices, &SandboxPolicy::standard());
+        prop_assert!(failure.is_none(), "{}", failure.unwrap());
+    }
+
+    /// The same barrage under hostile-tight policies: budget exhaustion
+    /// must fire at the exact same source instruction whether the loop is
+    /// running in register form (bulk-charged iterations plus a precise
+    /// fallback) or stepping op by op.
+    #[test]
+    fn tier_barrage_on_loops_under_tight_policies(
+        iters in 0u8..9,
+        body in proptest::collection::vec(arb_line_op(), 0..24),
+        max_instructions in 1u64..400,
+        max_stack in 1usize..12,
+        max_output_cells in 0usize..24,
+    ) {
+        let module = loop_module(iters, body);
+        let input = [2.5, 0.0, -7.0];
+        let slices: Vec<&[f64]> = vec![&input; DIFF_PORTS as usize];
+        let policy = SandboxPolicy {
+            max_instructions,
+            max_stack,
+            max_call_depth: 4,
+            max_output_cells,
+            allow_host_io: false,
+        };
+        let failure = equiv_failure(&module, &slices, &policy);
+        prop_assert!(failure.is_none(), "{}", failure.unwrap());
+    }
+
+    /// Verification is tier-independent: for raw (unsanitized) op streams,
+    /// the standalone verifier, `PreparedModule::prepare`, and
+    /// `Tier2Module::prepare` accept or reject in lockstep, with the same
+    /// typed error.
+    #[test]
+    fn tiers_agree_on_verification_rejection(
+        bodies in proptest::collection::vec(
+            proptest::collection::vec(arb_full_op(), 1..30), 1..3),
+    ) {
+        let functions = bodies
+            .into_iter()
+            .enumerate()
+            .map(|(i, code)| Function {
+                name: format!("f{i}"),
+                n_locals: 4,
+                code,
+            })
+            .collect();
+        let module = Module {
+            name: "raw".into(),
+            version: 1,
+            n_inputs: 2,
+            n_outputs: 2,
+            functions,
+        };
+        let verdict = tvm::verify::verify(&module);
+        let prepared = PreparedModule::prepare(&module);
+        let tier2 = Tier2Module::prepare(&module);
+        match verdict {
+            Ok(()) => {
+                prop_assert!(prepared.is_ok(), "prepared rejected a verified module");
+                prop_assert!(tier2.is_ok(), "tier2 rejected a verified module");
+            }
+            Err(e) => {
+                let want = format!("{e:?}");
+                match (&prepared, &tier2) {
+                    (Err(pe), Err(te)) => {
+                        prop_assert_eq!(format!("{:?}", pe), want.clone());
+                        prop_assert_eq!(format!("{:?}", te), want);
+                    }
+                    _ => prop_assert!(false, "a tier accepted a rejected module"),
+                }
+            }
+        }
+    }
+
+    /// Batched execution over K jobs is observationally identical to K
+    /// sequential single-job runs, for both Prepared and Tier2: same
+    /// outputs bit for bit, same per-job `ExecStats`, and failures land at
+    /// the same batch positions with the same typed errors (a mid-batch
+    /// error must not disturb its neighbours).
+    #[test]
+    fn batch_over_k_equals_k_sequential(
+        bodies in proptest::collection::vec(
+            proptest::collection::vec(arb_full_op(), 1..40), 1..3),
+        job_lens in proptest::collection::vec(0usize..10, 1..6),
+        max_instructions in 50u64..3_000,
+        seed in 0u64..1000,
+    ) {
+        let module = diff_module(bodies);
+        let buffers: Vec<Vec<Vec<f64>>> = job_lens
+            .iter()
+            .enumerate()
+            .map(|(j, &n)| {
+                (0..DIFF_PORTS as usize)
+                    .map(|p| {
+                        (0..n)
+                            .map(|i| {
+                                (seed as f64 + j as f64 * 11.0 + p as f64 * 3.0 + i as f64).sin()
+                                    * 40.0
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let ports: Vec<Vec<&[f64]>> = buffers
+            .iter()
+            .map(|job| job.iter().map(Vec::as_slice).collect())
+            .collect();
+        let jobs: Vec<&[&[f64]]> = ports.iter().map(Vec::as_slice).collect();
+        let policy = SandboxPolicy {
+            max_instructions,
+            max_stack: 16,
+            max_call_depth: 4,
+            max_output_cells: 64,
+            allow_host_io: false,
+        };
+        let prepared = PreparedModule::prepare(&module).unwrap();
+        let tier2 = Tier2Module::prepare(&module).unwrap();
+        let tiers: [&dyn ExecTier; 2] = [&prepared, &tier2];
+        for tier in tiers {
+            let mut batch_ctx = ExecContext::new();
+            let batch = tier.execute_batch(&jobs, &policy, &mut batch_ctx);
+            prop_assert_eq!(batch.len(), jobs.len());
+            let mut seq_ctx = ExecContext::new();
+            for (j, job) in jobs.iter().enumerate() {
+                let solo = tier.execute(job, &policy, &mut seq_ctx);
+                let same = match (&batch[j], &solo) {
+                    (Ok((bo, bs)), Ok((so, ss))) => bits(bo) == bits(so) && bs == ss,
+                    (Err(a), Err(b)) => errs_eq(a, b),
+                    _ => false,
+                };
+                prop_assert!(
+                    same,
+                    "tier {} job {j} diverged:\n  batch = {:?}\n  solo  = {:?}",
+                    tier.tier_name(), batch[j], solo
+                );
+            }
+        }
     }
 }
 
