@@ -22,7 +22,7 @@ fn advert_cache(n: usize) -> Vec<Advertisement> {
                     services: vec![if i % 6 == 0 { "triana" } else { "data-access" }.into()],
                 }),
                 1 => AdvertBody::Module(ModuleAdvert {
-                    name: format!("Mod{}", i % 17),
+                    name: format!("Mod{}", i % 17).into(),
                     version: 1 + (i % 4) as u32,
                     hash: rng.next_u64(),
                     size_bytes: 4_096,

@@ -1,0 +1,101 @@
+//! Pooled vs allocating wire codec cost. The pooled path (thread-local
+//! buffer pool, `encode_into`) is what the socket transmit path and the
+//! smoke harness use; the allocating path (`encode` returning a fresh
+//! `Vec`) is the baseline it replaced. Measuring both side by side keeps
+//! the pool honest: if the pooled path ever gets slower than just
+//! allocating, the complexity is no longer paying for itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netsim::Pcg32;
+use p2p::{LookupId, Message, PeerId, QueryId, QueryKind};
+
+/// A fixed, seeded message corpus spanning the hot message shapes: small
+/// control traffic (queries), mid-size routed replies, and publishes.
+fn corpus() -> Vec<Message> {
+    let mut rng = Pcg32::new(0x9E4F, 0x77);
+    let mut msgs = Vec::new();
+    for round in 0..32u64 {
+        msgs.push(Message::Query {
+            id: QueryId(round),
+            origin: PeerId(rng.below(1_000) as u32),
+            prev_hop: PeerId(rng.below(1_000) as u32),
+            ttl: 6,
+            kind: QueryKind::ByService("triana".into()),
+        });
+        msgs.push(Message::FindNodeReply {
+            lid: LookupId(round),
+            from: PeerId(rng.below(1_000) as u32),
+            closer: (0..16).map(|i| (rng.next_u64(), PeerId(i))).collect(),
+        });
+    }
+    msgs
+}
+
+fn bench_wire_pool(c: &mut Criterion) {
+    let msgs = corpus();
+    let mut g = c.benchmark_group("wire_codec");
+    g.throughput(Throughput::Elements(msgs.len() as u64));
+
+    g.bench_with_input(
+        BenchmarkId::new("encode", "allocating"),
+        &msgs,
+        |b, msgs| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for msg in msgs {
+                    total += msg.encode().len();
+                }
+                total
+            })
+        },
+    );
+    g.bench_with_input(BenchmarkId::new("encode", "pooled"), &msgs, |b, msgs| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for msg in msgs {
+                total += p2p::wire::with_buf(|buf| {
+                    msg.encode_into(buf);
+                    buf.len()
+                });
+            }
+            total
+        })
+    });
+
+    // Decode reads from a borrowed slice either way; the pooled variant
+    // measures the full round-trip as the smoke harness drives it.
+    let encoded: Vec<Vec<u8>> = msgs.iter().map(Message::encode).collect();
+    g.bench_with_input(
+        BenchmarkId::new("decode", "allocating"),
+        &encoded,
+        |b, encoded| {
+            b.iter(|| {
+                let mut ok = 0usize;
+                for bytes in encoded {
+                    ok += Message::decode(bytes).is_ok() as usize;
+                }
+                ok
+            })
+        },
+    );
+    g.bench_with_input(
+        BenchmarkId::new("round_trip", "pooled"),
+        &msgs,
+        |b, msgs| {
+            b.iter(|| {
+                let mut ok = 0usize;
+                for msg in msgs {
+                    ok += p2p::wire::with_buf(|buf| {
+                        msg.encode_into(buf);
+                        Message::decode(buf).is_ok() as usize
+                    });
+                }
+                ok
+            })
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_wire_pool);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Counting global allocator for the zero-allocation gates.
+//!
+//! The perf harness claims several hot loops are allocation-free in
+//! steady state (the netsim pop/dispatch loop, the prepared-kernel exec
+//! loop, pooled wire encoding). Claims like that rot silently: one
+//! innocent `clone()` added two layers down re-introduces a per-event
+//! allocation and nothing fails. This module makes the claim testable: a
+//! thin wrapper around the system allocator counts allocation *events*
+//! (alloc, alloc_zeroed, realloc) per thread, and
+//! [`count_allocations`] measures exactly the closure it is given.
+//!
+//! The counter is thread-local, so parallel test threads and background
+//! work never pollute a measurement, and reading it costs nothing on the
+//! allocation fast path beyond one TLS increment. Deallocations are not
+//! counted — the gates care about steady-state allocation pressure, and
+//! a loop that allocates nothing has nothing to free.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOC_EVENTS: Cell<u64> = const { Cell::new(0) };
+}
+
+#[inline]
+fn bump() {
+    // `try_with` so allocations during TLS teardown (thread exit paths)
+    // silently skip the counter instead of aborting.
+    let _ = ALLOC_EVENTS.try_with(|c| c.set(c.get() + 1));
+}
+
+/// System allocator plus a per-thread allocation-event counter.
+pub struct CountingAlloc;
+
+// SAFETY: defers every operation to `System`; the counter update performs
+// no allocation (const-initialised TLS `Cell`).
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocation events so far on this thread.
+pub fn allocation_events() -> u64 {
+    ALLOC_EVENTS.try_with(|c| c.get()).unwrap_or(0)
+}
+
+/// Run `f` and return how many allocation events it performed on this
+/// thread, along with its result. The result is passed through
+/// `black_box` so the measured work cannot be optimised away.
+pub fn count_allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = allocation_events();
+    let r = std::hint::black_box(f());
+    (allocation_events() - before, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_an_allocation() {
+        let (n, v) = count_allocations(|| Vec::<u8>::with_capacity(64));
+        assert!(n >= 1, "a fresh Vec must count at least one event");
+        drop(v);
+    }
+
+    #[test]
+    fn pure_arithmetic_counts_zero() {
+        let (n, s) = count_allocations(|| (0u64..1000).fold(0u64, u64::wrapping_add));
+        assert_eq!(n, 0, "arithmetic loop must not allocate");
+        assert_eq!(s, 499_500);
+    }
+
+    #[test]
+    fn reused_capacity_counts_zero() {
+        let mut buf: Vec<u64> = Vec::with_capacity(1024);
+        let (n, _) = count_allocations(|| {
+            for round in 0..100u64 {
+                buf.clear();
+                buf.extend(0..512u64);
+                std::hint::black_box(buf.iter().sum::<u64>() + round);
+            }
+        });
+        assert_eq!(n, 0, "cleared Vec with capacity must not allocate");
+    }
+}

@@ -77,5 +77,19 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        // Wall-clock sanity on top of the counter gate: the calendar
+        // queue must never lose to the legacy binary heap it replaced.
+        // This is the one volatile number the gate enforces, and only as
+        // a one-sided bound — measured speedups sit well above it, so a
+        // failure means a real regression, not scheduler noise.
+        let speedup = report.heap_queue_ns_per_event / report.queue_ns_per_event;
+        if speedup < 1.0 {
+            eprintln!(
+                "gate: calendar queue slower than binary heap \
+                 (speedup {speedup:.2}, must be >= 1.0)"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("gate: calendar_vs_heap_speedup {speedup:.2} >= 1.0");
     }
 }

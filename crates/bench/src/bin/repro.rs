@@ -7,6 +7,7 @@
 //! repro --list               # list experiment ids
 //! repro --quick              # seeded observability smoke only (CI)
 //! repro e15 --quick          # CI-sized variant of an experiment (e15 only)
+//! repro e15 --million        # million-peer lookup phase (10^5 with --quick)
 //! repro --metrics-out FILE   # also dump the metrics JSON snapshot
 //! ```
 
@@ -85,6 +86,25 @@ fn main() {
     } else {
         false
     };
+    let million = if let Some(i) = args.iter().position(|a| a == "--million") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    if million {
+        let only_e15 = args.len() == 1 && args[0].eq_ignore_ascii_case("e15");
+        if !(args.is_empty() || only_e15) {
+            eprintln!("--million applies to e15 only (usage: repro e15 --million [--quick])");
+            std::process::exit(2);
+        }
+        if metrics_out.is_some() {
+            eprintln!("--metrics-out requires --quick without --million");
+            std::process::exit(2);
+        }
+        println!("{}", bench::e15_overlay_scale::report_million(quick));
+        return;
+    }
     if quick && args.is_empty() {
         let observer = obs::Obs::enabled();
         bench::smoke::run(&observer);

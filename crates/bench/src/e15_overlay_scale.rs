@@ -256,6 +256,68 @@ fn render(scale: &[ScalePoint], routed: ScalePoint, flooded: ScalePoint, label: 
     )
 }
 
+/// One million-mode lookup phase: build a routed world of `n` peers,
+/// publish the usual 5% providers, run one query batch, and return the
+/// point plus the total simulator events processed.
+pub fn million_run(n: usize, queries: usize, seed: u64) -> (ScalePoint, u64) {
+    let (mut sim, mut net, mut p2p, mut rng, _order) = build_world(n, DiscoveryMode::Routed, seed);
+    let pt = query_batch(&mut sim, &mut net, &mut p2p, &mut rng, queries, "million");
+    (pt, sim.processed())
+}
+
+#[cfg(target_os = "linux")]
+fn peak_rss_kib() -> Option<u64> {
+    let s = std::fs::read_to_string("/proc/self/status").ok()?;
+    s.lines()
+        .find(|l| l.starts_with("VmHWM:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+#[cfg(not(target_os = "linux"))]
+fn peak_rss_kib() -> Option<u64> {
+    None
+}
+
+/// The ROADMAP's million-peer north star: a full lookup phase over 10⁶
+/// routed peers (10⁵ in quick mode). Everything printed to *stdout* is
+/// deterministic — CI runs the quick variant twice and `cmp`s — while the
+/// volatile numbers (wall clock, events/s, peak RSS) go to stderr.
+pub fn report_million(quick: bool) -> String {
+    let (n, queries, label) = if quick {
+        (100_000, 100, "quick, 10^5 peers")
+    } else {
+        (1_000_000, 200, "full, 10^6 peers")
+    };
+    let t0 = std::time::Instant::now();
+    let (pt, events) = million_run(n, queries, 150);
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(
+        pt.found * 100 >= pt.queries * 97,
+        "million-peer lookup phase must resolve >=97% of queries ({}/{})",
+        pt.found,
+        pt.queries
+    );
+    eprintln!(
+        "e15 million ({label}): {events} sim events in {wall:.1}s wall ({:.0} events/s){}",
+        events as f64 / wall,
+        match peak_rss_kib() {
+            Some(kib) => format!(", peak RSS {} MiB", kib / 1024),
+            None => String::new(),
+        }
+    );
+    format!(
+        "E15 Million-peer overlay lookup phase ({label})\n\
+         (5% providers; one routed query batch; hop budget = ceil(log2 n)+2)\n\n\
+         {}\nfound rate: {}/{} queries resolved a provider\n",
+        table::render(&HEADERS, &rows(&[pt])),
+        pt.found,
+        pt.queries,
+    )
+}
+
 /// The full reproduction: 10⁵ routed peers under churn, plus the
 /// routed-vs-flooded cost comparison at 10⁴.
 pub fn report() -> String {

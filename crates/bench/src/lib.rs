@@ -6,6 +6,7 @@
 //! string (printed by the `repro` binary). EXPERIMENTS.md records
 //! paper-vs-measured for every entry.
 
+pub mod alloc;
 pub mod e01_figure2_snr;
 pub mod e02_taskgraph_overhead;
 pub mod e03_galaxy_speedup;

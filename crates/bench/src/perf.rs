@@ -102,6 +102,22 @@ pub struct FarmPerf {
     pub resident_ns_per_exec: f64,
 }
 
+/// Steady-state allocation events on the hot paths, measured with the
+/// counting global allocator in [`crate::alloc`]. Deterministic: every
+/// loop is seeded and fixed-length, and each is zero-allocation by
+/// design — a regression shows up as a nonzero count, which the gate
+/// rejects against a zero baseline (any drift from zero is infinite).
+pub struct AllocCounts {
+    /// Calendar-queue pop/push churn after bucket capacities warm up.
+    pub queue_pop_dispatch: u64,
+    /// E3 SPH kernel through the tier-2 exec loop with a reused context.
+    pub e03_prepared_exec: u64,
+    /// E4 matched filter through the same loop.
+    pub e04_prepared_exec: u64,
+    /// `Message::encode_into` through a warm thread-local scratch pool.
+    pub wire_pooled_encode: u64,
+}
+
 /// One full harness run.
 pub struct PerfReport {
     pub mode: &'static str,
@@ -111,6 +127,7 @@ pub struct PerfReport {
     /// Pop-schedule digest of the queue churn — identical between the
     /// calendar queue and the legacy heap, byte-stable across runs.
     pub queue_digest: u64,
+    pub alloc: AllocCounts,
     pub farm: FarmPerf,
     // Volatile.
     pub queue_ns_per_event: f64,
@@ -269,6 +286,85 @@ fn heap_churn(events: u64) -> u64 {
     acc
 }
 
+/// Measure steady-state allocation events on each hot path. Every loop
+/// runs a warmup pass first so one-time capacity growth (queue buckets,
+/// exec-context buffers, the scratch pool) is excluded; what remains is
+/// the per-event allocation pressure, which must be zero.
+fn alloc_counts(radii: &[f64], signal: &[f64], template: &[f64]) -> AllocCounts {
+    // Netsim pop/dispatch loop: same churn shape as `queue_churn`.
+    let queue_pop_dispatch = {
+        let mut rng = Pcg32::new(0xE7E7, 0x51);
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for i in 0..256u64 {
+            q.push(SimTime(rng.below(1_000)), i);
+        }
+        let churn = |q: &mut EventQueue<u64>, rng: &mut Pcg32, n: u64| -> u64 {
+            let mut acc = 0u64;
+            for i in 0..n {
+                let (at, ev) = q.pop().expect("backlog never empties");
+                acc = acc.wrapping_add(ev.wrapping_mul(at.as_micros() | 1));
+                q.push(SimTime(at.as_micros() + 1 + rng.below(1_000)), i);
+            }
+            acc
+        };
+        std::hint::black_box(churn(&mut q, &mut rng, 50_000));
+        let (n, acc) = crate::alloc::count_allocations(|| churn(&mut q, &mut rng, 50_000));
+        std::hint::black_box(acc);
+        n
+    };
+    // Prepared-kernel exec loop: reused context, stats-only entry point.
+    let kernel_steady = |src: &str, inputs: &[&[f64]]| -> u64 {
+        let module = assemble(src).expect("kernel assembles");
+        let policy = SandboxPolicy::standard();
+        let tier2 = Tier2Module::prepare(&module).expect("kernel verifies");
+        let mut ctx = ExecContext::new();
+        tier2.run(inputs, &policy, &mut ctx).expect("warmup runs");
+        let (n, _) = crate::alloc::count_allocations(|| {
+            for _ in 0..8 {
+                tier2.run(inputs, &policy, &mut ctx).expect("runs");
+            }
+        });
+        n
+    };
+    let e03_prepared_exec = kernel_steady(E03_SPH_KERNEL, &[radii]);
+    let e04_prepared_exec = kernel_steady(E04_MATCHED_FILTER, &[signal, template]);
+    // Pooled wire encode: a representative reply message through the
+    // thread-local scratch pool.
+    let wire_pooled_encode = {
+        let msg = p2p::Message::FindNodeReply {
+            lid: p2p::LookupId(7),
+            from: p2p::PeerId(3),
+            closer: (0..16u32)
+                .map(|i| {
+                    (
+                        u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        p2p::PeerId(i),
+                    )
+                })
+                .collect(),
+        };
+        p2p::wire::with_buf(|buf| {
+            msg.encode_into(buf);
+            std::hint::black_box(buf.len())
+        });
+        let (n, _) = crate::alloc::count_allocations(|| {
+            for _ in 0..64 {
+                p2p::wire::with_buf(|buf| {
+                    msg.encode_into(buf);
+                    std::hint::black_box(buf.len())
+                });
+            }
+        });
+        n
+    };
+    AllocCounts {
+        queue_pop_dispatch,
+        e03_prepared_exec,
+        e04_prepared_exec,
+        wire_pooled_encode,
+    }
+}
+
 fn farm_perf(reps: u64) -> FarmPerf {
     let t0 = Instant::now();
     let mut world = GridWorld::new(SEED, DiscoveryMode::Flooding);
@@ -381,6 +477,7 @@ fn run_with(mode: &'static str, reps: u64) -> PerfReport {
         time_ns(reps.clamp(1, 20), || queue_churn(QUEUE_EVENTS)) / QUEUE_EVENTS as f64;
     let heap_queue_ns_per_event =
         time_ns(reps.clamp(1, 20), || heap_churn(QUEUE_EVENTS)) / QUEUE_EVENTS as f64;
+    let alloc = alloc_counts(&radii, &signal, &template);
     let farm = farm_perf(reps);
     PerfReport {
         mode,
@@ -388,6 +485,7 @@ fn run_with(mode: &'static str, reps: u64) -> PerfReport {
         discovery_events,
         queue_events: QUEUE_EVENTS,
         queue_digest,
+        alloc,
         farm,
         queue_ns_per_event,
         heap_queue_ns_per_event,
@@ -424,6 +522,12 @@ impl PerfReport {
             "}},\"netsim\":{{\"discovery_events_processed\":{},\"queue_events\":{},\
              \"queue_digest\":\"{:#018x}\"}}",
             self.discovery_events, self.queue_events, self.queue_digest
+        ));
+        let a = &self.alloc;
+        s.push_str(&format!(
+            ",\"alloc\":{{\"queue_pop_dispatch\":{},\"e03_prepared_exec\":{},\
+             \"e04_prepared_exec\":{},\"wire_pooled_encode\":{}}}",
+            a.queue_pop_dispatch, a.e03_prepared_exec, a.e04_prepared_exec, a.wire_pooled_encode,
         ));
         let f = &self.farm;
         s.push_str(&format!(
@@ -537,6 +641,11 @@ impl PerfReport {
             self.heap_queue_ns_per_event / self.queue_ns_per_event,
             self.discovery_events,
             self.discovery_round_ns / 1e3,
+        ));
+        let a = &self.alloc;
+        out.push_str(&format!(
+            "steady-state allocs: queue {} / e03 exec {} / e04 exec {} / pooled encode {}\n",
+            a.queue_pop_dispatch, a.e03_prepared_exec, a.e04_prepared_exec, a.wire_pooled_encode,
         ));
         out.push_str(&format!(
             "farm e2e: {} jobs, makespan {} us (virtual), {:.1} ms wall; \
@@ -665,6 +774,21 @@ mod tests {
     #[test]
     fn calendar_and_heap_pop_identical_schedules() {
         assert_eq!(queue_churn(10_000), heap_churn(10_000));
+    }
+
+    #[test]
+    fn hot_loops_do_not_allocate() {
+        let mut rng = Pcg32::new(SEED, 0x03);
+        let radii: Vec<f64> = (0..KERNEL_INPUT_LEN)
+            .map(|_| rng.range_f64(0.0, 2.0))
+            .collect();
+        let signal: Vec<f64> = (0..KERNEL_INPUT_LEN).map(|_| rng.normal()).collect();
+        let template: Vec<f64> = (0..KERNEL_INPUT_LEN).map(|_| rng.normal()).collect();
+        let a = alloc_counts(&radii, &signal, &template);
+        assert_eq!(a.queue_pop_dispatch, 0, "queue pop/dispatch allocated");
+        assert_eq!(a.e03_prepared_exec, 0, "e03 exec loop allocated");
+        assert_eq!(a.e04_prepared_exec, 0, "e04 exec loop allocated");
+        assert_eq!(a.wire_pooled_encode, 0, "pooled wire encode allocated");
     }
 
     #[test]

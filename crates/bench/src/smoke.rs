@@ -288,6 +288,9 @@ fn transport_stage(observer: &Obs) {
         "retransmitted frame must arrive once the peer is back"
     );
     assert!(net.counters(Endpoint(1)).retransmits > 0);
+    // Fold the frame-payload arena counters into the snapshot: the retry
+    // recycled the first frame's slot, so `netsim.payload_reuses` moves.
+    net.publish_arena_stats();
 
     // Durable-restart segment: the same farm runs cold then warm over one
     // set of durable store directories, so `transport.recovered_chunks`
@@ -331,6 +334,55 @@ fn transport_stage(observer: &Obs) {
     }
 }
 
+fn wire_stage(observer: &Obs) {
+    // Pooled wire-codec segment: encode a deterministic message corpus
+    // through the thread-local scratch pool and decode it back. The pool
+    // is fully reset first so repeated runs on one thread count identical
+    // cold-start misses; the rest of the loop is all hits, giving the
+    // snapshot stable nonzero values for both counters.
+    p2p::wire::buf_pool_reset();
+    let expires = SimTime::from_secs(3600);
+    let mut rng = Pcg32::new(SEED, 0x3B);
+    for round in 0..32u64 {
+        let msgs = [
+            p2p::Message::Query {
+                id: p2p::QueryId(round),
+                origin: p2p::PeerId(1),
+                prev_hop: p2p::PeerId(2),
+                ttl: 4,
+                kind: QueryKind::ByService("triana".into()),
+            },
+            p2p::Message::Publish {
+                advert: Advertisement {
+                    body: AdvertBody::Peer(PeerAdvert {
+                        peer: p2p::PeerId(rng.below(64) as u32),
+                        cpu_ghz: 2.5,
+                        free_ram_mib: 512,
+                        services: vec!["triana".into(), "data-access".into()],
+                    }),
+                    expires,
+                },
+            },
+            p2p::Message::FindNodeReply {
+                lid: p2p::LookupId(round),
+                from: p2p::PeerId(3),
+                closer: (0..8).map(|i| (rng.next_u64(), p2p::PeerId(i))).collect(),
+            },
+        ];
+        for msg in &msgs {
+            let decoded = p2p::wire::with_buf(|buf| {
+                msg.encode_into(buf);
+                p2p::Message::decode(buf).expect("round-trip")
+            });
+            assert_eq!(&decoded, msg);
+        }
+    }
+    let stats = p2p::wire::buf_pool_stats();
+    assert!(stats.hits > stats.misses, "steady state must be pool hits");
+    observer.add("wire.buf_pool_hits", stats.hits);
+    observer.add("wire.buf_pool_misses", stats.misses);
+}
+
 /// Run the full smoke scenario into `observer` (which must be enabled for
 /// the snapshot to exist, but a disabled handle still exercises every
 /// subsystem).
@@ -340,6 +392,7 @@ pub fn run(observer: &Obs) {
     discovery_stage(observer);
     tvm_stage(observer);
     transport_stage(observer);
+    wire_stage(observer);
 }
 
 /// Human-readable report over the counters the scenario is expected to move.
@@ -381,6 +434,10 @@ pub fn report_with(observer: &Obs) -> String {
         "transport.retransmits",
         "transport.acks",
         "transport.recovered_chunks",
+        "netsim.payload_allocs",
+        "netsim.payload_reuses",
+        "wire.buf_pool_hits",
+        "wire.buf_pool_misses",
         "net.transfers",
         "xml.parses",
     ] {
@@ -428,6 +485,10 @@ mod tests {
             "transport.retransmits",
             "transport.acks",
             "transport.recovered_chunks",
+            "netsim.payload_allocs",
+            "netsim.payload_reuses",
+            "wire.buf_pool_hits",
+            "wire.buf_pool_misses",
             "net.transfers",
             "xml.parses",
         ] {

@@ -20,15 +20,15 @@ use crate::grid::{GridEvent, GridWorld};
 pub struct TrianaService {
     pub peer: PeerId,
     /// Service names offered (always includes `"triana"`).
-    pub services: Vec<String>,
+    pub services: Vec<p2p::Sym>,
     pub policy: ResourcePolicy,
     pub ledger: BillingLedger,
 }
 
 impl TrianaService {
     pub fn new(peer: PeerId, extra_services: &[&str], policy: ResourcePolicy) -> Self {
-        let mut services = vec!["triana".to_string()];
-        services.extend(extra_services.iter().map(|s| s.to_string()));
+        let mut services = vec![p2p::Sym::new("triana")];
+        services.extend(extra_services.iter().map(|s| p2p::Sym::new(s)));
         TrianaService {
             peer,
             services,
@@ -174,7 +174,7 @@ impl TrianaController {
     ) -> Result<Vec<PeerId>, String> {
         let mut bound = Vec::with_capacity(service_names.len());
         for name in service_names {
-            let q = self.discover(world, QueryKind::ByService(name.to_string()), ttl);
+            let q = self.discover(world, QueryKind::ByService((*name).into()), ttl);
             self.drain(world);
             match self.select(world, q, how) {
                 Some(p) => bound.push(p),

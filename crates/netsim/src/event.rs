@@ -95,24 +95,102 @@ impl<Ev> BinaryHeapQueue<Ev> {
 /// Minimum and maximum bucket-array sizes. The array is always a power of
 /// two so the `% nbuckets` in the index computation compiles to a mask.
 const MIN_BUCKETS: usize = 16;
+
+/// Capacity seeded into a bucket on first use (see `push`). At the tuned
+/// ~2-entry average occupancy, the chance of any bucket ever exceeding
+/// this is negligible (Poisson tail ~1e-17 per fill), so steady-state
+/// churn never grows a bucket; the cost is bounded at 24 entries per
+/// *touched* bucket.
+const BUCKET_RESERVE: usize = 24;
+
 const MAX_BUCKETS: usize = 1 << 20;
+
+/// A bucket entry carries its sort key inline so ordering decisions
+/// (binary search on push, window checks on pop) never touch the payload
+/// slab — the slab is read exactly once per event, when it pops.
+#[derive(Clone, Copy)]
+struct Entry {
+    at: u64,
+    seq: u64,
+    idx: u32,
+}
+
+impl Entry {
+    #[inline]
+    fn key(self) -> (u64, u64) {
+        (self.at, self.seq)
+    }
+}
+
+/// Sentinel for "no slot" in the intrusive free chain.
+const NO_SLOT: u32 = u32::MAX;
+
+impl Entry {
+    /// Sentinel meaning "queue empty" for the cached minimum: the
+    /// maximal key, so any real entry's key compares below it.
+    const NONE: Entry = Entry {
+        at: u64::MAX,
+        seq: u64::MAX,
+        idx: NO_SLOT,
+    };
+}
+
+/// One payload arena slot: a live event, or — while free — the index of
+/// the next free slot. Which variant is live is tracked structurally (see
+/// the safety invariants on [`EventQueue`]), never read blind.
+union Slot<Ev> {
+    payload: std::mem::ManuallyDrop<Ev>,
+    link: u32,
+}
 
 /// A standalone priority queue of timestamped events (earliest first,
 /// FIFO among equal timestamps), implemented as a calendar queue over an
-/// arena-backed event slab.
+/// arena-backed payload slab.
+///
+/// Hot-path layout (see DESIGN.md "Hot-path memory layout"):
+/// - The bucket width is always a power of two, stored as `shift`, so the
+///   bucket index is a shift+mask instead of a 64-bit division (the
+///   division cost three ~25-cycle `div`s per event in the previous
+///   layout — push, pop, and the next-min scan each paid one).
+/// - Buckets hold `Entry { at, seq, idx }` with the key inline; the
+///   payload slab is only dereferenced on pop, exactly once per event.
+/// - The cached global minimum stores the full entry, making `peek_time`
+///   a field read.
+///
+/// At steady state (stable population, no resizes) push and pop allocate
+/// nothing: slots recycle through `free` and bucket vectors keep their
+/// capacity.
+///
+/// # Safety invariants
+///
+/// The `unsafe` in push/pop rests on two structural invariants:
+/// 1. `buckets.len()` is always a power of two, so any index masked with
+///    `buckets.len() - 1` is in bounds.
+/// 2. Every slot index `0..slab.len()` is at all times either *live*
+///    (appears in exactly one bucket entry; the slot holds an initialised
+///    payload) or *free* (reachable from `free_head` through the
+///    intrusive link chain; the slot holds a link). Pop moves the payload
+///    out and overwrites the slot with a link; push overwrites the link
+///    with a fresh payload before the index re-enters any bucket.
 pub struct EventQueue<Ev> {
-    /// Arena of scheduled events; `None` slots are free.
-    slab: Vec<Option<Scheduled<Ev>>>,
-    /// Free slot indices available for reuse.
-    free: Vec<u32>,
-    /// `buckets[i]` holds slot indices with `(at / width) % nbuckets == i`,
+    /// Arena of event payloads, occupancy governed by invariant 2. Free
+    /// slots double as the free list's links, so recycling a slot touches
+    /// only memory the push/pop already touches for the payload itself.
+    slab: Vec<Slot<Ev>>,
+    /// Head of the intrusive free-slot chain (`NO_SLOT` when empty).
+    free_head: u32,
+    /// `buckets[i]` holds entries with `(at >> shift) % nbuckets == i`,
     /// sorted *descending* by `(at, seq)` so the minimum pops from the end.
-    buckets: Vec<Vec<u32>>,
-    /// Bucket width in microseconds (≥ 1).
-    width: u64,
-    /// Cached slot index of the global minimum event, kept current on
-    /// every push/pop so `peek_time` is O(1) and `&self`.
-    next: Option<u32>,
+    buckets: Vec<Vec<Entry>>,
+    /// log2 of the bucket width in microseconds (width = `1 << shift`).
+    shift: u32,
+    /// Cached `buckets.len() - 1` (invariant 1 makes this a valid mask).
+    mask: usize,
+    /// Cached `(1 << shift) - 1`: masks a timestamp to its window offset.
+    tmask: u64,
+    /// Cached global minimum entry (`Entry::NONE` when empty), kept
+    /// current on every push/pop so `peek_time` is O(1) and `&self`.
+    next: Entry,
     len: usize,
     next_seq: u64,
 }
@@ -121,12 +199,28 @@ impl<Ev> Default for EventQueue<Ev> {
     fn default() -> Self {
         EventQueue {
             slab: Vec::new(),
-            free: Vec::new(),
+            free_head: NO_SLOT,
             buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
-            width: 1024,
-            next: None,
+            shift: 10,
+            mask: MIN_BUCKETS - 1,
+            tmask: (1 << 10) - 1,
+            next: Entry::NONE,
             len: 0,
             next_seq: 0,
+        }
+    }
+}
+
+impl<Ev> Drop for EventQueue<Ev> {
+    fn drop(&mut self) {
+        // Slab slots are unions, so live payloads must be dropped by
+        // hand: the bucket entries are the authoritative occupancy map.
+        for bucket in &self.buckets {
+            for ent in bucket {
+                // SAFETY: every bucket entry indexes a live slab slot
+                // (invariant 2), each exactly once.
+                unsafe { std::mem::ManuallyDrop::drop(&mut self.slab[ent.idx as usize].payload) };
+            }
         }
     }
 }
@@ -137,78 +231,134 @@ impl<Ev> EventQueue<Ev> {
     }
 
     #[inline]
-    fn bucket_of(&self, at: SimTime) -> usize {
-        ((at.0 / self.width) as usize) & (self.buckets.len() - 1)
+    fn bucket_of(&self, at: u64) -> usize {
+        ((at >> self.shift) as usize) & self.mask
     }
 
     #[inline]
-    fn key(&self, idx: u32) -> (SimTime, u64) {
-        let s = self.slab[idx as usize].as_ref().expect("live slot");
-        (s.at, s.seq)
-    }
-
-    /// Insert a slot index into its bucket, keeping the bucket sorted
-    /// descending by `(at, seq)`. Buckets average O(1) entries when the
-    /// width is tuned, so the binary search + shift is cheap.
-    fn insert_into_bucket(&mut self, idx: u32) {
-        let b = self.bucket_of(self.slab[idx as usize].as_ref().expect("live").at);
-        let k = self.key(idx);
-        let bucket = &self.buckets[b];
-        // Descending order: find the first position whose key is < k.
-        let pos = bucket.partition_point(|&o| {
-            let ok = {
-                let s = self.slab[o as usize].as_ref().expect("live slot");
-                (s.at, s.seq)
-            };
-            ok > k
-        });
-        self.buckets[b].insert(pos, idx);
-    }
-
     pub fn push(&mut self, at: SimTime, ev: Ev) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let idx = match self.free.pop() {
-            Some(i) => {
-                self.slab[i as usize] = Some(Scheduled { at, seq, ev });
-                i
-            }
-            None => {
-                let i = self.slab.len() as u32;
-                self.slab.push(Some(Scheduled { at, seq, ev }));
-                i
-            }
+        let idx = if self.free_head != NO_SLOT {
+            let i = self.free_head;
+            // SAFETY: the free chain only ever holds indices < slab.len(),
+            // and a free slot holds a link (invariant 2). Assigning the
+            // payload field drops nothing (`ManuallyDrop`).
+            let slot = unsafe { self.slab.get_unchecked_mut(i as usize) };
+            self.free_head = unsafe { slot.link };
+            slot.payload = std::mem::ManuallyDrop::new(ev);
+            i
+        } else {
+            let i = self.slab.len() as u32;
+            self.slab.push(Slot {
+                payload: std::mem::ManuallyDrop::new(ev),
+            });
+            i
         };
+        let ent = Entry { at: at.0, seq, idx };
         self.len += 1;
-        self.insert_into_bucket(idx);
-        match self.next {
-            Some(n) if self.key(n) <= (at, seq) => {}
-            _ => self.next = Some(idx),
+        // Keep the bucket sorted descending by (at, seq). Buckets average
+        // O(1) entries when the width is tuned, so a shift-down scan from
+        // the tail beats a binary search's setup cost.
+        let b = self.bucket_of(ent.at);
+        // SAFETY: `b` is masked with `buckets.len() - 1` and the length is
+        // a power of two (invariant 1).
+        let bucket = unsafe { self.buckets.get_unchecked_mut(b) };
+        // First touch after (re)sizing seeds enough capacity that later
+        // occupancy records cannot force a mid-run grow: with tuned widths
+        // a bucket averages ~2 entries, and a Poisson tail past this
+        // reserve is vanishingly rare — so the steady-state pop/push loop
+        // performs no allocation at all (the perf harness gates on this).
+        // The grow check, shift-down and insert are fused so the entry is
+        // written exactly once (`Vec::push` followed by a shift would
+        // write it twice and re-check capacity).
+        unsafe {
+            let n = bucket.len();
+            if n == bucket.capacity() {
+                bucket.reserve(if n == 0 { BUCKET_RESERVE } else { n });
+            }
+            // SAFETY: capacity > n after the reserve; `i` walks `n..=0`,
+            // every write lands in `0..=n`, and `set_len(n + 1)` only
+            // exposes slots that were just initialised.
+            let p = bucket.as_mut_ptr();
+            let mut i = n;
+            while i > 0 && (*p.add(i - 1)).key() < ent.key() {
+                *p.add(i) = *p.add(i - 1);
+                i -= 1;
+            }
+            *p.add(i) = ent;
+            bucket.set_len(n + 1);
+        }
+        if ent.key() < self.next.key() {
+            self.next = ent;
         }
         if self.len > self.buckets.len() * 2 && self.buckets.len() < MAX_BUCKETS {
             self.resize();
         }
     }
 
+    #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, Ev)> {
-        let idx = self.next?;
-        let b = self.bucket_of(self.slab[idx as usize].as_ref().expect("live").at);
-        let popped = self.buckets[b].pop().expect("cached min must be in bucket");
-        debug_assert_eq!(popped, idx, "cached min must be its bucket's tail");
-        let s = self.slab[idx as usize].take().expect("live slot");
-        self.free.push(idx);
+        let ent = self.next;
+        if ent.idx == NO_SLOT {
+            return None;
+        }
+        let b = self.bucket_of(ent.at);
+        // SAFETY: masked index, power-of-two length (invariant 1); the
+        // cached min's bucket cannot be empty (it contains the min), so
+        // the tail removal cannot underflow, and `Entry` is `Copy`, so
+        // shrinking via `set_len` leaks nothing.
+        let tail = unsafe {
+            let bucket = self.buckets.get_unchecked_mut(b);
+            let newlen = bucket.len() - 1;
+            debug_assert_eq!(
+                bucket.get_unchecked(newlen).idx,
+                ent.idx,
+                "cached min must be its bucket's tail"
+            );
+            bucket.set_len(newlen);
+            // The bucket's new tail: in the dense steady state it is the
+            // global minimum (fast path below).
+            if newlen > 0 {
+                Some(*bucket.get_unchecked(newlen - 1))
+            } else {
+                None
+            }
+        };
+        // SAFETY: the cached min is a live entry (invariant 2), so the
+        // slot is in bounds and initialised; the slot is then retired
+        // onto the free chain until the next push re-fills it.
+        let ev = unsafe {
+            let slot = self.slab.get_unchecked_mut(ent.idx as usize);
+            let ev = std::mem::ManuallyDrop::take(&mut slot.payload);
+            slot.link = self.free_head;
+            ev
+        };
+        self.free_head = ent.idx;
         self.len -= 1;
         if self.len * 4 < self.buckets.len() && self.buckets.len() > MIN_BUCKETS {
             self.resize();
         } else {
-            self.next = self.find_next_from(s.at);
+            // Fast path: the popped bucket's new tail is still inside the
+            // current window, so it is the global minimum and no calendar
+            // scan is needed.
+            let window_end = (ent.at | self.tmask) + 1;
+            self.next = match tail {
+                Some(tail) if tail.at < window_end => tail,
+                // The popped bucket is already known to hold nothing in
+                // the current window, so the scan starts at its successor.
+                _ => self.find_next_after(b, window_end),
+            };
         }
-        Some((s.at, s.ev))
+        Some((SimTime(ent.at), ev))
     }
 
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.next
-            .map(|i| self.slab[i as usize].as_ref().expect("live slot").at)
+        if self.next.idx == NO_SLOT {
+            None
+        } else {
+            Some(SimTime(self.next.at))
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -219,63 +369,78 @@ impl<Ev> EventQueue<Ev> {
         self.len == 0
     }
 
-    /// Find the slot of the minimum event, scanning buckets calendar-style
-    /// from the bucket containing `from` (the time of the last popped
-    /// event; pops are monotone, so nothing earlier can exist). Each
-    /// bucket's tail is its minimum; a tail belongs to the current
-    /// "year" iff its timestamp falls before the bucket's current window
-    /// end. One full empty lap falls back to a direct min scan.
-    fn find_next_from(&self, from: SimTime) -> Option<u32> {
+    /// Find the minimum entry, scanning buckets calendar-style from the
+    /// successor of bucket `after` (whose window `pop` has already ruled
+    /// out; pops are monotone, so nothing earlier can exist). Each
+    /// bucket's tail is its minimum; a tail belongs to the current "year"
+    /// iff its timestamp falls before the bucket's current window end.
+    /// One full empty lap falls back to a direct min scan.
+    fn find_next_after(&self, after: usize, mut window_end: u64) -> Entry {
         if self.len == 0 {
-            return None;
+            return Entry::NONE;
         }
         let n = self.buckets.len();
-        let mut i = self.bucket_of(from);
-        let mut window_end = (from.0 / self.width + 1) * self.width;
-        for _ in 0..n {
+        let width = self.tmask + 1;
+        let mut i = (after + 1) & self.mask;
+        for _ in 1..n {
+            window_end += width;
             if let Some(&tail) = self.buckets[i].last() {
-                let at = self.slab[tail as usize].as_ref().expect("live slot").at;
-                if at.0 < window_end {
-                    return Some(tail);
+                if tail.at < window_end {
+                    return tail;
                 }
             }
-            i = (i + 1) & (n - 1);
-            window_end += self.width;
+            i = (i + 1) & self.mask;
         }
         // Sparse year: jump straight to the global minimum.
         self.buckets
             .iter()
             .filter_map(|b| b.last().copied())
-            .min_by_key(|&t| self.key(t))
+            .min_by_key(|e| e.key())
+            .unwrap_or(Entry::NONE)
     }
 
     /// Rebuild the bucket array for the current population: nbuckets is
     /// the next power of two ≥ len (clamped), width the live event span
-    /// divided by the population. Both depend only on queue contents, so
-    /// resizing is deterministic.
+    /// divided by the population, rounded up to a power of two and then
+    /// doubled (slightly-too-wide buckets measure faster than
+    /// slightly-too-narrow: a ~2-entry bucket costs one extra compare on
+    /// push, while an empty bucket costs a whole extra scan step on pop).
+    /// Both depend only on queue contents, so resizing is deterministic.
     fn resize(&mut self) {
-        let mut live: Vec<u32> = self.buckets.iter().flatten().copied().collect();
-        live.sort_unstable_by_key(|&i| self.key(i));
+        let mut live: Vec<Entry> = self.buckets.iter().flatten().copied().collect();
+        live.sort_unstable_by_key(|e| e.key());
         let nbuckets = live
             .len()
             .next_power_of_two()
             .clamp(MIN_BUCKETS, MAX_BUCKETS);
         let (lo, hi) = match (live.first(), live.last()) {
-            (Some(&f), Some(&l)) => (self.key(f).0 .0, self.key(l).0 .0),
+            (Some(f), Some(l)) => (f.at, l.at),
             _ => (0, 0),
         };
-        self.width = ((hi - lo) / (live.len().max(1) as u64)).max(1);
+        let width = ((hi - lo) / (live.len().max(1) as u64))
+            .max(1)
+            .next_power_of_two()
+            << 1;
+        self.shift = width.trailing_zeros();
+        self.tmask = width - 1;
+        self.mask = nbuckets - 1;
         self.buckets = (0..nbuckets).map(|_| Vec::new()).collect();
         // Ascending insertion order makes every bucket sorted ascending;
-        // reverse each so the minimum sits at the tail.
-        for &idx in &live {
-            let b = self.bucket_of(self.slab[idx as usize].as_ref().expect("live").at);
-            self.buckets[b].push(idx);
+        // reverse each so the minimum sits at the tail. Buckets get the
+        // same first-touch reserve as `push`, so post-resize occupancy
+        // records cannot creep capacities up through repeated doublings.
+        for &ent in &live {
+            let b = self.bucket_of(ent.at);
+            let bucket = &mut self.buckets[b];
+            if bucket.capacity() == 0 {
+                bucket.reserve(BUCKET_RESERVE);
+            }
+            bucket.push(ent);
         }
         for b in &mut self.buckets {
             b.reverse();
         }
-        self.next = live.first().copied();
+        self.next = live.first().copied().unwrap_or(Entry::NONE);
     }
 }
 

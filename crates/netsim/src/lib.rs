@@ -24,6 +24,7 @@ pub mod event;
 pub mod host;
 pub mod link;
 pub mod net;
+pub mod payload;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -32,5 +33,6 @@ pub use event::{BinaryHeapQueue, EventQueue, EventTap, Intercept, Sim};
 pub use host::HostSpec;
 pub use link::{LinkClass, LinkSpec};
 pub use net::{HostId, Network};
+pub use payload::{PayloadArena, PayloadId, PayloadStats};
 pub use rng::Pcg32;
 pub use time::{Duration, SimTime};

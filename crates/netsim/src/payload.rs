@@ -1,0 +1,180 @@
+//! Recycled storage for bulky event payloads.
+//!
+//! Events that carry variable-size data (encoded frames, scatter/gather
+//! buffers) used to box a fresh `Vec` per event, which put an allocation
+//! on the simulator's hottest path. A [`PayloadArena`] instead owns every
+//! buffer: producers [`acquire`](PayloadArena::acquire) a slot, fill it in
+//! place, and thread the dense [`PayloadId`] through the event queue;
+//! consumers read the slot and [`release`](PayloadArena::release) it. A
+//! released slot keeps its heap capacity, so in steady state the arena
+//! performs no allocation at all — `Vec<u8>` payloads reuse whatever
+//! capacity the largest prior occupant left behind.
+//!
+//! The arena is deliberately *not* shared or synchronised: one world owns
+//! one arena, exactly like it owns its event queue, so determinism needs
+//! no locks. Slot indices are recycled LIFO, which keeps the working set
+//! hot in cache and makes reuse order deterministic.
+
+/// Dense handle to one arena slot. Only meaningful to the arena that
+/// issued it; carrying it inside an event enum keeps the event `Copy`-ish
+/// small while the bytes stay put.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PayloadId(u32);
+
+/// Monotonic counters describing arena traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PayloadStats {
+    /// Acquires that had to grow the arena (a fresh slot).
+    pub allocs: u64,
+    /// Acquires served by recycling a released slot.
+    pub reuses: u64,
+}
+
+/// Slab of recyclable payload slots with a LIFO free list.
+pub struct PayloadArena<T> {
+    slots: Vec<T>,
+    free: Vec<u32>,
+    stats: PayloadStats,
+}
+
+impl<T: Default> Default for PayloadArena<T> {
+    fn default() -> Self {
+        PayloadArena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            stats: PayloadStats::default(),
+        }
+    }
+}
+
+impl<T: Default> PayloadArena<T> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hand out a slot. The value inside is whatever the previous occupant
+    /// left (or `T::default()` for a fresh slot) — callers reset it as
+    /// part of filling it, e.g. `Vec::clear`, which is exactly what lets a
+    /// recycled `Vec` keep its capacity.
+    pub fn acquire(&mut self) -> (PayloadId, &mut T) {
+        match self.free.pop() {
+            Some(i) => {
+                self.stats.reuses += 1;
+                (PayloadId(i), &mut self.slots[i as usize])
+            }
+            None => {
+                let i = self.slots.len() as u32;
+                self.stats.allocs += 1;
+                self.slots.push(T::default());
+                (PayloadId(i), &mut self.slots[i as usize])
+            }
+        }
+    }
+
+    /// Read a live slot.
+    pub fn get(&self, id: PayloadId) -> &T {
+        &self.slots[id.0 as usize]
+    }
+
+    /// Mutate a live slot.
+    pub fn get_mut(&mut self, id: PayloadId) -> &mut T {
+        &mut self.slots[id.0 as usize]
+    }
+
+    /// Return a slot to the free list. The value is left in place (its
+    /// capacity is the whole point); the next `acquire` may hand it out
+    /// again. Releasing the same id twice without re-acquiring it is a
+    /// logic error and panics in debug builds.
+    pub fn release(&mut self, id: PayloadId) {
+        debug_assert!(
+            !self.free.contains(&id.0),
+            "payload slot {} released twice",
+            id.0
+        );
+        self.free.push(id.0);
+    }
+
+    /// Slots currently handed out.
+    pub fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Total slots ever created (the arena's high-water mark).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn stats(&self) -> PayloadStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_slots_then_lifo_reuse() {
+        let mut a: PayloadArena<Vec<u8>> = PayloadArena::new();
+        let (i0, b) = a.acquire();
+        b.extend_from_slice(b"abc");
+        let (i1, _) = a.acquire();
+        assert_ne!(i0, i1);
+        assert_eq!(
+            a.stats(),
+            PayloadStats {
+                allocs: 2,
+                reuses: 0
+            }
+        );
+        a.release(i0);
+        let (i2, buf) = a.acquire();
+        assert_eq!(i2, i0, "LIFO recycling hands back the last released slot");
+        assert_eq!(buf.as_slice(), b"abc", "contents survive until overwritten");
+        assert!(buf.capacity() >= 3, "capacity is retained across recycling");
+        assert_eq!(
+            a.stats(),
+            PayloadStats {
+                allocs: 2,
+                reuses: 1
+            }
+        );
+    }
+
+    #[test]
+    fn steady_state_never_grows() {
+        let mut a: PayloadArena<Vec<u8>> = PayloadArena::new();
+        for round in 0..100u8 {
+            let (id, buf) = a.acquire();
+            buf.clear();
+            buf.extend_from_slice(&[round; 16]);
+            assert_eq!(a.get(id).as_slice(), &[round; 16]);
+            a.release(id);
+        }
+        assert_eq!(a.capacity(), 1, "one slot serves the whole sequence");
+        assert_eq!(a.stats().reuses, 99);
+    }
+
+    #[test]
+    fn live_tracks_outstanding_slots() {
+        let mut a: PayloadArena<Vec<u8>> = PayloadArena::new();
+        let (x, _) = a.acquire();
+        let (y, _) = a.acquire();
+        assert_eq!(a.live(), 2);
+        a.release(x);
+        assert_eq!(a.live(), 1);
+        a.release(y);
+        assert_eq!(a.live(), 0);
+        assert_eq!(a.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "released twice")]
+    #[cfg(debug_assertions)]
+    fn double_release_panics_in_debug() {
+        let mut a: PayloadArena<Vec<u8>> = PayloadArena::new();
+        let (id, _) = a.acquire();
+        a.release(id);
+        a.release(id);
+    }
+}

@@ -1,7 +1,9 @@
 //! Property tests on the simulation substrate.
 
 use netsim::avail::AvailabilityModel;
-use netsim::{Duration, EventQueue, HostSpec, LinkClass, Network, Pcg32, Sim, SimTime};
+use netsim::{
+    Duration, EventQueue, HostSpec, LinkClass, Network, PayloadArena, Pcg32, Sim, SimTime,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -162,6 +164,90 @@ proptest! {
         // is_up must agree with the interval list at the probe point.
         let scan = tr.intervals().iter().any(|&(s, e)| s <= t && t < e);
         prop_assert_eq!(tr.is_up(t), scan);
+    }
+
+    /// Arena-recycled payload buffers observe exactly the same bytes as a
+    /// fresh-allocation baseline under arbitrary acquire/release
+    /// interleavings — slot recycling must never leak a previous
+    /// occupant's bytes into a live payload.
+    #[test]
+    fn arena_recycling_matches_allocating_baseline(
+        ops in proptest::collection::vec(
+            (any::<bool>(), proptest::collection::vec(any::<u8>(), 0..64)),
+            1..100,
+        ),
+    ) {
+        let mut arena: PayloadArena<Vec<u8>> = PayloadArena::new();
+        let mut live_arena = Vec::new();
+        let mut live_base: Vec<Vec<u8>> = Vec::new();
+        let mut seen_arena: Vec<Vec<u8>> = Vec::new();
+        let mut seen_base: Vec<Vec<u8>> = Vec::new();
+        for (release_oldest, bytes) in &ops {
+            if *release_oldest && !live_arena.is_empty() {
+                let id = live_arena.remove(0);
+                seen_arena.push(arena.get(id).clone());
+                arena.release(id);
+                seen_base.push(live_base.remove(0));
+            }
+            let (id, buf) = arena.acquire();
+            buf.clear();
+            buf.extend_from_slice(bytes);
+            live_arena.push(id);
+            live_base.push(bytes.clone());
+        }
+        for id in live_arena {
+            seen_arena.push(arena.get(id).clone());
+            arena.release(id);
+        }
+        seen_base.append(&mut live_base);
+        prop_assert_eq!(seen_arena, seen_base);
+        prop_assert_eq!(arena.live(), 0);
+        let st = arena.stats();
+        prop_assert_eq!(st.allocs as usize, arena.capacity());
+        prop_assert_eq!((st.allocs + st.reuses) as usize, ops.len());
+    }
+
+    /// Slab-recycled event payloads come back intact: an arbitrary
+    /// interleaving of pushes and pops yields exactly the (time, payload)
+    /// sequence a sorted stable oracle predicts, so free-list slot reuse
+    /// never swaps or corrupts a queued payload.
+    #[test]
+    fn event_queue_recycling_preserves_payloads(
+        ops in proptest::collection::vec(
+            (any::<bool>(), 0u64..1_000, any::<u64>()),
+            1..300,
+        ),
+    ) {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut oracle: std::collections::BTreeMap<(u64, u64), u64> = Default::default();
+        let mut seq = 0u64;
+        fn check(
+            got: Option<(SimTime, u64)>,
+            oracle: &mut std::collections::BTreeMap<(u64, u64), u64>,
+        ) {
+            let want = oracle.pop_first();
+            match (got, want) {
+                (Some((gt, gp)), Some(((wt, _), wp))) => {
+                    assert_eq!(gt, SimTime(wt));
+                    assert_eq!(gp, wp);
+                }
+                (None, None) => {}
+                (got, want) => panic!("queue {got:?} vs oracle {want:?}"),
+            }
+        }
+        for &(push, t, p) in &ops {
+            if push {
+                q.push(SimTime(t), p);
+                oracle.insert((t, seq), p);
+                seq += 1;
+            } else {
+                check(q.pop(), &mut oracle);
+            }
+        }
+        while !oracle.is_empty() {
+            check(q.pop(), &mut oracle);
+        }
+        prop_assert_eq!(q.pop(), None);
     }
 
     /// Queued transfers preserve FIFO on the uplink: a later send never

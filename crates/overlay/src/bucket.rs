@@ -213,10 +213,19 @@ impl RoutingTable {
     /// ascending. Ties cannot occur (IDs are unique), so the order is
     /// deterministic.
     pub fn closest(&self, target: NodeId, count: usize) -> Vec<Contact> {
-        let mut all: Vec<Contact> = self.contacts().collect();
-        all.sort_unstable_by_key(|c| c.id.distance(target));
-        all.truncate(count);
+        let mut all = Vec::new();
+        self.closest_into(target, count, &mut all);
         all
+    }
+
+    /// [`closest`](Self::closest) into a caller-owned buffer (cleared
+    /// first). Hot reply paths pass a recycled scratch vector so serving a
+    /// lookup step does not allocate.
+    pub fn closest_into(&self, target: NodeId, count: usize, out: &mut Vec<Contact>) {
+        out.clear();
+        out.extend(self.contacts());
+        out.sort_unstable_by_key(|c| c.id.distance(target));
+        out.truncate(count);
     }
 
     /// Test/diagnostic: per-bucket `(prefix, plen, len)` snapshot.

@@ -8,6 +8,7 @@
 use crate::message::QueryKind;
 use crate::overlay::PeerId;
 use crate::pipe::PipeId;
+use crate::sym::Sym;
 use netsim::SimTime;
 
 /// A peer offering computational service.
@@ -16,8 +17,9 @@ pub struct PeerAdvert {
     pub peer: PeerId,
     pub cpu_ghz: f64,
     pub free_ram_mib: u32,
-    /// Service names offered, e.g. `"triana"`, `"data-access"`.
-    pub services: Vec<String>,
+    /// Service names offered, e.g. `"triana"`, `"data-access"` (interned:
+    /// ten thousand peers advertising `"triana"` share one allocation).
+    pub services: Vec<Sym>,
 }
 
 /// A named pipe endpoint (an input node advertised for binding, §3.4).
@@ -26,14 +28,14 @@ pub struct PipeAdvert {
     pub pipe: PipeId,
     /// The connection's unique name ("for each input connection, the remote
     /// service advertises an input pipe with that connection's unique name").
-    pub name: String,
+    pub name: Sym,
     pub peer: PeerId,
 }
 
 /// A code module available for on-demand download from its owner.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ModuleAdvert {
-    pub name: String,
+    pub name: Sym,
     pub version: u32,
     pub hash: u64,
     pub size_bytes: u64,

@@ -50,7 +50,7 @@ impl PeerGroup {
 
     /// The query that discovers members of this group.
     pub fn membership_query(&self) -> QueryKind {
-        QueryKind::ByService(self.service_tag())
+        QueryKind::ByService(self.service_tag().into())
     }
 
     pub fn members(&self) -> &[PeerId] {
@@ -85,7 +85,7 @@ impl PeerGroup {
                 peer,
                 cpu_ghz: spec.cpu_ghz,
                 free_ram_mib: spec.ram_mib,
-                services: vec![self.service_tag()],
+                services: vec![self.service_tag().into()],
             }),
             expires: sim.now() + lifetime,
         };

@@ -24,6 +24,7 @@ pub mod message;
 pub mod overlay;
 pub mod pipe;
 pub mod routed;
+pub mod sym;
 pub mod wire;
 
 pub use advert::{AdvertBody, Advertisement, BlobAdvert, ModuleAdvert, PeerAdvert, PipeAdvert};
@@ -32,4 +33,5 @@ pub use message::{LookupId, Message, P2pEvent, QueryId, QueryKind};
 pub use overlay::{DiscoveryMode, Incoming, P2p, PeerId, QueryStatus, SEEN_CACHE_CAP};
 pub use pipe::PipeId;
 pub use routed::{RoutedConfig, RoutedNode};
+pub use sym::Sym;
 pub use wire::WireError;

@@ -3,6 +3,7 @@
 use crate::advert::Advertisement;
 use crate::overlay::PeerId;
 use crate::pipe::PipeId;
+use crate::sym::Sym;
 
 /// Discovery query identifier (unique per origin query).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -17,11 +18,11 @@ pub struct LookupId(pub u64);
 #[derive(Clone, Debug, PartialEq)]
 pub enum QueryKind {
     /// Peers offering a named service.
-    ByService(String),
+    ByService(Sym),
     /// A pipe advertised under a unique connection name (§3.4 binding).
-    ByPipeName(String),
+    ByPipeName(Sym),
     /// A code module by name and minimum version (§3.3 on-demand download).
-    ByModule { name: String, min_version: u32 },
+    ByModule { name: Sym, min_version: u32 },
     /// Peers meeting capability thresholds ("CPU capability and available
     /// free memory", §3.7).
     ByCapability { min_cpu_ghz: f64, min_ram_mib: u32 },

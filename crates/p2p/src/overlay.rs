@@ -223,6 +223,15 @@ pub struct P2p {
     /// `p2p.messages_filtered`, *not* as sent).
     #[allow(clippy::type_complexity)]
     send_filter: Option<Box<dyn FnMut(SimTime, PeerId, PeerId, &Message) -> bool>>,
+    /// Recycled `closer` buffers for FIND reply messages: serving a
+    /// lookup step fills one, the reply handler drains it and hands the
+    /// capacity back, so steady-state lookup traffic builds replies
+    /// without allocating.
+    pub(crate) reply_contact_pool: Vec<Vec<(u64, PeerId)>>,
+    /// Recycled `providers` buffers, same lifecycle as the contact pool.
+    pub(crate) reply_advert_pool: Vec<Vec<Advertisement>>,
+    /// Scratch for routing-table `closest_into` on the serve path.
+    pub(crate) closest_scratch: Vec<::overlay::Contact>,
 }
 
 impl P2p {
@@ -241,6 +250,36 @@ impl P2p {
             next_lookup: 0,
             routed_peers: 0,
             send_filter: None,
+            reply_contact_pool: Vec::new(),
+            reply_advert_pool: Vec::new(),
+            closest_scratch: Vec::new(),
+        }
+    }
+
+    /// Cap on each reply-buffer pool: enough for any realistic number of
+    /// concurrently in-flight replies; beyond it, returned buffers are
+    /// simply dropped.
+    const REPLY_POOL_CAP: usize = 256;
+
+    pub(crate) fn take_contact_buf(&mut self) -> Vec<(u64, PeerId)> {
+        self.reply_contact_pool.pop().unwrap_or_default()
+    }
+
+    pub(crate) fn recycle_contact_buf(&mut self, mut buf: Vec<(u64, PeerId)>) {
+        if self.reply_contact_pool.len() < Self::REPLY_POOL_CAP {
+            buf.clear();
+            self.reply_contact_pool.push(buf);
+        }
+    }
+
+    pub(crate) fn take_advert_buf(&mut self) -> Vec<Advertisement> {
+        self.reply_advert_pool.pop().unwrap_or_default()
+    }
+
+    pub(crate) fn recycle_advert_buf(&mut self, mut buf: Vec<Advertisement>) {
+        if self.reply_advert_pool.len() < Self::REPLY_POOL_CAP {
+            buf.clear();
+            self.reply_advert_pool.push(buf);
         }
     }
 

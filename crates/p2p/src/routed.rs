@@ -557,29 +557,34 @@ impl P2p {
         // A cold (or unbootstrapped) peer holds no routing state: it still
         // answers — with nothing — so a misdirected lookup step fails fast
         // instead of eating a timeout.
-        let (closer, providers) = match self.peers[to.0 as usize].routed.as_mut() {
-            Some(node) if node.role != Role::Cold => {
-                let closer: Vec<(u64, PeerId)> = node
-                    .table
-                    .closest(NodeId(key), self.routed_cfg.k)
-                    .into_iter()
-                    .filter(|c| c.peer != from.0)
-                    .map(|c| (c.id.0, PeerId(c.peer)))
-                    .collect();
-                let providers: Vec<Advertisement> = match &kind {
-                    Some(kind) => node
-                        .store
-                        .get(key, now)
+        // Reply payloads come from the recycled pools: the reply handler
+        // drains them and returns the capacity, so a steady stream of
+        // lookup steps serves without allocating.
+        let mut closer = self.take_contact_buf();
+        let mut providers = self.take_advert_buf();
+        let mut scratch = std::mem::take(&mut self.closest_scratch);
+        if let Some(node) = self.peers[to.0 as usize].routed.as_mut() {
+            if node.role != Role::Cold {
+                node.table
+                    .closest_into(NodeId(key), self.routed_cfg.k, &mut scratch);
+                closer.extend(
+                    scratch
                         .iter()
-                        .filter(|r| r.record.matches(kind, now))
-                        .map(|r| r.record.clone())
-                        .collect(),
-                    None => Vec::new(),
-                };
-                (closer, providers)
+                        .filter(|c| c.peer != from.0)
+                        .map(|c| (c.id.0, PeerId(c.peer))),
+                );
+                if let Some(kind) = &kind {
+                    providers.extend(
+                        node.store
+                            .get(key, now)
+                            .iter()
+                            .filter(|r| r.record.matches(kind, now))
+                            .map(|r| r.record.clone()),
+                    );
+                }
             }
-            _ => (Vec::new(), Vec::new()),
-        };
+        }
+        self.closest_scratch = scratch;
         if !providers.is_empty() {
             self.obs
                 .add("p2p.provider_record_hits", providers.len() as u64);
@@ -591,11 +596,14 @@ impl P2p {
                 closer,
                 providers,
             },
-            None => Message::FindNodeReply {
-                lid,
-                from: to,
-                closer,
-            },
+            None => {
+                self.recycle_advert_buf(providers);
+                Message::FindNodeReply {
+                    lid,
+                    from: to,
+                    closer,
+                }
+            }
         };
         self.send(sim, net, to, from, reply);
     }
@@ -609,8 +617,8 @@ impl P2p {
         to: PeerId,
         lid: LookupId,
         from: PeerId,
-        closer: Vec<(u64, PeerId)>,
-        providers: Vec<Advertisement>,
+        mut closer: Vec<(u64, PeerId)>,
+        mut providers: Vec<Advertisement>,
         out: &mut Vec<crate::overlay::Incoming>,
     ) {
         // Learning the responder under its *real* ID is what heals a
@@ -618,37 +626,39 @@ impl P2p {
         // re-filed correctly, one that never answers gets evicted by the
         // ping-or-evict path.
         self.routed_learn(net, to, from);
-        if !self.lookups.contains_key(&lid) {
-            return; // late reply: lookup already resolved or was reset
+        let stale = match self.lookups.get(&lid) {
+            None => true, // late reply: lookup already resolved or was reset
+            Some(al) => al.executor != to,
+        };
+        if stale {
+            self.recycle_contact_buf(closer);
+            self.recycle_advert_buf(providers);
+            return;
         }
         {
             let al = self.lookups.get_mut(&lid).unwrap();
-            if al.executor != to {
-                return;
-            }
             al.lookup.on_reply(
                 Self::node_key(from),
-                closer.into_iter().map(|(id, p)| Contact {
+                closer.drain(..).map(|(id, p)| Contact {
                     id: NodeId(id),
                     peer: p.0,
                 }),
             );
         }
+        self.recycle_contact_buf(closer);
         let now = sim.now();
         if !providers.is_empty() {
             let al = self.lookups.get(&lid).unwrap();
             if let Purpose::Query { id, origin, kind } = &al.purpose {
                 let (id, origin, kind) = (*id, *origin, kind.clone());
                 let hops = al.lookup.hops() as u64;
-                let live: Vec<Advertisement> = providers
-                    .into_iter()
-                    .filter(|ad| ad.matches(&kind, now))
-                    .collect();
+                let mut live = self.take_advert_buf();
+                live.extend(providers.drain(..).filter(|ad| ad.matches(&kind, now)));
                 if !live.is_empty() {
                     // FIND_VALUE early termination: first matching records
                     // resolve the query; in-flight requests are left to
                     // their (no-op) timeouts.
-                    for advert in live {
+                    for advert in live.drain(..) {
                         if to == origin {
                             if let Some(q) = self.queries.get_mut(&id) {
                                 q.hits.push((now, advert.clone()));
@@ -664,11 +674,15 @@ impl P2p {
                     }
                     self.obs.incr("p2p.lookups_converged");
                     self.obs.add("p2p.lookup_hops", hops);
+                    self.recycle_advert_buf(live);
+                    self.recycle_advert_buf(providers);
                     self.lookups.remove(&lid);
                     return;
                 }
+                self.recycle_advert_buf(live);
             }
         }
+        self.recycle_advert_buf(providers);
         self.advance_lookup(sim, net, lid);
     }
 

@@ -1,0 +1,181 @@
+//! Interned strings for the overlay's repeated names.
+//!
+//! A consumer-grid world repeats a handful of names millions of times:
+//! every peer advertises `"triana"`, every module query carries `"FFT"`,
+//! every decoded message re-materialises the same service strings. Storing
+//! them as `String` made every advert clone and every wire decode allocate.
+//! A [`Sym`] is an `Arc<str>` deduplicated through a thread-local intern
+//! table: constructing one from text the table has seen before is a hash
+//! lookup plus a reference-count bump — no allocation — and cloning is
+//! always just the bump.
+//!
+//! `Sym` derefs to `str` and compares against `str`/`String`/`&str`, so
+//! call sites read exactly like the `String` code they replace. Equality
+//! between two `Sym`s compares contents, not pointers: two worlds (or two
+//! threads) may intern the same text into different allocations, and the
+//! overlay only ever relies on value equality.
+//!
+//! The table is thread-local and unbounded; a simulation's name universe
+//! is tiny (dozens of distinct strings), and keeping it per-thread means
+//! no locks and no cross-run nondeterminism.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+thread_local! {
+    static INTERN: RefCell<HashSet<Arc<str>>> = RefCell::new(HashSet::new());
+}
+
+/// An interned, cheaply-cloneable, immutable string.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(Arc<str>);
+
+impl Sym {
+    /// Intern `s`: returns the canonical shared allocation for this text,
+    /// creating it only the first time the text is seen on this thread.
+    pub fn new(s: &str) -> Sym {
+        INTERN.with(|t| {
+            let mut t = t.borrow_mut();
+            if let Some(hit) = t.get(s) {
+                return Sym(Arc::clone(hit));
+            }
+            let arc: Arc<str> = Arc::from(s);
+            t.insert(Arc::clone(&arc));
+            Sym(arc)
+        })
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Deref for Sym {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Sym {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::borrow::Borrow<str> for Sym {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Sym {
+        Sym::new(s)
+    }
+}
+
+impl From<&String> for Sym {
+    fn from(s: &String) -> Sym {
+        Sym::new(s)
+    }
+}
+
+impl From<String> for Sym {
+    fn from(s: String) -> Sym {
+        Sym::new(&s)
+    }
+}
+
+impl PartialEq<str> for Sym {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Sym {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for Sym {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<Sym> for str {
+    fn eq(&self, other: &Sym) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<Sym> for &str {
+    fn eq(&self, other: &Sym) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<Sym> for String {
+    fn eq(&self, other: &Sym) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self.as_str(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups_within_a_thread() {
+        let a = Sym::new("triana");
+        let b = Sym::new("triana");
+        assert!(Arc::ptr_eq(&a.0, &b.0), "same text shares one allocation");
+        let c = Sym::new("other");
+        assert!(!Arc::ptr_eq(&a.0, &c.0));
+    }
+
+    #[test]
+    fn equality_is_by_contents() {
+        let a = Sym::new("data-access");
+        assert_eq!(a, "data-access");
+        assert_eq!("data-access", a);
+        assert_eq!(a, String::from("data-access"));
+        assert_ne!(a.as_str(), "data");
+        let b: Sym = String::from("data-access").into();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deref_gives_str_methods() {
+        let s = Sym::new("FFT");
+        assert_eq!(s.len(), 3);
+        assert!(s.starts_with('F'));
+        assert_eq!(format!("{s}"), "FFT");
+        assert_eq!(format!("{s:?}"), "\"FFT\"");
+    }
+
+    #[test]
+    fn ordering_matches_str_ordering() {
+        let mut v = [Sym::new("b"), Sym::new("a"), Sym::new("c")];
+        v.sort();
+        let strs: Vec<&str> = v.iter().map(|s| s.as_str()).collect();
+        assert_eq!(strs, ["a", "b", "c"]);
+    }
+}

@@ -15,7 +15,9 @@ use crate::advert::{Advertisement, BlobAdvert, ModuleAdvert, PeerAdvert, PipeAdv
 use crate::message::{LookupId, Message, QueryId, QueryKind};
 use crate::overlay::PeerId;
 use crate::pipe::PipeId;
+use crate::sym::Sym;
 use netsim::SimTime;
+use std::cell::RefCell;
 use std::fmt;
 
 /// Decoder failure. Every malformed input maps to one of these; the
@@ -66,6 +68,12 @@ pub struct Writer {
 impl Writer {
     pub fn new() -> Self {
         Writer::default()
+    }
+
+    /// A writer that appends to an existing buffer (pooled encode paths;
+    /// the buffer is *not* cleared, so framing layers can prefix bytes).
+    pub fn over(buf: Vec<u8>) -> Self {
+        Writer { buf }
     }
 
     pub fn into_bytes(self) -> Vec<u8> {
@@ -183,6 +191,16 @@ impl<'a> Reader<'a> {
         String::from_utf8(self.bytes(what)?).map_err(|_| WireError::BadUtf8)
     }
 
+    /// A length-prefixed string, interned. Text the intern table already
+    /// holds decodes without allocating — which is the common case, since
+    /// wire traffic repeats the same few service/module names endlessly.
+    pub fn sym(&mut self, what: &'static str) -> Result<Sym, WireError> {
+        let len = self.length(what)?;
+        let raw = self.take(len)?;
+        let text = std::str::from_utf8(raw).map_err(|_| WireError::BadUtf8)?;
+        Ok(Sym::new(text))
+    }
+
     /// Decoding must consume the whole buffer; anything left is an error.
     pub fn finish(self) -> Result<(), WireError> {
         if self.remaining() != 0 {
@@ -234,10 +252,10 @@ pub fn encode_query_kind(w: &mut Writer, k: &QueryKind) {
 
 pub fn decode_query_kind(r: &mut Reader) -> Result<QueryKind, WireError> {
     Ok(match r.u8()? {
-        QK_SERVICE => QueryKind::ByService(r.str("service name")?),
-        QK_PIPE => QueryKind::ByPipeName(r.str("pipe name")?),
+        QK_SERVICE => QueryKind::ByService(r.sym("service name")?),
+        QK_PIPE => QueryKind::ByPipeName(r.sym("pipe name")?),
         QK_MODULE => QueryKind::ByModule {
-            name: r.str("module name")?,
+            name: r.sym("module name")?,
             min_version: r.u32()?,
         },
         QK_CAPABILITY => QueryKind::ByCapability {
@@ -314,7 +332,7 @@ pub fn decode_advert(r: &mut Reader) -> Result<Advertisement, WireError> {
             }
             let mut services = Vec::new();
             for _ in 0..n {
-                services.push(r.str("service name")?);
+                services.push(r.sym("service name")?);
             }
             crate::advert::AdvertBody::Peer(PeerAdvert {
                 peer,
@@ -325,11 +343,11 @@ pub fn decode_advert(r: &mut Reader) -> Result<Advertisement, WireError> {
         }
         AD_PIPE => crate::advert::AdvertBody::Pipe(PipeAdvert {
             pipe: PipeId(r.u64()?),
-            name: r.str("pipe name")?,
+            name: r.sym("pipe name")?,
             peer: PeerId(r.u32()?),
         }),
         AD_MODULE => crate::advert::AdvertBody::Module(ModuleAdvert {
-            name: r.str("module name")?,
+            name: r.sym("module name")?,
             version: r.u32()?,
             hash: r.u64()?,
             size_bytes: r.u64()?,
@@ -394,6 +412,19 @@ impl Message {
     /// Canonical byte encoding of this message.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
+        self.encode_body(&mut w);
+        w.into_bytes()
+    }
+
+    /// Encode into a caller-owned buffer, appending; with a pooled or
+    /// recycled buffer this is the zero-allocation encode path.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = Writer::over(std::mem::take(out));
+        self.encode_body(&mut w);
+        *out = w.into_bytes();
+    }
+
+    fn encode_body(&self, w: &mut Writer) {
         match self {
             Message::Query {
                 id,
@@ -407,16 +438,16 @@ impl Message {
                 w.u32(origin.0);
                 w.u32(prev_hop.0);
                 w.u8(*ttl);
-                encode_query_kind(&mut w, kind);
+                encode_query_kind(w, kind);
             }
             Message::QueryHit { id, advert } => {
                 w.u8(MSG_QUERY_HIT);
                 w.u64(id.0);
-                encode_advert(&mut w, advert);
+                encode_advert(w, advert);
             }
             Message::Publish { advert } => {
                 w.u8(MSG_PUBLISH);
-                encode_advert(&mut w, advert);
+                encode_advert(w, advert);
             }
             Message::PipeData { pipe, tag, bytes } => {
                 w.u8(MSG_PIPE_DATA);
@@ -449,7 +480,7 @@ impl Message {
                 w.u8(MSG_FIND_NODE_REPLY);
                 w.u64(lid.0);
                 w.u32(from.0);
-                encode_closer(&mut w, closer);
+                encode_closer(w, closer);
             }
             Message::FindValue {
                 lid,
@@ -461,7 +492,7 @@ impl Message {
                 w.u64(lid.0);
                 w.u32(from.0);
                 w.u64(*key);
-                encode_query_kind(&mut w, kind);
+                encode_query_kind(w, kind);
             }
             Message::FindValueReply {
                 lid,
@@ -472,20 +503,19 @@ impl Message {
                 w.u8(MSG_FIND_VALUE_REPLY);
                 w.u64(lid.0);
                 w.u32(from.0);
-                encode_closer(&mut w, closer);
+                encode_closer(w, closer);
                 w.u32(providers.len() as u32);
                 for ad in providers {
-                    encode_advert(&mut w, ad);
+                    encode_advert(w, ad);
                 }
             }
             Message::StoreProvider { from, key, advert } => {
                 w.u8(MSG_STORE_PROVIDER);
                 w.u32(from.0);
                 w.u64(*key);
-                encode_advert(&mut w, advert);
+                encode_advert(w, advert);
             }
         }
-        w.into_bytes()
     }
 
     /// Decode a message, consuming the entire buffer.
@@ -579,6 +609,72 @@ impl Message {
             }
         })
     }
+}
+
+// ---- scratch-buffer pool ----
+
+/// Running totals for the thread-local scratch-buffer pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BufPoolStats {
+    /// `with_buf` calls served by a recycled buffer.
+    pub hits: u64,
+    /// `with_buf` calls that had to create a buffer.
+    pub misses: u64,
+}
+
+thread_local! {
+    static BUF_POOL: RefCell<(Vec<Vec<u8>>, BufPoolStats)> =
+        const { RefCell::new((Vec::new(), BufPoolStats { hits: 0, misses: 0 })) };
+}
+
+/// Run `f` with a cleared scratch buffer drawn from the thread-local pool,
+/// returning the buffer to the pool afterwards. Encode-then-transmit call
+/// sites that only need the bytes transiently (datagram sends, digests,
+/// size probes) go through here so steady-state encoding never allocates:
+/// after warm-up every call is a pool hit reusing retained capacity.
+///
+/// Calls may nest (an encode inside an encode draws a second buffer).
+pub fn with_buf<R>(f: impl FnOnce(&mut Vec<u8>) -> R) -> R {
+    let mut buf = BUF_POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        match p.0.pop() {
+            Some(b) => {
+                p.1.hits += 1;
+                b
+            }
+            None => {
+                p.1.misses += 1;
+                Vec::new()
+            }
+        }
+    });
+    buf.clear();
+    let r = f(&mut buf);
+    BUF_POOL.with(|p| p.borrow_mut().0.push(buf));
+    r
+}
+
+/// Current pool counters for this thread.
+pub fn buf_pool_stats() -> BufPoolStats {
+    BUF_POOL.with(|p| p.borrow().1)
+}
+
+/// Reset the pool counters (the buffers themselves stay pooled), so a
+/// deterministic run can snapshot exactly its own traffic.
+pub fn buf_pool_stats_reset() {
+    BUF_POOL.with(|p| p.borrow_mut().1 = BufPoolStats::default());
+}
+
+/// Drop every pooled buffer *and* reset the counters. Deterministic
+/// harnesses call this at a run boundary so repeated runs on one thread
+/// see an identical cold pool (same miss count), not whatever capacity a
+/// previous run left behind.
+pub fn buf_pool_reset() {
+    BUF_POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.0.clear();
+        p.1 = BufPoolStats::default();
+    });
 }
 
 #[cfg(test)]

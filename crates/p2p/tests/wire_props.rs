@@ -12,10 +12,10 @@ use proptest::prelude::*;
 /// break `PartialEq`-based round-trip comparison, not the codec).
 fn kind_from(sel: u8, a: u64, b: u64, s: &str) -> QueryKind {
     match sel % 5 {
-        0 => QueryKind::ByService(s.to_string()),
-        1 => QueryKind::ByPipeName(s.to_string()),
+        0 => QueryKind::ByService(s.into()),
+        1 => QueryKind::ByPipeName(s.into()),
         2 => QueryKind::ByModule {
-            name: s.to_string(),
+            name: s.into(),
             min_version: a as u32,
         },
         3 => QueryKind::ByCapability {
@@ -32,15 +32,15 @@ fn advert_from(sel: u8, a: u64, b: u64, s: &str, names: &[String]) -> Advertisem
             peer: PeerId(a as u32),
             cpu_ghz: (b % 100) as f64 / 7.0,
             free_ram_mib: (a >> 32) as u32,
-            services: names.to_vec(),
+            services: names.iter().map(Into::into).collect(),
         }),
         1 => AdvertBody::Pipe(PipeAdvert {
             pipe: PipeId(a),
-            name: s.to_string(),
+            name: s.into(),
             peer: PeerId(b as u32),
         }),
         2 => AdvertBody::Module(ModuleAdvert {
-            name: s.to_string(),
+            name: s.into(),
             version: a as u32,
             hash: b,
             size_bytes: a ^ b,
@@ -187,5 +187,33 @@ proptest! {
         bytes in proptest::collection::vec(proptest::arbitrary::any::<u8>(), 0..200),
     ) {
         let _ = Message::decode(&bytes);
+    }
+
+    /// Encoding through the thread-local buffer pool is byte-identical to
+    /// the allocating `encode`, including across pool reuse: a recycled
+    /// buffer must never leak bytes from the message it carried before.
+    #[test]
+    fn pooled_encode_matches_allocating(
+        msgs in proptest::collection::vec(
+            (
+                proptest::arbitrary::any::<u8>(),
+                proptest::arbitrary::any::<u64>(),
+                proptest::arbitrary::any::<u64>(),
+                proptest::arbitrary::any::<u64>(),
+                "[a-z]{0,16}",
+            ),
+            1..16,
+        ),
+    ) {
+        for (sel, a, b, c, s) in &msgs {
+            let msg = message_from(*sel, *a, *b, *c, s, &[]);
+            let baseline = msg.encode();
+            let (pooled, decoded) = p2p::wire::with_buf(|buf| {
+                msg.encode_into(buf);
+                (buf.clone(), Message::decode(buf))
+            });
+            prop_assert_eq!(&pooled, &baseline);
+            prop_assert_eq!(decoded, Ok(msg));
+        }
     }
 }

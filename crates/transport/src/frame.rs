@@ -165,8 +165,18 @@ impl Frame {
     }
 
     pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encode into a caller-owned buffer, appending. Both backends' send
+    /// paths use this with recycled buffers (the sim's payload arena, the
+    /// socket's scratch pool) so a steady stream of frames encodes without
+    /// touching the allocator.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         debug_assert!(self.payload.len() <= MAX_PAYLOAD, "payload too large");
-        let mut w = Writer::new();
+        let mut w = Writer::over(std::mem::take(out));
         w.u32(self.wire_len() as u32);
         w.u16(MAGIC);
         w.u8(VERSION);
@@ -175,7 +185,7 @@ impl Frame {
         w.u64(self.dst.0);
         w.u64(self.seq);
         w.bytes(&self.payload);
-        w.into_bytes()
+        *out = w.into_bytes();
     }
 
     /// Decode one frame, consuming the entire buffer (a datagram carries

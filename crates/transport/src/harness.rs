@@ -149,6 +149,7 @@ pub fn run_sim(spec: &FarmSpec, seed: u64, observer: obs::Obs) -> FarmOutcome {
         assert!(steps < 10_000_000, "sim farm did not quiesce");
     }
     assert!(orch.is_done(), "sim farm did not complete all jobs");
+    net.publish_arena_stats();
     outcome(&orch, &workers)
 }
 

@@ -14,14 +14,16 @@
 use crate::frame::{Endpoint, Frame, FrameKind, MAX_PAYLOAD};
 use crate::reliab::{ChanOut, ChannelConfig, PeerChannel};
 use crate::{TimerId, Transport, TransportCounters, TransportError, TransportEvent};
-use netsim::{Duration, HostId, HostSpec, Network, Sim, SimTime};
+use netsim::{Duration, HostId, HostSpec, Network, PayloadArena, PayloadId, Sim, SimTime};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::rc::Rc;
 
 enum NetEv {
     /// An encoded frame arriving at `dst` (already paid its link delay).
-    Frame { dst: Endpoint, bytes: Vec<u8> },
+    /// The bytes live in the world's payload arena; the event carries only
+    /// the slot id, released back for reuse at delivery.
+    Frame { dst: Endpoint, payload: PayloadId },
     /// A one-shot application timer.
     Timer { ep: Endpoint, id: u64, token: u64 },
     /// Channel maintenance (retransmit / liveness) for one endpoint.
@@ -44,6 +46,9 @@ struct World {
     net: Network,
     eps: BTreeMap<Endpoint, EpState>,
     cfg: ChannelConfig,
+    /// Recycled storage for in-flight encoded frames: in steady state a
+    /// frame encodes into a buffer some earlier frame already paid for.
+    arena: PayloadArena<Vec<u8>>,
     obs: obs::Obs,
 }
 
@@ -62,19 +67,23 @@ impl World {
         let Some(dst) = self.eps.get(&frame.dst) else {
             return;
         };
-        let bytes = frame.encode();
+        let dst_host = dst.host;
+        let (id, buf) = self.arena.acquire();
+        buf.clear();
+        frame.encode_into(buf);
+        let wire_bytes = buf.len() as u64;
         let now = self.sim.now();
-        if let Ok(delay) = self
-            .net
-            .transfer(now, src_host, dst.host, bytes.len() as u64)
-        {
-            self.sim.schedule(
+        match self.net.transfer(now, src_host, dst_host, wire_bytes) {
+            Ok(delay) => self.sim.schedule(
                 delay,
                 NetEv::Frame {
                     dst: frame.dst,
-                    bytes,
+                    payload: id,
                 },
-            );
+            ),
+            // Lost on the wire (offline host, cut link): the slot frees
+            // immediately instead of riding a phantom delivery.
+            Err(_) => self.arena.release(id),
         }
     }
 
@@ -126,11 +135,13 @@ impl World {
 
     fn on_event(&mut self, ev: NetEv) {
         match ev {
-            NetEv::Frame { dst, bytes } => {
+            NetEv::Frame { dst, payload } => {
+                let frame = Frame::decode(self.arena.get(payload));
+                self.arena.release(payload);
                 let Some(s) = self.eps.get_mut(&dst) else {
                     return;
                 };
-                let frame = match Frame::decode(&bytes) {
+                let frame = match frame {
                     Ok(f) => f,
                     Err(_) => {
                         self.obs.incr("transport.decode_errors");
@@ -197,6 +208,7 @@ impl SimNet {
                 net: Network::new(),
                 eps: BTreeMap::new(),
                 cfg: ChannelConfig::sim_default(),
+                arena: PayloadArena::new(),
                 obs: obs::Obs::disabled(),
             })),
         }
@@ -256,6 +268,21 @@ impl SimNet {
 
     pub fn now(&self) -> SimTime {
         self.world.borrow().sim.now()
+    }
+
+    /// Arena traffic so far (allocs = slots created, reuses = recycled).
+    pub fn arena_stats(&self) -> netsim::PayloadStats {
+        self.world.borrow().arena.stats()
+    }
+
+    /// Fold the arena counters into the observer as monotonic counters
+    /// (`netsim.payload_allocs` / `netsim.payload_reuses`). Called at run
+    /// boundaries so the per-frame hot path never touches the registry.
+    pub fn publish_arena_stats(&self) {
+        let w = self.world.borrow();
+        let stats = w.arena.stats();
+        w.obs.add("netsim.payload_allocs", stats.allocs);
+        w.obs.add("netsim.payload_reuses", stats.reuses);
     }
 
     /// Lifetime counters for one endpoint.

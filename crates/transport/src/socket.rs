@@ -108,7 +108,10 @@ impl SocketTransport {
         }
         // UDP send failures (e.g. transient ENOBUFS) are treated as loss:
         // the reliability layer retransmits.
-        let _ = self.sock.send_to(&frame.encode(), addr);
+        p2p::wire::with_buf(|buf| {
+            frame.encode_into(buf);
+            let _ = self.sock.send_to(buf, addr);
+        });
     }
 
     fn apply(&mut self, peer: Endpoint, outs: Vec<ChanOut>) {

@@ -134,6 +134,40 @@ proptest! {
         let _ = Frame::decode(&bytes);
     }
 
+    /// Encoding frames through the shared thread-local buffer pool (the
+    /// socket transmit path) is byte-identical to the allocating `encode`,
+    /// and the pooled bytes decode back to the original frame even when
+    /// the pool recycles one buffer across a whole batch.
+    #[test]
+    fn pooled_frame_encode_matches_allocating(
+        frames in proptest::collection::vec(
+            (
+                proptest::arbitrary::any::<u8>(),
+                proptest::arbitrary::any::<u64>(),
+                proptest::arbitrary::any::<u64>(),
+                proptest::arbitrary::any::<u64>(),
+                proptest::collection::vec(proptest::arbitrary::any::<u8>(), 0..128),
+            ),
+            1..12,
+        ),
+    ) {
+        for (sel, src, dst, seq, payload) in &frames {
+            let kind = kind_from(*sel);
+            let frame = if kind == FrameKind::Data {
+                Frame::data(Endpoint(*src), Endpoint(*dst), *seq, payload.clone())
+            } else {
+                Frame::control(kind, Endpoint(*src), Endpoint(*dst), *seq)
+            };
+            let baseline = frame.encode();
+            let (pooled, decoded) = p2p::wire::with_buf(|buf| {
+                frame.encode_into(buf);
+                (buf.clone(), Frame::decode(buf))
+            });
+            prop_assert_eq!(&pooled, &baseline);
+            prop_assert_eq!(decoded, Ok(frame));
+        }
+    }
+
     /// Every grid message survives encode→decode exactly.
     #[test]
     fn grid_msg_round_trips(

@@ -75,4 +75,26 @@ fn sim_runs_are_deterministic_with_counters() {
     assert_eq!(snap1, snap2, "transport.* counters must be byte-identical");
     assert!(snap1.contains("transport.frames_sent"));
     assert!(snap1.contains("transport.acks"));
+    // Arena-backed frame payloads ride the same snapshot: identical runs
+    // must allocate and recycle identically.
+    assert!(snap1.contains("netsim.payload_allocs"));
+    assert!(snap1.contains("netsim.payload_reuses"));
+}
+
+#[test]
+fn socket_backend_agrees_cold_and_warm_pool() {
+    // The socket transmit path encodes through the thread-local wire
+    // buffer pool. The first run starts from a cold pool, the second
+    // reuses whatever the first left behind; both must produce the same
+    // wall-clock-independent outcome as the sim oracle.
+    let spec = farm();
+    let sim = run_sim(&spec, 42, obs::Obs::disabled());
+    for round in 0..2 {
+        let sock = run_sockets(
+            &spec,
+            obs::Obs::disabled(),
+            std::time::Duration::from_secs(60),
+        );
+        assert_eq!(sim, sock, "socket round {round} diverged from sim oracle");
+    }
 }
